@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of preference integration: SQ vs MQ query
+//! construction (the operation behind Figures 8 and 9, left panels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqp_core::prelude::*;
+use pqp_core::Personalized;
+use pqp_datagen::{
+    generate, generate_profile, generate_queries, MovieDbConfig, ProfileGenConfig, QueryGenConfig,
+};
+
+fn personalized(k: usize, l: usize) -> Personalized {
+    let pool = generate(MovieDbConfig { movies: 300, theatres: 8, ..Default::default() });
+    let query = &generate_queries(3, &pool.pools, &QueryGenConfig::default())[0];
+    let profile = generate_profile(
+        "bench",
+        &pool.pools,
+        &ProfileGenConfig { selections: 80, seed: 9, ..Default::default() },
+    );
+    let graph = InMemoryGraph::build(&profile, pool.db.catalog()).unwrap();
+    personalize(query, &graph, pool.db.catalog(), PersonalizeOptions::top_k(k, l)).unwrap()
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preference_integration");
+    group.sample_size(30);
+    for (k, l) in [(10usize, 1usize), (30, 1), (60, 1), (10, 3), (10, 5)] {
+        let p = personalized(k, l);
+        group.bench_with_input(
+            BenchmarkId::new("sq", format!("k{k}_l{l}")),
+            &p,
+            |b, p| b.iter(|| p.sq().unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mq", format!("k{k}_l{l}")),
+            &p,
+            |b, p| b.iter(|| p.mq().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_integration);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! figures [all|fig6|fig7a|fig7b|fig7c|fig8|fig9|fig10|ablations] ...
+//!         [--scale smoke|default|paper] [--out DIR]
+//! ```
+//!
+//! Prints every experiment as a markdown table and writes one CSV per
+//! experiment under the output directory (default `results/`).
+
+use pqp_bench::context::{Scale, Workload};
+use pqp_bench::figures;
+use pqp_bench::harness::Experiment;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_scale();
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let name = args.get(i + 1).cloned().unwrap_or_default();
+                scale = Scale::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{name}` (use smoke|default|paper)");
+                    std::process::exit(2);
+                });
+                args.drain(i..=i + 1);
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.get(i + 1).cloned().unwrap_or_default());
+                args.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    targets.extend(args);
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    const KNOWN: &[&str] =
+        &["all", "fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "ablations"];
+    for t in &targets {
+        if !KNOWN.contains(&t.as_str()) {
+            eprintln!("unknown target `{t}` (use {})", KNOWN.join("|"));
+            std::process::exit(2);
+        }
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let wants = |name: &str| all || targets.iter().any(|t| t == name);
+
+    println!("# pqp experiment run (scale: {})\n", scale.name);
+    let t0 = Instant::now();
+
+    let mut experiments: Vec<Experiment> = Vec::new();
+
+    if wants("fig6") {
+        run("fig6", || figures::fig6(&scale), &mut experiments);
+    }
+
+    let needs_workload = ["fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "ablations"]
+        .iter()
+        .any(|f| wants(f));
+    if needs_workload {
+        eprintln!("building workload (movies={}) ...", scale.movies);
+        let w = Workload::build(scale.clone());
+        if wants("fig7a") {
+            run("fig7a", || figures::fig7a(&w), &mut experiments);
+        }
+        if wants("fig7b") {
+            run("fig7b", || figures::fig7b(&w), &mut experiments);
+        }
+        if wants("fig7c") {
+            run("fig7c", || figures::fig7c(&w), &mut experiments);
+        }
+        if wants("fig8") {
+            run("fig8", || figures::fig8(&w), &mut experiments);
+        }
+        if wants("fig9") {
+            run("fig9", || figures::fig9(&w), &mut experiments);
+        }
+        if wants("fig10") {
+            run("fig10", || figures::fig10(&w), &mut experiments);
+        }
+        if wants("ablations") {
+            run("ablation_combinators", || figures::ablation_combinators(&w), &mut experiments);
+            run("ablation_or_expansion", figures::ablation_or_expansion, &mut experiments);
+        }
+    }
+
+    for e in &experiments {
+        match e.write_csv(&out_dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write {}: {err}", e.id),
+        }
+    }
+    eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn run(
+    name: &str,
+    f: impl FnOnce() -> Vec<Experiment>,
+    experiments: &mut Vec<Experiment>,
+) {
+    eprintln!("running {name} ...");
+    let t = Instant::now();
+    let out = f();
+    eprintln!("  {name} done in {:.1}s", t.elapsed().as_secs_f64());
+    for e in &out {
+        println!("{}", e.to_markdown());
+    }
+    experiments.extend(out);
+}

@@ -1,0 +1,199 @@
+//! Experiment harness: timing, aggregation, table printing and CSV output
+//! shared by every figure runner.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Time a closure, returning (result, milliseconds).
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Simple summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    pub n: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+}
+
+impl Stats {
+    /// Compute stats; an empty sample yields zeros.
+    pub fn of(sample: &[f64]) -> Stats {
+        if sample.is_empty() {
+            return Stats { n: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0 };
+        }
+        let mut sorted: Vec<f64> = sample.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Stats {
+            n: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            p50: sorted[sorted.len() / 2],
+        }
+    }
+}
+
+/// One output series of an experiment: y values (means) over an x sweep.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    /// (x, mean y) points in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Series {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A complete experiment result: an id (fig6, fig7a, ...), axis labels and
+/// one or more series over the same x sweep.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Experiment {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Experiment {
+        Experiment {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Render as a markdown table (x column + one column per series).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let mut header = format!("| {} |", self.x_label);
+        let mut rule = String::from("|---|");
+        for s in &self.series {
+            let _ = write!(header, " {} |", s.label);
+            rule.push_str("---|");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        let xs: Vec<f64> = self.series.first().map(|s| {
+            s.points.iter().map(|(x, _)| *x).collect()
+        }).unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = format!("| {x} |");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some((_, y)) => {
+                        let _ = write!(row, " {y:.4} |");
+                    }
+                    None => row.push_str("  |"),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(out, "\n({} = {})", self.y_label, "series values");
+        out
+    }
+
+    /// Render as CSV: `x,series1,series2,...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let _ = writeln!(out, "{}", header.join(","));
+        let xs: Vec<f64> = self.series.first().map(|s| {
+            s.points.iter().map(|(x, _)| *x).collect()
+        }).unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(s.points.get(i).map(|(_, y)| format!("{y}")).unwrap_or_default());
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/<id>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_sample() {
+        let s = Stats::of(&[3.0, 1.0, 2.0, 10.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(Stats::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn time_ms_measures_something() {
+        let (v, ms) = time_ms(|| (0..100_000u64).sum::<u64>());
+        assert!(v > 0);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn markdown_and_csv_shapes() {
+        let mut e = Experiment::new("figX", "demo", "K", "time (ms)");
+        let mut s1 = Series::new("SQ");
+        s1.push(1.0, 0.5);
+        s1.push(2.0, 0.75);
+        let mut s2 = Series::new("MQ");
+        s2.push(1.0, 0.1);
+        s2.push(2.0, 0.2);
+        e.series = vec![s1, s2];
+        let md = e.to_markdown();
+        assert!(md.contains("| K | SQ | MQ |"), "{md}");
+        assert!(md.contains("| 1 | 0.5000 | 0.1000 |"), "{md}");
+        let csv = e.to_csv();
+        assert!(csv.starts_with("K,SQ,MQ\n"), "{csv}");
+        assert!(csv.contains("2,0.75,0.2"), "{csv}");
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("pqp_bench_test");
+        let mut e = Experiment::new("figtest", "t", "x", "y");
+        let mut s = Series::new("a");
+        s.push(1.0, 2.0);
+        e.series.push(s);
+        let path = e.write_csv(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! # pqp-bench
+//!
+//! The experiment harness regenerating every figure of the paper's
+//! evaluation (§7), plus ablation experiments for the design choices called
+//! out in DESIGN.md.
+//!
+//! Run everything: `cargo run --release -p pqp-bench --bin figures -- all`
+//! (add `--scale smoke|default|paper`). CSVs land in `results/`, and a
+//! markdown report is printed.
+
+pub mod context;
+pub mod figures;
+pub mod harness;
+
+pub use context::{Scale, Workload};
+pub use harness::{time_ms, Experiment, Series, Stats};

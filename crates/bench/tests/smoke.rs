@@ -1,0 +1,86 @@
+//! Harness smoke tests: every figure runner must produce well-formed,
+//! non-degenerate experiments at the smoke scale (guards the experiment
+//! code against rot — the figures are deliverables, not dead code).
+
+use pqp_bench::context::{Scale, Workload};
+use pqp_bench::figures;
+use pqp_bench::harness::Experiment;
+
+fn check(experiments: &[Experiment], expect_ids: &[&str]) {
+    assert_eq!(experiments.len(), expect_ids.len());
+    for (e, id) in experiments.iter().zip(expect_ids) {
+        assert_eq!(&e.id, id);
+        assert!(!e.series.is_empty(), "{id}: no series");
+        for s in &e.series {
+            assert!(!s.points.is_empty(), "{id}/{}: no points", s.label);
+            for (x, y) in &s.points {
+                assert!(x.is_finite() && y.is_finite(), "{id}/{}: non-finite point", s.label);
+                assert!(*y >= 0.0, "{id}/{}: negative measurement", s.label);
+            }
+        }
+        // CSV and markdown render without panicking and carry the series.
+        let csv = e.to_csv();
+        assert!(csv.lines().count() >= 2, "{id}: empty csv");
+        assert!(e.to_markdown().contains(&e.id));
+    }
+}
+
+#[test]
+fn fig6_smoke() {
+    let exps = figures::fig6(&Scale::smoke());
+    check(&exps, &["fig6", "fig6_inmemory", "fig6_accesses", "fig6_penalized"]);
+    // The access-count series must decrease with profile size (the paper's
+    // mechanism).
+    let acc = &exps[2].series[0].points;
+    assert!(
+        acc.first().unwrap().1 >= acc.last().unwrap().1,
+        "accesses should not grow with profile size: {acc:?}"
+    );
+}
+
+#[test]
+fn fig7_fig8_fig9_fig10_smoke() {
+    let w = Workload::build(Scale::smoke());
+
+    let f7a = figures::fig7a(&w);
+    check(&f7a, &["fig7a"]);
+    // Percentages stay in [0, 100] and grow with K.
+    let pts = &f7a[0].series[0].points;
+    assert!(pts.iter().all(|(_, y)| (0.0..=100.0).contains(y)), "{pts:?}");
+    assert!(pts.first().unwrap().1 <= pts.last().unwrap().1 + 1e-9, "{pts:?}");
+
+    let f7b = figures::fig7b(&w);
+    check(&f7b, &["fig7b"]);
+    // Result size shrinks with L.
+    let pts = &f7b[0].series[0].points;
+    assert!(pts.first().unwrap().1 >= pts.last().unwrap().1, "{pts:?}");
+
+    check(&figures::fig7c(&w), &["fig7c"]);
+    check(&figures::fig8(&w), &["fig8_integration", "fig8_execution"]);
+    check(&figures::fig9(&w), &["fig9_integration", "fig9_execution"]);
+    check(&figures::fig10(&w), &["fig10_k", "fig10_l"]);
+}
+
+#[test]
+fn ablations_smoke() {
+    let w = Workload::build(Scale::smoke());
+    check(&figures::ablation_combinators(&w), &["ablation_combinators"]);
+    let or = figures::ablation_or_expansion();
+    check(&or, &["ablation_or_expansion"]);
+    // The un-expanded cost must dominate at the largest K measured.
+    let with = or[0].series[0].points.last().unwrap().1;
+    let without = or[0].series[1].points.last().unwrap().1;
+    assert!(
+        without > with * 10.0,
+        "OR-expansion should matter: with={with}, without={without}"
+    );
+}
+
+#[test]
+fn scales_resolve_by_name() {
+    for name in ["smoke", "default", "paper"] {
+        let s = Scale::by_name(name).unwrap();
+        assert_eq!(s.name, name);
+    }
+    assert!(Scale::by_name("bogus").is_none());
+}

@@ -1,0 +1,232 @@
+//! Degrees of interest and the combination algebra of §3.
+//!
+//! A degree of interest is a real in `[0, 1]`: 0 means no interest (never
+//! stored), 1 means "must have". Three combination functions build degrees
+//! for composite preferences:
+//!
+//! - **transitive** (path composition): must satisfy `f(D) ≤ min(D)`;
+//!   the paper chooses the product `d₁·d₂·…·dₙ`;
+//! - **conjunction**: must satisfy `f(D) ≥ max(D)`; the paper chooses
+//!   `1 − (1−d₁)(1−d₂)…(1−dₙ)`;
+//! - **disjunction**: must satisfy `min(D) ≤ f(D) ≤ max(D)`; the paper
+//!   chooses the average.
+//!
+//! The functions are behind the [`Combinator`] trait so ablation experiments
+//! can swap alternatives (e.g. min-transitive) and observe where the axioms
+//! or the ranking behaviour break.
+
+use crate::error::{PrefError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated degree of interest in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Doi(f64);
+
+impl Doi {
+    /// The "must-have" degree.
+    pub const ONE: Doi = Doi(1.0);
+    /// The zero degree (lack of interest; never stored in profiles).
+    pub const ZERO: Doi = Doi(0.0);
+
+    /// Validate and wrap a raw degree.
+    pub fn new(d: f64) -> Result<Doi> {
+        if d.is_finite() && (0.0..=1.0).contains(&d) {
+            Ok(Doi(d))
+        } else {
+            Err(PrefError::InvalidDegree(d))
+        }
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl TryFrom<f64> for Doi {
+    type Error = PrefError;
+    fn try_from(d: f64) -> Result<Doi> {
+        Doi::new(d)
+    }
+}
+
+impl From<Doi> for f64 {
+    fn from(d: Doi) -> f64 {
+        d.0
+    }
+}
+
+impl Eq for Doi {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Doi {
+    fn cmp(&self, other: &Doi) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Doi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A family of combination functions for transitive, conjunctive and
+/// disjunctive preferences.
+pub trait Combinator {
+    /// Degree of a transitive preference composed of `degrees`
+    /// (in path order). Must satisfy `f(D) ≤ min(D)` to be admissible.
+    fn transitive(&self, degrees: &[Doi]) -> Doi;
+    /// Degree of the conjunction of preferences. Must satisfy `f(D) ≥ max(D)`.
+    fn conjunction(&self, degrees: &[Doi]) -> Doi;
+    /// Degree of the disjunction. Must satisfy `min(D) ≤ f(D) ≤ max(D)`.
+    fn disjunction(&self, degrees: &[Doi]) -> Doi;
+}
+
+/// The paper's choices: product / `1 − ∏(1−d)` / average.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaperCombinator;
+
+impl Combinator for PaperCombinator {
+    fn transitive(&self, degrees: &[Doi]) -> Doi {
+        Doi(degrees.iter().map(|d| d.0).product())
+    }
+
+    fn conjunction(&self, degrees: &[Doi]) -> Doi {
+        Doi(1.0 - degrees.iter().map(|d| 1.0 - d.0).product::<f64>())
+    }
+
+    fn disjunction(&self, degrees: &[Doi]) -> Doi {
+        if degrees.is_empty() {
+            return Doi::ZERO;
+        }
+        Doi(degrees.iter().map(|d| d.0).sum::<f64>() / degrees.len() as f64)
+    }
+}
+
+/// An ablation combinator: min-transitive, max-conjunction, max-disjunction.
+///
+/// It satisfies the paper's *admissibility* conditions but is degenerate:
+/// path length no longer penalizes transitive preferences and conjunction no
+/// longer rewards satisfying more preferences. The ablation benches quantify
+/// the effect on ranking quality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinMaxCombinator;
+
+impl Combinator for MinMaxCombinator {
+    fn transitive(&self, degrees: &[Doi]) -> Doi {
+        degrees.iter().copied().min().unwrap_or(Doi::ONE)
+    }
+
+    fn conjunction(&self, degrees: &[Doi]) -> Doi {
+        degrees.iter().copied().max().unwrap_or(Doi::ZERO)
+    }
+
+    fn disjunction(&self, degrees: &[Doi]) -> Doi {
+        degrees.iter().copied().max().unwrap_or(Doi::ZERO)
+    }
+}
+
+/// Paper transitive function (free-function convenience).
+pub fn transitive_degree(degrees: &[Doi]) -> Doi {
+    PaperCombinator.transitive(degrees)
+}
+
+/// Paper conjunction function (free-function convenience).
+pub fn conjunction_degree(degrees: &[Doi]) -> Doi {
+    PaperCombinator.conjunction(degrees)
+}
+
+/// Paper disjunction function (free-function convenience).
+pub fn disjunction_degree(degrees: &[Doi]) -> Doi {
+    PaperCombinator.disjunction(degrees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: f64) -> Doi {
+        Doi::new(x).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Doi::new(0.0).is_ok());
+        assert!(Doi::new(1.0).is_ok());
+        assert!(Doi::new(-0.1).is_err());
+        assert!(Doi::new(1.1).is_err());
+        assert!(Doi::new(f64::NAN).is_err());
+        assert!(Doi::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn paper_worked_examples() {
+        // §3.2: 0.8 * 1 * 0.9 = 0.72 (Kidman transitive selection).
+        let t = transitive_degree(&[d(0.8), d(1.0), d(0.9)]);
+        assert!((t.value() - 0.72).abs() < 1e-12);
+        // §3.3: 1 - (1 - 0.7)(1 - 0.81) = 0.943 (comedy ∧ Allen).
+        let c = conjunction_degree(&[d(0.7), d(0.81)]);
+        assert!((c.value() - 0.943).abs() < 1e-12);
+        // §3.3: (0.7 + 0.81)/2 = 0.755 (comedy ∨ Allen).
+        let o = disjunction_degree(&[d(0.7), d(0.81)]);
+        assert!((o.value() - 0.755).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitive_below_min() {
+        let ds = [d(0.9), d(0.5), d(0.8)];
+        let min = ds.iter().copied().min().unwrap();
+        assert!(transitive_degree(&ds) <= min);
+    }
+
+    #[test]
+    fn conjunction_above_max() {
+        let ds = [d(0.3), d(0.6)];
+        let max = ds.iter().copied().max().unwrap();
+        assert!(conjunction_degree(&ds) >= max);
+    }
+
+    #[test]
+    fn disjunction_between_min_and_max() {
+        let ds = [d(0.3), d(0.6), d(0.9)];
+        let o = disjunction_degree(&ds);
+        assert!(o >= *ds.iter().min().unwrap());
+        assert!(o <= *ds.iter().max().unwrap());
+    }
+
+    #[test]
+    fn minmax_combinator_is_admissible() {
+        let ds = [d(0.3), d(0.6)];
+        let c = MinMaxCombinator;
+        assert!(c.transitive(&ds) <= d(0.3));
+        assert!(c.conjunction(&ds) >= d(0.6));
+        let o = c.disjunction(&ds);
+        assert!(o >= d(0.3) && o <= d(0.6));
+    }
+
+    #[test]
+    fn empty_combinations() {
+        assert_eq!(transitive_degree(&[]), Doi::ONE);
+        assert_eq!(conjunction_degree(&[]), Doi::ZERO);
+        assert_eq!(disjunction_degree(&[]), Doi::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip_and_validation() {
+        let j = serde_json::to_string(&d(0.75)).unwrap();
+        assert_eq!(j, "0.75");
+        let back: Doi = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, d(0.75));
+        assert!(serde_json::from_str::<Doi>("1.5").is_err());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![d(0.5), d(0.1), d(1.0)];
+        v.sort();
+        assert_eq!(v, vec![d(0.1), d(0.5), d(1.0)]);
+    }
+}

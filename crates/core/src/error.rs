@@ -1,0 +1,59 @@
+//! Error type of the personalization layer.
+
+use std::fmt;
+
+/// Errors raised while building profiles, mapping queries onto the
+/// personalization graph, selecting preferences or integrating them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrefError {
+    /// A degree of interest outside `[0, 1]` (or not finite).
+    InvalidDegree(f64),
+    /// A preference references a table or column missing from the schema.
+    UnknownAttribute { table: String, column: String },
+    /// The query cannot be mapped onto the personalization graph.
+    UnsupportedQuery(String),
+    /// Invalid personalization parameters (e.g. `L > K − M`).
+    InvalidParams(String),
+    /// The SQ rewrite would need to enumerate too many conjunctions.
+    TooManyCombinations { combinations: u128, limit: u128 },
+    /// Underlying engine/storage failure (profile store access).
+    Engine(String),
+}
+
+impl fmt::Display for PrefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefError::InvalidDegree(d) => {
+                write!(f, "degree of interest {d} is not in [0, 1]")
+            }
+            PrefError::UnknownAttribute { table, column } => {
+                write!(f, "unknown attribute `{table}.{column}`")
+            }
+            PrefError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+            PrefError::InvalidParams(m) => write!(f, "invalid personalization parameters: {m}"),
+            PrefError::TooManyCombinations { combinations, limit } => write!(
+                f,
+                "SQ integration would enumerate {combinations} conjunctions (limit {limit}); \
+                 use MQ or reduce K/L"
+            ),
+            PrefError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefError {}
+
+impl From<pqp_engine::EngineError> for PrefError {
+    fn from(e: pqp_engine::EngineError) -> Self {
+        PrefError::Engine(e.to_string())
+    }
+}
+
+impl From<pqp_storage::StorageError> for PrefError {
+    fn from(e: pqp_storage::StorageError) -> Self {
+        PrefError::Engine(e.to_string())
+    }
+}
+
+/// Result alias for the personalization layer.
+pub type Result<T> = std::result::Result<T, PrefError>;

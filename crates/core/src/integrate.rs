@@ -1,0 +1,684 @@
+//! Preference integration (§6): producing the personalized query.
+//!
+//! Two equivalent constructions are implemented:
+//!
+//! - **SQ** (single query): one complex qualification — the conjunction of
+//!   the mandatory conditions with the disjunction of all conflict-free
+//!   conjunctions of `L` optional preferences;
+//! - **MQ** (multiple queries): one partial query per optional preference,
+//!   `UNION ALL`-ed, grouped by the original projection, `HAVING
+//!   COUNT(*) ≥ L` — optionally ranked by the `DEGREE_OF_CONJUNCTION`
+//!   aggregate and/or filtered by a minimum estimated degree.
+//!
+//! Conflicting preferences are never conjoined (they would yield an empty
+//! result); tuple variables follow the sharing rules of [`crate::vars`].
+
+use crate::conflict::conflicts_between;
+use crate::error::{PrefError, Result};
+use crate::path::PreferencePath;
+use crate::vars::{PathVars, VarAllocator};
+use pqp_sql::ast::{Expr, Query, Select, SelectItem, TableFactor};
+use pqp_sql::builder as b;
+use pqp_storage::Value;
+
+/// Hard cap on the number of conjunctions SQ may enumerate.
+pub const SQ_COMBINATION_LIMIT: u128 = 100_000;
+
+/// Column alias used for the degree-of-interest column in MQ partials.
+pub const DOI_COLUMN: &str = "pqp_doi";
+/// Column alias of the estimated interest in ranked MQ output.
+pub const INTEREST_COLUMN: &str = "interest";
+
+/// How the "at least L" requirement is expressed (§6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchSpec {
+    /// Every result row must satisfy at least this many of the optional
+    /// preferences.
+    AtLeast(usize),
+    /// Every result row's estimated degree of interest (conjunction of the
+    /// degrees of the preferences it satisfies) must exceed this threshold.
+    /// Only expressible in the MQ rewrite (the paper makes the same point).
+    MinDegree(f64),
+}
+
+/// Render the atomic conditions of a path under an allocation: one equality
+/// per join hop plus the final selection.
+fn path_conditions(path: &PreferencePath, vars: &PathVars) -> Vec<Expr> {
+    let mut out = Vec::with_capacity(path.joins.len() + 1);
+    let mut current = path.start_var.clone();
+    for (j, var) in path.joins.iter().zip(&vars.hop_vars) {
+        out.push(b::eq(b::col(current.clone(), &j.from.column), b::col(var.clone(), &j.to.column)));
+        current = var.clone();
+    }
+    if let Some(sel) = &path.selection {
+        out.push(b::eq(b::col(current, &sel.attr.column), Expr::Literal(sel.value.clone())));
+    }
+    out
+}
+
+/// FROM factors for the variables a set of conditions introduces.
+fn factors_for(paths: &[(&PreferencePath, &PathVars)]) -> Vec<TableFactor> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out = Vec::new();
+    for (path, vars) in paths {
+        for (j, var) in path.joins.iter().zip(&vars.hop_vars) {
+            if !seen.iter().any(|v| v.eq_ignore_ascii_case(var)) {
+                seen.push(var.clone());
+                out.push(b::table(j.to.table.clone(), var.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Deduplicating conjunct accumulator (repeated conditions are removed, §6).
+struct ConjunctSet {
+    exprs: Vec<Expr>,
+}
+
+impl ConjunctSet {
+    fn new() -> ConjunctSet {
+        ConjunctSet { exprs: Vec::new() }
+    }
+
+    fn from_selection(selection: &Option<Expr>) -> ConjunctSet {
+        let mut s = ConjunctSet::new();
+        if let Some(w) = selection {
+            for c in w.conjuncts() {
+                s.push(c.clone());
+            }
+        }
+        s
+    }
+
+    fn contains(&self, e: &Expr) -> bool {
+        self.exprs.iter().any(|x| pqp_engine::planner::expr_eq_ci(x, e))
+    }
+
+    fn push(&mut self, e: Expr) {
+        if !self.contains(&e) {
+            self.exprs.push(e);
+        }
+    }
+}
+
+/// Validate and normalize (m, l) against the number of selected preferences.
+fn check_params(k: usize, m: usize, spec: MatchSpec) -> Result<usize> {
+    if m > k {
+        return Err(PrefError::InvalidParams(format!("M = {m} exceeds K = {k}")));
+    }
+    match spec {
+        MatchSpec::AtLeast(l) => {
+            if l > k - m {
+                return Err(PrefError::InvalidParams(format!(
+                    "L = {l} exceeds K − M = {}",
+                    k - m
+                )));
+            }
+            Ok(l)
+        }
+        MatchSpec::MinDegree(d) => {
+            if !(0.0..=1.0).contains(&d) {
+                return Err(PrefError::InvalidParams(format!("minimum degree {d} not in [0,1]")));
+            }
+            Ok(0)
+        }
+    }
+}
+
+/// Number of `l`-subsets of `n`, saturating.
+fn binomial(n: usize, l: usize) -> u128 {
+    if l > n {
+        return 0;
+    }
+    let l = l.min(n - l);
+    let mut acc: u128 = 1;
+    for i in 0..l {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Build the SQ (single-query) personalization of `select`.
+///
+/// `paths` must be in decreasing degree order (the output of preference
+/// selection); the first `m` are mandatory. `spec` must be
+/// [`MatchSpec::AtLeast`] — the degree-threshold variant needs the MQ shape.
+pub fn integrate_sq(
+    select: &Select,
+    paths: &[PreferencePath],
+    m: usize,
+    spec: MatchSpec,
+) -> Result<Query> {
+    let MatchSpec::AtLeast(l) = spec else {
+        return Err(PrefError::InvalidParams(
+            "a minimum-degree threshold requires the MQ rewrite".into(),
+        ));
+    };
+    let l = check_params(paths.len(), m, spec).map(|_| l)?;
+
+    let query_vars: Vec<String> =
+        select.from.iter().map(|f| f.binding_name().to_string()).collect();
+    let mut alloc = VarAllocator::new(query_vars);
+    let all_vars = alloc.allocate(paths);
+
+    let initial = ConjunctSet::from_selection(&select.selection);
+
+    // Mandatory part.
+    let mut conjuncts = ConjunctSet::new();
+    for (p, v) in paths[..m].iter().zip(&all_vars[..m]) {
+        for c in path_conditions(p, v) {
+            if !initial.contains(&c) {
+                conjuncts.push(c);
+            }
+        }
+    }
+    let mandatory_exprs = conjuncts.exprs.clone();
+
+    // Optional part: the disjunction of all conflict-free L-subsets.
+    let optional: Vec<(&PreferencePath, &PathVars)> =
+        paths[m..].iter().zip(&all_vars[m..]).collect();
+    let n = optional.len();
+    let mut or_branches: Vec<Expr> = Vec::new();
+    if l > 0 {
+        let combos = binomial(n, l);
+        if combos > SQ_COMBINATION_LIMIT {
+            return Err(PrefError::TooManyCombinations {
+                combinations: combos,
+                limit: SQ_COMBINATION_LIMIT,
+            });
+        }
+        // Conflict matrix.
+        let mut conflict = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if conflicts_between(optional[i].0, optional[j].0) {
+                    conflict[i][j] = true;
+                    conflict[j][i] = true;
+                }
+            }
+        }
+        let mut subset: Vec<usize> = Vec::with_capacity(l);
+        enumerate_subsets(n, l, 0, &mut subset, &conflict, &mut |chosen| {
+            let mut cs = ConjunctSet::new();
+            for &i in chosen {
+                let (p, v) = optional[i];
+                for c in path_conditions(p, v) {
+                    if !initial.contains(&c)
+                        && !mandatory_exprs.iter().any(|x| pqp_engine::planner::expr_eq_ci(x, &c))
+                    {
+                        cs.push(c);
+                    }
+                }
+            }
+            if let Some(e) = b::and_all(cs.exprs) {
+                or_branches.push(e);
+            }
+        });
+        if or_branches.is_empty() {
+            // No conflict-free combination exists: nothing can satisfy L
+            // preferences simultaneously.
+            or_branches.push(Expr::Literal(Value::Bool(false)));
+        }
+    }
+
+    // FROM: original factors plus the variables the included conditions
+    // actually reference (with L = 0 no optional condition is included, so
+    // no optional variable may appear — it would cross-product).
+    let mut referenced: Vec<String> = Vec::new();
+    for e in mandatory_exprs.iter().chain(or_branches.iter()) {
+        e.referenced_qualifiers(&mut referenced);
+    }
+
+    // Assemble WHERE.
+    let mut where_parts: Vec<Expr> = Vec::new();
+    if let Some(w) = &select.selection {
+        where_parts.push(w.clone());
+    }
+    where_parts.extend(mandatory_exprs.iter().cloned());
+    if let Some(or_part) = b::or_all(or_branches) {
+        where_parts.push(or_part);
+    }
+    let used: Vec<(&PreferencePath, &PathVars)> = paths.iter().zip(&all_vars).collect();
+    let mut from = select.from.clone();
+    from.extend(factors_for(&used).into_iter().filter(|f| {
+        referenced.iter().any(|q| q.eq_ignore_ascii_case(f.binding_name()))
+    }));
+
+    Ok(Query::from_select(Select {
+        distinct: true,
+        projection: select.projection.clone(),
+        from,
+        selection: b::and_all(where_parts),
+        group_by: Vec::new(),
+        having: None,
+    }))
+}
+
+fn enumerate_subsets(
+    n: usize,
+    l: usize,
+    start: usize,
+    subset: &mut Vec<usize>,
+    conflict: &[Vec<bool>],
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if subset.len() == l {
+        emit(subset);
+        return;
+    }
+    for i in start..n {
+        if subset.iter().any(|&j| conflict[j][i]) {
+            continue; // conjunctions containing conflicting pairs are excluded
+        }
+        subset.push(i);
+        enumerate_subsets(n, l, i + 1, subset, conflict, emit);
+        subset.pop();
+    }
+}
+
+/// Build the MQ (multiple-queries) personalization of `select`.
+///
+/// `rank` adds the `DEGREE_OF_CONJUNCTION` interest column and orders the
+/// result by it (descending) — the paper's ranking option.
+pub fn integrate_mq(
+    select: &Select,
+    paths: &[PreferencePath],
+    m: usize,
+    spec: MatchSpec,
+    rank: bool,
+) -> Result<Query> {
+    check_params(paths.len(), m, spec)?;
+    let proj = mq_projection(select)?;
+
+    let query_vars: Vec<String> =
+        select.from.iter().map(|f| f.binding_name().to_string()).collect();
+
+    let optional = &paths[m..];
+    let mut partials: Vec<Select> = Vec::new();
+
+    // With L = 0 (or a pure degree threshold) rows satisfying only the
+    // mandatory part must also appear: emit a preference-free partial whose
+    // doi is NULL (ignored by the DEGREE aggregates).
+    let include_bare = matches!(spec, MatchSpec::AtLeast(0)) || optional.is_empty();
+    if include_bare {
+        partials.push(build_partial(select, paths, m, None, &proj, &query_vars));
+    }
+    for (i, p) in optional.iter().enumerate() {
+        partials.push(build_partial(select, paths, m, Some((m + i, p)), &proj, &query_vars));
+    }
+
+    let union = b::union_all(partials).expect("at least one partial");
+    let temp = b::derived(
+        Query { body: union, order_by: Vec::new(), limit: None },
+        "PQP_TEMP",
+    );
+
+    // Outer query: group by the projected columns, filter by L or degree,
+    // optionally rank.
+    let mut projection: Vec<SelectItem> = proj
+        .iter()
+        .enumerate()
+        .map(|(i, (_, display))| b::item_as(b::bare_col(format!("pqp_c{i}")), display.clone()))
+        .collect();
+    if rank {
+        projection.push(b::item_as(
+            b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(DOI_COLUMN)]),
+            INTEREST_COLUMN,
+        ));
+    }
+    let having = match spec {
+        MatchSpec::AtLeast(l) => {
+            if l <= 1 {
+                None // every row of the union satisfies ≥ 1 (or the bare partial covers 0)
+            } else {
+                Some(b::gte(b::count_star(), b::lit(l as i64)))
+            }
+        }
+        MatchSpec::MinDegree(d) => Some(b::gt(
+            b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(DOI_COLUMN)]),
+            b::lit(d),
+        )),
+    };
+    let outer = Select {
+        distinct: false,
+        projection,
+        from: vec![temp],
+        selection: None,
+        group_by: (0..proj.len()).map(|i| b::bare_col(format!("pqp_c{i}"))).collect(),
+        having,
+    };
+    let order_by = if rank {
+        vec![b::order_by(b::bare_col(INTEREST_COLUMN), true)]
+    } else {
+        Vec::new()
+    };
+    Ok(Query { body: pqp_sql::SetExpr::Select(Box::new(outer)), order_by, limit: None })
+}
+
+/// The projected columns of the original query as
+/// `(column expr, display name)`; MQ needs plain columns to group by.
+fn mq_projection(select: &Select) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in &select.projection {
+        match item {
+            SelectItem::Expr { expr: e @ Expr::Column { name, .. }, alias } => {
+                out.push((e.clone(), alias.clone().unwrap_or_else(|| name.clone())));
+            }
+            _ => {
+                return Err(PrefError::UnsupportedQuery(
+                    "MQ integration requires a projection of plain columns".into(),
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(PrefError::UnsupportedQuery("query projects nothing".into()));
+    }
+    Ok(out)
+}
+
+fn build_partial(
+    select: &Select,
+    paths: &[PreferencePath],
+    m: usize,
+    optional: Option<(usize, &PreferencePath)>,
+    proj: &[(Expr, String)],
+    query_vars: &[String],
+) -> Select {
+    // Variables are allocated per partial query (sharing only matters within
+    // one conjunction).
+    let mut alloc = VarAllocator::new(query_vars.to_vec());
+    let mut involved: Vec<&PreferencePath> = paths[..m].iter().collect();
+    if let Some((_, p)) = optional {
+        involved.push(p);
+    }
+    let involved_owned: Vec<PreferencePath> = involved.iter().map(|p| (*p).clone()).collect();
+    let vars = alloc.allocate(&involved_owned);
+
+    let initial = ConjunctSet::from_selection(&select.selection);
+    let mut conjuncts = ConjunctSet::new();
+    for (p, v) in involved_owned.iter().zip(&vars) {
+        for c in path_conditions(p, v) {
+            if !initial.contains(&c) {
+                conjuncts.push(c);
+            }
+        }
+    }
+
+    let mut where_parts: Vec<Expr> = Vec::new();
+    if let Some(w) = &select.selection {
+        where_parts.push(w.clone());
+    }
+    where_parts.extend(conjuncts.exprs);
+
+    let pairs: Vec<(&PreferencePath, &PathVars)> =
+        involved_owned.iter().zip(vars.iter()).collect();
+    let mut from = select.from.clone();
+    from.extend(factors_for(&pairs));
+
+    let mut projection: Vec<SelectItem> = proj
+        .iter()
+        .enumerate()
+        .map(|(i, (e, _))| b::item_as(e.clone(), format!("pqp_c{i}")))
+        .collect();
+    let doi_lit = match optional {
+        Some((_, p)) => Expr::Literal(Value::Float(p.doi.value())),
+        None => Expr::Literal(Value::Null),
+    };
+    projection.push(b::item_as(doi_lit, DOI_COLUMN));
+
+    Select {
+        distinct: true,
+        projection,
+        from,
+        selection: b::and_all(where_parts),
+        group_by: Vec::new(),
+        having: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::{Doi, PaperCombinator};
+    use crate::graph::{JoinEdge, SelectionEdge};
+    use crate::pref::AttrRef;
+    use pqp_storage::Cardinality;
+
+    fn initial_select() -> Select {
+        pqp_sql::parse_query(
+            "select MV.title from MOVIE MV, PLAY PL \
+             where MV.mid = PL.mid and PL.date = '2/7/2003'",
+        )
+        .unwrap()
+        .as_select()
+        .unwrap()
+        .clone()
+    }
+
+    fn join(from: (&str, &str), to: (&str, &str), doi: f64, card: Cardinality) -> JoinEdge {
+        JoinEdge {
+            from: AttrRef::new(from.0, from.1),
+            to: AttrRef::new(to.0, to.1),
+            doi: Doi::new(doi).unwrap(),
+            cardinality: card,
+        }
+    }
+
+    fn sel(attr: (&str, &str), value: &str, doi: f64) -> SelectionEdge {
+        SelectionEdge {
+            attr: AttrRef::new(attr.0, attr.1),
+            value: Value::str(value),
+            doi: Doi::new(doi).unwrap(),
+        }
+    }
+
+    fn comedy() -> PreferencePath {
+        let c = PaperCombinator;
+        PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("GENRE", "mid"), 0.9, Cardinality::ToMany), &c)
+            .with_selection(sel(("GENRE", "genre"), "comedy", 0.9), &c)
+    }
+
+    fn kidman() -> PreferencePath {
+        let c = PaperCombinator;
+        PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("CAST", "mid"), 0.8, Cardinality::ToMany), &c)
+            .with_join(join(("CAST", "aid"), ("ACTOR", "aid"), 1.0, Cardinality::ToOne), &c)
+            .with_selection(sel(("ACTOR", "name"), "N. Kidman", 0.9), &c)
+    }
+
+    fn lynch() -> PreferencePath {
+        let c = PaperCombinator;
+        PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("DIRECTED", "mid"), 1.0, Cardinality::ToMany), &c)
+            .with_join(join(("DIRECTED", "did"), ("DIRECTOR", "did"), 1.0, Cardinality::ToOne), &c)
+            .with_selection(sel(("DIRECTOR", "name"), "D. Lynch", 0.9), &c)
+    }
+
+    fn region(val: &str) -> PreferencePath {
+        let c = PaperCombinator;
+        PreferencePath::anchor("PL", "PLAY")
+            .with_join(join(("PLAY", "tid"), ("THEATRE", "tid"), 1.0, Cardinality::ToOne), &c)
+            .with_selection(sel(("THEATRE", "region"), val, 0.6), &c)
+    }
+
+    #[test]
+    fn sq_matches_paper_shape() {
+        // The paper's example: K=3, M=0, L=2 over comedy/Lynch/Kidman.
+        let paths = vec![lynch(), comedy(), kidman()];
+        let q = integrate_sq(&initial_select(), &paths, 0, MatchSpec::AtLeast(2)).unwrap();
+        let s = q.as_select().unwrap();
+        assert!(s.distinct);
+        // FROM: MV, PL + GENRE + CAST + ACTOR + DIRECTED + DIRECTOR = 7.
+        assert_eq!(s.from.len(), 7, "{q}");
+        let w = s.selection.as_ref().unwrap();
+        let conjuncts = w.conjuncts();
+        // initial 2 conjuncts + OR part.
+        assert_eq!(conjuncts.len(), 3, "{q}");
+        let or = conjuncts[2].disjuncts();
+        assert_eq!(or.len(), 3, "C(3,2) = 3 combinations: {q}");
+        // Re-parse to prove it is valid SQL.
+        let text = q.to_string();
+        pqp_sql::parse_query(&text).unwrap();
+    }
+
+    #[test]
+    fn sq_l1_is_flat_disjunction() {
+        let paths = vec![comedy(), kidman()];
+        let q = integrate_sq(&initial_select(), &paths, 0, MatchSpec::AtLeast(1)).unwrap();
+        let s = q.as_select().unwrap();
+        let or = s.selection.as_ref().unwrap().conjuncts()[2].disjuncts().len();
+        assert_eq!(or, 2);
+    }
+
+    #[test]
+    fn sq_mandatory_conjunctions() {
+        // M = 1: the top preference must be in the conjunctive part.
+        let paths = vec![lynch(), comedy()];
+        let q = integrate_sq(&initial_select(), &paths, 1, MatchSpec::AtLeast(1)).unwrap();
+        let text = q.to_string();
+        // Lynch's selection sits outside the OR.
+        let w = q.as_select().unwrap().selection.as_ref().unwrap();
+        let conjuncts = w.conjuncts();
+        assert!(
+            conjuncts
+                .iter()
+                .take(conjuncts.len() - 1)
+                .any(|c| c.to_string().contains("D. Lynch")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sq_excludes_conflicting_combinations() {
+        // uptown and downtown conflict (to-one chain, same attribute):
+        // the L=2 combination must exclude their pair.
+        let paths = vec![region("uptown"), region("downtown"), comedy()];
+        let q = integrate_sq(&initial_select(), &paths, 0, MatchSpec::AtLeast(2)).unwrap();
+        let s = q.as_select().unwrap();
+        let or = s.selection.as_ref().unwrap().conjuncts().last().unwrap().disjuncts().len();
+        // C(3,2) = 3 minus the conflicting pair = 2.
+        assert_eq!(or, 2, "{q}");
+    }
+
+    #[test]
+    fn sq_l_zero_keeps_initial_semantics() {
+        let paths = vec![comedy()];
+        let q = integrate_sq(&initial_select(), &paths, 0, MatchSpec::AtLeast(0)).unwrap();
+        let s = q.as_select().unwrap();
+        // No OR part: just the initial conjuncts.
+        assert_eq!(s.selection.as_ref().unwrap().conjuncts().len(), 2, "{q}");
+    }
+
+    #[test]
+    fn sq_rejects_bad_params() {
+        let paths = vec![comedy()];
+        assert!(matches!(
+            integrate_sq(&initial_select(), &paths, 2, MatchSpec::AtLeast(0)),
+            Err(PrefError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            integrate_sq(&initial_select(), &paths, 0, MatchSpec::AtLeast(5)),
+            Err(PrefError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            integrate_sq(&initial_select(), &paths, 0, MatchSpec::MinDegree(0.5)),
+            Err(PrefError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn sq_combination_explosion_guarded() {
+        let paths: Vec<PreferencePath> = (0..40)
+            .map(|i| {
+                let c = PaperCombinator;
+                PreferencePath::anchor("MV", "MOVIE")
+                    .with_join(
+                        join(("MOVIE", "mid"), ("GENRE", "mid"), 0.9, Cardinality::ToMany),
+                        &c,
+                    )
+                    .with_selection(sel(("GENRE", "genre"), &format!("g{i}"), 0.5), &c)
+            })
+            .collect();
+        assert!(matches!(
+            integrate_sq(&initial_select(), &paths, 0, MatchSpec::AtLeast(20)),
+            Err(PrefError::TooManyCombinations { .. })
+        ));
+    }
+
+    #[test]
+    fn mq_matches_paper_shape() {
+        let paths = vec![lynch(), comedy(), kidman()];
+        let q = integrate_mq(&initial_select(), &paths, 0, MatchSpec::AtLeast(2), false).unwrap();
+        let text = q.to_string();
+        // Derived table with 3 union-all arms, grouped, having count >= 2.
+        assert!(text.contains("UNION ALL"), "{text}");
+        assert!(text.to_lowercase().contains("group by"), "{text}");
+        assert!(text.contains("COUNT(*) >= 2"), "{text}");
+        pqp_sql::parse_query(&text).unwrap();
+        let s = q.as_select().unwrap();
+        let TableFactor::Derived { query, .. } = &s.from[0] else { panic!() };
+        let mut arms = 0;
+        fn count_arms(s: &pqp_sql::SetExpr, n: &mut usize) {
+            match s {
+                pqp_sql::SetExpr::Select(_) => *n += 1,
+                pqp_sql::SetExpr::Union { left, right, .. } => {
+                    count_arms(left, n);
+                    count_arms(right, n);
+                }
+            }
+        }
+        count_arms(&query.body, &mut arms);
+        assert_eq!(arms, 3);
+    }
+
+    #[test]
+    fn mq_ranked_output() {
+        let paths = vec![comedy(), kidman()];
+        let q = integrate_mq(&initial_select(), &paths, 0, MatchSpec::AtLeast(1), true).unwrap();
+        let text = q.to_string();
+        assert!(text.contains("DEGREE_OF_CONJUNCTION"), "{text}");
+        assert!(text.contains("ORDER BY interest DESC"), "{text}");
+        pqp_sql::parse_query(&text).unwrap();
+    }
+
+    #[test]
+    fn mq_min_degree_having() {
+        let paths = vec![comedy(), kidman()];
+        let q =
+            integrate_mq(&initial_select(), &paths, 0, MatchSpec::MinDegree(0.8), true).unwrap();
+        let text = q.to_string();
+        assert!(text.contains("HAVING DEGREE_OF_CONJUNCTION(pqp_doi) > 0.8"), "{text}");
+    }
+
+    #[test]
+    fn mq_l_zero_includes_bare_partial() {
+        let paths = vec![comedy()];
+        let q = integrate_mq(&initial_select(), &paths, 0, MatchSpec::AtLeast(0), true).unwrap();
+        let text = q.to_string();
+        // Two arms: the bare (NULL-doi) partial plus the comedy partial.
+        assert_eq!(text.matches("SELECT DISTINCT").count(), 2, "{text}");
+        assert!(text.contains("NULL AS pqp_doi"), "{text}");
+    }
+
+    #[test]
+    fn mq_requires_plain_projection() {
+        let mut s = initial_select();
+        s.projection = vec![b::item(b::count_star())];
+        assert!(matches!(
+            integrate_mq(&s, &[comedy()], 0, MatchSpec::AtLeast(1), false),
+            Err(PrefError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(3, 2), 3);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(60, 1), 60);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(2, 5), 0);
+    }
+}

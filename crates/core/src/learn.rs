@@ -1,0 +1,293 @@
+//! Implicit profile creation: learning a profile from the user's query
+//! history.
+//!
+//! The paper's architecture (Figure 1) includes a *Profile Creation* module
+//! that collects preferences "implicitly by monitoring user interaction with
+//! the system", but leaves its design to future work. This module provides
+//! a simple, well-defined instance: a frequency-based learner. Every
+//! observed query contributes its atomic selection and join conditions; a
+//! condition used in a large fraction of the user's queries earns a high
+//! degree of interest.
+//!
+//! Degrees are relative frequencies rescaled into `[min_degree, max_degree]`
+//! (1.0 is deliberately unreachable: "must-have" preferences should come
+//! from the user, not from statistics).
+
+use crate::error::Result;
+use crate::profile::Profile;
+use pqp_sql::ast::{BinaryOp, Expr, Query, TableFactor};
+use pqp_storage::Value;
+use std::collections::HashMap;
+
+/// Learner configuration.
+#[derive(Debug, Clone)]
+pub struct LearnerConfig {
+    /// Degree assigned to the most frequent condition.
+    pub max_degree: f64,
+    /// Degree below which conditions are not emitted at all.
+    pub min_degree: f64,
+    /// Conditions must occur at least this many times to be emitted.
+    pub min_support: usize,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> LearnerConfig {
+        LearnerConfig { max_degree: 0.9, min_degree: 0.1, min_support: 2 }
+    }
+}
+
+/// A frequency-based profile learner.
+#[derive(Debug, Clone)]
+pub struct ProfileLearner {
+    user: String,
+    config: LearnerConfig,
+    observed: usize,
+    selections: HashMap<(String, String, String), usize>,
+    joins: HashMap<(String, String, String, String), usize>,
+}
+
+impl ProfileLearner {
+    /// A fresh learner for a user.
+    pub fn new(user: impl Into<String>, config: LearnerConfig) -> ProfileLearner {
+        ProfileLearner {
+            user: user.into(),
+            config,
+            observed: 0,
+            selections: HashMap::new(),
+            joins: HashMap::new(),
+        }
+    }
+
+    /// Number of observed queries.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Record one executed query. Non-conjunctive or non-SPJ queries are
+    /// observed but contribute nothing.
+    pub fn observe(&mut self, q: &Query) {
+        self.observed += 1;
+        let Some(select) = q.as_select() else { return };
+        // Tuple variable → table name.
+        let mut tables: HashMap<String, String> = HashMap::new();
+        for f in &select.from {
+            if let TableFactor::Table { name, alias } = f {
+                tables.insert(
+                    alias.clone().unwrap_or_else(|| name.clone()).to_ascii_uppercase(),
+                    name.to_ascii_uppercase(),
+                );
+            }
+        }
+        let resolve = |e: &Expr| -> Option<(String, String)> {
+            let Expr::Column { qualifier, name } = e else { return None };
+            let table = match qualifier {
+                Some(q) => tables.get(&q.to_ascii_uppercase())?.clone(),
+                None => {
+                    if tables.len() == 1 {
+                        tables.values().next().unwrap().clone()
+                    } else {
+                        return None;
+                    }
+                }
+            };
+            Some((table, name.to_ascii_lowercase()))
+        };
+        let Some(w) = &select.selection else { return };
+        for c in w.conjuncts() {
+            let Expr::Binary { left, op: BinaryOp::Eq, right } = c else { continue };
+            match (&**left, &**right) {
+                (col @ Expr::Column { .. }, Expr::Literal(v))
+                | (Expr::Literal(v), col @ Expr::Column { .. }) => {
+                    if let Some((t, c)) = resolve(col) {
+                        *self
+                            .selections
+                            .entry((t, c, pqp_sql::sql_literal(v)))
+                            .or_default() += 1;
+                    }
+                }
+                (l @ Expr::Column { .. }, r @ Expr::Column { .. }) => {
+                    if let (Some((lt, lc)), Some((rt, rc))) = (resolve(l), resolve(r)) {
+                        if lt != rt {
+                            // A join observed in a query is evidence for
+                            // both directions.
+                            *self
+                                .joins
+                                .entry((lt.clone(), lc.clone(), rt.clone(), rc.clone()))
+                                .or_default() += 1;
+                            *self.joins.entry((rt, rc, lt, lc)).or_default() += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Derive the learned profile.
+    pub fn profile(&self) -> Result<Profile> {
+        let mut p = Profile::new(&self.user);
+        let max_sel = self.selections.values().copied().max().unwrap_or(0).max(1) as f64;
+        for ((t, c, lit), &n) in &self.selections {
+            if n < self.config.min_support {
+                continue;
+            }
+            let doi = self.scale(n as f64 / max_sel);
+            if doi < self.config.min_degree {
+                continue;
+            }
+            let value = parse_literal(lit);
+            p.add_selection(t, c, value, doi)?;
+        }
+        let max_join = self.joins.values().copied().max().unwrap_or(0).max(1) as f64;
+        for ((ft, fc, tt, tc), &n) in &self.joins {
+            if n < self.config.min_support {
+                continue;
+            }
+            let doi = self.scale(n as f64 / max_join);
+            if doi < self.config.min_degree {
+                continue;
+            }
+            p.add_join(ft, fc, tt, tc, doi)?;
+        }
+        Ok(p)
+    }
+
+    fn scale(&self, fraction: f64) -> f64 {
+        (fraction * self.config.max_degree).clamp(0.0, self.config.max_degree)
+    }
+}
+
+fn parse_literal(text: &str) -> Value {
+    pqp_sql::parse_expr(text)
+        .ok()
+        .and_then(|e| match e {
+            Expr::Literal(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or_else(|| Value::str(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pref::AtomicPreference;
+
+    fn q(sql: &str) -> Query {
+        pqp_sql::parse_query(sql).unwrap()
+    }
+
+    fn learner() -> ProfileLearner {
+        ProfileLearner::new("learned", LearnerConfig::default())
+    }
+
+    #[test]
+    fn frequency_orders_degrees() {
+        let mut l = learner();
+        for _ in 0..8 {
+            l.observe(&q(
+                "select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'comedy'",
+            ));
+        }
+        for _ in 0..2 {
+            l.observe(&q(
+                "select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'thriller'",
+            ));
+        }
+        let p = l.profile().unwrap();
+        let doi_of = |val: &str| -> f64 {
+            p.selections()
+                .find_map(|s| match s {
+                    AtomicPreference::Selection { value, doi, .. }
+                        if *value == Value::str(val) =>
+                    {
+                        Some(doi.value())
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(doi_of("comedy") > doi_of("thriller"));
+        assert!((doi_of("comedy") - 0.9).abs() < 1e-12, "top condition gets max_degree");
+        // Joins learned in both directions.
+        assert!(p.joins().count() >= 2);
+    }
+
+    #[test]
+    fn min_support_filters_one_offs() {
+        let mut l = learner();
+        l.observe(&q("select MV.title from MOVIE MV where MV.year = 1999"));
+        assert_eq!(l.profile().unwrap().size(), 0, "single observation below min_support");
+        l.observe(&q("select MV.title from MOVIE MV where MV.year = 1999"));
+        assert_eq!(l.profile().unwrap().size(), 1);
+    }
+
+    #[test]
+    fn degrees_never_reach_must_have() {
+        let mut l = learner();
+        for _ in 0..100 {
+            l.observe(&q("select T.a from T where T.a = 'x'"));
+        }
+        let p = l.profile().unwrap();
+        assert!(p.preferences().iter().all(|pr| pr.doi().value() < 1.0));
+    }
+
+    #[test]
+    fn unqualified_single_table_columns_resolve() {
+        let mut l = learner();
+        for _ in 0..2 {
+            l.observe(&q("select title from MOVIE where year = 2001"));
+        }
+        let p = l.profile().unwrap();
+        assert_eq!(p.size(), 1);
+        let text = p.to_string();
+        assert!(text.contains("MOVIE.year=2001"), "{text}");
+    }
+
+    #[test]
+    fn non_spj_queries_are_tolerated() {
+        let mut l = learner();
+        l.observe(&q("(select a from T) union (select a from U)"));
+        l.observe(&q("select count(*) from T group by T.a having count(*) > 1"));
+        assert_eq!(l.observed(), 2);
+        assert_eq!(l.profile().unwrap().preferences().len(), 0);
+    }
+
+    #[test]
+    fn learned_profile_feeds_personalization() {
+        use crate::graph::InMemoryGraph;
+        use crate::personalize::{personalize, PersonalizeOptions};
+        use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "MOVIE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+            )
+            .with_primary_key(&["mid"]),
+        )
+        .unwrap();
+        c.create_table(TableSchema::new(
+            "GENRE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+        ))
+        .unwrap();
+
+        let mut l = learner();
+        for _ in 0..3 {
+            l.observe(&q(
+                "select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'comedy'",
+            ));
+        }
+        let p = l.profile().unwrap();
+        p.validate(&c).unwrap();
+        let graph = InMemoryGraph::build(&p, &c).unwrap();
+        let query = q("select MV.title from MOVIE MV");
+        let out = personalize(&query, &graph, &c, PersonalizeOptions::top_k(3, 1)).unwrap();
+        assert!(out.k() >= 1, "learned comedy preference applies to new queries");
+        assert!(out.mq().unwrap().to_string().contains("comedy"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Negative preferences — the first of the paper's §8 future-work items.
+//!
+//! A *negative* preference stores a degree of **disinterest** in `[0, 1]`
+//! for an atomic selection: 1 means "never show me this" (hard exclusion),
+//! smaller values demote matching results in the ranking. Negative
+//! preferences compose with the positive machinery:
+//!
+//! - they live in the same [`Profile`](crate::profile::Profile) (a separate
+//!   section, so they never enter the positive personalization graph);
+//! - *relevance to a query* is decided exactly like for positive
+//!   preferences: a negative selection matters iff a transitive path from
+//!   the query graph reaches it, reusing the §5 selection algorithm over a
+//!   graph whose join edges come from the profile and whose selection edges
+//!   are the negatives;
+//! - integration extends the MQ rewrite: positive partials carry
+//!   `(pos_doi, NULL)`, negative partials `(NULL, neg_doi)`, and a bare
+//!   partial `(NULL, 0)` keeps every initial row grouped. The outer query
+//!   then filters with `COUNT(pos_doi) ≥ L` (non-null count — only real
+//!   positive matches) and ranks by
+//!
+//!   ```text
+//!   interest = DEGREE_OF_CONJUNCTION(pos_doi) · (1 − DEGREE_OF_CONJUNCTION(neg_doi))
+//!   ```
+//!
+//!   so satisfying negatives multiplies interest by `∏(1 − dⱼ)` — a hard
+//!   negative (dⱼ = 1) drives it to 0 and the `HAVING` clause excludes the
+//!   row entirely.
+
+use crate::criteria::InterestCriterion;
+use crate::doi::Doi;
+use crate::error::{PrefError, Result};
+use crate::graph::InMemoryGraph;
+use crate::integrate::{MatchSpec, DOI_COLUMN, INTEREST_COLUMN};
+use crate::path::PreferencePath;
+use crate::profile::Profile;
+use crate::query_graph::QueryGraph;
+use crate::select::select_preferences;
+use pqp_sql::ast::{Expr, Query, Select, SelectItem};
+use pqp_sql::builder as b;
+use pqp_storage::{Catalog, Value};
+
+/// Column alias of the negative degree column in the union.
+pub const NEG_DOI_COLUMN: &str = "pqp_neg_doi";
+
+/// Build the *negative* personalization graph of a profile: the profile's
+/// join preferences plus its negative selections.
+pub fn negative_graph(profile: &Profile, catalog: &Catalog) -> Result<InMemoryGraph> {
+    let mut shadow = Profile::new(format!("{}(negative)", profile.user));
+    for j in profile.joins() {
+        if let crate::pref::AtomicPreference::Join { from, to, doi } = j {
+            shadow.add_join(&from.table, &from.column, &to.table, &to.column, doi.value())?;
+        }
+    }
+    for n in profile.negatives() {
+        if let crate::pref::AtomicPreference::Selection { attr, value, doi } = n {
+            shadow.add_selection(&attr.table, &attr.column, value.clone(), doi.value())?;
+        }
+    }
+    InMemoryGraph::build(&shadow, catalog)
+}
+
+/// Select the negative preferences relevant to a query (top-`k` by degree
+/// of disinterest), reusing the §5 algorithm.
+pub fn select_negatives(
+    query: &Query,
+    profile: &Profile,
+    catalog: &Catalog,
+    k: usize,
+) -> Result<Vec<PreferencePath>> {
+    if profile.negatives().next().is_none() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let select = query
+        .as_select()
+        .ok_or_else(|| PrefError::UnsupportedQuery("plain SELECT required".into()))?;
+    let qg = QueryGraph::from_select(select, catalog)?;
+    let graph = negative_graph(profile, catalog)?;
+    let mut selected = select_preferences(&qg, &graph, &InterestCriterion::TopK(k)).selected;
+    // A stored disinterest of exactly 1 is absolute ("never show me this"):
+    // it must not attenuate through the join path, or a one-join aversion
+    // could never exclude anything. Soft negatives attenuate per §3.2.
+    for p in &mut selected {
+        if p.selection.as_ref().is_some_and(|s| s.doi == Doi::ONE) {
+            p.doi = Doi::ONE;
+        }
+    }
+    Ok(selected)
+}
+
+/// MQ integration with negative preferences.
+///
+/// `positive` are the selected positive paths (decreasing degree, the first
+/// `m` mandatory), `negative` the selected negative paths. The result is
+/// always ranked (the interest expression is where negatives act).
+pub fn integrate_mq_with_negatives(
+    select: &Select,
+    positive: &[PreferencePath],
+    negative: &[PreferencePath],
+    m: usize,
+    spec: MatchSpec,
+) -> Result<Query> {
+    // Start from the plain MQ over the positives with the bare partial
+    // forced (L = 0 keeps every initial row in play), then splice in the
+    // negative column and partials, and rebuild the outer query.
+    let base = crate::integrate::integrate_mq(select, positive, m, MatchSpec::AtLeast(0), false)?;
+    let Some(outer) = base.as_select() else { unreachable!("MQ output is a select") };
+    let pqp_sql::TableFactor::Derived { query: union_q, alias } = &outer.from[0] else {
+        unreachable!("MQ output reads a derived table")
+    };
+
+    // Collect the positive partials, extend each with `NULL AS neg_doi`.
+    let mut partials: Vec<Select> = Vec::new();
+    collect_selects(&union_q.body, &mut partials);
+    for p in &mut partials {
+        p.projection.push(b::item_as(Expr::Literal(Value::Null), NEG_DOI_COLUMN));
+    }
+    // Bare partial carries (NULL, 0.0): it anchors DEGREE(neg_doi) at 0 for
+    // rows matching no negative. (It is the first partial — integrate_mq
+    // emits it first when L = 0.)
+    if let Some(bare) = partials.first_mut() {
+        let last = bare.projection.len() - 1;
+        bare.projection[last] = b::item_as(Expr::Literal(Value::Float(0.0)), NEG_DOI_COLUMN);
+    }
+
+    // Negative partials: initial query + negative path condition,
+    // projecting (NULL, disinterest).
+    let proj_len = match QueryGraph::plain_projection(select) {
+        Some(p) => p.len(),
+        None => {
+            return Err(PrefError::UnsupportedQuery(
+                "MQ integration requires a projection of plain columns".into(),
+            ))
+        }
+    };
+    for path in negative {
+        let single =
+            crate::integrate::integrate_mq(select, std::slice::from_ref(path), 0, MatchSpec::AtLeast(1), false)?;
+        let Some(souter) = single.as_select() else { unreachable!() };
+        let pqp_sql::TableFactor::Derived { query: sunion, .. } = &souter.from[0] else {
+            unreachable!()
+        };
+        let mut sparts = Vec::new();
+        collect_selects(&sunion.body, &mut sparts);
+        let mut part = sparts.pop().expect("one partial per preference");
+        // Its projection is (cols..., doi): move the degree to the negative
+        // column.
+        let last = part.projection.len() - 1;
+        part.projection[last] = b::item_as(Expr::Literal(Value::Null), DOI_COLUMN);
+        part.projection.push(b::item_as(
+            Expr::Literal(Value::Float(path.doi.value())),
+            NEG_DOI_COLUMN,
+        ));
+        partials.push(part);
+    }
+
+    // Rebuild the outer query.
+    let union = b::union_all(partials).expect("at least the bare partial");
+    let temp = b::derived(Query { body: union, order_by: Vec::new(), limit: None }, alias.clone());
+
+    let interest_expr = b::binary(
+        b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(DOI_COLUMN)]),
+        pqp_sql::BinaryOp::Mul,
+        b::binary(
+            b::lit(1.0f64),
+            pqp_sql::BinaryOp::Minus,
+            b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(NEG_DOI_COLUMN)]),
+        ),
+    );
+
+    let mut projection: Vec<SelectItem> = outer
+        .projection
+        .iter()
+        .take(proj_len)
+        .cloned()
+        .collect();
+    projection.push(b::item_as(interest_expr.clone(), INTEREST_COLUMN));
+
+    let positive_count = b::func("COUNT", vec![b::bare_col(DOI_COLUMN)]);
+    let not_excluded = b::lt(
+        b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(NEG_DOI_COLUMN)]),
+        b::lit(1.0f64),
+    );
+    let having = match spec {
+        MatchSpec::AtLeast(l) => {
+            let mut h = not_excluded;
+            if l > 0 {
+                h = b::and(b::gte(positive_count, b::lit(l as i64)), h);
+            }
+            Some(h)
+        }
+        MatchSpec::MinDegree(d) => Some(b::gt(interest_expr, b::lit(d))),
+    };
+
+    let outer = Select {
+        distinct: false,
+        projection,
+        from: vec![temp],
+        selection: None,
+        group_by: outer.group_by.clone(),
+        having,
+    };
+    Ok(Query {
+        body: pqp_sql::SetExpr::Select(Box::new(outer)),
+        order_by: vec![b::order_by(b::bare_col(INTEREST_COLUMN), true)],
+        limit: None,
+    })
+}
+
+fn collect_selects(s: &pqp_sql::SetExpr, out: &mut Vec<Select>) {
+    match s {
+        pqp_sql::SetExpr::Select(sel) => out.push((**sel).clone()),
+        pqp_sql::SetExpr::Union { left, right, .. } => {
+            collect_selects(left, out);
+            collect_selects(right, out);
+        }
+    }
+}

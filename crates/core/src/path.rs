@@ -1,0 +1,219 @@
+//! Preference paths: transitive preferences as directed paths in the
+//! personalization graph (§3.2), anchored at a query-graph node.
+
+use crate::doi::{Combinator, Doi, PaperCombinator};
+use crate::graph::{JoinEdge, SelectionEdge};
+use pqp_storage::Cardinality;
+use std::fmt;
+
+/// A (partial or complete) preference path.
+///
+/// A path starts at a tuple variable of the query (`start_var`, ranging over
+/// `start_table`), follows zero or more composable join edges outward, and —
+/// when complete — ends with a selection edge. A path with `selection: None`
+/// is a transitive join still under expansion; a path with a selection is a
+/// (transitive) selection preference ready for integration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferencePath {
+    pub start_var: String,
+    pub start_table: String,
+    pub joins: Vec<JoinEdge>,
+    pub selection: Option<SelectionEdge>,
+    /// Degree of interest: the transitive combination of all edge degrees.
+    pub doi: Doi,
+}
+
+impl PreferencePath {
+    /// A length-zero path anchored at a query node.
+    pub fn anchor(start_var: impl Into<String>, start_table: impl Into<String>) -> PreferencePath {
+        PreferencePath {
+            start_var: start_var.into(),
+            start_table: start_table.into(),
+            joins: Vec::new(),
+            selection: None,
+            doi: Doi::ONE,
+        }
+    }
+
+    /// Extend with a join edge, recomputing the degree with `comb`.
+    pub fn with_join(&self, edge: JoinEdge, comb: &impl Combinator) -> PreferencePath {
+        let mut joins = self.joins.clone();
+        joins.push(edge);
+        let degrees: Vec<Doi> = joins.iter().map(|j| j.doi).collect();
+        PreferencePath {
+            start_var: self.start_var.clone(),
+            start_table: self.start_table.clone(),
+            doi: comb.transitive(&degrees),
+            joins,
+            selection: None,
+        }
+    }
+
+    /// Complete with a selection edge, recomputing the degree with `comb`.
+    pub fn with_selection(&self, sel: SelectionEdge, comb: &impl Combinator) -> PreferencePath {
+        let mut degrees: Vec<Doi> = self.joins.iter().map(|j| j.doi).collect();
+        degrees.push(sel.doi);
+        PreferencePath {
+            start_var: self.start_var.clone(),
+            start_table: self.start_table.clone(),
+            joins: self.joins.clone(),
+            selection: Some(sel),
+            doi: comb.transitive(&degrees),
+        }
+    }
+
+    /// Recompute the degree with the default (paper) semantics.
+    pub fn recompute_doi(&mut self) {
+        let mut degrees: Vec<Doi> = self.joins.iter().map(|j| j.doi).collect();
+        if let Some(s) = &self.selection {
+            degrees.push(s.doi);
+        }
+        self.doi = PaperCombinator.transitive(&degrees);
+    }
+
+    /// Whether the path is a complete (transitive) selection.
+    pub fn is_selection(&self) -> bool {
+        self.selection.is_some()
+    }
+
+    /// Number of edges (joins + selection).
+    pub fn len(&self) -> usize {
+        self.joins.len() + usize::from(self.selection.is_some())
+    }
+
+    /// True for a freshly anchored path with no edges.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The relation at the end of the join chain (where the next edge must
+    /// be composable).
+    pub fn end_table(&self) -> &str {
+        self.joins.last().map(|j| j.to.table.as_str()).unwrap_or(&self.start_table)
+    }
+
+    /// Upper-cased names of every relation the path visits (including the
+    /// start), for cycle pruning.
+    pub fn visited_tables(&self) -> Vec<String> {
+        let mut out = vec![self.start_table.to_ascii_uppercase()];
+        for j in &self.joins {
+            out.push(j.to.table.to_ascii_uppercase());
+        }
+        out
+    }
+
+    /// Whether every join, in the direction of the selection, is to-one
+    /// (the precondition for syntactic conflicts, §5, and for forced tuple
+    /// variable sharing, §6).
+    pub fn all_joins_to_one(&self) -> bool {
+        self.joins.iter().all(|j| j.cardinality == Cardinality::ToOne)
+    }
+
+    /// A stable signature of the join chain at the relation/attribute level:
+    /// `(from_table, from_col, to_table, to_col)` per hop, upper-cased.
+    pub fn join_signature(&self) -> Vec<(String, String, String, String)> {
+        self.joins
+            .iter()
+            .map(|j| {
+                (
+                    j.from.table.to_ascii_uppercase(),
+                    j.from.column.to_ascii_lowercase(),
+                    j.to.table.to_ascii_uppercase(),
+                    j.to.column.to_ascii_lowercase(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PreferencePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        for j in &self.joins {
+            parts.push(format!("{}={}", j.from, j.to));
+        }
+        if let Some(s) = &self.selection {
+            parts.push(format!("{}={}", s.attr, pqp_sql::sql_literal(&s.value)));
+        }
+        write!(f, "⟨{} @{} | {}⟩", parts.join(" and "), self.start_var, self.doi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pref::AttrRef;
+    use pqp_storage::Value;
+
+    fn join(from: (&str, &str), to: (&str, &str), doi: f64, card: Cardinality) -> JoinEdge {
+        JoinEdge {
+            from: AttrRef::new(from.0, from.1),
+            to: AttrRef::new(to.0, to.1),
+            doi: Doi::new(doi).unwrap(),
+            cardinality: card,
+        }
+    }
+
+    fn sel(attr: (&str, &str), value: &str, doi: f64) -> SelectionEdge {
+        SelectionEdge {
+            attr: AttrRef::new(attr.0, attr.1),
+            value: Value::str(value),
+            doi: Doi::new(doi).unwrap(),
+        }
+    }
+
+    #[test]
+    fn paper_kidman_path_degree() {
+        // MOVIE →(0.8) CAST →(1.0) ACTOR, name='N. Kidman' (0.9) ⇒ 0.72.
+        let comb = PaperCombinator;
+        let p = PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("CAST", "mid"), 0.8, Cardinality::ToMany), &comb)
+            .with_join(join(("CAST", "aid"), ("ACTOR", "aid"), 1.0, Cardinality::ToOne), &comb)
+            .with_selection(sel(("ACTOR", "name"), "N. Kidman", 0.9), &comb);
+        assert!((p.doi.value() - 0.72).abs() < 1e-12);
+        assert!(p.is_selection());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.end_table(), "ACTOR");
+        assert_eq!(p.visited_tables(), vec!["MOVIE", "CAST", "ACTOR"]);
+        assert!(!p.all_joins_to_one());
+    }
+
+    #[test]
+    fn anchor_has_unit_degree() {
+        let p = PreferencePath::anchor("MV", "MOVIE");
+        assert_eq!(p.doi, Doi::ONE);
+        assert!(p.is_empty());
+        assert_eq!(p.end_table(), "MOVIE");
+    }
+
+    #[test]
+    fn zero_join_selection() {
+        let comb = PaperCombinator;
+        let p = PreferencePath::anchor("GN", "GENRE")
+            .with_selection(sel(("GENRE", "genre"), "comedy", 0.9), &comb);
+        assert_eq!(p.doi.value(), 0.9);
+        assert!(p.all_joins_to_one(), "vacuously true with no joins");
+    }
+
+    #[test]
+    fn join_signature_is_case_normalized() {
+        let comb = PaperCombinator;
+        let p = PreferencePath::anchor("mv", "Movie")
+            .with_join(join(("Movie", "Mid"), ("Genre", "MID"), 0.5, Cardinality::ToMany), &comb);
+        assert_eq!(
+            p.join_signature(),
+            vec![("MOVIE".into(), "mid".into(), "GENRE".into(), "mid".into())]
+        );
+    }
+
+    #[test]
+    fn recompute_matches_builder() {
+        let comb = PaperCombinator;
+        let mut p = PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("GENRE", "mid"), 0.9, Cardinality::ToMany), &comb)
+            .with_selection(sel(("GENRE", "genre"), "comedy", 0.9), &comb);
+        let d = p.doi;
+        p.recompute_doi();
+        assert_eq!(p.doi, d);
+    }
+}

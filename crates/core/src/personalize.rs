@@ -1,0 +1,266 @@
+//! The end-to-end personalization facade (§4): preference selection +
+//! preference integration, with the K/M/L parameterization.
+
+use crate::criteria::InterestCriterion;
+use crate::doi::Doi;
+use crate::error::Result;
+use crate::graph::GraphAccess;
+use crate::integrate::{integrate_mq, integrate_sq, MatchSpec};
+use crate::path::PreferencePath;
+use crate::query_graph::QueryGraph;
+use crate::select::{select_preferences, SelectStats};
+use pqp_sql::ast::{Query, Select};
+use pqp_storage::Catalog;
+
+/// How the mandatory preferences `M` are chosen (§4: explicitly, or by a
+/// degree rule such as "degree 1 preferences are mandatory").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MandatorySpec {
+    /// No mandatory preferences (the paper's experiments use M = 0).
+    None,
+    /// The top `m` selected preferences are mandatory.
+    Count(usize),
+    /// Preferences with degree ≥ this threshold are mandatory.
+    DegreeAtLeast(f64),
+}
+
+/// Full personalization options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersonalizeOptions {
+    /// Interest criterion selecting the top-K preferences.
+    pub criterion: InterestCriterion,
+    /// How many of them are mandatory.
+    pub mandatory: MandatorySpec,
+    /// The at-least-L (or minimum-degree) requirement on the rest.
+    pub matching: MatchSpec,
+    /// Rank results by estimated degree of interest (MQ only).
+    pub rank: bool,
+}
+
+impl PersonalizeOptions {
+    /// The paper's default experimental setup: top-K, M = 0, L as given.
+    pub fn top_k(k: usize, l: usize) -> PersonalizeOptions {
+        PersonalizeOptions {
+            criterion: InterestCriterion::TopK(k),
+            mandatory: MandatorySpec::None,
+            matching: MatchSpec::AtLeast(l),
+            rank: false,
+        }
+    }
+
+    /// Enable ranking.
+    pub fn ranked(mut self) -> PersonalizeOptions {
+        self.rank = true;
+        self
+    }
+}
+
+/// The outcome of preference selection, ready for integration.
+///
+/// Integration is deliberately separate (and lazy): the experiments measure
+/// selection time, SQ integration time and MQ integration time
+/// independently.
+#[derive(Debug, Clone)]
+pub struct Personalized {
+    select: Select,
+    /// Selected preferences, decreasing degree.
+    pub paths: Vec<PreferencePath>,
+    /// Number of mandatory preferences (a prefix of `paths`).
+    pub m: usize,
+    /// The match requirement, clamped to `K − M`.
+    pub matching: MatchSpec,
+    /// Ranking flag.
+    pub rank: bool,
+    /// Selection statistics.
+    pub stats: SelectStats,
+}
+
+impl Personalized {
+    /// K: the number of selected preferences.
+    pub fn k(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The degrees of the selected preferences, decreasing.
+    pub fn degrees(&self) -> Vec<Doi> {
+        self.paths.iter().map(|p| p.doi).collect()
+    }
+
+    /// Build the SQ (single-query) personalized query.
+    pub fn sq(&self) -> Result<Query> {
+        integrate_sq(&self.select, &self.paths, self.m, self.matching)
+    }
+
+    /// Build the MQ (multiple-queries) personalized query.
+    pub fn mq(&self) -> Result<Query> {
+        integrate_mq(&self.select, &self.paths, self.m, self.matching, self.rank)
+    }
+
+    /// The original (unpersonalized) query.
+    pub fn original(&self) -> Query {
+        Query::from_select(self.select.clone())
+    }
+}
+
+/// Run preference selection for `query` against a user's personalization
+/// graph and prepare integration.
+///
+/// `query` must be a conjunctive SPJ select (the paper's scope). The
+/// requested `L` is clamped to `K − M` when the profile yields fewer
+/// preferences than asked for (the experiments sweep L independently of how
+/// many preferences each profile/query pair produces).
+pub fn personalize(
+    query: &Query,
+    graph: &impl GraphAccess,
+    catalog: &Catalog,
+    opts: PersonalizeOptions,
+) -> Result<Personalized> {
+    let select = query
+        .as_select()
+        .ok_or_else(|| {
+            crate::error::PrefError::UnsupportedQuery("only plain SELECT blocks".into())
+        })?
+        .clone();
+    let qg = QueryGraph::from_select(&select, catalog)?;
+    let outcome = select_preferences(&qg, graph, &opts.criterion);
+    let paths = outcome.selected;
+    let k = paths.len();
+
+    let m = match opts.mandatory {
+        MandatorySpec::None => 0,
+        MandatorySpec::Count(m) => m.min(k),
+        MandatorySpec::DegreeAtLeast(d) => paths.iter().take_while(|p| p.doi.value() >= d).count(),
+    };
+    let matching = match opts.matching {
+        MatchSpec::AtLeast(l) => MatchSpec::AtLeast(l.min(k - m)),
+        other => other,
+    };
+
+    Ok(Personalized { select, paths, m, matching, rank: opts.rank, stats: outcome.stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::InMemoryGraph;
+    use crate::profile::Profile;
+    use pqp_storage::{ColumnDef, DataType, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "MOVIE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+            )
+            .with_primary_key(&["mid"]),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new(
+                "PLAY",
+                vec![
+                    ColumnDef::new("tid", DataType::Int),
+                    ColumnDef::new("mid", DataType::Int),
+                    ColumnDef::new("date", DataType::Str),
+                ],
+            ),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new(
+                "GENRE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+            ),
+        )
+        .unwrap();
+        c
+    }
+
+    fn profile() -> Profile {
+        let mut p = Profile::new("u");
+        p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        p.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+        p.add_selection("GENRE", "genre", "thriller", 0.7).unwrap();
+        p.add_selection("GENRE", "genre", "drama", 1.0).unwrap();
+        p
+    }
+
+    fn query() -> Query {
+        pqp_sql::parse_query(
+            "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid and PL.date = 'd1'",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_selection_then_both_rewrites() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(3, 2)).unwrap();
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.m, 0);
+        let sq = p.sq().unwrap();
+        let mq = p.mq().unwrap();
+        pqp_sql::parse_query(&sq.to_string()).unwrap();
+        pqp_sql::parse_query(&mq.to_string()).unwrap();
+    }
+
+    #[test]
+    fn l_is_clamped_to_available_preferences() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(10, 8)).unwrap();
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.matching, MatchSpec::AtLeast(3));
+        assert!(p.sq().is_ok());
+    }
+
+    #[test]
+    fn mandatory_by_degree() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let opts = PersonalizeOptions {
+            criterion: InterestCriterion::TopK(3),
+            mandatory: MandatorySpec::DegreeAtLeast(0.9),
+            matching: MatchSpec::AtLeast(1),
+            rank: false,
+        };
+        let p = personalize(&query(), &g, &c, opts).unwrap();
+        // drama = 1.0*0.9 = 0.9 → mandatory; comedy 0.81, thriller 0.63 optional.
+        assert_eq!(p.m, 1);
+    }
+
+    #[test]
+    fn ranked_option_flows_to_mq() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let p =
+            personalize(&query(), &g, &c, PersonalizeOptions::top_k(2, 1).ranked()).unwrap();
+        assert!(p.mq().unwrap().to_string().contains("ORDER BY interest DESC"));
+    }
+
+    #[test]
+    fn empty_profile_yields_original_semantics() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&Profile::new("nobody"), &c).unwrap();
+        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(5, 2)).unwrap();
+        assert_eq!(p.k(), 0);
+        assert_eq!(p.matching, MatchSpec::AtLeast(0));
+        // SQ degenerates to the initial query plus DISTINCT.
+        let sq = p.sq().unwrap();
+        let s = sq.as_select().unwrap();
+        assert_eq!(s.from.len(), 2);
+    }
+
+    #[test]
+    fn union_query_rejected() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let q = pqp_sql::parse_query(
+            "(select MV.title from MOVIE MV) union (select MV.title from MOVIE MV)",
+        )
+        .unwrap();
+        assert!(personalize(&q, &g, &c, PersonalizeOptions::top_k(3, 1)).is_err());
+    }
+}

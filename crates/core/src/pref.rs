@@ -1,0 +1,70 @@
+//! Atomic user preferences: the stored unit of a profile (§3.1).
+
+use crate::doi::Doi;
+use pqp_storage::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A schema-level attribute reference `TABLE.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl AttrRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> AttrRef {
+        AttrRef { table: table.into(), column: column.into() }
+    }
+
+    /// Case-insensitive equality.
+    pub fn same_as(&self, other: &AttrRef) -> bool {
+        self.table.eq_ignore_ascii_case(&other.table)
+            && self.column.eq_ignore_ascii_case(&other.column)
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// An atomic preference: a degree of interest in one atomic query element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum AtomicPreference {
+    /// Interest in the selection condition `attr = value`.
+    Selection { attr: AttrRef, value: Value, doi: Doi },
+    /// Interest in the join condition `from = to`, *directed*: the `from`
+    /// side is the relation already in the query (§3.1 stores the two
+    /// directions as separate entries, possibly with different degrees).
+    Join { from: AttrRef, to: AttrRef, doi: Doi },
+}
+
+impl AtomicPreference {
+    /// The degree of interest.
+    pub fn doi(&self) -> Doi {
+        match self {
+            AtomicPreference::Selection { doi, .. } | AtomicPreference::Join { doi, .. } => *doi,
+        }
+    }
+
+    /// Whether this is a selection preference.
+    pub fn is_selection(&self) -> bool {
+        matches!(self, AtomicPreference::Selection { .. })
+    }
+}
+
+impl fmt::Display for AtomicPreference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicPreference::Selection { attr, value, doi } => {
+                write!(f, "[ {attr}={}, {doi} ]", pqp_sql::sql_literal(value))
+            }
+            AtomicPreference::Join { from, to, doi } => {
+                write!(f, "[ {from}={to}, {doi} ]")
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! User profiles: named collections of atomic preferences (§3.1), with
+//! schema validation and JSON persistence.
+
+use crate::doi::Doi;
+use crate::error::{PrefError, Result};
+use crate::pref::{AtomicPreference, AttrRef};
+use pqp_storage::{Catalog, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A user profile: the stored atomic preferences of one user.
+///
+/// Zero-valued degrees are never stored (§3.1); adding a preference with the
+/// same condition replaces its degree (profiles evolve over time, §3.1).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    pub user: String,
+    preferences: Vec<AtomicPreference>,
+    /// Negative preferences (degrees of *disinterest*; see
+    /// [`crate::negative`]). Kept separate so they never enter the positive
+    /// personalization graph.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    negatives: Vec<AtomicPreference>,
+}
+
+impl Profile {
+    /// An empty profile for a named user.
+    pub fn new(user: impl Into<String>) -> Profile {
+        Profile { user: user.into(), preferences: Vec::new(), negatives: Vec::new() }
+    }
+
+    /// Add (or update) a selection preference `TABLE.column = value`.
+    pub fn add_selection(
+        &mut self,
+        table: &str,
+        column: &str,
+        value: impl Into<Value>,
+        doi: f64,
+    ) -> Result<&mut Self> {
+        let doi = Doi::new(doi)?;
+        let attr = AttrRef::new(table, column);
+        let value = value.into();
+        self.preferences.retain(|p| match p {
+            AtomicPreference::Selection { attr: a, value: v, .. } => {
+                !(a.same_as(&attr) && *v == value)
+            }
+            _ => true,
+        });
+        if doi > Doi::ZERO {
+            self.preferences.push(AtomicPreference::Selection { attr, value, doi });
+        }
+        Ok(self)
+    }
+
+    /// Add (or update) a *directed* join preference
+    /// `FROM.col = TO.col` (the FROM side is the relation already in the
+    /// query).
+    pub fn add_join(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+        doi: f64,
+    ) -> Result<&mut Self> {
+        let doi = Doi::new(doi)?;
+        let from = AttrRef::new(from_table, from_column);
+        let to = AttrRef::new(to_table, to_column);
+        self.preferences.retain(|p| match p {
+            AtomicPreference::Join { from: f, to: t, .. } => {
+                !(f.same_as(&from) && t.same_as(&to))
+            }
+            _ => true,
+        });
+        if doi > Doi::ZERO {
+            self.preferences.push(AtomicPreference::Join { from, to, doi });
+        }
+        Ok(self)
+    }
+
+    /// Add both directions of a join with the same degree.
+    pub fn add_join_both(
+        &mut self,
+        a_table: &str,
+        a_column: &str,
+        b_table: &str,
+        b_column: &str,
+        doi: f64,
+    ) -> Result<&mut Self> {
+        self.add_join(a_table, a_column, b_table, b_column, doi)?;
+        self.add_join(b_table, b_column, a_table, a_column, doi)
+    }
+
+    /// Add (or update) a **negative** selection preference: `disinterest`
+    /// is a degree of disinterest in `[0, 1]`; 1 excludes matching results
+    /// outright, smaller values demote them in the ranking (see
+    /// [`crate::negative`]).
+    pub fn add_negative_selection(
+        &mut self,
+        table: &str,
+        column: &str,
+        value: impl Into<Value>,
+        disinterest: f64,
+    ) -> Result<&mut Self> {
+        let doi = Doi::new(disinterest)?;
+        let attr = AttrRef::new(table, column);
+        let value = value.into();
+        self.negatives.retain(|p| match p {
+            AtomicPreference::Selection { attr: a, value: v, .. } => {
+                !(a.same_as(&attr) && *v == value)
+            }
+            _ => true,
+        });
+        if doi > Doi::ZERO {
+            self.negatives.push(AtomicPreference::Selection { attr, value, doi });
+        }
+        Ok(self)
+    }
+
+    /// Stored negative preferences.
+    pub fn negatives(&self) -> impl Iterator<Item = &AtomicPreference> {
+        self.negatives.iter()
+    }
+
+    /// All stored preferences.
+    pub fn preferences(&self) -> &[AtomicPreference] {
+        &self.preferences
+    }
+
+    /// Stored selection preferences.
+    pub fn selections(&self) -> impl Iterator<Item = &AtomicPreference> {
+        self.preferences.iter().filter(|p| p.is_selection())
+    }
+
+    /// Stored join preferences.
+    pub fn joins(&self) -> impl Iterator<Item = &AtomicPreference> {
+        self.preferences.iter().filter(|p| !p.is_selection())
+    }
+
+    /// The paper's notion of profile size: the number of atomic selections.
+    pub fn size(&self) -> usize {
+        self.selections().count()
+    }
+
+    /// Validate every preference against a schema catalog: tables and
+    /// columns must exist, and selection values must conform to column types.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        let check_attr = |a: &AttrRef| -> Result<()> {
+            let schema = catalog.schema_of(&a.table).map_err(|_| PrefError::UnknownAttribute {
+                table: a.table.clone(),
+                column: a.column.clone(),
+            })?;
+            if schema.column_index(&a.column).is_none() {
+                return Err(PrefError::UnknownAttribute {
+                    table: a.table.clone(),
+                    column: a.column.clone(),
+                });
+            }
+            Ok(())
+        };
+        for p in self.preferences.iter().chain(self.negatives.iter()) {
+            match p {
+                AtomicPreference::Selection { attr, .. } => check_attr(attr)?,
+                AtomicPreference::Join { from, to, .. } => {
+                    check_attr(from)?;
+                    check_attr(to)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+    }
+
+    /// Deserialize from JSON (degrees are re-validated by `Doi`'s serde
+    /// impl).
+    pub fn from_json(s: &str) -> Result<Profile> {
+        serde_json::from_str(s).map_err(|e| PrefError::Engine(format!("profile JSON: {e}")))
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile `{}`:", self.user)?;
+        for p in &self.preferences {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqp_storage::{ColumnDef, DataType, TableSchema};
+
+    fn mini_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "GENRE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+            ),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new(
+                "MOVIE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+            )
+            .with_primary_key(&["mid"]),
+        )
+        .unwrap();
+        c
+    }
+
+    fn julie() -> Profile {
+        let mut p = Profile::new("julie");
+        p.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+        p.add_selection("GENRE", "genre", "thriller", 0.7).unwrap();
+        p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        p
+    }
+
+    #[test]
+    fn size_counts_selections_only() {
+        assert_eq!(julie().size(), 2);
+        assert_eq!(julie().preferences().len(), 3);
+    }
+
+    #[test]
+    fn re_adding_replaces_degree() {
+        let mut p = julie();
+        p.add_selection("GENRE", "genre", "comedy", 0.5).unwrap();
+        assert_eq!(p.size(), 2, "no duplicate entry");
+        let doi = p
+            .selections()
+            .find_map(|s| match s {
+                AtomicPreference::Selection { value, doi, .. } if *value == Value::str("comedy") => {
+                    Some(*doi)
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(doi.value(), 0.5);
+    }
+
+    #[test]
+    fn zero_degree_removes() {
+        let mut p = julie();
+        p.add_selection("GENRE", "genre", "comedy", 0.0).unwrap();
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn invalid_degree_rejected() {
+        let mut p = Profile::new("x");
+        assert!(p.add_selection("T", "c", "v", 1.5).is_err());
+        assert!(p.add_join("A", "x", "B", "y", -0.1).is_err());
+    }
+
+    #[test]
+    fn directed_joins_are_distinct() {
+        let mut p = Profile::new("x");
+        p.add_join("MOVIE", "mid", "PLAY", "mid", 0.8).unwrap();
+        p.add_join("PLAY", "mid", "MOVIE", "mid", 1.0).unwrap();
+        assert_eq!(p.joins().count(), 2, "two directions stored separately");
+    }
+
+    #[test]
+    fn validation_against_catalog() {
+        let c = mini_catalog();
+        assert!(julie().validate(&c).is_ok());
+        let mut bad = Profile::new("bad");
+        bad.add_selection("NOPE", "x", "v", 0.5).unwrap();
+        assert!(matches!(bad.validate(&c), Err(PrefError::UnknownAttribute { .. })));
+        let mut bad2 = Profile::new("bad2");
+        bad2.add_join("MOVIE", "nope", "GENRE", "mid", 0.5).unwrap();
+        assert!(bad2.validate(&c).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = julie();
+        let j = p.to_json();
+        let back = Profile::from_json(&j).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn json_rejects_invalid_degree() {
+        let j = r#"{"user":"x","preferences":[
+            {"kind":"selection","attr":{"table":"T","column":"c"},"value":{"Str":"v"},"doi":7.0}
+        ]}"#;
+        assert!(Profile::from_json(j).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let p = julie();
+        let text = p.to_string();
+        assert!(text.contains("[ GENRE.genre='comedy', 0.9 ]"), "got:\n{text}");
+        assert!(text.contains("[ MOVIE.mid=GENRE.mid, 0.9 ]"), "got:\n{text}");
+    }
+}

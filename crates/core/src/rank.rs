@@ -1,0 +1,57 @@
+//! Result ranking helpers and top-N delivery.
+//!
+//! The MQ rewrite already ranks inside the database via the
+//! `DEGREE_OF_CONJUNCTION` aggregate; this module offers the client-side
+//! counterparts: estimating the degree of interest of a combination of
+//! satisfied preferences (§3.3) and delivering only the top-N results (the
+//! paper's future-work item, implemented here via `LIMIT` on the ranked MQ
+//! query).
+
+use crate::doi::{conjunction_degree, Doi};
+use crate::error::Result;
+use crate::personalize::Personalized;
+use pqp_sql::ast::Query;
+
+/// Estimated degree of interest of a result satisfying the given
+/// preferences: the conjunction combination `1 − ∏(1 − dᵢ)`.
+pub fn estimate_interest(satisfied: &[Doi]) -> Doi {
+    conjunction_degree(satisfied)
+}
+
+/// The ranked MQ query truncated to the `n` most interesting results.
+pub fn top_n_query(p: &Personalized, n: u64) -> Result<Query> {
+    let mut ranked = p.clone();
+    ranked.rank = true;
+    let mut q = ranked.mq()?;
+    q.limit = Some(n);
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: f64) -> Doi {
+        Doi::new(x).unwrap()
+    }
+
+    #[test]
+    fn interest_is_monotone_in_satisfied_set() {
+        // Satisfying strictly more preferences can only increase interest —
+        // the intuition behind the paper's subsumption theorem.
+        let base = estimate_interest(&[d(0.7)]);
+        let more = estimate_interest(&[d(0.7), d(0.5)]);
+        assert!(more >= base);
+    }
+
+    #[test]
+    fn interest_of_nothing_is_zero() {
+        assert_eq!(estimate_interest(&[]), Doi::ZERO);
+    }
+
+    #[test]
+    fn paper_example() {
+        let i = estimate_interest(&[d(0.7), d(0.81)]);
+        assert!((i.value() - 0.943).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! Tuple-variable allocation for preference integration (§6, "common tuple
+//! variables").
+//!
+//! Preferences are independent, so when two selected paths share a prefix of
+//! join edges, giving them the *same* tuple variables would add a constraint
+//! the preference model never expressed (e.g. "A. Hopkins played Batman").
+//! The paper's rule:
+//!
+//! - along a common prefix of **to-one** joins, sharing is forced (there is
+//!   only one matching tuple anyway);
+//! - at the first **to-many** common join, the paths must split into
+//!   different variables — as close to the start as possible.
+//!
+//! The allocator realizes this with a trie over join-edge signatures whose
+//! to-one children are shared and whose to-many children are always fresh.
+
+use crate::path::PreferencePath;
+use pqp_storage::Cardinality;
+use std::collections::{HashMap, HashSet};
+
+/// The variables assigned to one path's hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathVars {
+    /// `hop_vars[i]` is the tuple variable of `joins[i].to`; empty when the
+    /// path has no joins.
+    pub hop_vars: Vec<String>,
+}
+
+impl PathVars {
+    /// The variable holding the path's final relation (where the selection
+    /// applies): the last hop, or the anchor when the path has no joins.
+    pub fn selection_var<'a>(&'a self, anchor: &'a str) -> &'a str {
+        self.hop_vars.last().map(String::as_str).unwrap_or(anchor)
+    }
+}
+
+/// Allocates tuple variables for a set of paths, avoiding the query's own
+/// variables.
+pub struct VarAllocator {
+    taken: HashSet<String>,
+    counter: usize,
+}
+
+#[derive(Default)]
+struct TrieNode {
+    /// Children by (hop signature); only to-one hops are recorded here for
+    /// reuse.
+    shared: HashMap<(String, String, String, String), usize>,
+}
+
+impl VarAllocator {
+    /// A new allocator that will never emit any of `reserved` (the query's
+    /// tuple variables), case-insensitively.
+    pub fn new(reserved: impl IntoIterator<Item = String>) -> VarAllocator {
+        VarAllocator {
+            taken: reserved.into_iter().map(|s| s.to_ascii_uppercase()).collect(),
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self, table: &str) -> String {
+        loop {
+            self.counter += 1;
+            // A short table-derived prefix keeps generated SQL readable.
+            let prefix: String =
+                table.chars().filter(|c| c.is_ascii_alphabetic()).take(2).collect();
+            let name = format!("{}_{}", prefix.to_ascii_uppercase(), self.counter);
+            if self.taken.insert(name.to_ascii_uppercase()) {
+                return name;
+            }
+        }
+    }
+
+    /// Allocate variables for all paths at once, sharing forced prefixes.
+    ///
+    /// Paths are grouped by anchor variable; within a group, a trie over
+    /// to-one hops shares variables, while a to-many hop always allocates a
+    /// fresh chain for the remainder of the path.
+    pub fn allocate(&mut self, paths: &[PreferencePath]) -> Vec<PathVars> {
+        // node id → trie node; node 0.. per (anchor, root).
+        let mut nodes: Vec<TrieNode> = Vec::new();
+        let mut node_vars: Vec<String> = Vec::new();
+        let mut roots: HashMap<String, usize> = HashMap::new();
+
+        let mut out = Vec::with_capacity(paths.len());
+        for p in paths {
+            let anchor_key = p.start_var.to_ascii_uppercase();
+            let root = *roots.entry(anchor_key).or_insert_with(|| {
+                nodes.push(TrieNode::default());
+                node_vars.push(p.start_var.clone());
+                nodes.len() - 1
+            });
+            let mut at = root;
+            let mut shared_prefix = true;
+            let mut hop_vars = Vec::with_capacity(p.joins.len());
+            for (hop, edge) in p.join_signature().into_iter().zip(&p.joins) {
+                let next = if shared_prefix && edge.cardinality == Cardinality::ToOne {
+                    match nodes[at].shared.get(&hop) {
+                        Some(&n) => n,
+                        None => {
+                            nodes.push(TrieNode::default());
+                            node_vars.push(self.fresh(&edge.to.table));
+                            let n = nodes.len() - 1;
+                            nodes[at].shared.insert(hop, n);
+                            n
+                        }
+                    }
+                } else {
+                    // First to-many hop (or anything after it): split — a
+                    // fresh, unshared variable chain.
+                    shared_prefix = false;
+                    nodes.push(TrieNode::default());
+                    node_vars.push(self.fresh(&edge.to.table));
+                    nodes.len() - 1
+                };
+                hop_vars.push(node_vars[next].clone());
+                at = next;
+            }
+            out.push(PathVars { hop_vars });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::{Doi, PaperCombinator};
+    use crate::graph::{JoinEdge, SelectionEdge};
+    use crate::pref::AttrRef;
+    use pqp_storage::Value;
+
+    fn join(from: (&str, &str), to: (&str, &str), card: Cardinality) -> JoinEdge {
+        JoinEdge {
+            from: AttrRef::new(from.0, from.1),
+            to: AttrRef::new(to.0, to.1),
+            doi: Doi::new(0.9).unwrap(),
+            cardinality: card,
+        }
+    }
+
+    fn sel(attr: (&str, &str), value: &str) -> SelectionEdge {
+        SelectionEdge {
+            attr: AttrRef::new(attr.0, attr.1),
+            value: Value::str(value),
+            doi: Doi::new(0.9).unwrap(),
+        }
+    }
+
+    fn actor_path(name: &str) -> PreferencePath {
+        let comb = PaperCombinator;
+        PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("CAST", "mid"), Cardinality::ToMany), &comb)
+            .with_join(join(("CAST", "aid"), ("ACTOR", "aid"), Cardinality::ToOne), &comb)
+            .with_selection(sel(("ACTOR", "name"), name), &comb)
+    }
+
+    fn director_path(name: &str) -> PreferencePath {
+        let comb = PaperCombinator;
+        PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("DIRECTED", "mid"), Cardinality::ToOne), &comb)
+            .with_join(join(("DIRECTED", "did"), ("DIRECTOR", "did"), Cardinality::ToOne), &comb)
+            .with_selection(sel(("DIRECTOR", "name"), name), &comb)
+    }
+
+    #[test]
+    fn to_many_prefix_splits() {
+        // Two actor preferences share MOVIE→CAST (to-many): they must get
+        // different CAST and ACTOR variables so a movie starring both
+        // qualifies via different cast tuples (§6 Rossellini/Hopkins case).
+        let paths = vec![actor_path("I. Rossellini"), actor_path("A. Hopkins")];
+        let mut alloc = VarAllocator::new(vec!["MV".to_string(), "PL".to_string()]);
+        let vars = alloc.allocate(&paths);
+        assert_ne!(vars[0].hop_vars[0], vars[1].hop_vars[0], "CAST vars must differ");
+        assert_ne!(vars[0].hop_vars[1], vars[1].hop_vars[1], "ACTOR vars must differ");
+    }
+
+    #[test]
+    fn to_one_prefix_shares() {
+        // Two director preferences via all-to-one joins must share variables
+        // (the only option, per §6 case 2).
+        let paths = vec![director_path("D. Lynch"), director_path("W. Allen")];
+        let mut alloc = VarAllocator::new(vec!["MV".to_string()]);
+        let vars = alloc.allocate(&paths);
+        assert_eq!(vars[0].hop_vars, vars[1].hop_vars, "to-one chains share variables");
+    }
+
+    #[test]
+    fn split_happens_at_first_to_many() {
+        // Chain to-one → to-many → to-one: share the first hop, split after.
+        let comb = PaperCombinator;
+        let mk = |val: &str| {
+            PreferencePath::anchor("A", "TA")
+                .with_join(join(("TA", "x"), ("TB", "x"), Cardinality::ToOne), &comb)
+                .with_join(join(("TB", "y"), ("TC", "y"), Cardinality::ToMany), &comb)
+                .with_join(join(("TC", "z"), ("TD", "z"), Cardinality::ToOne), &comb)
+                .with_selection(sel(("TD", "v"), val), &comb)
+        };
+        let paths = vec![mk("1"), mk("2")];
+        let mut alloc = VarAllocator::new(Vec::new());
+        let vars = alloc.allocate(&paths);
+        assert_eq!(vars[0].hop_vars[0], vars[1].hop_vars[0], "to-one hop shared");
+        assert_ne!(vars[0].hop_vars[1], vars[1].hop_vars[1], "split at to-many");
+        assert_ne!(vars[0].hop_vars[2], vars[1].hop_vars[2], "stays split afterwards");
+    }
+
+    #[test]
+    fn different_anchors_never_share() {
+        let comb = PaperCombinator;
+        let a = PreferencePath::anchor("A", "TA")
+            .with_join(join(("TA", "x"), ("TB", "x"), Cardinality::ToOne), &comb)
+            .with_selection(sel(("TB", "v"), "1"), &comb);
+        let mut b = a.clone();
+        b.start_var = "A2".into();
+        let mut alloc = VarAllocator::new(Vec::new());
+        let vars = alloc.allocate(&[a, b]);
+        assert_ne!(vars[0].hop_vars[0], vars[1].hop_vars[0]);
+    }
+
+    #[test]
+    fn reserved_names_avoided() {
+        let comb = PaperCombinator;
+        let p = PreferencePath::anchor("MV", "MOVIE")
+            .with_join(join(("MOVIE", "mid"), ("GENRE", "mid"), Cardinality::ToMany), &comb)
+            .with_selection(sel(("GENRE", "genre"), "comedy"), &comb);
+        let mut alloc = VarAllocator::new(vec!["GE_1".to_string()]);
+        let vars = alloc.allocate(&[p]);
+        assert_ne!(vars[0].hop_vars[0].to_ascii_uppercase(), "GE_1");
+    }
+
+    #[test]
+    fn selection_var_of_zero_join_path() {
+        let comb = PaperCombinator;
+        let p = PreferencePath::anchor("GN", "GENRE")
+            .with_selection(sel(("GENRE", "genre"), "comedy"), &comb);
+        let mut alloc = VarAllocator::new(Vec::new());
+        let vars = alloc.allocate(std::slice::from_ref(&p));
+        assert_eq!(vars[0].selection_var("GN"), "GN");
+    }
+}

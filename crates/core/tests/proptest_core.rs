@@ -1,0 +1,147 @@
+//! Property tests over the personalization core: tuple-variable allocation
+//! invariants and the degree algebra under composition.
+
+use pqp_core::doi::{Doi, PaperCombinator};
+use pqp_core::graph::{JoinEdge, SelectionEdge};
+use pqp_core::path::PreferencePath;
+use pqp_core::pref::AttrRef;
+use pqp_core::vars::VarAllocator;
+use pqp_storage::{Cardinality, Value};
+use proptest::prelude::*;
+
+/// A small universe of tables/columns for random paths.
+const TABLES: &[&str] = &["TA", "TB", "TC", "TD", "TE"];
+
+fn arb_doi() -> impl Strategy<Value = Doi> {
+    (0.05f64..=1.0).prop_map(|d| Doi::new(d).unwrap())
+}
+
+/// A random acyclic path of 0..4 joins anchored at `A@TA`, ending in a
+/// selection.
+fn arb_path() -> impl Strategy<Value = PreferencePath> {
+    (
+        prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<bool>(), arb_doi()),
+            0..4,
+        ),
+        arb_doi(),
+        "[a-z]{1,6}",
+    )
+        .prop_map(|(hops, sel_doi, sel_val)| {
+            let comb = PaperCombinator;
+            let mut path = PreferencePath::anchor("A", "TA");
+            let mut current = "TA".to_string();
+            let mut visited = vec!["TA".to_string()];
+            for (pick, to_one, doi) in hops {
+                // Next unvisited table keeps the path acyclic.
+                let candidates: Vec<&str> = TABLES
+                    .iter()
+                    .copied()
+                    .filter(|t| !visited.iter().any(|v| v == t))
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let next = candidates[pick.index(candidates.len())].to_string();
+                path = path.with_join(
+                    JoinEdge {
+                        from: AttrRef::new(current.clone(), "x"),
+                        to: AttrRef::new(next.clone(), "x"),
+                        doi,
+                        cardinality: if to_one {
+                            Cardinality::ToOne
+                        } else {
+                            Cardinality::ToMany
+                        },
+                    },
+                    &comb,
+                );
+                visited.push(next.clone());
+                current = next;
+            }
+            path.with_selection(
+                SelectionEdge {
+                    attr: AttrRef::new(current, "v"),
+                    value: Value::str(sel_val),
+                    doi: sel_doi,
+                },
+                &comb,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn path_degree_is_product_of_edges(p in arb_path()) {
+        let mut expect = 1.0;
+        for j in &p.joins {
+            expect *= j.doi.value();
+        }
+        expect *= p.selection.as_ref().unwrap().doi.value();
+        prop_assert!((p.doi.value() - expect).abs() < 1e-12);
+        // And never exceeds any single edge degree.
+        for j in &p.joins {
+            prop_assert!(p.doi <= j.doi);
+        }
+    }
+
+    #[test]
+    fn allocation_invariants(paths in prop::collection::vec(arb_path(), 1..8)) {
+        let mut alloc = VarAllocator::new(vec!["A".to_string()]);
+        let vars = alloc.allocate(&paths);
+        prop_assert_eq!(vars.len(), paths.len());
+
+        for (p, v) in paths.iter().zip(&vars) {
+            // One variable per hop, none reserved.
+            prop_assert_eq!(v.hop_vars.len(), p.joins.len());
+            for name in &v.hop_vars {
+                prop_assert!(!name.eq_ignore_ascii_case("A"));
+            }
+            // Within a path, all hop variables are distinct.
+            for i in 0..v.hop_vars.len() {
+                for j in (i + 1)..v.hop_vars.len() {
+                    prop_assert_ne!(&v.hop_vars[i], &v.hop_vars[j]);
+                }
+            }
+        }
+
+        // Pairwise: identical all-to-one prefixes share variables; any pair
+        // sharing a variable at hop h has identical edge prefixes up to h,
+        // all to-one.
+        for a in 0..paths.len() {
+            for b in (a + 1)..paths.len() {
+                let (pa, pb) = (&paths[a], &paths[b]);
+                let (va, vb) = (&vars[a], &vars[b]);
+                let hops = pa.joins.len().min(pb.joins.len());
+                let mut forced = true;
+                for h in 0..hops {
+                    let same_edge = pa.join_signature()[h] == pb.join_signature()[h];
+                    let to_one = pa.joins[h].cardinality == Cardinality::ToOne
+                        && pb.joins[h].cardinality == Cardinality::ToOne;
+                    forced = forced && same_edge && to_one;
+                    let shared = va.hop_vars[h] == vb.hop_vars[h];
+                    if forced {
+                        prop_assert!(
+                            shared,
+                            "forced to-one prefix must share at hop {h}: {pa} / {pb}"
+                        );
+                    } else {
+                        prop_assert!(
+                            !shared,
+                            "sharing without a forced prefix at hop {h}: {pa} / {pb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_deterministic(paths in prop::collection::vec(arb_path(), 1..6)) {
+        let a = VarAllocator::new(vec!["A".to_string()]).allocate(&paths);
+        let b = VarAllocator::new(vec!["A".to_string()]).allocate(&paths);
+        prop_assert_eq!(a, b);
+    }
+}

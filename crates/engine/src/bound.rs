@@ -1,0 +1,354 @@
+//! Bound expressions: name-resolved, directly evaluable against a row.
+//!
+//! Evaluation follows SQL three-valued logic: `NULL` propagates through
+//! comparisons and arithmetic; `AND`/`OR`/`NOT` use Kleene logic; a filter
+//! keeps a row only when its predicate evaluates to `TRUE` (not `NULL`).
+
+use crate::error::{exec_err, Result};
+use pqp_sql::BinaryOp;
+use pqp_storage::Value;
+
+/// An expression whose column references are resolved to positions in the
+/// input row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Input column by position.
+    Column(usize),
+    Literal(Value),
+    Binary { left: Box<BoundExpr>, op: BinaryOp, right: Box<BoundExpr> },
+    Not(Box<BoundExpr>),
+    IsNull { expr: Box<BoundExpr>, negated: bool },
+    InList { expr: Box<BoundExpr>, list: Vec<BoundExpr>, negated: bool },
+}
+
+impl BoundExpr {
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            BoundExpr::Column(i) => Ok(row[*i].clone()),
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Binary { left, op, right } => match op {
+                BinaryOp::And => {
+                    // Kleene AND: FALSE dominates NULL.
+                    let l = left.eval(row)?;
+                    if l == Value::Bool(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = right.eval(row)?;
+                    if r == Value::Bool(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Bool(expect_bool(&l)? && expect_bool(&r)?))
+                }
+                BinaryOp::Or => {
+                    let l = left.eval(row)?;
+                    if l == Value::Bool(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = right.eval(row)?;
+                    if r == Value::Bool(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Bool(expect_bool(&l)? || expect_bool(&r)?))
+                }
+                _ => {
+                    let l = left.eval(row)?;
+                    let r = right.eval(row)?;
+                    eval_binary_scalar(&l, *op, &r)
+                }
+            },
+            BoundExpr::Not(inner) => match inner.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => exec_err(format!("NOT applied to non-boolean `{other}`")),
+            },
+            BoundExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let w = item.eval(row)?;
+                    if w.is_null() {
+                        saw_null = true;
+                    } else if w == v {
+                        return Ok(Value::Bool(!*negated));
+                    }
+                }
+                if saw_null {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(*negated))
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: row passes iff result is `TRUE`.
+    pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
+        Ok(self.eval(row)? == Value::Bool(true))
+    }
+
+    /// Constant-fold literal-only subtrees. Folding is best-effort: runtime
+    /// errors (e.g. type mismatches) are left in place to surface at
+    /// execution.
+    pub fn fold(self) -> BoundExpr {
+        match self {
+            BoundExpr::Binary { left, op, right } => {
+                let left = left.fold();
+                let right = right.fold();
+                if let (BoundExpr::Literal(_), BoundExpr::Literal(_)) = (&left, &right) {
+                    let e = BoundExpr::Binary {
+                        left: Box::new(left.clone()),
+                        op,
+                        right: Box::new(right.clone()),
+                    };
+                    if let Ok(v) = e.eval(&[]) {
+                        return BoundExpr::Literal(v);
+                    }
+                    return e;
+                }
+                BoundExpr::Binary { left: Box::new(left), op, right: Box::new(right) }
+            }
+            BoundExpr::Not(inner) => {
+                let inner = inner.fold();
+                if let BoundExpr::Literal(_) = &inner {
+                    let e = BoundExpr::Not(Box::new(inner.clone()));
+                    if let Ok(v) = e.eval(&[]) {
+                        return BoundExpr::Literal(v);
+                    }
+                    return e;
+                }
+                BoundExpr::Not(Box::new(inner))
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let expr = expr.fold();
+                if let BoundExpr::Literal(v) = &expr {
+                    return BoundExpr::Literal(Value::Bool(v.is_null() != negated));
+                }
+                BoundExpr::IsNull { expr: Box::new(expr), negated }
+            }
+            BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+                expr: Box::new(expr.fold()),
+                list: list.into_iter().map(BoundExpr::fold).collect(),
+                negated,
+            },
+            other => other,
+        }
+    }
+
+    /// Whether the expression is the literal FALSE (used to short-circuit
+    /// whole plans).
+    pub fn is_const_false(&self) -> bool {
+        matches!(self, BoundExpr::Literal(Value::Bool(false)))
+    }
+
+    /// Whether the expression is the literal TRUE.
+    pub fn is_const_true(&self) -> bool {
+        matches!(self, BoundExpr::Literal(Value::Bool(true)))
+    }
+}
+
+fn expect_bool(v: &Value) -> Result<bool> {
+    v.as_bool().ok_or_else(|| {
+        crate::error::EngineError::Exec(format!("expected boolean, found `{v}`"))
+    })
+}
+
+/// Scalar binary evaluation with NULL propagation.
+pub fn eval_binary_scalar(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq => Ok(Value::Bool(l == r)),
+        NotEq => Ok(Value::Bool(l != r)),
+        Lt | LtEq | Gt | GtEq => {
+            // Comparing values of incompatible types is a type error rather
+            // than silently using the cross-type total order.
+            let comparable = match (l, r) {
+                (Value::Str(_), Value::Str(_)) => true,
+                (Value::Bool(_), Value::Bool(_)) => true,
+                _ => l.as_f64().is_some() && r.as_f64().is_some(),
+            };
+            if !comparable {
+                return exec_err(format!("cannot compare `{l}` with `{r}`"));
+            }
+            let ord = l.cmp(r);
+            Ok(Value::Bool(match op {
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        Plus | Minus | Mul | Div => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return exec_err(format!("arithmetic on non-numeric `{l}`, `{r}`")),
+            };
+            // Integer-preserving arithmetic when both sides are Int.
+            if let (Value::Int(x), Value::Int(y)) = (l, r) {
+                return match op {
+                    Plus => Ok(Value::Int(x.wrapping_add(*y))),
+                    Minus => Ok(Value::Int(x.wrapping_sub(*y))),
+                    Mul => Ok(Value::Int(x.wrapping_mul(*y))),
+                    Div => {
+                        if *y == 0 {
+                            exec_err("division by zero")
+                        } else {
+                            Ok(Value::Int(x.wrapping_div(*y)))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            match op {
+                Plus => Ok(Value::Float(a + b)),
+                Minus => Ok(Value::Float(a - b)),
+                Mul => Ok(Value::Float(a * b)),
+                Div => {
+                    if b == 0.0 {
+                        exec_err("division by zero")
+                    } else {
+                        Ok(Value::Float(a / b))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        And | Or => unreachable!("handled in BoundExpr::eval"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Literal(v.into())
+    }
+
+    fn bin(l: BoundExpr, op: BinaryOp, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(bin(lit(1i64), BinaryOp::Lt, lit(2i64)).eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            bin(lit("a"), BinaryOp::Eq, lit("a")).eval(&[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(lit(1i64), BinaryOp::Eq, lit(1.0f64)).eval(&[]).unwrap(),
+            Value::Bool(true),
+            "cross-type numeric equality"
+        );
+        assert!(bin(lit("a"), BinaryOp::Lt, lit(1i64)).eval(&[]).is_err());
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(
+            bin(lit(1i64), BinaryOp::Eq, BoundExpr::Literal(Value::Null)).eval(&[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            bin(BoundExpr::Literal(Value::Null), BinaryOp::Plus, lit(1i64)).eval(&[]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let null = || BoundExpr::Literal(Value::Null);
+        let t = || lit(true);
+        let f = || lit(false);
+        assert_eq!(bin(f(), BinaryOp::And, null()).eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(bin(null(), BinaryOp::And, f()).eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(bin(t(), BinaryOp::And, null()).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(bin(t(), BinaryOp::Or, null()).eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(bin(null(), BinaryOp::Or, t()).eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(bin(f(), BinaryOp::Or, null()).eval(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn not_and_is_null() {
+        assert_eq!(BoundExpr::Not(Box::new(lit(true))).eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            BoundExpr::Not(Box::new(BoundExpr::Literal(Value::Null))).eval(&[]).unwrap(),
+            Value::Null
+        );
+        let isn = BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Null)), negated: false };
+        assert_eq!(isn.eval(&[]).unwrap(), Value::Bool(true));
+        let isnn = BoundExpr::IsNull { expr: Box::new(lit(1i64)), negated: true };
+        assert_eq!(isnn.eval(&[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_with_nulls() {
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(2i64)),
+            list: vec![lit(1i64), BoundExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        // 2 IN (1, NULL) is NULL, not FALSE.
+        assert_eq!(e.eval(&[]).unwrap(), Value::Null);
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(1i64)),
+            list: vec![lit(1i64), BoundExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(bin(lit(6i64), BinaryOp::Div, lit(4i64)).eval(&[]).unwrap(), Value::Int(1));
+        assert_eq!(
+            bin(lit(6.0f64), BinaryOp::Div, lit(4i64)).eval(&[]).unwrap(),
+            Value::Float(1.5)
+        );
+        assert!(bin(lit(1i64), BinaryOp::Div, lit(0i64)).eval(&[]).is_err());
+    }
+
+    #[test]
+    fn column_access() {
+        let row = vec![Value::Int(10), Value::str("x")];
+        assert_eq!(BoundExpr::Column(1).eval(&row).unwrap(), Value::str("x"));
+    }
+
+    #[test]
+    fn folding() {
+        let e = bin(bin(lit(1i64), BinaryOp::Plus, lit(2i64)), BinaryOp::Eq, lit(3i64)).fold();
+        assert!(e.is_const_true());
+        let e = bin(lit(1i64), BinaryOp::Eq, lit(2i64)).fold();
+        assert!(e.is_const_false());
+        // Column references block folding.
+        let e = bin(BoundExpr::Column(0), BinaryOp::Plus, lit(2i64)).fold();
+        assert!(matches!(e, BoundExpr::Binary { .. }));
+        // Division by zero is not folded into a panic; it stays an expression.
+        let e = bin(lit(1i64), BinaryOp::Div, lit(0i64)).fold();
+        assert!(matches!(e, BoundExpr::Binary { .. }));
+    }
+
+    #[test]
+    fn predicate_semantics() {
+        assert!(lit(true).eval_predicate(&[]).unwrap());
+        assert!(!lit(false).eval_predicate(&[]).unwrap());
+        assert!(!BoundExpr::Literal(Value::Null).eval_predicate(&[]).unwrap());
+    }
+}

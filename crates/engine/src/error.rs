@@ -1,0 +1,56 @@
+//! Engine error type.
+
+use pqp_sql::ParseError;
+use pqp_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lexer/parser failure.
+    Parse(ParseError),
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Name resolution / semantic analysis failure.
+    Bind(String),
+    /// Runtime evaluation failure.
+    Exec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Bind(m) => write!(f, "bind error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Shorthand constructor for bind errors.
+pub fn bind_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(EngineError::Bind(msg.into()))
+}
+
+/// Shorthand constructor for execution errors.
+pub fn exec_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(EngineError::Exec(msg.into()))
+}

@@ -1,0 +1,357 @@
+//! The executor: evaluates a [`Plan`] to a materialized row set.
+//!
+//! Execution is operator-at-a-time over materialized intermediates — the
+//! right trade-off for an in-memory engine whose workloads (the paper's
+//! experiments) are join-heavy but small-intermediate. Joins hash the
+//! smaller side; grouping and duplicate elimination preserve first-seen
+//! order so results are deterministic.
+
+use crate::bound::BoundExpr;
+use crate::error::Result;
+use crate::plan::Plan;
+use pqp_sql::BinaryOp;
+use pqp_storage::{Catalog, Row, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Execute a plan against a catalog, materializing all rows.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
+    match plan {
+        Plan::Empty { .. } => Ok(Vec::new()),
+        Plan::Scan { table, filter, .. } => scan(table, filter.as_ref(), catalog),
+        Plan::Filter { input, predicate } => {
+            let rows = execute(input, catalog)?;
+            let mut out = Vec::with_capacity(rows.len() / 2);
+            for row in rows {
+                if predicate.eval_predicate(&row)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, .. } => {
+            // Index-nested-loop when one side is a base-table scan with a
+            // hash index on its (single) join column and the other side is
+            // small relative to it — the access path that makes selective
+            // personalized partials cheap (paper §7, Fig. 10).
+            if right_keys.len() == 1 {
+                if let Some(rows) = try_index_join(
+                    left, right, left_keys, right_keys, catalog, /*probe_left=*/ true,
+                )? {
+                    return Ok(rows);
+                }
+                if let Some(rows) = try_index_join(
+                    right, left, right_keys, left_keys, catalog, /*probe_left=*/ false,
+                )? {
+                    return Ok(rows);
+                }
+            }
+            let lrows = execute(left, catalog)?;
+            let rrows = execute(right, catalog)?;
+            hash_join(lrows, rrows, left_keys, right_keys)
+        }
+        Plan::CrossJoin { left, right, .. } => {
+            let lrows = execute(left, catalog)?;
+            let rrows = execute(right, catalog)?;
+            // Cap the pre-allocation: a huge product should grow lazily (and
+            // fail late with partial progress) rather than request the whole
+            // worst case up front.
+            let cap = lrows.len().saturating_mul(rrows.len()).min(1 << 20);
+            let mut out = Vec::with_capacity(cap);
+            for l in &lrows {
+                for r in &rrows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Project { input, exprs, .. } => {
+            let rows = execute(input, catalog)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    projected.push(e.eval(&row)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        Plan::Aggregate { input, group_by, aggs, .. } => {
+            let rows = execute(input, catalog)?;
+            aggregate(rows, group_by, aggs)
+        }
+        Plan::Distinct { input } => {
+            let rows = execute(input, catalog)?;
+            let mut seen = HashSet::with_capacity(rows.len());
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Sort { input, keys } => {
+            let mut rows = execute(input, catalog)?;
+            rows.sort_by(|a, b| {
+                for (idx, desc) in keys {
+                    let ord = a[*idx].cmp(&b[*idx]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        Plan::Limit { input, n } => {
+            let mut rows = execute(input, catalog)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        Plan::Union { inputs, all, .. } => {
+            let mut out = Vec::new();
+            for i in inputs {
+                out.extend(execute(i, catalog)?);
+            }
+            if !*all {
+                let mut seen = HashSet::with_capacity(out.len());
+                out.retain(|row| seen.insert(row.clone()));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Scan a base table, using a hash index for an equality conjunct of the
+/// pushed-down filter when one exists.
+fn scan(table: &str, filter: Option<&BoundExpr>, catalog: &Catalog) -> Result<Vec<Row>> {
+    let t = catalog.table(table)?;
+    let t = t.read();
+    if let Some(f) = filter {
+        // Look for a `col = literal` conjunct over an indexed column.
+        for conjunct in split_and(f) {
+            let Some((col, value)) = as_eq_literal(conjunct) else { continue };
+            if value.is_null() {
+                continue; // `= NULL` can never be TRUE; fall through to scan
+            }
+            let name = &t.schema().columns[col].name;
+            if let Some(hits) = t.index_lookup(name, value) {
+                let mut out = Vec::new();
+                for row in hits? {
+                    if f.eval_predicate(&row)? {
+                        out.push(row);
+                    }
+                }
+                return Ok(out);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(t.len());
+    for (_, row) in t.iter() {
+        let row = row?;
+        match filter {
+            Some(f) => {
+                if f.eval_predicate(&row)? {
+                    out.push(row);
+                }
+            }
+            None => out.push(row),
+        }
+    }
+    Ok(out)
+}
+
+/// Top-level conjuncts of a bound expression.
+fn split_and(e: &BoundExpr) -> Vec<&BoundExpr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
+        match e {
+            BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// `col = literal` (either orientation), as (column position, literal).
+fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
+    let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = e else { return None };
+    match (&**left, &**right) {
+        (BoundExpr::Column(c), BoundExpr::Literal(v)) => Some((*c, v)),
+        (BoundExpr::Literal(v), BoundExpr::Column(c)) => Some((*c, v)),
+        _ => None,
+    }
+}
+
+/// Index-nested-loop join: execute `probe`, and for each probe row fetch
+/// matches from `scan_side` (which must be a base-table scan with an index
+/// on its single join column). Returns `None` when the shape or the size
+/// heuristic does not apply.
+fn try_index_join(
+    probe: &Plan,
+    scan_side: &Plan,
+    probe_keys: &[usize],
+    scan_keys: &[usize],
+    catalog: &Catalog,
+    probe_is_left: bool,
+) -> Result<Option<Vec<Row>>> {
+    let Plan::Scan { table, filter, .. } = scan_side else { return Ok(None) };
+    let t = catalog.table(table)?;
+    // Resolve the indexed column name and check an index exists.
+    let (col_name, table_len) = {
+        let t = t.read();
+        let name = t.schema().columns[scan_keys[0]].name.clone();
+        if t.index_on(&name).is_none() {
+            return Ok(None);
+        }
+        (name, t.len())
+    };
+    let probe_rows = execute(probe, catalog)?;
+    // Heuristic: probing pays off only when the probe side is small
+    // relative to the indexed table (otherwise hashing wins).
+    if probe_rows.len() * 4 > table_len {
+        // Fall back by handing the already-computed probe rows to a hash
+        // join (avoid re-executing the probe subtree).
+        let scan_rows = scan(table, filter.as_ref(), catalog)?;
+        let rows = if probe_is_left {
+            hash_join(probe_rows, scan_rows, probe_keys, scan_keys)?
+        } else {
+            hash_join(scan_rows, probe_rows, scan_keys, probe_keys)?
+        };
+        return Ok(Some(rows));
+    }
+    let t = t.read();
+    let mut out = Vec::new();
+    for prow in &probe_rows {
+        let key = &prow[probe_keys[0]];
+        if key.is_null() {
+            continue;
+        }
+        let Some(hits) = t.index_lookup(&col_name, key) else { return Ok(None) };
+        for hit in hits? {
+            if let Some(f) = filter {
+                if !f.eval_predicate(&hit)? {
+                    continue;
+                }
+            }
+            let mut row;
+            if probe_is_left {
+                row = prow.clone();
+                row.extend(hit);
+            } else {
+                row = hit;
+                row.extend(prow.iter().cloned());
+            }
+            out.push(row);
+        }
+    }
+    Ok(Some(out))
+}
+
+fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for &k in keys {
+        let v = &row[k];
+        // SQL equi-join semantics: NULL never matches.
+        if v.is_null() {
+            return None;
+        }
+        out.push(v.clone());
+    }
+    Some(out)
+}
+
+fn hash_join(
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Result<Vec<Row>> {
+    // Build on the smaller side; output column order is always left ++ right.
+    let build_left = lrows.len() <= rrows.len();
+    let (build, probe, build_keys, probe_keys) = if build_left {
+        (&lrows, &rrows, left_keys, right_keys)
+    } else {
+        (&rrows, &lrows, right_keys, left_keys)
+    };
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, row) in build.iter().enumerate() {
+        if let Some(k) = key_of(row, build_keys) {
+            table.entry(k).or_default().push(i);
+        }
+    }
+    let mut out = Vec::new();
+    for prow in probe {
+        let Some(k) = key_of(prow, probe_keys) else { continue };
+        if let Some(matches) = table.get(&k) {
+            for &bi in matches {
+                let brow = &build[bi];
+                let (l, r) = if build_left { (brow, prow) } else { (prow, brow) };
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn aggregate(
+    rows: Vec<Row>,
+    group_by: &[BoundExpr],
+    aggs: &[crate::aggregate::AggCall],
+) -> Result<Vec<Row>> {
+    // Group keys in first-seen order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<crate::aggregate::AggState>> = HashMap::new();
+
+    if group_by.is_empty() {
+        // Global aggregate: exactly one group, present even on empty input.
+        let states: Vec<_> = aggs.iter().map(|a| a.new_state()).collect();
+        groups.insert(Vec::new(), states);
+        order.push(Vec::new());
+    }
+
+    for row in &rows {
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(g.eval(row)?);
+        }
+        let states = match groups.entry(key.clone()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                order.push(key);
+                e.insert(aggs.iter().map(|a| a.new_state()).collect())
+            }
+        };
+        for (call, state) in aggs.iter().zip(states.iter_mut()) {
+            match &call.arg {
+                None => state.update(None)?,
+                Some(e) => {
+                    let v = e.eval(row)?;
+                    state.update(Some(&v))?;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("group recorded in order");
+        let mut row = key;
+        for s in &states {
+            row.push(s.finish());
+        }
+        out.push(row);
+    }
+    Ok(out)
+}

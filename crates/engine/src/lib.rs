@@ -1,0 +1,106 @@
+//! # pqp-engine
+//!
+//! The relational query engine of the `pqp` workspace: the substitute for
+//! the Oracle 9i substrate the paper's prototype ran on.
+//!
+//! Pipeline: `parse → OR-expansion rewrite → plan (bind + push down + join
+//! order) → execute`. See [`rewrite`] for why OR-expansion matters to the
+//! reproduction, and [`naive`] for the differential-testing oracle.
+
+pub mod aggregate;
+pub mod bound;
+pub mod ddl;
+pub mod error;
+pub mod exec;
+pub mod naive;
+pub mod plan;
+pub mod planner;
+pub mod rewrite;
+pub mod types;
+
+pub use error::{EngineError, Result};
+pub use types::{OutputColumn, OutputSchema, ResultSet};
+
+use pqp_sql::ast::Query;
+use pqp_storage::Catalog;
+
+/// A database: a catalog plus the query pipeline.
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Database");
+        for name in self.catalog.table_names() {
+            if let Ok(t) = self.catalog.table(&name) {
+                d.field(&name, &t.read().len());
+            }
+        }
+        d.finish()
+    }
+}
+
+impl Database {
+    /// Wrap a catalog.
+    pub fn new(catalog: Catalog) -> Database {
+        Database { catalog }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (loading data, creating tables).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Parse, plan and execute a SQL string.
+    pub fn run(&self, sql: &str) -> Result<ResultSet> {
+        let q = pqp_sql::parse_query(sql)?;
+        self.run_query(&q)
+    }
+
+    /// Parse and execute any statement: DDL, DML or a query.
+    pub fn execute(&mut self, sql: &str) -> Result<ddl::StatementResult> {
+        let stmt = pqp_sql::parse_statement(sql)?;
+        match &stmt {
+            pqp_sql::Statement::Query(q) => {
+                Ok(ddl::StatementResult::Rows(self.run_query(q)?))
+            }
+            other => ddl::execute_statement(other, &mut self.catalog),
+        }
+    }
+
+    /// Plan and execute a parsed query.
+    pub fn run_query(&self, q: &Query) -> Result<ResultSet> {
+        let plan = self.plan(q)?;
+        let rows = exec::execute(&plan, &self.catalog)?;
+        let columns = plan.schema().columns.iter().map(|c| c.name.clone()).collect();
+        Ok(ResultSet { columns, rows })
+    }
+
+    /// Produce the optimized plan for a query (OR-expansion + planning).
+    pub fn plan(&self, q: &Query) -> Result<plan::Plan> {
+        let rewritten = rewrite::or_expand(q, &self.catalog);
+        planner::Planner::new(&self.catalog).plan_query(&rewritten)
+    }
+
+    /// Plan without the OR-expansion rewrite (used by tests and ablations).
+    pub fn plan_unexpanded(&self, q: &Query) -> Result<plan::Plan> {
+        planner::Planner::new(&self.catalog).plan_query(q)
+    }
+
+    /// Execute with the naive reference interpreter (no optimization).
+    pub fn run_naive(&self, q: &Query) -> Result<ResultSet> {
+        naive::naive_execute(q, &self.catalog)
+    }
+
+    /// EXPLAIN text for a SQL string.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let q = pqp_sql::parse_query(sql)?;
+        Ok(self.plan(&q)?.explain())
+    }
+}

@@ -1,0 +1,137 @@
+//! The (physical) query plan produced by the planner and consumed by the
+//! executor.
+
+use crate::aggregate::AggCall;
+use crate::bound::BoundExpr;
+use crate::types::OutputSchema;
+
+/// A query plan node. Plans are produced fully bound: every expression
+//  references input columns by position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Produces no rows (e.g. `WHERE FALSE`, or a scan of a provably empty
+    /// branch).
+    Empty { schema: OutputSchema },
+    /// Full scan of a base table, with an optional pushed-down filter.
+    Scan { table: String, filter: Option<BoundExpr>, schema: OutputSchema },
+    /// σ: keep rows whose predicate evaluates to TRUE.
+    Filter { input: Box<Plan>, predicate: BoundExpr },
+    /// Equi-join: `left.left_keys[i] = right.right_keys[i]` for all i.
+    /// Output rows are `left ++ right`.
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        schema: OutputSchema,
+    },
+    /// Cartesian product (kept for predicates the join planner cannot turn
+    /// into equi-joins).
+    CrossJoin { left: Box<Plan>, right: Box<Plan>, schema: OutputSchema },
+    /// π: compute output expressions.
+    Project { input: Box<Plan>, exprs: Vec<BoundExpr>, schema: OutputSchema },
+    /// γ: hash aggregation. Output rows are group values followed by
+    /// aggregate results. With no group keys, exactly one output row is
+    /// produced (even over empty input).
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggCall>,
+        schema: OutputSchema,
+    },
+    /// δ: duplicate elimination preserving first-seen order.
+    Distinct { input: Box<Plan> },
+    /// Sort by output column positions.
+    Sort { input: Box<Plan>, keys: Vec<(usize, bool)> },
+    /// First-n.
+    Limit { input: Box<Plan>, n: u64 },
+    /// Concatenation (`all = true`) or set union (`all = false`).
+    Union { inputs: Vec<Plan>, all: bool, schema: OutputSchema },
+}
+
+impl Plan {
+    /// The output schema of this node.
+    pub fn schema(&self) -> &OutputSchema {
+        match self {
+            Plan::Empty { schema }
+            | Plan::Scan { schema, .. }
+            | Plan::HashJoin { schema, .. }
+            | Plan::CrossJoin { schema, .. }
+            | Plan::Project { schema, .. }
+            | Plan::Aggregate { schema, .. }
+            | Plan::Union { schema, .. } => schema,
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// A compact, indented rendering of the plan tree (EXPLAIN-style).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Empty { .. } => out.push_str(&format!("{pad}Empty\n")),
+            Plan::Scan { table, filter, .. } => {
+                out.push_str(&format!(
+                    "{pad}Scan {table}{}\n",
+                    if filter.is_some() { " [filtered]" } else { "" }
+                ));
+            }
+            Plan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, .. } => {
+                out.push_str(&format!("{pad}HashJoin on {left_keys:?}={right_keys:?}\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::CrossJoin { left, right, .. } => {
+                out.push_str(&format!("{pad}CrossJoin\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Project { input, exprs, .. } => {
+                out.push_str(&format!("{pad}Project [{} exprs]\n", exprs.len()));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Aggregate { input, group_by, aggs, .. } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate [{} groups, {} aggs]\n",
+                    group_by.len(),
+                    aggs.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort by {keys:?}\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Union { inputs, all, .. } => {
+                out.push_str(&format!(
+                    "{pad}Union{} [{} inputs]\n",
+                    if *all { " All" } else { "" },
+                    inputs.len()
+                ));
+                for i in inputs {
+                    i.explain_into(depth + 1, out);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,954 @@
+//! The planner: binds an AST query against the catalog and produces an
+//! executable [`Plan`].
+//!
+//! Planning includes the optimizations the reproduction depends on for
+//! honest relative costs:
+//!
+//! - single-table predicates are pushed into scans;
+//! - equi-join conjuncts drive a greedy join-order search producing hash
+//!   joins (cross joins only remain for genuinely disconnected factors);
+//! - constant folding short-circuits `WHERE FALSE` branches to `Empty`.
+//!
+//! The OR-expansion rewrite (see [`crate::rewrite`]) runs before planning.
+
+use crate::aggregate::{AggCall, AggFunc};
+use crate::bound::BoundExpr;
+use crate::error::{bind_err, EngineError, Result};
+use crate::plan::Plan;
+use crate::types::{OutputColumn, OutputSchema};
+use pqp_sql::ast::*;
+use pqp_storage::Catalog;
+use std::collections::HashSet;
+
+/// Plans queries against a catalog.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(catalog: &'a Catalog) -> Planner<'a> {
+        Planner { catalog }
+    }
+
+    /// Plan a full query (set expression + order by + limit).
+    pub fn plan_query(&self, q: &Query) -> Result<Plan> {
+        let mut plan = self.plan_set_expr(&q.body)?;
+        if !q.order_by.is_empty() {
+            match self.bind_order_by(&q.order_by, &q.body, plan.schema()) {
+                Ok(keys) => plan = Plan::Sort { input: Box::new(plan), keys },
+                // Sorting by a non-projected column: legal for a plain
+                // (non-DISTINCT, non-aggregate) select — append hidden sort
+                // columns, sort, then strip them.
+                Err(e) => plan = self.sort_with_hidden_columns(q, plan).map_err(|_| e)?,
+            }
+        }
+        if let Some(n) = q.limit {
+            plan = Plan::Limit { input: Box::new(plan), n };
+        }
+        Ok(plan)
+    }
+
+    /// Fallback ORDER BY path: extend the top projection with hidden key
+    /// columns bound against the pre-projection schema.
+    fn sort_with_hidden_columns(&self, q: &Query, plan: Plan) -> Result<Plan> {
+        let SetExpr::Select(sel) = &q.body else {
+            return bind_err("ORDER BY column not in UNION output");
+        };
+        if sel.distinct || !sel.group_by.is_empty() || sel.having.is_some() {
+            return bind_err("ORDER BY column must appear in the projection");
+        }
+        let Plan::Project { input, mut exprs, mut schema } = plan else {
+            return bind_err("ORDER BY column must appear in the projection");
+        };
+        let visible = schema.arity();
+        let mut keys = Vec::new();
+        for item in &q.order_by {
+            // Visible output column first; otherwise bind against the input.
+            if let Expr::Column { qualifier, name } = &item.expr {
+                if let Ok(i) = schema.resolve(qualifier.as_deref(), name) {
+                    keys.push((i, item.desc));
+                    continue;
+                }
+            }
+            let bound = self.bind_expr(&item.expr, input.schema())?;
+            let idx = exprs.len();
+            exprs.push(bound);
+            schema
+                .columns
+                .push(OutputColumn::new(None, &format!("__sort_{idx}")));
+            keys.push((idx, item.desc));
+        }
+        let extended = Plan::Project { input, exprs, schema: schema.clone() };
+        let sorted = Plan::Sort { input: Box::new(extended), keys };
+        // Strip hidden columns.
+        let out_schema = OutputSchema::new(schema.columns[..visible].to_vec());
+        Ok(Plan::Project {
+            input: Box::new(sorted),
+            exprs: (0..visible).map(BoundExpr::Column).collect(),
+            schema: out_schema,
+        })
+    }
+
+    fn plan_set_expr(&self, s: &SetExpr) -> Result<Plan> {
+        match s {
+            SetExpr::Select(sel) => self.plan_select(sel),
+            SetExpr::Union { left, right, all } => {
+                // Flatten nested unions of the same kind into one n-ary node.
+                let mut inputs = Vec::new();
+                self.collect_union(left, *all, &mut inputs)?;
+                self.collect_union(right, *all, &mut inputs)?;
+                let arity = inputs[0].schema().arity();
+                for p in &inputs[1..] {
+                    if p.schema().arity() != arity {
+                        return bind_err(format!(
+                            "UNION arms have different arities ({arity} vs {})",
+                            p.schema().arity()
+                        ));
+                    }
+                }
+                let schema = inputs[0].schema().clone();
+                Ok(Plan::Union { inputs, all: *all, schema })
+            }
+        }
+    }
+
+    fn collect_union(&self, s: &SetExpr, all: bool, out: &mut Vec<Plan>) -> Result<()> {
+        match s {
+            SetExpr::Union { left, right, all: inner_all } if *inner_all == all => {
+                self.collect_union(left, all, out)?;
+                self.collect_union(right, all, out)?;
+                Ok(())
+            }
+            other => {
+                out.push(self.plan_set_expr(other)?);
+                Ok(())
+            }
+        }
+    }
+
+    fn plan_select(&self, s: &Select) -> Result<Plan> {
+        // 1. Bind FROM factors.
+        let mut factors = Vec::new();
+        let mut seen = HashSet::new();
+        for f in &s.from {
+            let binding = f.binding_name().to_string();
+            if !seen.insert(binding.to_ascii_uppercase()) {
+                return bind_err(format!("duplicate tuple variable `{binding}`"));
+            }
+            let plan = self.plan_table_factor(f)?;
+            factors.push(BoundFactor { binding, plan });
+        }
+
+        // 2. Decompose WHERE into conjuncts and plan the join tree.
+        let combined_schema = factors
+            .iter()
+            .fold(OutputSchema::default(), |acc, f| acc.join(f.plan.schema()));
+        let mut plan = if factors.is_empty() {
+            // FROM-less select: a single empty row lets `SELECT 1` work.
+            Plan::Project {
+                input: Box::new(Plan::Empty { schema: OutputSchema::default() }),
+                exprs: Vec::new(),
+                schema: OutputSchema::default(),
+            }
+        } else {
+            let conjuncts: Vec<Expr> = match &s.selection {
+                Some(w) => w.conjuncts().into_iter().cloned().collect(),
+                None => Vec::new(),
+            };
+            self.plan_joins(factors, conjuncts, &combined_schema)?
+        };
+        if s.from.is_empty() {
+            if let Some(w) = &s.selection {
+                let pred = self.bind_expr(w, plan.schema())?.fold();
+                plan = Plan::Filter { input: Box::new(plan), predicate: pred };
+            }
+        }
+
+        // 3. Aggregation.
+        let needs_agg = !s.group_by.is_empty()
+            || s.having.is_some()
+            || s.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            });
+
+        let (proj_exprs, proj_schema, bound_having) = if needs_agg {
+            self.bind_aggregate_select(s, &mut plan)?
+        } else {
+            let (exprs, schema) = self.bind_projection(&s.projection, plan.schema())?;
+            (exprs, schema, None)
+        };
+
+        if let Some(h) = bound_having {
+            plan = Plan::Filter { input: Box::new(plan), predicate: h };
+        }
+
+        plan = Plan::Project { input: Box::new(plan), exprs: proj_exprs, schema: proj_schema };
+        if s.distinct {
+            plan = Plan::Distinct { input: Box::new(plan) };
+        }
+        Ok(plan)
+    }
+
+    fn plan_table_factor(&self, f: &TableFactor) -> Result<Plan> {
+        match f {
+            TableFactor::Table { name, alias } => {
+                let schema = self.catalog.schema_of(name)?;
+                let binding = alias.as_deref().unwrap_or(name);
+                let columns = schema
+                    .columns
+                    .iter()
+                    .map(|c| OutputColumn::new(Some(binding), &c.name))
+                    .collect();
+                Ok(Plan::Scan {
+                    table: schema.name.clone(),
+                    filter: None,
+                    schema: OutputSchema::new(columns),
+                })
+            }
+            TableFactor::Derived { query, alias } => {
+                let inner = self.plan_query(query)?;
+                // Re-qualify the derived table's output columns with its
+                // alias so references like `TEMP.title` resolve.
+                let columns = inner
+                    .schema()
+                    .columns
+                    .iter()
+                    .map(|c| OutputColumn::new(Some(alias), &c.name))
+                    .collect();
+                let schema = OutputSchema::new(columns);
+                let exprs = (0..schema.arity()).map(BoundExpr::Column).collect();
+                Ok(Plan::Project { input: Box::new(inner), exprs, schema })
+            }
+        }
+    }
+
+    /// Greedy bushy-free join planning over the FROM factors.
+    fn plan_joins(
+        &self,
+        factors: Vec<BoundFactor>,
+        conjuncts: Vec<Expr>,
+        combined: &OutputSchema,
+    ) -> Result<Plan> {
+        // Classify conjuncts by the set of factors they reference.
+        let mut single: Vec<Vec<Expr>> = vec![Vec::new(); factors.len()];
+        let mut join_edges: Vec<JoinEdge> = Vec::new();
+        let mut residual: Vec<Expr> = Vec::new();
+        for c in conjuncts {
+            let refs = self.factor_refs(&c, &factors, combined)?;
+            if refs.len() <= 1 {
+                match refs.iter().next() {
+                    Some(&i) => single[i].push(c),
+                    None => residual.push(c), // constant predicate
+                }
+                continue;
+            }
+            if refs.len() == 2 {
+                if let Expr::Binary { left, op: BinaryOp::Eq, right } = &c {
+                    if let (Expr::Column { .. }, Expr::Column { .. }) = (&**left, &**right) {
+                        let li = self.factor_of_column(left, &factors)?;
+                        let ri = self.factor_of_column(right, &factors)?;
+                        if let (Some(li), Some(ri)) = (li, ri) {
+                            if li != ri {
+                                join_edges.push(JoinEdge {
+                                    factors: (li, ri),
+                                    cols: (
+                                        (*left.clone()).clone(),
+                                        (*right.clone()).clone(),
+                                    ),
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            residual.push(c);
+        }
+
+        // Attach single-factor predicates, pushing them into scans.
+        let mut nodes: Vec<Option<FactorNode>> = Vec::new();
+        for (i, f) in factors.into_iter().enumerate() {
+            let mut plan = f.plan;
+            let mut selectivity_boost = 1.0f64;
+            if !single[i].is_empty() {
+                let mut pred: Option<BoundExpr> = None;
+                for c in &single[i] {
+                    let b = self.bind_expr(c, plan.schema())?.fold();
+                    if has_eq_literal(c) {
+                        selectivity_boost *= 0.05;
+                    } else {
+                        selectivity_boost *= 0.5;
+                    }
+                    pred = Some(match pred {
+                        None => b,
+                        Some(p) => BoundExpr::Binary {
+                            left: Box::new(p),
+                            op: BinaryOp::And,
+                            right: Box::new(b),
+                        },
+                    });
+                }
+                let pred = pred.unwrap();
+                if pred.is_const_false() {
+                    plan = Plan::Empty { schema: plan.schema().clone() };
+                } else if !pred.is_const_true() {
+                    plan = match plan {
+                        Plan::Scan { table, filter: None, schema } => {
+                            Plan::Scan { table, filter: Some(pred), schema }
+                        }
+                        other => Plan::Filter { input: Box::new(other), predicate: pred },
+                    };
+                }
+            }
+            let est = self.estimate(&plan) * selectivity_boost;
+            nodes.push(Some(FactorNode { binding: f.binding, plan, est }));
+        }
+
+        // Greedy ordering: start from the cheapest node, repeatedly join the
+        // cheapest node connected by an edge; cross join when disconnected.
+        let n = nodes.len();
+        let start = (0..n)
+            .min_by(|&a, &b| {
+                let ea = nodes[a].as_ref().unwrap().est;
+                let eb = nodes[b].as_ref().unwrap().est;
+                ea.total_cmp(&eb)
+            })
+            .expect("non-empty factors");
+        let mut current = nodes[start].take().unwrap();
+        let mut joined: HashSet<usize> = HashSet::from([start]);
+        let mut used_edges: HashSet<usize> = HashSet::new();
+        let mut bindings_in: Vec<String> = vec![current.binding.clone()];
+
+        // Track residuals not yet applied.
+        let mut residual: Vec<Option<Expr>> = residual.into_iter().map(Some).collect();
+
+        for _ in 1..n {
+            // Candidate factors connected to the current set.
+            let next = (0..n)
+                .filter(|i| nodes[*i].is_some())
+                .filter(|&i| {
+                    join_edges.iter().any(|e| {
+                        (joined.contains(&e.factors.0) && e.factors.1 == i)
+                            || (joined.contains(&e.factors.1) && e.factors.0 == i)
+                    })
+                })
+                .min_by(|&a, &b| {
+                    nodes[a].as_ref().unwrap().est.total_cmp(&nodes[b].as_ref().unwrap().est)
+                });
+            let (idx, connected) = match next {
+                Some(i) => (i, true),
+                None => {
+                    let i = (0..n)
+                        .filter(|i| nodes[*i].is_some())
+                        .min_by(|&a, &b| {
+                            nodes[a]
+                                .as_ref()
+                                .unwrap()
+                                .est
+                                .total_cmp(&nodes[b].as_ref().unwrap().est)
+                        })
+                        .unwrap();
+                    (i, false)
+                }
+            };
+            let node = nodes[idx].take().unwrap();
+            let left_schema = current.plan.schema().clone();
+            let right_schema = node.plan.schema().clone();
+            let out_schema = left_schema.join(&right_schema);
+
+            if connected {
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                for (ei, e) in join_edges.iter().enumerate() {
+                    if used_edges.contains(&ei) {
+                        continue;
+                    }
+                    let (a, b) = e.factors;
+                    let (near, far) = if joined.contains(&a) && b == idx {
+                        (&e.cols.0, &e.cols.1)
+                    } else if joined.contains(&b) && a == idx {
+                        (&e.cols.1, &e.cols.0)
+                    } else {
+                        continue;
+                    };
+                    let lk = self.bind_column_index(near, &left_schema)?;
+                    let rk = self.bind_column_index(far, &right_schema)?;
+                    left_keys.push(lk);
+                    right_keys.push(rk);
+                    used_edges.insert(ei);
+                }
+                debug_assert!(!left_keys.is_empty());
+                current.plan = Plan::HashJoin {
+                    left: Box::new(current.plan),
+                    right: Box::new(node.plan),
+                    left_keys,
+                    right_keys,
+                    schema: out_schema,
+                };
+            } else {
+                current.plan = Plan::CrossJoin {
+                    left: Box::new(current.plan),
+                    right: Box::new(node.plan),
+                    schema: out_schema,
+                };
+            }
+            current.est = (current.est * node.est).max(1.0);
+            joined.insert(idx);
+            bindings_in.push(node.binding.clone());
+
+            // Any join edges between already-joined factors that were not
+            // used as hash keys become filters (e.g. cycles in the join
+            // graph).
+            for (ei, e) in join_edges.iter().enumerate() {
+                if used_edges.contains(&ei) {
+                    continue;
+                }
+                if joined.contains(&e.factors.0) && joined.contains(&e.factors.1) {
+                    let l = self.bind_expr(&e.cols.0, current.plan.schema())?;
+                    let r = self.bind_expr(&e.cols.1, current.plan.schema())?;
+                    current.plan = Plan::Filter {
+                        input: Box::new(current.plan),
+                        predicate: BoundExpr::Binary {
+                            left: Box::new(l),
+                            op: BinaryOp::Eq,
+                            right: Box::new(r),
+                        },
+                    };
+                    used_edges.insert(ei);
+                }
+            }
+
+            // Apply residual predicates whose factors are all available.
+            for r in residual.iter_mut() {
+                let apply = match r {
+                    Some(expr) => {
+                        let refs = self.binding_refs(expr, current.plan.schema())?;
+                        refs.iter().all(|q| {
+                            bindings_in.iter().any(|b| b.eq_ignore_ascii_case(q))
+                        })
+                    }
+                    None => false,
+                };
+                if apply {
+                    let expr = r.take().unwrap();
+                    let pred = self.bind_expr(&expr, current.plan.schema())?.fold();
+                    if pred.is_const_false() {
+                        current.plan = Plan::Empty { schema: current.plan.schema().clone() };
+                    } else if !pred.is_const_true() {
+                        current.plan =
+                            Plan::Filter { input: Box::new(current.plan), predicate: pred };
+                    }
+                }
+            }
+        }
+
+        // Leftover residuals (constant predicates, or anything unresolved).
+        for r in residual.into_iter().flatten() {
+            let pred = self.bind_expr(&r, current.plan.schema())?.fold();
+            if pred.is_const_false() {
+                current.plan = Plan::Empty { schema: current.plan.schema().clone() };
+            } else if !pred.is_const_true() {
+                current.plan = Plan::Filter { input: Box::new(current.plan), predicate: pred };
+            }
+        }
+        Ok(current.plan)
+    }
+
+    fn estimate(&self, plan: &Plan) -> f64 {
+        match plan {
+            Plan::Empty { .. } => 0.0,
+            Plan::Scan { table, filter, .. } => {
+                let len = self
+                    .catalog
+                    .table(table)
+                    .map(|t| t.read().len() as f64)
+                    .unwrap_or(1000.0);
+                if filter.is_some() {
+                    (len * 0.1).max(1.0)
+                } else {
+                    len.max(1.0)
+                }
+            }
+            _ => 1000.0,
+        }
+    }
+
+    /// Which factors an expression references.
+    fn factor_refs(
+        &self,
+        e: &Expr,
+        factors: &[BoundFactor],
+        combined: &OutputSchema,
+    ) -> Result<HashSet<usize>> {
+        let mut qs = Vec::new();
+        e.referenced_qualifiers(&mut qs);
+        // Unqualified columns: resolve to find their factor.
+        collect_unqualified(e, &mut |name| {
+            if let Ok(i) = combined.resolve(None, name) {
+                if let Some(q) = &combined.columns[i].qualifier {
+                    if !qs.iter().any(|x| x.eq_ignore_ascii_case(q)) {
+                        qs.push(q.clone());
+                    }
+                }
+            }
+        });
+        let mut out = HashSet::new();
+        for q in qs {
+            match factors.iter().position(|f| f.binding.eq_ignore_ascii_case(&q)) {
+                Some(i) => {
+                    out.insert(i);
+                }
+                None => {
+                    return bind_err(format!("unknown tuple variable `{q}`"));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Qualifiers referenced by an expression, resolving unqualified columns
+    /// through the given schema.
+    fn binding_refs(&self, e: &Expr, schema: &OutputSchema) -> Result<Vec<String>> {
+        let mut qs = Vec::new();
+        e.referenced_qualifiers(&mut qs);
+        collect_unqualified(e, &mut |name| {
+            if let Ok(i) = schema.resolve(None, name) {
+                if let Some(q) = &schema.columns[i].qualifier {
+                    if !qs.iter().any(|x| x.eq_ignore_ascii_case(q)) {
+                        qs.push(q.clone());
+                    }
+                }
+            }
+        });
+        Ok(qs)
+    }
+
+    fn factor_of_column(&self, e: &Expr, factors: &[BoundFactor]) -> Result<Option<usize>> {
+        let Expr::Column { qualifier, name } = e else { return Ok(None) };
+        match qualifier {
+            Some(q) => {
+                Ok(factors.iter().position(|f| f.binding.eq_ignore_ascii_case(q)))
+            }
+            None => {
+                // Unqualified: find the unique factor having this column.
+                let mut hit = None;
+                for (i, f) in factors.iter().enumerate() {
+                    if f.plan.schema().resolve(None, name).is_ok() {
+                        if hit.is_some() {
+                            return bind_err(format!("ambiguous column `{name}`"));
+                        }
+                        hit = Some(i);
+                    }
+                }
+                Ok(hit)
+            }
+        }
+    }
+
+    fn bind_column_index(&self, e: &Expr, schema: &OutputSchema) -> Result<usize> {
+        let Expr::Column { qualifier, name } = e else {
+            return bind_err("join key must be a plain column");
+        };
+        schema.resolve(qualifier.as_deref(), name).map_err(EngineError::Bind)
+    }
+
+    /// Bind a scalar expression (no aggregates allowed here).
+    pub fn bind_expr(&self, e: &Expr, schema: &OutputSchema) -> Result<BoundExpr> {
+        match e {
+            Expr::Column { qualifier, name } => {
+                let i = schema.resolve(qualifier.as_deref(), name).map_err(EngineError::Bind)?;
+                Ok(BoundExpr::Column(i))
+            }
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
+                left: Box::new(self.bind_expr(left, schema)?),
+                op: *op,
+                right: Box::new(self.bind_expr(right, schema)?),
+            }),
+            Expr::Not(inner) => Ok(BoundExpr::Not(Box::new(self.bind_expr(inner, schema)?))),
+            Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                expr: Box::new(self.bind_expr(expr, schema)?),
+                negated: *negated,
+            }),
+            Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+                expr: Box::new(self.bind_expr(expr, schema)?),
+                list: list.iter().map(|x| self.bind_expr(x, schema)).collect::<Result<_>>()?,
+                negated: *negated,
+            }),
+            Expr::Function { name, .. } => {
+                if pqp_sql::is_aggregate_name(name) {
+                    bind_err(format!("aggregate `{name}` not allowed in this context"))
+                } else {
+                    bind_err(format!("unknown function `{name}`"))
+                }
+            }
+        }
+    }
+
+    /// Bind a plain (non-aggregate) projection.
+    fn bind_projection(
+        &self,
+        items: &[SelectItem],
+        schema: &OutputSchema,
+    ) -> Result<(Vec<BoundExpr>, OutputSchema)> {
+        let mut exprs = Vec::new();
+        let mut cols = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, c) in schema.columns.iter().enumerate() {
+                        exprs.push(BoundExpr::Column(i));
+                        cols.push(c.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(self.bind_expr(expr, schema)?);
+                    cols.push(projected_column(expr, alias.as_deref()));
+                }
+            }
+        }
+        Ok((exprs, OutputSchema::new(cols)))
+    }
+
+    /// Bind an aggregate select: inserts an Aggregate node below and returns
+    /// the projection over its output plus the rebound HAVING.
+    fn bind_aggregate_select(
+        &self,
+        s: &Select,
+        plan: &mut Plan,
+    ) -> Result<(Vec<BoundExpr>, OutputSchema, Option<BoundExpr>)> {
+        let input_schema = plan.schema().clone();
+
+        // Collect aggregate calls from projection and having.
+        let mut agg_asts: Vec<Expr> = Vec::new();
+        for item in &s.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggregates(expr, &mut agg_asts);
+            }
+        }
+        if let Some(h) = &s.having {
+            collect_aggregates(h, &mut agg_asts);
+        }
+
+        // Bind group-by expressions.
+        let mut group_bound = Vec::new();
+        let mut agg_schema_cols = Vec::new();
+        for (i, g) in s.group_by.iter().enumerate() {
+            group_bound.push(self.bind_expr(g, &input_schema)?);
+            agg_schema_cols.push(match g {
+                Expr::Column { qualifier, name } => {
+                    OutputColumn::new(qualifier.as_deref(), name)
+                }
+                other => OutputColumn::new(None, &format!("group_{i}__{other}")),
+            });
+        }
+
+        // Bind aggregate calls.
+        let mut aggs = Vec::new();
+        for (i, a) in agg_asts.iter().enumerate() {
+            let Expr::Function { name, args, wildcard } = a else { unreachable!() };
+            let func = AggFunc::from_name(name)
+                .ok_or_else(|| EngineError::Bind(format!("unknown aggregate `{name}`")))?;
+            let arg = if *wildcard {
+                if func != AggFunc::Count {
+                    return bind_err(format!("only COUNT accepts `*`, not {name}"));
+                }
+                None
+            } else {
+                if args.len() != 1 {
+                    return bind_err(format!("aggregate `{name}` takes exactly one argument"));
+                }
+                Some(self.bind_expr(&args[0], &input_schema)?)
+            };
+            aggs.push(AggCall::new(func, arg)?);
+            agg_schema_cols.push(OutputColumn::new(None, &format!("agg_{i}")));
+        }
+
+        let agg_out = OutputSchema::new(agg_schema_cols);
+        *plan = Plan::Aggregate {
+            input: Box::new(plan.clone()),
+            group_by: group_bound,
+            aggs,
+            schema: agg_out.clone(),
+        };
+
+        // Rebind projection and HAVING over the aggregate output.
+        let ctx = AggContext { group_asts: &s.group_by, agg_asts: &agg_asts };
+        let mut exprs = Vec::new();
+        let mut cols = Vec::new();
+        for item in &s.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    return bind_err("`*` is not allowed in an aggregate query");
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(self.rebind_post_agg(expr, &ctx, &agg_out)?);
+                    cols.push(projected_column(expr, alias.as_deref()));
+                }
+            }
+        }
+        let having = match &s.having {
+            Some(h) => Some(self.rebind_post_agg(h, &ctx, &agg_out)?),
+            None => None,
+        };
+        Ok((exprs, OutputSchema::new(cols), having))
+    }
+
+    /// Rebind an expression that may reference group keys and aggregates to
+    /// the output of the Aggregate node.
+    fn rebind_post_agg(
+        &self,
+        e: &Expr,
+        ctx: &AggContext<'_>,
+        agg_out: &OutputSchema,
+    ) -> Result<BoundExpr> {
+        // Group expression match → group column.
+        if let Some(i) = ctx.group_asts.iter().position(|g| expr_eq_ci(g, e)) {
+            return Ok(BoundExpr::Column(i));
+        }
+        // Aggregate call match → aggregate column.
+        if let Some(i) = ctx.agg_asts.iter().position(|a| expr_eq_ci(a, e)) {
+            return Ok(BoundExpr::Column(ctx.group_asts.len() + i));
+        }
+        match e {
+            Expr::Column { qualifier, name } => {
+                // Allow referencing a group column by name.
+                let i = agg_out
+                    .resolve(qualifier.as_deref(), name)
+                    .map_err(|_| {
+                        EngineError::Bind(format!(
+                            "column `{}` must appear in GROUP BY or inside an aggregate",
+                            e
+                        ))
+                    })?;
+                Ok(BoundExpr::Column(i))
+            }
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
+                left: Box::new(self.rebind_post_agg(left, ctx, agg_out)?),
+                op: *op,
+                right: Box::new(self.rebind_post_agg(right, ctx, agg_out)?),
+            }),
+            Expr::Not(inner) => {
+                Ok(BoundExpr::Not(Box::new(self.rebind_post_agg(inner, ctx, agg_out)?)))
+            }
+            Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                expr: Box::new(self.rebind_post_agg(expr, ctx, agg_out)?),
+                negated: *negated,
+            }),
+            Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+                expr: Box::new(self.rebind_post_agg(expr, ctx, agg_out)?),
+                list: list
+                    .iter()
+                    .map(|x| self.rebind_post_agg(x, ctx, agg_out))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            }),
+            Expr::Function { name, .. } => {
+                bind_err(format!("unexpected function `{name}` after aggregation"))
+            }
+        }
+    }
+
+    /// Bind ORDER BY keys against the projected output.
+    fn bind_order_by(
+        &self,
+        items: &[OrderByItem],
+        body: &SetExpr,
+        schema: &OutputSchema,
+    ) -> Result<Vec<(usize, bool)>> {
+        // Projection ASTs of the first select block, for structural matching.
+        let first_projection: Vec<(Option<&str>, &Expr)> = match first_select(body) {
+            Some(sel) => sel
+                .projection
+                .iter()
+                .filter_map(|it| match it {
+                    SelectItem::Expr { expr, alias } => Some((alias.as_deref(), expr)),
+                    SelectItem::Wildcard => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut keys = Vec::new();
+        for item in items {
+            // 1. Alias or column name in the output schema.
+            if let Expr::Column { qualifier, name } = &item.expr {
+                if let Ok(i) = schema.resolve(qualifier.as_deref(), name) {
+                    keys.push((i, item.desc));
+                    continue;
+                }
+            }
+            // 2. Structural match against a projection expression.
+            if let Some(i) =
+                first_projection.iter().position(|(_, e)| expr_eq_ci(e, &item.expr))
+            {
+                keys.push((i, item.desc));
+                continue;
+            }
+            return bind_err(format!(
+                "ORDER BY expression `{}` does not match any output column",
+                item.expr
+            ));
+        }
+        Ok(keys)
+    }
+}
+
+struct BoundFactor {
+    binding: String,
+    plan: Plan,
+}
+
+struct FactorNode {
+    binding: String,
+    plan: Plan,
+    est: f64,
+}
+
+struct JoinEdge {
+    factors: (usize, usize),
+    cols: (Expr, Expr),
+}
+
+struct AggContext<'a> {
+    group_asts: &'a [Expr],
+    agg_asts: &'a [Expr],
+}
+
+/// Output column for a projected expression.
+fn projected_column(expr: &Expr, alias: Option<&str>) -> OutputColumn {
+    match alias {
+        Some(a) => OutputColumn::new(None, a),
+        None => match expr {
+            Expr::Column { qualifier, name } => OutputColumn::new(qualifier.as_deref(), name),
+            other => OutputColumn::new(None, &other.to_string()),
+        },
+    }
+}
+
+/// Collect aggregate function calls (outermost only), deduplicating
+/// structurally.
+fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Function { name, .. } if pqp_sql::is_aggregate_name(name) => {
+            if !out.iter().any(|x| expr_eq_ci(x, e)) {
+                out.push(e.clone());
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::Not(inner) => collect_aggregates(inner, out),
+        Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for x in list {
+                collect_aggregates(x, out);
+            }
+        }
+        Expr::Column { .. } | Expr::Literal(_) => {}
+    }
+}
+
+/// Case-insensitive structural equality of expressions (identifiers and
+/// function names compare case-insensitively; literals exactly).
+pub fn expr_eq_ci(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (
+            Expr::Column { qualifier: qa, name: na },
+            Expr::Column { qualifier: qb, name: nb },
+        ) => {
+            na.eq_ignore_ascii_case(nb)
+                && match (qa, qb) {
+                    (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+                    (None, None) => true,
+                    _ => false,
+                }
+        }
+        (Expr::Literal(x), Expr::Literal(y)) => x == y,
+        (
+            Expr::Binary { left: la, op: oa, right: ra },
+            Expr::Binary { left: lb, op: ob, right: rb },
+        ) => oa == ob && expr_eq_ci(la, lb) && expr_eq_ci(ra, rb),
+        (Expr::Not(x), Expr::Not(y)) => expr_eq_ci(x, y),
+        (
+            Expr::IsNull { expr: ea, negated: na },
+            Expr::IsNull { expr: eb, negated: nb },
+        ) => na == nb && expr_eq_ci(ea, eb),
+        (
+            Expr::InList { expr: ea, list: la, negated: na },
+            Expr::InList { expr: eb, list: lb, negated: nb },
+        ) => {
+            na == nb
+                && expr_eq_ci(ea, eb)
+                && la.len() == lb.len()
+                && la.iter().zip(lb).all(|(x, y)| expr_eq_ci(x, y))
+        }
+        (
+            Expr::Function { name: na, args: aa, wildcard: wa },
+            Expr::Function { name: nb, args: ab, wildcard: wb },
+        ) => {
+            na.eq_ignore_ascii_case(nb)
+                && wa == wb
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| expr_eq_ci(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// Whether an expression contains `column = literal` (used as a crude
+/// selectivity signal).
+fn has_eq_literal(e: &Expr) -> bool {
+    match e {
+        Expr::Binary { left, op: BinaryOp::Eq, right } => {
+            matches!(
+                (&**left, &**right),
+                (Expr::Column { .. }, Expr::Literal(_)) | (Expr::Literal(_), Expr::Column { .. })
+            )
+        }
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            has_eq_literal(left) || has_eq_literal(right)
+        }
+        Expr::InList { expr, .. } => matches!(&**expr, Expr::Column { .. }),
+        _ => false,
+    }
+}
+
+fn collect_unqualified(e: &Expr, f: &mut impl FnMut(&str)) {
+    match e {
+        Expr::Column { qualifier: None, name } => f(name),
+        Expr::Column { .. } | Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            collect_unqualified(left, f);
+            collect_unqualified(right, f);
+        }
+        Expr::Not(inner) => collect_unqualified(inner, f),
+        Expr::IsNull { expr, .. } => collect_unqualified(expr, f),
+        Expr::InList { expr, list, .. } => {
+            collect_unqualified(expr, f);
+            for x in list {
+                collect_unqualified(x, f);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_unqualified(a, f);
+            }
+        }
+    }
+}
+
+fn first_select(s: &SetExpr) -> Option<&Select> {
+    match s {
+        SetExpr::Select(sel) => Some(sel),
+        SetExpr::Union { left, .. } => first_select(left),
+    }
+}

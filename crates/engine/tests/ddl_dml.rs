@@ -1,0 +1,144 @@
+//! DDL/DML end-to-end: create a schema with plain SQL, load it, query it,
+//! mutate it.
+
+use pqp_engine::{Database, EngineError};
+use pqp_storage::{Catalog, Value};
+
+fn fresh() -> Database {
+    Database::new(Catalog::new())
+}
+
+#[test]
+fn create_insert_select_roundtrip() {
+    let mut db = fresh();
+    db.execute(
+        "create table MOVIE (mid int primary key, title text not null, year int)",
+    )
+    .unwrap();
+    let n = db
+        .execute("insert into MOVIE values (1, 'Alpha', 2001), (2, 'Beta', 2002)")
+        .unwrap();
+    assert_eq!(n.affected(), Some(2));
+    let rs = db.execute("select title from MOVIE order by year desc").unwrap().rows().unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::str("Beta")], vec![Value::str("Alpha")]]);
+}
+
+#[test]
+fn insert_with_column_list_fills_nulls() {
+    let mut db = fresh();
+    db.execute("create table T (a int, b text, c float)").unwrap();
+    db.execute("insert into T (c, a) values (1.5, 7)").unwrap();
+    let rs = db.run("select a, b, c from T").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(7), Value::Null, Value::Float(1.5)]]);
+}
+
+#[test]
+fn constraints_enforced_through_sql() {
+    let mut db = fresh();
+    db.execute("create table T (id int primary key, name text unique)").unwrap();
+    db.execute("insert into T values (1, 'a')").unwrap();
+    // Duplicate primary key.
+    assert!(matches!(
+        db.execute("insert into T values (1, 'b')"),
+        Err(EngineError::Storage(_))
+    ));
+    // Duplicate unique.
+    assert!(db.execute("insert into T values (2, 'a')").is_err());
+    // NOT NULL via primary key.
+    assert!(db.execute("insert into T values (NULL, 'c')").is_err());
+}
+
+#[test]
+fn table_level_constraints() {
+    let mut db = fresh();
+    db.execute(
+        "create table PLAY (tid int, mid int, date text, \
+         primary key (tid, mid), \
+         foreign key (mid) references MOVIE (mid))",
+    )
+    .unwrap();
+    db.execute("insert into PLAY values (1, 1, 'd')").unwrap();
+    assert!(db.execute("insert into PLAY values (1, 1, 'e')").is_err(), "composite pk");
+    db.execute("insert into PLAY values (1, 2, 'd')").unwrap();
+    // The declared FK is recorded in the schema graph.
+    db.execute("create table MOVIE (mid int primary key, title text)").unwrap();
+    assert!(db.catalog().validate_foreign_keys().is_ok());
+    let joins = db.catalog().schema_joins();
+    assert!(joins.iter().any(|j| j.from_table == "PLAY" && j.to_table == "MOVIE"));
+}
+
+#[test]
+fn delete_with_predicate() {
+    let mut db = fresh();
+    db.execute("create table T (a int, b text)").unwrap();
+    db.execute("insert into T values (1, 'x'), (2, 'y'), (3, 'x'), (4, NULL)").unwrap();
+    let n = db.execute("delete from T where b = 'x'").unwrap();
+    assert_eq!(n.affected(), Some(2));
+    assert_eq!(db.run("select count(*) from T").unwrap().rows, vec![vec![Value::Int(2)]]);
+    // NULL predicate rows are kept (predicate not TRUE).
+    let n = db.execute("delete from T where b <> 'zzz'").unwrap();
+    assert_eq!(n.affected(), Some(1), "only the 'y' row matches; NULL is unknown");
+    let n = db.execute("delete from T").unwrap();
+    assert_eq!(n.affected(), Some(1));
+}
+
+#[test]
+fn delete_predicate_can_qualify_by_table_name() {
+    let mut db = fresh();
+    db.execute("create table T (a int)").unwrap();
+    db.execute("insert into T values (1), (2)").unwrap();
+    let n = db.execute("delete from T where T.a = 1").unwrap();
+    assert_eq!(n.affected(), Some(1));
+}
+
+#[test]
+fn create_index_accelerates_and_stays_consistent() {
+    let mut db = fresh();
+    db.execute("create table T (a int, b text)").unwrap();
+    for i in 0..50 {
+        db.execute(&format!("insert into T values ({i}, 'tag{}')", i % 5)).unwrap();
+    }
+    db.execute("create index on T (b)").unwrap();
+    let rs = db.run("select a from T where b = 'tag3'").unwrap();
+    assert_eq!(rs.len(), 10);
+    // Index maintained through subsequent DML.
+    db.execute("insert into T values (100, 'tag3')").unwrap();
+    db.execute("delete from T where a = 3").unwrap();
+    let rs = db.run("select a from T where b = 'tag3'").unwrap();
+    assert_eq!(rs.len(), 10);
+}
+
+#[test]
+fn drop_table() {
+    let mut db = fresh();
+    db.execute("create table T (a int)").unwrap();
+    db.execute("drop table T").unwrap();
+    assert!(db.run("select a from T").is_err());
+    assert!(db.execute("drop table T").is_err());
+}
+
+#[test]
+fn insert_constant_expressions() {
+    let mut db = fresh();
+    db.execute("create table T (a int, b float)").unwrap();
+    db.execute("insert into T values (1 + 2 * 3, 1.0 / 4)").unwrap();
+    assert_eq!(
+        db.run("select a, b from T").unwrap().rows,
+        vec![vec![Value::Int(7), Value::Float(0.25)]]
+    );
+    // Column references are rejected in VALUES.
+    assert!(db.execute("insert into T values (a, 1.0)").is_err());
+}
+
+#[test]
+fn errors_surface_cleanly() {
+    let mut db = fresh();
+    assert!(db.execute("create table T (a blob)").is_err());
+    db.execute("create table T (a int)").unwrap();
+    assert!(db.execute("create table T (a int)").is_err(), "duplicate table");
+    assert!(db.execute("insert into NOPE values (1)").is_err());
+    assert!(db.execute("insert into T (nope) values (1)").is_err());
+    assert!(db.execute("insert into T values (1, 2)").is_err(), "arity");
+    assert!(db.execute("create index on T (nope)").is_err());
+    assert!(db.execute("delete from T where nope = 1").is_err());
+}

@@ -1,0 +1,28 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// Error raised by the lexer or parser, carrying a byte offset into the
+/// source text and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for the SQL front end.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,286 @@
+//! Hand-written lexer for the SQL dialect.
+//!
+//! Supports identifiers (optionally `"quoted"`), single-quoted strings with
+//! `''` escapes, integer and float literals, the operator set of the dialect
+//! and `--` line comments.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Keyword, Spanned, Token};
+
+/// Tokenize a complete source string.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                out.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "unexpected `!`"));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Spanned { token: Token::LtEq, offset: i });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::GtEq, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new(start, "unterminated string literal")),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 character.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len])
+                                    .map_err(|_| ParseError::new(i, "invalid utf-8"))?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Spanned { token: Token::String(s), offset: start });
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new(start, "unterminated quoted identifier"));
+                }
+                let ident = src[begin..i].to_string();
+                i += 1;
+                out.push(Spanned { token: Token::Ident(ident), offset: start });
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+                let start = i;
+                let mut has_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !has_dot))
+                {
+                    if bytes[i] == b'.' {
+                        // A dot not followed by a digit terminates the number
+                        // (e.g. `1.name` never occurs; `T1.x` is ident-dot).
+                        if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                            break;
+                        }
+                        has_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let token = if has_dot {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| ParseError::new(start, format!("bad float `{text}`")))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| ParseError::new(start, format!("bad integer `{text}`")))?,
+                    )
+                };
+                out.push(Spanned { token, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let token = match Keyword::from_str(text) {
+                    Some(k) => Token::Keyword(k),
+                    None => Token::Ident(text.to_string()),
+                };
+                out.push(Spanned { token, offset: start });
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, offset: src.len() });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b & 0xE0 == 0xC0 => 2,
+        b if b & 0xF0 == 0xE0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("select MV.title from MOVIE MV"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("MV".into()),
+                Token::Dot,
+                Token::Ident("title".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("MOVIE".into()),
+                Token::Ident("MV".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("SeLeCt")[0], Token::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn string_with_escape_and_unicode() {
+        assert_eq!(toks("'O''Neil κ'")[0], Token::String("O'Neil κ".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::Int(42), Token::Eof]);
+        assert_eq!(toks("0.75"), vec![Token::Float(0.75), Token::Eof]);
+        // Unary minus is a separate token; the parser folds it.
+        assert_eq!(toks("-7"), vec![Token::Minus, Token::Int(7), Token::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= <> != < <= > >= + - * /"),
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("select -- the projection\n x"),
+            vec![Token::Keyword(Keyword::Select), Token::Ident("x".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(toks("\"weird name\""), vec![Token::Ident("weird name".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = tokenize("select 'oops").unwrap_err();
+        assert_eq!(e.offset, 7);
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn count_is_a_keyword() {
+        assert_eq!(toks("count")[0], Token::Keyword(Keyword::Count));
+    }
+}

@@ -1,0 +1,43 @@
+//! # pqp-sql
+//!
+//! The SQL front end of the `pqp` workspace: a hand-written lexer, a
+//! recursive-descent parser, an AST with programmatic builders, and a
+//! precedence-aware printer whose output re-parses to the same AST.
+//!
+//! The dialect is exactly the fragment the paper's personalization framework
+//! produces and consumes: SPJ blocks with and/or/not qualifications,
+//! `DISTINCT`, `UNION [ALL]`, derived tables, `GROUP BY`/`HAVING`, aggregate
+//! calls (including `DEGREE_OF_CONJUNCTION`/`DEGREE_OF_DISJUNCTION` from §6),
+//! `ORDER BY` and `LIMIT`.
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod stmt;
+pub mod token;
+
+pub use ast::{BinaryOp, Expr, OrderByItem, Query, Select, SelectItem, SetExpr, TableFactor};
+pub use error::{ParseError, Result};
+pub use parser::{parse_expr, parse_query};
+pub use printer::{sql_ident, sql_literal};
+pub use stmt::{parse_statement, ColumnSpec, Statement, TableConstraint};
+
+/// Names recognized as aggregate functions by the engine and by
+/// [`ast::Expr::contains_aggregate`].
+pub const AGGREGATE_NAMES: &[&str] = &[
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "DEGREE_OF_CONJUNCTION",
+    "DEGREE_OF_DISJUNCTION",
+];
+
+/// Whether `name` is an aggregate function name (case-insensitive).
+pub fn is_aggregate_name(name: &str) -> bool {
+    AGGREGATE_NAMES.iter().any(|a| a.eq_ignore_ascii_case(name))
+}

@@ -1,0 +1,357 @@
+//! SQL rendering of ASTs (the inverse of the parser).
+//!
+//! `parse_query(q.to_string())` reproduces `q` for every AST the builders can
+//! construct — a property enforced by the round-trip tests. Precedence-aware
+//! parenthesization keeps the printed text minimal while preserving shape.
+
+use crate::ast::*;
+use crate::token::Keyword;
+use pqp_storage::Value;
+use std::fmt;
+
+/// Render a literal as a SQL literal.
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Bool(true) => "TRUE".to_string(),
+        Value::Bool(false) => "FALSE".to_string(),
+        Value::Int(i) => i.to_string(),
+        // `{:?}` keeps the decimal point ("2.0"), so the literal re-parses as
+        // a float rather than an int.
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// Render an identifier, quoting it when it would not re-lex as a bare
+/// identifier (reserved word, odd characters, leading digit).
+pub fn sql_ident(s: &str) -> String {
+    let bare = !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && Keyword::from_str(s).is_none();
+    if bare {
+        s.to_string()
+    } else {
+        format!("\"{s}\"")
+    }
+}
+
+fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq => 4,
+        BinaryOp::Plus | BinaryOp::Minus => 5,
+        BinaryOp::Mul | BinaryOp::Div => 6,
+    }
+}
+
+fn op_text(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Eq => "=",
+        BinaryOp::NotEq => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::LtEq => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::GtEq => ">=",
+        BinaryOp::And => "AND",
+        BinaryOp::Or => "OR",
+        BinaryOp::Plus => "+",
+        BinaryOp::Minus => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+    }
+}
+
+/// Write `e` assuming the surrounding context requires at least precedence
+/// `min_prec`; parenthesize when the expression binds looser.
+fn fmt_expr(e: &Expr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                write!(f, "{}.{}", sql_ident(q), sql_ident(name))
+            } else {
+                write!(f, "{}", sql_ident(name))
+            }
+        }
+        Expr::Literal(v) => write!(f, "{}", sql_literal(v)),
+        Expr::Binary { left, op, right } => {
+            let p = precedence(*op);
+            let parens = p < min_prec;
+            if parens {
+                write!(f, "(")?;
+            }
+            // Comparisons are non-associative in the grammar, so a comparison
+            // child of a comparison must be parenthesized on either side.
+            let left_min = if op.is_comparison() { p + 1 } else { p };
+            fmt_expr(left, left_min, f)?;
+            write!(f, " {} ", op_text(*op))?;
+            // Right child of a left-associative operator needs strictly
+            // higher precedence to keep its shape on re-parse.
+            fmt_expr(right, p + 1, f)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Not(inner) => {
+            // NOT binds between AND and comparisons.
+            let parens = 3 < min_prec;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "NOT ")?;
+            fmt_expr(inner, 4, f)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::IsNull { expr, negated } => {
+            let parens = 4 < min_prec;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_expr(expr, 5, f)?;
+            write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::InList { expr, list, negated } => {
+            let parens = 4 < min_prec;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_expr(expr, 5, f)?;
+            write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(item, 0, f)?;
+            }
+            write!(f, ")")?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Function { name, args, wildcard } => {
+            // COUNT lexes as a keyword the parser special-cases as a
+            // function head; quoting it would be valid but ugly.
+            let head = if name.eq_ignore_ascii_case("count") {
+                name.clone()
+            } else {
+                sql_ident(name)
+            };
+            write!(f, "{head}(")?;
+            if *wildcard {
+                write!(f, "*")?;
+            } else {
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    fmt_expr(a, 0, f)?;
+                }
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", sql_ident(a))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias } => {
+                write!(f, "{}", sql_ident(name))?;
+                if let Some(a) = alias {
+                    write!(f, " {}", sql_ident(a))?;
+                }
+                Ok(())
+            }
+            TableFactor::Derived { query, alias } => {
+                write!(f, "({query}) {}", sql_ident(alias))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::Union { left, right, all } => {
+                // Parenthesize both sides: UNION chains re-parse identically
+                // and derived-table bodies stay readable.
+                write!(f, "({left}) UNION {}({right})", if *all { "ALL " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.expr, if o.desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::parser::{parse_expr, parse_query};
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = e.to_string();
+        let back = parse_expr(&printed).unwrap();
+        assert_eq!(back, e, "printed as `{printed}`");
+    }
+
+    fn roundtrip_query(src: &str) {
+        let q = parse_query(src).unwrap();
+        let printed = q.to_string();
+        let back = parse_query(&printed).unwrap();
+        assert_eq!(back, q, "printed as `{printed}`");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        roundtrip_expr("a = 1 or b = 2 and not c = 3");
+        roundtrip_expr("(a = 1 or b = 2) and c = 3");
+        roundtrip_expr("1 + 2 * 3 - (4 - 5)");
+        roundtrip_expr("x is not null and y in (1, 2, 3)");
+        roundtrip_expr("count(*) >= 2");
+        roundtrip_expr("degree_of_conjunction(doi) > 0.5");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(sql_literal(&Value::str("O'Neil")), "'O''Neil'");
+        roundtrip_expr("name = 'O''Neil'");
+    }
+
+    #[test]
+    fn float_literals_keep_their_type() {
+        let e = lit(2.0f64);
+        assert_eq!(e.to_string(), "2.0");
+        let back = parse_expr("2.0").unwrap();
+        assert!(matches!(back, Expr::Literal(Value::Float(_))));
+    }
+
+    #[test]
+    fn reserved_words_are_quoted() {
+        assert_eq!(sql_ident("order"), "\"order\"");
+        assert_eq!(sql_ident("title"), "title");
+        assert_eq!(sql_ident("has space"), "\"has space\"");
+        roundtrip_expr("\"order\".x = 1");
+    }
+
+    #[test]
+    fn query_roundtrips() {
+        roundtrip_query("select distinct MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid");
+        roundtrip_query(
+            "select t from ((select distinct a t from A) union all (select distinct b t from B)) TEMP \
+             group by t having count(*) >= 2 order by t desc limit 5",
+        );
+        roundtrip_query("select * from T");
+    }
+
+    #[test]
+    fn shape_preserving_parens() {
+        // a-(b-c) must not print as a-b-c.
+        let e = binary(lit(1i64), BinaryOp::Minus, binary(lit(2i64), BinaryOp::Minus, lit(3i64)));
+        assert_eq!(e.to_string(), "1 - (2 - 3)");
+        let back = parse_expr(&e.to_string()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn or_inside_and_parenthesized() {
+        let e = and(or(col("a", "x"), col("a", "y")), col("a", "z"));
+        assert_eq!(e.to_string(), "(a.x OR a.y) AND a.z");
+    }
+}

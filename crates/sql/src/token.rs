@@ -1,0 +1,160 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by this dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Union,
+    All,
+    And,
+    Or,
+    Not,
+    As,
+    Asc,
+    Desc,
+    Limit,
+    Is,
+    Null,
+    In,
+    True,
+    False,
+    Count,
+    // DDL / DML
+    Create,
+    Table,
+    Primary,
+    Key,
+    Foreign,
+    References,
+    Unique,
+    Index,
+    On,
+    Insert,
+    Into,
+    Values,
+    Delete,
+    Drop,
+}
+
+impl Keyword {
+    /// Parse an identifier into a keyword, case-insensitively.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "UNION" => Union,
+            "ALL" => All,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "AS" => As,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            "IS" => Is,
+            "NULL" => Null,
+            "IN" => In,
+            "TRUE" => True,
+            "FALSE" => False,
+            "COUNT" => Count,
+            "CREATE" => Create,
+            "TABLE" => Table,
+            "PRIMARY" => Primary,
+            "KEY" => Key,
+            "FOREIGN" => Foreign,
+            "REFERENCES" => References,
+            "UNIQUE" => Unique,
+            "INDEX" => Index,
+            "ON" => On,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "DELETE" => Delete,
+            "DROP" => Drop,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (always also available as its original identifier text).
+    Keyword(Keyword),
+    /// A bare identifier.
+    Ident(String),
+    /// A single-quoted string literal (unescaped contents).
+    String(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}

@@ -1,0 +1,144 @@
+//! Property test: printing any generated AST and re-parsing it yields the
+//! same AST (`parse ∘ print = id`).
+
+use pqp_sql::ast::*;
+use pqp_sql::parser::{parse_expr, parse_query};
+use pqp_storage::Value;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // A mix of friendly identifiers and hostile ones needing quoting.
+    prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}",
+        Just("order".to_string()),
+        Just("select".to_string()),
+        Just("1weird".to_string()),
+        Just("has space".to_string()),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN/inf have no SQL literal.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z '‘]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        (ident(), ident()).prop_map(|(q, n)| Expr::Column { qualifier: Some(q), name: n }),
+        ident().prop_map(|n| Expr::Column { qualifier: None, name: n }),
+        Just(Expr::Function { name: "COUNT".into(), args: vec![], wildcard: true }),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        let op = prop_oneof![
+            Just(BinaryOp::Eq),
+            Just(BinaryOp::NotEq),
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::LtEq),
+            Just(BinaryOp::Gt),
+            Just(BinaryOp::GtEq),
+            Just(BinaryOp::And),
+            Just(BinaryOp::Or),
+            Just(BinaryOp::Plus),
+            Just(BinaryOp::Minus),
+            Just(BinaryOp::Mul),
+            Just(BinaryOp::Div),
+        ];
+        prop_oneof![
+            (inner.clone(), op, inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r)
+            }),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
+                |(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }
+            ),
+            (ident(), prop::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
+                Expr::Function { name, args, wildcard: false }
+            }),
+        ]
+    })
+}
+
+fn arb_select() -> impl Strategy<Value = Select> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                (arb_expr(), proptest::option::of(ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..3,
+        ),
+        prop::collection::vec(
+            (ident(), proptest::option::of(ident()))
+                .prop_map(|(name, alias)| TableFactor::Table { name, alias }),
+            0..3,
+        ),
+        proptest::option::of(arb_expr()),
+        prop::collection::vec(arb_expr(), 0..2),
+        proptest::option::of(arb_expr()),
+    )
+        .prop_map(|(distinct, projection, from, selection, group_by, having)| Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(arb_select(), 1..4),
+        any::<bool>(),
+        prop::collection::vec((arb_expr(), any::<bool>()), 0..2),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(|(selects, all, order, limit)| {
+            let body = selects
+                .into_iter()
+                .map(|s| SetExpr::Select(Box::new(s)))
+                .reduce(|l, r| SetExpr::Union { left: Box::new(l), right: Box::new(r), all })
+                .unwrap();
+            Query {
+                body,
+                order_by: order
+                    .into_iter()
+                    .map(|(expr, desc)| OrderByItem { expr, desc })
+                    .collect(),
+                limit,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let back = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to re-parse `{printed}`: {err}"));
+        prop_assert_eq!(back, e, "printed as `{}`", printed);
+    }
+
+    #[test]
+    fn query_print_parse_roundtrip(q in arb_query()) {
+        let printed = q.to_string();
+        let back = parse_query(&printed)
+            .unwrap_or_else(|err| panic!("failed to re-parse `{printed}`: {err}"));
+        prop_assert_eq!(back, q, "printed as `{}`", printed);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pqp-storage
+//!
+//! The storage substrate of the `pqp` workspace: an in-memory relational
+//! store with a value model, table schemas carrying key/foreign-key metadata,
+//! slotted pages, heap tables, hash indexes and a catalog.
+//!
+//! The paper's prototype ran on Oracle 9i; this crate (together with
+//! `pqp-engine`) is the from-scratch substitute. Beyond plain storage it
+//! exposes the one piece of metadata the personalization model needs from the
+//! database: the **schema graph** with per-direction join *cardinalities*
+//! ([`Catalog::schema_joins`]), which drive conflict detection and
+//! tuple-variable allocation in `pqp-core`.
+
+pub mod catalog;
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod page;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Catalog, SchemaJoin, TableRef};
+pub use error::{Result, StorageError};
+pub use heap::Heap;
+pub use index::HashIndex;
+pub use page::{Page, RowId, PAGE_SIZE};
+pub use row::{decode_row, encode_row, encode_row_vec, Row};
+pub use schema::{Cardinality, ColumnDef, ForeignKey, TableSchema};
+pub use table::Table;
+pub use value::{DataType, Value};

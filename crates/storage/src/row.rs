@@ -1,0 +1,177 @@
+//! Row representation and the binary row codec.
+//!
+//! Rows are stored inside slotted pages in a compact self-describing binary
+//! format: a one-byte type tag per value followed by the payload. Strings are
+//! length-prefixed (u32). The codec is infallible on encode and validating on
+//! decode, so a corrupt page surfaces as an error rather than UB or a panic.
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+
+/// Encode a row into `buf`.
+pub fn encode_row(row: &[Value], buf: &mut BytesMut) {
+    buf.put_u16(row.len() as u16);
+    for v in row {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64(*f);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Encode a row into a fresh buffer.
+pub fn encode_row_vec(row: &[Value]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(estimated_size(row));
+    encode_row(row, &mut buf);
+    buf.freeze()
+}
+
+/// Upper-bound estimate of a row's encoded size, used for page-fit checks.
+pub fn estimated_size(row: &[Value]) -> usize {
+    2 + row
+        .iter()
+        .map(|v| match v {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+        })
+        .sum::<usize>()
+}
+
+/// Decode a row from a byte slice previously produced by [`encode_row`].
+pub fn decode_row(mut data: &[u8]) -> Result<Row> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if data.remaining() < 2 {
+        return Err(corrupt("truncated row header"));
+    }
+    let n = data.get_u16() as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        if data.remaining() < 1 {
+            return Err(corrupt("truncated value tag"));
+        }
+        let tag = data.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            TAG_INT => {
+                if data.remaining() < 8 {
+                    return Err(corrupt("truncated int"));
+                }
+                Value::Int(data.get_i64())
+            }
+            TAG_FLOAT => {
+                if data.remaining() < 8 {
+                    return Err(corrupt("truncated float"));
+                }
+                Value::Float(data.get_f64())
+            }
+            TAG_STR => {
+                if data.remaining() < 4 {
+                    return Err(corrupt("truncated string length"));
+                }
+                let len = data.get_u32() as usize;
+                if data.remaining() < len {
+                    return Err(corrupt("truncated string payload"));
+                }
+                let s = std::str::from_utf8(&data[..len])
+                    .map_err(|_| corrupt("invalid utf-8 in string"))?
+                    .to_owned();
+                data.advance(len);
+                Value::Str(s)
+            }
+            other => return Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(row: Row) {
+        let bytes = encode_row_vec(&row);
+        assert!(bytes.len() <= estimated_size(&row));
+        let back = decode_row(&bytes).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::str("hello κόσμε"),
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_empty_row() {
+        roundtrip(vec![]);
+    }
+
+    #[test]
+    fn roundtrip_empty_string() {
+        roundtrip(vec![Value::str("")]);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode_row_vec(&[Value::Int(7), Value::str("abc")]);
+        for cut in 0..bytes.len() {
+            // Every strict prefix must either fail or decode to a shorter row,
+            // never panic.
+            let _ = decode_row(&bytes[..cut]);
+        }
+        assert!(decode_row(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u8(99);
+        assert!(matches!(decode_row(&buf), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u8(5); // TAG_STR
+        buf.put_u32(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert!(decode_row(&buf).is_err());
+    }
+}

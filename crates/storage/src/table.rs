@@ -1,0 +1,259 @@
+//! A table = schema + heap + indexes, with insert-time constraint checking.
+
+use crate::error::{Result, StorageError};
+use crate::heap::Heap;
+use crate::index::HashIndex;
+use crate::page::RowId;
+use crate::row::Row;
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A stored table.
+pub struct Table {
+    schema: TableSchema,
+    heap: Heap,
+    /// Indexes; index 0, when present, is the primary-key index.
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    /// Create an empty table. A unique index is built for the primary key and
+    /// for each declared unique constraint.
+    pub fn new(schema: TableSchema) -> Table {
+        let mut indexes = Vec::new();
+        if !schema.primary_key.is_empty() {
+            indexes.push(HashIndex::new(schema.primary_key.clone(), true));
+        }
+        for u in &schema.unique {
+            indexes.push(HashIndex::new(u.clone(), true));
+        }
+        Table { schema, heap: Heap::new(), indexes }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Add a non-unique secondary index on the named column. Existing rows
+    /// are back-filled. Returns the index position.
+    pub fn create_index(&mut self, column: &str) -> Result<usize> {
+        let col = self.schema.column_index(column).ok_or_else(|| StorageError::UnknownColumn {
+            table: self.schema.name.clone(),
+            column: column.to_string(),
+        })?;
+        let mut idx = HashIndex::new(vec![col], false);
+        for (id, row) in self.heap.iter() {
+            idx.insert(&row?, id);
+        }
+        self.indexes.push(idx);
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// Find a single-column index on the named column, if any.
+    pub fn index_on(&self, column: &str) -> Option<&HashIndex> {
+        let col = self.schema.column_index(column)?;
+        self.indexes.iter().find(|i| i.columns() == [col])
+    }
+
+    /// Validate and insert a row. Values are coerced (Int → Float) to the
+    /// column types; arity, type, NOT NULL and key constraints are enforced.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (v, col) in row.into_iter().zip(&self.schema.columns) {
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::NullViolation {
+                        table: self.schema.name.clone(),
+                        column: col.name.clone(),
+                    });
+                }
+                coerced.push(v);
+                continue;
+            }
+            if !v.conforms_to(col.ty) {
+                return Err(StorageError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.ty.to_string(),
+                    got: format!("{v:?}"),
+                });
+            }
+            coerced.push(v.coerce_to(col.ty));
+        }
+        for idx in &self.indexes {
+            if idx.is_unique() && idx.contains_key(&idx.key_of(&coerced)) {
+                return Err(StorageError::DuplicateKey { table: self.schema.name.clone() });
+            }
+        }
+        let id = self.heap.insert(&coerced)?;
+        for idx in &mut self.indexes {
+            idx.insert(&coerced, id);
+        }
+        Ok(id)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> Option<Result<Row>> {
+        self.heap.get(id)
+    }
+
+    /// Delete a row by id, maintaining indexes.
+    pub fn delete(&mut self, id: RowId) -> Result<bool> {
+        let Some(row) = self.heap.get(id) else { return Ok(false) };
+        let row = row?;
+        if !self.heap.delete(id) {
+            return Ok(false);
+        }
+        for idx in &mut self.indexes {
+            idx.remove(&row, id);
+        }
+        Ok(true)
+    }
+
+    /// Iterate over live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, Result<Row>)> + '_ {
+        self.heap.iter()
+    }
+
+    /// Materialize all rows.
+    pub fn scan(&self) -> Result<Vec<Row>> {
+        self.heap.scan()
+    }
+
+    /// Point lookup through an index on `column`, materializing matches.
+    /// Returns `None` if no index on that column exists.
+    pub fn index_lookup(&self, column: &str, key: &Value) -> Option<Result<Vec<Row>>> {
+        let idx = self.index_on(column)?;
+        let ids = idx.lookup(std::slice::from_ref(key));
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            match self.heap.get(id) {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => return Some(Err(e)),
+                None => {}
+            }
+        }
+        Some(Ok(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn movie_table() -> Table {
+        Table::new(
+            TableSchema::new(
+                "MOVIE",
+                vec![
+                    ColumnDef::new("mid", DataType::Int),
+                    ColumnDef::new("title", DataType::Str),
+                    ColumnDef::nullable("year", DataType::Int),
+                ],
+            )
+            .with_primary_key(&["mid"]),
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = movie_table();
+        t.insert(vec![Value::Int(1), Value::str("Alien"), Value::Int(1979)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("Brazil"), Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+        let rows = t.scan().unwrap();
+        assert_eq!(rows[0][1], Value::str("Alien"));
+        assert_eq!(rows[1][2], Value::Null);
+    }
+
+    #[test]
+    fn arity_and_type_enforced() {
+        let mut t = movie_table();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::str("not an id"), Value::str("x"), Value::Null]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn null_constraint_enforced() {
+        let mut t = movie_table();
+        assert!(matches!(
+            t.insert(vec![Value::Null, Value::str("x"), Value::Null]),
+            Err(StorageError::NullViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn primary_key_enforced() {
+        let mut t = movie_table();
+        t.insert(vec![Value::Int(1), Value::str("a"), Value::Null]).unwrap();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1), Value::str("b"), Value::Null]),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_frees_key() {
+        let mut t = movie_table();
+        let id = t.insert(vec![Value::Int(1), Value::str("a"), Value::Null]).unwrap();
+        assert!(t.delete(id).unwrap());
+        assert!(!t.delete(id).unwrap());
+        // Key 1 is reusable after delete.
+        t.insert(vec![Value::Int(1), Value::str("again"), Value::Null]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn secondary_index_backfill_and_lookup() {
+        let mut t = movie_table();
+        t.insert(vec![Value::Int(1), Value::str("a"), Value::Int(2000)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("a"), Value::Int(2001)]).unwrap();
+        t.insert(vec![Value::Int(3), Value::str("b"), Value::Int(2002)]).unwrap();
+        t.create_index("title").unwrap();
+        let hits = t.index_lookup("title", &Value::str("a")).unwrap().unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(t.index_lookup("year", &Value::Int(2000)).is_none(), "no index on year");
+        // Index maintained on later inserts and deletes.
+        let id = t.insert(vec![Value::Int(4), Value::str("a"), Value::Null]).unwrap();
+        assert_eq!(t.index_lookup("title", &Value::str("a")).unwrap().unwrap().len(), 3);
+        t.delete(id).unwrap();
+        assert_eq!(t.index_lookup("title", &Value::str("a")).unwrap().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![ColumnDef::new("x", DataType::Float)],
+        ));
+        t.insert(vec![Value::Int(2)]).unwrap();
+        assert_eq!(t.scan().unwrap()[0][0], Value::Float(2.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests over the storage layer: the row codec, slotted pages and
+//! heaps must preserve arbitrary rows through any interleaving of inserts
+//! and deletes.
+
+use pqp_storage::{decode_row, encode_row_vec, Heap, Page, RowId, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        ".{0,40}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_value(), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_roundtrip(row in arb_row()) {
+        let bytes = encode_row_vec(&row);
+        let back = decode_row(&bytes).unwrap();
+        prop_assert_eq!(back, row);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(row in arb_row()) {
+        let bytes = encode_row_vec(&row);
+        // No strict prefix may decode to the same row (either error or a
+        // different/shorter row), and none may panic.
+        for cut in 0..bytes.len() {
+            if let Ok(decoded) = decode_row(&bytes[..cut]) {
+                prop_assert_ne!(&decoded, &row, "prefix of {} bytes decoded equal", cut);
+            }
+        }
+    }
+
+    #[test]
+    fn page_preserves_rows(rows in prop::collection::vec(arb_row(), 1..30)) {
+        let mut page = Page::new();
+        let mut stored = Vec::new();
+        for row in &rows {
+            if let Some(slot) = page.insert_row(row) {
+                stored.push((slot, row.clone()));
+            }
+        }
+        for (slot, row) in &stored {
+            prop_assert_eq!(page.get(*slot).unwrap().unwrap(), row.clone());
+        }
+        prop_assert_eq!(page.iter().count(), stored.len());
+    }
+
+    #[test]
+    fn heap_insert_delete_scan(
+        rows in prop::collection::vec(arb_row(), 1..40),
+        delete_mask in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut heap = Heap::new();
+        let mut ids: Vec<(RowId, Vec<Value>)> = Vec::new();
+        for row in &rows {
+            // Oversized rows are legitimately rejected; skip them.
+            if let Ok(id) = heap.insert(row) {
+                ids.push((id, row.clone()));
+            }
+        }
+        let mut surviving = Vec::new();
+        for (i, (id, row)) in ids.iter().enumerate() {
+            if *delete_mask.get(i).unwrap_or(&false) {
+                prop_assert!(heap.delete(*id));
+                prop_assert!(heap.get(*id).is_none());
+            } else {
+                surviving.push(row.clone());
+            }
+        }
+        prop_assert_eq!(heap.len(), surviving.len());
+        let mut scanned = heap.scan().unwrap();
+        let mut expected = surviving;
+        scanned.sort();
+        expected.sort();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (spot form): a ≤ b ≤ c ⇒ a ≤ c.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // Hash consistency with equality.
+        if a == b {
+            use std::hash::{Hash, Hasher};
+            let h = |v: &Value| {
+                let mut s = std::collections::hash_map::DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+}

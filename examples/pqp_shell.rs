@@ -1,0 +1,250 @@
+//! An interactive shell over a personalized database: plain SQL (DDL, DML,
+//! queries) plus personalization meta-commands.
+//!
+//! ```text
+//! cargo run --release --example pqp_shell          # starts on the demo movies DB
+//! echo 'select count(*) from MOVIE' | cargo run --example pqp_shell
+//! ```
+//!
+//! Commands:
+//! ```text
+//! <any SQL statement>                      run it
+//! .user NAME                               switch the active profile
+//! .like TABLE.COLUMN = 'value' [doi]       add a selection preference (default 0.8)
+//! .dislike TABLE.COLUMN = 'value' [doi]    add a negative preference (default 1.0)
+//! .join A.COL = B.COL [doi]                add a (directed) join preference
+//! .profile                                 show the active profile
+//! .personalize K L <query>                 run a query personalized (ranked MQ)
+//! .explain K L <query>                     like .personalize, with per-row why
+//! .sql K L <query>                         print the SQ and MQ rewrites only
+//! .quit
+//! ```
+
+use pqp::prelude::*;
+use pqp_core::negative::{integrate_mq_with_negatives, select_negatives};
+use pqp_core::{explain::explain, MatchSpec};
+use pqp_datagen::{generate, MovieDbConfig};
+use pqp_engine::{ddl::StatementResult, Database};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+struct Shell {
+    db: Database,
+    profiles: HashMap<String, Profile>,
+    user: String,
+}
+
+fn main() {
+    let m = generate(MovieDbConfig { movies: 500, theatres: 10, ..Default::default() });
+    let mut shell = Shell { db: m.db, profiles: HashMap::new(), user: "guest".into() };
+    println!("pqp shell — synthetic movies database loaded ({} movies).", 500);
+    println!("Type SQL, or `.help` for personalization commands.\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("pqp:{}> ", shell.user);
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+        if let Err(e) = shell.dispatch(line) {
+            println!("error: {e}");
+        }
+    }
+}
+
+impl Shell {
+    fn profile(&mut self) -> &mut Profile {
+        let user = self.user.clone();
+        self.profiles.entry(user.clone()).or_insert_with(|| Profile::new(user))
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(), String> {
+        if !line.starts_with('.') {
+            return self.run_sql(line);
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            ".help" => {
+                println!(
+                    ".user NAME | .like T.C = 'v' [doi] | .dislike T.C = 'v' [doi]\n\
+                     .join A.C = B.C [doi] | .profile | .personalize K L <query>\n\
+                     .explain K L <query> | .sql K L <query> | .quit"
+                );
+                Ok(())
+            }
+            ".user" => {
+                self.user = rest.trim().to_string();
+                println!("active profile: {}", self.user);
+                Ok(())
+            }
+            ".profile" => {
+                println!("{}", self.profile());
+                Ok(())
+            }
+            ".like" => self.add_pref(rest, false),
+            ".dislike" => self.add_pref(rest, true),
+            ".join" => self.add_join(rest),
+            ".personalize" => self.personalized(rest, Mode::Run),
+            ".explain" => self.personalized(rest, Mode::Explain),
+            ".sql" => self.personalized(rest, Mode::ShowSql),
+            other => Err(format!("unknown command `{other}` (try .help)")),
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) -> Result<(), String> {
+        match self.db.execute(sql).map_err(|e| e.to_string())? {
+            StatementResult::Rows(rs) => {
+                let n = rs.len();
+                print_rows(&rs.columns, &rs.rows, 25);
+                println!("({n} rows)");
+            }
+            StatementResult::Affected(n) => println!("ok ({n} rows affected)"),
+        }
+        Ok(())
+    }
+
+    /// `.like T.C = 'v' [doi]`
+    fn add_pref(&mut self, rest: &str, negative: bool) -> Result<(), String> {
+        let (cond, doi) = split_trailing_degree(rest, if negative { 1.0 } else { 0.8 })?;
+        let e = pqp_sql::parse_expr(&cond).map_err(|e| e.to_string())?;
+        let pqp_sql::Expr::Binary { left, op: pqp_sql::BinaryOp::Eq, right } = e else {
+            return Err("expected `TABLE.COLUMN = 'value'`".into());
+        };
+        let (pqp_sql::Expr::Column { qualifier: Some(t), name: c }, pqp_sql::Expr::Literal(v)) =
+            (*left, *right)
+        else {
+            return Err("expected `TABLE.COLUMN = literal`".into());
+        };
+        let profile = self.profile();
+        if negative {
+            profile.add_negative_selection(&t, &c, v, doi).map_err(|e| e.to_string())?;
+        } else {
+            profile.add_selection(&t, &c, v, doi).map_err(|e| e.to_string())?;
+        }
+        println!("ok");
+        Ok(())
+    }
+
+    /// `.join A.C = B.C [doi]` — adds both directions.
+    fn add_join(&mut self, rest: &str) -> Result<(), String> {
+        let (cond, doi) = split_trailing_degree(rest, 0.9)?;
+        let e = pqp_sql::parse_expr(&cond).map_err(|e| e.to_string())?;
+        let pqp_sql::Expr::Binary { left, op: pqp_sql::BinaryOp::Eq, right } = e else {
+            return Err("expected `A.COL = B.COL`".into());
+        };
+        let (
+            pqp_sql::Expr::Column { qualifier: Some(at), name: ac },
+            pqp_sql::Expr::Column { qualifier: Some(bt), name: bc },
+        ) = (*left, *right)
+        else {
+            return Err("expected column = column".into());
+        };
+        self.profile().add_join_both(&at, &ac, &bt, &bc, doi).map_err(|e| e.to_string())?;
+        println!("ok (both directions)");
+        Ok(())
+    }
+
+    fn personalized(&mut self, rest: &str, mode: Mode) -> Result<(), String> {
+        let mut parts = rest.splitn(3, ' ');
+        let k: usize = parts.next().and_then(|s| s.parse().ok()).ok_or("usage: K L <query>")?;
+        let l: usize = parts.next().and_then(|s| s.parse().ok()).ok_or("usage: K L <query>")?;
+        let sql = parts.next().ok_or("usage: K L <query>")?;
+        let query = pqp_sql::parse_query(sql).map_err(|e| e.to_string())?;
+        let profile = self.profile().clone();
+        let graph = InMemoryGraph::build(&profile, self.db.catalog()).map_err(|e| e.to_string())?;
+        let p = personalize(
+            &query,
+            &graph,
+            self.db.catalog(),
+            PersonalizeOptions::top_k(k, l).ranked(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("selected {} preference(s):", p.k());
+        for path in &p.paths {
+            println!("  {path}");
+        }
+        let negatives =
+            select_negatives(&query, &profile, self.db.catalog(), k).map_err(|e| e.to_string())?;
+        for n in &negatives {
+            println!("  (negative) {n}");
+        }
+        match mode {
+            Mode::ShowSql => {
+                println!("\nSQ:\n  {}", p.sq().map_err(|e| e.to_string())?);
+                println!("\nMQ:\n  {}", p.mq().map_err(|e| e.to_string())?);
+            }
+            Mode::Run => {
+                let q = if negatives.is_empty() {
+                    p.mq().map_err(|e| e.to_string())?
+                } else {
+                    integrate_mq_with_negatives(
+                        query.as_select().ok_or("plain SELECT required")?,
+                        &p.paths,
+                        &negatives,
+                        p.m,
+                        p.matching,
+                    )
+                    .map_err(|e| e.to_string())?
+                };
+                let rs = self.db.run_query(&q).map_err(|e| e.to_string())?;
+                let n = rs.len();
+                print_rows(&rs.columns, &rs.rows, 20);
+                println!("({n} rows, ranked by estimated interest)");
+            }
+            Mode::Explain => {
+                let ex = explain(&p, &self.db).map_err(|e| e.to_string())?;
+                for e in ex.iter().take(10) {
+                    print!("{e}");
+                }
+                println!("({} rows explained)", ex.len());
+            }
+        }
+        let _ = MatchSpec::AtLeast(l); // (l is encoded in `p.matching` already)
+        Ok(())
+    }
+}
+
+enum Mode {
+    Run,
+    Explain,
+    ShowSql,
+}
+
+fn split_trailing_degree(rest: &str, default: f64) -> Result<(String, f64), String> {
+    let rest = rest.trim();
+    if let Some((head, tail)) = rest.rsplit_once(' ') {
+        if let Ok(d) = tail.parse::<f64>() {
+            return Ok((head.to_string(), d));
+        }
+    }
+    Ok((rest.to_string(), default))
+}
+
+fn print_rows(columns: &[String], rows: &[Vec<pqp_storage::Value>], limit: usize) {
+    println!("{}", columns.join(" | "));
+    for row in rows.iter().take(limit) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                pqp_storage::Value::Float(f) => format!("{f:.4}"),
+                other => other.to_string(),
+            })
+            .collect();
+        println!("{}", cells.join(" | "));
+    }
+    if rows.len() > limit {
+        println!("... ({} more)", rows.len() - limit);
+    }
+}

@@ -1,0 +1,27 @@
+//! # pqp — Personalization of Queries in Database Systems
+//!
+//! An umbrella crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of Koutrika & Ioannidis, *Personalization of Queries in
+//! Database Systems* (ICDE 2004).
+//!
+//! - [`storage`] — value model, schemas with join cardinalities, slotted
+//!   pages, heap tables, hash indexes, catalog;
+//! - [`sql`] — lexer/parser/AST/printer for the SPJ dialect the framework
+//!   produces and consumes;
+//! - [`engine`] — binder, optimizer (predicate pushdown, greedy join order,
+//!   OR-expansion under DISTINCT), executor, ranking aggregates;
+//! - [`core`] — the paper's contribution: preference model, personalization
+//!   graph, preference selection, SQ/MQ integration, ranking;
+//! - [`datagen`] — synthetic movies/bookstore databases, profile and query
+//!   generators (the experimental apparatus).
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md for
+//! the architecture and per-experiment index.
+
+pub use pqp_core as core;
+pub use pqp_datagen as datagen;
+pub use pqp_engine as engine;
+pub use pqp_sql as sql;
+pub use pqp_storage as storage;
+
+pub use pqp_core::prelude;

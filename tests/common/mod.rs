@@ -1,0 +1,141 @@
+//! Shared fixture: the paper's movies schema with a small hand-checked
+//! instance, plus Julie's and Rob's profiles from the running example.
+
+use pqp_core::Profile;
+use pqp_datagen::movies_catalog;
+use pqp_engine::Database;
+use pqp_storage::Value;
+
+/// Tonight's date in the fixture.
+pub const TONIGHT: &str = "2003-07-02";
+
+/// Build the hand-checked movies instance.
+///
+/// | movie   | genres   | cast               | director | plays tonight |
+/// |---------|----------|--------------------|----------|---------------|
+/// | Alpha   | comedy   | N. Kidman          | D. Lynch | yes           |
+/// | Beta    | comedy   | A. Hopkins         | W. Allen | yes           |
+/// | Gamma   | sci-fi   | N. Kidman, J. Roberts | S. Kubrick | yes      |
+/// | Delta   | thriller | I. Rossellini      | D. Lynch | yes           |
+/// | Omega   | cooking  | A. Hopkins         | W. Allen | no (tomorrow) |
+pub fn paper_db() -> Database {
+    let c = movies_catalog();
+    let ins = |t: &str, rows: Vec<Vec<Value>>| {
+        let t = c.table(t).unwrap();
+        let mut t = t.write();
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+    };
+    ins("THEATRE", vec![
+        vec![1.into(), "Odeon".into(), "210-1".into(), "downtown".into()],
+        vec![2.into(), "Rex".into(), "210-2".into(), "uptown".into()],
+    ]);
+    ins("MOVIE", vec![
+        vec![1.into(), "Alpha".into(), 2001.into()],
+        vec![2.into(), "Beta".into(), 2002.into()],
+        vec![3.into(), "Gamma".into(), 2003.into()],
+        vec![4.into(), "Delta".into(), 2000.into()],
+        vec![5.into(), "Omega".into(), 1999.into()],
+    ]);
+    ins("GENRE", vec![
+        vec![1.into(), "comedy".into()],
+        vec![2.into(), "comedy".into()],
+        vec![3.into(), "sci-fi".into()],
+        vec![4.into(), "thriller".into()],
+        vec![5.into(), "cooking".into()],
+    ]);
+    ins("ACTOR", vec![
+        vec![10.into(), "N. Kidman".into()],
+        vec![11.into(), "A. Hopkins".into()],
+        vec![12.into(), "J. Roberts".into()],
+        vec![13.into(), "I. Rossellini".into()],
+    ]);
+    ins("CAST", vec![
+        vec![1.into(), 10.into(), Value::Null, "lead".into()],
+        vec![2.into(), 11.into(), Value::Null, Value::Null],
+        vec![3.into(), 10.into(), Value::Null, Value::Null],
+        vec![3.into(), 12.into(), Value::Null, "lead".into()],
+        vec![4.into(), 13.into(), Value::Null, Value::Null],
+        vec![5.into(), 11.into(), Value::Null, Value::Null],
+    ]);
+    ins("DIRECTOR", vec![
+        vec![20.into(), "D. Lynch".into()],
+        vec![21.into(), "W. Allen".into()],
+        vec![22.into(), "S. Kubrick".into()],
+    ]);
+    ins("DIRECTED", vec![
+        vec![1.into(), 20.into()],
+        vec![2.into(), 21.into()],
+        vec![3.into(), 22.into()],
+        vec![4.into(), 20.into()],
+        vec![5.into(), 21.into()],
+    ]);
+    ins("PLAY", vec![
+        vec![1.into(), 1.into(), TONIGHT.into()],
+        vec![1.into(), 2.into(), TONIGHT.into()],
+        vec![2.into(), 3.into(), TONIGHT.into()],
+        vec![2.into(), 4.into(), TONIGHT.into()],
+        vec![1.into(), 5.into(), "2003-07-03".into()],
+    ]);
+    Database::new(c)
+}
+
+/// Julie's profile (paper Figures 2–3): degrees chosen so the top-3
+/// preferences for the initial query are D. Lynch (0.9), comedy (0.81) and
+/// N. Kidman (0.72), as in §5.2's worked example.
+pub fn julie() -> Profile {
+    let mut p = Profile::new("julie");
+    p.add_join("THEATRE", "tid", "PLAY", "tid", 1.0).unwrap();
+    p.add_join("PLAY", "tid", "THEATRE", "tid", 1.0).unwrap();
+    p.add_join("PLAY", "mid", "MOVIE", "mid", 1.0).unwrap();
+    p.add_join("MOVIE", "mid", "PLAY", "mid", 0.8).unwrap();
+    p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    p.add_join("MOVIE", "mid", "CAST", "mid", 0.8).unwrap();
+    p.add_join("CAST", "aid", "ACTOR", "aid", 1.0).unwrap();
+    p.add_join("MOVIE", "mid", "DIRECTED", "mid", 1.0).unwrap();
+    p.add_join("DIRECTED", "did", "DIRECTOR", "did", 1.0).unwrap();
+    p.add_selection("THEATRE", "region", "downtown", 0.5).unwrap();
+    p.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+    p.add_selection("GENRE", "genre", "thriller", 0.7).unwrap();
+    p.add_selection("GENRE", "genre", "adventure", 0.4).unwrap();
+    p.add_selection("DIRECTOR", "name", "D. Lynch", 0.9).unwrap();
+    p.add_selection("DIRECTOR", "name", "W. Allen", 0.6).unwrap();
+    p.add_selection("ACTOR", "name", "N. Kidman", 0.9).unwrap();
+    p.add_selection("ACTOR", "name", "A. Hopkins", 0.7).unwrap();
+    p.add_selection("ACTOR", "name", "I. Rossellini", 0.4).unwrap();
+    p
+}
+
+/// Rob's profile from the introduction: sci-fi movies and J. Roberts.
+pub fn rob() -> Profile {
+    let mut p = Profile::new("rob");
+    p.add_join("PLAY", "mid", "MOVIE", "mid", 1.0).unwrap();
+    p.add_join("MOVIE", "mid", "GENRE", "mid", 1.0).unwrap();
+    p.add_join("MOVIE", "mid", "CAST", "mid", 1.0).unwrap();
+    p.add_join("CAST", "aid", "ACTOR", "aid", 1.0).unwrap();
+    p.add_selection("GENRE", "genre", "sci-fi", 0.9).unwrap();
+    p.add_selection("ACTOR", "name", "J. Roberts", 0.8).unwrap();
+    p
+}
+
+/// The paper's initial query: "what is shown tonight".
+pub fn tonight_query() -> pqp_sql::Query {
+    pqp_sql::parse_query(&format!(
+        "select MV.title from MOVIE MV, PLAY PL \
+         where MV.mid = PL.mid and PL.date = '{TONIGHT}'"
+    ))
+    .unwrap()
+}
+
+/// Titles of a result set's first column, in result order.
+pub fn titles(rs: &pqp_engine::ResultSet) -> Vec<String> {
+    rs.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect()
+}
+
+/// Titles, sorted (for set comparison).
+pub fn titles_sorted(rs: &pqp_engine::ResultSet) -> Vec<String> {
+    let mut t = titles(rs);
+    t.sort();
+    t
+}

@@ -1,0 +1,190 @@
+//! Extension features (the paper's §8 future work): negative preferences,
+//! result explanation, implicit profile learning.
+
+mod common;
+
+use common::*;
+use pqp_core::explain::{explain, verify_against_engine};
+use pqp_core::learn::{LearnerConfig, ProfileLearner};
+use pqp_core::negative::{integrate_mq_with_negatives, select_negatives};
+use pqp_core::prelude::*;
+use pqp_storage::Value;
+
+#[test]
+fn hard_negative_excludes_results() {
+    let db = paper_db();
+    let mut profile = julie();
+    // Julie never wants sci-fi.
+    profile.add_negative_selection("GENRE", "genre", "sci-fi", 1.0).unwrap();
+
+    let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
+    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
+        .unwrap();
+    let negatives =
+        select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
+    assert_eq!(negatives.len(), 1, "{negatives:?}");
+
+    let q = integrate_mq_with_negatives(
+        tonight_query().as_select().unwrap(),
+        &p.paths,
+        &negatives,
+        0,
+        MatchSpec::AtLeast(1),
+    )
+    .unwrap();
+    let rs = db.run_query(&q).unwrap();
+    // Without the negative: Alpha, Beta, Delta, Gamma. Gamma is sci-fi.
+    let t = titles(&rs);
+    assert!(!t.contains(&"Gamma".to_string()), "{t:?}");
+    assert_eq!(t.len(), 3);
+}
+
+#[test]
+fn soft_negative_demotes_ranking() {
+    let db = paper_db();
+    let mut profile = julie();
+    // Mild aversion to thrillers: Delta (thriller, Lynch) should fall below
+    // Beta (comedy) without disappearing.
+    profile.add_negative_selection("GENRE", "genre", "thriller", 0.5).unwrap();
+
+    let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
+    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
+        .unwrap();
+    let negatives = select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
+    let q = integrate_mq_with_negatives(
+        tonight_query().as_select().unwrap(),
+        &p.paths,
+        &negatives,
+        0,
+        MatchSpec::AtLeast(1),
+    )
+    .unwrap();
+    let rs = db.run_query(&q).unwrap();
+    let t = titles(&rs);
+    assert_eq!(t.len(), 4, "soft negative keeps the row: {t:?}");
+    // Delta: Lynch 0.9 demoted by (1 - 0.5·0.9·0.9 ≈ 0.405) → 0.9·0.595 ≈ 0.5355,
+    // now below Beta (0.81) and Gamma (0.72).
+    let delta_pos = t.iter().position(|x| x == "Delta").unwrap();
+    let beta_pos = t.iter().position(|x| x == "Beta").unwrap();
+    assert!(delta_pos > beta_pos, "{t:?}");
+    // Interests stay monotone.
+    let interest = rs.column("interest").unwrap();
+    let vals: Vec<f64> = interest.iter().map(|v| v.as_f64().unwrap()).collect();
+    for w in vals.windows(2) {
+        assert!(w[0] >= w[1], "{vals:?}");
+    }
+}
+
+#[test]
+fn negatives_follow_transitive_paths() {
+    let db = paper_db();
+    let mut profile = julie();
+    // Aversion expressed on a transitively-reachable attribute.
+    profile.add_negative_selection("DIRECTOR", "name", "W. Allen", 1.0).unwrap();
+    let negatives = select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
+    assert_eq!(negatives.len(), 1);
+    assert!(negatives[0].joins.len() == 2, "reached through DIRECTED: {}", negatives[0]);
+
+    let p = personalize(&tonight_query(), &InMemoryGraph::build(&profile, db.catalog()).unwrap(),
+        db.catalog(), PersonalizeOptions::top_k(3, 1)).unwrap();
+    let q = integrate_mq_with_negatives(
+        tonight_query().as_select().unwrap(),
+        &p.paths,
+        &negatives,
+        0,
+        MatchSpec::AtLeast(1),
+    )
+    .unwrap();
+    let t = titles(&db.run_query(&q).unwrap());
+    assert!(!t.contains(&"Beta".to_string()), "Beta is a W. Allen movie: {t:?}");
+}
+
+#[test]
+fn negative_profile_json_roundtrip_and_backcompat() {
+    let mut p = Profile::new("x");
+    p.add_selection("GENRE", "genre", "comedy", 0.8).unwrap();
+    p.add_negative_selection("GENRE", "genre", "horror", 0.9).unwrap();
+    let back = Profile::from_json(&p.to_json()).unwrap();
+    assert_eq!(back, p);
+    assert_eq!(back.negatives().count(), 1);
+    // Profiles serialized before the extension still load.
+    let legacy = r#"{"user":"old","preferences":[]}"#;
+    let old = Profile::from_json(legacy).unwrap();
+    assert_eq!(old.negatives().count(), 0);
+}
+
+#[test]
+fn explanations_match_engine_ranking() {
+    let db = paper_db();
+    let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
+    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
+        .unwrap();
+    let n = verify_against_engine(&p, &db).unwrap();
+    assert_eq!(n, 4);
+
+    let ex = explain(&p, &db).unwrap();
+    assert_eq!(ex[0].row, vec![Value::str("Alpha")]);
+    assert_eq!(ex[0].satisfied.len(), 3, "Alpha satisfies Lynch, comedy, Kidman");
+    assert!((ex[0].interest.value() - 0.99468).abs() < 1e-9);
+    let gamma = ex.iter().find(|e| e.row == vec![Value::str("Gamma")]).unwrap();
+    assert_eq!(gamma.satisfied.len(), 1);
+    assert!(gamma.satisfied[0].0.to_string().contains("N. Kidman"));
+    // Display renders something human-readable.
+    assert!(ex[0].to_string().contains("interest"));
+}
+
+#[test]
+fn explanations_respect_l_threshold() {
+    let db = paper_db();
+    let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
+    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 2))
+        .unwrap();
+    let ex = explain(&p, &db).unwrap();
+    assert_eq!(ex.len(), 1, "only Alpha satisfies two preferences");
+    assert_eq!(ex[0].row, vec![Value::str("Alpha")]);
+    verify_against_engine(&p, &db).unwrap();
+}
+
+#[test]
+fn learner_reconstructs_julies_taste_from_history() {
+    let db = paper_db();
+    // Julie's hypothetical history: she kept asking for comedies and Lynch.
+    let mut learner = ProfileLearner::new("julie2", LearnerConfig::default());
+    for _ in 0..6 {
+        learner.observe(
+            &pqp_sql::parse_query(
+                "select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'comedy'",
+            )
+            .unwrap(),
+        );
+    }
+    for _ in 0..3 {
+        learner.observe(
+            &pqp_sql::parse_query(
+                "select MV.title from MOVIE MV, DIRECTED DD, DIRECTOR DI \
+                 where MV.mid = DD.mid and DD.did = DI.did and DI.name = 'D. Lynch'",
+            )
+            .unwrap(),
+        );
+    }
+    // And she always joins plays to movies.
+    for _ in 0..4 {
+        learner.observe(&tonight_query());
+    }
+    let profile = learner.profile().unwrap();
+    profile.validate(db.catalog()).unwrap();
+
+    let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::top_k(3, 1).ranked(),
+    )
+    .unwrap();
+    assert!(p.k() >= 2, "learned comedy + Lynch: {:?}", p.paths);
+    let rs = db.run_query(&p.mq().unwrap()).unwrap();
+    // Alpha (comedy + Lynch) must rank first.
+    assert_eq!(rs.rows[0][0], Value::str("Alpha"));
+}

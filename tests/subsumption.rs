@@ -1,0 +1,100 @@
+//! The paper's theorem (§3.3): among logical combinations of the top-K
+//! preferences ("any L of the K most interesting"), subsumed conditions —
+//! whose results are contained in another's for all databases — carry a
+//! degree of interest at least as high. Smaller answers are more
+//! interesting.
+//!
+//! We verify the two instances the combination functions must support:
+//!
+//! 1. degree is monotone non-increasing in L (satisfying "any L+1 of K" is
+//!    subsumed by "any L of K");
+//! 2. a conjunction's degree dominates the degree of any of its subsets.
+
+use pqp_core::doi::{conjunction_degree, disjunction_degree, Doi};
+use proptest::prelude::*;
+
+fn degrees(n: usize) -> impl Strategy<Value = Vec<Doi>> {
+    prop::collection::vec((0.0f64..=1.0).prop_map(|d| Doi::new(d).unwrap()), 1..=n)
+}
+
+/// Degree of the condition "at least L of these K preferences hold":
+/// the disjunction over all L-subsets of the conjunction of each subset.
+fn l_of_k_degree(dois: &[Doi], l: usize) -> Doi {
+    assert!(l >= 1 && l <= dois.len());
+    let mut combo_degrees = Vec::new();
+    let mut subset = Vec::new();
+    fn rec(
+        dois: &[Doi],
+        l: usize,
+        start: usize,
+        subset: &mut Vec<Doi>,
+        out: &mut Vec<Doi>,
+    ) {
+        if subset.len() == l {
+            out.push(conjunction_degree(subset));
+            return;
+        }
+        for i in start..dois.len() {
+            subset.push(dois[i]);
+            rec(dois, l, i + 1, subset, out);
+            subset.pop();
+        }
+    }
+    rec(dois, l, 0, &mut subset, &mut combo_degrees);
+    disjunction_degree(&combo_degrees)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn conjunction_dominates_subsets(ds in degrees(6)) {
+        // result(A ∧ B) ⊆ result(A) ⇒ degree(A ∧ B) ≥ degree(A).
+        let all = conjunction_degree(&ds);
+        for i in 0..ds.len() {
+            let mut subset = ds.clone();
+            subset.remove(i);
+            if subset.is_empty() {
+                continue;
+            }
+            prop_assert!(all >= conjunction_degree(&subset));
+        }
+    }
+
+    #[test]
+    fn l_of_k_degree_is_monotone_in_l(ds in degrees(6)) {
+        // "at least L+1 of K" is subsumed by "at least L of K", so its
+        // degree must be at least as large.
+        for l in 1..ds.len() {
+            let lower = l_of_k_degree(&ds, l);
+            let higher = l_of_k_degree(&ds, l + 1);
+            prop_assert!(
+                higher >= lower,
+                "L={} gives {}, L={} gives {} for {:?}",
+                l + 1, higher.value(), l, lower.value(),
+                ds.iter().map(|d| d.value()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn transitive_extension_never_raises_degree(ds in degrees(6)) {
+        // Longer paths are weaker preferences: the product of more degrees
+        // is no larger.
+        let shorter = pqp_core::doi::transitive_degree(&ds[..ds.len().saturating_sub(1).max(1)]);
+        let longer = pqp_core::doi::transitive_degree(&ds);
+        prop_assert!(longer <= shorter);
+    }
+
+    #[test]
+    fn axioms_hold_for_arbitrary_inputs(ds in degrees(8)) {
+        // ε absorbs FP rounding: e.g. 1−(1−d) can differ from d by an ulp.
+        const EPS: f64 = 1e-12;
+        let min = ds.iter().copied().min().unwrap().value();
+        let max = ds.iter().copied().max().unwrap().value();
+        prop_assert!(pqp_core::doi::transitive_degree(&ds).value() <= min + EPS);
+        prop_assert!(conjunction_degree(&ds).value() >= max - EPS);
+        let dis = disjunction_degree(&ds).value();
+        prop_assert!(dis >= min - EPS && dis <= max + EPS);
+    }
+}
