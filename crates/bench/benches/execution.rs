@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of query execution: the initial query vs the
+//! Micro-benchmarks of query execution: the initial query vs the
 //! personalized SQ and MQ rewrites (the operation behind Figures 8–10,
 //! right panels), plus the engine's ranking aggregate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqp_bench::microbench::MicroBench;
 use pqp_core::prelude::*;
 use pqp_datagen::{
     generate, generate_profile, generate_queries, MovieDb, MovieDbConfig, ProfileGenConfig,
@@ -21,30 +21,20 @@ fn setup() -> (MovieDb, Query, Vec<(usize, Query, Query)>) {
     let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
     let mut variants = Vec::new();
     for k in [5usize, 20] {
-        let p = personalize(&query, &graph, m.db.catalog(), PersonalizeOptions::top_k(k, 1))
-            .unwrap();
+        let p =
+            personalize(&query, &graph, m.db.catalog(), PersonalizeOptions::top_k(k, 1)).unwrap();
         variants.push((k, p.sq().unwrap(), p.mq().unwrap()));
     }
     (m, query, variants)
 }
 
-fn bench_execution(c: &mut Criterion) {
+fn main() {
     let (m, initial, variants) = setup();
-    let mut group = c.benchmark_group("query_execution");
-    group.sample_size(20);
-    group.bench_function("initial", |b| {
-        b.iter(|| m.db.run_query(&initial).unwrap());
-    });
+    let mut group = MicroBench::new("query_execution").sample_size(20);
+    group.bench("initial", || m.db.run_query(&initial).unwrap());
     for (k, sq, mq) in &variants {
-        group.bench_with_input(BenchmarkId::new("sq", k), sq, |b, q| {
-            b.iter(|| m.db.run_query(q).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("mq", k), mq, |b, q| {
-            b.iter(|| m.db.run_query(q).unwrap());
-        });
+        group.bench(format!("sq/{k}"), || m.db.run_query(sq).unwrap());
+        group.bench(format!("mq/{k}"), || m.db.run_query(mq).unwrap());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_execution);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of preference integration: SQ vs MQ query
+//! Micro-benchmarks of preference integration: SQ vs MQ query
 //! construction (the operation behind Figures 8 and 9, left panels).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqp_bench::microbench::MicroBench;
 use pqp_core::prelude::*;
 use pqp_core::Personalized;
 use pqp_datagen::{
@@ -20,24 +20,12 @@ fn personalized(k: usize, l: usize) -> Personalized {
     personalize(query, &graph, pool.db.catalog(), PersonalizeOptions::top_k(k, l)).unwrap()
 }
 
-fn bench_integration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("preference_integration");
-    group.sample_size(30);
+fn main() {
+    let mut group = MicroBench::new("preference_integration").sample_size(30);
     for (k, l) in [(10usize, 1usize), (30, 1), (60, 1), (10, 3), (10, 5)] {
         let p = personalized(k, l);
-        group.bench_with_input(
-            BenchmarkId::new("sq", format!("k{k}_l{l}")),
-            &p,
-            |b, p| b.iter(|| p.sq().unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mq", format!("k{k}_l{l}")),
-            &p,
-            |b, p| b.iter(|| p.mq().unwrap()),
-        );
+        group.bench(format!("sq/k{k}_l{l}"), || p.sq().unwrap());
+        group.bench(format!("mq/k{k}_l{l}"), || p.mq().unwrap());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_integration);
-criterion_main!(benches);

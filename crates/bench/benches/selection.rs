@@ -1,21 +1,20 @@
-//! Criterion micro-benchmarks of the preference-selection algorithm
+//! Micro-benchmarks of the preference-selection algorithm
 //! (the operation behind Figure 6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqp_bench::context::schema_only_db;
+use pqp_bench::microbench::MicroBench;
 use pqp_core::prelude::*;
 use pqp_core::{select_preferences, InterestCriterion, QueryGraph};
 use pqp_datagen::{
     generate, generate_profile, generate_queries, MovieDbConfig, ProfileGenConfig, QueryGenConfig,
 };
 
-fn bench_selection(c: &mut Criterion) {
+fn main() {
     let pool = generate(MovieDbConfig { movies: 300, theatres: 8, ..Default::default() });
     let query = &generate_queries(5, &pool.pools, &QueryGenConfig::default())[0];
     let qg = QueryGraph::from_select(query.as_select().unwrap(), pool.db.catalog()).unwrap();
 
-    let mut group = c.benchmark_group("preference_selection");
-    group.sample_size(30);
+    let mut group = MicroBench::new("preference_selection").sample_size(30);
     for size in [10usize, 50, 100] {
         let profile = generate_profile(
             "bench",
@@ -23,26 +22,15 @@ fn bench_selection(c: &mut Criterion) {
             &ProfileGenConfig { selections: size, seed: size as u64, ..Default::default() },
         );
         let memory = InMemoryGraph::build(&profile, pool.db.catalog()).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("in_memory_k10", size),
-            &size,
-            |b, _| {
-                b.iter(|| select_preferences(&qg, &memory, &InterestCriterion::TopK(10)));
-            },
-        );
+        group.bench(format!("in_memory_k10/{size}"), || {
+            select_preferences(&qg, &memory, &InterestCriterion::TopK(10))
+        });
         let mut host = schema_only_db();
         StoredProfileGraph::store(&mut host, &profile).unwrap();
         let stored = StoredProfileGraph::open(&host, "bench");
-        group.bench_with_input(
-            BenchmarkId::new("stored_k10", size),
-            &size,
-            |b, _| {
-                b.iter(|| select_preferences(&qg, &stored, &InterestCriterion::TopK(10)));
-            },
-        );
+        group.bench(format!("stored_k10/{size}"), || {
+            select_preferences(&qg, &stored, &InterestCriterion::TopK(10))
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_selection);
-criterion_main!(benches);

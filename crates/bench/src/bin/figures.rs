@@ -61,9 +61,8 @@ fn main() {
         run("fig6", || figures::fig6(&scale), &mut experiments);
     }
 
-    let needs_workload = ["fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "ablations"]
-        .iter()
-        .any(|f| wants(f));
+    let needs_workload =
+        ["fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "ablations"].iter().any(|f| wants(f));
     if needs_workload {
         eprintln!("building workload (movies={}) ...", scale.movies);
         let w = Workload::build(scale.clone());
@@ -97,18 +96,22 @@ fn main() {
             Err(err) => eprintln!("failed to write {}: {err}", e.id),
         }
     }
+    // Per-stage metric breakdown (pipeline counters + per-figure wall-time
+    // histograms) accumulated by the instrumented stages during the run.
+    match pqp_bench::write_metrics_json(&out_dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write metrics.json: {err}"),
+    }
     eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }
 
-fn run(
-    name: &str,
-    f: impl FnOnce() -> Vec<Experiment>,
-    experiments: &mut Vec<Experiment>,
-) {
+fn run(name: &str, f: impl FnOnce() -> Vec<Experiment>, experiments: &mut Vec<Experiment>) {
     eprintln!("running {name} ...");
     let t = Instant::now();
     let out = f();
-    eprintln!("  {name} done in {:.1}s", t.elapsed().as_secs_f64());
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    pqp_obs::observe(&format!("figure.{name}.wall_ms"), ms);
+    eprintln!("  {name} done in {:.1}s", ms / 1e3);
     for e in &out {
         println!("{}", e.to_markdown());
     }

@@ -130,16 +130,10 @@ impl Workload {
             theatres: scale.theatres,
             ..Default::default()
         });
-        let queries = generate_queries(
-            scale.pairs_queries,
-            &movie_db.pools,
-            &QueryGenConfig::default(),
-        );
-        let broad_queries = generate_queries(
-            scale.pairs_queries,
-            &movie_db.pools,
-            &QueryGenConfig::broad(),
-        );
+        let queries =
+            generate_queries(scale.pairs_queries, &movie_db.pools, &QueryGenConfig::default());
+        let broad_queries =
+            generate_queries(scale.pairs_queries, &movie_db.pools, &QueryGenConfig::broad());
         let profiles: Vec<Profile> = (0..scale.pairs_profiles)
             .map(|i| {
                 generate_profile(

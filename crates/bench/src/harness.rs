@@ -98,9 +98,11 @@ impl Experiment {
         }
         let _ = writeln!(out, "{header}");
         let _ = writeln!(out, "{rule}");
-        let xs: Vec<f64> = self.series.first().map(|s| {
-            s.points.iter().map(|(x, _)| *x).collect()
-        }).unwrap_or_default();
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+            .unwrap_or_default();
         for (i, x) in xs.iter().enumerate() {
             let mut row = format!("| {x} |");
             for s in &self.series {
@@ -113,7 +115,7 @@ impl Experiment {
             }
             let _ = writeln!(out, "{row}");
         }
-        let _ = writeln!(out, "\n({} = {})", self.y_label, "series values");
+        let _ = writeln!(out, "\n({} = series values)", self.y_label);
         out
     }
 
@@ -123,9 +125,11 @@ impl Experiment {
         let mut header = vec![self.x_label.clone()];
         header.extend(self.series.iter().map(|s| s.label.clone()));
         let _ = writeln!(out, "{}", header.join(","));
-        let xs: Vec<f64> = self.series.first().map(|s| {
-            s.points.iter().map(|(x, _)| *x).collect()
-        }).unwrap_or_default();
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+            .unwrap_or_default();
         for (i, x) in xs.iter().enumerate() {
             let mut row = vec![format!("{x}")];
             for s in &self.series {

@@ -11,6 +11,8 @@
 pub mod context;
 pub mod figures;
 pub mod harness;
+pub mod microbench;
 
 pub use context::{Scale, Workload};
 pub use harness::{time_ms, Experiment, Series, Stats};
+pub use microbench::{write_metrics_json, MicroBench};

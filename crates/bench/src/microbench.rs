@@ -1,0 +1,127 @@
+//! A tiny std-only micro-benchmark runner (the workspace's stand-in for
+//! criterion, which would break the offline build).
+//!
+//! Each benchmark warms up, runs a fixed number of timed iterations, prints
+//! a one-line summary, and feeds every sample into the process-global
+//! metrics registry (`pqp_obs`), so a run can end with a per-stage metric
+//! breakdown written under `results/`.
+
+use crate::harness::Stats;
+use pqp_obs::Json;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A named group of micro-benchmarks sharing a sample size.
+pub struct MicroBench {
+    group: String,
+    sample_size: usize,
+    results: Vec<(String, Stats)>,
+}
+
+impl MicroBench {
+    pub fn new(group: impl Into<String>) -> MicroBench {
+        let group = group.into();
+        println!("## {group}");
+        MicroBench { group, sample_size: 30, results: Vec::new() }
+    }
+
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> MicroBench {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: a short warm-up, then `sample_size` timed calls.
+    pub fn bench<T>(&mut self, label: impl Into<String>, mut f: impl FnMut() -> T) {
+        let label = label.into();
+        for _ in 0..3.min(self.sample_size) {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            samples.push(ms);
+            pqp_obs::observe(&format!("{}.{}_ms", self.group, label), ms);
+        }
+        let stats = Stats::of(&samples);
+        println!(
+            "{:<40} {:>10.4} ms/iter  (p50 {:.4}, min {:.4}, max {:.4}, n={})",
+            label, stats.mean, stats.p50, stats.min, stats.max, stats.n
+        );
+        self.results.push((label, stats));
+    }
+
+    /// Write the per-benchmark summaries as JSON under `dir`, named after
+    /// the group.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let mut benches = Vec::new();
+        for (label, s) in &self.results {
+            benches.push(
+                Json::obj()
+                    .set("name", label.as_str())
+                    .set("n", s.n as i64)
+                    .set("mean_ms", s.mean)
+                    .set("p50_ms", s.p50)
+                    .set("min_ms", s.min)
+                    .set("max_ms", s.max),
+            );
+        }
+        let doc =
+            Json::obj().set("group", self.group.as_str()).set("benchmarks", Json::Arr(benches));
+        let path = dir.join(format!("micro_{}.json", self.group));
+        std::fs::write(&path, doc.pretty())?;
+        Ok(path)
+    }
+
+    /// Finish the group: write the JSON summary (and the global metric
+    /// snapshot alongside it) under `results/`.
+    pub fn finish(self) {
+        let dir = PathBuf::from("results");
+        match self.write_json(&dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write micro_{}.json: {err}", self.group),
+        }
+        match write_metrics_json(&dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write metrics.json: {err}"),
+        }
+    }
+}
+
+/// Snapshot the process-global metrics registry (pipeline counters and
+/// histograms accumulated by the instrumented stages) to `dir/metrics.json`.
+pub fn write_metrics_json(dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("metrics.json");
+    std::fs::write(&path, pqp_obs::metrics::global_snapshot().to_json().pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples_and_writes_json() {
+        let mut mb = MicroBench::new("unit_test_group").sample_size(5);
+        mb.bench("sum", || (0..1000u64).sum::<u64>());
+        assert_eq!(mb.results.len(), 1);
+        assert_eq!(mb.results[0].1.n, 5);
+
+        let dir = std::env::temp_dir().join("pqp_microbench_test");
+        let path = mb.write_json(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("group").and_then(Json::as_str), Some("unit_test_group"));
+        assert_eq!(doc.get("benchmarks").and_then(Json::as_array).map(|a| a.len()), Some(1));
+        std::fs::remove_file(path).unwrap();
+
+        // The samples also landed in the global registry.
+        let snap = pqp_obs::metrics::global_snapshot();
+        let h = snap.histogram("unit_test_group.sum_ms").expect("histogram recorded");
+        assert!(h.count() >= 5);
+    }
+}

@@ -70,10 +70,7 @@ fn ablations_smoke() {
     // The un-expanded cost must dominate at the largest K measured.
     let with = or[0].series[0].points.last().unwrap().1;
     let without = or[0].series[1].points.last().unwrap().1;
-    assert!(
-        without > with * 10.0,
-        "OR-expansion should matter: with={with}, without={without}"
-    );
+    assert!(without > with * 10.0, "OR-expansion should matter: with={with}, without={without}");
 }
 
 #[test]

@@ -21,7 +21,9 @@ use crate::query_graph::QueryGraph;
 /// the path's anchor variable, ending at a variable with a selection on `A`
 /// carrying a *different* value.
 pub fn conflicts_with_query(path: &PreferencePath, qg: &QueryGraph) -> bool {
-    let Some(sel) = &path.selection else { return false };
+    let Some(sel) = &path.selection else {
+        return false;
+    };
     if !path.all_joins_to_one() {
         return false;
     }
@@ -38,7 +40,9 @@ pub fn conflicts_with_query(path: &PreferencePath, qg: &QueryGraph) -> bool {
                 continue;
             }
             for (_, col, other_var, other_col) in qg.joins_from_var(v) {
-                let Some(other) = qg.node(&other_var) else { continue };
+                let Some(other) = qg.node(&other_var) else {
+                    continue;
+                };
                 if col.eq_ignore_ascii_case(&from_col)
                     && other.table.eq_ignore_ascii_case(&to_tbl)
                     && other_col.eq_ignore_ascii_case(&to_col)
@@ -55,10 +59,7 @@ pub fn conflicts_with_query(path: &PreferencePath, qg: &QueryGraph) -> bool {
     }
     // Any reachable variable with a different-valued selection on the same
     // attribute conflicts.
-    vars.iter().any(|v| {
-        qg.selections_on(v, &sel.attr.column)
-            .any(|qs| qs.value != sel.value)
-    })
+    vars.iter().any(|v| qg.selections_on(v, &sel.attr.column).any(|qs| qs.value != sel.value))
 }
 
 /// Whether two completed preference paths conflict with each other.
@@ -95,20 +96,15 @@ mod tests {
         c.create_table(
             TableSchema::new(
                 "THEATRE",
-                vec![
-                    ColumnDef::new("tid", DataType::Int),
-                    ColumnDef::new("region", DataType::Str),
-                ],
+                vec![ColumnDef::new("tid", DataType::Int), ColumnDef::new("region", DataType::Str)],
             )
             .with_primary_key(&["tid"]),
         )
         .unwrap();
-        c.create_table(
-            TableSchema::new(
-                "PLAY",
-                vec![ColumnDef::new("tid", DataType::Int), ColumnDef::new("mid", DataType::Int)],
-            ),
-        )
+        c.create_table(TableSchema::new(
+            "PLAY",
+            vec![ColumnDef::new("tid", DataType::Int), ColumnDef::new("mid", DataType::Int)],
+        ))
         .unwrap();
         c.create_table(
             TableSchema::new(
@@ -165,12 +161,13 @@ mod tests {
     fn transitive_conflict_through_to_one_chain() {
         // Query: PLAY ⋈ MOVIE with MOVIE.title='The Last Dictator'.
         // Preference: PLAY →(to-one) MOVIE.title='Other' conflicts.
-        let g = qg(
-            "select PL.tid from PLAY PL, MOVIE MV \
-             where PL.mid = MV.mid and MV.title = 'The Last Dictator'",
-        );
+        let g = qg("select PL.tid from PLAY PL, MOVIE MV \
+             where PL.mid = MV.mid and MV.title = 'The Last Dictator'");
         let p = PreferencePath::anchor("PL", "PLAY")
-            .with_join(join(("PLAY", "mid"), ("MOVIE", "mid"), Cardinality::ToOne), &PaperCombinator)
+            .with_join(
+                join(("PLAY", "mid"), ("MOVIE", "mid"), Cardinality::ToOne),
+                &PaperCombinator,
+            )
             .with_selection(
                 SelectionEdge {
                     attr: AttrRef::new("MOVIE", "title"),
@@ -186,12 +183,13 @@ mod tests {
     fn to_many_chain_never_conflicts() {
         // THEATRE →(to-many) PLAY: a theatre plays many movies, so a
         // preference on another play date cannot conflict.
-        let g = qg(
-            "select TH.tid from THEATRE TH, PLAY PL \
-             where TH.tid = PL.tid and PL.mid = '5'",
-        );
+        let g = qg("select TH.tid from THEATRE TH, PLAY PL \
+             where TH.tid = PL.tid and PL.mid = '5'");
         let p = PreferencePath::anchor("TH", "THEATRE")
-            .with_join(join(("THEATRE", "tid"), ("PLAY", "tid"), Cardinality::ToMany), &PaperCombinator)
+            .with_join(
+                join(("THEATRE", "tid"), ("PLAY", "tid"), Cardinality::ToMany),
+                &PaperCombinator,
+            )
             .with_selection(
                 SelectionEdge {
                     attr: AttrRef::new("PLAY", "mid"),
@@ -209,7 +207,10 @@ mod tests {
         // if a same-attribute selection exists on an unrelated variable.
         let g = qg("select PL.tid from PLAY PL where PL.mid = '3'");
         let p = PreferencePath::anchor("PL", "PLAY")
-            .with_join(join(("PLAY", "mid"), ("MOVIE", "mid"), Cardinality::ToOne), &PaperCombinator)
+            .with_join(
+                join(("PLAY", "mid"), ("MOVIE", "mid"), Cardinality::ToOne),
+                &PaperCombinator,
+            )
             .with_selection(
                 SelectionEdge {
                     attr: AttrRef::new("MOVIE", "title"),

@@ -26,7 +26,7 @@ impl InterestCriterion {
     /// already-selected degrees `current`?
     pub fn accepts(&self, current: &[Doi], candidate: Doi) -> bool {
         match *self {
-            InterestCriterion::TopK(r) => current.len() + 1 <= r,
+            InterestCriterion::TopK(r) => current.len() < r,
             InterestCriterion::MinDegree(d) => candidate.value() > d,
             InterestCriterion::DisjunctionAbove(d) => {
                 let mut all: Vec<Doi> = current.to_vec();

@@ -16,12 +16,10 @@
 //! or the ranking behaviour break.
 
 use crate::error::{PrefError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A validated degree of interest in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Doi(f64);
 
 impl Doi {
@@ -215,12 +213,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_and_validation() {
-        let j = serde_json::to_string(&d(0.75)).unwrap();
-        assert_eq!(j, "0.75");
-        let back: Doi = serde_json::from_str(&j).unwrap();
-        assert_eq!(back, d(0.75));
-        assert!(serde_json::from_str::<Doi>("1.5").is_err());
+    fn raw_value_roundtrip_and_validation() {
+        // Degrees cross serialization boundaries as raw f64s; the TryFrom
+        // side must re-validate.
+        let raw: f64 = d(0.75).into();
+        assert_eq!(raw, 0.75);
+        assert_eq!(Doi::try_from(raw).unwrap(), d(0.75));
+        assert!(Doi::try_from(1.5).is_err());
     }
 
     #[test]

@@ -53,21 +53,12 @@ pub fn explain(p: &Personalized, db: &Database) -> Result<Vec<Explanation>> {
         .ok_or_else(|| PrefError::UnsupportedQuery("plain SELECT required".into()))?;
     let mut memberships: HashMap<Vec<String>, (Vec<Value>, Vec<usize>)> = HashMap::new();
     for (i, path) in p.paths.iter().enumerate() {
-        let single = integrate_mq(
-            &select,
-            std::slice::from_ref(path),
-            0,
-            MatchSpec::AtLeast(1),
-            false,
-        )?;
+        let single =
+            integrate_mq(&select, std::slice::from_ref(path), 0, MatchSpec::AtLeast(1), false)?;
         let rs = db.run_query(&single)?;
         for row in rs.rows {
             let key: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-            memberships
-                .entry(key)
-                .or_insert_with(|| (row.clone(), Vec::new()))
-                .1
-                .push(i);
+            memberships.entry(key).or_insert_with(|| (row.clone(), Vec::new())).1.push(i);
         }
     }
     // The threshold the personalization asked for (at least one satisfied
@@ -108,8 +99,7 @@ pub fn verify_against_engine(p: &Personalized, db: &Database) -> Result<usize> {
         .rows
         .iter()
         .map(|r| {
-            let key: Vec<String> =
-                r[..r.len() - 1].iter().map(|v| v.to_string()).collect();
+            let key: Vec<String> = r[..r.len() - 1].iter().map(|v| v.to_string()).collect();
             (key, r[r.len() - 1].as_f64().unwrap_or(0.0))
         })
         .collect();
@@ -133,4 +123,182 @@ pub fn verify_against_engine(p: &Personalized, db: &Database) -> Result<usize> {
         }
     }
     Ok(explanations.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::InMemoryGraph;
+    use crate::personalize::{personalize, PersonalizeOptions};
+    use crate::profile::Profile;
+    use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+
+    /// A pocket movies instance:
+    ///
+    /// | movie | genre    | star   | plays tonight |
+    /// |-------|----------|--------|---------------|
+    /// | Alpha | comedy   | Kidman | yes           |
+    /// | Beta  | comedy   | —      | yes           |
+    /// | Gamma | —        | Kidman | yes           |
+    /// | Delta | thriller | —      | yes           |
+    /// | Omega | cooking  | —      | yes           |
+    ///
+    /// Profile paths (join degree × selection degree):
+    /// thriller 1.0 × 0.9 = 0.9, comedy 0.9 × 0.9 = 0.81,
+    /// Kidman 0.8 × 0.9 = 0.72.
+    fn fixture() -> (Database, Profile) {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "MOVIE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+            )
+            .with_primary_key(&["mid"]),
+        )
+        .unwrap();
+        c.create_table(TableSchema::new(
+            "PLAY",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("date", DataType::Str)],
+        ))
+        .unwrap();
+        c.create_table(TableSchema::new(
+            "GENRE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c.create_table(TableSchema::new(
+            "CAST",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("aname", DataType::Str)],
+        ))
+        .unwrap();
+        let ins = |t: &str, rows: Vec<Vec<Value>>| {
+            let t = c.table(t).unwrap();
+            let mut t = t.write();
+            for r in rows {
+                t.insert(r).unwrap();
+            }
+        };
+        ins(
+            "MOVIE",
+            vec![
+                vec![1.into(), "Alpha".into()],
+                vec![2.into(), "Beta".into()],
+                vec![3.into(), "Gamma".into()],
+                vec![4.into(), "Delta".into()],
+                vec![5.into(), "Omega".into()],
+            ],
+        );
+        ins("PLAY", (1..=5i64).map(|m| vec![m.into(), "tonight".into()]).collect());
+        ins(
+            "GENRE",
+            vec![
+                vec![1.into(), "comedy".into()],
+                vec![2.into(), "comedy".into()],
+                vec![4.into(), "thriller".into()],
+                vec![5.into(), "cooking".into()],
+            ],
+        );
+        ins("CAST", vec![vec![1.into(), "Kidman".into()], vec![3.into(), "Kidman".into()]]);
+
+        let mut profile = Profile::new("julie");
+        profile.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        profile.add_join("MOVIE", "mid", "CAST", "mid", 0.8).unwrap();
+        profile.add_selection("GENRE", "genre", "thriller", 1.0).unwrap();
+        profile.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+        profile.add_selection("CAST", "aname", "Kidman", 0.9).unwrap();
+        (Database::new(c), profile)
+    }
+
+    fn run(db: &Database, profile: &Profile, l: usize) -> Personalized {
+        let graph = InMemoryGraph::build(profile, db.catalog()).unwrap();
+        let query = pqp_sql::parse_query(
+            "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid and PL.date = 'tonight'",
+        )
+        .unwrap();
+        personalize(&query, &graph, db.catalog(), PersonalizeOptions::top_k(3, l)).unwrap()
+    }
+
+    fn title(e: &Explanation) -> String {
+        e.row[0].to_string()
+    }
+
+    #[test]
+    fn memberships_join_across_partial_queries() {
+        let (db, profile) = fixture();
+        let p = run(&db, &profile, 1);
+        let es = explain(&p, &db).unwrap();
+        // Omega satisfies no selected preference → no explanation.
+        let titles: Vec<String> = es.iter().map(title).collect();
+        assert_eq!(titles.len(), 4, "{es:#?}");
+        assert!(!titles.contains(&"Omega".to_string()));
+        // Alpha is returned by two partial queries (comedy and Kidman) but
+        // appears once, with both memberships joined.
+        let alpha = es.iter().find(|e| title(e) == "Alpha").unwrap();
+        let mut degrees: Vec<f64> = alpha.satisfied.iter().map(|(_, d)| d.value()).collect();
+        degrees.sort_by(f64::total_cmp);
+        assert_eq!(degrees.len(), 2);
+        assert!((degrees[0] - 0.72).abs() < 1e-12);
+        assert!((degrees[1] - 0.81).abs() < 1e-12);
+        // Single-membership rows keep exactly one satisfied preference.
+        let delta = es.iter().find(|e| title(e) == "Delta").unwrap();
+        assert_eq!(delta.satisfied.len(), 1);
+    }
+
+    #[test]
+    fn interest_is_the_conjunction_combination() {
+        let (db, profile) = fixture();
+        let p = run(&db, &profile, 1);
+        let es = explain(&p, &db).unwrap();
+        // Two satisfied preferences combine as 1 − ∏(1 − dᵢ).
+        let alpha = es.iter().find(|e| title(e) == "Alpha").unwrap();
+        let expected = 1.0 - (1.0 - 0.81) * (1.0 - 0.72);
+        assert!((alpha.interest.value() - expected).abs() < 1e-12);
+        // A single satisfied preference contributes its own degree.
+        let delta = es.iter().find(|e| title(e) == "Delta").unwrap();
+        assert!((delta.interest.value() - 0.9).abs() < 1e-12);
+        let gamma = es.iter().find(|e| title(e) == "Gamma").unwrap();
+        assert!((gamma.interest.value() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explanations_are_sorted_by_decreasing_interest() {
+        let (db, profile) = fixture();
+        let p = run(&db, &profile, 1);
+        let es = explain(&p, &db).unwrap();
+        let titles: Vec<String> = es.iter().map(title).collect();
+        // Alpha 0.9468 > Delta 0.9 > Beta 0.81 > Gamma 0.72.
+        assert_eq!(titles, ["Alpha", "Delta", "Beta", "Gamma"]);
+        for w in es.windows(2) {
+            assert!(w[0].interest >= w[1].interest);
+        }
+    }
+
+    #[test]
+    fn at_least_l_threshold_filters_rows() {
+        let (db, profile) = fixture();
+        let p = run(&db, &profile, 2);
+        let es = explain(&p, &db).unwrap();
+        // Only Alpha satisfies two of the selected preferences.
+        assert_eq!(es.len(), 1, "{es:#?}");
+        assert_eq!(title(&es[0]), "Alpha");
+        assert_eq!(es[0].satisfied.len(), 2);
+    }
+
+    #[test]
+    fn display_shows_row_interest_and_reasons() {
+        let (db, profile) = fixture();
+        let p = run(&db, &profile, 1);
+        let es = explain(&p, &db).unwrap();
+        let text = es[0].to_string();
+        assert!(text.contains("Alpha"), "{text}");
+        assert!(text.contains("interest 0.9468"), "{text}");
+        assert!(text.contains("comedy"), "{text}");
+    }
+
+    #[test]
+    fn client_explanations_agree_with_engine_ranking() {
+        let (db, profile) = fixture();
+        let p = run(&db, &profile, 1);
+        assert_eq!(verify_against_engine(&p, &db).unwrap(), 4);
+    }
 }

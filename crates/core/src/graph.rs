@@ -92,10 +92,10 @@ impl InMemoryGraph {
             }
         }
         for v in joins.values_mut() {
-            v.sort_by(|a, b| b.doi.cmp(&a.doi));
+            v.sort_by_key(|e| std::cmp::Reverse(e.doi));
         }
         for v in selections.values_mut() {
-            v.sort_by(|a, b| b.doi.cmp(&a.doi));
+            v.sort_by_key(|e| std::cmp::Reverse(e.doi));
         }
         Ok(InMemoryGraph { joins, selections, accesses: Cell::new(0) })
     }
@@ -281,7 +281,9 @@ impl GraphAccess for StoredProfileGraph<'_> {
             self.user.replace('\'', "''"),
             table.to_ascii_uppercase()
         );
-        let Ok(rs) = self.db.run(&sql) else { return Vec::new() };
+        let Ok(rs) = self.db.run(&sql) else {
+            return Vec::new();
+        };
         rs.rows
             .into_iter()
             .filter_map(|r| {
@@ -308,7 +310,9 @@ impl GraphAccess for StoredProfileGraph<'_> {
             self.user.replace('\'', "''"),
             table.to_ascii_uppercase()
         );
-        let Ok(rs) = self.db.run(&sql) else { return Vec::new() };
+        let Ok(rs) = self.db.run(&sql) else {
+            return Vec::new();
+        };
         rs.rows
             .into_iter()
             .filter_map(|r| {

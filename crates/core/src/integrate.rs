@@ -110,10 +110,7 @@ fn check_params(k: usize, m: usize, spec: MatchSpec) -> Result<usize> {
     match spec {
         MatchSpec::AtLeast(l) => {
             if l > k - m {
-                return Err(PrefError::InvalidParams(format!(
-                    "L = {l} exceeds K − M = {}",
-                    k - m
-                )));
+                return Err(PrefError::InvalidParams(format!("L = {l} exceeds K − M = {}", k - m)));
             }
             Ok(l)
         }
@@ -150,6 +147,9 @@ pub fn integrate_sq(
     m: usize,
     spec: MatchSpec,
 ) -> Result<Query> {
+    let _span = pqp_obs::span("integrate.sq");
+    pqp_obs::record("paths", paths.len());
+    pqp_obs::record("mandatory", m);
     let MatchSpec::AtLeast(l) = spec else {
         return Err(PrefError::InvalidParams(
             "a minimum-degree threshold requires the MQ rewrite".into(),
@@ -241,9 +241,11 @@ pub fn integrate_sq(
     }
     let used: Vec<(&PreferencePath, &PathVars)> = paths.iter().zip(&all_vars).collect();
     let mut from = select.from.clone();
-    from.extend(factors_for(&used).into_iter().filter(|f| {
-        referenced.iter().any(|q| q.eq_ignore_ascii_case(f.binding_name()))
-    }));
+    from.extend(
+        factors_for(&used)
+            .into_iter()
+            .filter(|f| referenced.iter().any(|q| q.eq_ignore_ascii_case(f.binding_name()))),
+    );
 
     Ok(Query::from_select(Select {
         distinct: true,
@@ -288,6 +290,9 @@ pub fn integrate_mq(
     spec: MatchSpec,
     rank: bool,
 ) -> Result<Query> {
+    let _span = pqp_obs::span("integrate.mq");
+    pqp_obs::record("paths", paths.len());
+    pqp_obs::record("mandatory", m);
     check_params(paths.len(), m, spec)?;
     let proj = mq_projection(select)?;
 
@@ -308,11 +313,10 @@ pub fn integrate_mq(
         partials.push(build_partial(select, paths, m, Some((m + i, p)), &proj, &query_vars));
     }
 
+    pqp_obs::record("partials", partials.len());
+    pqp_obs::counter_add("integrate.partials", partials.len() as i64);
     let union = b::union_all(partials).expect("at least one partial");
-    let temp = b::derived(
-        Query { body: union, order_by: Vec::new(), limit: None },
-        "PQP_TEMP",
-    );
+    let temp = b::derived(Query { body: union, order_by: Vec::new(), limit: None }, "PQP_TEMP");
 
     // Outer query: group by the projected columns, filter by L or degree,
     // optionally rank.
@@ -335,10 +339,9 @@ pub fn integrate_mq(
                 Some(b::gte(b::count_star(), b::lit(l as i64)))
             }
         }
-        MatchSpec::MinDegree(d) => Some(b::gt(
-            b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(DOI_COLUMN)]),
-            b::lit(d),
-        )),
+        MatchSpec::MinDegree(d) => {
+            Some(b::gt(b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(DOI_COLUMN)]), b::lit(d)))
+        }
     };
     let outer = Select {
         distinct: false,
@@ -348,11 +351,8 @@ pub fn integrate_mq(
         group_by: (0..proj.len()).map(|i| b::bare_col(format!("pqp_c{i}"))).collect(),
         having,
     };
-    let order_by = if rank {
-        vec![b::order_by(b::bare_col(INTEREST_COLUMN), true)]
-    } else {
-        Vec::new()
-    };
+    let order_by =
+        if rank { vec![b::order_by(b::bare_col(INTEREST_COLUMN), true)] } else { Vec::new() };
     Ok(Query { body: pqp_sql::SetExpr::Select(Box::new(outer)), order_by, limit: None })
 }
 
@@ -412,8 +412,7 @@ fn build_partial(
     }
     where_parts.extend(conjuncts.exprs);
 
-    let pairs: Vec<(&PreferencePath, &PathVars)> =
-        involved_owned.iter().zip(vars.iter()).collect();
+    let pairs: Vec<(&PreferencePath, &PathVars)> = involved_owned.iter().zip(vars.iter()).collect();
     let mut from = select.from.clone();
     from.extend(factors_for(&pairs));
 
@@ -543,10 +542,7 @@ mod tests {
         let w = q.as_select().unwrap().selection.as_ref().unwrap();
         let conjuncts = w.conjuncts();
         assert!(
-            conjuncts
-                .iter()
-                .take(conjuncts.len() - 1)
-                .any(|c| c.to_string().contains("D. Lynch")),
+            conjuncts.iter().take(conjuncts.len() - 1).any(|c| c.to_string().contains("D. Lynch")),
             "{text}"
         );
     }

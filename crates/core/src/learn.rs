@@ -79,7 +79,9 @@ impl ProfileLearner {
             }
         }
         let resolve = |e: &Expr| -> Option<(String, String)> {
-            let Expr::Column { qualifier, name } = e else { return None };
+            let Expr::Column { qualifier, name } = e else {
+                return None;
+            };
             let table = match qualifier {
                 Some(q) => tables.get(&q.to_ascii_uppercase())?.clone(),
                 None => {
@@ -94,15 +96,14 @@ impl ProfileLearner {
         };
         let Some(w) = &select.selection else { return };
         for c in w.conjuncts() {
-            let Expr::Binary { left, op: BinaryOp::Eq, right } = c else { continue };
+            let Expr::Binary { left, op: BinaryOp::Eq, right } = c else {
+                continue;
+            };
             match (&**left, &**right) {
                 (col @ Expr::Column { .. }, Expr::Literal(v))
                 | (Expr::Literal(v), col @ Expr::Column { .. }) => {
                     if let Some((t, c)) = resolve(col) {
-                        *self
-                            .selections
-                            .entry((t, c, pqp_sql::sql_literal(v)))
-                            .or_default() += 1;
+                        *self.selections.entry((t, c, pqp_sql::sql_literal(v))).or_default() += 1;
                     }
                 }
                 (l @ Expr::Column { .. }, r @ Expr::Column { .. }) => {
@@ -184,24 +185,18 @@ mod tests {
     fn frequency_orders_degrees() {
         let mut l = learner();
         for _ in 0..8 {
-            l.observe(&q(
-                "select MV.title from MOVIE MV, GENRE GN \
-                 where MV.mid = GN.mid and GN.genre = 'comedy'",
-            ));
+            l.observe(&q("select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'comedy'"));
         }
         for _ in 0..2 {
-            l.observe(&q(
-                "select MV.title from MOVIE MV, GENRE GN \
-                 where MV.mid = GN.mid and GN.genre = 'thriller'",
-            ));
+            l.observe(&q("select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'thriller'"));
         }
         let p = l.profile().unwrap();
         let doi_of = |val: &str| -> f64 {
             p.selections()
                 .find_map(|s| match s {
-                    AtomicPreference::Selection { value, doi, .. }
-                        if *value == Value::str(val) =>
-                    {
+                    AtomicPreference::Selection { value, doi, .. } if *value == Value::str(val) => {
                         Some(doi.value())
                     }
                     _ => None,
@@ -277,10 +272,8 @@ mod tests {
 
         let mut l = learner();
         for _ in 0..3 {
-            l.observe(&q(
-                "select MV.title from MOVIE MV, GENRE GN \
-                 where MV.mid = GN.mid and GN.genre = 'comedy'",
-            ));
+            l.observe(&q("select MV.title from MOVIE MV, GENRE GN \
+                 where MV.mid = GN.mid and GN.genre = 'comedy'"));
         }
         let p = l.profile().unwrap();
         p.validate(&c).unwrap();

@@ -77,11 +77,11 @@ pub use error::{PrefError, Result};
 pub use graph::{GraphAccess, InMemoryGraph, StoredProfileGraph};
 pub use integrate::{integrate_mq, integrate_sq, MatchSpec};
 pub use path::PreferencePath;
-pub use personalize::{personalize, MandatorySpec, Personalized, PersonalizeOptions};
+pub use personalize::{personalize, MandatorySpec, PersonalizeOptions, Personalized};
 pub use pref::{AtomicPreference, AttrRef};
 pub use profile::Profile;
 pub use query_graph::QueryGraph;
-pub use select::{select_preferences, select_preferences_with, SelectionOutcome, SelectStats};
+pub use select::{select_preferences, select_preferences_with, SelectStats, SelectionOutcome};
 
 /// Convenience prelude.
 pub mod prelude {
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::integrate::MatchSpec;
     pub use crate::learn::{LearnerConfig, ProfileLearner};
     pub use crate::negative::{integrate_mq_with_negatives, select_negatives};
-    pub use crate::personalize::{personalize, MandatorySpec, Personalized, PersonalizeOptions};
+    pub use crate::personalize::{personalize, MandatorySpec, PersonalizeOptions, Personalized};
     pub use crate::profile::Profile;
     pub use crate::rank::top_n_query;
 }

@@ -133,8 +133,13 @@ pub fn integrate_mq_with_negatives(
         }
     };
     for path in negative {
-        let single =
-            crate::integrate::integrate_mq(select, std::slice::from_ref(path), 0, MatchSpec::AtLeast(1), false)?;
+        let single = crate::integrate::integrate_mq(
+            select,
+            std::slice::from_ref(path),
+            0,
+            MatchSpec::AtLeast(1),
+            false,
+        )?;
         let Some(souter) = single.as_select() else { unreachable!() };
         let pqp_sql::TableFactor::Derived { query: sunion, .. } = &souter.from[0] else {
             unreachable!()
@@ -146,10 +151,8 @@ pub fn integrate_mq_with_negatives(
         // column.
         let last = part.projection.len() - 1;
         part.projection[last] = b::item_as(Expr::Literal(Value::Null), DOI_COLUMN);
-        part.projection.push(b::item_as(
-            Expr::Literal(Value::Float(path.doi.value())),
-            NEG_DOI_COLUMN,
-        ));
+        part.projection
+            .push(b::item_as(Expr::Literal(Value::Float(path.doi.value())), NEG_DOI_COLUMN));
         partials.push(part);
     }
 
@@ -167,19 +170,12 @@ pub fn integrate_mq_with_negatives(
         ),
     );
 
-    let mut projection: Vec<SelectItem> = outer
-        .projection
-        .iter()
-        .take(proj_len)
-        .cloned()
-        .collect();
+    let mut projection: Vec<SelectItem> = outer.projection.iter().take(proj_len).cloned().collect();
     projection.push(b::item_as(interest_expr.clone(), INTEREST_COLUMN));
 
     let positive_count = b::func("COUNT", vec![b::bare_col(DOI_COLUMN)]);
-    let not_excluded = b::lt(
-        b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(NEG_DOI_COLUMN)]),
-        b::lit(1.0f64),
-    );
+    let not_excluded =
+        b::lt(b::func("DEGREE_OF_CONJUNCTION", vec![b::bare_col(NEG_DOI_COLUMN)]), b::lit(1.0f64));
     let having = match spec {
         MatchSpec::AtLeast(l) => {
             let mut h = not_excluded;

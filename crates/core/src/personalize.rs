@@ -115,6 +115,7 @@ pub fn personalize(
     catalog: &Catalog,
     opts: PersonalizeOptions,
 ) -> Result<Personalized> {
+    let _span = pqp_obs::span("personalize");
     let select = query
         .as_select()
         .ok_or_else(|| {
@@ -125,6 +126,7 @@ pub fn personalize(
     let outcome = select_preferences(&qg, graph, &opts.criterion);
     let paths = outcome.selected;
     let k = paths.len();
+    pqp_obs::record("k", k);
 
     let m = match opts.mandatory {
         MandatorySpec::None => 0,
@@ -156,23 +158,19 @@ mod tests {
             .with_primary_key(&["mid"]),
         )
         .unwrap();
-        c.create_table(
-            TableSchema::new(
-                "PLAY",
-                vec![
-                    ColumnDef::new("tid", DataType::Int),
-                    ColumnDef::new("mid", DataType::Int),
-                    ColumnDef::new("date", DataType::Str),
-                ],
-            ),
-        )
+        c.create_table(TableSchema::new(
+            "PLAY",
+            vec![
+                ColumnDef::new("tid", DataType::Int),
+                ColumnDef::new("mid", DataType::Int),
+                ColumnDef::new("date", DataType::Str),
+            ],
+        ))
         .unwrap();
-        c.create_table(
-            TableSchema::new(
-                "GENRE",
-                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
-            ),
-        )
+        c.create_table(TableSchema::new(
+            "GENRE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+        ))
         .unwrap();
         c
     }
@@ -235,8 +233,7 @@ mod tests {
     fn ranked_option_flows_to_mq() {
         let c = catalog();
         let g = InMemoryGraph::build(&profile(), &c).unwrap();
-        let p =
-            personalize(&query(), &g, &c, PersonalizeOptions::top_k(2, 1).ranked()).unwrap();
+        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(2, 1).ranked()).unwrap();
         assert!(p.mq().unwrap().to_string().contains("ORDER BY interest DESC"));
     }
 

@@ -2,11 +2,10 @@
 
 use crate::doi::Doi;
 use pqp_storage::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A schema-level attribute reference `TABLE.column`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AttrRef {
     pub table: String,
     pub column: String,
@@ -31,8 +30,7 @@ impl fmt::Display for AttrRef {
 }
 
 /// An atomic preference: a degree of interest in one atomic query element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AtomicPreference {
     /// Interest in the selection condition `attr = value`.
     Selection { attr: AttrRef, value: Value, doi: Doi },

@@ -4,22 +4,21 @@
 use crate::doi::Doi;
 use crate::error::{PrefError, Result};
 use crate::pref::{AtomicPreference, AttrRef};
+use pqp_obs::json::Json;
 use pqp_storage::{Catalog, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A user profile: the stored atomic preferences of one user.
 ///
 /// Zero-valued degrees are never stored (§3.1); adding a preference with the
 /// same condition replaces its degree (profiles evolve over time, §3.1).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Profile {
     pub user: String,
     preferences: Vec<AtomicPreference>,
     /// Negative preferences (degrees of *disinterest*; see
     /// [`crate::negative`]). Kept separate so they never enter the positive
-    /// personalization graph.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    /// personalization graph. Omitted from JSON when empty.
     negatives: Vec<AtomicPreference>,
 }
 
@@ -67,9 +66,7 @@ impl Profile {
         let from = AttrRef::new(from_table, from_column);
         let to = AttrRef::new(to_table, to_column);
         self.preferences.retain(|p| match p {
-            AtomicPreference::Join { from: f, to: t, .. } => {
-                !(f.same_as(&from) && t.same_as(&to))
-            }
+            AtomicPreference::Join { from: f, to: t, .. } => !(f.same_as(&from) && t.same_as(&to)),
             _ => true,
         });
         if doi > Doi::ZERO {
@@ -171,14 +168,131 @@ impl Profile {
     }
 
     /// Serialize to pretty JSON.
+    ///
+    /// The wire format is stable across versions: preferences carry a
+    /// `"kind"` tag (`"selection"` / `"join"`), values use a
+    /// `{"Int": 7}`-style tagged encoding (`Value::Null` is the bare string
+    /// `"Null"`), and the `negatives` array is omitted when empty.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+        let prefs = Json::Arr(self.preferences.iter().map(pref_to_json).collect());
+        let mut j = Json::obj().set("user", self.user.as_str()).set("preferences", prefs);
+        if !self.negatives.is_empty() {
+            j = j.set("negatives", Json::Arr(self.negatives.iter().map(pref_to_json).collect()));
+        }
+        j.pretty()
     }
 
-    /// Deserialize from JSON (degrees are re-validated by `Doi`'s serde
-    /// impl).
+    /// Deserialize from JSON. Degrees are re-validated through [`Doi::new`],
+    /// so an out-of-range `doi` in the document is rejected.
     pub fn from_json(s: &str) -> Result<Profile> {
-        serde_json::from_str(s).map_err(|e| PrefError::Engine(format!("profile JSON: {e}")))
+        let j = Json::parse(s).map_err(|e| json_err(e.to_string()))?;
+        let user = j
+            .get("user")
+            .and_then(Json::as_str)
+            .ok_or_else(|| json_err("missing `user` string"))?
+            .to_string();
+        let parse_list = |key: &str, required: bool| -> Result<Vec<AtomicPreference>> {
+            match j.get(key) {
+                None if !required => Ok(Vec::new()),
+                None => Err(json_err(format!("missing `{key}` array"))),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| json_err(format!("`{key}` must be an array")))?
+                    .iter()
+                    .map(pref_from_json)
+                    .collect(),
+            }
+        };
+        let preferences = parse_list("preferences", true)?;
+        let negatives = parse_list("negatives", false)?;
+        Ok(Profile { user, preferences, negatives })
+    }
+}
+
+fn json_err(m: impl fmt::Display) -> PrefError {
+    PrefError::Engine(format!("profile JSON: {m}"))
+}
+
+fn attr_to_json(a: &AttrRef) -> Json {
+    Json::obj().set("table", a.table.as_str()).set("column", a.column.as_str())
+}
+
+fn attr_from_json(j: &Json) -> Result<AttrRef> {
+    let field = |k: &str| {
+        j.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| json_err(format!("attribute missing `{k}`")))
+    };
+    Ok(AttrRef { table: field("table")?, column: field("column")? })
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Str("Null".to_string()),
+        Value::Bool(b) => Json::obj().set("Bool", *b),
+        Value::Int(i) => Json::obj().set("Int", *i),
+        Value::Float(f) => Json::obj().set("Float", *f),
+        Value::Str(s) => Json::obj().set("Str", s.as_str()),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value> {
+    if let Some("Null") = j.as_str() {
+        return Ok(Value::Null);
+    }
+    let bad = || json_err(format!("invalid value `{j}`"));
+    match j {
+        Json::Obj(pairs) if pairs.len() == 1 => {
+            let (tag, inner) = &pairs[0];
+            match tag.as_str() {
+                "Bool" => inner.as_bool().map(Value::Bool).ok_or_else(bad),
+                "Int" => inner.as_i64().map(Value::Int).ok_or_else(bad),
+                "Float" => inner.as_f64().map(Value::Float).ok_or_else(bad),
+                "Str" => inner.as_str().map(Value::str).ok_or_else(bad),
+                _ => Err(bad()),
+            }
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn pref_to_json(p: &AtomicPreference) -> Json {
+    match p {
+        AtomicPreference::Selection { attr, value, doi } => Json::obj()
+            .set("kind", "selection")
+            .set("attr", attr_to_json(attr))
+            .set("value", value_to_json(value))
+            .set("doi", doi.value()),
+        AtomicPreference::Join { from, to, doi } => Json::obj()
+            .set("kind", "join")
+            .set("from", attr_to_json(from))
+            .set("to", attr_to_json(to))
+            .set("doi", doi.value()),
+    }
+}
+
+fn pref_from_json(j: &Json) -> Result<AtomicPreference> {
+    let doi = j
+        .get("doi")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| json_err("preference missing numeric `doi`"))
+        .and_then(Doi::new)?;
+    let attr = |k: &str| {
+        j.get(k)
+            .ok_or_else(|| json_err(format!("preference missing `{k}`")))
+            .and_then(attr_from_json)
+    };
+    match j.get("kind").and_then(Json::as_str) {
+        Some("selection") => {
+            let value = j
+                .get("value")
+                .ok_or_else(|| json_err("selection missing `value`"))
+                .and_then(value_from_json)?;
+            Ok(AtomicPreference::Selection { attr: attr("attr")?, value, doi })
+        }
+        Some("join") => Ok(AtomicPreference::Join { from: attr("from")?, to: attr("to")?, doi }),
+        _ => Err(json_err("preference missing `kind` (`selection` or `join`)")),
     }
 }
 
@@ -199,12 +313,10 @@ mod tests {
 
     fn mini_catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.create_table(
-            TableSchema::new(
-                "GENRE",
-                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
-            ),
-        )
+        c.create_table(TableSchema::new(
+            "GENRE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+        ))
         .unwrap();
         c.create_table(
             TableSchema::new(
@@ -239,7 +351,9 @@ mod tests {
         let doi = p
             .selections()
             .find_map(|s| match s {
-                AtomicPreference::Selection { value, doi, .. } if *value == Value::str("comedy") => {
+                AtomicPreference::Selection { value, doi, .. }
+                    if *value == Value::str("comedy") =>
+                {
                     Some(*doi)
                 }
                 _ => None,

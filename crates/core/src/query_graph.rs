@@ -53,6 +53,7 @@ impl QueryGraph {
     /// conjuncts — inequalities, disjunctions — are preserved in the query
     /// but play no role in preference selection).
     pub fn from_select(s: &Select, catalog: &Catalog) -> Result<QueryGraph> {
+        let _span = pqp_obs::span("query_graph");
         let mut g = QueryGraph::default();
         for f in &s.from {
             match f {
@@ -124,14 +125,13 @@ impl QueryGraph {
     /// columns resolve if exactly one node's table is plausible; qualified
     /// ones must match a tuple variable.
     fn resolve_column(&self, e: &Expr) -> Result<Option<(String, String)>> {
-        let Expr::Column { qualifier, name } = e else { return Ok(None) };
+        let Expr::Column { qualifier, name } = e else {
+            return Ok(None);
+        };
         match qualifier {
             Some(q) => {
-                let node = self
-                    .nodes
-                    .iter()
-                    .find(|n| n.var.eq_ignore_ascii_case(q))
-                    .ok_or_else(|| {
+                let node =
+                    self.nodes.iter().find(|n| n.var.eq_ignore_ascii_case(q)).ok_or_else(|| {
                         PrefError::UnsupportedQuery(format!("unknown tuple variable `{q}`"))
                     })?;
                 Ok(Some((node.var.clone(), name.clone())))
@@ -286,9 +286,7 @@ mod tests {
 
     #[test]
     fn joins_from_var_normalizes_direction() {
-        let s = parse_select(
-            "select MV.title from MOVIE MV, PLAY PL where PL.mid = MV.mid",
-        );
+        let s = parse_select("select MV.title from MOVIE MV, PLAY PL where PL.mid = MV.mid");
         let g = QueryGraph::from_select(&s, &catalog()).unwrap();
         let from_mv = g.joins_from_var("MV");
         assert_eq!(from_mv.len(), 1);
@@ -298,9 +296,8 @@ mod tests {
 
     #[test]
     fn non_equality_conjuncts_are_ignored_not_rejected() {
-        let s = parse_select(
-            "select MV.title from MOVIE MV where MV.title <> 'x' and MV.mid = '5'",
-        );
+        let s =
+            parse_select("select MV.title from MOVIE MV where MV.title <> 'x' and MV.mid = '5'");
         let g = QueryGraph::from_select(&s, &catalog()).unwrap();
         assert_eq!(g.selections.len(), 1);
     }

@@ -92,6 +92,7 @@ pub fn select_preferences_with(
     criterion: &InterestCriterion,
     comb: &impl Combinator,
 ) -> SelectionOutcome {
+    let _span = pqp_obs::span("selection");
     let mut stats = SelectStats::default();
     graph.reset_access_count();
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
@@ -165,7 +166,7 @@ pub fn select_preferences_with(
         for j in joins {
             candidates.push(Candidate { doi: j.doi, kind: CandidateKind::Join(j) });
         }
-        candidates.sort_by(|a, b| b.doi.cmp(&a.doi));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.doi));
 
         for c in candidates {
             let extended_doi = comb.transitive(&[path.doi, c.doi]);
@@ -215,6 +216,13 @@ pub fn select_preferences_with(
     }
 
     stats.graph_accesses = graph.access_count();
+    pqp_obs::record("selected", selected.len());
+    pqp_obs::record("rounds", stats.rounds);
+    pqp_obs::counter_add("selection.rounds", stats.rounds as i64);
+    pqp_obs::counter_add("selection.expansions", stats.expansions as i64);
+    pqp_obs::counter_add("selection.pruned_cycles", stats.pruned_cycles as i64);
+    pqp_obs::counter_add("selection.pruned_conflicts", stats.pruned_conflicts as i64);
+    pqp_obs::counter_add("selection.graph_accesses", stats.graph_accesses as i64);
     SelectionOutcome { selected, stats }
 }
 
@@ -342,8 +350,10 @@ mod tests {
         let out = select_preferences(&qg, &g, &InterestCriterion::TopK(3));
         assert_eq!(out.selected.len(), 3, "{:#?}", out.selected);
         let texts: Vec<String> = out.selected.iter().map(rendered).collect();
-        assert!(texts[0].contains("genre='comedy'") || texts[0].contains("D. Lynch"),
-            "top prefs: {texts:?}");
+        assert!(
+            texts[0].contains("genre='comedy'") || texts[0].contains("D. Lynch"),
+            "top prefs: {texts:?}"
+        );
         // Degrees: comedy = 0.9*0.9 = 0.81; Lynch = 1.0*1.0*0.9 = 0.9;
         // Kidman = 0.8*1.0*0.9 = 0.72.
         let dois: Vec<f64> = out.selected.iter().map(|p| p.doi.value()).collect();
@@ -392,10 +402,7 @@ mod tests {
             for j in &p.joins {
                 let t = j.to.table.to_ascii_uppercase();
                 assert!(!visited.contains(&t), "cycle in {p}");
-                assert!(
-                    !(qg.contains_table(&t)),
-                    "path re-enters query: {p}"
-                );
+                assert!(!(qg.contains_table(&t)), "path re-enters query: {p}");
                 visited.push(t);
             }
         }
@@ -406,10 +413,8 @@ mod tests {
         let c = catalog();
         let g = InMemoryGraph::build(&julie(), &c).unwrap();
         // Query about uptown theatres: the downtown preference conflicts.
-        let q = pqp_sql::parse_query(
-            "select TH.name from THEATRE TH where TH.region = 'uptown'",
-        )
-        .unwrap();
+        let q = pqp_sql::parse_query("select TH.name from THEATRE TH where TH.region = 'uptown'")
+            .unwrap();
         let qg = QueryGraph::from_select(q.as_select().unwrap(), &c).unwrap();
         let out = select_preferences(&qg, &g, &InterestCriterion::TopK(50));
         assert!(

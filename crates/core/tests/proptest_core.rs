@@ -1,4 +1,4 @@
-//! Property tests over the personalization core: tuple-variable allocation
+//! Randomized tests over the personalization core: tuple-variable allocation
 //! invariants and the degree algebra under composition.
 
 use pqp_core::doi::{Doi, PaperCombinator};
@@ -6,103 +6,102 @@ use pqp_core::graph::{JoinEdge, SelectionEdge};
 use pqp_core::path::PreferencePath;
 use pqp_core::pref::AttrRef;
 use pqp_core::vars::VarAllocator;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_storage::{Cardinality, Value};
-use proptest::prelude::*;
 
 /// A small universe of tables/columns for random paths.
 const TABLES: &[&str] = &["TA", "TB", "TC", "TD", "TE"];
 
-fn arb_doi() -> impl Strategy<Value = Doi> {
-    (0.05f64..=1.0).prop_map(|d| Doi::new(d).unwrap())
+fn arb_doi(rng: &mut SmallRng) -> Doi {
+    Doi::new(0.05 + rng.gen_f64() * 0.95).unwrap()
+}
+
+fn arb_str(rng: &mut SmallRng) -> String {
+    let len = rng.gen_range(1..=6usize);
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26u32) as u8) as char).collect()
 }
 
 /// A random acyclic path of 0..4 joins anchored at `A@TA`, ending in a
 /// selection.
-fn arb_path() -> impl Strategy<Value = PreferencePath> {
-    (
-        prop::collection::vec(
-            (any::<prop::sample::Index>(), any::<bool>(), arb_doi()),
-            0..4,
-        ),
-        arb_doi(),
-        "[a-z]{1,6}",
-    )
-        .prop_map(|(hops, sel_doi, sel_val)| {
-            let comb = PaperCombinator;
-            let mut path = PreferencePath::anchor("A", "TA");
-            let mut current = "TA".to_string();
-            let mut visited = vec!["TA".to_string()];
-            for (pick, to_one, doi) in hops {
-                // Next unvisited table keeps the path acyclic.
-                let candidates: Vec<&str> = TABLES
-                    .iter()
-                    .copied()
-                    .filter(|t| !visited.iter().any(|v| v == t))
-                    .collect();
-                if candidates.is_empty() {
-                    break;
-                }
-                let next = candidates[pick.index(candidates.len())].to_string();
-                path = path.with_join(
-                    JoinEdge {
-                        from: AttrRef::new(current.clone(), "x"),
-                        to: AttrRef::new(next.clone(), "x"),
-                        doi,
-                        cardinality: if to_one {
-                            Cardinality::ToOne
-                        } else {
-                            Cardinality::ToMany
-                        },
-                    },
-                    &comb,
-                );
-                visited.push(next.clone());
-                current = next;
-            }
-            path.with_selection(
-                SelectionEdge {
-                    attr: AttrRef::new(current, "v"),
-                    value: Value::str(sel_val),
-                    doi: sel_doi,
+fn arb_path(rng: &mut SmallRng) -> PreferencePath {
+    let comb = PaperCombinator;
+    let mut path = PreferencePath::anchor("A", "TA");
+    let mut current = "TA".to_string();
+    let mut visited = vec!["TA".to_string()];
+    let hops = rng.gen_range(0..4usize);
+    for _ in 0..hops {
+        // Next unvisited table keeps the path acyclic.
+        let candidates: Vec<&str> =
+            TABLES.iter().copied().filter(|t| !visited.iter().any(|v| v == t)).collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let next = candidates[rng.gen_index(candidates.len())].to_string();
+        let doi = arb_doi(rng);
+        path = path.with_join(
+            JoinEdge {
+                from: AttrRef::new(current.clone(), "x"),
+                to: AttrRef::new(next.clone(), "x"),
+                doi,
+                cardinality: if rng.gen_bool(0.5) {
+                    Cardinality::ToOne
+                } else {
+                    Cardinality::ToMany
                 },
-                &comb,
-            )
-        })
+            },
+            &comb,
+        );
+        visited.push(next.clone());
+        current = next;
+    }
+    path.with_selection(
+        SelectionEdge {
+            attr: AttrRef::new(current, "v"),
+            value: Value::str(arb_str(rng)),
+            doi: arb_doi(rng),
+        },
+        &comb,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn path_degree_is_product_of_edges(p in arb_path()) {
+#[test]
+fn path_degree_is_product_of_edges() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_c04e);
+    for _ in 0..256 {
+        let p = arb_path(&mut rng);
         let mut expect = 1.0;
         for j in &p.joins {
             expect *= j.doi.value();
         }
         expect *= p.selection.as_ref().unwrap().doi.value();
-        prop_assert!((p.doi.value() - expect).abs() < 1e-12);
+        assert!((p.doi.value() - expect).abs() < 1e-12, "degree not a product: {p}");
         // And never exceeds any single edge degree.
         for j in &p.joins {
-            prop_assert!(p.doi <= j.doi);
+            assert!(p.doi <= j.doi);
         }
     }
+}
 
-    #[test]
-    fn allocation_invariants(paths in prop::collection::vec(arb_path(), 1..8)) {
+#[test]
+fn allocation_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0xa110_c8ed);
+    for _ in 0..256 {
+        let n = rng.gen_range(1..8usize);
+        let paths: Vec<PreferencePath> = (0..n).map(|_| arb_path(&mut rng)).collect();
         let mut alloc = VarAllocator::new(vec!["A".to_string()]);
         let vars = alloc.allocate(&paths);
-        prop_assert_eq!(vars.len(), paths.len());
+        assert_eq!(vars.len(), paths.len());
 
         for (p, v) in paths.iter().zip(&vars) {
             // One variable per hop, none reserved.
-            prop_assert_eq!(v.hop_vars.len(), p.joins.len());
+            assert_eq!(v.hop_vars.len(), p.joins.len());
             for name in &v.hop_vars {
-                prop_assert!(!name.eq_ignore_ascii_case("A"));
+                assert!(!name.eq_ignore_ascii_case("A"));
             }
             // Within a path, all hop variables are distinct.
             for i in 0..v.hop_vars.len() {
                 for j in (i + 1)..v.hop_vars.len() {
-                    prop_assert_ne!(&v.hop_vars[i], &v.hop_vars[j]);
+                    assert_ne!(&v.hop_vars[i], &v.hop_vars[j]);
                 }
             }
         }
@@ -123,25 +122,24 @@ proptest! {
                     forced = forced && same_edge && to_one;
                     let shared = va.hop_vars[h] == vb.hop_vars[h];
                     if forced {
-                        prop_assert!(
-                            shared,
-                            "forced to-one prefix must share at hop {h}: {pa} / {pb}"
-                        );
+                        assert!(shared, "forced to-one prefix must share at hop {h}: {pa} / {pb}");
                     } else {
-                        prop_assert!(
-                            !shared,
-                            "sharing without a forced prefix at hop {h}: {pa} / {pb}"
-                        );
+                        assert!(!shared, "sharing without a forced prefix at hop {h}: {pa} / {pb}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn allocation_is_deterministic(paths in prop::collection::vec(arb_path(), 1..6)) {
+#[test]
+fn allocation_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xdede_7e57);
+    for _ in 0..128 {
+        let n = rng.gen_range(1..6usize);
+        let paths: Vec<PreferencePath> = (0..n).map(|_| arb_path(&mut rng)).collect();
         let a = VarAllocator::new(vec!["A".to_string()]).allocate(&paths);
         let b = VarAllocator::new(vec!["A".to_string()]).allocate(&paths);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

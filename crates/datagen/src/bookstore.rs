@@ -5,13 +5,20 @@
 use crate::names;
 use crate::zipf::Zipf;
 use pqp_engine::Database;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Book categories.
 pub const CATEGORIES: &[&str] = &[
-    "fantasy", "art", "cooking", "history", "science", "mystery", "poetry", "travel", "biography",
+    "fantasy",
+    "art",
+    "cooking",
+    "history",
+    "science",
+    "mystery",
+    "poetry",
+    "travel",
+    "biography",
     "children",
 ];
 
@@ -93,7 +100,7 @@ pub fn bookstore_catalog() -> Catalog {
 /// Generate a small bookstore database. Returns the database plus the author
 /// names (for building profiles).
 pub fn generate_bookstore(books: usize, seed: u64) -> (Database, Vec<String>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let catalog = bookstore_catalog();
     let n_authors = (books / 2).max(10);
     let mut author_names = Vec::with_capacity(n_authors);
@@ -117,7 +124,7 @@ pub fn generate_bookstore(books: usize, seed: u64) -> (Database, Vec<String>) {
         let mut cats = cats.write();
         for bid in 0..books {
             let title = names::movie_title(&mut rng, bid);
-            let year = 1990 + rng.gen_range(0..35) as i64;
+            let year = 1990 + rng.gen_range(0..35i64);
             books_t
                 .insert(vec![Value::Int(bid as i64), Value::Str(title), Value::Int(year)])
                 .unwrap();
@@ -213,13 +220,7 @@ mod tests {
     fn cardinalities_support_personalization() {
         let c = bookstore_catalog();
         // WROTE→AUTHOR is to-one; AUTHOR→WROTE is to-many.
-        assert_eq!(
-            c.join_cardinality("AUTHOR", "aid").unwrap(),
-            pqp_storage::Cardinality::ToOne
-        );
-        assert_eq!(
-            c.join_cardinality("WROTE", "aid").unwrap(),
-            pqp_storage::Cardinality::ToMany
-        );
+        assert_eq!(c.join_cardinality("AUTHOR", "aid").unwrap(), pqp_storage::Cardinality::ToOne);
+        assert_eq!(c.join_cardinality("WROTE", "aid").unwrap(), pqp_storage::Cardinality::ToMany);
     }
 }

@@ -16,15 +16,31 @@
 use crate::names;
 use crate::zipf::Zipf;
 use pqp_engine::Database;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Genres used by the generator (superset of the paper's examples).
 pub const GENRES: &[&str] = &[
-    "comedy", "thriller", "sci-fi", "adventure", "drama", "horror", "romance", "documentary",
-    "animation", "noir", "western", "musical", "fantasy", "crime", "war", "mystery", "biography",
-    "family", "sport", "history",
+    "comedy",
+    "thriller",
+    "sci-fi",
+    "adventure",
+    "drama",
+    "horror",
+    "romance",
+    "documentary",
+    "animation",
+    "noir",
+    "western",
+    "musical",
+    "fantasy",
+    "crime",
+    "war",
+    "mystery",
+    "biography",
+    "family",
+    "sport",
+    "history",
 ];
 
 /// Theatre regions.
@@ -178,7 +194,7 @@ pub fn movies_catalog() -> Catalog {
 
 /// Generate a full database instance.
 pub fn generate(config: MovieDbConfig) -> MovieDb {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
     let catalog = movies_catalog();
     let mut pools = ValuePools::default();
 
@@ -220,7 +236,7 @@ pub fn generate(config: MovieDbConfig) -> MovieDb {
         let mut directed = directed.write();
         for mid in 0..config.movies {
             let title = names::movie_title(&mut rng, mid);
-            let year = 1950 + rng.gen_range(0..75) as i64;
+            let year = 1950 + rng.gen_range(0..75i64);
             pools.titles.push(title.clone());
             if !pools.years.contains(&year) {
                 pools.years.push(year);
@@ -229,7 +245,7 @@ pub fn generate(config: MovieDbConfig) -> MovieDb {
                 .insert(vec![Value::Int(mid as i64), Value::Str(title), Value::Int(year)])
                 .unwrap();
             // 1–3 distinct genres.
-            let n_genres = 1 + rng.gen_range(0..3);
+            let n_genres = 1 + rng.gen_range(0..3usize);
             let mut seen = Vec::new();
             for _ in 0..n_genres {
                 let g = GENRES[genre_zipf.sample(&mut rng)];
@@ -239,15 +255,14 @@ pub fn generate(config: MovieDbConfig) -> MovieDb {
                 }
             }
             // 2–7 distinct cast members.
-            let cast_size = 2 + rng.gen_range(0..6);
+            let cast_size = 2 + rng.gen_range(0..6usize);
             let mut aids = Vec::new();
             for _ in 0..cast_size {
                 let aid = actor_zipf.sample(&mut rng);
                 if !aids.contains(&aid) {
                     aids.push(aid);
                     let award = if rng.gen_bool(0.05) { Value::str("oscar") } else { Value::Null };
-                    let role =
-                        if rng.gen_bool(0.4) { Value::str("lead") } else { Value::Null };
+                    let role = if rng.gen_bool(0.4) { Value::str("lead") } else { Value::Null };
                     casts
                         .insert(vec![Value::Int(mid as i64), Value::Int(aid as i64), award, role])
                         .unwrap();
@@ -271,7 +286,7 @@ pub fn generate(config: MovieDbConfig) -> MovieDb {
         for tid in 0..config.theatres {
             let name = names::theatre_name(&mut rng, tid);
             let region = REGIONS[rng.gen_range(0..REGIONS.len())];
-            let phone = format!("210-{:07}", rng.gen_range(0..10_000_000));
+            let phone = format!("210-{:07}", rng.gen_range(0..10_000_000u32));
             theatres
                 .insert(vec![
                     Value::Int(tid as i64),
@@ -336,10 +351,7 @@ mod tests {
             .find(|j| j.from_table == "PLAY" && j.to_table == "MOVIE" && j.from_column == "mid")
             .unwrap();
         assert_eq!(j.cardinality, pqp_storage::Cardinality::ToOne);
-        let j = joins
-            .iter()
-            .find(|j| j.from_table == "MOVIE" && j.to_table == "GENRE")
-            .unwrap();
+        let j = joins.iter().find(|j| j.from_table == "MOVIE" && j.to_table == "GENRE").unwrap();
         assert_eq!(j.cardinality, pqp_storage::Cardinality::ToMany);
     }
 
@@ -355,12 +367,7 @@ mod tests {
         assert_eq!(c.table("DIRECTED").unwrap().read().len(), 60);
 
         // Referential integrity: every PLAY row points at a real movie.
-        let rs = m
-            .db
-            .run(
-                "select count(*) from PLAY PL, MOVIE MV where PL.mid = MV.mid",
-            )
-            .unwrap();
+        let rs = m.db.run("select count(*) from PLAY PL, MOVIE MV where PL.mid = MV.mid").unwrap();
         assert_eq!(rs.rows[0][0], Value::Int((5 * 4 * 3) as i64));
     }
 
@@ -372,10 +379,7 @@ mod tests {
         // A pooled date actually selects rows.
         let rs = m
             .db
-            .run(&format!(
-                "select count(*) from PLAY PL where PL.date = '{}'",
-                m.pools.dates[0]
-            ))
+            .run(&format!("select count(*) from PLAY PL where PL.date = '{}'", m.pools.dates[0]))
             .unwrap();
         assert!(rs.rows[0][0].as_i64().unwrap() > 0);
     }

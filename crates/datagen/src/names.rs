@@ -1,7 +1,7 @@
 //! Synthetic (but human-looking) name generation for actors, directors,
 //! theatres and titles.
 
-use rand::Rng;
+use pqp_obs::rng::Rng;
 
 const SYLLABLES: &[&str] = &[
     "ka", "ro", "mi", "ta", "lin", "ver", "son", "del", "mar", "que", "an", "bel", "cor", "dan",
@@ -10,15 +10,53 @@ const SYLLABLES: &[&str] = &[
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "Last", "Dark", "Silent", "Golden", "Broken", "Hidden", "Lost", "Final", "Midnight", "Red",
-    "Winter", "Summer", "Iron", "Glass", "Paper", "Stolen", "Burning", "Frozen", "Distant",
-    "Forgotten", "Electric", "Crimson", "Silver", "Wild",
+    "Last",
+    "Dark",
+    "Silent",
+    "Golden",
+    "Broken",
+    "Hidden",
+    "Lost",
+    "Final",
+    "Midnight",
+    "Red",
+    "Winter",
+    "Summer",
+    "Iron",
+    "Glass",
+    "Paper",
+    "Stolen",
+    "Burning",
+    "Frozen",
+    "Distant",
+    "Forgotten",
+    "Electric",
+    "Crimson",
+    "Silver",
+    "Wild",
 ];
 
 const TITLE_NOUNS: &[&str] = &[
-    "Dictator", "Mohican", "Garden", "River", "Empire", "Letter", "Mirror", "Station", "Harbor",
-    "Orchard", "Voyage", "Promise", "Shadow", "Citadel", "Horizon", "Sonata", "Labyrinth",
-    "Meridian", "Paradox", "Reckoning",
+    "Dictator",
+    "Mohican",
+    "Garden",
+    "River",
+    "Empire",
+    "Letter",
+    "Mirror",
+    "Station",
+    "Harbor",
+    "Orchard",
+    "Voyage",
+    "Promise",
+    "Shadow",
+    "Citadel",
+    "Horizon",
+    "Sonata",
+    "Labyrinth",
+    "Meridian",
+    "Paradox",
+    "Reckoning",
 ];
 
 fn syllable_word(rng: &mut impl Rng, syllables: usize) -> String {
@@ -37,7 +75,7 @@ fn syllable_word(rng: &mut impl Rng, syllables: usize) -> String {
 /// ordinal when collisions matter to the caller.
 pub fn person_name(rng: &mut impl Rng, ordinal: usize) -> String {
     let initial = (b'A' + rng.gen_range(0..26u8)) as char;
-    let syllables = 2 + rng.gen_range(0..2);
+    let syllables = 2 + rng.gen_range(0..2usize);
     format!("{initial}. {}{}", syllable_word(rng, syllables), ordinal)
 }
 
@@ -56,17 +94,16 @@ pub fn theatre_name(rng: &mut impl Rng, ordinal: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqp_obs::rng::SmallRng;
 
     #[test]
     fn names_are_deterministic_per_seed() {
         let a: Vec<String> = {
-            let mut rng = StdRng::seed_from_u64(42);
+            let mut rng = SmallRng::seed_from_u64(42);
             (0..5).map(|i| person_name(&mut rng, i)).collect()
         };
         let b: Vec<String> = {
-            let mut rng = StdRng::seed_from_u64(42);
+            let mut rng = SmallRng::seed_from_u64(42);
             (0..5).map(|i| person_name(&mut rng, i)).collect()
         };
         assert_eq!(a, b);
@@ -74,7 +111,7 @@ mod tests {
 
     #[test]
     fn ordinals_make_names_unique() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SmallRng::seed_from_u64(1);
         let names: Vec<String> = (0..100).map(|i| movie_title(&mut rng, i)).collect();
         let set: std::collections::HashSet<&String> = names.iter().collect();
         assert_eq!(set.len(), names.len());
@@ -82,7 +119,7 @@ mod tests {
 
     #[test]
     fn shapes_look_right() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SmallRng::seed_from_u64(2);
         assert!(person_name(&mut rng, 3).contains(". "));
         assert!(movie_title(&mut rng, 3).starts_with("The "));
         assert!(theatre_name(&mut rng, 3).contains("Cinema"));

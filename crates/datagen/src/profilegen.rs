@@ -7,9 +7,8 @@
 
 use crate::movies::ValuePools;
 use pqp_core::Profile;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_storage::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for profile generation.
 #[derive(Debug, Clone)]
@@ -34,11 +33,7 @@ fn selection_targets(pools: &ValuePools) -> Vec<(&'static str, &'static str, Vec
     vec![
         ("GENRE", "genre", pools.genres.iter().map(|g| Value::str(g.clone())).collect()),
         ("ACTOR", "name", pools.actor_names.iter().map(|n| Value::str(n.clone())).collect()),
-        (
-            "DIRECTOR",
-            "name",
-            pools.director_names.iter().map(|n| Value::str(n.clone())).collect(),
-        ),
+        ("DIRECTOR", "name", pools.director_names.iter().map(|n| Value::str(n.clone())).collect()),
         ("THEATRE", "region", pools.regions.iter().map(|r| Value::str(r.clone())).collect()),
         ("MOVIE", "year", pools.years.iter().map(|y| Value::Int(*y)).collect()),
     ]
@@ -50,7 +45,7 @@ fn selection_targets(pools: &ValuePools) -> Vec<(&'static str, &'static str, Vec
 /// if the pools cannot supply the requested size, the profile is as large as
 /// possible (callers can check [`Profile::size`]).
 pub fn generate_profile(user: &str, pools: &ValuePools, config: &ProfileGenConfig) -> Profile {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut p = Profile::new(user);
 
     // Join preferences over the schema graph, both directions, independent
@@ -75,7 +70,7 @@ pub fn generate_profile(user: &str, pools: &ValuePools, config: &ProfileGenConfi
     ];
     for (ft, fc, tt, tc) in schema_joins {
         if rng.gen_bool(config.join_coverage.clamp(0.0, 1.0)) {
-            let doi = 0.5 + rng.gen::<f64>() * 0.5;
+            let doi = 0.5 + rng.gen_f64() * 0.5;
             p.add_join(ft, fc, tt, tc, doi).expect("valid degree");
         }
     }
@@ -91,7 +86,7 @@ pub fn generate_profile(user: &str, pools: &ValuePools, config: &ProfileGenConfi
         }
         let value = values[rng.gen_range(0..values.len())].clone();
         // Degrees in (0, 1]: mostly moderate, occasionally must-have.
-        let doi = if rng.gen_bool(0.1) { 1.0 } else { 0.1 + rng.gen::<f64>() * 0.85 };
+        let doi = if rng.gen_bool(0.1) { 1.0 } else { 0.1 + rng.gen_f64() * 0.85 };
         let before = p.size();
         p.add_selection(table, column, value, doi).expect("valid degree");
         if p.size() == before {
@@ -112,7 +107,8 @@ pub fn generate_profiles(
 ) -> Vec<Profile> {
     (0..count)
         .map(|i| {
-            let cfg = ProfileGenConfig { seed: base.seed.wrapping_add(i as u64 * 7919), ..base.clone() };
+            let cfg =
+                ProfileGenConfig { seed: base.seed.wrapping_add(i as u64 * 7919), ..base.clone() };
             generate_profile(&format!("{prefix}{i}"), pools, &cfg)
         })
         .collect()

@@ -6,11 +6,10 @@
 //! non-trivial), and a plain-column projection (as MQ integration requires).
 
 use crate::movies::ValuePools;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_sql::ast::Query;
 use pqp_sql::builder as b;
 use pqp_sql::Select;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for query generation.
 #[derive(Debug, Clone)]
@@ -71,7 +70,7 @@ fn selection_of(
     rng: &mut impl Rng,
 ) -> Option<(&'static str, pqp_storage::Value)> {
     use pqp_storage::Value;
-    let pick = |v: &Vec<String>, rng: &mut dyn rand::RngCore| -> Option<String> {
+    let pick = |v: &Vec<String>, rng: &mut dyn Rng| -> Option<String> {
         if v.is_empty() {
             None
         } else {
@@ -114,7 +113,7 @@ fn supports_selection(table: &str) -> bool {
 }
 
 /// Generate one random conjunctive SPJ query.
-pub fn generate_query(pools: &ValuePools, rng: &mut StdRng, config: &QueryGenConfig) -> Query {
+pub fn generate_query(pools: &ValuePools, rng: &mut SmallRng, config: &QueryGenConfig) -> Query {
     // Random connected walk over the schema graph. Keep growing past the
     // target until at least one selection-capable table is present, so every
     // generated query carries an equality selection (as the experiments
@@ -191,12 +190,8 @@ pub fn generate_query(pools: &ValuePools, rng: &mut StdRng, config: &QueryGenCon
 }
 
 /// Generate `count` queries with a shared RNG stream.
-pub fn generate_queries(
-    count: usize,
-    pools: &ValuePools,
-    config: &QueryGenConfig,
-) -> Vec<Query> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+pub fn generate_queries(count: usize, pools: &ValuePools, config: &QueryGenConfig) -> Vec<Query> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
     (0..count).map(|_| generate_query(pools, &mut rng, config)).collect()
 }
 
@@ -241,11 +236,8 @@ mod tests {
     #[test]
     fn respects_max_tables() {
         let m = generate(MovieDbConfig::tiny());
-        let qs = generate_queries(
-            30,
-            &m.pools,
-            &QueryGenConfig { max_tables: 2, ..Default::default() },
-        );
+        let qs =
+            generate_queries(30, &m.pools, &QueryGenConfig { max_tables: 2, ..Default::default() });
         for q in qs {
             assert!(q.as_select().unwrap().from.len() <= 2, "{q}");
         }

@@ -5,7 +5,7 @@
 //! experiments' selectivity spread realistic. Sampling uses a precomputed
 //! CDF with binary search: O(n) setup, O(log n) per draw.
 
-use rand::Rng;
+use pqp_obs::rng::Rng;
 
 /// A Zipf distribution over ranks `0..n` with exponent `s`.
 #[derive(Debug, Clone)]
@@ -46,7 +46,7 @@ impl Zipf {
 
     /// Draw a rank in `0..n` (rank 0 is the most popular).
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
@@ -66,8 +66,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqp_obs::rng::SmallRng;
 
     #[test]
     fn uniform_when_s_zero() {
@@ -88,7 +87,7 @@ mod tests {
     #[test]
     fn samples_cover_support_and_respect_skew() {
         let z = Zipf::new(5, 1.2);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let mut counts = [0usize; 5];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -100,7 +99,7 @@ mod tests {
     #[test]
     fn single_rank() {
         let z = Zipf::new(1, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(z.sample(&mut rng), 0);
         assert_eq!(z.len(), 1);
     }

@@ -145,7 +145,9 @@ impl AggState {
 }
 
 fn numeric(v: &Value) -> Result<f64> {
-    v.as_f64().ok_or_else(|| crate::error::EngineError::Exec(format!("non-numeric aggregate input `{v}`")))
+    v.as_f64().ok_or_else(|| {
+        crate::error::EngineError::Exec(format!("non-numeric aggregate input `{v}`"))
+    })
 }
 
 #[cfg(test)]
@@ -153,11 +155,10 @@ mod tests {
     use super::*;
 
     fn run(func: AggFunc, inputs: &[Option<Value>]) -> Value {
-        let call = AggCall::new(func, if inputs.iter().any(Option::is_some) {
-            Some(BoundExpr::Column(0))
-        } else {
-            None
-        })
+        let call = AggCall::new(
+            func,
+            if inputs.iter().any(Option::is_some) { Some(BoundExpr::Column(0)) } else { None },
+        )
         .unwrap_or(AggCall { func, arg: None });
         let mut s = call.new_state();
         for v in inputs {
@@ -182,8 +183,7 @@ mod tests {
 
     #[test]
     fn sum_avg_min_max() {
-        let ins: Vec<Option<Value>> =
-            [1i64, 5, 3].iter().map(|&i| Some(Value::Int(i))).collect();
+        let ins: Vec<Option<Value>> = [1i64, 5, 3].iter().map(|&i| Some(Value::Int(i))).collect();
         assert_eq!(run(AggFunc::Sum, &ins), Value::Float(9.0));
         assert_eq!(run(AggFunc::Avg, &ins), Value::Float(3.0));
         assert_eq!(run(AggFunc::Min, &ins), Value::Int(1));
@@ -200,10 +200,8 @@ mod tests {
     #[test]
     fn degree_of_conjunction_matches_paper() {
         // Paper §3.3: degrees 0.7 and 0.81 combine to 1-(1-0.7)(1-0.81)=0.943.
-        let v = run(
-            AggFunc::DegreeOfConjunction,
-            &[Some(Value::Float(0.7)), Some(Value::Float(0.81))],
-        );
+        let v =
+            run(AggFunc::DegreeOfConjunction, &[Some(Value::Float(0.7)), Some(Value::Float(0.81))]);
         let Value::Float(f) = v else { panic!() };
         assert!((f - 0.943).abs() < 1e-9);
     }
@@ -211,10 +209,8 @@ mod tests {
     #[test]
     fn degree_of_disjunction_matches_paper() {
         // Paper §3.3: (0.7 + 0.81)/2 = 0.755.
-        let v = run(
-            AggFunc::DegreeOfDisjunction,
-            &[Some(Value::Float(0.7)), Some(Value::Float(0.81))],
-        );
+        let v =
+            run(AggFunc::DegreeOfDisjunction, &[Some(Value::Float(0.7)), Some(Value::Float(0.81))]);
         assert_eq!(v, Value::Float(0.755));
     }
 
@@ -222,17 +218,14 @@ mod tests {
     fn single_degree_is_identity() {
         assert_eq!(
             run(AggFunc::DegreeOfConjunction, &[Some(Value::Float(0.6))]),
-            Value::Float(0.6 as f64)
+            Value::Float(0.6)
         );
     }
 
     #[test]
     fn names_resolve() {
         assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
-        assert_eq!(
-            AggFunc::from_name("Degree_Of_Conjunction"),
-            Some(AggFunc::DegreeOfConjunction)
-        );
+        assert_eq!(AggFunc::from_name("Degree_Of_Conjunction"), Some(AggFunc::DegreeOfConjunction));
         assert_eq!(AggFunc::from_name("median"), None);
     }
 

@@ -15,10 +15,21 @@ pub enum BoundExpr {
     /// Input column by position.
     Column(usize),
     Literal(Value),
-    Binary { left: Box<BoundExpr>, op: BinaryOp, right: Box<BoundExpr> },
+    Binary {
+        left: Box<BoundExpr>,
+        op: BinaryOp,
+        right: Box<BoundExpr>,
+    },
     Not(Box<BoundExpr>),
-    IsNull { expr: Box<BoundExpr>, negated: bool },
-    InList { expr: Box<BoundExpr>, list: Vec<BoundExpr>, negated: bool },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<BoundExpr>,
+        negated: bool,
+    },
 }
 
 impl BoundExpr {
@@ -160,9 +171,8 @@ impl BoundExpr {
 }
 
 fn expect_bool(v: &Value) -> Result<bool> {
-    v.as_bool().ok_or_else(|| {
-        crate::error::EngineError::Exec(format!("expected boolean, found `{v}`"))
-    })
+    v.as_bool()
+        .ok_or_else(|| crate::error::EngineError::Exec(format!("expected boolean, found `{v}`")))
 }
 
 /// Scalar binary evaluation with NULL propagation.
@@ -248,10 +258,7 @@ mod tests {
     #[test]
     fn comparisons() {
         assert_eq!(bin(lit(1i64), BinaryOp::Lt, lit(2i64)).eval(&[]).unwrap(), Value::Bool(true));
-        assert_eq!(
-            bin(lit("a"), BinaryOp::Eq, lit("a")).eval(&[]).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(bin(lit("a"), BinaryOp::Eq, lit("a")).eval(&[]).unwrap(), Value::Bool(true));
         assert_eq!(
             bin(lit(1i64), BinaryOp::Eq, lit(1.0f64)).eval(&[]).unwrap(),
             Value::Bool(true),
@@ -292,7 +299,8 @@ mod tests {
             BoundExpr::Not(Box::new(BoundExpr::Literal(Value::Null))).eval(&[]).unwrap(),
             Value::Null
         );
-        let isn = BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Null)), negated: false };
+        let isn =
+            BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Null)), negated: false };
         assert_eq!(isn.eval(&[]).unwrap(), Value::Bool(true));
         let isnn = BoundExpr::IsNull { expr: Box::new(lit(1i64)), negated: true };
         assert_eq!(isnn.eval(&[]).unwrap(), Value::Bool(true));

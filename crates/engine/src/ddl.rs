@@ -67,11 +67,7 @@ pub fn execute_statement(stmt: &Statement, catalog: &mut Catalog) -> Result<Stat
                     for c in cols {
                         match t.schema().column_index(c) {
                             Some(i) => out.push(i),
-                            None => {
-                                return bind_err(format!(
-                                    "unknown column `{c}` in `{table}`"
-                                ))
-                            }
+                            None => return bind_err(format!("unknown column `{c}` in `{table}`")),
                         }
                     }
                     out
@@ -146,9 +142,7 @@ impl PredicateBinder {
         use crate::bound::BoundExpr;
         Ok(match e {
             Expr::Column { qualifier, name } => BoundExpr::Column(
-                self.schema
-                    .resolve(qualifier.as_deref(), name)
-                    .map_err(EngineError::Bind)?,
+                self.schema.resolve(qualifier.as_deref(), name).map_err(EngineError::Bind)?,
             ),
             Expr::Literal(v) => BoundExpr::Literal(v.clone()),
             Expr::Binary { left, op, right } => BoundExpr::Binary {
@@ -157,10 +151,9 @@ impl PredicateBinder {
                 right: Box::new(self.bind(right)?),
             },
             Expr::Not(i) => BoundExpr::Not(Box::new(self.bind(i)?)),
-            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
-                expr: Box::new(self.bind(expr)?),
-                negated: *negated,
-            },
+            Expr::IsNull { expr, negated } => {
+                BoundExpr::IsNull { expr: Box::new(self.bind(expr)?), negated: *negated }
+            }
             Expr::InList { expr, list, negated } => BoundExpr::InList {
                 expr: Box::new(self.bind(expr)?),
                 list: list.iter().map(|x| self.bind(x)).collect::<Result<_>>()?,

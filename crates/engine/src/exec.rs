@@ -15,12 +15,44 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
 /// Execute a plan against a catalog, materializing all rows.
+///
+/// Every operator runs under an observability span named `exec.<op>` with
+/// its output cardinality recorded, so a traced run yields per-operator
+/// rows and timings (`EXPLAIN ANALYZE`). Untraced runs pay only a
+/// thread-local check per operator.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
+    let _span = pqp_obs::span(op_name(plan));
+    let rows = execute_op(plan, catalog)?;
+    pqp_obs::record("rows_out", rows.len());
+    Ok(rows)
+}
+
+fn op_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Empty { .. } => "exec.empty",
+        Plan::Scan { .. } => "exec.scan",
+        Plan::Filter { .. } => "exec.filter",
+        Plan::HashJoin { .. } => "exec.hash_join",
+        Plan::CrossJoin { .. } => "exec.cross_join",
+        Plan::Project { .. } => "exec.project",
+        Plan::Aggregate { .. } => "exec.aggregate",
+        Plan::Distinct { .. } => "exec.distinct",
+        Plan::Sort { .. } => "exec.sort",
+        Plan::Limit { .. } => "exec.limit",
+        Plan::Union { .. } => "exec.union",
+    }
+}
+
+fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
     match plan {
         Plan::Empty { .. } => Ok(Vec::new()),
-        Plan::Scan { table, filter, .. } => scan(table, filter.as_ref(), catalog),
+        Plan::Scan { table, filter, .. } => {
+            pqp_obs::record("table", table.as_str());
+            scan(table, filter.as_ref(), catalog)
+        }
         Plan::Filter { input, predicate } => {
             let rows = execute(input, catalog)?;
+            pqp_obs::record("rows_in", rows.len());
             let mut out = Vec::with_capacity(rows.len() / 2);
             for row in rows {
                 if predicate.eval_predicate(&row)? {
@@ -48,11 +80,15 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
             }
             let lrows = execute(left, catalog)?;
             let rrows = execute(right, catalog)?;
+            pqp_obs::record("left_rows", lrows.len());
+            pqp_obs::record("right_rows", rrows.len());
             hash_join(lrows, rrows, left_keys, right_keys)
         }
         Plan::CrossJoin { left, right, .. } => {
             let lrows = execute(left, catalog)?;
             let rrows = execute(right, catalog)?;
+            pqp_obs::record("left_rows", lrows.len());
+            pqp_obs::record("right_rows", rrows.len());
             // Cap the pre-allocation: a huge product should grow lazily (and
             // fail late with partial progress) rather than request the whole
             // worst case up front.
@@ -81,6 +117,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
         }
         Plan::Aggregate { input, group_by, aggs, .. } => {
             let rows = execute(input, catalog)?;
+            pqp_obs::record("rows_in", rows.len());
             aggregate(rows, group_by, aggs)
         }
         Plan::Distinct { input } => {
@@ -135,7 +172,9 @@ fn scan(table: &str, filter: Option<&BoundExpr>, catalog: &Catalog) -> Result<Ve
     if let Some(f) = filter {
         // Look for a `col = literal` conjunct over an indexed column.
         for conjunct in split_and(f) {
-            let Some((col, value)) = as_eq_literal(conjunct) else { continue };
+            let Some((col, value)) = as_eq_literal(conjunct) else {
+                continue;
+            };
             if value.is_null() {
                 continue; // `= NULL` can never be TRUE; fall through to scan
             }
@@ -184,7 +223,9 @@ fn split_and(e: &BoundExpr) -> Vec<&BoundExpr> {
 
 /// `col = literal` (either orientation), as (column position, literal).
 fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
-    let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = e else { return None };
+    let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = e else {
+        return None;
+    };
     match (&**left, &**right) {
         (BoundExpr::Column(c), BoundExpr::Literal(v)) => Some((*c, v)),
         (BoundExpr::Literal(v), BoundExpr::Column(c)) => Some((*c, v)),
@@ -204,7 +245,9 @@ fn try_index_join(
     catalog: &Catalog,
     probe_is_left: bool,
 ) -> Result<Option<Vec<Row>>> {
-    let Plan::Scan { table, filter, .. } = scan_side else { return Ok(None) };
+    let Plan::Scan { table, filter, .. } = scan_side else {
+        return Ok(None);
+    };
     let t = catalog.table(table)?;
     // Resolve the indexed column name and check an index exists.
     let (col_name, table_len) = {
@@ -230,13 +273,17 @@ fn try_index_join(
         return Ok(Some(rows));
     }
     let t = t.read();
+    pqp_obs::record("strategy", "index_nested_loop");
+    pqp_obs::record("probe_rows", probe_rows.len());
     let mut out = Vec::new();
     for prow in &probe_rows {
         let key = &prow[probe_keys[0]];
         if key.is_null() {
             continue;
         }
-        let Some(hits) = t.index_lookup(&col_name, key) else { return Ok(None) };
+        let Some(hits) = t.index_lookup(&col_name, key) else {
+            return Ok(None);
+        };
         for hit in hits? {
             if let Some(f) = filter {
                 if !f.eval_predicate(&hit)? {
@@ -291,7 +338,9 @@ fn hash_join(
     }
     let mut out = Vec::new();
     for prow in probe {
-        let Some(k) = key_of(prow, probe_keys) else { continue };
+        let Some(k) = key_of(prow, probe_keys) else {
+            continue;
+        };
         if let Some(matches) = table.get(&k) {
             for &bi in matches {
                 let brow = &build[bi];

@@ -67,23 +67,24 @@ impl Database {
     pub fn execute(&mut self, sql: &str) -> Result<ddl::StatementResult> {
         let stmt = pqp_sql::parse_statement(sql)?;
         match &stmt {
-            pqp_sql::Statement::Query(q) => {
-                Ok(ddl::StatementResult::Rows(self.run_query(q)?))
-            }
+            pqp_sql::Statement::Query(q) => Ok(ddl::StatementResult::Rows(self.run_query(q)?)),
             other => ddl::execute_statement(other, &mut self.catalog),
         }
     }
 
     /// Plan and execute a parsed query.
     pub fn run_query(&self, q: &Query) -> Result<ResultSet> {
+        let _span = pqp_obs::span("execute");
         let plan = self.plan(q)?;
         let rows = exec::execute(&plan, &self.catalog)?;
+        pqp_obs::record("result_rows", rows.len());
         let columns = plan.schema().columns.iter().map(|c| c.name.clone()).collect();
         Ok(ResultSet { columns, rows })
     }
 
     /// Produce the optimized plan for a query (OR-expansion + planning).
     pub fn plan(&self, q: &Query) -> Result<plan::Plan> {
+        let _span = pqp_obs::span("plan");
         let rewritten = rewrite::or_expand(q, &self.catalog);
         planner::Planner::new(&self.catalog).plan_query(&rewritten)
     }

@@ -112,11 +112,7 @@ fn exec_select(sel: &Select, catalog: &Catalog) -> Result<(OutputSchema, Vec<Row
             }
             TableFactor::Derived { query, alias } => {
                 let rs = naive_execute(query, catalog)?;
-                let cols = rs
-                    .columns
-                    .iter()
-                    .map(|c| OutputColumn::new(Some(alias), c))
-                    .collect();
+                let cols = rs.columns.iter().map(|c| OutputColumn::new(Some(alias), c)).collect();
                 (OutputSchema::new(cols), rs.rows)
             }
         };
@@ -376,9 +372,9 @@ fn eval(e: &Expr, schema: &OutputSchema, row: &Row) -> Result<Value> {
             }
             Ok(Value::Bool(*negated))
         }
-        Expr::Function { name, .. } => bind_err(format!(
-            "aggregate or unknown function `{name}` not allowed here"
-        )),
+        Expr::Function { name, .. } => {
+            bind_err(format!("aggregate or unknown function `{name}` not allowed here"))
+        }
     }
 }
 

@@ -73,9 +73,7 @@ impl<'a> Planner<'a> {
             let bound = self.bind_expr(&item.expr, input.schema())?;
             let idx = exprs.len();
             exprs.push(bound);
-            schema
-                .columns
-                .push(OutputColumn::new(None, &format!("__sort_{idx}")));
+            schema.columns.push(OutputColumn::new(None, &format!("__sort_{idx}")));
             keys.push((idx, item.desc));
         }
         let extended = Plan::Project { input, exprs, schema: schema.clone() };
@@ -140,9 +138,8 @@ impl<'a> Planner<'a> {
         }
 
         // 2. Decompose WHERE into conjuncts and plan the join tree.
-        let combined_schema = factors
-            .iter()
-            .fold(OutputSchema::default(), |acc, f| acc.join(f.plan.schema()));
+        let combined_schema =
+            factors.iter().fold(OutputSchema::default(), |acc, f| acc.join(f.plan.schema()));
         let mut plan = if factors.is_empty() {
             // FROM-less select: a single empty row lets `SELECT 1` work.
             Plan::Project {
@@ -252,10 +249,7 @@ impl<'a> Planner<'a> {
                             if li != ri {
                                 join_edges.push(JoinEdge {
                                     factors: (li, ri),
-                                    cols: (
-                                        (*left.clone()).clone(),
-                                        (*right.clone()).clone(),
-                                    ),
+                                    cols: ((*left.clone()).clone(), (*right.clone()).clone()),
                                 });
                                 continue;
                             }
@@ -424,9 +418,7 @@ impl<'a> Planner<'a> {
                 let apply = match r {
                     Some(expr) => {
                         let refs = self.binding_refs(expr, current.plan.schema())?;
-                        refs.iter().all(|q| {
-                            bindings_in.iter().any(|b| b.eq_ignore_ascii_case(q))
-                        })
+                        refs.iter().all(|q| bindings_in.iter().any(|b| b.eq_ignore_ascii_case(q)))
                     }
                     None => false,
                 };
@@ -459,11 +451,8 @@ impl<'a> Planner<'a> {
         match plan {
             Plan::Empty { .. } => 0.0,
             Plan::Scan { table, filter, .. } => {
-                let len = self
-                    .catalog
-                    .table(table)
-                    .map(|t| t.read().len() as f64)
-                    .unwrap_or(1000.0);
+                let len =
+                    self.catalog.table(table).map(|t| t.read().len() as f64).unwrap_or(1000.0);
                 if filter.is_some() {
                     (len * 0.1).max(1.0)
                 } else {
@@ -525,11 +514,11 @@ impl<'a> Planner<'a> {
     }
 
     fn factor_of_column(&self, e: &Expr, factors: &[BoundFactor]) -> Result<Option<usize>> {
-        let Expr::Column { qualifier, name } = e else { return Ok(None) };
+        let Expr::Column { qualifier, name } = e else {
+            return Ok(None);
+        };
         match qualifier {
-            Some(q) => {
-                Ok(factors.iter().position(|f| f.binding.eq_ignore_ascii_case(q)))
-            }
+            Some(q) => Ok(factors.iter().position(|f| f.binding.eq_ignore_ascii_case(q))),
             None => {
                 // Unqualified: find the unique factor having this column.
                 let mut hit = None;
@@ -637,9 +626,7 @@ impl<'a> Planner<'a> {
         for (i, g) in s.group_by.iter().enumerate() {
             group_bound.push(self.bind_expr(g, &input_schema)?);
             agg_schema_cols.push(match g {
-                Expr::Column { qualifier, name } => {
-                    OutputColumn::new(qualifier.as_deref(), name)
-                }
+                Expr::Column { qualifier, name } => OutputColumn::new(qualifier.as_deref(), name),
                 other => OutputColumn::new(None, &format!("group_{i}__{other}")),
             });
         }
@@ -714,14 +701,12 @@ impl<'a> Planner<'a> {
         match e {
             Expr::Column { qualifier, name } => {
                 // Allow referencing a group column by name.
-                let i = agg_out
-                    .resolve(qualifier.as_deref(), name)
-                    .map_err(|_| {
-                        EngineError::Bind(format!(
-                            "column `{}` must appear in GROUP BY or inside an aggregate",
-                            e
-                        ))
-                    })?;
+                let i = agg_out.resolve(qualifier.as_deref(), name).map_err(|_| {
+                    EngineError::Bind(format!(
+                        "column `{}` must appear in GROUP BY or inside an aggregate",
+                        e
+                    ))
+                })?;
                 Ok(BoundExpr::Column(i))
             }
             Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
@@ -780,9 +765,7 @@ impl<'a> Planner<'a> {
                 }
             }
             // 2. Structural match against a projection expression.
-            if let Some(i) =
-                first_projection.iter().position(|(_, e)| expr_eq_ci(e, &item.expr))
-            {
+            if let Some(i) = first_projection.iter().position(|(_, e)| expr_eq_ci(e, &item.expr)) {
                 keys.push((i, item.desc));
                 continue;
             }
@@ -861,10 +844,7 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
 /// function names compare case-insensitively; literals exactly).
 pub fn expr_eq_ci(a: &Expr, b: &Expr) -> bool {
     match (a, b) {
-        (
-            Expr::Column { qualifier: qa, name: na },
-            Expr::Column { qualifier: qb, name: nb },
-        ) => {
+        (Expr::Column { qualifier: qa, name: na }, Expr::Column { qualifier: qb, name: nb }) => {
             na.eq_ignore_ascii_case(nb)
                 && match (qa, qb) {
                     (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
@@ -878,10 +858,9 @@ pub fn expr_eq_ci(a: &Expr, b: &Expr) -> bool {
             Expr::Binary { left: lb, op: ob, right: rb },
         ) => oa == ob && expr_eq_ci(la, lb) && expr_eq_ci(ra, rb),
         (Expr::Not(x), Expr::Not(y)) => expr_eq_ci(x, y),
-        (
-            Expr::IsNull { expr: ea, negated: na },
-            Expr::IsNull { expr: eb, negated: nb },
-        ) => na == nb && expr_eq_ci(ea, eb),
+        (Expr::IsNull { expr: ea, negated: na }, Expr::IsNull { expr: eb, negated: nb }) => {
+            na == nb && expr_eq_ci(ea, eb)
+        }
         (
             Expr::InList { expr: ea, list: la, negated: na },
             Expr::InList { expr: eb, list: lb, negated: nb },

@@ -28,11 +28,7 @@ use pqp_storage::{Catalog, Value};
 
 /// Recursively apply OR-expansion to every select block of the query.
 pub fn or_expand(q: &Query, catalog: &Catalog) -> Query {
-    Query {
-        body: expand_set_expr(&q.body, catalog),
-        order_by: q.order_by.clone(),
-        limit: q.limit,
-    }
+    Query { body: expand_set_expr(&q.body, catalog), order_by: q.order_by.clone(), limit: q.limit }
 }
 
 fn expand_set_expr(s: &SetExpr, catalog: &Catalog) -> SetExpr {
@@ -152,8 +148,7 @@ fn expand_select(sel: &Select, catalog: &Catalog) -> SetExpr {
         let mut dropped_empty = false;
         for f in &sel.from {
             let name = f.binding_name();
-            let needed_here =
-                keep_all || needed.iter().any(|q| q.eq_ignore_ascii_case(name));
+            let needed_here = keep_all || needed.iter().any(|q| q.eq_ignore_ascii_case(name));
             if needed_here {
                 from.push(f.clone());
                 continue;
@@ -227,9 +222,10 @@ fn expansion_enables_elimination(sel: &Select, conjuncts: &[Expr], idx: usize) -
     for d in conjuncts[idx].disjuncts() {
         let mut branch_refs = outside.clone();
         d.referenced_qualifiers(&mut branch_refs);
-        let droppable = sel.from.iter().any(|f| {
-            !branch_refs.iter().any(|q| q.eq_ignore_ascii_case(f.binding_name()))
-        });
+        let droppable = sel
+            .from
+            .iter()
+            .any(|f| !branch_refs.iter().any(|q| q.eq_ignore_ascii_case(f.binding_name())));
         if droppable {
             return true;
         }

@@ -180,10 +180,7 @@ mod tests {
     fn result_set_column() {
         let rs = ResultSet {
             columns: vec!["title".into(), "n".into()],
-            rows: vec![
-                vec![Value::str("a"), Value::Int(1)],
-                vec![Value::str("b"), Value::Int(2)],
-            ],
+            rows: vec![vec![Value::str("a"), Value::Int(1)], vec![Value::str("b"), Value::Int(2)]],
         };
         assert_eq!(rs.column("N").unwrap(), vec![Value::Int(1), Value::Int(2)]);
         assert!(rs.column("x").is_none());

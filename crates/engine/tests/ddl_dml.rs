@@ -11,13 +11,8 @@ fn fresh() -> Database {
 #[test]
 fn create_insert_select_roundtrip() {
     let mut db = fresh();
-    db.execute(
-        "create table MOVIE (mid int primary key, title text not null, year int)",
-    )
-    .unwrap();
-    let n = db
-        .execute("insert into MOVIE values (1, 'Alpha', 2001), (2, 'Beta', 2002)")
-        .unwrap();
+    db.execute("create table MOVIE (mid int primary key, title text not null, year int)").unwrap();
+    let n = db.execute("insert into MOVIE values (1, 'Alpha', 2001), (2, 'Beta', 2002)").unwrap();
     assert_eq!(n.affected(), Some(2));
     let rs = db.execute("select title from MOVIE order by year desc").unwrap().rows().unwrap();
     assert_eq!(rs.rows, vec![vec![Value::str("Beta")], vec![Value::str("Alpha")]]);
@@ -38,10 +33,7 @@ fn constraints_enforced_through_sql() {
     db.execute("create table T (id int primary key, name text unique)").unwrap();
     db.execute("insert into T values (1, 'a')").unwrap();
     // Duplicate primary key.
-    assert!(matches!(
-        db.execute("insert into T values (1, 'b')"),
-        Err(EngineError::Storage(_))
-    ));
+    assert!(matches!(db.execute("insert into T values (1, 'b')"), Err(EngineError::Storage(_))));
     // Duplicate unique.
     assert!(db.execute("insert into T values (2, 'a')").is_err());
     // NOT NULL via primary key.

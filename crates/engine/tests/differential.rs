@@ -1,12 +1,13 @@
-//! Differential property testing: on random databases and random queries,
-//! the optimized pipeline (rewrite → plan → execute) must produce exactly the
-//! same multiset of rows as the naive AST interpreter.
+//! Differential testing: on random databases and random queries, the
+//! optimized pipeline (rewrite → plan → execute) must produce exactly the
+//! same multiset of rows as the naive AST interpreter. Driven by a seeded
+//! PRNG so failures reproduce exactly.
 
 use pqp_engine::Database;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_sql::ast::*;
 use pqp_sql::builder as b;
 use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
-use proptest::prelude::*;
 
 /// Fixed table shapes; row contents are generated.
 const TABLES: &[(&str, &[(&str, DataType)])] = &[
@@ -15,202 +16,181 @@ const TABLES: &[(&str, &[(&str, DataType)])] = &[
     ("T2", &[("f", DataType::Int), ("g", DataType::Int)]),
 ];
 
-fn arb_value(ty: DataType) -> BoxedStrategy<Value> {
+const STRINGS: &[&str] = &["x", "y", "z"];
+
+fn arb_value(rng: &mut SmallRng, ty: DataType) -> Value {
+    // 1-in-4 NULLs so three-valued logic gets exercised.
+    if rng.gen_bool(0.25) {
+        return Value::Null;
+    }
     match ty {
-        DataType::Int => prop_oneof![3 => (0i64..4).prop_map(Value::Int), 1 => Just(Value::Null)].boxed(),
-        DataType::Str => prop_oneof![
-            3 => prop::sample::select(vec!["x", "y", "z"]).prop_map(Value::from),
-            1 => Just(Value::Null)
-        ]
-        .boxed(),
+        DataType::Int => Value::Int(rng.gen_range(0..4i64)),
+        DataType::Str => Value::from(STRINGS[rng.gen_index(STRINGS.len())]),
         _ => unreachable!(),
     }
 }
 
-fn arb_table_rows(cols: &'static [(&'static str, DataType)]) -> BoxedStrategy<Vec<Vec<Value>>> {
-    let row = cols.iter().map(|(_, ty)| arb_value(*ty)).collect::<Vec<_>>();
-    prop::collection::vec(row, 0..10).boxed()
-}
-
-fn arb_db() -> impl Strategy<Value = Database> {
-    (arb_table_rows(TABLES[0].1), arb_table_rows(TABLES[1].1), arb_table_rows(TABLES[2].1))
-        .prop_map(|(r0, r1, r2)| {
-            let mut c = Catalog::new();
-            for ((name, cols), rows) in TABLES.iter().zip([r0, r1, r2]) {
-                let schema = TableSchema::new(
-                    *name,
-                    cols.iter().map(|(n, ty)| ColumnDef::nullable(*n, *ty)).collect(),
-                );
-                let t = c.create_table(schema).unwrap();
-                let mut t = t.write();
-                for row in rows {
-                    t.insert(row).unwrap();
-                }
-            }
-            Database::new(c)
-        })
-}
-
-/// A query over `k` factors (aliases q0..q{k-1} over random base tables).
-#[derive(Debug, Clone)]
-struct GenQuery {
-    query: Query,
+fn arb_db(rng: &mut SmallRng) -> Database {
+    let mut c = Catalog::new();
+    for (name, cols) in TABLES {
+        let schema = TableSchema::new(
+            *name,
+            cols.iter().map(|(n, ty)| ColumnDef::nullable(*n, *ty)).collect(),
+        );
+        let t = c.create_table(schema).unwrap();
+        let mut t = t.write();
+        let n = rng.gen_range(0..10usize);
+        for _ in 0..n {
+            let row: Vec<Value> = cols.iter().map(|(_, ty)| arb_value(rng, *ty)).collect();
+            t.insert(row).unwrap();
+        }
+    }
+    Database::new(c)
 }
 
 fn columns_of(table_idx: usize) -> &'static [(&'static str, DataType)] {
     TABLES[table_idx].1
 }
 
-fn arb_column(factors: Vec<usize>) -> impl Strategy<Value = (Expr, DataType)> {
-    (0..factors.len(), any::<prop::sample::Index>()).prop_map(move |(fi, ci)| {
-        let cols = columns_of(factors[fi]);
-        let (name, ty) = cols[ci.index(cols.len())];
-        (b::col(format!("q{fi}"), name), ty)
-    })
+/// A random qualified column over the query's factors (alias q0..q{k-1}).
+fn arb_column(rng: &mut SmallRng, factors: &[usize]) -> (Expr, DataType) {
+    let fi = rng.gen_index(factors.len());
+    let cols = columns_of(factors[fi]);
+    let (name, ty) = cols[rng.gen_index(cols.len())];
+    (b::col(format!("q{fi}"), name), ty)
 }
 
-fn arb_predicate(factors: Vec<usize>) -> impl Strategy<Value = Expr> {
-    let leaf = {
-        let factors = factors.clone();
-        prop_oneof![
-            // column <op> literal
-            (arb_column(factors.clone()), any::<prop::sample::Index>(), any::<prop::sample::Index>())
-                .prop_map(|((col, ty), op_i, lit_i)| {
-                    let ops = [BinaryOp::Eq, BinaryOp::NotEq, BinaryOp::Lt, BinaryOp::GtEq];
-                    let op = ops[op_i.index(ops.len())];
-                    let lit = match ty {
-                        DataType::Int => Value::Int(lit_i.index(4) as i64),
-                        _ => Value::from(["x", "y", "z"][lit_i.index(3)]),
-                    };
-                    b::binary(col, op, Expr::Literal(lit))
-                }),
-            // column = column (same type only: int with int)
-            (arb_column(factors.clone()), arb_column(factors.clone())).prop_filter_map(
-                "type mismatch",
-                |((c1, t1), (c2, t2))| {
-                    if t1 == t2 {
-                        Some(b::eq(c1, c2))
-                    } else {
-                        None
-                    }
-                }
+fn arb_literal(rng: &mut SmallRng, ty: DataType) -> Value {
+    match ty {
+        DataType::Int => Value::Int(rng.gen_range(0..4i64)),
+        _ => Value::from(STRINGS[rng.gen_index(STRINGS.len())]),
+    }
+}
+
+fn arb_predicate(rng: &mut SmallRng, factors: &[usize], depth: usize) -> Expr {
+    if depth > 0 && rng.gen_bool(0.4) {
+        return match rng.gen_range(0..3u32) {
+            0 => b::and(
+                arb_predicate(rng, factors, depth - 1),
+                arb_predicate(rng, factors, depth - 1),
             ),
-            // IS NULL
-            (arb_column(factors.clone()), any::<bool>()).prop_map(|((c, _), n)| Expr::IsNull {
-                expr: Box::new(c),
-                negated: n
-            }),
-            // IN list
-            (arb_column(factors), prop::collection::vec(any::<prop::sample::Index>(), 1..3))
-                .prop_map(|((c, ty), idxs)| {
-                    let list = idxs
-                        .iter()
-                        .map(|i| match ty {
-                            DataType::Int => Expr::Literal(Value::Int(i.index(4) as i64)),
-                            _ => Expr::Literal(Value::from(["x", "y", "z"][i.index(3)])),
-                        })
-                        .collect();
-                    Expr::InList { expr: Box::new(c), list, negated: false }
-                }),
-        ]
-    };
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| b::and(l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| b::or(l, r)),
-            inner.prop_map(b::not),
-        ]
-    })
-}
-
-fn arb_query() -> impl Strategy<Value = GenQuery> {
-    prop::collection::vec(0usize..TABLES.len(), 1..3)
-        .prop_flat_map(|factors| {
-            let from: Vec<TableFactor> = factors
-                .iter()
-                .enumerate()
-                .map(|(i, &t)| b::table(TABLES[t].0, format!("q{i}")))
-                .collect();
-            let proj = prop::collection::vec(arb_column(factors.clone()), 1..3);
-            let selection = proptest::option::of(arb_predicate(factors.clone()));
-            (Just(from), proj, selection, any::<bool>(), any::<bool>())
-        })
-        .prop_map(|(from, proj, selection, distinct, group)| {
-            let query = if group {
-                // GROUP BY the first projected column with COUNT(*).
-                let gcol = proj[0].0.clone();
-                Query::from_select(Select {
-                    distinct: false,
-                    projection: vec![b::item(gcol.clone()), b::item(b::count_star())],
-                    from,
-                    selection,
-                    group_by: vec![gcol],
-                    having: None,
-                })
+            1 => b::or(
+                arb_predicate(rng, factors, depth - 1),
+                arb_predicate(rng, factors, depth - 1),
+            ),
+            _ => b::not(arb_predicate(rng, factors, depth - 1)),
+        };
+    }
+    match rng.gen_range(0..4u32) {
+        0 => {
+            // column <op> literal
+            let (col, ty) = arb_column(rng, factors);
+            let ops = [BinaryOp::Eq, BinaryOp::NotEq, BinaryOp::Lt, BinaryOp::GtEq];
+            let op = ops[rng.gen_index(ops.len())];
+            b::binary(col, op, Expr::Literal(arb_literal(rng, ty)))
+        }
+        1 => {
+            // column = column (same type only); falls back to a literal
+            // comparison when the draw mismatches.
+            let (c1, t1) = arb_column(rng, factors);
+            let (c2, t2) = arb_column(rng, factors);
+            if t1 == t2 {
+                b::eq(c1, c2)
             } else {
-                Query::from_select(Select {
-                    distinct,
-                    projection: proj.into_iter().map(|(e, _)| b::item(e)).collect(),
-                    from,
-                    selection,
-                    group_by: Vec::new(),
-                    having: None,
-                })
-            };
-            GenQuery { query }
-        })
+                b::eq(c1, Expr::Literal(arb_literal(rng, t1)))
+            }
+        }
+        2 => {
+            let (c, _) = arb_column(rng, factors);
+            Expr::IsNull { expr: Box::new(c), negated: rng.gen_bool(0.5) }
+        }
+        _ => {
+            let (c, ty) = arb_column(rng, factors);
+            let n = rng.gen_range(1..3usize);
+            let list = (0..n).map(|_| Expr::Literal(arb_literal(rng, ty))).collect();
+            Expr::InList { expr: Box::new(c), list, negated: false }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(384))]
+fn arb_query(rng: &mut SmallRng) -> Query {
+    let k = rng.gen_range(1..3usize);
+    let factors: Vec<usize> = (0..k).map(|_| rng.gen_index(TABLES.len())).collect();
+    let from: Vec<TableFactor> =
+        factors.iter().enumerate().map(|(i, &t)| b::table(TABLES[t].0, format!("q{i}"))).collect();
+    let n_proj = rng.gen_range(1..3usize);
+    let proj: Vec<(Expr, DataType)> = (0..n_proj).map(|_| arb_column(rng, &factors)).collect();
+    let selection = if rng.gen_bool(0.5) { Some(arb_predicate(rng, &factors, 3)) } else { None };
+    if rng.gen_bool(0.5) {
+        // GROUP BY the first projected column with COUNT(*).
+        let gcol = proj[0].0.clone();
+        Query::from_select(Select {
+            distinct: false,
+            projection: vec![b::item(gcol.clone()), b::item(b::count_star())],
+            from,
+            selection,
+            group_by: vec![gcol],
+            having: None,
+        })
+    } else {
+        Query::from_select(Select {
+            distinct: rng.gen_bool(0.5),
+            projection: proj.into_iter().map(|(e, _)| b::item(e)).collect(),
+            from,
+            selection,
+            group_by: Vec::new(),
+            having: None,
+        })
+    }
+}
 
-    #[test]
-    fn optimized_engine_matches_naive(db in arb_db(), gq in arb_query()) {
-        let naive = db.run_naive(&gq.query);
-        let fast = db.run_query(&gq.query);
+#[test]
+fn optimized_engine_matches_naive() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    for _ in 0..384 {
+        let db = arb_db(&mut rng);
+        let query = arb_query(&mut rng);
+        let naive = db.run_naive(&query);
+        let fast = db.run_query(&query);
         match (naive, fast) {
             (Ok(n), Ok(f)) => {
                 let mut n = n.rows;
                 let mut f = f.rows;
                 n.sort();
                 f.sort();
-                prop_assert_eq!(n, f, "query: {}", gq.query);
+                assert_eq!(n, f, "query: {query}");
             }
             (Err(_), Err(_)) => {}
             (Ok(_), Err(e)) => {
-                return Err(TestCaseError::fail(format!(
-                    "engine failed where naive succeeded on `{}`: {e}",
-                    gq.query
-                )));
+                panic!("engine failed where naive succeeded on `{query}`: {e}");
             }
             (Err(e), Ok(_)) => {
-                return Err(TestCaseError::fail(format!(
-                    "naive failed where engine succeeded on `{}`: {e}",
-                    gq.query
-                )));
+                panic!("naive failed where engine succeeded on `{query}`: {e}");
             }
         }
     }
+}
 
-    #[test]
-    fn sql_text_roundtrip_preserves_semantics(db in arb_db(), gq in arb_query()) {
+#[test]
+fn sql_text_roundtrip_preserves_semantics() {
+    let mut rng = SmallRng::seed_from_u64(0x7E47);
+    for _ in 0..384 {
+        let db = arb_db(&mut rng);
+        let query = arb_query(&mut rng);
         // Executing the printed SQL must equal executing the AST.
-        let direct = db.run_query(&gq.query);
-        let via_text = db.run(&gq.query.to_string());
+        let direct = db.run_query(&query);
+        let via_text = db.run(&query.to_string());
         match (direct, via_text) {
             (Ok(a), Ok(b2)) => {
                 let mut a = a.rows;
                 let mut b2 = b2.rows;
                 a.sort();
                 b2.sort();
-                prop_assert_eq!(a, b2, "query: {}", gq.query);
+                assert_eq!(a, b2, "query: {query}");
             }
             (Err(_), Err(_)) => {}
             (a, b2) => {
-                return Err(TestCaseError::fail(format!(
-                    "disagreement on `{}`: direct={:?} text={:?}",
-                    gq.query, a.is_ok(), b2.is_ok()
-                )));
+                panic!("disagreement on `{query}`: direct={:?} text={:?}", a.is_ok(), b2.is_ok());
             }
         }
     }

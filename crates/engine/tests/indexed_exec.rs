@@ -3,10 +3,9 @@
 //! to the naive interpreter (and to the un-indexed engine).
 
 use pqp_engine::Database;
+use pqp_obs::rng::{Rng, SmallRng};
 use pqp_sql::parse_query;
 use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Two databases with identical contents; one fully indexed, one bare.
 fn twin_dbs(rows: usize, seed: u64) -> (Database, Database) {
@@ -24,17 +23,12 @@ fn twin_dbs(rows: usize, seed: u64) -> (Database, Database) {
             .with_primary_key(&["id"]),
         )
         .unwrap();
-        c.create_table(
-            TableSchema::new(
-                "B",
-                vec![
-                    ColumnDef::nullable("a_id", DataType::Int),
-                    ColumnDef::new("y", DataType::Int),
-                ],
-            ),
-        )
+        c.create_table(TableSchema::new(
+            "B",
+            vec![ColumnDef::nullable("a_id", DataType::Int), ColumnDef::new("y", DataType::Int)],
+        ))
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         {
             let a = c.table("A").unwrap();
             let mut a = a.write();
@@ -42,9 +36,9 @@ fn twin_dbs(rows: usize, seed: u64) -> (Database, Database) {
                 let tag = if rng.gen_bool(0.2) {
                     Value::Null
                 } else {
-                    Value::str(["red", "green", "blue"][rng.gen_range(0..3)])
+                    Value::str(["red", "green", "blue"][rng.gen_range(0..3usize)])
                 };
-                a.insert(vec![Value::Int(id), Value::Int(rng.gen_range(0..5)), tag]).unwrap();
+                a.insert(vec![Value::Int(id), Value::Int(rng.gen_range(0..5i64)), tag]).unwrap();
             }
         }
         {
@@ -56,7 +50,7 @@ fn twin_dbs(rows: usize, seed: u64) -> (Database, Database) {
                 } else {
                     Value::Int(rng.gen_range(0..rows as i64 + 5)) // some dangling
                 };
-                b.insert(vec![a_id, Value::Int(rng.gen_range(0..100))]).unwrap();
+                b.insert(vec![a_id, Value::Int(rng.gen_range(0..100i64))]).unwrap();
             }
         }
         if indexed {

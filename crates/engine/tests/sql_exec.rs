@@ -85,43 +85,63 @@ fn movies_db() -> Database {
             t.insert(r).unwrap();
         }
     };
-    ins(&c, "THEATRE", vec![
-        vec![1.into(), "Odeon".into(), "210".into(), "downtown".into()],
-        vec![2.into(), "Rex".into(), "211".into(), "uptown".into()],
-    ]);
-    ins(&c, "MOVIE", vec![
-        vec![10.into(), "Alpha".into(), 2001.into()],
-        vec![11.into(), "Beta".into(), 2002.into()],
-        vec![12.into(), "Gamma".into(), 2003.into()],
-    ]);
-    ins(&c, "PLAY", vec![
-        vec![1.into(), 10.into(), "d1".into()],
-        vec![1.into(), 11.into(), "d1".into()],
-        vec![2.into(), 12.into(), "d1".into()],
-        vec![2.into(), 10.into(), "d2".into()],
-    ]);
-    ins(&c, "GENRE", vec![
-        vec![10.into(), "comedy".into()],
-        vec![10.into(), "thriller".into()],
-        vec![11.into(), "comedy".into()],
-        vec![12.into(), "sci-fi".into()],
-    ]);
-    ins(&c, "ACTOR", vec![
-        vec![100.into(), "N. Kidman".into()],
-        vec![101.into(), "A. Hopkins".into()],
-    ]);
-    ins(&c, "CAST", vec![
-        vec![10.into(), 100.into(), Value::Null, "lead".into()],
-        vec![11.into(), 101.into(), "oscar".into(), Value::Null],
-        vec![12.into(), 100.into(), Value::Null, Value::Null],
-    ]);
+    ins(
+        &c,
+        "THEATRE",
+        vec![
+            vec![1.into(), "Odeon".into(), "210".into(), "downtown".into()],
+            vec![2.into(), "Rex".into(), "211".into(), "uptown".into()],
+        ],
+    );
+    ins(
+        &c,
+        "MOVIE",
+        vec![
+            vec![10.into(), "Alpha".into(), 2001.into()],
+            vec![11.into(), "Beta".into(), 2002.into()],
+            vec![12.into(), "Gamma".into(), 2003.into()],
+        ],
+    );
+    ins(
+        &c,
+        "PLAY",
+        vec![
+            vec![1.into(), 10.into(), "d1".into()],
+            vec![1.into(), 11.into(), "d1".into()],
+            vec![2.into(), 12.into(), "d1".into()],
+            vec![2.into(), 10.into(), "d2".into()],
+        ],
+    );
+    ins(
+        &c,
+        "GENRE",
+        vec![
+            vec![10.into(), "comedy".into()],
+            vec![10.into(), "thriller".into()],
+            vec![11.into(), "comedy".into()],
+            vec![12.into(), "sci-fi".into()],
+        ],
+    );
+    ins(
+        &c,
+        "ACTOR",
+        vec![vec![100.into(), "N. Kidman".into()], vec![101.into(), "A. Hopkins".into()]],
+    );
+    ins(
+        &c,
+        "CAST",
+        vec![
+            vec![10.into(), 100.into(), Value::Null, "lead".into()],
+            vec![11.into(), 101.into(), "oscar".into(), Value::Null],
+            vec![12.into(), 100.into(), Value::Null, Value::Null],
+        ],
+    );
     Database::new(c)
 }
 
 fn titles(db: &Database, sql: &str) -> Vec<String> {
     let rs = db.run(sql).unwrap();
-    let mut out: Vec<String> =
-        rs.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let mut out: Vec<String> = rs.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
     out.sort();
     out
 }

@@ -1,0 +1,33 @@
+//! # pqp-obs
+//!
+//! The observability substrate of the `pqp` workspace, built entirely on the
+//! standard library (the build must succeed offline, so no serde, no
+//! tracing, no rand):
+//!
+//! - [`span`] — a lightweight hierarchical span API: `span("selection")`
+//!   returns an RAII guard, guards nest into a tree, and
+//!   [`span::trace_end`] yields a [`span::PipelineTrace`] with per-stage
+//!   timings and recorded fields. When no trace is active every call is a
+//!   cheap no-op, so instrumentation can stay in hot paths permanently.
+//! - [`metrics`] — counters, gauges and histograms (p50/p95/max) in a
+//!   [`metrics::Registry`], plus a process-global registry that aggregates
+//!   across traces (the bench harness reads it).
+//! - [`json`] — a small JSON value type with a parser and printers, the
+//!   serialization layer for traces, metrics and stored profiles.
+//! - [`report`] — renders a span tree as an `EXPLAIN ANALYZE`-style text
+//!   report.
+//! - [`rng`] — a deterministic xoshiro256++ PRNG behind a minimal [`rng::Rng`]
+//!   trait; the workspace's replacement for the `rand` crate in data
+//!   generation and randomized tests.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{counter_add, gauge_set, observe, Histogram, Registry};
+pub use span::{
+    record, span, trace_active, trace_begin, trace_end, Field, PipelineTrace, SpanGuard, SpanNode,
+};

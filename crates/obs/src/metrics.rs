@@ -1,0 +1,314 @@
+//! Counters, gauges and histograms in a [`Registry`], plus a process-global
+//! registry aggregating across traces.
+//!
+//! The convenience functions ([`counter_add`], [`gauge_set`], [`observe`])
+//! write to the global registry *and* to the registry of the active trace
+//! (if any) — so one instrumentation call site feeds both the per-query
+//! `EXPLAIN ANALYZE` report and the bench harness's aggregate breakdowns.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// A histogram of `f64` samples with exact quantiles.
+///
+/// Samples are stored raw (the workloads here record thousands of samples,
+/// not millions); quantiles sort lazily on read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+/// The summary row the reports print.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.samples.push(v);
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Exact quantile by linear interpolation between order statistics
+    /// (`q` clamped to `[0, 1]`; 0 on an empty histogram).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        if self.samples.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+            };
+        }
+        HistogramSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.p50(),
+            p95: self.p95(),
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    fn to_json(&self) -> Json {
+        let s = self.summary();
+        Json::obj()
+            .set("count", s.count)
+            .set("min", s.min)
+            .set("max", s.max)
+            .set("mean", s.mean)
+            .set("p50", s.p50)
+            .set("p95", s.p95)
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, i64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add to a counter (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: i64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    pub fn counter(&self, name: &str) -> i64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one (counters add, gauges take the
+    /// other's value, histograms concatenate samples).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters = counters.set(k, *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges = gauges.set(k, *v);
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &self.histograms {
+            histograms = histograms.set(k, h.to_json());
+        }
+        Json::obj().set("counters", counters).set("gauges", gauges).set("histograms", histograms)
+    }
+}
+
+fn global_registry() -> &'static Mutex<Registry> {
+    static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+fn with_global(f: impl FnOnce(&mut Registry)) {
+    let mut g = global_registry().lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut g);
+}
+
+/// Snapshot the process-global registry.
+pub fn global_snapshot() -> Registry {
+    global_registry().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Reset the process-global registry (bench harness runs between figures).
+pub fn global_reset() {
+    with_global(|g| *g = Registry::new());
+}
+
+/// Add to a counter in the global registry and the active trace (if any).
+pub fn counter_add(name: &str, delta: i64) {
+    with_global(|g| g.add(name, delta));
+    crate::span::with_trace_metrics(|m| m.add(name, delta));
+}
+
+/// Set a gauge in the global registry and the active trace (if any).
+pub fn gauge_set(name: &str, value: f64) {
+    with_global(|g| g.set_gauge(name, value));
+    crate::span::with_trace_metrics(|m| m.set_gauge(name, value));
+}
+
+/// Record a histogram sample in the global registry and the active trace.
+pub fn observe(name: &str, value: f64) {
+    with_global(|g| g.observe(name, value));
+    crate::span::with_trace_metrics(|m| m.observe(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.p50(), 3.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        // p95 over 5 samples interpolates between the 4th and 5th order
+        // statistics: 4 + 0.8 * (5 - 4) = 4.8.
+        assert!((h.p95() - 4.8).abs() < 1e-12, "{}", h.p95());
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(10.0);
+        assert_eq!(h.quantile(0.5), 5.0);
+        assert_eq!(h.quantile(0.25), 2.5);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.summary().count, 0);
+        let mut h = Histogram::new();
+        h.record(7.5);
+        assert_eq!(h.p50(), 7.5);
+        assert_eq!(h.p95(), 7.5);
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_merge() {
+        let mut a = Registry::new();
+        a.add("rounds", 3);
+        a.add("rounds", 2);
+        a.set_gauge("k", 10.0);
+        a.observe("ms", 1.0);
+        let mut b = Registry::new();
+        b.add("rounds", 5);
+        b.observe("ms", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("rounds"), 10);
+        assert_eq!(a.gauge("k"), Some(10.0));
+        assert_eq!(a.histogram("ms").unwrap().count(), 2);
+        let j = a.to_json();
+        assert_eq!(j.get("counters").unwrap().get("rounds").unwrap().as_i64(), Some(10));
+        assert_eq!(
+            j.get("histograms").unwrap().get("ms").unwrap().get("count").unwrap().as_i64(),
+            Some(2)
+        );
+    }
+}

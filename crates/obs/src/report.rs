@@ -1,0 +1,122 @@
+//! Renders a [`PipelineTrace`] as an `EXPLAIN ANALYZE`-style text report:
+//! the span tree with per-stage wall-clock times and recorded fields,
+//! followed by the counters and histograms collected during the trace.
+
+use crate::metrics::Registry;
+use crate::span::{Field, PipelineTrace, SpanNode};
+use std::fmt::Write;
+
+const NAME_COL: usize = 46;
+
+/// Render the full report (span tree + metrics).
+pub fn render(trace: &PipelineTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN ANALYZE  {}  (total {:.3} ms)",
+        trace.root.name,
+        trace.root.elapsed_ms()
+    );
+    for child in &trace.root.children {
+        render_span(&mut out, child, 0);
+    }
+    render_metrics(&mut out, &trace.metrics);
+    out
+}
+
+fn render_span(out: &mut String, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    let label = format!("{indent}{}", node.name);
+    let dots = NAME_COL.saturating_sub(label.len()).max(2);
+    let _ = write!(out, "{label} {} {:>9.3} ms", ".".repeat(dots), node.elapsed_ms());
+    if !node.fields.is_empty() {
+        let rendered: Vec<String> =
+            node.fields.iter().map(|(k, v)| format!("{k}={}", field_text(v))).collect();
+        let _ = write!(out, "  [{}]", rendered.join(" "));
+    }
+    out.push('\n');
+    for child in &node.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+fn field_text(f: &Field) -> String {
+    match f {
+        Field::Int(v) => v.to_string(),
+        Field::Float(v) => format!("{v:.4}"),
+        Field::Str(v) => v.clone(),
+    }
+}
+
+fn render_metrics(out: &mut String, metrics: &Registry) {
+    let counters: Vec<_> = metrics.counters().collect();
+    if !counters.is_empty() {
+        out.push_str("Counters:\n");
+        for (name, value) in counters {
+            let dots = NAME_COL.saturating_sub(name.len() + 2).max(2);
+            let _ = writeln!(out, "  {name} {} {value:>9}", ".".repeat(dots));
+        }
+    }
+    let histograms: Vec<_> = metrics.histograms().collect();
+    if !histograms.is_empty() {
+        out.push_str("Histograms:\n");
+        for (name, h) in histograms {
+            let s = h.summary();
+            let _ = writeln!(
+                out,
+                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
+                s.count, s.mean, s.p50, s.p95, s.max
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+    use crate::span::{Field, PipelineTrace, SpanNode};
+
+    fn leaf(name: &str, elapsed_us: f64, fields: Vec<(String, Field)>) -> SpanNode {
+        SpanNode { name: name.to_string(), start_us: 0.0, elapsed_us, fields, children: vec![] }
+    }
+
+    #[test]
+    fn report_lists_stages_in_order_with_fields() {
+        let mut metrics = Registry::new();
+        metrics.add("selection.rounds", 6);
+        metrics.observe("exec.scan.ms", 0.5);
+        let trace = PipelineTrace {
+            root: SpanNode {
+                name: "pipeline".into(),
+                start_us: 0.0,
+                elapsed_us: 3_500.0,
+                fields: vec![],
+                children: vec![
+                    leaf("sql.parse", 120.0, vec![]),
+                    SpanNode {
+                        name: "selection".into(),
+                        start_us: 120.0,
+                        elapsed_us: 2_000.0,
+                        fields: vec![("k".into(), Field::Int(4))],
+                        children: vec![leaf(
+                            "query_graph",
+                            300.0,
+                            vec![("nodes".into(), Field::Int(3))],
+                        )],
+                    },
+                ],
+            },
+            metrics,
+        };
+        let text = trace.render();
+        assert!(text.starts_with("EXPLAIN ANALYZE  pipeline  (total 3.500 ms)"));
+        let parse_at = text.find("sql.parse").unwrap();
+        let sel_at = text.find("selection").unwrap();
+        let qg_at = text.find("query_graph").unwrap();
+        assert!(parse_at < sel_at && sel_at < qg_at);
+        assert!(text.contains("[k=4]"));
+        assert!(text.contains("[nodes=3]"));
+        assert!(text.contains("selection.rounds"));
+        assert!(text.contains("exec.scan.ms: n=1"));
+    }
+}

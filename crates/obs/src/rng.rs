@@ -1,0 +1,216 @@
+//! A deterministic PRNG behind a minimal trait — the workspace's stand-in
+//! for the `rand` crate (the build must work offline with no registry
+//! dependencies).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64: fast, far better
+//! distributed than a bare LCG, and stable across platforms so seeded
+//! experiments and randomized tests reproduce exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness. Only [`Rng::next_u64`] is required; everything
+/// else is derived.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (the upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(0..=i)`. Panics on empty ranges.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform index into a slice of length `n`. Panics when `n == 0`.
+    fn gen_index(&mut self, n: usize) -> usize
+    where
+        Self: Sized,
+    {
+        assert!(n > 0, "gen_index over an empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    type Output;
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range over an empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let off = rng.next_u64() % span;
+                (self.start as $u).wrapping_add(off as $u) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range over an empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t; // the full 64-bit domain
+                }
+                let off = rng.next_u64() % (span + 1);
+                (lo as $u).wrapping_add(off as $u) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u8 => u8,
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    i32 => u32,
+    i64 => u64,
+);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range over an empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+/// xoshiro256++: the workspace's default generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Seed deterministically from a single `u64` (SplitMix64 expansion, the
+    /// construction the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut x = seed;
+        let mut split = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SmallRng { s: [split(), split(), split(), split()] }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0..=5u8);
+            assert!(w <= 5);
+            let x = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&x));
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_covers_it() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut below_half = 0usize;
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            if f < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "{hits}");
+        assert!(!SmallRng::seed_from_u64(3).gen_bool(0.0));
+        assert!(SmallRng::seed_from_u64(3).gen_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw(mut rng: impl Rng) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        let via_ref = draw(&mut rng);
+        let direct = SmallRng::seed_from_u64(5).next_u64();
+        assert_eq!(via_ref, direct);
+        let dynamic: &mut dyn Rng = &mut rng;
+        let _ = dynamic.next_u32();
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(5..5);
+    }
+}

@@ -119,10 +119,11 @@ pub fn order_by(expr: Expr, desc: bool) -> OrderByItem {
 
 /// `UNION ALL` of a non-empty list of selects, as a left-deep tree.
 pub fn union_all(selects: Vec<Select>) -> Option<SetExpr> {
-    selects
-        .into_iter()
-        .map(|s| SetExpr::Select(Box::new(s)))
-        .reduce(|l, r| SetExpr::Union { left: Box::new(l), right: Box::new(r), all: true })
+    selects.into_iter().map(|s| SetExpr::Select(Box::new(s))).reduce(|l, r| SetExpr::Union {
+        left: Box::new(l),
+        right: Box::new(r),
+        all: true,
+    })
 }
 
 #[cfg(test)]

@@ -133,7 +133,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
                 i += 1;
                 out.push(Spanned { token: Token::Ident(ident), offset: start });
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut has_dot = false;
                 while i < bytes.len()

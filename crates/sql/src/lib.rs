@@ -27,15 +27,8 @@ pub use stmt::{parse_statement, ColumnSpec, Statement, TableConstraint};
 
 /// Names recognized as aggregate functions by the engine and by
 /// [`ast::Expr::contains_aggregate`].
-pub const AGGREGATE_NAMES: &[&str] = &[
-    "COUNT",
-    "SUM",
-    "AVG",
-    "MIN",
-    "MAX",
-    "DEGREE_OF_CONJUNCTION",
-    "DEGREE_OF_DISJUNCTION",
-];
+pub const AGGREGATE_NAMES: &[&str] =
+    &["COUNT", "SUM", "AVG", "MIN", "MAX", "DEGREE_OF_CONJUNCTION", "DEGREE_OF_DISJUNCTION"];
 
 /// Whether `name` is an aggregate function name (case-insensitive).
 pub fn is_aggregate_name(name: &str) -> bool {

@@ -8,7 +8,10 @@ use pqp_storage::Value;
 
 /// Parse a complete query from source text.
 pub fn parse_query(src: &str) -> Result<Query> {
+    let _span = pqp_obs::span("sql.parse");
+    pqp_obs::record("chars", src.len());
     let tokens = tokenize(src)?;
+    pqp_obs::record("tokens", tokens.len());
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
     p.expect_eof()?;
@@ -465,7 +468,11 @@ mod tests {
         let e = parse_expr("1 + 2 * 3").unwrap();
         assert_eq!(
             e,
-            b::binary(b::lit(1i64), BinaryOp::Plus, b::binary(b::lit(2i64), BinaryOp::Mul, b::lit(3i64)))
+            b::binary(
+                b::lit(1i64),
+                BinaryOp::Plus,
+                b::binary(b::lit(2i64), BinaryOp::Mul, b::lit(3i64))
+            )
         );
     }
 
@@ -493,10 +500,8 @@ mod tests {
 
     #[test]
     fn count_star_and_having() {
-        let q = parse_query(
-            "select t.title from T t group by t.title having count(*) >= 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("select t.title from T t group by t.title having count(*) >= 2").unwrap();
         let s = q.as_select().unwrap();
         assert_eq!(s.group_by.len(), 1);
         let h = s.having.as_ref().unwrap();

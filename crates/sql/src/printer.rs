@@ -147,11 +147,8 @@ fn fmt_expr(e: &Expr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         Expr::Function { name, args, wildcard } => {
             // COUNT lexes as a keyword the parser special-cases as a
             // function head; quoting it would be valid but ugly.
-            let head = if name.eq_ignore_ascii_case("count") {
-                name.clone()
-            } else {
-                sql_ident(name)
-            };
+            let head =
+                if name.eq_ignore_ascii_case("count") { name.clone() } else { sql_ident(name) };
             write!(f, "{head}(")?;
             if *wildcard {
                 write!(f, "*")?;

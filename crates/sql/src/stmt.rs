@@ -259,11 +259,7 @@ impl StmtParser {
         self.expect_kw(Keyword::Insert)?;
         self.expect_kw(Keyword::Into)?;
         let table = self.ident()?;
-        let columns = if self.peek() == &Token::LParen {
-            Some(self.column_list()?)
-        } else {
-            None
-        };
+        let columns = if self.peek() == &Token::LParen { Some(self.column_list()?) } else { None };
         self.expect_kw(Keyword::Values)?;
         let mut rows = Vec::new();
         loop {
@@ -286,8 +282,7 @@ impl StmtParser {
 
     /// A constant expression inside VALUES — reuse the expression grammar.
     fn value_expr(&mut self) -> Result<Expr> {
-        let (expr, consumed) =
-            crate::parser::parse_expr_prefix(self.tokens[self.pos..].to_vec())?;
+        let (expr, consumed) = crate::parser::parse_expr_prefix(self.tokens[self.pos..].to_vec())?;
         self.pos += consumed;
         Ok(expr)
     }
@@ -446,9 +441,8 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let s = roundtrip(
-            "insert into MOVIE (mid, title) values (1, 'Alpha'), (2, 'Beta'), (3, NULL)",
-        );
+        let s =
+            roundtrip("insert into MOVIE (mid, title) values (1, 'Alpha'), (2, 'Beta'), (3, NULL)");
         let Statement::Insert { rows, columns, .. } = s else { panic!() };
         assert_eq!(rows.len(), 3);
         assert_eq!(columns.unwrap().len(), 2);
@@ -478,10 +472,7 @@ mod tests {
 
     #[test]
     fn trailing_semicolon_accepted() {
-        assert!(matches!(
-            parse_statement("select 1 from T;").unwrap(),
-            Statement::Query(_)
-        ));
+        assert!(matches!(parse_statement("select 1 from T;").unwrap(), Statement::Query(_)));
         assert!(matches!(
             parse_statement("drop table T ;  ").unwrap(),
             Statement::DropTable { .. }

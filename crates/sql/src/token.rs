@@ -48,6 +48,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Parse an identifier into a keyword, case-insensitively.
+    #[allow(clippy::should_implement_trait)] // fallible, returns Option not Result
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s.to_ascii_uppercase().as_str() {

@@ -4,8 +4,8 @@
 
 use crate::error::{Result, StorageError};
 use crate::schema::{Cardinality, TableSchema};
+use crate::sync::RwLock;
 use crate::table::Table;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -137,7 +137,9 @@ impl Catalog {
             let t = t.read();
             let s = t.schema();
             for fk in &s.foreign_keys {
-                let Ok(parent) = self.schema_of(&fk.parent_table) else { continue };
+                let Ok(parent) = self.schema_of(&fk.parent_table) else {
+                    continue;
+                };
                 for (c, pc) in fk.columns.iter().zip(&fk.parent_columns) {
                     out.push(SchemaJoin {
                         from_table: s.name.clone(),
@@ -235,8 +237,11 @@ mod tests {
 
         let mut bad = Catalog::new();
         bad.create_table(
-            TableSchema::new("A", vec![ColumnDef::new("x", DataType::Int)])
-                .with_foreign_key(&["x"], "MISSING", &["y"]),
+            TableSchema::new("A", vec![ColumnDef::new("x", DataType::Int)]).with_foreign_key(
+                &["x"],
+                "MISSING",
+                &["y"],
+            ),
         )
         .unwrap();
         assert!(bad.validate_foreign_keys().is_err());

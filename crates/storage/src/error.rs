@@ -36,10 +36,9 @@ impl fmt::Display for StorageError {
             StorageError::ArityMismatch { table, expected, got } => {
                 write!(f, "row arity mismatch in `{table}`: expected {expected} values, got {got}")
             }
-            StorageError::TypeMismatch { table, column, expected, got } => write!(
-                f,
-                "type mismatch for `{table}.{column}`: expected {expected}, got {got}"
-            ),
+            StorageError::TypeMismatch { table, column, expected, got } => {
+                write!(f, "type mismatch for `{table}.{column}`: expected {expected}, got {got}")
+            }
             StorageError::NullViolation { table, column } => {
                 write!(f, "NULL in non-nullable column `{table}.{column}`")
             }

@@ -18,6 +18,7 @@ pub mod index;
 pub mod page;
 pub mod row;
 pub mod schema;
+pub mod sync;
 pub mod table;
 pub mod value;
 

@@ -4,10 +4,12 @@
 //! format: a one-byte type tag per value followed by the payload. Strings are
 //! length-prefixed (u32). The codec is infallible on encode and validating on
 //! decode, so a corrupt page surfaces as an error rather than UB or a panic.
+//!
+//! All multi-byte integers are big-endian, written with the hand-rolled
+//! helpers below (the workspace builds offline, so no `bytes` crate).
 
 use crate::error::{Result, StorageError};
 use crate::value::Value;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A materialized row.
 pub type Row = Vec<Value>;
@@ -19,36 +21,96 @@ const TAG_INT: u8 = 3;
 const TAG_FLOAT: u8 = 4;
 const TAG_STR: u8 = 5;
 
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// A cursor over the slice being decoded; every read is bounds-checked.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.data.len() < n {
+            return Err(StorageError::Corrupt(format!("truncated {what}")));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn get_u16(&mut self, what: &str) -> Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_i64(&mut self, what: &str) -> Result<i64> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn get_f64(&mut self, what: &str) -> Result<f64> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
 /// Encode a row into `buf`.
-pub fn encode_row(row: &[Value], buf: &mut BytesMut) {
-    buf.put_u16(row.len() as u16);
+pub fn encode_row(row: &[Value], buf: &mut Vec<u8>) {
+    put_u16(buf, row.len() as u16);
     for v in row {
         match v {
-            Value::Null => buf.put_u8(TAG_NULL),
-            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
-            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+            Value::Null => buf.push(TAG_NULL),
+            Value::Bool(false) => buf.push(TAG_BOOL_FALSE),
+            Value::Bool(true) => buf.push(TAG_BOOL_TRUE),
             Value::Int(i) => {
-                buf.put_u8(TAG_INT);
-                buf.put_i64(*i);
+                buf.push(TAG_INT);
+                put_i64(buf, *i);
             }
             Value::Float(f) => {
-                buf.put_u8(TAG_FLOAT);
-                buf.put_f64(*f);
+                buf.push(TAG_FLOAT);
+                put_f64(buf, *f);
             }
             Value::Str(s) => {
-                buf.put_u8(TAG_STR);
-                buf.put_u32(s.len() as u32);
-                buf.put_slice(s.as_bytes());
+                buf.push(TAG_STR);
+                put_u32(buf, s.len() as u32);
+                buf.extend_from_slice(s.as_bytes());
             }
         }
     }
 }
 
 /// Encode a row into a fresh buffer.
-pub fn encode_row_vec(row: &[Value]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(estimated_size(row));
+pub fn encode_row_vec(row: &[Value]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(estimated_size(row));
     encode_row(row, &mut buf);
-    buf.freeze()
+    buf
 }
 
 /// Upper-bound estimate of a row's encoded size, used for page-fit checks.
@@ -64,46 +126,27 @@ pub fn estimated_size(row: &[Value]) -> usize {
 }
 
 /// Decode a row from a byte slice previously produced by [`encode_row`].
-pub fn decode_row(mut data: &[u8]) -> Result<Row> {
-    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
-    if data.remaining() < 2 {
-        return Err(corrupt("truncated row header"));
-    }
-    let n = data.get_u16() as usize;
+pub fn decode_row(data: &[u8]) -> Result<Row> {
+    let mut r = Reader { data };
+    let n = r.get_u16("row header")? as usize;
     let mut row = Vec::with_capacity(n);
     for _ in 0..n {
-        if data.remaining() < 1 {
-            return Err(corrupt("truncated value tag"));
-        }
-        let tag = data.get_u8();
+        let tag = r.get_u8("value tag")?;
         let v = match tag {
             TAG_NULL => Value::Null,
             TAG_BOOL_FALSE => Value::Bool(false),
             TAG_BOOL_TRUE => Value::Bool(true),
-            TAG_INT => {
-                if data.remaining() < 8 {
-                    return Err(corrupt("truncated int"));
-                }
-                Value::Int(data.get_i64())
-            }
-            TAG_FLOAT => {
-                if data.remaining() < 8 {
-                    return Err(corrupt("truncated float"));
-                }
-                Value::Float(data.get_f64())
-            }
+            TAG_INT => Value::Int(r.get_i64("int")?),
+            TAG_FLOAT => Value::Float(r.get_f64("float")?),
             TAG_STR => {
-                if data.remaining() < 4 {
-                    return Err(corrupt("truncated string length"));
+                let len = r.get_u32("string length")? as usize;
+                if r.remaining() < len {
+                    return Err(StorageError::Corrupt("truncated string payload".to_string()));
                 }
-                let len = data.get_u32() as usize;
-                if data.remaining() < len {
-                    return Err(corrupt("truncated string payload"));
-                }
-                let s = std::str::from_utf8(&data[..len])
-                    .map_err(|_| corrupt("invalid utf-8 in string"))?
+                let bytes = r.take(len, "string payload")?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| StorageError::Corrupt("invalid utf-8 in string".to_string()))?
                     .to_owned();
-                data.advance(len);
                 Value::Str(s)
             }
             other => return Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
@@ -159,19 +202,19 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_tag() {
-        let mut buf = BytesMut::new();
-        buf.put_u16(1);
-        buf.put_u8(99);
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 1);
+        buf.push(99);
         assert!(matches!(decode_row(&buf), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
     fn decode_rejects_invalid_utf8() {
-        let mut buf = BytesMut::new();
-        buf.put_u16(1);
-        buf.put_u8(5); // TAG_STR
-        buf.put_u32(2);
-        buf.put_slice(&[0xff, 0xfe]);
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 1);
+        buf.push(5); // TAG_STR
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
         assert!(decode_row(&buf).is_err());
     }
 }

@@ -8,11 +8,10 @@
 
 use crate::error::{Result, StorageError};
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     pub name: String,
     pub ty: DataType,
@@ -33,7 +32,7 @@ impl ColumnDef {
 
 /// A foreign-key constraint: `columns` of this table reference
 /// `parent_columns` of `parent_table`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForeignKey {
     pub columns: Vec<String>,
     pub parent_table: String,
@@ -41,7 +40,7 @@ pub struct ForeignKey {
 }
 
 /// Cardinality of following a join edge in a particular direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cardinality {
     /// Each row on the near side matches at most one row on the far side
     /// (the far-side join columns are a key).
@@ -60,7 +59,7 @@ impl fmt::Display for Cardinality {
 }
 
 /// Schema of a single table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     pub name: String,
     pub columns: Vec<ColumnDef>,
@@ -87,7 +86,9 @@ impl TableSchema {
     pub fn with_primary_key(mut self, cols: &[&str]) -> TableSchema {
         self.primary_key = cols
             .iter()
-            .map(|c| self.column_index(c).unwrap_or_else(|| panic!("no column `{c}` in `{}`", self.name)))
+            .map(|c| {
+                self.column_index(c).unwrap_or_else(|| panic!("no column `{c}` in `{}`", self.name))
+            })
             .collect();
         self
     }
@@ -96,14 +97,21 @@ impl TableSchema {
     pub fn with_unique(mut self, cols: &[&str]) -> TableSchema {
         let idx = cols
             .iter()
-            .map(|c| self.column_index(c).unwrap_or_else(|| panic!("no column `{c}` in `{}`", self.name)))
+            .map(|c| {
+                self.column_index(c).unwrap_or_else(|| panic!("no column `{c}` in `{}`", self.name))
+            })
             .collect();
         self.unique.push(idx);
         self
     }
 
     /// Builder-style: add a foreign key.
-    pub fn with_foreign_key(mut self, cols: &[&str], parent: &str, parent_cols: &[&str]) -> TableSchema {
+    pub fn with_foreign_key(
+        mut self,
+        cols: &[&str],
+        parent: &str,
+        parent_cols: &[&str],
+    ) -> TableSchema {
         self.foreign_keys.push(ForeignKey {
             columns: cols.iter().map(|s| s.to_string()).collect(),
             parent_table: parent.to_string(),
@@ -124,12 +132,9 @@ impl TableSchema {
 
     /// The column definition by name, as a `Result` for caller convenience.
     pub fn column(&self, name: &str) -> Result<&ColumnDef> {
-        self.column_index(name)
-            .map(|i| &self.columns[i])
-            .ok_or_else(|| StorageError::UnknownColumn {
-                table: self.name.clone(),
-                column: name.to_string(),
-            })
+        self.column_index(name).map(|i| &self.columns[i]).ok_or_else(|| {
+            StorageError::UnknownColumn { table: self.name.clone(), column: name.to_string() }
+        })
     }
 
     /// Whether the given set of column positions contains a key (the primary

@@ -1,0 +1,62 @@
+//! A thin wrapper over [`std::sync::RwLock`] with the `parking_lot` calling
+//! convention: `.read()` / `.write()` return guards directly instead of a
+//! `Result`. Poisoning is deliberately ignored — a panic mid-write in this
+//! in-memory store leaves data no more suspect than the panic itself, and
+//! every caller in the workspace treats the lock as infallible.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock whose guards are infallible to acquire.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn survives_a_poisoning_panic() {
+        let lock = Arc::new(RwLock::new(7));
+        let held = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = held.write();
+            panic!("poison the lock");
+        })
+        .join();
+        // parking_lot semantics: later readers still get through.
+        assert_eq!(*lock.read(), 7);
+    }
+}

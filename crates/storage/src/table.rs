@@ -117,7 +117,9 @@ impl Table {
 
     /// Delete a row by id, maintaining indexes.
     pub fn delete(&mut self, id: RowId) -> Result<bool> {
-        let Some(row) = self.heap.get(id) else { return Ok(false) };
+        let Some(row) = self.heap.get(id) else {
+            return Ok(false);
+        };
         let row = row?;
         if !self.heap.delete(id) {
             return Ok(false);
@@ -189,10 +191,7 @@ mod tests {
     #[test]
     fn arity_and_type_enforced() {
         let mut t = movie_table();
-        assert!(matches!(
-            t.insert(vec![Value::Int(1)]),
-            Err(StorageError::ArityMismatch { .. })
-        ));
+        assert!(matches!(t.insert(vec![Value::Int(1)]), Err(StorageError::ArityMismatch { .. })));
         assert!(matches!(
             t.insert(vec![Value::str("not an id"), Value::str("x"), Value::Null]),
             Err(StorageError::TypeMismatch { .. })
@@ -249,10 +248,7 @@ mod tests {
 
     #[test]
     fn int_widens_to_float_column() {
-        let mut t = Table::new(TableSchema::new(
-            "T",
-            vec![ColumnDef::new("x", DataType::Float)],
-        ));
+        let mut t = Table::new(TableSchema::new("T", vec![ColumnDef::new("x", DataType::Float)]));
         t.insert(vec![Value::Int(2)]).unwrap();
         assert_eq!(t.scan().unwrap()[0][0], Value::Float(2.0));
     }

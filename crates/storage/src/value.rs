@@ -8,13 +8,12 @@
 //! and a `Float` holding the same mathematical number compare (and hash)
 //! equal, mirroring SQL numeric semantics.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// The static type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -39,7 +38,7 @@ impl fmt::Display for DataType {
 }
 
 /// A dynamically-typed runtime value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL. Sorts before every non-null value; equal to itself for
     /// grouping purposes (three-valued logic lives in the expression
@@ -78,14 +77,14 @@ impl Value {
     /// An `Int` is accepted by a `Float` column (lossless widening handled at
     /// insert time); everything else must match exactly.
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int | DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Str(_), DataType::Str) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Bool(_), DataType::Bool)
+        )
     }
 
     /// Coerce the value to the given column type (widening `Int` → `Float`).

@@ -1,0 +1,153 @@
+//! `EXPLAIN ANALYZE` over a personalized movies query — the paper's running
+//! example ("what is shown tonight?", personalized for Julie) run under a
+//! full pipeline trace.
+//!
+//! ```text
+//! cargo run --example explain_analyze [--json]
+//! ```
+//!
+//! Prints the span tree with per-stage timings and operator cardinalities,
+//! the selected preferences with their degrees, and (with `--json`) the
+//! machine-readable trace export.
+
+use pqp::analyze::{explain_analyze, Rewrite};
+use pqp::core::graph::InMemoryGraph;
+use pqp::core::{PersonalizeOptions, Profile};
+use pqp::datagen::movies_catalog;
+use pqp::engine::Database;
+use pqp::storage::Value;
+
+const TONIGHT: &str = "2003-07-02";
+
+/// The paper's hand-checked movies instance (Figures 1–3).
+fn paper_db() -> Database {
+    let c = movies_catalog();
+    let ins = |t: &str, rows: Vec<Vec<Value>>| {
+        let t = c.table(t).unwrap();
+        let mut t = t.write();
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+    };
+    ins(
+        "THEATRE",
+        vec![
+            vec![1.into(), "Odeon".into(), "210-1".into(), "downtown".into()],
+            vec![2.into(), "Rex".into(), "210-2".into(), "uptown".into()],
+        ],
+    );
+    ins(
+        "MOVIE",
+        vec![
+            vec![1.into(), "Alpha".into(), 2001.into()],
+            vec![2.into(), "Beta".into(), 2002.into()],
+            vec![3.into(), "Gamma".into(), 2003.into()],
+            vec![4.into(), "Delta".into(), 2000.into()],
+            vec![5.into(), "Omega".into(), 1999.into()],
+        ],
+    );
+    ins(
+        "GENRE",
+        vec![
+            vec![1.into(), "comedy".into()],
+            vec![2.into(), "comedy".into()],
+            vec![3.into(), "sci-fi".into()],
+            vec![4.into(), "thriller".into()],
+            vec![5.into(), "cooking".into()],
+        ],
+    );
+    ins(
+        "ACTOR",
+        vec![
+            vec![10.into(), "N. Kidman".into()],
+            vec![11.into(), "A. Hopkins".into()],
+            vec![12.into(), "J. Roberts".into()],
+            vec![13.into(), "I. Rossellini".into()],
+        ],
+    );
+    ins(
+        "CAST",
+        vec![
+            vec![1.into(), 10.into(), Value::Null, "lead".into()],
+            vec![2.into(), 11.into(), Value::Null, Value::Null],
+            vec![3.into(), 10.into(), Value::Null, Value::Null],
+            vec![3.into(), 12.into(), Value::Null, "lead".into()],
+            vec![4.into(), 13.into(), Value::Null, Value::Null],
+            vec![5.into(), 11.into(), Value::Null, Value::Null],
+        ],
+    );
+    ins(
+        "DIRECTOR",
+        vec![
+            vec![20.into(), "D. Lynch".into()],
+            vec![21.into(), "W. Allen".into()],
+            vec![22.into(), "S. Kubrick".into()],
+        ],
+    );
+    ins(
+        "DIRECTED",
+        vec![
+            vec![1.into(), 20.into()],
+            vec![2.into(), 21.into()],
+            vec![3.into(), 22.into()],
+            vec![4.into(), 20.into()],
+            vec![5.into(), 21.into()],
+        ],
+    );
+    ins(
+        "PLAY",
+        vec![
+            vec![1.into(), 1.into(), TONIGHT.into()],
+            vec![1.into(), 2.into(), TONIGHT.into()],
+            vec![2.into(), 3.into(), TONIGHT.into()],
+            vec![2.into(), 4.into(), TONIGHT.into()],
+            vec![1.into(), 5.into(), "2003-07-03".into()],
+        ],
+    );
+    Database::new(c)
+}
+
+/// Julie's profile (paper Figures 2–3).
+fn julie() -> Profile {
+    let mut p = Profile::new("julie");
+    p.add_join("THEATRE", "tid", "PLAY", "tid", 1.0).unwrap();
+    p.add_join("PLAY", "tid", "THEATRE", "tid", 1.0).unwrap();
+    p.add_join("PLAY", "mid", "MOVIE", "mid", 1.0).unwrap();
+    p.add_join("MOVIE", "mid", "PLAY", "mid", 0.8).unwrap();
+    p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    p.add_join("MOVIE", "mid", "CAST", "mid", 0.8).unwrap();
+    p.add_join("CAST", "aid", "ACTOR", "aid", 1.0).unwrap();
+    p.add_join("MOVIE", "mid", "DIRECTED", "mid", 1.0).unwrap();
+    p.add_join("DIRECTED", "did", "DIRECTOR", "did", 1.0).unwrap();
+    p.add_selection("THEATRE", "region", "downtown", 0.5).unwrap();
+    p.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+    p.add_selection("GENRE", "genre", "thriller", 0.7).unwrap();
+    p.add_selection("DIRECTOR", "name", "D. Lynch", 0.9).unwrap();
+    p.add_selection("ACTOR", "name", "N. Kidman", 0.9).unwrap();
+    p
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let db = paper_db();
+    let graph = InMemoryGraph::build(&julie(), db.catalog()).expect("profile validates");
+    let sql = format!(
+        "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid and PL.date = '{TONIGHT}'"
+    );
+
+    let analysis =
+        explain_analyze(&sql, &graph, &db, PersonalizeOptions::top_k(3, 1).ranked(), Rewrite::Mq)
+            .expect("pipeline runs");
+
+    if json {
+        println!("{}", analysis.to_json().pretty());
+    } else {
+        println!("-- {sql}\n");
+        println!("{}", analysis.report());
+        println!("Rows (ranked by estimated interest):");
+        for row in &analysis.result.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("  {}", cells.join(" | "));
+        }
+    }
+}

@@ -21,22 +21,31 @@ fn main() {
             t.insert(r).unwrap();
         }
     };
-    seed("MOVIE", vec![
-        vec![1.into(), "The Order of the Phoenix".into(), 2003.into()],
-        vec![2.into(), "Matisse and Picasso".into(), 2002.into()],
-        vec![3.into(), "Essentials of Asian Cuisine".into(), 2003.into()],
-    ]);
-    seed("GENRE", vec![
-        vec![1.into(), "fantasy".into()],
-        vec![2.into(), "documentary".into()],
-        vec![3.into(), "cooking".into()],
-    ]);
+    seed(
+        "MOVIE",
+        vec![
+            vec![1.into(), "The Order of the Phoenix".into(), 2003.into()],
+            vec![2.into(), "Matisse and Picasso".into(), 2002.into()],
+            vec![3.into(), "Essentials of Asian Cuisine".into(), 2003.into()],
+        ],
+    );
+    seed(
+        "GENRE",
+        vec![
+            vec![1.into(), "fantasy".into()],
+            vec![2.into(), "documentary".into()],
+            vec![3.into(), "cooking".into()],
+        ],
+    );
     seed("THEATRE", vec![vec![1.into(), "Odeon".into(), "210".into(), "downtown".into()]]);
-    seed("PLAY", vec![
-        vec![1.into(), 1.into(), "tonight".into()],
-        vec![1.into(), 2.into(), "tonight".into()],
-        vec![1.into(), 3.into(), "tonight".into()],
-    ]);
+    seed(
+        "PLAY",
+        vec![
+            vec![1.into(), 1.into(), "tonight".into()],
+            vec![1.into(), 2.into(), "tonight".into()],
+            vec![1.into(), 3.into(), "tonight".into()],
+        ],
+    );
     seed("DIRECTOR", vec![vec![1.into(), "P. Anderson".into()]]);
     seed("DIRECTED", vec![vec![1.into(), 1.into()]]);
     let db = Database::new(catalog);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local verification gate: everything CI runs, runnable offline.
+#
+#   ./scripts/verify.sh
+#
+# The workspace has no external dependencies, so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=(--offline)
+
+echo "==> cargo build --release"
+cargo build "${CARGO_FLAGS[@]}" --workspace --release
+
+echo "==> cargo test"
+cargo test "${CARGO_FLAGS[@]}" --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+echo "==> OK"

@@ -18,10 +18,14 @@
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md for
 //! the architecture and per-experiment index.
 
+pub mod analyze;
+
 pub use pqp_core as core;
 pub use pqp_datagen as datagen;
 pub use pqp_engine as engine;
+pub use pqp_obs as obs;
 pub use pqp_sql as sql;
 pub use pqp_storage as storage;
 
+pub use analyze::{explain_analyze, Analysis, Rewrite};
 pub use pqp_core::prelude;

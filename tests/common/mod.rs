@@ -1,5 +1,6 @@
 //! Shared fixture: the paper's movies schema with a small hand-checked
 //! instance, plus Julie's and Rob's profiles from the running example.
+#![allow(dead_code)] // not every integration test uses every helper
 
 use pqp_core::Profile;
 use pqp_datagen::movies_catalog;
@@ -27,57 +28,81 @@ pub fn paper_db() -> Database {
             t.insert(r).unwrap();
         }
     };
-    ins("THEATRE", vec![
-        vec![1.into(), "Odeon".into(), "210-1".into(), "downtown".into()],
-        vec![2.into(), "Rex".into(), "210-2".into(), "uptown".into()],
-    ]);
-    ins("MOVIE", vec![
-        vec![1.into(), "Alpha".into(), 2001.into()],
-        vec![2.into(), "Beta".into(), 2002.into()],
-        vec![3.into(), "Gamma".into(), 2003.into()],
-        vec![4.into(), "Delta".into(), 2000.into()],
-        vec![5.into(), "Omega".into(), 1999.into()],
-    ]);
-    ins("GENRE", vec![
-        vec![1.into(), "comedy".into()],
-        vec![2.into(), "comedy".into()],
-        vec![3.into(), "sci-fi".into()],
-        vec![4.into(), "thriller".into()],
-        vec![5.into(), "cooking".into()],
-    ]);
-    ins("ACTOR", vec![
-        vec![10.into(), "N. Kidman".into()],
-        vec![11.into(), "A. Hopkins".into()],
-        vec![12.into(), "J. Roberts".into()],
-        vec![13.into(), "I. Rossellini".into()],
-    ]);
-    ins("CAST", vec![
-        vec![1.into(), 10.into(), Value::Null, "lead".into()],
-        vec![2.into(), 11.into(), Value::Null, Value::Null],
-        vec![3.into(), 10.into(), Value::Null, Value::Null],
-        vec![3.into(), 12.into(), Value::Null, "lead".into()],
-        vec![4.into(), 13.into(), Value::Null, Value::Null],
-        vec![5.into(), 11.into(), Value::Null, Value::Null],
-    ]);
-    ins("DIRECTOR", vec![
-        vec![20.into(), "D. Lynch".into()],
-        vec![21.into(), "W. Allen".into()],
-        vec![22.into(), "S. Kubrick".into()],
-    ]);
-    ins("DIRECTED", vec![
-        vec![1.into(), 20.into()],
-        vec![2.into(), 21.into()],
-        vec![3.into(), 22.into()],
-        vec![4.into(), 20.into()],
-        vec![5.into(), 21.into()],
-    ]);
-    ins("PLAY", vec![
-        vec![1.into(), 1.into(), TONIGHT.into()],
-        vec![1.into(), 2.into(), TONIGHT.into()],
-        vec![2.into(), 3.into(), TONIGHT.into()],
-        vec![2.into(), 4.into(), TONIGHT.into()],
-        vec![1.into(), 5.into(), "2003-07-03".into()],
-    ]);
+    ins(
+        "THEATRE",
+        vec![
+            vec![1.into(), "Odeon".into(), "210-1".into(), "downtown".into()],
+            vec![2.into(), "Rex".into(), "210-2".into(), "uptown".into()],
+        ],
+    );
+    ins(
+        "MOVIE",
+        vec![
+            vec![1.into(), "Alpha".into(), 2001.into()],
+            vec![2.into(), "Beta".into(), 2002.into()],
+            vec![3.into(), "Gamma".into(), 2003.into()],
+            vec![4.into(), "Delta".into(), 2000.into()],
+            vec![5.into(), "Omega".into(), 1999.into()],
+        ],
+    );
+    ins(
+        "GENRE",
+        vec![
+            vec![1.into(), "comedy".into()],
+            vec![2.into(), "comedy".into()],
+            vec![3.into(), "sci-fi".into()],
+            vec![4.into(), "thriller".into()],
+            vec![5.into(), "cooking".into()],
+        ],
+    );
+    ins(
+        "ACTOR",
+        vec![
+            vec![10.into(), "N. Kidman".into()],
+            vec![11.into(), "A. Hopkins".into()],
+            vec![12.into(), "J. Roberts".into()],
+            vec![13.into(), "I. Rossellini".into()],
+        ],
+    );
+    ins(
+        "CAST",
+        vec![
+            vec![1.into(), 10.into(), Value::Null, "lead".into()],
+            vec![2.into(), 11.into(), Value::Null, Value::Null],
+            vec![3.into(), 10.into(), Value::Null, Value::Null],
+            vec![3.into(), 12.into(), Value::Null, "lead".into()],
+            vec![4.into(), 13.into(), Value::Null, Value::Null],
+            vec![5.into(), 11.into(), Value::Null, Value::Null],
+        ],
+    );
+    ins(
+        "DIRECTOR",
+        vec![
+            vec![20.into(), "D. Lynch".into()],
+            vec![21.into(), "W. Allen".into()],
+            vec![22.into(), "S. Kubrick".into()],
+        ],
+    );
+    ins(
+        "DIRECTED",
+        vec![
+            vec![1.into(), 20.into()],
+            vec![2.into(), 21.into()],
+            vec![3.into(), 22.into()],
+            vec![4.into(), 20.into()],
+            vec![5.into(), 21.into()],
+        ],
+    );
+    ins(
+        "PLAY",
+        vec![
+            vec![1.into(), 1.into(), TONIGHT.into()],
+            vec![1.into(), 2.into(), TONIGHT.into()],
+            vec![2.into(), 3.into(), TONIGHT.into()],
+            vec![2.into(), 4.into(), TONIGHT.into()],
+            vec![1.into(), 5.into(), "2003-07-03".into()],
+        ],
+    );
     Database::new(c)
 }
 

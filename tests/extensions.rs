@@ -20,8 +20,7 @@ fn hard_negative_excludes_results() {
     let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
     let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
         .unwrap();
-    let negatives =
-        select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
+    let negatives = select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
     assert_eq!(negatives.len(), 1, "{negatives:?}");
 
     let q = integrate_mq_with_negatives(
@@ -85,8 +84,13 @@ fn negatives_follow_transitive_paths() {
     assert_eq!(negatives.len(), 1);
     assert!(negatives[0].joins.len() == 2, "reached through DIRECTED: {}", negatives[0]);
 
-    let p = personalize(&tonight_query(), &InMemoryGraph::build(&profile, db.catalog()).unwrap(),
-        db.catalog(), PersonalizeOptions::top_k(3, 1)).unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &InMemoryGraph::build(&profile, db.catalog()).unwrap(),
+        db.catalog(),
+        PersonalizeOptions::top_k(3, 1),
+    )
+    .unwrap();
     let q = integrate_mq_with_negatives(
         tonight_query().as_select().unwrap(),
         &p.paths,

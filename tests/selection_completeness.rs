@@ -12,8 +12,7 @@ use pqp_core::graph::{GraphAccess, InMemoryGraph};
 use pqp_core::path::PreferencePath;
 use pqp_core::{select_preferences, InterestCriterion, Profile, QueryGraph};
 use pqp_datagen::{generate, generate_profile, MovieDbConfig, ProfileGenConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pqp_obs::rng::{Rng, SmallRng};
 
 /// Enumerate ALL completed, non-conflicting preference paths by depth-first
 /// search (no pruning other than the cycle rule), sorted by
@@ -92,7 +91,8 @@ fn check_profile_query(profile: &Profile, sql: &str, catalog: &pqp_storage::Cata
         let got_sig: Vec<(String, usize)> =
             got.selected.iter().map(|p| (format!("{:.12}", p.doi.value()), p.len())).collect();
         assert_eq!(
-            got_sig, exp_sig,
+            got_sig,
+            exp_sig,
             "criterion {ci} over {sql}:\nexpected {:#?}\ngot {:#?}",
             expected.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
             got.selected.iter().map(|p| p.to_string()).collect::<Vec<_>>()
@@ -118,7 +118,7 @@ fn completeness_on_julie() {
 #[test]
 fn completeness_on_random_profiles() {
     let m = generate(MovieDbConfig::tiny());
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SmallRng::seed_from_u64(99);
     let queries = [
         "select MV.title from MOVIE MV",
         "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid and PL.date = 'd'",
@@ -132,9 +132,9 @@ fn completeness_on_random_profiles() {
             "u",
             &m.pools,
             &ProfileGenConfig {
-                selections: 5 + rng.gen_range(0..40),
+                selections: 5 + rng.gen_range(0..40usize),
                 join_coverage: if trial % 3 == 0 { 0.6 } else { 1.0 },
-                seed: rng.gen(),
+                seed: rng.next_u64(),
             },
         );
         for sql in &queries {

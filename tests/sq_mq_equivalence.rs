@@ -33,8 +33,8 @@ fn sq_equals_mq_for_l_at_most_one() {
         );
         let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
         for l in [0usize, 1] {
-            let p = personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(5, l))
-                .unwrap();
+            let p =
+                personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(5, l)).unwrap();
             let sq = p.sq().unwrap();
             let mq = p.mq().unwrap();
             let a = rows_of(&m.db, &sq);
@@ -57,8 +57,8 @@ fn sq_subset_of_mq_for_higher_l() {
         );
         let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
         for l in [2usize, 3] {
-            let p = personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(6, l))
-                .unwrap();
+            let p =
+                personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(6, l)).unwrap();
             let sq = p.sq().unwrap();
             let mq = p.mq().unwrap();
             let a = rows_of(&m.db, &sq);
@@ -89,10 +89,7 @@ fn personalized_results_are_contained_in_initial_results_when_m_zero_l_positive(
         let p = personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(4, 1)).unwrap();
         let initial: BTreeSet<Vec<String>> = rows_of(&m.db, q);
         let personalized = rows_of(&m.db, &p.mq().unwrap());
-        assert!(
-            personalized.is_subset(&initial),
-            "personalized ⊄ initial on query {i}: {q}"
-        );
+        assert!(personalized.is_subset(&initial), "personalized ⊄ initial on query {i}: {q}");
     }
 }
 
@@ -108,8 +105,8 @@ fn sq_and_mq_agree_on_result_degrees_when_ranked() {
         &ProfileGenConfig { selections: 15, seed: 77, ..Default::default() },
     );
     let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
-    let p = personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(5, 1).ranked())
-        .unwrap();
+    let p =
+        personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(5, 1).ranked()).unwrap();
     let rs = m.db.run_query(&p.mq().unwrap()).unwrap();
     let Some(interest) = rs.column("interest") else {
         return; // no preferences selected for this pairing
@@ -117,8 +114,7 @@ fn sq_and_mq_agree_on_result_degrees_when_ranked() {
     // Recompute each row's interest by running every single-preference
     // partial separately.
     for (row, got) in rs.rows.iter().zip(interest.iter()) {
-        let key: Vec<String> =
-            row[..row.len() - 1].iter().map(|v| v.to_string()).collect();
+        let key: Vec<String> = row[..row.len() - 1].iter().map(|v| v.to_string()).collect();
         let mut satisfied = Vec::new();
         for path in &p.paths {
             let single = pqp_core::integrate_mq(

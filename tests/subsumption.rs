@@ -11,10 +11,11 @@
 //! 2. a conjunction's degree dominates the degree of any of its subsets.
 
 use pqp_core::doi::{conjunction_degree, disjunction_degree, Doi};
-use proptest::prelude::*;
+use pqp_obs::rng::{Rng, SmallRng};
 
-fn degrees(n: usize) -> impl Strategy<Value = Vec<Doi>> {
-    prop::collection::vec((0.0f64..=1.0).prop_map(|d| Doi::new(d).unwrap()), 1..=n)
+fn degrees(rng: &mut SmallRng, n: usize) -> Vec<Doi> {
+    let len = rng.gen_range(1..=n);
+    (0..len).map(|_| Doi::new(rng.gen_f64()).unwrap()).collect()
 }
 
 /// Degree of the condition "at least L of these K preferences hold":
@@ -23,13 +24,7 @@ fn l_of_k_degree(dois: &[Doi], l: usize) -> Doi {
     assert!(l >= 1 && l <= dois.len());
     let mut combo_degrees = Vec::new();
     let mut subset = Vec::new();
-    fn rec(
-        dois: &[Doi],
-        l: usize,
-        start: usize,
-        subset: &mut Vec<Doi>,
-        out: &mut Vec<Doi>,
-    ) {
+    fn rec(dois: &[Doi], l: usize, start: usize, subset: &mut Vec<Doi>, out: &mut Vec<Doi>) {
         if subset.len() == l {
             out.push(conjunction_degree(subset));
             return;
@@ -44,11 +39,11 @@ fn l_of_k_degree(dois: &[Doi], l: usize) -> Doi {
     disjunction_degree(&combo_degrees)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn conjunction_dominates_subsets(ds in degrees(6)) {
+#[test]
+fn conjunction_dominates_subsets() {
+    let mut rng = SmallRng::seed_from_u64(0x5b5);
+    for _ in 0..256 {
+        let ds = degrees(&mut rng, 6);
         // result(A ∧ B) ⊆ result(A) ⇒ degree(A ∧ B) ≥ degree(A).
         let all = conjunction_degree(&ds);
         for i in 0..ds.len() {
@@ -57,44 +52,59 @@ proptest! {
             if subset.is_empty() {
                 continue;
             }
-            prop_assert!(all >= conjunction_degree(&subset));
+            assert!(all >= conjunction_degree(&subset));
         }
     }
+}
 
-    #[test]
-    fn l_of_k_degree_is_monotone_in_l(ds in degrees(6)) {
+#[test]
+fn l_of_k_degree_is_monotone_in_l() {
+    let mut rng = SmallRng::seed_from_u64(0x10f);
+    for _ in 0..256 {
+        let ds = degrees(&mut rng, 6);
         // "at least L+1 of K" is subsumed by "at least L of K", so its
         // degree must be at least as large.
         for l in 1..ds.len() {
             let lower = l_of_k_degree(&ds, l);
             let higher = l_of_k_degree(&ds, l + 1);
-            prop_assert!(
+            assert!(
                 higher >= lower,
                 "L={} gives {}, L={} gives {} for {:?}",
-                l + 1, higher.value(), l, lower.value(),
+                l + 1,
+                higher.value(),
+                l,
+                lower.value(),
                 ds.iter().map(|d| d.value()).collect::<Vec<_>>()
             );
         }
     }
+}
 
-    #[test]
-    fn transitive_extension_never_raises_degree(ds in degrees(6)) {
+#[test]
+fn transitive_extension_never_raises_degree() {
+    let mut rng = SmallRng::seed_from_u64(0x7a11);
+    for _ in 0..256 {
+        let ds = degrees(&mut rng, 6);
         // Longer paths are weaker preferences: the product of more degrees
         // is no larger.
         let shorter = pqp_core::doi::transitive_degree(&ds[..ds.len().saturating_sub(1).max(1)]);
         let longer = pqp_core::doi::transitive_degree(&ds);
-        prop_assert!(longer <= shorter);
+        assert!(longer <= shorter);
     }
+}
 
-    #[test]
-    fn axioms_hold_for_arbitrary_inputs(ds in degrees(8)) {
+#[test]
+fn axioms_hold_for_arbitrary_inputs() {
+    let mut rng = SmallRng::seed_from_u64(0xa010);
+    for _ in 0..256 {
+        let ds = degrees(&mut rng, 8);
         // ε absorbs FP rounding: e.g. 1−(1−d) can differ from d by an ulp.
         const EPS: f64 = 1e-12;
         let min = ds.iter().copied().min().unwrap().value();
         let max = ds.iter().copied().max().unwrap().value();
-        prop_assert!(pqp_core::doi::transitive_degree(&ds).value() <= min + EPS);
-        prop_assert!(conjunction_degree(&ds).value() >= max - EPS);
+        assert!(pqp_core::doi::transitive_degree(&ds).value() <= min + EPS);
+        assert!(conjunction_degree(&ds).value() >= max - EPS);
         let dis = disjunction_degree(&ds).value();
-        prop_assert!(dis >= min - EPS && dis <= max + EPS);
+        assert!(dis >= min - EPS && dis <= max + EPS);
     }
 }
