@@ -21,8 +21,13 @@ fn setup() -> (MovieDb, Query, Vec<(usize, Query, Query)>) {
     let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
     let mut variants = Vec::new();
     for k in [5usize, 20] {
-        let p =
-            personalize(&query, &graph, m.db.catalog(), PersonalizeOptions::top_k(k, 1)).unwrap();
+        let p = personalize(
+            &query,
+            &graph,
+            m.db.catalog(),
+            PersonalizeOptions::builder().k(k).l(1).build(),
+        )
+        .unwrap();
         variants.push((k, p.sq().unwrap(), p.mq().unwrap()));
     }
     (m, query, variants)

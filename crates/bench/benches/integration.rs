@@ -17,7 +17,8 @@ fn personalized(k: usize, l: usize) -> Personalized {
         &ProfileGenConfig { selections: 80, seed: 9, ..Default::default() },
     );
     let graph = InMemoryGraph::build(&profile, pool.db.catalog()).unwrap();
-    personalize(query, &graph, pool.db.catalog(), PersonalizeOptions::top_k(k, l)).unwrap()
+    personalize(query, &graph, pool.db.catalog(), PersonalizeOptions::builder().k(k).l(l).build())
+        .unwrap()
 }
 
 fn main() {

@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the serving layer (`pqp-service`):
+//!
+//! - `query_cold` vs `query_warm`: the personalized-plan cache's win on
+//!   repeated queries (cold clears both caches every iteration, warm runs
+//!   against a primed cache, so the ratio is the cache speedup);
+//! - `sequential_200` vs `batch_200_w8`: a 200-request mixed-user workload
+//!   through a sequential request loop vs `Service::query_batch` with 8
+//!   workers (request collapsing + plan cache; on multi-core hosts the
+//!   workers parallelize on top).
+//!
+//! Writes `results/micro_service.json` (with a `derived` block holding both
+//! speedups) and `results/metrics.json`, whose `service.plan_cache.*` /
+//! `service.prepared_cache.*` counters come from the caches under test.
+
+use pqp_bench::microbench::{write_metrics_json, MicroBench};
+use pqp_core::PersonalizeOptions;
+use pqp_datagen::{
+    generate, generate_profiles, generate_queries, MovieDbConfig, ProfileGenConfig, QueryGenConfig,
+};
+use pqp_obs::Json;
+use pqp_service::{Service, ServiceConfig, UserId};
+use std::path::{Path, PathBuf};
+
+const USERS: usize = 20;
+const BATCH_REQUESTS: usize = 200;
+const BATCH_WORKERS: usize = 8;
+
+fn setup() -> (Service, Vec<String>, Vec<UserId>) {
+    let m = generate(MovieDbConfig { movies: 300, theatres: 10, ..Default::default() });
+    let service = Service::with_config(
+        m.db,
+        ServiceConfig {
+            options: PersonalizeOptions::builder().k(8).l(1).build(),
+            ..ServiceConfig::default()
+        },
+    );
+    let profiles = generate_profiles(
+        "user",
+        USERS,
+        &m.pools,
+        &ProfileGenConfig { selections: 60, seed: 11, ..Default::default() },
+    );
+    let users: Vec<UserId> = profiles.iter().map(|p| UserId::from(p.user.as_str())).collect();
+    for p in profiles {
+        service.install_profile(p).expect("generated profiles validate");
+    }
+    let sqls: Vec<String> = generate_queries(8, &m.pools, &QueryGenConfig::default())
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    (service, sqls, users)
+}
+
+fn main() {
+    let (service, sqls, users) = setup();
+    let session = service.session(users[0].clone());
+    let sql = sqls[0].as_str();
+
+    // 200 requests over 20 users and 4 query texts (80 distinct pairs, so
+    // each repeats ~2.5x): the shape of real serving traffic, and what both
+    // the plan cache and request collapsing exist for.
+    let requests: Vec<(UserId, String)> = (0..BATCH_REQUESTS)
+        .map(|i| (users[i % users.len()].clone(), sqls[(i / users.len()) % 4].clone()))
+        .collect();
+
+    let mut group = MicroBench::new("service").sample_size(20);
+    group.bench("query_cold", || {
+        service.clear_caches();
+        session.query(sql).unwrap()
+    });
+    session.query(sql).unwrap(); // prime
+    group.bench("query_warm", || session.query(sql).unwrap());
+
+    group.bench("sequential_200", || {
+        service.clear_caches();
+        for (user, sql) in &requests {
+            service.session(user.clone()).query(sql).unwrap();
+        }
+    });
+    group.bench(format!("batch_200_w{BATCH_WORKERS}"), || {
+        service.clear_caches();
+        let answers = service.query_batch(&requests, BATCH_WORKERS);
+        assert!(answers.iter().all(|a| a.is_ok()));
+    });
+
+    let stats = service.cache_stats();
+    println!(
+        "plan cache: {} hits / {} misses / {} stale (hit rate {:.1}%)",
+        stats.plans.hits,
+        stats.plans.misses,
+        stats.plans.stale,
+        100.0 * stats.plans.hit_rate()
+    );
+    // Benches run with the package as CWD; write under the workspace root's
+    // `results/` like every other experiment output.
+    let dir = workspace_results_dir();
+    match group.write_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write micro_service.json: {err}"),
+    }
+    annotate_speedups(&dir.join("micro_service.json"));
+    match write_metrics_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write metrics.json: {err}"),
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .join("results")
+}
+
+/// Re-open the written JSON and add a `derived` block with the two
+/// headline ratios, so the result file states them directly.
+fn annotate_speedups(path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    let Ok(doc) = Json::parse(&text) else { return };
+    let mean = |name: &str| -> Option<f64> {
+        doc.get("benchmarks")?
+            .as_array()?
+            .iter()
+            .find_map(|b| (b.get("name")?.as_str()? == name).then(|| b.get("mean_ms")?.as_f64())?)
+    };
+    let (Some(cold), Some(warm), Some(seq), Some(batch)) = (
+        mean("query_cold"),
+        mean("query_warm"),
+        mean("sequential_200"),
+        mean(&format!("batch_200_w{BATCH_WORKERS}")),
+    ) else {
+        return;
+    };
+    let derived = Json::obj()
+        .set("plan_cache_speedup", cold / warm)
+        .set("batch_vs_sequential_speedup", seq / batch)
+        .set("batch_workers", BATCH_WORKERS as i64)
+        .set("batch_requests", BATCH_REQUESTS as i64);
+    println!(
+        "plan-cache speedup: {:.2}x   batch({BATCH_WORKERS} workers) vs sequential: {:.2}x",
+        cold / warm,
+        seq / batch
+    );
+    let doc = doc.set("derived", derived);
+    let _ = std::fs::write(path, doc.pretty());
+}

@@ -164,9 +164,9 @@ impl Workload {
         rank: bool,
     ) -> Personalized {
         let opts = if rank {
-            PersonalizeOptions::top_k(k, l).ranked()
+            PersonalizeOptions::builder().k(k).l(l).build().ranked()
         } else {
-            PersonalizeOptions::top_k(k, l)
+            PersonalizeOptions::builder().k(k).l(l).build()
         };
         personalize(
             &self.queries[query_idx],

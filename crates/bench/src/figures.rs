@@ -311,7 +311,7 @@ pub fn fig10(w: &Workload) -> Vec<Experiment> {
                     query,
                     &w.graphs[pi],
                     w.db().catalog(),
-                    PersonalizeOptions::top_k(k, l),
+                    PersonalizeOptions::builder().k(k).l(l).build(),
                 )
                 .expect("personalize");
                 p.mq().expect("MQ integration")
@@ -431,8 +431,13 @@ pub fn ablation_or_expansion() -> Vec<Experiment> {
         let mut t_with = Vec::new();
         let mut t_without = Vec::new();
         for q in &queries {
-            let p = personalize(q, &graph, micro.db.catalog(), PersonalizeOptions::top_k(k, 1))
-                .expect("personalize");
+            let p = personalize(
+                q,
+                &graph,
+                micro.db.catalog(),
+                PersonalizeOptions::builder().k(k).l(1).build(),
+            )
+            .expect("personalize");
             let Ok(sq) = p.sq() else { continue };
             let (r, ms) = time_ms(|| {
                 let plan = micro.db.plan(&sq).expect("plan");

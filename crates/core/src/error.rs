@@ -5,6 +5,7 @@ use std::fmt;
 /// Errors raised while building profiles, mapping queries onto the
 /// personalization graph, selecting preferences or integrating them.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PrefError {
     /// A degree of interest outside `[0, 1]` (or not finite).
     InvalidDegree(f64),

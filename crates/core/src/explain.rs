@@ -215,7 +215,8 @@ mod tests {
             "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid and PL.date = 'tonight'",
         )
         .unwrap();
-        personalize(&query, &graph, db.catalog(), PersonalizeOptions::top_k(3, l)).unwrap()
+        personalize(&query, &graph, db.catalog(), PersonalizeOptions::builder().k(3).l(l).build())
+            .unwrap()
     }
 
     fn title(e: &Explanation) -> String {

@@ -8,7 +8,7 @@
 //! Two backends implement [`GraphAccess`]:
 //!
 //! - [`InMemoryGraph`]: adjacency lists held in memory, built once from a
-//!   [`Profile`](crate::profile::Profile);
+//!   [`Profile`];
 //! - [`StoredProfileGraph`]: preferences stored in database tables and
 //!   fetched with SQL on every adjacency lookup — the setup of the paper's
 //!   prototype ("user profiles are stored in a separate table"), whose

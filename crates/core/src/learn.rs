@@ -279,7 +279,8 @@ mod tests {
         p.validate(&c).unwrap();
         let graph = InMemoryGraph::build(&p, &c).unwrap();
         let query = q("select MV.title from MOVIE MV");
-        let out = personalize(&query, &graph, &c, PersonalizeOptions::top_k(3, 1)).unwrap();
+        let out = personalize(&query, &graph, &c, PersonalizeOptions::builder().k(3).l(1).build())
+            .unwrap();
         assert!(out.k() >= 1, "learned comedy preference applies to new queries");
         assert!(out.mq().unwrap().to_string().contains("comedy"));
     }

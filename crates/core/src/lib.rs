@@ -6,7 +6,7 @@
 //!
 //! ## Model
 //!
-//! A [`Profile`](profile::Profile) stores *atomic preferences*
+//! A [`Profile`] stores *atomic preferences*
 //! ([`pref::AtomicPreference`]): degrees of interest ([`doi::Doi`]) in
 //! atomic selection and (directed) join conditions. Over a schema, they form
 //! the **personalization graph** ([`graph::InMemoryGraph`]); composing
@@ -47,7 +47,8 @@
 //!
 //! let graph = InMemoryGraph::build(&julie, &catalog).unwrap();
 //! let query = pqp_sql::parse_query("select MV.title from MOVIE MV").unwrap();
-//! let p = personalize(&query, &graph, &catalog, PersonalizeOptions::top_k(3, 1)).unwrap();
+//! let p = personalize(&query, &graph, &catalog, PersonalizeOptions::builder().k(3).l(1).build())
+//!     .unwrap();
 //! assert_eq!(p.k(), 1);
 //! let personalized_sql = p.mq().unwrap().to_string();
 //! assert!(personalized_sql.contains("comedy"));
@@ -77,7 +78,10 @@ pub use error::{PrefError, Result};
 pub use graph::{GraphAccess, InMemoryGraph, StoredProfileGraph};
 pub use integrate::{integrate_mq, integrate_sq, MatchSpec};
 pub use path::PreferencePath;
-pub use personalize::{personalize, MandatorySpec, PersonalizeOptions, Personalized};
+pub use personalize::{
+    personalize, personalize_prepared, MandatorySpec, PersonalizeOptions,
+    PersonalizeOptionsBuilder, Personalized, Rewrite,
+};
 pub use pref::{AtomicPreference, AttrRef};
 pub use profile::Profile;
 pub use query_graph::QueryGraph;
@@ -92,7 +96,10 @@ pub mod prelude {
     pub use crate::integrate::MatchSpec;
     pub use crate::learn::{LearnerConfig, ProfileLearner};
     pub use crate::negative::{integrate_mq_with_negatives, select_negatives};
-    pub use crate::personalize::{personalize, MandatorySpec, PersonalizeOptions, Personalized};
+    pub use crate::personalize::{
+        personalize, personalize_prepared, MandatorySpec, PersonalizeOptions,
+        PersonalizeOptionsBuilder, Personalized, Rewrite,
+    };
     pub use crate::profile::Profile;
     pub use crate::rank::top_n_query;
 }

@@ -5,7 +5,7 @@
 //! smaller values demote matching results in the ranking. Negative
 //! preferences compose with the positive machinery:
 //!
-//! - they live in the same [`Profile`](crate::profile::Profile) (a separate
+//! - they live in the same [`Profile`] (a separate
 //!   section, so they never enter the positive personalization graph);
 //! - *relevance to a query* is decided exactly like for positive
 //!   preferences: a negative selection matters iff a transitive path from

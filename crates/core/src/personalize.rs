@@ -3,7 +3,7 @@
 
 use crate::criteria::InterestCriterion;
 use crate::doi::Doi;
-use crate::error::Result;
+use crate::error::{PrefError, Result};
 use crate::graph::GraphAccess;
 use crate::integrate::{integrate_mq, integrate_sq, MatchSpec};
 use crate::path::PreferencePath;
@@ -11,6 +11,60 @@ use crate::query_graph::QueryGraph;
 use crate::select::{select_preferences, SelectStats};
 use pqp_sql::ast::{Query, Select};
 use pqp_storage::Catalog;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which rewrite of a personalized query to execute.
+///
+/// `Original` runs the query unpersonalized; `Sq` and `Mq` are the paper's
+/// single-query and multiple-queries integrations (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rewrite {
+    /// The original (unpersonalized) query.
+    Original,
+    /// The single-query (SQ) integration.
+    Sq,
+    /// The multiple-queries (MQ) integration.
+    Mq,
+}
+
+impl Rewrite {
+    /// All rewrites, in pipeline order.
+    pub const ALL: [Rewrite; 3] = [Rewrite::Original, Rewrite::Sq, Rewrite::Mq];
+
+    /// The label used in reports, CSVs and JSON exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rewrite::Original => "original",
+            Rewrite::Sq => "SQ",
+            Rewrite::Mq => "MQ",
+        }
+    }
+}
+
+impl fmt::Display for Rewrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Rewrite {
+    type Err = PrefError;
+
+    /// Parse a rewrite label, case-insensitively (`"original"`, `"sq"`,
+    /// `"mq"`).
+    fn from_str(s: &str) -> Result<Rewrite> {
+        match s.to_ascii_lowercase().as_str() {
+            "original" => Ok(Rewrite::Original),
+            "sq" => Ok(Rewrite::Sq),
+            "mq" => Ok(Rewrite::Mq),
+            other => Err(PrefError::InvalidParams(format!(
+                "unknown rewrite `{other}` (expected `original`, `SQ` or `MQ`)"
+            ))),
+        }
+    }
+}
 
 /// How the mandatory preferences `M` are chosen (§4: explicitly, or by a
 /// degree rule such as "degree 1 preferences are mandatory").
@@ -38,20 +92,99 @@ pub struct PersonalizeOptions {
 }
 
 impl PersonalizeOptions {
-    /// The paper's default experimental setup: top-K, M = 0, L as given.
-    pub fn top_k(k: usize, l: usize) -> PersonalizeOptions {
-        PersonalizeOptions {
-            criterion: InterestCriterion::TopK(k),
+    /// Start building options. Defaults: no selection limit
+    /// (`TopK(usize::MAX)`), no mandatory preferences, `L = 0`, no ranking.
+    ///
+    /// ```
+    /// use pqp_core::{InterestCriterion, PersonalizeOptions};
+    /// let opts = PersonalizeOptions::builder().k(3).l(1).build();
+    /// assert_eq!(opts.criterion, InterestCriterion::TopK(3));
+    /// ```
+    pub fn builder() -> PersonalizeOptionsBuilder {
+        PersonalizeOptionsBuilder {
+            criterion: InterestCriterion::TopK(usize::MAX),
             mandatory: MandatorySpec::None,
-            matching: MatchSpec::AtLeast(l),
+            matching: MatchSpec::AtLeast(0),
             rank: false,
         }
+    }
+
+    /// The paper's default experimental setup: top-K, M = 0, L as given.
+    #[deprecated(since = "0.2.0", note = "use `PersonalizeOptions::builder().k(k).l(l).build()`")]
+    pub fn top_k(k: usize, l: usize) -> PersonalizeOptions {
+        PersonalizeOptions::builder().k(k).l(l).build()
     }
 
     /// Enable ranking.
     pub fn ranked(mut self) -> PersonalizeOptions {
         self.rank = true;
         self
+    }
+}
+
+/// Builder for [`PersonalizeOptions`] (see
+/// [`PersonalizeOptions::builder`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersonalizeOptionsBuilder {
+    criterion: InterestCriterion,
+    mandatory: MandatorySpec,
+    matching: MatchSpec,
+    rank: bool,
+}
+
+impl PersonalizeOptionsBuilder {
+    /// Select at most `k` preferences (sets the criterion to
+    /// [`InterestCriterion::TopK`]).
+    pub fn k(mut self, k: usize) -> Self {
+        self.criterion = InterestCriterion::TopK(k);
+        self
+    }
+
+    /// Make the top `m` selected preferences mandatory (`m = 0` means none).
+    pub fn m(mut self, m: usize) -> Self {
+        self.mandatory = if m == 0 { MandatorySpec::None } else { MandatorySpec::Count(m) };
+        self
+    }
+
+    /// Require every result row to satisfy at least `l` of the optional
+    /// preferences.
+    pub fn l(mut self, l: usize) -> Self {
+        self.matching = MatchSpec::AtLeast(l);
+        self
+    }
+
+    /// Set the interest criterion directly (overrides [`Self::k`]).
+    pub fn criterion(mut self, criterion: InterestCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Set the mandatory-preference rule directly (overrides [`Self::m`]).
+    pub fn mandatory(mut self, mandatory: MandatorySpec) -> Self {
+        self.mandatory = mandatory;
+        self
+    }
+
+    /// Set the match requirement directly (overrides [`Self::l`]).
+    pub fn matching(mut self, matching: MatchSpec) -> Self {
+        self.matching = matching;
+        self
+    }
+
+    /// Rank results by estimated degree of interest (MQ only).
+    pub fn ranked(mut self) -> Self {
+        self.rank = true;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> PersonalizeOptions {
+        PersonalizeOptions {
+            criterion: self.criterion,
+            mandatory: self.mandatory,
+            matching: self.matching,
+            rank: self.rank,
+        }
     }
 }
 
@@ -100,6 +233,15 @@ impl Personalized {
     pub fn original(&self) -> Query {
         Query::from_select(self.select.clone())
     }
+
+    /// Build the query for the given [`Rewrite`].
+    pub fn rewritten(&self, rewrite: Rewrite) -> Result<Query> {
+        match rewrite {
+            Rewrite::Original => Ok(self.original()),
+            Rewrite::Sq => self.sq(),
+            Rewrite::Mq => self.mq(),
+        }
+    }
 }
 
 /// Run preference selection for `query` against a user's personalization
@@ -123,7 +265,30 @@ pub fn personalize(
         })?
         .clone();
     let qg = QueryGraph::from_select(&select, catalog)?;
-    let outcome = select_preferences(&qg, graph, &opts.criterion);
+    personalize_with_graph(select, &qg, graph, opts)
+}
+
+/// [`personalize`] for an already-parsed SELECT with a pre-built
+/// [`QueryGraph`] — the serving layer's fast path: the parse and the query
+/// graph are user-independent, so a prepared-query cache can reuse them
+/// across users while the per-user selection still runs fresh.
+pub fn personalize_prepared(
+    select: &Select,
+    qg: &QueryGraph,
+    graph: &impl GraphAccess,
+    opts: PersonalizeOptions,
+) -> Result<Personalized> {
+    let _span = pqp_obs::span("personalize");
+    personalize_with_graph(select.clone(), qg, graph, opts)
+}
+
+fn personalize_with_graph(
+    select: Select,
+    qg: &QueryGraph,
+    graph: &impl GraphAccess,
+    opts: PersonalizeOptions,
+) -> Result<Personalized> {
+    let outcome = select_preferences(qg, graph, &opts.criterion);
     let paths = outcome.selected;
     let k = paths.len();
     pqp_obs::record("k", k);
@@ -195,7 +360,8 @@ mod tests {
     fn end_to_end_selection_then_both_rewrites() {
         let c = catalog();
         let g = InMemoryGraph::build(&profile(), &c).unwrap();
-        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(3, 2)).unwrap();
+        let p =
+            personalize(&query(), &g, &c, PersonalizeOptions::builder().k(3).l(2).build()).unwrap();
         assert_eq!(p.k(), 3);
         assert_eq!(p.m, 0);
         let sq = p.sq().unwrap();
@@ -208,7 +374,8 @@ mod tests {
     fn l_is_clamped_to_available_preferences() {
         let c = catalog();
         let g = InMemoryGraph::build(&profile(), &c).unwrap();
-        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(10, 8)).unwrap();
+        let p = personalize(&query(), &g, &c, PersonalizeOptions::builder().k(10).l(8).build())
+            .unwrap();
         assert_eq!(p.k(), 3);
         assert_eq!(p.matching, MatchSpec::AtLeast(3));
         assert!(p.sq().is_ok());
@@ -233,7 +400,9 @@ mod tests {
     fn ranked_option_flows_to_mq() {
         let c = catalog();
         let g = InMemoryGraph::build(&profile(), &c).unwrap();
-        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(2, 1).ranked()).unwrap();
+        let p =
+            personalize(&query(), &g, &c, PersonalizeOptions::builder().k(2).l(1).build().ranked())
+                .unwrap();
         assert!(p.mq().unwrap().to_string().contains("ORDER BY interest DESC"));
     }
 
@@ -241,13 +410,76 @@ mod tests {
     fn empty_profile_yields_original_semantics() {
         let c = catalog();
         let g = InMemoryGraph::build(&Profile::new("nobody"), &c).unwrap();
-        let p = personalize(&query(), &g, &c, PersonalizeOptions::top_k(5, 2)).unwrap();
+        let p =
+            personalize(&query(), &g, &c, PersonalizeOptions::builder().k(5).l(2).build()).unwrap();
         assert_eq!(p.k(), 0);
         assert_eq!(p.matching, MatchSpec::AtLeast(0));
         // SQ degenerates to the initial query plus DISTINCT.
         let sq = p.sq().unwrap();
         let s = sq.as_select().unwrap();
         assert_eq!(s.from.len(), 2);
+    }
+
+    #[test]
+    fn builder_matches_positional_shim() {
+        #[allow(deprecated)]
+        let old = PersonalizeOptions::top_k(3, 2);
+        let new = PersonalizeOptions::builder().k(3).l(2).build();
+        assert_eq!(old, new);
+        let full = PersonalizeOptions::builder().k(5).m(2).l(1).ranked().build();
+        assert_eq!(full.criterion, InterestCriterion::TopK(5));
+        assert_eq!(full.mandatory, MandatorySpec::Count(2));
+        assert_eq!(full.matching, MatchSpec::AtLeast(1));
+        assert!(full.rank);
+        // m(0) means no mandatory preferences.
+        assert_eq!(PersonalizeOptions::builder().m(0).build().mandatory, MandatorySpec::None);
+        // Direct setters override the shorthands.
+        let direct = PersonalizeOptions::builder()
+            .k(9)
+            .criterion(InterestCriterion::MinDegree(0.4))
+            .matching(MatchSpec::MinDegree(0.2))
+            .mandatory(MandatorySpec::DegreeAtLeast(0.9))
+            .build();
+        assert_eq!(direct.criterion, InterestCriterion::MinDegree(0.4));
+        assert_eq!(direct.matching, MatchSpec::MinDegree(0.2));
+        assert_eq!(direct.mandatory, MandatorySpec::DegreeAtLeast(0.9));
+    }
+
+    #[test]
+    fn rewrite_labels_roundtrip() {
+        for rw in Rewrite::ALL {
+            assert_eq!(rw.label().parse::<Rewrite>().unwrap(), rw);
+            assert_eq!(rw.to_string(), rw.label());
+        }
+        assert_eq!("mq".parse::<Rewrite>().unwrap(), Rewrite::Mq);
+        assert_eq!("Original".parse::<Rewrite>().unwrap(), Rewrite::Original);
+        assert!(matches!("nope".parse::<Rewrite>(), Err(PrefError::InvalidParams(_))));
+    }
+
+    #[test]
+    fn rewritten_dispatches_to_all_three() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let p =
+            personalize(&query(), &g, &c, PersonalizeOptions::builder().k(2).l(1).build()).unwrap();
+        assert_eq!(p.rewritten(Rewrite::Original).unwrap().to_string(), p.original().to_string());
+        assert_eq!(p.rewritten(Rewrite::Sq).unwrap().to_string(), p.sq().unwrap().to_string());
+        assert_eq!(p.rewritten(Rewrite::Mq).unwrap().to_string(), p.mq().unwrap().to_string());
+    }
+
+    #[test]
+    fn prepared_path_matches_unprepared() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&profile(), &c).unwrap();
+        let q = query();
+        let opts = PersonalizeOptions::builder().k(3).l(2).build();
+        let direct = personalize(&q, &g, &c, opts).unwrap();
+        let select = q.as_select().unwrap();
+        let qg = QueryGraph::from_select(select, &c).unwrap();
+        let prepared = personalize_prepared(select, &qg, &g, opts).unwrap();
+        assert_eq!(prepared.paths, direct.paths);
+        assert_eq!(prepared.m, direct.m);
+        assert_eq!(prepared.mq().unwrap().to_string(), direct.mq().unwrap().to_string());
     }
 
     #[test]
@@ -258,6 +490,6 @@ mod tests {
             "(select MV.title from MOVIE MV) union (select MV.title from MOVIE MV)",
         )
         .unwrap();
-        assert!(personalize(&q, &g, &c, PersonalizeOptions::top_k(3, 1)).is_err());
+        assert!(personalize(&q, &g, &c, PersonalizeOptions::builder().k(3).l(1).build()).is_err());
     }
 }

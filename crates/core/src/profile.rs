@@ -12,7 +12,7 @@ use std::fmt;
 ///
 /// Zero-valued degrees are never stored (§3.1); adding a preference with the
 /// same condition replaces its degree (profiles evolve over time, §3.1).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Profile {
     pub user: String,
     preferences: Vec<AtomicPreference>,
@@ -20,12 +20,33 @@ pub struct Profile {
     /// [`crate::negative`]). Kept separate so they never enter the positive
     /// personalization graph. Omitted from JSON when empty.
     negatives: Vec<AtomicPreference>,
+    /// Mutation epoch: bumped on every successful mutating call (including
+    /// degree-identical replacement), so caches keyed on profile contents can
+    /// invalidate without diffing preference lists. Not part of equality and
+    /// not persisted.
+    revision: u64,
+}
+
+/// Equality ignores [`Profile::revision`]: two profiles are equal iff they
+/// store the same preferences for the same user, however they got there.
+impl PartialEq for Profile {
+    fn eq(&self, other: &Profile) -> bool {
+        self.user == other.user
+            && self.preferences == other.preferences
+            && self.negatives == other.negatives
+    }
 }
 
 impl Profile {
     /// An empty profile for a named user.
     pub fn new(user: impl Into<String>) -> Profile {
-        Profile { user: user.into(), preferences: Vec::new(), negatives: Vec::new() }
+        Profile { user: user.into(), preferences: Vec::new(), negatives: Vec::new(), revision: 0 }
+    }
+
+    /// The mutation epoch: how many mutating calls this profile value has
+    /// seen. Cloning carries the revision along; deserialization starts at 0.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Add (or update) a selection preference `TABLE.column = value`.
@@ -48,6 +69,7 @@ impl Profile {
         if doi > Doi::ZERO {
             self.preferences.push(AtomicPreference::Selection { attr, value, doi });
         }
+        self.revision += 1;
         Ok(self)
     }
 
@@ -72,6 +94,7 @@ impl Profile {
         if doi > Doi::ZERO {
             self.preferences.push(AtomicPreference::Join { from, to, doi });
         }
+        self.revision += 1;
         Ok(self)
     }
 
@@ -111,6 +134,7 @@ impl Profile {
         if doi > Doi::ZERO {
             self.negatives.push(AtomicPreference::Selection { attr, value, doi });
         }
+        self.revision += 1;
         Ok(self)
     }
 
@@ -205,7 +229,7 @@ impl Profile {
         };
         let preferences = parse_list("preferences", true)?;
         let negatives = parse_list("negatives", false)?;
-        Ok(Profile { user, preferences, negatives })
+        Ok(Profile { user, preferences, negatives, revision: 0 })
     }
 }
 
@@ -394,6 +418,27 @@ mod tests {
         let mut bad2 = Profile::new("bad2");
         bad2.add_join("MOVIE", "nope", "GENRE", "mid", 0.5).unwrap();
         assert!(bad2.validate(&c).is_err());
+    }
+
+    #[test]
+    fn revision_bumps_on_every_mutation_but_not_equality() {
+        let mut p = Profile::new("x");
+        assert_eq!(p.revision(), 0);
+        p.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+        p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        assert_eq!(p.revision(), 2);
+        // Degree replacement is a mutation too.
+        p.add_selection("GENRE", "genre", "comedy", 0.5).unwrap();
+        assert_eq!(p.revision(), 3);
+        // A failed mutation does not bump.
+        assert!(p.add_selection("GENRE", "genre", "x", 2.0).is_err());
+        assert_eq!(p.revision(), 3);
+        // Equality ignores the revision.
+        let mut q = Profile::new("x");
+        q.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        q.add_selection("GENRE", "genre", "comedy", 0.5).unwrap();
+        assert_ne!(p.revision(), q.revision());
+        assert_eq!(p, q);
     }
 
     #[test]

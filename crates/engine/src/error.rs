@@ -6,6 +6,7 @@ use std::fmt;
 
 /// Errors raised while planning or executing a query.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// Lexer/parser failure.
     Parse(ParseError),

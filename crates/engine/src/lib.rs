@@ -74,9 +74,19 @@ impl Database {
 
     /// Plan and execute a parsed query.
     pub fn run_query(&self, q: &Query) -> Result<ResultSet> {
-        let _span = pqp_obs::span("execute");
         let plan = self.plan(q)?;
-        let rows = exec::execute(&plan, &self.catalog)?;
+        self.run_plan(&plan)
+    }
+
+    /// Execute an already-planned query.
+    ///
+    /// This is the plan-reuse entry point: a plan produced by
+    /// [`Database::plan`] is immutable and can be executed any number of
+    /// times (and from any thread) as long as the referenced tables still
+    /// exist — the serving layer's personalized-plan cache relies on it.
+    pub fn run_plan(&self, plan: &plan::Plan) -> Result<ResultSet> {
+        let _span = pqp_obs::span("execute");
+        let rows = exec::execute(plan, &self.catalog)?;
         pqp_obs::record("result_rows", rows.len());
         let columns = plan.schema().columns.iter().map(|c| c.name.clone()).collect();
         Ok(ResultSet { columns, rows })

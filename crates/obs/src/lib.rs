@@ -4,7 +4,7 @@
 //! standard library (the build must succeed offline, so no serde, no
 //! tracing, no rand):
 //!
-//! - [`span`] — a lightweight hierarchical span API: `span("selection")`
+//! - [`span`](mod@span) — a lightweight hierarchical span API: `span("selection")`
 //!   returns an RAII guard, guards nest into a tree, and
 //!   [`span::trace_end`] yields a [`span::PipelineTrace`] with per-stage
 //!   timings and recorded fields. When no trace is active every call is a
@@ -27,7 +27,9 @@ pub mod rng;
 pub mod span;
 
 pub use json::Json;
-pub use metrics::{counter_add, gauge_set, observe, Histogram, Registry};
+pub use metrics::{
+    counter_add, gauge_set, observe, CacheSnapshot, CacheStats, Histogram, Registry,
+};
 pub use span::{
     record, span, trace_active, trace_begin, trace_end, Field, PipelineTrace, SpanGuard, SpanNode,
 };

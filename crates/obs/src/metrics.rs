@@ -8,6 +8,7 @@
 
 use crate::json::Json;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// A histogram of `f64` samples with exact quantiles.
@@ -246,6 +247,97 @@ pub fn observe(name: &str, value: f64) {
     crate::span::with_trace_metrics(|m| m.observe(name, value));
 }
 
+/// Hit/miss/stale/eviction counters for one named cache.
+///
+/// Each event bumps a local atomic (so a cache owner can assert on its own
+/// traffic in isolation) *and* the global registry / active trace via
+/// [`counter_add`] under `<name>.hit`, `<name>.miss`, `<name>.stale`,
+/// `<name>.eviction` — so cache behaviour shows up in every metrics export
+/// without extra wiring.
+#[derive(Debug)]
+pub struct CacheStats {
+    name: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of one cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    /// Lookups that found an entry invalidated by an epoch bump.
+    pub stale: u64,
+    pub evictions: u64,
+}
+
+impl CacheSnapshot {
+    /// Hits over all lookups (0 when the cache saw no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    /// Create counters for a cache named `name` (the metrics key prefix).
+    pub fn new(name: impl Into<String>) -> CacheStats {
+        CacheStats {
+            name: name.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The metrics key prefix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bump(&self, local: &AtomicU64, event: &str) {
+        local.fetch_add(1, Ordering::Relaxed);
+        counter_add(&format!("{}.{event}", self.name), 1);
+    }
+
+    /// Record a lookup served from the cache.
+    pub fn hit(&self) {
+        self.bump(&self.hits, "hit");
+    }
+
+    /// Record a lookup that found nothing.
+    pub fn miss(&self) {
+        self.bump(&self.misses, "miss");
+    }
+
+    /// Record a lookup that found an entry invalidated by an epoch bump.
+    pub fn stale(&self) {
+        self.bump(&self.stale, "stale");
+    }
+
+    /// Record an entry evicted to make room.
+    pub fn eviction(&self) {
+        self.bump(&self.evictions, "eviction");
+    }
+
+    /// Copy the local counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +380,27 @@ mod tests {
         assert_eq!(h.p95(), 7.5);
         h.record(f64::NAN); // ignored
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cache_stats_feed_local_and_global_counters() {
+        let stats = CacheStats::new("test_cache_stats_unit");
+        stats.hit();
+        stats.hit();
+        stats.miss();
+        stats.stale();
+        stats.eviction();
+        let snap = stats.snapshot();
+        assert_eq!(snap, CacheSnapshot { hits: 2, misses: 1, stale: 1, evictions: 1 });
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::new("idle").snapshot().hit_rate(), 0.0);
+        // The global registry saw the same events (>= in case of other tests
+        // reusing the prefix; the prefix is unique so equality holds).
+        let g = global_snapshot();
+        assert_eq!(g.counter("test_cache_stats_unit.hit"), 2);
+        assert_eq!(g.counter("test_cache_stats_unit.miss"), 1);
+        assert_eq!(g.counter("test_cache_stats_unit.stale"), 1);
+        assert_eq!(g.counter("test_cache_stats_unit.eviction"), 1);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! A small FIFO-evicting cache used by the service's prepared-query and
+//! personalized-plan caches.
+//!
+//! FIFO (rather than LRU) keeps `get` a pure read — no per-lookup
+//! bookkeeping write — which lets the caller serve hits under a shared read
+//! lock. Eviction order only matters under capacity pressure, where both
+//! caches tolerate recomputing a dropped entry.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A bounded map evicting its oldest-inserted entry on overflow.
+#[derive(Debug)]
+pub struct FifoCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Clone, V> FifoCache<K, V> {
+    /// A cache holding at most `capacity` entries (clamped to at least 1).
+    pub fn new(capacity: usize) -> FifoCache<K, V> {
+        FifoCache { capacity: capacity.max(1), map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// Look up a key. A pure read: no recency bookkeeping.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Insert (or replace) an entry. Returns `true` when an *older* entry
+    /// was evicted to make room.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if self.map.insert(key.clone(), value).is_some() {
+            return false; // replaced in place; insertion order unchanged
+        }
+        self.order.push_back(key);
+        if self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut c = FifoCache::new(2);
+        assert!(!c.insert("a", 1));
+        assert!(!c.insert("b", 2));
+        assert!(c.insert("c", 3), "inserting past capacity evicts");
+        assert_eq!(c.get(&"a"), None, "oldest went first");
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacement_keeps_insertion_order() {
+        let mut c = FifoCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert!(!c.insert("a", 10), "replacement is not an eviction");
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), None, "a is still the oldest insertion");
+        assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one_and_clear_resets() {
+        let mut c = FifoCache::new(0);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(&2), None);
+    }
+}

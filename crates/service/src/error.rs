@@ -1,0 +1,111 @@
+//! The unified error type of the serving layer — one `Result<_, Error>` for
+//! the whole parse → personalize → integrate → plan → execute pipeline.
+
+use pqp_core::PrefError;
+use pqp_engine::EngineError;
+use pqp_sql::ParseError;
+use pqp_storage::StorageError;
+use std::fmt;
+
+/// Any failure of the personalization pipeline, wrapping the per-crate
+/// errors with [`From`] impls so `?` composes across layers.
+///
+/// The wrapped error is reachable through
+/// [`source`](std::error::Error::source), so callers can walk the chain or
+/// match on the layer that failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The SQL text did not parse.
+    Parse(ParseError),
+    /// Preference selection or integration failed.
+    Personalize(PrefError),
+    /// Planning or execution failed.
+    Engine(EngineError),
+    /// The storage layer failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse failed: {e}"),
+            Error::Personalize(e) => write!(f, "personalization failed: {e}"),
+            Error::Engine(e) => write!(f, "query engine failed: {e}"),
+            Error::Storage(e) => write!(f, "storage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Personalize(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<PrefError> for Error {
+    fn from(e: PrefError) -> Error {
+        Error::Personalize(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Error {
+        Error::Engine(e)
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Error {
+        Error::Storage(e)
+    }
+}
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_every_layer_with_source_chains() {
+        let parse = pqp_sql::parse_query("select from").unwrap_err();
+        let e = Error::from(parse.clone());
+        assert!(matches!(e, Error::Parse(_)));
+        assert_eq!(e.source().unwrap().to_string(), parse.to_string());
+
+        let pref = PrefError::InvalidDegree(2.0);
+        let e = Error::from(pref.clone());
+        assert!(e.to_string().contains("personalization failed"));
+        assert_eq!(e.source().unwrap().to_string(), pref.to_string());
+
+        let eng = EngineError::Exec("boom".into());
+        assert!(matches!(Error::from(eng), Error::Engine(_)));
+
+        let sto = StorageError::UnknownTable("T".into());
+        let e = Error::from(sto);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn question_mark_composes_across_layers() {
+        fn run() -> Result<()> {
+            let _q = pqp_sql::parse_query("select MV.title from")?;
+            Ok(())
+        }
+        assert!(matches!(run(), Err(Error::Parse(_))));
+    }
+}

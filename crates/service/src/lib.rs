@@ -1,0 +1,791 @@
+//! # pqp-service — the concurrent multi-user serving layer
+//!
+//! The paper (§4, Fig. 2) frames query personalization as a layer sitting in
+//! front of a live DBMS, serving many users' profiles concurrently. This
+//! crate is that layer: a [`Service`] owns one shared [`Database`] plus a
+//! **sharded profile store** (N shards, each behind an `RwLock`, keyed by
+//! [`UserId`]), and exposes one front door — [`Session::query`] — that runs
+//! parse → personalize → integrate → plan → execute end-to-end and returns
+//! a single [`Result<Answer, Error>`](Error).
+//!
+//! Repeated traffic is fast because two caches sit on the hot path:
+//!
+//! - the **prepared-query cache** maps SQL text to its parsed SELECT and
+//!   [`QueryGraph`] — both user-independent, so one entry serves every user;
+//! - the **personalized-plan cache** maps `(user, canonical query, options,
+//!   rewrite)` to a fully planned physical [`Plan`],
+//!   invalidated per-user by an **epoch**: every profile mutation stamps the
+//!   user with a fresh epoch, and cached plans carry the epoch they were
+//!   built under, so a stale plan is never served (it is recomputed lazily
+//!   on the next lookup).
+//!
+//! Both caches publish hit/miss/stale/eviction counters through
+//! [`pqp_obs`] (`service.prepared_cache.*`, `service.plan_cache.*`) and
+//! locally via [`Service::cache_stats`].
+//!
+//! ```
+//! use pqp_core::{PersonalizeOptions, Profile};
+//! # use pqp_engine::Database;
+//! # use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+//! # let mut catalog = Catalog::new();
+//! # catalog.create_table(TableSchema::new("MOVIE", vec![
+//! #     ColumnDef::new("mid", DataType::Int),
+//! #     ColumnDef::new("title", DataType::Str),
+//! # ]).with_primary_key(&["mid"])).unwrap();
+//! # catalog.create_table(TableSchema::new("GENRE", vec![
+//! #     ColumnDef::new("mid", DataType::Int),
+//! #     ColumnDef::new("genre", DataType::Str),
+//! # ])).unwrap();
+//! let service = pqp_service::Service::new(Database::new(catalog));
+//! let mut julie = Profile::new("julie");
+//! julie.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+//! julie.add_selection("GENRE", "genre", "comedy", 0.9).unwrap();
+//! service.install_profile(julie).unwrap();
+//!
+//! let session = service
+//!     .session("julie")
+//!     .with_options(PersonalizeOptions::builder().k(2).l(1).build());
+//! let answer = session.query("select MV.title from MOVIE MV").unwrap();
+//! assert_eq!(answer.k, 1);
+//! ```
+
+mod cache;
+mod error;
+
+pub use error::{Error, Result};
+
+use cache::FifoCache;
+use pqp_core::graph::InMemoryGraph;
+use pqp_core::query_graph::QueryGraph;
+use pqp_core::{personalize_prepared, PersonalizeOptions, PrefError, Profile, Rewrite};
+use pqp_engine::plan::Plan;
+use pqp_engine::{Database, ResultSet};
+use pqp_obs::{CacheSnapshot, CacheStats};
+use pqp_sql::ast::Select;
+use pqp_storage::sync::RwLock;
+use pqp_storage::ShardedMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A user identifier: the key of the sharded profile store.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(String);
+
+impl UserId {
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for UserId {
+    fn from(s: &str) -> UserId {
+        UserId(s.to_string())
+    }
+}
+
+impl From<String> for UserId {
+    fn from(s: String) -> UserId {
+        UserId(s)
+    }
+}
+
+impl AsRef<str> for UserId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of profile-store shards.
+    pub shards: usize,
+    /// Capacity of the prepared-query cache (entries).
+    pub prepared_capacity: usize,
+    /// Capacity of the personalized-plan cache (entries).
+    pub plan_capacity: usize,
+    /// Personalization options used when a session does not override them
+    /// (and by [`Service::query_batch`]).
+    pub options: PersonalizeOptions,
+    /// Rewrite executed when a session does not override it.
+    pub rewrite: Rewrite,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            shards: 16,
+            prepared_capacity: 512,
+            plan_capacity: 4096,
+            options: PersonalizeOptions::builder().k(3).l(1).build(),
+            rewrite: Rewrite::Mq,
+        }
+    }
+}
+
+/// The result of one personalized query.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Answer {
+    /// The rows the executed rewrite returned.
+    pub rows: ResultSet,
+    /// The rewrite that ran.
+    pub rewrite: Rewrite,
+    /// K: number of preferences selected for this user/query pair.
+    pub k: usize,
+    /// M: how many of them were mandatory.
+    pub m: usize,
+    /// Whether the physical plan came from the personalized-plan cache.
+    pub plan_cached: bool,
+}
+
+/// One user's stored state: the profile plus its invalidation epoch.
+#[derive(Debug, Clone)]
+struct ProfileEntry {
+    profile: Profile,
+    epoch: u64,
+}
+
+/// A parsed, graphed query — user-independent, shared across users.
+#[derive(Debug)]
+struct Prepared {
+    select: Select,
+    graph: QueryGraph,
+    /// The canonical printed form, used as the plan-cache key component so
+    /// textual variants of the same query share plan entries.
+    canonical: String,
+}
+
+/// Personalized-plan cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    user: UserId,
+    canonical: String,
+    /// Fingerprint of the [`PersonalizeOptions`] (K/M/L, criterion, rank).
+    opts: String,
+    rewrite: Rewrite,
+}
+
+/// A cached personalized plan, valid while the user's epoch matches.
+#[derive(Debug)]
+struct CachedPlan {
+    epoch: u64,
+    plan: Plan,
+    k: usize,
+    m: usize,
+}
+
+/// The serving layer: one database, many users, one front door.
+///
+/// `Service` is `Sync`: queries, profile mutations and batch execution may
+/// run from any number of threads. See the crate docs for the cache and
+/// invalidation design, and `tests/concurrency.rs` for the guarantees under
+/// contention.
+pub struct Service {
+    db: Database,
+    config: ServiceConfig,
+    profiles: ShardedMap<UserId, ProfileEntry>,
+    /// Source of profile epochs: globally monotonic per service, so a
+    /// removed-and-reinstalled user can never collide with plans cached
+    /// under an earlier epoch (no ABA).
+    epoch_source: AtomicU64,
+    prepared: RwLock<FifoCache<String, Arc<Prepared>>>,
+    plans: RwLock<FifoCache<PlanKey, Arc<CachedPlan>>>,
+    prepared_stats: CacheStats,
+    plan_stats: CacheStats,
+}
+
+/// Cache counters of a service, one snapshot per cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceCacheStats {
+    /// Prepared-query cache (SQL text → AST + query graph).
+    pub prepared: CacheSnapshot,
+    /// Personalized-plan cache.
+    pub plans: CacheSnapshot,
+}
+
+impl Service {
+    /// Wrap a database with the default [`ServiceConfig`].
+    pub fn new(db: Database) -> Service {
+        Service::with_config(db, ServiceConfig::default())
+    }
+
+    /// Wrap a database with an explicit configuration.
+    pub fn with_config(db: Database, config: ServiceConfig) -> Service {
+        Service {
+            db,
+            profiles: ShardedMap::new(config.shards),
+            epoch_source: AtomicU64::new(0),
+            prepared: RwLock::new(FifoCache::new(config.prepared_capacity)),
+            plans: RwLock::new(FifoCache::new(config.plan_capacity)),
+            prepared_stats: CacheStats::new("service.prepared_cache"),
+            plan_stats: CacheStats::new("service.plan_cache"),
+            config,
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    // ---- profile store ----------------------------------------------------
+
+    fn next_epoch(&self) -> u64 {
+        self.epoch_source.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Install (or replace) a user's profile. The profile is validated
+    /// against the database schema first; installing always advances the
+    /// user's epoch, invalidating any cached plans.
+    pub fn install_profile(&self, profile: Profile) -> Result<()> {
+        profile.validate(self.db.catalog())?;
+        let user = UserId::from(profile.user.clone());
+        let epoch = self.next_epoch();
+        self.profiles.insert(user, ProfileEntry { profile, epoch });
+        Ok(())
+    }
+
+    /// Remove a user's profile. Returns whether one was stored. Subsequent
+    /// queries for the user run unpersonalized.
+    pub fn remove_profile(&self, user: impl Into<UserId>) -> bool {
+        self.profiles.remove(&user.into()).is_some()
+    }
+
+    /// Mutate a user's profile in place (creating an empty one if absent —
+    /// upsert semantics), bumping the user's epoch iff the closure actually
+    /// mutated it. The mutated profile is re-validated against the schema;
+    /// on validation failure the store is left unchanged.
+    pub fn update_profile<R>(
+        &self,
+        user: impl Into<UserId>,
+        f: impl FnOnce(&mut Profile) -> R,
+    ) -> Result<R> {
+        let user = user.into();
+        // Mutate a clone outside any lock, then commit under the shard
+        // write lock — validation failures must not corrupt the store, and
+        // the closure must not run under the lock (it is caller code).
+        let mut profile = self
+            .profiles
+            .get_cloned(&user)
+            .map(|e| e.profile)
+            .unwrap_or_else(|| Profile::new(user.as_str()));
+        let before = profile.revision();
+        let out = f(&mut profile);
+        let mutated = profile.revision() != before;
+        profile.validate(self.db.catalog())?;
+        if mutated {
+            let epoch = self.next_epoch();
+            self.profiles.insert(user, ProfileEntry { profile, epoch });
+        }
+        Ok(out)
+    }
+
+    /// Add (or update) a selection preference for a user (upserting an empty
+    /// profile), bumping the user's epoch.
+    pub fn add_selection(
+        &self,
+        user: impl Into<UserId>,
+        table: &str,
+        column: &str,
+        value: impl Into<pqp_storage::Value>,
+        doi: f64,
+    ) -> Result<()> {
+        let value = value.into();
+        self.update_profile(user, |p| p.add_selection(table, column, value, doi).map(|_| ()))?
+            .map_err(Error::from)
+    }
+
+    /// Add (or update) a directed join preference for a user (upserting an
+    /// empty profile), bumping the user's epoch.
+    pub fn add_join(
+        &self,
+        user: impl Into<UserId>,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+        doi: f64,
+    ) -> Result<()> {
+        self.update_profile(user, |p| {
+            p.add_join(from_table, from_column, to_table, to_column, doi).map(|_| ())
+        })?
+        .map_err(Error::from)
+    }
+
+    /// A snapshot of a user's profile (`None` when nothing is stored).
+    pub fn profile(&self, user: impl Into<UserId>) -> Option<Profile> {
+        self.profiles.get_cloned(&user.into()).map(|e| e.profile)
+    }
+
+    /// The user's current invalidation epoch (0 when no profile is stored).
+    pub fn epoch(&self, user: impl Into<UserId>) -> u64 {
+        self.profiles.read(&user.into(), |e| e.map_or(0, |e| e.epoch))
+    }
+
+    /// All users with a stored profile.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users = self.profiles.keys();
+        users.sort();
+        users
+    }
+
+    // ---- caches -----------------------------------------------------------
+
+    /// Parse + query-graph a SQL text, through the shared prepared cache.
+    fn prepare(&self, sql: &str) -> Result<Arc<Prepared>> {
+        let key = sql.trim();
+        if let Some(p) = self.prepared.read().get(&key.to_string()) {
+            self.prepared_stats.hit();
+            return Ok(Arc::clone(p));
+        }
+        self.prepared_stats.miss();
+        let query = pqp_sql::parse_query(sql)?;
+        let select = query
+            .as_select()
+            .ok_or_else(|| PrefError::UnsupportedQuery("only plain SELECT blocks".into()))?
+            .clone();
+        let graph = QueryGraph::from_select(&select, self.db.catalog())?;
+        let prepared = Arc::new(Prepared { select, graph, canonical: query.to_string() });
+        if self.prepared.write().insert(key.to_string(), Arc::clone(&prepared)) {
+            self.prepared_stats.eviction();
+        }
+        Ok(prepared)
+    }
+
+    /// Snapshot counters of both caches.
+    pub fn cache_stats(&self) -> ServiceCacheStats {
+        ServiceCacheStats {
+            prepared: self.prepared_stats.snapshot(),
+            plans: self.plan_stats.snapshot(),
+        }
+    }
+
+    /// Drop both caches (profiles and their epochs are untouched).
+    pub fn clear_caches(&self) {
+        self.prepared.write().clear();
+        self.plans.write().clear();
+    }
+
+    // ---- the front door ---------------------------------------------------
+
+    /// Open a session for a user, with the service's default options and
+    /// rewrite (override per session with [`Session::with_options`] /
+    /// [`Session::with_rewrite`]).
+    pub fn session(&self, user: impl Into<UserId>) -> Session<'_> {
+        Session {
+            service: self,
+            user: user.into(),
+            options: self.config.options,
+            rewrite: self.config.rewrite,
+        }
+    }
+
+    /// Run one personalized query for `user`. Users without a stored
+    /// profile get the query's original semantics (zero preferences select,
+    /// matching the paper: personalization degrades gracefully to the plain
+    /// query).
+    pub fn query(
+        &self,
+        user: &UserId,
+        sql: &str,
+        options: PersonalizeOptions,
+        rewrite: Rewrite,
+    ) -> Result<Answer> {
+        let prepared = self.prepare(sql)?;
+        let key = PlanKey {
+            user: user.clone(),
+            canonical: prepared.canonical.clone(),
+            opts: format!("{options:?}"),
+            rewrite,
+        };
+
+        // Fast path: a cached plan built under the user's current epoch.
+        let epoch_now = self.epoch(user.clone());
+        enum Lookup {
+            Hit(Arc<CachedPlan>),
+            Stale,
+            Miss,
+        }
+        let lookup = match self.plans.read().get(&key) {
+            Some(c) if c.epoch == epoch_now => Lookup::Hit(Arc::clone(c)),
+            Some(_) => Lookup::Stale,
+            None => Lookup::Miss,
+        };
+        match lookup {
+            Lookup::Hit(cached) => {
+                self.plan_stats.hit();
+                let rows = self.db.run_plan(&cached.plan)?;
+                return Ok(Answer { rows, rewrite, k: cached.k, m: cached.m, plan_cached: true });
+            }
+            Lookup::Stale => self.plan_stats.stale(),
+            Lookup::Miss => self.plan_stats.miss(),
+        }
+
+        // Slow path: snapshot the profile and its epoch atomically (one
+        // shard read), personalize, plan, execute, then publish the plan
+        // under the snapshot epoch. A concurrent mutation between snapshot
+        // and publish simply leaves a stale entry that the next lookup
+        // recomputes — never a wrong answer.
+        let (profile, epoch) = self.profiles.read(user, |e| match e {
+            Some(e) => (e.profile.clone(), e.epoch),
+            None => (Profile::new(user.as_str()), 0),
+        });
+        let graph = InMemoryGraph::build(&profile, self.db.catalog())?;
+        let personalized =
+            personalize_prepared(&prepared.select, &prepared.graph, &graph, options)?;
+        let executed = personalized.rewritten(rewrite)?;
+        let plan = self.db.plan(&executed)?;
+        let rows = self.db.run_plan(&plan)?;
+        let (k, m) = (personalized.k(), personalized.m);
+        if self.plans.write().insert(key, Arc::new(CachedPlan { epoch, plan, k, m })) {
+            self.plan_stats.eviction();
+        }
+        Ok(Answer { rows, rewrite, k, m, plan_cached: false })
+    }
+
+    /// Run a batch of `(user, sql)` requests, fanned across `workers`
+    /// scoped threads, with the service's default options and rewrite.
+    /// Results come back in request order, each the same as a sequential
+    /// [`Service::query`] call would produce.
+    ///
+    /// Identical in-flight requests (same user and SQL text) are
+    /// **collapsed**: one execution serves all duplicates. Combined with
+    /// the plan cache this is what makes batch serving beat a sequential
+    /// request loop even on a single core; on multi-core hosts the worker
+    /// threads add real parallelism on top.
+    pub fn query_batch(
+        &self,
+        requests: &[(UserId, String)],
+        workers: usize,
+    ) -> Vec<Result<Answer>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Collapse duplicates: `slots[i]` is the distinct-request slot that
+        // request i's answer comes from.
+        let mut slot_of_key: std::collections::HashMap<(&UserId, &str), usize> =
+            std::collections::HashMap::new();
+        let mut distinct: Vec<usize> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(requests.len());
+        for (i, (user, sql)) in requests.iter().enumerate() {
+            let slot = *slot_of_key.entry((user, sql.trim())).or_insert_with(|| {
+                distinct.push(i);
+                distinct.len() - 1
+            });
+            slots.push(slot);
+        }
+        pqp_obs::counter_add("service.batch.requests", requests.len() as i64);
+        pqp_obs::counter_add("service.batch.collapsed", (requests.len() - distinct.len()) as i64);
+
+        let workers = workers.clamp(1, distinct.len());
+        let chunk = distinct.len().div_ceil(workers);
+        let mut slot_results: Vec<Option<Result<Answer>>> = Vec::new();
+        slot_results.resize_with(distinct.len(), || None);
+        std::thread::scope(|scope| {
+            for (req_indices, out) in distinct.chunks(chunk).zip(slot_results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (&i, out) in req_indices.iter().zip(out.iter_mut()) {
+                        let (user, sql) = &requests[i];
+                        *out =
+                            Some(self.query(user, sql, self.config.options, self.config.rewrite));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot_results[slot].clone().expect("worker filled its chunk"))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("users", &self.profiles.len())
+            .field("shards", &self.profiles.shard_count())
+            .field("prepared", &self.prepared.read().len())
+            .field("plans", &self.plans.read().len())
+            .finish()
+    }
+}
+
+/// A per-user handle onto a [`Service`]: the redesigned public entry point.
+///
+/// Sessions are cheap (a user id plus option values) and borrow the
+/// service, so a caller can hold many at once — one per connected user.
+#[derive(Debug, Clone)]
+pub struct Session<'s> {
+    service: &'s Service,
+    user: UserId,
+    options: PersonalizeOptions,
+    rewrite: Rewrite,
+}
+
+impl<'s> Session<'s> {
+    /// The user this session serves.
+    pub fn user(&self) -> &UserId {
+        &self.user
+    }
+
+    /// Override the personalization options for this session.
+    pub fn with_options(mut self, options: PersonalizeOptions) -> Session<'s> {
+        self.options = options;
+        self
+    }
+
+    /// Override the executed rewrite for this session.
+    pub fn with_rewrite(mut self, rewrite: Rewrite) -> Session<'s> {
+        self.rewrite = rewrite;
+        self
+    }
+
+    /// Run a personalized query end-to-end: parse → personalize →
+    /// integrate → plan → execute, through both caches.
+    pub fn query(&self, sql: &str) -> Result<Answer> {
+        self.service.query(&self.user, sql, self.options, self.rewrite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+
+    fn movie_db() -> Database {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "MOVIE",
+                vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+            )
+            .with_primary_key(&["mid"]),
+        )
+        .unwrap();
+        c.create_table(TableSchema::new(
+            "GENRE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+        ))
+        .unwrap();
+        for (mid, title) in [(1, "Alpha"), (2, "Beta"), (3, "Gamma")] {
+            c.table("MOVIE").unwrap().write().insert(vec![mid.into(), title.into()]).unwrap();
+        }
+        for (mid, genre) in [(1, "comedy"), (2, "comedy"), (3, "drama")] {
+            c.table("GENRE").unwrap().write().insert(vec![mid.into(), genre.into()]).unwrap();
+        }
+        Database::new(c)
+    }
+
+    fn service_with_ana() -> Service {
+        let service = Service::new(movie_db());
+        let mut ana = Profile::new("ana");
+        ana.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        ana.add_selection("GENRE", "genre", "comedy", 0.8).unwrap();
+        service.install_profile(ana).unwrap();
+        service
+    }
+
+    const Q: &str = "select MV.title from MOVIE MV";
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Service>();
+        assert_send_sync::<Answer>();
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn session_query_end_to_end() {
+        let service = service_with_ana();
+        let answer = service.session("ana").query(Q).unwrap();
+        assert_eq!(answer.k, 1, "comedy preference reached through the join");
+        assert_eq!(answer.rewrite, Rewrite::Mq);
+        assert!(!answer.plan_cached);
+        let titles: Vec<String> = answer.rows.rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(titles.contains(&"'Alpha'".to_string()) || titles.contains(&"Alpha".to_string()));
+    }
+
+    #[test]
+    fn unknown_user_runs_unpersonalized() {
+        let service = service_with_ana();
+        let answer = service.session("nobody").query(Q).unwrap();
+        assert_eq!(answer.k, 0);
+        assert_eq!(answer.rows.len(), 3, "all movies, no preference filter");
+    }
+
+    #[test]
+    fn repeated_query_hits_both_caches() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        let first = session.query(Q).unwrap();
+        let second = session.query(Q).unwrap();
+        assert!(!first.plan_cached);
+        assert!(second.plan_cached);
+        assert_eq!(first.rows, second.rows);
+        assert_eq!(second.k, first.k, "cached answers keep selection metadata");
+        let stats = service.cache_stats();
+        assert_eq!(stats.prepared.hits, 1);
+        assert_eq!(stats.prepared.misses, 1);
+        assert_eq!(stats.plans.hits, 1);
+        assert_eq!(stats.plans.misses, 1);
+    }
+
+    #[test]
+    fn textual_variants_share_one_plan_entry() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        session.query(Q).unwrap();
+        // Different whitespace, same canonical query.
+        let variant = service.session("ana").query("select  MV.title  from  MOVIE  MV").unwrap();
+        assert!(variant.plan_cached, "canonicalized key shares the plan");
+    }
+
+    #[test]
+    fn profile_mutation_invalidates_cached_plans() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        let before = session.query(Q).unwrap();
+        assert!(session.query(Q).unwrap().plan_cached);
+
+        let e0 = service.epoch("ana");
+        service.add_selection("ana", "GENRE", "genre", "drama", 0.9).unwrap();
+        assert!(service.epoch("ana") > e0, "mutation bumps the epoch");
+
+        let after = session.query(Q).unwrap();
+        assert!(!after.plan_cached, "stale plan recomputed");
+        assert_eq!(after.k, 2, "the new preference is in effect");
+        assert!(after.rows.len() > before.rows.len());
+        assert_eq!(service.cache_stats().plans.stale, 1);
+        // And the refreshed entry serves hits again.
+        assert!(session.query(Q).unwrap().plan_cached);
+    }
+
+    #[test]
+    fn noop_update_keeps_epoch_and_cache() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        session.query(Q).unwrap();
+        let e0 = service.epoch("ana");
+        service.update_profile("ana", |_p| ()).unwrap();
+        assert_eq!(service.epoch("ana"), e0, "no mutation, no epoch bump");
+        assert!(session.query(Q).unwrap().plan_cached);
+    }
+
+    #[test]
+    fn update_validation_failure_rolls_back() {
+        let service = service_with_ana();
+        let err = service.update_profile("ana", |p| {
+            p.add_selection("NOPE", "x", "v", 0.5).unwrap();
+        });
+        assert!(err.is_err());
+        let ana = service.profile("ana").unwrap();
+        assert!(
+            ana.preferences().iter().all(|p| !format!("{p}").contains("NOPE")),
+            "invalid mutation was not committed"
+        );
+    }
+
+    #[test]
+    fn reinstall_after_remove_cannot_revive_stale_plans() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        session.query(Q).unwrap();
+        let profile = service.profile("ana").unwrap();
+        assert!(service.remove_profile("ana"));
+        assert_eq!(service.epoch("ana"), 0);
+        // Reinstalling the same profile gets a *fresh* epoch, so the plan
+        // cached under the old epoch is stale, not spuriously valid.
+        service.install_profile(profile).unwrap();
+        let answer = session.query(Q).unwrap();
+        assert!(!answer.plan_cached, "no ABA on remove + reinstall");
+    }
+
+    #[test]
+    fn per_user_isolation_in_plan_cache() {
+        let service = service_with_ana();
+        let mut bob = Profile::new("bob");
+        bob.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        bob.add_selection("GENRE", "genre", "drama", 0.9).unwrap();
+        service.install_profile(bob).unwrap();
+
+        let ana = service.session("ana").query(Q).unwrap();
+        let bob = service.session("bob").query(Q).unwrap();
+        assert!(!bob.plan_cached, "bob's first query is not served ana's plan");
+        assert_ne!(ana.rows, bob.rows, "different preferences, different rows");
+    }
+
+    #[test]
+    fn sessions_can_override_options_and_rewrite() {
+        let service = service_with_ana();
+        let original = service.session("ana").with_rewrite(Rewrite::Original).query(Q).unwrap();
+        assert_eq!(original.rows.len(), 3);
+        let sq = service
+            .session("ana")
+            .with_options(PersonalizeOptions::builder().k(1).l(1).build())
+            .with_rewrite(Rewrite::Sq)
+            .query(Q)
+            .unwrap();
+        assert_eq!(sq.rewrite, Rewrite::Sq);
+        // Distinct options/rewrites get distinct cache entries.
+        assert!(!sq.plan_cached);
+    }
+
+    #[test]
+    fn parse_errors_surface_through_unified_error() {
+        let service = service_with_ana();
+        let err = service.session("ana").query("select from nowhere").unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+        let err = service
+            .session("ana")
+            .query("(select MV.title from MOVIE MV) union (select MV.title from MOVIE MV)");
+        assert!(matches!(err, Err(Error::Personalize(PrefError::UnsupportedQuery(_)))));
+    }
+
+    #[test]
+    fn batch_collapses_duplicates_and_preserves_order() {
+        let service = service_with_ana();
+        let requests: Vec<(UserId, String)> = vec![
+            (UserId::from("ana"), Q.to_string()),
+            (UserId::from("nobody"), Q.to_string()),
+            (UserId::from("ana"), Q.to_string()),
+            (UserId::from("ana"), format!("{Q} where MV.mid = 1")),
+        ];
+        let batch = service.query_batch(&requests, 3);
+        assert_eq!(batch.len(), 4);
+        let answers: Vec<&Answer> = batch.iter().map(|r| r.as_ref().unwrap()).collect();
+        assert_eq!(answers[0].rows, answers[2].rows, "duplicates share one answer");
+        assert_eq!(answers[1].k, 0);
+        assert_eq!(answers[3].rows.len(), 1);
+        assert!(service.query_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn plan_cache_eviction_under_capacity_pressure() {
+        let service = Service::with_config(
+            movie_db(),
+            ServiceConfig { plan_capacity: 2, ..ServiceConfig::default() },
+        );
+        let session = service.session("u");
+        for sql in
+            [Q, "select MV.mid from MOVIE MV", "select MV.title from MOVIE MV where MV.mid = 2"]
+        {
+            session.query(sql).unwrap();
+        }
+        assert_eq!(service.cache_stats().plans.evictions, 1);
+    }
+}

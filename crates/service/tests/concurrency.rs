@@ -1,0 +1,221 @@
+//! Concurrency guarantees of the serving layer:
+//!
+//! 1. two threads mutating the same user's profile while a third queries it
+//!    never deadlock, and epoch-based plan-cache invalidation is observed;
+//! 2. `query_batch` returns exactly what a sequential request loop would,
+//!    for a mixed-user workload.
+//!
+//! `scripts/verify.sh` runs this file both under the default test
+//! parallelism and with `RUST_TEST_THREADS=1`.
+
+use pqp_core::{PersonalizeOptions, Profile, Rewrite};
+use pqp_engine::Database;
+use pqp_service::{Service, ServiceConfig, UserId};
+use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+
+fn movie_db() -> Database {
+    let mut c = Catalog::new();
+    c.create_table(
+        TableSchema::new(
+            "MOVIE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+        )
+        .with_primary_key(&["mid"]),
+    )
+    .unwrap();
+    c.create_table(TableSchema::new(
+        "GENRE",
+        vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+    ))
+    .unwrap();
+    let genres = ["comedy", "drama", "thriller", "scifi"];
+    for mid in 0..20i64 {
+        c.table("MOVIE")
+            .unwrap()
+            .write()
+            .insert(vec![mid.into(), format!("Movie {mid}").as_str().into()])
+            .unwrap();
+        c.table("GENRE")
+            .unwrap()
+            .write()
+            .insert(vec![mid.into(), genres[(mid % 4) as usize].into()])
+            .unwrap();
+    }
+    Database::new(c)
+}
+
+fn profile_for(user: &str, genre: &str) -> Profile {
+    let mut p = Profile::new(user);
+    p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    p.add_selection("GENRE", "genre", genre, 0.8).unwrap();
+    p
+}
+
+const Q: &str = "select MV.title from MOVIE MV";
+
+/// Two mutator threads hammer the same user's profile while a query thread
+/// runs the same SQL in a loop. The test must terminate (no deadlock), every
+/// query must succeed, and the epoch must advance by exactly one per
+/// mutation (none lost, none coalesced).
+#[test]
+fn concurrent_mutation_and_query_same_user() {
+    let service = Service::new(movie_db());
+    service.install_profile(profile_for("ana", "comedy")).unwrap();
+    let epoch_at_install = service.epoch("ana");
+    // Prime both caches so the threads below contend on warm state.
+    service.session("ana").query(Q).unwrap();
+
+    const MUTATIONS_PER_THREAD: usize = 50;
+    const QUERIES: usize = 120;
+    let genres = ["comedy", "drama", "thriller", "scifi"];
+
+    std::thread::scope(|scope| {
+        for t in 0..2usize {
+            let service = &service;
+            scope.spawn(move || {
+                for i in 0..MUTATIONS_PER_THREAD {
+                    let doi = 0.05
+                        + 0.9 * ((t * MUTATIONS_PER_THREAD + i) as f64)
+                            / (2.0 * MUTATIONS_PER_THREAD as f64);
+                    service
+                        .add_selection("ana", "GENRE", "genre", genres[i % 4], doi)
+                        .expect("mutation under contention");
+                }
+            });
+        }
+        let service = &service;
+        scope.spawn(move || {
+            let session = service.session("ana");
+            for _ in 0..QUERIES {
+                let answer = session.query(Q).expect("query under contention");
+                assert!(answer.rows.len() <= 20);
+            }
+        });
+    });
+
+    // Every mutation bumped the epoch exactly once, none were lost.
+    assert_eq!(
+        service.epoch("ana"),
+        epoch_at_install + 2 * MUTATIONS_PER_THREAD as u64,
+        "each of the {} mutations advanced the epoch",
+        2 * MUTATIONS_PER_THREAD
+    );
+    // The profile converged to a valid state: all four genre selections
+    // present (each thread upserts the same four keys).
+    let ana = service.profile("ana").unwrap();
+    assert_eq!(ana.preferences().len(), 5, "join + four genre selections");
+
+    // Every lookup resolved to exactly one of hit/miss/stale, and no query
+    // was ever served a plan from a superseded epoch: recomputes (miss or
+    // stale) account for every epoch the query thread observed.
+    let stats = service.cache_stats();
+    assert_eq!(
+        stats.plans.hits + stats.plans.misses + stats.plans.stale,
+        1 + QUERIES as u64,
+        "prime + {QUERIES} queries each resolved once: {stats:?}"
+    );
+
+    // Epoch invalidation is observed: one more mutation makes the cached
+    // entry (whatever epoch it was rebuilt under) stale, and the next query
+    // recomputes instead of serving it.
+    let stale_before = stats.plans.stale;
+    service.add_selection("ana", "GENRE", "genre", "comedy", 0.99).unwrap();
+    let settled = service.session("ana");
+    assert!(!settled.query(Q).unwrap().plan_cached, "post-mutation query recomputes");
+    assert_eq!(service.cache_stats().plans.stale, stale_before + 1);
+    assert!(settled.query(Q).unwrap().plan_cached, "cache serves hits once mutations stop");
+}
+
+/// Distinct users are independent: concurrent mutations to one user never
+/// invalidate another user's cached plans.
+#[test]
+fn mutations_do_not_invalidate_other_users() {
+    let service = Service::new(movie_db());
+    service.install_profile(profile_for("ana", "comedy")).unwrap();
+    service.install_profile(profile_for("bob", "drama")).unwrap();
+    let bob = service.session("bob");
+    bob.query(Q).unwrap();
+
+    let service = &service;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..40 {
+                service
+                    .add_selection("ana", "GENRE", "genre", "scifi", 0.01 + 0.01 * i as f64)
+                    .unwrap();
+            }
+        });
+        scope.spawn(move || {
+            let bob = service.session("bob");
+            for _ in 0..40 {
+                assert!(bob.query(Q).unwrap().plan_cached, "bob's plan stays valid");
+            }
+        });
+    });
+}
+
+/// `query_batch` over a mixed-user workload returns, slot for slot, exactly
+/// the rows a sequential `Session::query` loop produces.
+#[test]
+fn batch_matches_sequential_for_mixed_users() {
+    let users = ["ana", "bob", "cid", "dee", "eve"];
+    let genres = ["comedy", "drama", "thriller", "scifi", "comedy"];
+    let sqls = [
+        Q,
+        "select MV.title from MOVIE MV where MV.mid < 10",
+        "select MV.mid, MV.title from MOVIE MV",
+    ];
+
+    let build = || {
+        let service = Service::with_config(
+            movie_db(),
+            ServiceConfig {
+                options: PersonalizeOptions::builder().k(2).l(1).build(),
+                rewrite: Rewrite::Mq,
+                ..ServiceConfig::default()
+            },
+        );
+        for (u, g) in users.iter().zip(genres) {
+            service.install_profile(profile_for(u, g)).unwrap();
+        }
+        service
+    };
+
+    // 50-request mixed-user workload with plenty of duplicates.
+    let requests: Vec<(UserId, String)> = (0..50)
+        .map(|i| (UserId::from(users[i % users.len()]), sqls[i % sqls.len()].to_string()))
+        .collect();
+
+    let sequential_service = build();
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|(u, sql)| sequential_service.session(u.clone()).query(sql).unwrap().rows)
+        .collect();
+
+    for workers in [1, 4, 8] {
+        let service = build();
+        let batch = service.query_batch(&requests, workers);
+        assert_eq!(batch.len(), requests.len());
+        for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
+            let got = got.as_ref().expect("batch request succeeds");
+            assert_eq!(&got.rows, want, "request {i} differs with {workers} workers");
+        }
+    }
+}
+
+/// Batches keep running when individual requests fail: errors come back in
+/// the right slots, successes are unaffected.
+#[test]
+fn batch_reports_per_request_errors_in_order() {
+    let service = Service::new(movie_db());
+    service.install_profile(profile_for("ana", "comedy")).unwrap();
+    let requests = vec![
+        (UserId::from("ana"), Q.to_string()),
+        (UserId::from("ana"), "select from where".to_string()),
+        (UserId::from("ana"), Q.to_string()),
+    ];
+    let batch = service.query_batch(&requests, 2);
+    assert!(batch[0].is_ok());
+    assert!(matches!(batch[1], Err(pqp_service::Error::Parse(_))));
+    assert!(batch[2].is_ok());
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StorageError {
     /// A table with this name already exists in the catalog.
     TableExists(String),

@@ -18,6 +18,7 @@ pub mod index;
 pub mod page;
 pub mod row;
 pub mod schema;
+pub mod shard;
 pub mod sync;
 pub mod table;
 pub mod value;
@@ -29,5 +30,6 @@ pub use index::HashIndex;
 pub use page::{Page, RowId, PAGE_SIZE};
 pub use row::{decode_row, encode_row, encode_row_vec, Row};
 pub use schema::{Cardinality, ColumnDef, ForeignKey, TableSchema};
+pub use shard::ShardedMap;
 pub use table::Table;
 pub use value::{DataType, Value};

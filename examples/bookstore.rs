@@ -39,8 +39,13 @@ fn main() {
     println!("{reader}");
 
     let graph = InMemoryGraph::build(&reader, db.catalog()).unwrap();
-    let p = personalize(&query, &graph, db.catalog(), PersonalizeOptions::top_k(3, 1).ranked())
-        .unwrap();
+    let p = personalize(
+        &query,
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build().ranked(),
+    )
+    .unwrap();
     println!("selected preferences:");
     for path in &p.paths {
         println!("  {path}");

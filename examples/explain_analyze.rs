@@ -135,9 +135,14 @@ fn main() {
         "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid and PL.date = '{TONIGHT}'"
     );
 
-    let analysis =
-        explain_analyze(&sql, &graph, &db, PersonalizeOptions::top_k(3, 1).ranked(), Rewrite::Mq)
-            .expect("pipeline runs");
+    let analysis = explain_analyze(
+        &sql,
+        &graph,
+        &db,
+        PersonalizeOptions::builder().k(3).l(1).build().ranked(),
+        Rewrite::Mq,
+    )
+    .expect("pipeline runs");
 
     if json {
         println!("{}", analysis.to_json().pretty());

@@ -60,8 +60,13 @@ fn main() {
 
     for profile in [comedy_fan, cinephile, homebody] {
         let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
-        let p = personalize(&query, &graph, db.catalog(), PersonalizeOptions::top_k(4, 1).ranked())
-            .unwrap();
+        let p = personalize(
+            &query,
+            &graph,
+            db.catalog(),
+            PersonalizeOptions::builder().k(4).l(1).build().ranked(),
+        )
+        .unwrap();
         println!("=== {} ===", profile.user);
         for path in &p.paths {
             println!("  pref {path}");

@@ -168,7 +168,7 @@ impl Shell {
             &query,
             &graph,
             self.db.catalog(),
-            PersonalizeOptions::top_k(k, l).ranked(),
+            PersonalizeOptions::builder().k(k).l(l).build().ranked(),
         )
         .map_err(|e| e.to_string())?;
         println!("selected {} preference(s):", p.k());

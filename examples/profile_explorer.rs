@@ -78,8 +78,13 @@ fn main() {
     );
 
     // Show both integration rewrites.
-    let p = personalize(&query, &graph, db.catalog(), PersonalizeOptions::top_k(3, 1).ranked())
-        .unwrap();
+    let p = personalize(
+        &query,
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build().ranked(),
+    )
+    .unwrap();
     println!("\nSQ:\n  {}", p.sq().unwrap());
     println!("\nMQ:\n  {}", p.mq().unwrap());
     let rs = db.run_query(&p.mq().unwrap()).unwrap();

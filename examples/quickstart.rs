@@ -73,9 +73,13 @@ fn main() {
 
     // 4. Personalize: top-2 preferences, at least 1 must hold, ranked.
     let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
-    let personalized =
-        personalize(&query, &graph, db.catalog(), PersonalizeOptions::top_k(2, 1).ranked())
-            .unwrap();
+    let personalized = personalize(
+        &query,
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(2).l(1).build().ranked(),
+    )
+    .unwrap();
     println!("\nselected preferences (decreasing degree of interest):");
     for p in &personalized.paths {
         println!("  {p}");

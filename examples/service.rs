@@ -1,0 +1,76 @@
+//! The serving layer in five minutes: one [`Service`] over a generated
+//! movies database, several users' profiles, sessions issuing personalized
+//! SQL, a profile mutation invalidating cached plans, and a batch run.
+//!
+//! Run with: `cargo run --example service`
+
+use pqp::{Service, ServiceConfig, UserId};
+use pqp_core::{PersonalizeOptions, Rewrite};
+use pqp_datagen::{generate, generate_profiles, MovieDbConfig, ProfileGenConfig};
+
+fn main() -> Result<(), pqp::Error> {
+    // 1. A service over a synthetic movies database, serving MQ rewrites
+    //    with the top-3 preferences per query.
+    let m = generate(MovieDbConfig { movies: 200, theatres: 8, ..Default::default() });
+    let service = Service::with_config(
+        m.db,
+        ServiceConfig {
+            options: PersonalizeOptions::builder().k(3).l(1).build(),
+            rewrite: Rewrite::Mq,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // 2. Install a few generated user profiles. Any later mutation bumps
+    //    the user's epoch and lazily invalidates their cached plans.
+    for profile in generate_profiles("user", 4, &m.pools, &ProfileGenConfig::default()) {
+        service.install_profile(profile)?;
+    }
+    println!("serving {} users: {:?}\n", service.users().len(), service.users());
+
+    // 3. A session is the per-user front door: parse → personalize →
+    //    integrate → plan → execute, through the caches.
+    let sql = "select MV.title from MOVIE MV";
+    let session = service.session("user0");
+    let answer = session.query(sql)?;
+    println!(
+        "user0: {} rows under {} (K={}, plan cached: {})",
+        answer.rows.len(),
+        answer.rewrite,
+        answer.k,
+        answer.plan_cached
+    );
+    let again = session.query(sql)?;
+    println!("user0 again: plan cached: {}", again.plan_cached);
+
+    // 4. Mutating the profile invalidates the cached plan — the next query
+    //    recomputes with the new preference in effect.
+    service.add_selection("user0", "GENRE", "genre", "comedy", 0.95)?;
+    let after = session.query(sql)?;
+    println!(
+        "after mutation: plan cached: {} (epoch {})",
+        after.plan_cached,
+        service.epoch("user0")
+    );
+
+    // 5. Batch execution: identical in-flight requests are collapsed, the
+    //    rest fan out across scoped worker threads.
+    let requests: Vec<(UserId, String)> =
+        (0..16).map(|i| (UserId::from(format!("user{}", i % 4)), sql.to_string())).collect();
+    let answers = service.query_batch(&requests, 4);
+    println!(
+        "\nbatch: {}/{} requests ok",
+        answers.iter().filter(|a| a.is_ok()).count(),
+        answers.len()
+    );
+
+    let stats = service.cache_stats();
+    println!(
+        "plan cache: {} hits, {} misses, {} stale (hit rate {:.0}%)",
+        stats.plans.hits,
+        stats.plans.misses,
+        stats.plans.stale,
+        100.0 * stats.plans.hit_rate()
+    );
+    Ok(())
+}

@@ -15,6 +15,14 @@ cargo build "${CARGO_FLAGS[@]}" --workspace --release
 echo "==> cargo test"
 cargo test "${CARGO_FLAGS[@]}" --workspace -q
 
+# The serving-layer concurrency suite must hold under the default test
+# parallelism AND serially (different interleavings on both schedules).
+echo "==> concurrency tests (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test concurrency -q
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc "${CARGO_FLAGS[@]}" --workspace --no-deps -q
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -17,26 +17,7 @@ use pqp_engine::{Database, ResultSet};
 use pqp_obs::{Json, PipelineTrace};
 use std::fmt::Write as _;
 
-/// Which rewrite of the personalized query to execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Rewrite {
-    /// The original (unpersonalized) query.
-    Original,
-    /// The single-query (SQ) integration.
-    Sq,
-    /// The multiple-queries (MQ) integration.
-    Mq,
-}
-
-impl Rewrite {
-    fn label(self) -> &'static str {
-        match self {
-            Rewrite::Original => "original",
-            Rewrite::Sq => "SQ",
-            Rewrite::Mq => "MQ",
-        }
-    }
-}
+pub use pqp_core::Rewrite;
 
 /// The outcome of an `EXPLAIN ANALYZE` run.
 #[derive(Debug, Clone)]
@@ -105,11 +86,7 @@ pub fn explain_analyze(
         let query =
             pqp_sql::parse_query(sql).map_err(|e| PrefError::UnsupportedQuery(e.to_string()))?;
         let p = personalize(&query, graph, db.catalog(), opts)?;
-        let executed = match rewrite {
-            Rewrite::Original => p.original(),
-            Rewrite::Sq => p.sq()?,
-            Rewrite::Mq => p.mq()?,
-        };
+        let executed = p.rewritten(rewrite)?;
         let result = db.run_query(&executed)?;
         Ok((p, result))
     };
@@ -143,7 +120,7 @@ mod tests {
             "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid",
             &graph,
             &db,
-            PersonalizeOptions::top_k(2, 1),
+            PersonalizeOptions::builder().k(2).l(1).build(),
             Rewrite::Mq,
         )
         .unwrap();
@@ -189,8 +166,14 @@ mod tests {
         let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
         let sql = "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid";
         for rewrite in [Rewrite::Original, Rewrite::Sq, Rewrite::Mq] {
-            let a = explain_analyze(sql, &graph, &db, PersonalizeOptions::top_k(2, 1), rewrite)
-                .unwrap();
+            let a = explain_analyze(
+                sql,
+                &graph,
+                &db,
+                PersonalizeOptions::builder().k(2).l(1).build(),
+                rewrite,
+            )
+            .unwrap();
             assert_eq!(a.rewrite, rewrite);
             assert!(a.trace.root.find("execute").is_some());
         }
@@ -204,7 +187,7 @@ mod tests {
             "select nonsense from",
             &graph,
             &db,
-            PersonalizeOptions::top_k(2, 1),
+            PersonalizeOptions::builder().k(2).l(1).build(),
             Rewrite::Mq,
         );
         assert!(err.is_err());

@@ -13,10 +13,16 @@
 //! - [`core`] — the paper's contribution: preference model, personalization
 //!   graph, preference selection, SQ/MQ integration, ranking;
 //! - [`datagen`] — synthetic movies/bookstore databases, profile and query
-//!   generators (the experimental apparatus).
+//!   generators (the experimental apparatus);
+//! - [`service`] — the concurrent multi-user serving layer: a [`Service`]
+//!   owning one database plus a sharded profile store, prepared-query and
+//!   personalized-plan caches with epoch invalidation, [`Session::query`]
+//!   as the one front door (returning [`Result<Answer, Error>`](Error)),
+//!   and [`Service::query_batch`] for batch execution.
 //!
-//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md for
-//! the architecture and per-experiment index.
+//! See `examples/quickstart.rs` for the five-minute tour,
+//! `examples/service.rs` for the serving layer, and DESIGN.md for the
+//! architecture and per-experiment index.
 
 pub mod analyze;
 
@@ -24,8 +30,10 @@ pub use pqp_core as core;
 pub use pqp_datagen as datagen;
 pub use pqp_engine as engine;
 pub use pqp_obs as obs;
+pub use pqp_service as service;
 pub use pqp_sql as sql;
 pub use pqp_storage as storage;
 
 pub use analyze::{explain_analyze, Analysis, Rewrite};
 pub use pqp_core::prelude;
+pub use pqp_service::{Answer, Error, Service, ServiceConfig, Session, UserId};

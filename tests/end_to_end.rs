@@ -19,8 +19,13 @@ fn initial_query_is_impersonal() {
 fn julie_top3_preferences_match_the_paper() {
     let db = paper_db();
     let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build(),
+    )
+    .unwrap();
     assert_eq!(p.k(), 3);
     let rendered: Vec<String> = p.paths.iter().map(|x| x.to_string()).collect();
     assert!(rendered[0].contains("D. Lynch"), "{rendered:?}");
@@ -37,8 +42,13 @@ fn julie_personalized_results_l1() {
     // K=3, L=1: movies matching Lynch, comedy or Kidman.
     let db = paper_db();
     let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build(),
+    )
+    .unwrap();
     let sq = db.run_query(&p.sq().unwrap()).unwrap();
     let mq = db.run_query(&p.mq().unwrap()).unwrap();
     // Alpha (Lynch+comedy+Kidman), Beta (comedy), Gamma (Kidman),
@@ -53,8 +63,13 @@ fn julie_personalized_results_l2_narrow_further() {
     // The paper's example setting: L = 2 of the top K = 3.
     let db = paper_db();
     let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 2))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(2).build(),
+    )
+    .unwrap();
     let sq = db.run_query(&p.sq().unwrap()).unwrap();
     let mq = db.run_query(&p.mq().unwrap()).unwrap();
     // Only Alpha satisfies two of {Lynch, comedy, Kidman} together.
@@ -70,7 +85,7 @@ fn julie_ranked_output_orders_by_interest() {
         &tonight_query(),
         &graph,
         db.catalog(),
-        PersonalizeOptions::top_k(3, 1).ranked(),
+        PersonalizeOptions::builder().k(3).l(1).build().ranked(),
     )
     .unwrap();
     let rs = db.run_query(&p.mq().unwrap()).unwrap();
@@ -95,7 +110,7 @@ fn rob_gets_different_answers_than_julie() {
         &tonight_query(),
         &graph,
         db.catalog(),
-        PersonalizeOptions::top_k(2, 1).ranked(),
+        PersonalizeOptions::builder().k(2).l(1).build().ranked(),
     )
     .unwrap();
     assert_eq!(p.k(), 2);
@@ -108,8 +123,13 @@ fn rob_gets_different_answers_than_julie() {
 fn top_n_limits_ranked_output() {
     let db = paper_db();
     let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build(),
+    )
+    .unwrap();
     let q = pqp_core::rank::top_n_query(&p, 2).unwrap();
     let rs = db.run_query(&q).unwrap();
     assert_eq!(titles(&rs), vec!["Alpha", "Delta"]);
@@ -158,8 +178,13 @@ fn min_degree_threshold_via_mq() {
 fn personalization_degrades_gracefully_without_preferences() {
     let db = paper_db();
     let graph = InMemoryGraph::build(&Profile::new("stranger"), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(5, 2))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(5).l(2).build(),
+    )
+    .unwrap();
     assert_eq!(p.k(), 0);
     let sq = db.run_query(&p.sq().unwrap()).unwrap();
     assert_eq!(titles_sorted(&sq), vec!["Alpha", "Beta", "Delta", "Gamma"]);
@@ -171,10 +196,20 @@ fn stored_profile_backend_agrees_with_in_memory() {
     StoredProfileGraph::store(&mut db, &julie()).unwrap();
     let stored = StoredProfileGraph::open(&db, "julie");
     let memory = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let ps = personalize(&tonight_query(), &stored, db.catalog(), PersonalizeOptions::top_k(5, 1))
-        .unwrap();
-    let pm = personalize(&tonight_query(), &memory, db.catalog(), PersonalizeOptions::top_k(5, 1))
-        .unwrap();
+    let ps = personalize(
+        &tonight_query(),
+        &stored,
+        db.catalog(),
+        PersonalizeOptions::builder().k(5).l(1).build(),
+    )
+    .unwrap();
+    let pm = personalize(
+        &tonight_query(),
+        &memory,
+        db.catalog(),
+        PersonalizeOptions::builder().k(5).l(1).build(),
+    )
+    .unwrap();
     assert_eq!(ps.k(), pm.k());
     let ds: Vec<f64> = ps.degrees().iter().map(|d| d.value()).collect();
     let dm: Vec<f64> = pm.degrees().iter().map(|d| d.value()).collect();

@@ -18,8 +18,13 @@ fn hard_negative_excludes_results() {
     profile.add_negative_selection("GENRE", "genre", "sci-fi", 1.0).unwrap();
 
     let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build(),
+    )
+    .unwrap();
     let negatives = select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
     assert_eq!(negatives.len(), 1, "{negatives:?}");
 
@@ -47,8 +52,13 @@ fn soft_negative_demotes_ranking() {
     profile.add_negative_selection("GENRE", "genre", "thriller", 0.5).unwrap();
 
     let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build(),
+    )
+    .unwrap();
     let negatives = select_negatives(&tonight_query(), &profile, db.catalog(), 5).unwrap();
     let q = integrate_mq_with_negatives(
         tonight_query().as_select().unwrap(),
@@ -88,7 +98,7 @@ fn negatives_follow_transitive_paths() {
         &tonight_query(),
         &InMemoryGraph::build(&profile, db.catalog()).unwrap(),
         db.catalog(),
-        PersonalizeOptions::top_k(3, 1),
+        PersonalizeOptions::builder().k(3).l(1).build(),
     )
     .unwrap();
     let q = integrate_mq_with_negatives(
@@ -121,8 +131,13 @@ fn negative_profile_json_roundtrip_and_backcompat() {
 fn explanations_match_engine_ranking() {
     let db = paper_db();
     let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 1))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(1).build(),
+    )
+    .unwrap();
     let n = verify_against_engine(&p, &db).unwrap();
     assert_eq!(n, 4);
 
@@ -141,8 +156,13 @@ fn explanations_match_engine_ranking() {
 fn explanations_respect_l_threshold() {
     let db = paper_db();
     let graph = InMemoryGraph::build(&julie(), db.catalog()).unwrap();
-    let p = personalize(&tonight_query(), &graph, db.catalog(), PersonalizeOptions::top_k(3, 2))
-        .unwrap();
+    let p = personalize(
+        &tonight_query(),
+        &graph,
+        db.catalog(),
+        PersonalizeOptions::builder().k(3).l(2).build(),
+    )
+    .unwrap();
     let ex = explain(&p, &db).unwrap();
     assert_eq!(ex.len(), 1, "only Alpha satisfies two preferences");
     assert_eq!(ex[0].row, vec![Value::str("Alpha")]);
@@ -184,7 +204,7 @@ fn learner_reconstructs_julies_taste_from_history() {
         &tonight_query(),
         &graph,
         db.catalog(),
-        PersonalizeOptions::top_k(3, 1).ranked(),
+        PersonalizeOptions::builder().k(3).l(1).build().ranked(),
     )
     .unwrap();
     assert!(p.k() >= 2, "learned comedy + Lynch: {:?}", p.paths);

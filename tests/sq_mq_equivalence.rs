@@ -33,8 +33,13 @@ fn sq_equals_mq_for_l_at_most_one() {
         );
         let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
         for l in [0usize, 1] {
-            let p =
-                personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(5, l)).unwrap();
+            let p = personalize(
+                q,
+                &graph,
+                m.db.catalog(),
+                PersonalizeOptions::builder().k(5).l(l).build(),
+            )
+            .unwrap();
             let sq = p.sq().unwrap();
             let mq = p.mq().unwrap();
             let a = rows_of(&m.db, &sq);
@@ -57,8 +62,13 @@ fn sq_subset_of_mq_for_higher_l() {
         );
         let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
         for l in [2usize, 3] {
-            let p =
-                personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(6, l)).unwrap();
+            let p = personalize(
+                q,
+                &graph,
+                m.db.catalog(),
+                PersonalizeOptions::builder().k(6).l(l).build(),
+            )
+            .unwrap();
             let sq = p.sq().unwrap();
             let mq = p.mq().unwrap();
             let a = rows_of(&m.db, &sq);
@@ -86,7 +96,9 @@ fn personalized_results_are_contained_in_initial_results_when_m_zero_l_positive(
             &ProfileGenConfig { selections: 12, seed: 3000 + i as u64, ..Default::default() },
         );
         let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
-        let p = personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(4, 1)).unwrap();
+        let p =
+            personalize(q, &graph, m.db.catalog(), PersonalizeOptions::builder().k(4).l(1).build())
+                .unwrap();
         let initial: BTreeSet<Vec<String>> = rows_of(&m.db, q);
         let personalized = rows_of(&m.db, &p.mq().unwrap());
         assert!(personalized.is_subset(&initial), "personalized ⊄ initial on query {i}: {q}");
@@ -105,8 +117,13 @@ fn sq_and_mq_agree_on_result_degrees_when_ranked() {
         &ProfileGenConfig { selections: 15, seed: 77, ..Default::default() },
     );
     let graph = InMemoryGraph::build(&profile, m.db.catalog()).unwrap();
-    let p =
-        personalize(q, &graph, m.db.catalog(), PersonalizeOptions::top_k(5, 1).ranked()).unwrap();
+    let p = personalize(
+        q,
+        &graph,
+        m.db.catalog(),
+        PersonalizeOptions::builder().k(5).l(1).build().ranked(),
+    )
+    .unwrap();
     let rs = m.db.run_query(&p.mq().unwrap()).unwrap();
     let Some(interest) = rs.column("interest") else {
         return; // no preferences selected for this pairing
