@@ -44,6 +44,17 @@ impl<K: Hash + Eq + Clone, V> FifoCache<K, V> {
         false
     }
 
+    /// Remove every entry failing the predicate, preserving the insertion
+    /// order of the survivors. Returns how many entries were removed.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, v| f(k, &*v));
+        if self.map.len() != before {
+            self.order.retain(|k| self.map.contains_key(k));
+        }
+        before - self.map.len()
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -81,6 +92,23 @@ mod tests {
         c.insert("c", 3);
         assert_eq!(c.get(&"a"), None, "a is still the oldest insertion");
         assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn retain_drops_matching_entries_and_keeps_order() {
+        let mut c = FifoCache::new(3);
+        c.insert("a1", 1);
+        c.insert("b", 2);
+        c.insert("a2", 3);
+        assert_eq!(c.retain(|k, _| !k.starts_with('a')), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"b"), Some(&2));
+        // Survivor keeps its (oldest) slot in the eviction order.
+        c.insert("c", 4);
+        c.insert("d", 5);
+        c.insert("e", 6);
+        assert_eq!(c.get(&"b"), None, "b evicted first after the sweep");
+        assert_eq!(c.retain(|_, _| true), 0);
     }
 
     #[test]

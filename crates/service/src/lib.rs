@@ -57,7 +57,10 @@ pub use error::{Error, Result};
 use cache::FifoCache;
 use pqp_core::graph::InMemoryGraph;
 use pqp_core::query_graph::QueryGraph;
-use pqp_core::{personalize_prepared, PersonalizeOptions, PrefError, Profile, Rewrite};
+use pqp_core::{
+    personalize_prepared, InterestCriterion, MandatorySpec, MatchSpec, PersonalizeOptions,
+    PrefError, Profile, Rewrite,
+};
 use pqp_engine::plan::Plan;
 use pqp_engine::{Database, ResultSet};
 use pqp_obs::{CacheSnapshot, CacheStats};
@@ -169,9 +172,70 @@ struct Prepared {
 struct PlanKey {
     user: UserId,
     canonical: String,
-    /// Fingerprint of the [`PersonalizeOptions`] (K/M/L, criterion, rank).
-    opts: String,
+    /// Canonical fingerprint of the [`PersonalizeOptions`] (K/M/L,
+    /// criterion, rank).
+    opts: OptionsKey,
     rewrite: Rewrite,
+}
+
+/// A canonical, hashable image of [`PersonalizeOptions`], spelled out field
+/// by field (`f64` thresholds keyed by [`f64::to_bits`]) so cache-key
+/// injectivity is a compile-checked property of this mapping rather than an
+/// implicit contract on `derive(Debug)` output staying unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OptionsKey {
+    criterion: CriterionKey,
+    mandatory: MandatoryKey,
+    matching: MatchKey,
+    rank: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CriterionKey {
+    TopK(usize),
+    MinDegree(u64),
+    DisjunctionAbove(u64),
+    ConjunctionAbove(u64),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MandatoryKey {
+    None,
+    Count(usize),
+    DegreeAtLeast(u64),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MatchKey {
+    AtLeast(usize),
+    MinDegree(u64),
+}
+
+impl From<&PersonalizeOptions> for OptionsKey {
+    fn from(o: &PersonalizeOptions) -> OptionsKey {
+        OptionsKey {
+            criterion: match o.criterion {
+                InterestCriterion::TopK(r) => CriterionKey::TopK(r),
+                InterestCriterion::MinDegree(d) => CriterionKey::MinDegree(d.to_bits()),
+                InterestCriterion::DisjunctionAbove(d) => {
+                    CriterionKey::DisjunctionAbove(d.to_bits())
+                }
+                InterestCriterion::ConjunctionAbove(d) => {
+                    CriterionKey::ConjunctionAbove(d.to_bits())
+                }
+            },
+            mandatory: match o.mandatory {
+                MandatorySpec::None => MandatoryKey::None,
+                MandatorySpec::Count(m) => MandatoryKey::Count(m),
+                MandatorySpec::DegreeAtLeast(d) => MandatoryKey::DegreeAtLeast(d.to_bits()),
+            },
+            matching: match o.matching {
+                MatchSpec::AtLeast(l) => MatchKey::AtLeast(l),
+                MatchSpec::MinDegree(d) => MatchKey::MinDegree(d.to_bits()),
+            },
+            rank: o.rank,
+        }
+    }
 }
 
 /// A cached personalized plan, valid while the user's epoch matches.
@@ -254,44 +318,83 @@ impl Service {
     pub fn install_profile(&self, profile: Profile) -> Result<()> {
         profile.validate(self.db.catalog())?;
         let user = UserId::from(profile.user.clone());
-        let epoch = self.next_epoch();
-        self.profiles.insert(user, ProfileEntry { profile, epoch });
+        // Draw the epoch under the shard write lock so epochs stored for
+        // one user are strictly increasing even across racing installs.
+        self.profiles.write(&user, |shard| {
+            let epoch = self.next_epoch();
+            shard.insert(user.clone(), ProfileEntry { profile, epoch });
+        });
         Ok(())
     }
 
     /// Remove a user's profile. Returns whether one was stored. Subsequent
     /// queries for the user run unpersonalized.
+    ///
+    /// The user's cached plans could never be served again anyway (their
+    /// epochs are dead), so they are swept from the plan cache eagerly —
+    /// under user churn they would otherwise occupy `plan_capacity` until
+    /// FIFO eviction got around to them. Swept entries count as evictions
+    /// in [`Service::cache_stats`].
     pub fn remove_profile(&self, user: impl Into<UserId>) -> bool {
-        self.profiles.remove(&user.into()).is_some()
+        let user = user.into();
+        let removed = self.profiles.remove(&user).is_some();
+        if removed {
+            let swept = self.plans.write().retain(|k, _| k.user != user);
+            for _ in 0..swept {
+                self.plan_stats.eviction();
+            }
+        }
+        removed
     }
 
     /// Mutate a user's profile in place (creating an empty one if absent —
     /// upsert semantics), bumping the user's epoch iff the closure actually
     /// mutated it. The mutated profile is re-validated against the schema;
     /// on validation failure the store is left unchanged.
+    ///
+    /// The closure runs on a clone outside any lock (it is caller code and
+    /// must not block the shard), and the result is committed under the
+    /// shard write lock only if no other mutation landed in between — the
+    /// stored epoch is the version token, and epochs are never reused. On
+    /// conflict the closure is re-run against the then-current profile
+    /// (optimistic concurrency), so concurrent mutations to one user are
+    /// never silently lost; that is why `f` is `FnMut`, and why it should
+    /// not have side effects beyond the profile it is handed.
     pub fn update_profile<R>(
         &self,
         user: impl Into<UserId>,
-        f: impl FnOnce(&mut Profile) -> R,
+        mut f: impl FnMut(&mut Profile) -> R,
     ) -> Result<R> {
         let user = user.into();
-        // Mutate a clone outside any lock, then commit under the shard
-        // write lock — validation failures must not corrupt the store, and
-        // the closure must not run under the lock (it is caller code).
-        let mut profile = self
-            .profiles
-            .get_cloned(&user)
-            .map(|e| e.profile)
-            .unwrap_or_else(|| Profile::new(user.as_str()));
-        let before = profile.revision();
-        let out = f(&mut profile);
-        let mutated = profile.revision() != before;
-        profile.validate(self.db.catalog())?;
-        if mutated {
-            let epoch = self.next_epoch();
-            self.profiles.insert(user, ProfileEntry { profile, epoch });
+        loop {
+            // Snapshot the profile and its epoch atomically (one shard
+            // read); the epoch doubles as the optimistic version token.
+            let (mut profile, seen_epoch) = self.profiles.read(&user, |e| match e {
+                Some(e) => (e.profile.clone(), Some(e.epoch)),
+                None => (Profile::new(user.as_str()), None),
+            });
+            let before = profile.revision();
+            let out = f(&mut profile);
+            if profile.revision() == before {
+                return Ok(out); // no mutation: no commit, no epoch bump
+            }
+            profile.validate(self.db.catalog())?;
+            // Commit iff the stored entry is unchanged since the snapshot.
+            // The new epoch is drawn inside the same critical section, so
+            // epochs stored for one user are strictly increasing.
+            let committed = self.profiles.write(&user, |shard| {
+                if shard.get(&user).map(|e| e.epoch) != seen_epoch {
+                    return false;
+                }
+                let epoch = self.next_epoch();
+                shard.insert(user.clone(), ProfileEntry { profile, epoch });
+                true
+            });
+            if committed {
+                return Ok(out);
+            }
+            // Lost the race — retry against the fresh state.
         }
-        Ok(out)
     }
 
     /// Add (or update) a selection preference for a user (upserting an empty
@@ -305,8 +408,10 @@ impl Service {
         doi: f64,
     ) -> Result<()> {
         let value = value.into();
-        self.update_profile(user, |p| p.add_selection(table, column, value, doi).map(|_| ()))?
-            .map_err(Error::from)
+        self.update_profile(user, |p| {
+            p.add_selection(table, column, value.clone(), doi).map(|_| ())
+        })?
+        .map_err(Error::from)
     }
 
     /// Add (or update) a directed join preference for a user (upserting an
@@ -409,7 +514,7 @@ impl Service {
         let key = PlanKey {
             user: user.clone(),
             canonical: prepared.canonical.clone(),
-            opts: format!("{options:?}"),
+            opts: OptionsKey::from(&options),
             rewrite,
         };
 
@@ -708,11 +813,48 @@ mod tests {
         let profile = service.profile("ana").unwrap();
         assert!(service.remove_profile("ana"));
         assert_eq!(service.epoch("ana"), 0);
-        // Reinstalling the same profile gets a *fresh* epoch, so the plan
-        // cached under the old epoch is stale, not spuriously valid.
+        // Removal sweeps the user's now-dead plan entries (counted as
+        // evictions) instead of letting them squat in the cache.
+        assert_eq!(service.cache_stats().plans.evictions, 1);
+        // Reinstalling the same profile gets a *fresh* epoch, so even a
+        // surviving plan from the old epoch could never be served.
         service.install_profile(profile).unwrap();
         let answer = session.query(Q).unwrap();
         assert!(!answer.plan_cached, "no ABA on remove + reinstall");
+        assert_eq!(service.cache_stats().plans.stale, 0, "swept, so a miss rather than stale");
+    }
+
+    #[test]
+    fn remove_profile_sweeps_only_that_users_plans() {
+        let service = service_with_ana();
+        service.add_selection("bob", "GENRE", "genre", "drama", 0.9).unwrap();
+        service.session("ana").query(Q).unwrap();
+        let bob = service.session("bob");
+        bob.query(Q).unwrap();
+        assert!(service.remove_profile("ana"));
+        assert!(!service.remove_profile("ana"), "second removal is a no-op");
+        assert!(bob.query(Q).unwrap().plan_cached, "bob's entry survives ana's removal");
+        assert_eq!(service.cache_stats().plans.evictions, 1);
+    }
+
+    #[test]
+    fn options_fingerprint_distinguishes_float_thresholds() {
+        // Regression for the Debug-format fingerprint: nearby (but
+        // distinct) f64 thresholds must map to distinct cache keys, and
+        // equal options must share one.
+        let low =
+            PersonalizeOptions::builder().criterion(InterestCriterion::MinDegree(0.25)).build();
+        let high =
+            PersonalizeOptions::builder().criterion(InterestCriterion::MinDegree(0.75)).build();
+        assert_ne!(OptionsKey::from(&low), OptionsKey::from(&high));
+        assert_eq!(OptionsKey::from(&low), OptionsKey::from(&low.clone()));
+
+        let service = service_with_ana();
+        let first = service.session("ana").with_options(low).query(Q).unwrap();
+        let second = service.session("ana").with_options(high).query(Q).unwrap();
+        assert!(!first.plan_cached);
+        assert!(!second.plan_cached, "distinct thresholds get distinct plan entries");
+        assert!(service.session("ana").with_options(low).query(Q).unwrap().plan_cached);
     }
 
     #[test]

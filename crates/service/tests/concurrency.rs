@@ -126,6 +126,35 @@ fn concurrent_mutation_and_query_same_user() {
     assert!(settled.query(Q).unwrap().plan_cached, "cache serves hits once mutations stop");
 }
 
+/// Racing `update_profile` calls to one user commit optimistically: every
+/// closure's effect lands (retried on conflict, never silently dropped),
+/// the stored epoch advances once per committed mutation, and reads never
+/// observe a torn or rolled-back profile.
+#[test]
+fn concurrent_updates_to_one_user_lose_nothing() {
+    let service = Service::new(movie_db());
+    const THREADS: usize = 8;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let service = &service;
+            scope.spawn(move || {
+                // Each thread upserts a *distinct* selection key, so a lost
+                // update is directly visible as a missing preference.
+                service
+                    .update_profile("ana", |p| {
+                        p.add_selection("GENRE", "genre", format!("genre-{t}").as_str(), 0.5)
+                            .map(|_| ())
+                    })
+                    .expect("update under contention")
+                    .expect("valid preference");
+            });
+        }
+    });
+    let ana = service.profile("ana").expect("profile upserted");
+    assert_eq!(ana.preferences().len(), THREADS, "no update was lost");
+    assert_eq!(service.epoch("ana"), THREADS as u64, "one epoch per committed mutation");
+}
+
 /// Distinct users are independent: concurrent mutations to one user never
 /// invalidate another user's cached plans.
 #[test]
