@@ -1,0 +1,111 @@
+//! Micro-benchmarks of intra-query parallelism: a 4-way join over the
+//! movies schema (THEATRE ⋈ PLAY ⋈ MOVIE ⋈ GENRE) and a broad filtered
+//! scan, executed serially and under 2- and 4-thread [`ExecOptions`]
+//! budgets.
+//!
+//! Writes `results/micro_parallel.json` with a `derived` block holding the
+//! measured speedups and `host_cores` (`std::thread::available_parallelism`)
+//! — speedups are only meaningful relative to the cores actually available:
+//! on a single-core host the parallel runs measure partitioning overhead,
+//! not speedup (see EXPERIMENTS.md).
+
+use pqp_bench::microbench::{write_metrics_json, MicroBench};
+use pqp_datagen::{generate, MovieDbConfig};
+use pqp_engine::ExecOptions;
+use pqp_obs::Json;
+use pqp_sql::parse_query;
+use std::path::{Path, PathBuf};
+
+/// Threshold used for the parallel budgets: low enough that every scan and
+/// join in the workload actually fans out (recorded in the JSON).
+const MIN_PARALLEL_ROWS: usize = 512;
+
+const FOUR_WAY_JOIN: &str = "select TH.name, MV.title, GE.genre \
+     from THEATRE TH, PLAY PL, MOVIE MV, GENRE GE \
+     where TH.tid = PL.tid and PL.mid = MV.mid and MV.mid = GE.mid";
+
+const BROAD_SCAN: &str = "select MV.title, MV.year from MOVIE MV where MV.year > 1950";
+
+fn main() {
+    let m = generate(MovieDbConfig { movies: 4_000, theatres: 60, ..Default::default() });
+    let db = &m.db;
+    let join_plan = db.plan(&parse_query(FOUR_WAY_JOIN).unwrap()).unwrap();
+    let scan_plan = db.plan(&parse_query(BROAD_SCAN).unwrap()).unwrap();
+    let budget =
+        |threads: usize| ExecOptions::with_threads(threads).min_parallel_rows(MIN_PARALLEL_ROWS);
+
+    let rows = db.run_plan(&join_plan).unwrap().rows.len();
+    println!("4-way join output: {rows} rows");
+    for threads in [1, 2, 4] {
+        assert_eq!(
+            db.run_plan_with(&join_plan, &budget(threads)).unwrap().rows.len(),
+            rows,
+            "parallel join diverged at {threads} threads"
+        );
+    }
+
+    let mut group = MicroBench::new("parallel").sample_size(20);
+    group.bench("join4_serial", || db.run_plan(&join_plan).unwrap());
+    group.bench("join4_t2", || db.run_plan_with(&join_plan, &budget(2)).unwrap());
+    group.bench("join4_t4", || db.run_plan_with(&join_plan, &budget(4)).unwrap());
+    group.bench("scan_serial", || db.run_plan(&scan_plan).unwrap());
+    group.bench("scan_t4", || db.run_plan_with(&scan_plan, &budget(4)).unwrap());
+
+    let dir = workspace_results_dir();
+    match group.write_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write micro_parallel.json: {err}"),
+    }
+    annotate_speedups(&dir.join("micro_parallel.json"), rows);
+    match write_metrics_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write metrics.json: {err}"),
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .join("results")
+}
+
+/// Re-open the written JSON and add a `derived` block: the speedups, the
+/// join output size, the threshold in force, and the host's core count.
+fn annotate_speedups(path: &Path, join_rows: usize) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    let Ok(doc) = Json::parse(&text) else { return };
+    let mean = |name: &str| -> Option<f64> {
+        doc.get("benchmarks")?
+            .as_array()?
+            .iter()
+            .find_map(|b| (b.get("name")?.as_str()? == name).then(|| b.get("mean_ms")?.as_f64())?)
+    };
+    let (Some(js), Some(j2), Some(j4), Some(ss), Some(s4)) = (
+        mean("join4_serial"),
+        mean("join4_t2"),
+        mean("join4_t4"),
+        mean("scan_serial"),
+        mean("scan_t4"),
+    ) else {
+        return;
+    };
+    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let derived = Json::obj()
+        .set("join4_speedup_t2", js / j2)
+        .set("join4_speedup_t4", js / j4)
+        .set("scan_speedup_t4", ss / s4)
+        .set("join4_rows", join_rows as i64)
+        .set("min_parallel_rows", MIN_PARALLEL_ROWS as i64)
+        .set("host_cores", host_cores as i64);
+    println!(
+        "4-way join speedup: {:.2}x (2 threads), {:.2}x (4 threads); scan: {:.2}x (4 threads) \
+         [host cores: {host_cores}]",
+        js / j2,
+        js / j4,
+        ss / s4
+    );
+    let doc = doc.set("derived", derived);
+    let _ = std::fs::write(path, doc.pretty());
+}

@@ -5,24 +5,112 @@
 //! experiments) are join-heavy but small-intermediate. Joins hash the
 //! smaller side; grouping and duplicate elimination preserve first-seen
 //! order so results are deterministic.
+//!
+//! ## Intra-query parallelism
+//!
+//! [`execute_with`] accepts an [`ExecOptions`] thread budget. When
+//! `threads > 1` and an operator's input is at least
+//! [`ExecOptions::min_parallel_rows`], table scans, filters, projections and
+//! hash joins run partitioned across `std::thread::scope` workers (the
+//! private `par` module). Partitions are always merged **in partition
+//! order**, so
+//! parallel execution preserves the engine's deterministic first-seen
+//! ordering contract: for any plan, `execute_with(plan, catalog, opts)`
+//! returns byte-identical rows to the serial [`execute`]. Small inputs and
+//! `threads <= 1` take the serial fast path and never spawn.
 
 use crate::bound::BoundExpr;
 use crate::error::Result;
+use crate::par;
 use crate::plan::Plan;
 use pqp_sql::BinaryOp;
 use pqp_storage::{Catalog, Row, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
-/// Execute a plan against a catalog, materializing all rows.
+/// Default serial-fallback threshold: operators with fewer input rows than
+/// this stay serial regardless of the thread budget (fan-out overhead beats
+/// the win on small inputs, and the paper's selective partial queries are
+/// usually below it).
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 4096;
+
+/// Execution options: the intra-query thread budget.
+///
+/// The default is strictly serial (`threads: 1`), which is also the fast
+/// path: with `threads <= 1` no thread is ever spawned and the executor
+/// behaves exactly as it did before parallelism existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker-thread budget per parallel operator. `<= 1` means serial.
+    pub threads: usize,
+    /// Inputs below this row count stay serial even when `threads > 1`.
+    pub min_parallel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions { threads: 1, min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS }
+    }
+}
+
+impl ExecOptions {
+    /// Strictly serial execution (the default).
+    pub fn serial() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// A budget of `threads` workers with the default serial-fallback
+    /// threshold.
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions { threads: threads.max(1), ..ExecOptions::default() }
+    }
+
+    /// Override the serial-fallback threshold (builder-style).
+    pub fn min_parallel_rows(mut self, rows: usize) -> ExecOptions {
+        self.min_parallel_rows = rows;
+        self
+    }
+
+    /// Read the thread budget from the `PQP_THREADS` environment variable
+    /// (serial when unset or unparsable).
+    pub fn from_env() -> ExecOptions {
+        let threads = std::env::var("PQP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        ExecOptions::with_threads(threads)
+    }
+
+    /// Whether any operator may go parallel under this budget.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// The partition count for an operator over `rows` input rows, or
+    /// `None` to take the serial fast path.
+    pub(crate) fn partitions_for(&self, rows: usize) -> Option<usize> {
+        (self.threads > 1 && rows >= self.min_parallel_rows.max(1)).then_some(self.threads)
+    }
+}
+
+/// Execute a plan against a catalog serially, materializing all rows.
 ///
 /// Every operator runs under an observability span named `exec.<op>` with
 /// its output cardinality recorded, so a traced run yields per-operator
 /// rows and timings (`EXPLAIN ANALYZE`). Untraced runs pay only a
 /// thread-local check per operator.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
+    execute_with(plan, catalog, &ExecOptions::default())
+}
+
+/// Execute a plan under an explicit [`ExecOptions`] thread budget.
+///
+/// Output is byte-identical to [`execute`] for every plan and budget:
+/// parallel operators merge their partitions in partition order
+/// (`crate::par`), preserving the deterministic ordering contract.
+pub fn execute_with(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<Row>> {
     let _span = pqp_obs::span(op_name(plan));
-    let rows = execute_op(plan, catalog)?;
+    let rows = execute_op(plan, catalog, opts)?;
     pqp_obs::record("rows_out", rows.len());
     Ok(rows)
 }
@@ -43,16 +131,19 @@ fn op_name(plan: &Plan) -> &'static str {
     }
 }
 
-fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
+fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<Row>> {
     match plan {
         Plan::Empty { .. } => Ok(Vec::new()),
         Plan::Scan { table, filter, .. } => {
             pqp_obs::record("table", table.as_str());
-            scan(table, filter.as_ref(), catalog)
+            scan(table, filter.as_ref(), catalog, opts)
         }
         Plan::Filter { input, predicate } => {
-            let rows = execute(input, catalog)?;
+            let rows = execute_with(input, catalog, opts)?;
             pqp_obs::record("rows_in", rows.len());
+            if let Some(parts) = opts.partitions_for(rows.len()) {
+                return par::filter_partitioned(rows, predicate, parts);
+            }
             let mut out = Vec::with_capacity(rows.len() / 2);
             for row in rows {
                 if predicate.eval_predicate(&row)? {
@@ -68,25 +159,25 @@ fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
             // personalized partials cheap (paper §7, Fig. 10).
             if right_keys.len() == 1 {
                 if let Some(rows) = try_index_join(
-                    left, right, left_keys, right_keys, catalog, /*probe_left=*/ true,
+                    left, right, left_keys, right_keys, catalog, /*probe_left=*/ true, opts,
                 )? {
                     return Ok(rows);
                 }
                 if let Some(rows) = try_index_join(
-                    right, left, right_keys, left_keys, catalog, /*probe_left=*/ false,
+                    right, left, right_keys, left_keys, catalog, /*probe_left=*/ false, opts,
                 )? {
                     return Ok(rows);
                 }
             }
-            let lrows = execute(left, catalog)?;
-            let rrows = execute(right, catalog)?;
+            let lrows = execute_with(left, catalog, opts)?;
+            let rrows = execute_with(right, catalog, opts)?;
             pqp_obs::record("left_rows", lrows.len());
             pqp_obs::record("right_rows", rrows.len());
-            hash_join(lrows, rrows, left_keys, right_keys)
+            join_rows(lrows, rrows, left_keys, right_keys, opts)
         }
         Plan::CrossJoin { left, right, .. } => {
-            let lrows = execute(left, catalog)?;
-            let rrows = execute(right, catalog)?;
+            let lrows = execute_with(left, catalog, opts)?;
+            let rrows = execute_with(right, catalog, opts)?;
             pqp_obs::record("left_rows", lrows.len());
             pqp_obs::record("right_rows", rrows.len());
             // Cap the pre-allocation: a huge product should grow lazily (and
@@ -104,7 +195,10 @@ fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
             Ok(out)
         }
         Plan::Project { input, exprs, .. } => {
-            let rows = execute(input, catalog)?;
+            let rows = execute_with(input, catalog, opts)?;
+            if let Some(parts) = opts.partitions_for(rows.len()) {
+                return par::project_partitioned(rows, exprs, parts);
+            }
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 let mut projected = Vec::with_capacity(exprs.len());
@@ -116,12 +210,12 @@ fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
             Ok(out)
         }
         Plan::Aggregate { input, group_by, aggs, .. } => {
-            let rows = execute(input, catalog)?;
+            let rows = execute_with(input, catalog, opts)?;
             pqp_obs::record("rows_in", rows.len());
             aggregate(rows, group_by, aggs)
         }
         Plan::Distinct { input } => {
-            let rows = execute(input, catalog)?;
+            let rows = execute_with(input, catalog, opts)?;
             let mut seen = HashSet::with_capacity(rows.len());
             let mut out = Vec::new();
             for row in rows {
@@ -132,7 +226,7 @@ fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
             Ok(out)
         }
         Plan::Sort { input, keys } => {
-            let mut rows = execute(input, catalog)?;
+            let mut rows = execute_with(input, catalog, opts)?;
             rows.sort_by(|a, b| {
                 for (idx, desc) in keys {
                     let ord = a[*idx].cmp(&b[*idx]);
@@ -146,14 +240,14 @@ fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
             Ok(rows)
         }
         Plan::Limit { input, n } => {
-            let mut rows = execute(input, catalog)?;
+            let mut rows = execute_with(input, catalog, opts)?;
             rows.truncate(*n as usize);
             Ok(rows)
         }
         Plan::Union { inputs, all, .. } => {
             let mut out = Vec::new();
             for i in inputs {
-                out.extend(execute(i, catalog)?);
+                out.extend(execute_with(i, catalog, opts)?);
             }
             if !*all {
                 let mut seen = HashSet::with_capacity(out.len());
@@ -165,8 +259,14 @@ fn execute_op(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
 }
 
 /// Scan a base table, using a hash index for an equality conjunct of the
-/// pushed-down filter when one exists.
-fn scan(table: &str, filter: Option<&BoundExpr>, catalog: &Catalog) -> Result<Vec<Row>> {
+/// pushed-down filter when one exists; otherwise a full (possibly
+/// partitioned-parallel) heap scan.
+fn scan(
+    table: &str,
+    filter: Option<&BoundExpr>,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<Vec<Row>> {
     let t = catalog.table(table)?;
     let t = t.read();
     if let Some(f) = filter {
@@ -188,6 +288,13 @@ fn scan(table: &str, filter: Option<&BoundExpr>, catalog: &Catalog) -> Result<Ve
                 }
                 return Ok(out);
             }
+        }
+    }
+    if let Some(parts) = opts.partitions_for(t.len()) {
+        // Morsel unit is a page: at most one partition per page.
+        let parts = parts.min(t.page_count());
+        if parts >= 2 {
+            return par::scan_partitioned(&t, filter, parts);
         }
     }
     let mut out = Vec::with_capacity(t.len());
@@ -237,6 +344,7 @@ fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
 /// matches from `scan_side` (which must be a base-table scan with an index
 /// on its single join column). Returns `None` when the shape or the size
 /// heuristic does not apply.
+#[allow(clippy::too_many_arguments)]
 fn try_index_join(
     probe: &Plan,
     scan_side: &Plan,
@@ -244,6 +352,7 @@ fn try_index_join(
     scan_keys: &[usize],
     catalog: &Catalog,
     probe_is_left: bool,
+    opts: &ExecOptions,
 ) -> Result<Option<Vec<Row>>> {
     let Plan::Scan { table, filter, .. } = scan_side else {
         return Ok(None);
@@ -258,18 +367,15 @@ fn try_index_join(
         }
         (name, t.len())
     };
-    let probe_rows = execute(probe, catalog)?;
+    let probe_rows = execute_with(probe, catalog, opts)?;
     // Heuristic: probing pays off only when the probe side is small
     // relative to the indexed table (otherwise hashing wins).
     if probe_rows.len() * 4 > table_len {
         // Fall back by handing the already-computed probe rows to a hash
         // join (avoid re-executing the probe subtree).
-        let scan_rows = scan(table, filter.as_ref(), catalog)?;
-        let rows = if probe_is_left {
-            hash_join(probe_rows, scan_rows, probe_keys, scan_keys)?
-        } else {
-            hash_join(scan_rows, probe_rows, scan_keys, probe_keys)?
-        };
+        let scan_rows = scan(table, filter.as_ref(), catalog, opts)?;
+        let rows =
+            hash_join_oriented(probe_rows, scan_rows, probe_keys, scan_keys, probe_is_left, opts)?;
         return Ok(Some(rows));
     }
     let t = t.read();
@@ -304,7 +410,45 @@ fn try_index_join(
     Ok(Some(out))
 }
 
-fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
+/// Hash-join a probe-side and a scan-side row set whose plan-tree
+/// orientation is given by `probe_is_left`, producing rows in the engine's
+/// fixed `left ++ right` column order either way. The single place that
+/// knows how to un-swap a join whose sides were reordered by an access-path
+/// decision — both `try_index_join` fallbacks and the parallel join route
+/// through it.
+fn hash_join_oriented(
+    probe_rows: Vec<Row>,
+    scan_rows: Vec<Row>,
+    probe_keys: &[usize],
+    scan_keys: &[usize],
+    probe_is_left: bool,
+    opts: &ExecOptions,
+) -> Result<Vec<Row>> {
+    if probe_is_left {
+        join_rows(probe_rows, scan_rows, probe_keys, scan_keys, opts)
+    } else {
+        join_rows(scan_rows, probe_rows, scan_keys, probe_keys, opts)
+    }
+}
+
+/// Join two materialized sides, choosing the partitioned-parallel hash join
+/// when the thread budget and input size allow, the serial one otherwise.
+/// Both produce identical rows in identical order (probe order, and
+/// build-insertion order within one key).
+fn join_rows(
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    opts: &ExecOptions,
+) -> Result<Vec<Row>> {
+    if let Some(parts) = opts.partitions_for(lrows.len() + rrows.len()) {
+        return par::hash_join_partitioned(lrows, rrows, left_keys, right_keys, parts);
+    }
+    hash_join(lrows, rrows, left_keys, right_keys)
+}
+
+pub(crate) fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
     let mut out = Vec::with_capacity(keys.len());
     for &k in keys {
         let v = &row[k];

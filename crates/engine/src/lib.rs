@@ -6,6 +6,47 @@
 //! Pipeline: `parse → OR-expansion rewrite → plan (bind + push down + join
 //! order) → execute`. See [`rewrite`] for why OR-expansion matters to the
 //! reproduction, and [`naive`] for the differential-testing oracle.
+//!
+//! Execution is serial by default; pass an [`ExecOptions`] thread budget to
+//! [`Database::run_plan_with`] for intra-query parallelism (partitioned
+//! scans, filters, projections and hash joins — see the parallelism notes
+//! in [`exec`]). Parallel execution preserves the serial row order exactly.
+//!
+//! ```
+//! use pqp_engine::{Database, ExecOptions};
+//! use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .create_table(
+//!         TableSchema::new(
+//!             "MOVIE",
+//!             vec![
+//!                 ColumnDef::new("mid", DataType::Int),
+//!                 ColumnDef::new("title", DataType::Str),
+//!             ],
+//!         )
+//!         .with_primary_key(&["mid"]),
+//!     )
+//!     .unwrap();
+//! {
+//!     let movie = catalog.table("MOVIE").unwrap();
+//!     let mut movie = movie.write();
+//!     movie.insert(vec![1.into(), "Alien".into()]).unwrap();
+//!     movie.insert(vec![2.into(), "Brazil".into()]).unwrap();
+//! }
+//! let db = Database::new(catalog);
+//!
+//! // Parse → plan → execute; plans are reusable and thread-safe.
+//! let query = pqp_sql::parse_query("select MV.title from MOVIE MV where MV.mid = 2").unwrap();
+//! let plan = db.plan(&query).unwrap();
+//! let serial = db.run_plan(&plan).unwrap();
+//! assert_eq!(serial.rows, vec![vec!["Brazil".into()]]);
+//!
+//! // A thread budget never changes the answer: ordered partition merge.
+//! let parallel = db.run_plan_with(&plan, &ExecOptions::with_threads(4)).unwrap();
+//! assert_eq!(parallel.rows, serial.rows);
+//! ```
 
 pub mod aggregate;
 pub mod bound;
@@ -13,12 +54,14 @@ pub mod ddl;
 pub mod error;
 pub mod exec;
 pub mod naive;
+mod par;
 pub mod plan;
 pub mod planner;
 pub mod rewrite;
 pub mod types;
 
 pub use error::{EngineError, Result};
+pub use exec::{ExecOptions, DEFAULT_MIN_PARALLEL_ROWS};
 pub use types::{OutputColumn, OutputSchema, ResultSet};
 
 use pqp_sql::ast::Query;
@@ -78,18 +121,34 @@ impl Database {
         self.run_plan(&plan)
     }
 
-    /// Execute an already-planned query.
+    /// Execute an already-planned query serially.
     ///
     /// This is the plan-reuse entry point: a plan produced by
     /// [`Database::plan`] is immutable and can be executed any number of
     /// times (and from any thread) as long as the referenced tables still
     /// exist — the serving layer's personalized-plan cache relies on it.
     pub fn run_plan(&self, plan: &plan::Plan) -> Result<ResultSet> {
+        self.run_plan_with(plan, &ExecOptions::default())
+    }
+
+    /// Execute an already-planned query under an [`ExecOptions`] thread
+    /// budget. Parallel execution merges partitions in partition order, so
+    /// the result is row-for-row identical to [`Database::run_plan`] for
+    /// any budget (serial fast path when `threads <= 1` or inputs are
+    /// small).
+    pub fn run_plan_with(&self, plan: &plan::Plan, exec: &ExecOptions) -> Result<ResultSet> {
         let _span = pqp_obs::span("execute");
-        let rows = exec::execute(plan, &self.catalog)?;
+        let rows = exec::execute_with(plan, &self.catalog, exec)?;
         pqp_obs::record("result_rows", rows.len());
         let columns = plan.schema().columns.iter().map(|c| c.name.clone()).collect();
         Ok(ResultSet { columns, rows })
+    }
+
+    /// Plan and execute a parsed query under an [`ExecOptions`] thread
+    /// budget.
+    pub fn run_query_with(&self, q: &Query, exec: &ExecOptions) -> Result<ResultSet> {
+        let plan = self.plan(q)?;
+        self.run_plan_with(&plan, exec)
     }
 
     /// Produce the optimized plan for a query (OR-expansion + planning).

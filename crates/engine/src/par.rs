@@ -1,0 +1,267 @@
+//! Partitioned parallel operators: morsel-style scans, filter/project
+//! evaluation, and a partitioned hash join, all built on
+//! [`std::thread::scope`] (the workspace allows no external dependencies,
+//! so no rayon).
+//!
+//! ## Determinism contract
+//!
+//! Every operator here produces **byte-identical output to its serial
+//! counterpart** in `exec.rs`:
+//!
+//! - scans partition the heap into contiguous *page* ranges and concatenate
+//!   partition outputs in partition order, which is exactly the serial
+//!   iteration order ([`pqp_storage::Heap::iter_partition`]);
+//! - filter/project split their materialized input into contiguous row
+//!   chunks and merge chunk outputs in chunk order;
+//! - the hash join builds hash-partitioned tables over the smaller side
+//!   (each partition built by one worker scanning the build rows in order,
+//!   so per-key match lists keep build-insertion order), then probes
+//!   contiguous chunks of the larger side, merging probe-chunk outputs in
+//!   chunk order — reproducing the serial join's (probe order, then
+//!   build-insertion order) emission exactly.
+//!
+//! Downstream order-sensitive operators (DISTINCT, GROUP BY, first-seen
+//! dedup) therefore see the same row order under any thread budget.
+//!
+//! ## Observability
+//!
+//! Spans and fields are thread-local, so all recording happens on the
+//! coordinating thread: each parallel operator records `partitions` and
+//! per-partition output rows on its own `exec.<op>` span, bumps the
+//! `exec.parallel.workers` counter by the number of workers it spawned
+//! (the serial path never touches it — the regression tests key off that),
+//! and the join records `strategy=parallel_hash_join`. Worker closures make
+//! no observability calls.
+
+use crate::bound::BoundExpr;
+use crate::error::Result;
+use crate::exec::key_of;
+use pqp_storage::{Row, Table, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Count workers spawned by a parallel operator (the never-spawns-when-
+/// serial regression tests watch this counter).
+fn count_workers(n: usize) {
+    pqp_obs::counter_add("exec.parallel.workers", n as i64);
+}
+
+/// Record the partition fan-out of the current operator's span.
+fn record_partitions(sizes: &[usize]) {
+    pqp_obs::record("partitions", sizes.len());
+    pqp_obs::record("partition_rows", format!("{sizes:?}"));
+}
+
+/// Split `rows` into at most `parts` contiguous chunks (all but the last of
+/// equal size), preserving order across the concatenation of the chunks.
+fn split_chunks(mut rows: Vec<Row>, parts: usize) -> Vec<Vec<Row>> {
+    let chunk = rows.len().div_ceil(parts.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(parts);
+    while rows.len() > chunk {
+        let tail = rows.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rows, tail));
+    }
+    chunks.push(rows);
+    chunks
+}
+
+/// Merge per-partition results in partition order, recording the fan-out.
+fn merge_ordered(results: Vec<Result<Vec<Row>>>) -> Result<Vec<Row>> {
+    let parts: Vec<Vec<Row>> = results.into_iter().collect::<Result<_>>()?;
+    let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+    record_partitions(&sizes);
+    let mut out = Vec::with_capacity(sizes.iter().sum());
+    for p in parts {
+        out.extend(p);
+    }
+    Ok(out)
+}
+
+/// Parallel partitioned scan over a table's heap pages: each worker scans
+/// one contiguous page range, applying the pushed-down filter; partitions
+/// merge in page order (= serial scan order). Records
+/// `exec.scan.partitions` via the span fields and metrics.
+pub(crate) fn scan_partitioned(
+    t: &Table,
+    filter: Option<&BoundExpr>,
+    parts: usize,
+) -> Result<Vec<Row>> {
+    count_workers(parts);
+    pqp_obs::counter_add("exec.scan.partitions", parts as i64);
+    let results: Vec<Result<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..parts)
+            .map(|p| {
+                s.spawn(move || -> Result<Vec<Row>> {
+                    let mut out = Vec::new();
+                    for (_, row) in t.iter_partition(p, parts) {
+                        let row = row?;
+                        match filter {
+                            Some(f) => {
+                                if f.eval_predicate(&row)? {
+                                    out.push(row);
+                                }
+                            }
+                            None => out.push(row),
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+    });
+    merge_ordered(results)
+}
+
+/// Parallel filter over materialized rows: contiguous chunks, ordered merge.
+pub(crate) fn filter_partitioned(
+    rows: Vec<Row>,
+    predicate: &BoundExpr,
+    parts: usize,
+) -> Result<Vec<Row>> {
+    let chunks = split_chunks(rows, parts);
+    count_workers(chunks.len());
+    let results: Vec<Result<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || -> Result<Vec<Row>> {
+                    let mut out = Vec::with_capacity(chunk.len() / 2);
+                    for row in chunk {
+                        if predicate.eval_predicate(&row)? {
+                            out.push(row);
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("filter worker panicked")).collect()
+    });
+    merge_ordered(results)
+}
+
+/// Parallel projection over materialized rows: contiguous chunks, ordered
+/// merge.
+pub(crate) fn project_partitioned(
+    rows: Vec<Row>,
+    exprs: &[BoundExpr],
+    parts: usize,
+) -> Result<Vec<Row>> {
+    let chunks = split_chunks(rows, parts);
+    count_workers(chunks.len());
+    let results: Vec<Result<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || -> Result<Vec<Row>> {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for row in chunk {
+                        let mut projected = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            projected.push(e.eval(&row)?);
+                        }
+                        out.push(projected);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("project worker panicked")).collect()
+    });
+    merge_ordered(results)
+}
+
+/// Stable hash partition of a join key. `DefaultHasher::new()` uses fixed
+/// keys, so the routing is deterministic within and across runs.
+fn partition_of(key: &[Value], parts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % parts as u64) as usize
+}
+
+/// Partitioned hash join: parallel build of `parts` hash-partitioned tables
+/// over the smaller side, then parallel probe of the larger side in
+/// contiguous chunks merged in chunk order. Output rows are identical (and
+/// identically ordered) to the serial `hash_join`.
+pub(crate) fn hash_join_partitioned(
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    parts: usize,
+) -> Result<Vec<Row>> {
+    // Build on the smaller side; output column order is always left ++ right.
+    let build_left = lrows.len() <= rrows.len();
+    let (build, probe, build_keys, probe_keys) = if build_left {
+        (&lrows, &rrows, left_keys, right_keys)
+    } else {
+        (&rrows, &lrows, right_keys, left_keys)
+    };
+    pqp_obs::record("strategy", "parallel_hash_join");
+    pqp_obs::record("build_rows", build.len());
+
+    // Phase 1: each worker owns one hash partition and builds its table by
+    // scanning the build rows in order (per-key match lists therefore keep
+    // build-insertion order, as the serial join's single table does).
+    count_workers(parts);
+    let tables: Vec<HashMap<Vec<Value>, Vec<usize>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..parts)
+            .map(|p| {
+                s.spawn(move || {
+                    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                    for (i, row) in build.iter().enumerate() {
+                        if let Some(k) = key_of(row, build_keys) {
+                            if partition_of(&k, parts) == p {
+                                table.entry(k).or_default().push(i);
+                            }
+                        }
+                    }
+                    table
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("build worker panicked")).collect()
+    });
+
+    // Phase 2: probe contiguous chunks in parallel; chunk outputs merge in
+    // chunk order, reproducing the serial probe-order emission.
+    let chunk = probe.len().div_ceil(parts).max(1);
+    let chunk_count = probe.len().div_ceil(chunk);
+    count_workers(chunk_count);
+    let tables = &tables;
+    let outs: Vec<Vec<Row>> = std::thread::scope(|s| {
+        let handles: Vec<_> = probe
+            .chunks(chunk)
+            .map(|chunk_rows| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for prow in chunk_rows {
+                        let Some(k) = key_of(prow, probe_keys) else {
+                            continue;
+                        };
+                        if let Some(matches) = tables[partition_of(&k, parts)].get(&k) {
+                            for &bi in matches {
+                                let brow = &build[bi];
+                                let (l, r) = if build_left { (brow, prow) } else { (prow, brow) };
+                                let mut row = l.clone();
+                                row.extend(r.iter().cloned());
+                                out.push(row);
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
+    });
+    let sizes: Vec<usize> = outs.iter().map(Vec::len).collect();
+    record_partitions(&sizes);
+    let mut out = Vec::with_capacity(sizes.iter().sum());
+    for o in outs {
+        out.extend(o);
+    }
+    Ok(out)
+}

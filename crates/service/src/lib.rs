@@ -62,7 +62,7 @@ use pqp_core::{
     PrefError, Profile, Rewrite,
 };
 use pqp_engine::plan::Plan;
-use pqp_engine::{Database, ResultSet};
+use pqp_engine::{Database, ExecOptions, ResultSet};
 use pqp_obs::{CacheSnapshot, CacheStats};
 use pqp_sql::ast::Select;
 use pqp_storage::sync::RwLock;
@@ -120,6 +120,13 @@ pub struct ServiceConfig {
     pub options: PersonalizeOptions,
     /// Rewrite executed when a session does not override it.
     pub rewrite: Rewrite,
+    /// Intra-query execution budget: every query this service runs executes
+    /// under this [`ExecOptions`] (partitioned parallel scans/joins when
+    /// `threads > 1`, strictly serial by default). Parallel execution
+    /// preserves the serial row order, so answers are identical either way;
+    /// cached plans are execution-strategy-agnostic and need no
+    /// invalidation when this changes.
+    pub exec: ExecOptions,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +137,7 @@ impl Default for ServiceConfig {
             plan_capacity: 4096,
             options: PersonalizeOptions::builder().k(3).l(1).build(),
             rewrite: Rewrite::Mq,
+            exec: ExecOptions::default(),
         }
     }
 }
@@ -533,7 +541,7 @@ impl Service {
         match lookup {
             Lookup::Hit(cached) => {
                 self.plan_stats.hit();
-                let rows = self.db.run_plan(&cached.plan)?;
+                let rows = self.db.run_plan_with(&cached.plan, &self.config.exec)?;
                 return Ok(Answer { rows, rewrite, k: cached.k, m: cached.m, plan_cached: true });
             }
             Lookup::Stale => self.plan_stats.stale(),
@@ -554,7 +562,7 @@ impl Service {
             personalize_prepared(&prepared.select, &prepared.graph, &graph, options)?;
         let executed = personalized.rewritten(rewrite)?;
         let plan = self.db.plan(&executed)?;
-        let rows = self.db.run_plan(&plan)?;
+        let rows = self.db.run_plan_with(&plan, &self.config.exec)?;
         let (k, m) = (personalized.k(), personalized.m);
         if self.plans.write().insert(key, Arc::new(CachedPlan { epoch, plan, k, m })) {
             self.plan_stats.eviction();

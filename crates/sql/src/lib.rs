@@ -9,6 +9,22 @@
 //! `DISTINCT`, `UNION [ALL]`, derived tables, `GROUP BY`/`HAVING`, aggregate
 //! calls (including `DEGREE_OF_CONJUNCTION`/`DEGREE_OF_DISJUNCTION` from §6),
 //! `ORDER BY` and `LIMIT`.
+//!
+//! ```
+//! use pqp_sql::{parse_query, Expr};
+//!
+//! let q = parse_query(
+//!     "select distinct MV.title from MOVIE MV, GENRE GE \
+//!      where MV.mid = GE.mid and GE.genre = 'comedy'",
+//! )
+//! .unwrap();
+//! let select = q.as_select().unwrap();
+//! assert!(select.distinct);
+//! assert_eq!(select.from.len(), 2);
+//!
+//! // The printer round-trips: printed SQL re-parses to the same AST.
+//! assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+//! ```
 
 pub mod ast;
 pub mod builder;

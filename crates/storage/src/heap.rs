@@ -76,6 +76,38 @@ impl Heap {
         })
     }
 
+    /// Iterate over the live rows of partition `part` of `parts`.
+    ///
+    /// Partitions are contiguous page ranges (the morsel unit is a page), so
+    /// concatenating partitions `0..parts` in order yields exactly the
+    /// [`Heap::iter`] order — the property the parallel executor relies on
+    /// to keep partitioned scans deterministic. `parts` may exceed the page
+    /// count; surplus partitions are empty.
+    pub fn iter_partition(
+        &self,
+        part: usize,
+        parts: usize,
+    ) -> impl Iterator<Item = (RowId, Result<Row>)> + '_ {
+        let (start, end) = self.partition_bounds(part, parts);
+        self.pages[start..end].iter().enumerate().flat_map(move |(off, page)| {
+            page.iter().map(move |(slot, row)| (RowId { page: (start + off) as u32, slot }, row))
+        })
+    }
+
+    /// The page range `[start, end)` of partition `part` of `parts`: a
+    /// balanced contiguous split (the first `n % parts` partitions get one
+    /// extra page).
+    fn partition_bounds(&self, part: usize, parts: usize) -> (usize, usize) {
+        let parts = parts.max(1);
+        assert!(part < parts, "partition {part} out of range for {parts} partitions");
+        let n = self.pages.len();
+        let base = n / parts;
+        let extra = n % parts;
+        let start = part * base + part.min(extra);
+        let len = base + usize::from(part < extra);
+        (start, start + len)
+    }
+
     /// Materialize all live rows, failing on the first corrupt row.
     pub fn scan(&self) -> Result<Vec<Row>> {
         self.iter().map(|(_, r)| r).collect()
@@ -133,6 +165,50 @@ mod tests {
         let row = vec![Value::str("z".repeat(20_000))];
         assert!(h.insert(&row).is_err());
         assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn partitions_concatenate_to_full_iteration_order() {
+        let mut h = Heap::new();
+        // Wide rows so the heap spans many pages.
+        for i in 0..400 {
+            h.insert(&[Value::Int(i), Value::str("x".repeat(100))]).unwrap();
+        }
+        assert!(h.page_count() >= 4, "need a multi-page heap to partition");
+        let full: Vec<Row> = h.scan().unwrap();
+        for parts in [1, 2, 3, 5, 8, h.page_count(), h.page_count() + 7] {
+            let mut merged = Vec::new();
+            for p in 0..parts {
+                for (_, row) in h.iter_partition(p, parts) {
+                    merged.push(row.unwrap());
+                }
+            }
+            assert_eq!(merged, full, "partition concat must equal iter() for parts={parts}");
+        }
+    }
+
+    #[test]
+    fn partitions_of_empty_heap_are_empty() {
+        let h = Heap::new();
+        for p in 0..4 {
+            assert_eq!(h.iter_partition(p, 4).count(), 0);
+        }
+    }
+
+    #[test]
+    fn partitions_skip_tombstones() {
+        let mut h = Heap::new();
+        let mut ids = Vec::new();
+        for i in 0..200 {
+            ids.push(h.insert(&[Value::Int(i), Value::str("y".repeat(120))]).unwrap());
+        }
+        for id in ids.iter().step_by(3) {
+            assert!(h.delete(*id));
+        }
+        let full: Vec<Row> = h.scan().unwrap();
+        let merged: Vec<Row> =
+            (0..4).flat_map(|p| h.iter_partition(p, 4).map(|(_, r)| r.unwrap())).collect();
+        assert_eq!(merged, full);
     }
 
     #[test]

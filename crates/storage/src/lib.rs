@@ -10,6 +10,37 @@
 //! database: the **schema graph** with per-direction join *cardinalities*
 //! ([`Catalog::schema_joins`]), which drive conflict detection and
 //! tuple-variable allocation in `pqp-core`.
+//!
+//! ```
+//! use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .create_table(
+//!         TableSchema::new(
+//!             "GENRE",
+//!             vec![
+//!                 ColumnDef::new("mid", DataType::Int),
+//!                 ColumnDef::new("genre", DataType::Str),
+//!             ],
+//!         )
+//!         .with_primary_key(&["mid", "genre"]),
+//!     )
+//!     .unwrap();
+//!
+//! let genre = catalog.table("GENRE").unwrap();
+//! {
+//!     let mut genre = genre.write();
+//!     genre.insert(vec![1.into(), "comedy".into()]).unwrap();
+//!     genre.insert(vec![1.into(), "drama".into()]).unwrap();
+//!     // The primary key is enforced at insert time.
+//!     assert!(genre.insert(vec![1.into(), "comedy".into()]).is_err());
+//! }
+//!
+//! let genre = genre.read();
+//! assert_eq!(genre.len(), 2);
+//! assert_eq!(genre.scan().unwrap()[0], vec![Value::Int(1), Value::str("comedy")]);
+//! ```
 
 pub mod catalog;
 pub mod error;

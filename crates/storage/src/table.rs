@@ -135,6 +135,22 @@ impl Table {
         self.heap.iter()
     }
 
+    /// Number of heap pages (the partition unit for parallel scans).
+    pub fn page_count(&self) -> usize {
+        self.heap.page_count()
+    }
+
+    /// Iterate over the live rows of partition `part` of `parts` — a
+    /// contiguous page range; concatenating all partitions in order equals
+    /// [`Table::iter`] order (see [`Heap::iter_partition`]).
+    pub fn iter_partition(
+        &self,
+        part: usize,
+        parts: usize,
+    ) -> impl Iterator<Item = (RowId, Result<Row>)> + '_ {
+        self.heap.iter_partition(part, parts)
+    }
+
     /// Materialize all rows.
     pub fn scan(&self) -> Result<Vec<Row>> {
         self.heap.scan()

@@ -20,6 +20,17 @@ cargo test "${CARGO_FLAGS[@]}" --workspace -q
 echo "==> concurrency tests (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test concurrency -q
 
+# Parallel execution must be row-for-row identical to serial, under the
+# default test parallelism AND serially (nested-parallelism interleavings
+# differ on both schedules). PQP_THREADS sets the budget under test.
+echo "==> parallel equivalence (PQP_THREADS=4)"
+PQP_THREADS=4 cargo test "${CARGO_FLAGS[@]}" -p pqp --test parallel_equivalence -q
+echo "==> parallel equivalence (PQP_THREADS=4, RUST_TEST_THREADS=1)"
+PQP_THREADS=4 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp --test parallel_equivalence -q
+
+echo "==> cargo test --doc"
+cargo test "${CARGO_FLAGS[@]}" --workspace --doc -q
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc "${CARGO_FLAGS[@]}" --workspace --no-deps -q
 

@@ -13,7 +13,7 @@
 use pqp_core::error::{PrefError, Result};
 use pqp_core::graph::GraphAccess;
 use pqp_core::{personalize, PersonalizeOptions, Personalized};
-use pqp_engine::{Database, ResultSet};
+use pqp_engine::{Database, ExecOptions, ResultSet};
 use pqp_obs::{Json, PipelineTrace};
 use std::fmt::Write as _;
 
@@ -81,13 +81,31 @@ pub fn explain_analyze(
     opts: PersonalizeOptions,
     rewrite: Rewrite,
 ) -> Result<Analysis> {
+    explain_analyze_with(sql, graph, db, opts, rewrite, &ExecOptions::default())
+}
+
+/// [`explain_analyze`] under an explicit [`ExecOptions`] thread budget.
+///
+/// With `threads > 1` the executor spans in the trace carry the parallel
+/// shape — `partitions`, per-partition row counts, and
+/// `strategy=parallel_hash_join` on partitioned joins — while the answer
+/// itself is row-for-row identical to the serial run (ordered partition
+/// merge).
+pub fn explain_analyze_with(
+    sql: &str,
+    graph: &impl GraphAccess,
+    db: &Database,
+    opts: PersonalizeOptions,
+    rewrite: Rewrite,
+    exec: &ExecOptions,
+) -> Result<Analysis> {
     pqp_obs::trace_begin("explain_analyze");
     let run = || -> Result<(Personalized, ResultSet)> {
         let query =
             pqp_sql::parse_query(sql).map_err(|e| PrefError::UnsupportedQuery(e.to_string()))?;
         let p = personalize(&query, graph, db.catalog(), opts)?;
         let executed = p.rewritten(rewrite)?;
-        let result = db.run_query(&executed)?;
+        let result = db.run_query_with(&executed, exec)?;
         Ok((p, result))
     };
     let outcome = run();

@@ -34,6 +34,7 @@ pub use pqp_service as service;
 pub use pqp_sql as sql;
 pub use pqp_storage as storage;
 
-pub use analyze::{explain_analyze, Analysis, Rewrite};
+pub use analyze::{explain_analyze, explain_analyze_with, Analysis, Rewrite};
 pub use pqp_core::prelude;
+pub use pqp_engine::ExecOptions;
 pub use pqp_service::{Answer, Error, Service, ServiceConfig, Session, UserId};
