@@ -1,0 +1,180 @@
+//! Micro-benchmark of statistics-driven planning: a skewed 4-way join
+//! where the fallback heuristics pick the wrong starting factor and real
+//! statistics flip the join order (and unlock index access paths).
+//!
+//! Three measurements:
+//!
+//! 1. Wall time of the plan produced **without** statistics (planned
+//!    before `ANALYZE`, so the fixed 0.05 boost favors the small table
+//!    whose predicate keeps 90% of its rows).
+//! 2. Wall time of the plan produced **with** statistics (starts at the
+//!    genuinely selective factor, may promote `IndexJoin`).
+//! 3. Max per-operator Q-error (`max(est/actual, actual/est)` over every
+//!    operator span that reports both `est_rows` and `rows_out`) for each
+//!    plan, from an EXPLAIN ANALYZE-style trace.
+//!
+//! Writes `results/micro_planner.json` with a `derived` block. Wall-clock
+//! ratios are only meaningful relative to `host_cores` (see
+//! EXPERIMENTS.md): both plans here run serially, so the comparison is
+//! about operator order and access paths, not parallelism.
+
+use pqp_bench::microbench::{write_metrics_json, MicroBench};
+use pqp_engine::Database;
+use pqp_obs::{Field, Json, SpanNode};
+use pqp_sql::parse_query;
+use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
+use std::path::{Path, PathBuf};
+
+/// Skewed 4-table star: R(id, cat) with a rare category (~1%), T(id, cat)
+/// with a dominant category (~90%), S(r_id, t_id) fact table, U(t_id)
+/// trailing fan-out. Scaled-up version of the planner regression test.
+fn skewed_db() -> Database {
+    let mut c = Catalog::new();
+    let two_col = |name: &str| {
+        TableSchema::new(
+            name,
+            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("cat", DataType::Str)],
+        )
+        .with_primary_key(&["id"])
+    };
+    c.create_table(two_col("R")).unwrap();
+    c.create_table(two_col("T")).unwrap();
+    c.create_table(TableSchema::new(
+        "S",
+        vec![ColumnDef::new("r_id", DataType::Int), ColumnDef::new("t_id", DataType::Int)],
+    ))
+    .unwrap();
+    c.create_table(TableSchema::new("U", vec![ColumnDef::new("t_id", DataType::Int)])).unwrap();
+    {
+        let r = c.table("R").unwrap();
+        let mut r = r.write();
+        for id in 0..10_000i64 {
+            let cat = if id < 100 { "rare" } else { "bulk" };
+            r.insert(vec![Value::Int(id), Value::str(cat)]).unwrap();
+        }
+    }
+    {
+        let t = c.table("T").unwrap();
+        let mut t = t.write();
+        for id in 0..4_000i64 {
+            let cat = if id < 3_600 { "common" } else { "other" };
+            t.insert(vec![Value::Int(id), Value::str(cat)]).unwrap();
+        }
+    }
+    {
+        let s = c.table("S").unwrap();
+        let mut s = s.write();
+        for i in 0..20_000i64 {
+            s.insert(vec![Value::Int(i % 10_000), Value::Int(i % 4_000)]).unwrap();
+        }
+        s.create_index("r_id").unwrap();
+    }
+    {
+        let u = c.table("U").unwrap();
+        let mut u = u.write();
+        for i in 0..8_000i64 {
+            u.insert(vec![Value::Int(i % 4_000)]).unwrap();
+        }
+        u.create_index("t_id").unwrap();
+    }
+    Database::new(c)
+}
+
+const SKEWED_JOIN: &str = "select S.r_id, U.t_id from R, S, T, U \
+     where R.id = S.r_id and S.t_id = T.id and T.id = U.t_id \
+     and R.cat = 'rare' and T.cat = 'common'";
+
+fn main() {
+    let db = skewed_db();
+    let q = parse_query(SKEWED_JOIN).unwrap();
+
+    // Plan once without statistics, trace it (Q-error of the fallback
+    // estimates), then ANALYZE and re-plan.
+    let blind_plan = db.plan(&q).unwrap();
+    let qerr_blind = traced_max_qerror(&db, &blind_plan);
+    db.catalog().analyze_all().unwrap();
+    let informed_plan = db.plan(&q).unwrap();
+    let qerr_informed = traced_max_qerror(&db, &informed_plan);
+
+    let rows = db.run_plan(&informed_plan).unwrap().rows.len();
+    let blind_rows = db.run_plan(&blind_plan).unwrap().rows.len();
+    assert_eq!(rows, blind_rows, "plans disagree on the answer");
+    println!("skewed 4-way join output: {rows} rows");
+    println!("max Q-error: {qerr_blind:.1} without stats, {qerr_informed:.1} with stats");
+
+    // Both plans are executed post-ANALYZE so the runtime sees the same
+    // catalog; the difference under test is the plan shape alone.
+    let mut group = MicroBench::new("planner").sample_size(15);
+    group.bench("join4_stats_off", || db.run_plan(&blind_plan).unwrap());
+    group.bench("join4_stats_on", || db.run_plan(&informed_plan).unwrap());
+
+    let dir = workspace_results_dir();
+    match group.write_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write micro_planner.json: {err}"),
+    }
+    annotate(&dir.join("micro_planner.json"), rows, qerr_blind, qerr_informed);
+    match write_metrics_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write metrics.json: {err}"),
+    }
+}
+
+/// Execute the plan under a trace and return the worst per-operator
+/// Q-error (`max(est/actual, actual/est)`, both sides clamped to >= 1 row
+/// so empty operators don't divide by zero).
+fn traced_max_qerror(db: &Database, plan: &pqp_engine::plan::Plan) -> f64 {
+    pqp_obs::trace_begin("planner_bench");
+    db.run_plan(plan).unwrap();
+    let trace = pqp_obs::trace_end().expect("trace was begun");
+    let mut worst = 1.0f64;
+    collect_qerror(&trace.root, &mut worst);
+    worst
+}
+
+fn collect_qerror(node: &SpanNode, worst: &mut f64) {
+    if let (Some(Field::Int(est)), Some(Field::Int(actual))) =
+        (node.field("est_rows"), node.field("rows_out"))
+    {
+        let est = (*est as f64).max(1.0);
+        let actual = (*actual as f64).max(1.0);
+        *worst = worst.max(est / actual).max(actual / est);
+    }
+    for child in &node.children {
+        collect_qerror(child, worst);
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .join("results")
+}
+
+/// Re-open the written JSON and add a `derived` block: wall-time ratio,
+/// Q-errors, output size and host cores.
+fn annotate(path: &Path, rows: usize, qerr_blind: f64, qerr_informed: f64) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    let Ok(doc) = Json::parse(&text) else { return };
+    let mean = |name: &str| -> Option<f64> {
+        doc.get("benchmarks")?
+            .as_array()?
+            .iter()
+            .find_map(|b| (b.get("name")?.as_str()? == name).then(|| b.get("mean_ms")?.as_f64())?)
+    };
+    let (Some(off), Some(on)) = (mean("join4_stats_off"), mean("join4_stats_on")) else {
+        return;
+    };
+    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let derived = Json::obj()
+        .set("stats_speedup", off / on)
+        .set("max_qerror_stats_off", qerr_blind)
+        .set("max_qerror_stats_on", qerr_informed)
+        .set("join4_rows", rows as i64)
+        .set("host_cores", host_cores as i64);
+    println!("stats-driven plan speedup: {:.2}x [host cores: {host_cores}]", off / on);
+    let doc = doc.set("derived", derived);
+    let _ = std::fs::write(path, doc.pretty());
+}

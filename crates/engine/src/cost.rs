@@ -1,0 +1,418 @@
+//! Cardinality estimation over physical plans, driven by the statistics
+//! collected by `ANALYZE` ([`pqp_storage::stats`]).
+//!
+//! The estimator answers one question — *how many rows will this plan node
+//! produce?* — and the planner uses the answers to order joins and choose
+//! index access paths. Estimation is strictly best-effort:
+//!
+//! - **With statistics** (table analyzed): equality selectivity comes from
+//!   the column's histogram (skewed values pin whole equi-depth buckets) or
+//!   the uniform `1/NDV` floor, ranges from histogram coverage with linear
+//!   interpolation inside the split bucket, and join outputs from the
+//!   textbook `|L|·|R| / max(ndv_L, ndv_R)` with NDVs clamped to the side
+//!   estimates.
+//! - **Without statistics**: the same fixed fallbacks the planner used
+//!   before stats existed (`= literal` → [`EQ_FALLBACK`], anything else →
+//!   [`DEFAULT_FALLBACK`]), so un-analyzed databases plan exactly as they
+//!   always did.
+//!
+//! Conjunctions multiply selectivities (independence assumption),
+//! disjunctions combine as `s1 + s2 − s1·s2`, `NOT` complements.
+//!
+//! Selectivities apply to *base-table columns*; the estimator maps a plan
+//! node's output columns back to their originating `(table, column)` by
+//! walking the tree ([`Estimator`] keeps this internal), which survives
+//! scans, filters, joins and pass-through projections.
+
+use crate::bound::BoundExpr;
+use crate::plan::Plan;
+use pqp_sql::BinaryOp;
+use pqp_storage::{Catalog, TableStats, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Selectivity assumed for `col = literal` without statistics. Matches the
+/// planner's historical hardcoded boost, keeping un-analyzed plans stable.
+pub const EQ_FALLBACK: f64 = 0.05;
+/// Selectivity assumed for any other predicate without statistics.
+pub const DEFAULT_FALLBACK: f64 = 0.5;
+/// Selectivity assumed for `IS NULL` without statistics.
+pub const IS_NULL_FALLBACK: f64 = 0.1;
+/// Row estimate for a table the estimator cannot resolve at all.
+const UNKNOWN_TABLE_ROWS: f64 = 1000.0;
+
+/// Where one output column of a plan node comes from: `(table name, column
+/// position)` in a base table, when derivable by walking the plan.
+pub(crate) type ColumnOrigin = Option<(String, usize)>;
+
+/// Cached per-table planning facts: row count plus the statistics snapshot
+/// (if the table was ever `ANALYZE`d).
+type TableInfo = (f64, Option<Arc<TableStats>>);
+
+/// A cardinality estimator over one catalog. Caches per-table row counts and
+/// statistics snapshots for the duration of one planning pass.
+pub struct Estimator<'a> {
+    catalog: &'a Catalog,
+    tables: RefCell<HashMap<String, TableInfo>>,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn new(catalog: &'a Catalog) -> Estimator<'a> {
+        Estimator { catalog, tables: RefCell::new(HashMap::new()) }
+    }
+
+    /// Estimated number of rows this plan node produces.
+    pub fn rows(&self, plan: &Plan) -> f64 {
+        match plan {
+            Plan::Empty { .. } => 0.0,
+            Plan::Scan { table, filter, .. } => {
+                let len = self.table_rows(table);
+                match filter {
+                    Some(f) => len * self.selectivity(f, &self.origins(plan)),
+                    None => len,
+                }
+            }
+            Plan::IndexScan { table, column, key, residual, .. } => {
+                let len = self.table_rows(table);
+                let origin = self.column_index(table, column).map(|c| (table.to_string(), c));
+                let eq = self.stats_eq_value(&origin, key).unwrap_or(if key.is_null() {
+                    0.0
+                } else {
+                    EQ_FALLBACK
+                });
+                let res = match residual {
+                    Some(f) => self.selectivity(f, &self.origins(plan)),
+                    None => 1.0,
+                };
+                len * eq * res
+            }
+            Plan::Filter { input, predicate } => {
+                self.rows(input) * self.selectivity(predicate, &self.origins(input))
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, .. } => {
+                let l = self.rows(left);
+                let r = self.rows(right);
+                let lo = self.origins(left);
+                let ro = self.origins(right);
+                let mut denom = 1.0;
+                for (lk, rk) in left_keys.iter().zip(right_keys) {
+                    let nl = self.ndv(lo.get(*lk).unwrap_or(&None), l);
+                    let nr = self.ndv(ro.get(*rk).unwrap_or(&None), r);
+                    denom *= nl.max(nr).max(1.0);
+                }
+                l * r / denom
+            }
+            Plan::IndexJoin { probe, probe_key, table, column, filter, .. } => {
+                let p = self.rows(probe);
+                let po = self.origins(probe);
+                let len = self.table_rows(table);
+                let scan_origins: Vec<ColumnOrigin> =
+                    (0..self.table_arity(table)).map(|i| Some((table.to_string(), i))).collect();
+                let fsel = match filter {
+                    Some(f) => self.selectivity(f, &scan_origins),
+                    None => 1.0,
+                };
+                let t = len * fsel;
+                let np = self.ndv(po.get(*probe_key).unwrap_or(&None), p);
+                let nt = self
+                    .ndv(&self.column_index(table, column).map(|c| (table.to_string(), c)), len);
+                p * t / np.max(nt).max(1.0)
+            }
+            Plan::CrossJoin { left, right, .. } => self.rows(left) * self.rows(right),
+            Plan::Project { input, .. } | Plan::Sort { input, .. } => self.rows(input),
+            Plan::Aggregate { input, group_by, .. } => {
+                let in_rows = self.rows(input);
+                if group_by.is_empty() {
+                    return 1.0; // global aggregate: exactly one row
+                }
+                if in_rows <= 0.0 {
+                    return 0.0;
+                }
+                let origins = self.origins(input);
+                let mut groups = 1.0f64;
+                for g in group_by {
+                    groups *= match g {
+                        BoundExpr::Column(i) => self.ndv(origins.get(*i).unwrap_or(&None), in_rows),
+                        _ => in_rows,
+                    };
+                }
+                groups.min(in_rows).max(1.0)
+            }
+            // Upper bound: DISTINCT can only shrink its input.
+            Plan::Distinct { input } => self.rows(input),
+            Plan::Limit { input, n } => self.rows(input).min(*n as f64),
+            Plan::Union { inputs, .. } => inputs.iter().map(|i| self.rows(i)).sum(),
+        }
+    }
+
+    /// EXPLAIN text with a per-node `est_rows` annotation.
+    pub fn explain(&self, plan: &Plan) -> String {
+        plan.explain_annotated(&mut |p| Some(format!("est_rows={:.0}", self.rows(p).round())))
+    }
+
+    /// Estimated selectivity (in `[0, 1]`) of a bound predicate over rows
+    /// whose columns originate as described by `origins`.
+    pub(crate) fn selectivity(&self, e: &BoundExpr, origins: &[ColumnOrigin]) -> f64 {
+        let s = match e {
+            BoundExpr::Literal(v) => match v {
+                Value::Bool(true) => 1.0,
+                _ => 0.0, // FALSE or NULL predicate keeps nothing
+            },
+            // A bare boolean column as a predicate.
+            BoundExpr::Column(_) => DEFAULT_FALLBACK,
+            BoundExpr::Not(inner) => 1.0 - self.selectivity(inner, origins),
+            BoundExpr::IsNull { expr, negated } => {
+                let s = match &**expr {
+                    BoundExpr::Column(i) => self
+                        .null_fraction(origins.get(*i).unwrap_or(&None))
+                        .unwrap_or(IS_NULL_FALLBACK),
+                    _ => IS_NULL_FALLBACK,
+                };
+                if *negated {
+                    1.0 - s
+                } else {
+                    s
+                }
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                let s: f64 = list
+                    .iter()
+                    .map(|item| self.stats_eq(expr, item, origins).unwrap_or(EQ_FALLBACK))
+                    .sum();
+                let s = s.min(1.0);
+                if *negated {
+                    1.0 - s
+                } else {
+                    s
+                }
+            }
+            BoundExpr::Binary { left, op, right } => match op {
+                BinaryOp::And => self.selectivity(left, origins) * self.selectivity(right, origins),
+                BinaryOp::Or => {
+                    let a = self.selectivity(left, origins);
+                    let b = self.selectivity(right, origins);
+                    a + b - a * b
+                }
+                BinaryOp::Eq => self.stats_eq(left, right, origins).unwrap_or_else(|| {
+                    if is_col_lit(left, right) {
+                        EQ_FALLBACK
+                    } else {
+                        DEFAULT_FALLBACK
+                    }
+                }),
+                BinaryOp::NotEq => {
+                    // Stats give `1 − eq`; without them keep the historical
+                    // flat guess rather than an optimistic complement.
+                    self.stats_eq(left, right, origins).map(|s| 1.0 - s).unwrap_or(DEFAULT_FALLBACK)
+                }
+                BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+                    self.stats_range(left, *op, right, origins).unwrap_or(DEFAULT_FALLBACK)
+                }
+                // Arithmetic in predicate position (shouldn't type-check as
+                // a predicate, but stay defensive).
+                _ => DEFAULT_FALLBACK,
+            },
+        };
+        s.clamp(0.0, 1.0)
+    }
+
+    /// Map each output column of a plan node back to its base-table origin,
+    /// when derivable.
+    pub(crate) fn origins(&self, plan: &Plan) -> Vec<ColumnOrigin> {
+        match plan {
+            Plan::Empty { schema } | Plan::Union { schema, .. } => vec![None; schema.arity()],
+            Plan::Scan { table, schema, .. } | Plan::IndexScan { table, schema, .. } => {
+                (0..schema.arity()).map(|i| Some((table.clone(), i))).collect()
+            }
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => self.origins(input),
+            Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+                let mut out = self.origins(left);
+                out.extend(self.origins(right));
+                out
+            }
+            Plan::IndexJoin { probe, table, probe_is_left, schema, .. } => {
+                let p = self.origins(probe);
+                let table_arity = schema.arity().saturating_sub(p.len());
+                let t: Vec<ColumnOrigin> =
+                    (0..table_arity).map(|i| Some((table.clone(), i))).collect();
+                if *probe_is_left {
+                    let mut out = p;
+                    out.extend(t);
+                    out
+                } else {
+                    let mut out = t;
+                    out.extend(p);
+                    out
+                }
+            }
+            Plan::Project { input, exprs, .. } => {
+                let inner = self.origins(input);
+                exprs
+                    .iter()
+                    .map(|e| match e {
+                        BoundExpr::Column(i) => inner.get(*i).cloned().flatten(),
+                        _ => None,
+                    })
+                    .collect()
+            }
+            Plan::Aggregate { input, group_by, aggs, .. } => {
+                let inner = self.origins(input);
+                let mut out: Vec<ColumnOrigin> = group_by
+                    .iter()
+                    .map(|g| match g {
+                        BoundExpr::Column(i) => inner.get(*i).cloned().flatten(),
+                        _ => None,
+                    })
+                    .collect();
+                out.extend((0..aggs.len()).map(|_| None));
+                out
+            }
+        }
+    }
+
+    /// Estimated distinct values of a column within a side producing
+    /// `side_rows` rows: statistics NDV when available, the hash index's
+    /// distinct-key count as a fallback, the side estimate itself otherwise
+    /// (the key/foreign-key assumption); always clamped to `[1, side_rows]`.
+    pub(crate) fn ndv(&self, origin: &ColumnOrigin, side_rows: f64) -> f64 {
+        let cap = side_rows.max(1.0);
+        if let Some((table, col)) = origin {
+            if let Some(stats) = self.table_stats(table) {
+                if let Some(c) = stats.column(*col) {
+                    return (c.distinct as f64).clamp(1.0, cap);
+                }
+            }
+            if let Ok(t) = self.catalog.table(table) {
+                let t = t.read();
+                if let Some(c) = t.schema().columns.get(*col) {
+                    let name = c.name.clone();
+                    if let Some(idx) = t.index_on(&name) {
+                        return (idx.distinct_keys() as f64).clamp(1.0, cap);
+                    }
+                }
+            }
+        }
+        cap
+    }
+
+    /// Statistics-backed equality selectivity, `None` when stats can't help.
+    fn stats_eq(&self, a: &BoundExpr, b: &BoundExpr, origins: &[ColumnOrigin]) -> Option<f64> {
+        match (a, b) {
+            (BoundExpr::Column(i), BoundExpr::Literal(v))
+            | (BoundExpr::Literal(v), BoundExpr::Column(i)) => {
+                self.stats_eq_value(origins.get(*i)?, v)
+            }
+            // col = col within one row set: 1/max NDV, only when both sides
+            // have real statistics.
+            (BoundExpr::Column(i), BoundExpr::Column(j)) => {
+                let ni = self.stats_ndv(origins.get(*i)?)?;
+                let nj = self.stats_ndv(origins.get(*j)?)?;
+                Some(1.0 / ni.max(nj).max(1.0))
+            }
+            _ => None,
+        }
+    }
+
+    /// Equality selectivity of `origin = v` from statistics alone.
+    fn stats_eq_value(&self, origin: &ColumnOrigin, v: &Value) -> Option<f64> {
+        let (table, col) = origin.as_ref()?;
+        let stats = self.table_stats(table)?;
+        Some(stats.column(*col)?.eq_selectivity(v))
+    }
+
+    /// Statistics-backed range selectivity, `None` when stats can't help.
+    fn stats_range(
+        &self,
+        a: &BoundExpr,
+        op: BinaryOp,
+        b: &BoundExpr,
+        origins: &[ColumnOrigin],
+    ) -> Option<f64> {
+        // Normalize to column-on-the-left; flipping sides flips the operator.
+        let (i, v, op) = match (a, b) {
+            (BoundExpr::Column(i), BoundExpr::Literal(v)) => (i, v, op),
+            (BoundExpr::Literal(v), BoundExpr::Column(i)) => {
+                let flipped = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    other => other,
+                };
+                (i, v, flipped)
+            }
+            _ => return None,
+        };
+        let (table, col) = origins.get(*i)?.as_ref()?;
+        let stats = self.table_stats(table)?;
+        let c = stats.column(*col)?;
+        Some(match op {
+            BinaryOp::Lt => c.lt_selectivity(v, false),
+            BinaryOp::LtEq => c.lt_selectivity(v, true),
+            BinaryOp::Gt => c.gt_selectivity(v, false),
+            BinaryOp::GtEq => c.gt_selectivity(v, true),
+            _ => return None,
+        })
+    }
+
+    fn stats_ndv(&self, origin: &ColumnOrigin) -> Option<f64> {
+        let (table, col) = origin.as_ref()?;
+        let stats = self.table_stats(table)?;
+        Some(stats.column(*col)?.distinct.max(1) as f64)
+    }
+
+    fn null_fraction(&self, origin: &ColumnOrigin) -> Option<f64> {
+        let (table, col) = origin.as_ref()?;
+        let stats = self.table_stats(table)?;
+        Some(stats.column(*col)?.null_fraction())
+    }
+
+    /// Estimated base-table row count: the stats snapshot when analyzed (the
+    /// numbers the rest of estimation is consistent with), live length
+    /// otherwise.
+    pub(crate) fn table_rows(&self, table: &str) -> f64 {
+        self.table_info(table).0
+    }
+
+    fn table_stats(&self, table: &str) -> Option<Arc<TableStats>> {
+        self.table_info(table).1
+    }
+
+    fn table_info(&self, table: &str) -> TableInfo {
+        let key = table.to_ascii_uppercase();
+        if let Some(info) = self.tables.borrow().get(&key) {
+            return info.clone();
+        }
+        let info = match self.catalog.table(table) {
+            Ok(t) => {
+                let t = t.read();
+                let stats = t.stats();
+                let rows = stats.as_ref().map(|s| s.rows as f64).unwrap_or_else(|| t.len() as f64);
+                (rows, stats)
+            }
+            Err(_) => (UNKNOWN_TABLE_ROWS, None),
+        };
+        self.tables.borrow_mut().insert(key, info.clone());
+        info
+    }
+
+    fn table_arity(&self, table: &str) -> usize {
+        self.catalog.table(table).map(|t| t.read().schema().arity()).unwrap_or(0)
+    }
+
+    fn column_index(&self, table: &str, column: &str) -> Option<usize> {
+        self.catalog.table(table).ok()?.read().schema().column_index(column)
+    }
+}
+
+fn is_col_lit(a: &BoundExpr, b: &BoundExpr) -> bool {
+    matches!(
+        (a, b),
+        (BoundExpr::Column(_), BoundExpr::Literal(_))
+            | (BoundExpr::Literal(_), BoundExpr::Column(_))
+    )
+}

@@ -91,6 +91,17 @@ pub fn execute_statement(stmt: &Statement, catalog: &mut Catalog) -> Result<Stat
             }
             Ok(StatementResult::Affected(inserted))
         }
+        Statement::Analyze { table } => {
+            // Returns the number of tables analyzed. Statistics feed the
+            // cost-based planner; see `crate::cost`.
+            match table {
+                Some(name) => {
+                    catalog.analyze_table(name)?;
+                    Ok(StatementResult::Affected(1))
+                }
+                None => Ok(StatementResult::Affected(catalog.analyze_all()?)),
+            }
+        }
         Statement::Delete { table, selection } => {
             let t = catalog.table(table)?;
             let mut t = t.write();

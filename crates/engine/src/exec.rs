@@ -20,11 +20,11 @@
 //! `threads <= 1` take the serial fast path and never spawn.
 
 use crate::bound::BoundExpr;
-use crate::error::Result;
+use crate::error::{bind_err, Result};
 use crate::par;
 use crate::plan::Plan;
 use pqp_sql::BinaryOp;
-use pqp_storage::{Catalog, Row, Value};
+use pqp_storage::{Catalog, Row, Table, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
@@ -110,6 +110,13 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
 /// (`crate::par`), preserving the deterministic ordering contract.
 pub fn execute_with(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<Row>> {
     let _span = pqp_obs::span(op_name(plan));
+    if pqp_obs::trace_active() {
+        // Planner estimate alongside the actual rows_out: EXPLAIN ANALYZE
+        // consumers compute per-operator Q-error from the pair. Only paid
+        // when a trace is being collected.
+        let est = crate::cost::Estimator::new(catalog).rows(plan);
+        pqp_obs::record("est_rows", est.round() as i64);
+    }
     let rows = execute_op(plan, catalog, opts)?;
     pqp_obs::record("rows_out", rows.len());
     Ok(rows)
@@ -119,8 +126,10 @@ fn op_name(plan: &Plan) -> &'static str {
     match plan {
         Plan::Empty { .. } => "exec.empty",
         Plan::Scan { .. } => "exec.scan",
+        Plan::IndexScan { .. } => "exec.index_scan",
         Plan::Filter { .. } => "exec.filter",
         Plan::HashJoin { .. } => "exec.hash_join",
+        Plan::IndexJoin { .. } => "exec.index_join",
         Plan::CrossJoin { .. } => "exec.cross_join",
         Plan::Project { .. } => "exec.project",
         Plan::Aggregate { .. } => "exec.aggregate",
@@ -137,6 +146,61 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
         Plan::Scan { table, filter, .. } => {
             pqp_obs::record("table", table.as_str());
             scan(table, filter.as_ref(), catalog, opts)
+        }
+        Plan::IndexScan { table, column, key, residual, .. } => {
+            pqp_obs::record("table", table.as_str());
+            let t = catalog.table(table)?;
+            let t = t.read();
+            match t.index_lookup(column, key) {
+                Some(hits) => {
+                    pqp_obs::record("strategy", "index_scan");
+                    let mut out = Vec::new();
+                    for row in hits? {
+                        if let Some(f) = residual {
+                            if !f.eval_predicate(&row)? {
+                                continue;
+                            }
+                        }
+                        out.push(row);
+                    }
+                    Ok(out)
+                }
+                None => {
+                    // The index was dropped after planning: reconstruct the
+                    // full pushed-down predicate and fall back to a scan.
+                    let Some(col) = t.schema().column_index(column) else {
+                        return bind_err(format!("unknown column `{column}` in `{table}`"));
+                    };
+                    let eq = BoundExpr::Binary {
+                        left: Box::new(BoundExpr::Column(col)),
+                        op: BinaryOp::Eq,
+                        right: Box::new(BoundExpr::Literal(key.clone())),
+                    };
+                    let pred = match residual {
+                        Some(r) => BoundExpr::Binary {
+                            left: Box::new(eq),
+                            op: BinaryOp::And,
+                            right: Box::new(r.clone()),
+                        },
+                        None => eq,
+                    };
+                    drop(t);
+                    scan(table, Some(&pred), catalog, opts)
+                }
+            }
+        }
+        Plan::IndexJoin { probe, probe_key, table, column, filter, probe_is_left, .. } => {
+            let probe_rows = execute_with(probe, catalog, opts)?;
+            index_join(
+                probe_rows,
+                *probe_key,
+                table,
+                column,
+                filter.as_ref(),
+                *probe_is_left,
+                catalog,
+                opts,
+            )
         }
         Plan::Filter { input, predicate } => {
             let rows = execute_with(input, catalog, opts)?;
@@ -313,7 +377,7 @@ fn scan(
 }
 
 /// Top-level conjuncts of a bound expression.
-fn split_and(e: &BoundExpr) -> Vec<&BoundExpr> {
+pub(crate) fn split_and(e: &BoundExpr) -> Vec<&BoundExpr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
         match e {
@@ -329,7 +393,7 @@ fn split_and(e: &BoundExpr) -> Vec<&BoundExpr> {
 }
 
 /// `col = literal` (either orientation), as (column position, literal).
-fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
+pub(crate) fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
     let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = e else {
         return None;
     };
@@ -343,7 +407,10 @@ fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
 /// Index-nested-loop join: execute `probe`, and for each probe row fetch
 /// matches from `scan_side` (which must be a base-table scan with an index
 /// on its single join column). Returns `None` when the shape or the size
-/// heuristic does not apply.
+/// heuristic does not apply, or when the table has statistics — for
+/// analyzed tables the planner owns the index-join decision
+/// ([`Plan::IndexJoin`]); this runtime sniffing only covers un-analyzed
+/// tables.
 #[allow(clippy::too_many_arguments)]
 fn try_index_join(
     probe: &Plan,
@@ -361,6 +428,9 @@ fn try_index_join(
     // Resolve the indexed column name and check an index exists.
     let (col_name, table_len) = {
         let t = t.read();
+        if t.stats().is_some() {
+            return Ok(None);
+        }
         let name = t.schema().columns[scan_keys[0]].name.clone();
         if t.index_on(&name).is_none() {
             return Ok(None);
@@ -379,15 +449,62 @@ fn try_index_join(
         return Ok(Some(rows));
     }
     let t = t.read();
+    index_probe(&t, &col_name, &probe_rows, probe_keys[0], filter.as_ref(), probe_is_left)
+}
+
+/// Execute a planner-chosen [`Plan::IndexJoin`]'s scan side against
+/// already-materialized probe rows. Keeps the executor's runtime guard:
+/// when the probe side turns out large relative to the table, or the index
+/// is missing at runtime, fall back to hashing.
+#[allow(clippy::too_many_arguments)]
+fn index_join(
+    probe_rows: Vec<Row>,
+    probe_key: usize,
+    table: &str,
+    column: &str,
+    filter: Option<&BoundExpr>,
+    probe_is_left: bool,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<Vec<Row>> {
+    pqp_obs::record("table", table);
+    let tref = catalog.table(table)?;
+    let t = tref.read();
+    let Some(scan_key) = t.schema().column_index(column) else {
+        return bind_err(format!("unknown column `{column}` in `{table}`"));
+    };
+    if t.index_on(column).is_some() && probe_rows.len() * 4 <= t.len() {
+        if let Some(rows) = index_probe(&t, column, &probe_rows, probe_key, filter, probe_is_left)?
+        {
+            return Ok(rows);
+        }
+    }
+    drop(t);
+    pqp_obs::record("strategy", "hash_fallback");
+    let scan_rows = scan(table, filter, catalog, opts)?;
+    hash_join_oriented(probe_rows, scan_rows, &[probe_key], &[scan_key], probe_is_left, opts)
+}
+
+/// Probe `t`'s hash index on `column` with each probe row's `probe_key`
+/// value, assembling output rows in the engine's fixed `left ++ right`
+/// column order. Returns `Ok(None)` if the index disappears mid-probe.
+fn index_probe(
+    t: &Table,
+    column: &str,
+    probe_rows: &[Row],
+    probe_key: usize,
+    filter: Option<&BoundExpr>,
+    probe_is_left: bool,
+) -> Result<Option<Vec<Row>>> {
     pqp_obs::record("strategy", "index_nested_loop");
     pqp_obs::record("probe_rows", probe_rows.len());
     let mut out = Vec::new();
-    for prow in &probe_rows {
-        let key = &prow[probe_keys[0]];
+    for prow in probe_rows {
+        let key = &prow[probe_key];
         if key.is_null() {
             continue;
         }
-        let Some(hits) = t.index_lookup(&col_name, key) else {
+        let Some(hits) = t.index_lookup(column, key) else {
             return Ok(None);
         };
         for hit in hits? {

@@ -50,6 +50,7 @@
 
 pub mod aggregate;
 pub mod bound;
+pub mod cost;
 pub mod ddl;
 pub mod error;
 pub mod exec;
@@ -60,6 +61,7 @@ pub mod planner;
 pub mod rewrite;
 pub mod types;
 
+pub use cost::Estimator;
 pub use error::{EngineError, Result};
 pub use exec::{ExecOptions, DEFAULT_MIN_PARALLEL_ROWS};
 pub use types::{OutputColumn, OutputSchema, ResultSet};
@@ -168,9 +170,11 @@ impl Database {
         naive::naive_execute(q, &self.catalog)
     }
 
-    /// EXPLAIN text for a SQL string.
+    /// EXPLAIN text for a SQL string, with per-node `est_rows` from the
+    /// cost estimator.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let q = pqp_sql::parse_query(sql)?;
-        Ok(self.plan(&q)?.explain())
+        let plan = self.plan(&q)?;
+        Ok(Estimator::new(&self.catalog).explain(&plan))
     }
 }

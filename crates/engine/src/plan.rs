@@ -4,6 +4,7 @@
 use crate::aggregate::AggCall;
 use crate::bound::BoundExpr;
 use crate::types::OutputSchema;
+use pqp_storage::Value;
 
 /// A query plan node. Plans are produced fully bound: every expression
 //  references input columns by position.
@@ -14,6 +15,18 @@ pub enum Plan {
     Empty { schema: OutputSchema },
     /// Full scan of a base table, with an optional pushed-down filter.
     Scan { table: String, filter: Option<BoundExpr>, schema: OutputSchema },
+    /// Index point lookup on a base table: the rows where `column = key`
+    /// (fetched through the table's hash index), then filtered by the
+    /// remaining pushed-down conjuncts. Chosen at plan time when a
+    /// pushed-down equality conjunct hits a `HashIndex`; the executor falls
+    /// back to a full scan if the index is missing at runtime.
+    IndexScan {
+        table: String,
+        column: String,
+        key: Value,
+        residual: Option<BoundExpr>,
+        schema: OutputSchema,
+    },
     /// σ: keep rows whose predicate evaluates to TRUE.
     Filter { input: Box<Plan>, predicate: BoundExpr },
     /// Equi-join: `left.left_keys[i] = right.right_keys[i]` for all i.
@@ -23,6 +36,22 @@ pub enum Plan {
         right: Box<Plan>,
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
+        schema: OutputSchema,
+    },
+    /// Index nested-loop join chosen at plan time: execute `probe`, then for
+    /// each probe row fetch `table` rows with `column = probe[probe_key]`
+    /// through the table's hash index, applying the pushed-down `filter` to
+    /// fetched rows. Output columns are in the engine's fixed `left ++
+    /// right` order: probe columns first when `probe_is_left`, table columns
+    /// first otherwise. The executor keeps a size guard and falls back to a
+    /// hash join when the probe side turns out large (or the index is gone).
+    IndexJoin {
+        probe: Box<Plan>,
+        probe_key: usize,
+        table: String,
+        column: String,
+        filter: Option<BoundExpr>,
+        probe_is_left: bool,
         schema: OutputSchema,
     },
     /// Cartesian product (kept for predicates the join planner cannot turn
@@ -55,7 +84,9 @@ impl Plan {
         match self {
             Plan::Empty { schema }
             | Plan::Scan { schema, .. }
+            | Plan::IndexScan { schema, .. }
             | Plan::HashJoin { schema, .. }
+            | Plan::IndexJoin { schema, .. }
             | Plan::CrossJoin { schema, .. }
             | Plan::Project { schema, .. }
             | Plan::Aggregate { schema, .. }
@@ -69,67 +100,97 @@ impl Plan {
 
     /// A compact, indented rendering of the plan tree (EXPLAIN-style).
     pub fn explain(&self) -> String {
+        self.explain_annotated(&mut |_| None)
+    }
+
+    /// Like [`Plan::explain`], but appends ` (annotation)` to every node for
+    /// which `annot` returns `Some` — the hook the cost estimator uses to
+    /// print `est_rows` without the plan depending on the estimator.
+    pub fn explain_annotated(&self, annot: &mut dyn FnMut(&Plan) -> Option<String>) -> String {
         let mut out = String::new();
-        self.explain_into(0, &mut out);
+        self.explain_into(0, &mut out, annot);
         out
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
+    fn explain_into(
+        &self,
+        depth: usize,
+        out: &mut String,
+        annot: &mut dyn FnMut(&Plan) -> Option<String>,
+    ) {
         let pad = "  ".repeat(depth);
+        let suffix = match annot(self) {
+            Some(s) => format!(" ({s})"),
+            None => String::new(),
+        };
         match self {
-            Plan::Empty { .. } => out.push_str(&format!("{pad}Empty\n")),
+            Plan::Empty { .. } => out.push_str(&format!("{pad}Empty{suffix}\n")),
             Plan::Scan { table, filter, .. } => {
                 out.push_str(&format!(
-                    "{pad}Scan {table}{}\n",
+                    "{pad}Scan {table}{}{suffix}\n",
                     if filter.is_some() { " [filtered]" } else { "" }
                 ));
             }
+            Plan::IndexScan { table, column, key, residual, .. } => {
+                out.push_str(&format!(
+                    "{pad}IndexScan {table}.{column}={key}{}{suffix}\n",
+                    if residual.is_some() { " [filtered]" } else { "" }
+                ));
+            }
             Plan::Filter { input, .. } => {
-                out.push_str(&format!("{pad}Filter\n"));
-                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}Filter{suffix}\n"));
+                input.explain_into(depth + 1, out, annot);
             }
             Plan::HashJoin { left, right, left_keys, right_keys, .. } => {
-                out.push_str(&format!("{pad}HashJoin on {left_keys:?}={right_keys:?}\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}HashJoin on {left_keys:?}={right_keys:?}{suffix}\n"));
+                left.explain_into(depth + 1, out, annot);
+                right.explain_into(depth + 1, out, annot);
+            }
+            Plan::IndexJoin { probe, table, column, filter, probe_is_left, .. } => {
+                out.push_str(&format!(
+                    "{pad}IndexJoin {table}.{column}{} [probe={}]{suffix}\n",
+                    if filter.is_some() { " [filtered]" } else { "" },
+                    if *probe_is_left { "left" } else { "right" }
+                ));
+                probe.explain_into(depth + 1, out, annot);
             }
             Plan::CrossJoin { left, right, .. } => {
-                out.push_str(&format!("{pad}CrossJoin\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}CrossJoin{suffix}\n"));
+                left.explain_into(depth + 1, out, annot);
+                right.explain_into(depth + 1, out, annot);
             }
             Plan::Project { input, exprs, .. } => {
-                out.push_str(&format!("{pad}Project [{} exprs]\n", exprs.len()));
-                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}Project [{} exprs]{suffix}\n", exprs.len()));
+                input.explain_into(depth + 1, out, annot);
             }
             Plan::Aggregate { input, group_by, aggs, .. } => {
                 out.push_str(&format!(
-                    "{pad}Aggregate [{} groups, {} aggs]\n",
+                    "{pad}Aggregate [{} groups, {} aggs]{suffix}\n",
                     group_by.len(),
                     aggs.len()
                 ));
-                input.explain_into(depth + 1, out);
+                input.explain_into(depth + 1, out, annot);
             }
             Plan::Distinct { input } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}Distinct{suffix}\n"));
+                input.explain_into(depth + 1, out, annot);
             }
             Plan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort by {keys:?}\n"));
-                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}Sort by {keys:?}{suffix}\n"));
+                input.explain_into(depth + 1, out, annot);
             }
             Plan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}Limit {n}{suffix}\n"));
+                input.explain_into(depth + 1, out, annot);
             }
             Plan::Union { inputs, all, .. } => {
                 out.push_str(&format!(
-                    "{pad}Union{} [{} inputs]\n",
+                    "{pad}Union{} [{} inputs]{suffix}\n",
                     if *all { " All" } else { "" },
                     inputs.len()
                 ));
                 for i in inputs {
-                    i.explain_into(depth + 1, out);
+                    i.explain_into(depth + 1, out, annot);
                 }
             }
         }

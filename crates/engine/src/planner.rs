@@ -13,11 +13,13 @@
 
 use crate::aggregate::{AggCall, AggFunc};
 use crate::bound::BoundExpr;
+use crate::cost::Estimator;
 use crate::error::{bind_err, EngineError, Result};
+use crate::exec::{as_eq_literal, split_and};
 use crate::plan::Plan;
 use crate::types::{OutputColumn, OutputSchema};
 use pqp_sql::ast::*;
-use pqp_storage::Catalog;
+use pqp_storage::{Catalog, Value};
 use std::collections::HashSet;
 
 /// Plans queries against a catalog.
@@ -260,20 +262,19 @@ impl<'a> Planner<'a> {
             residual.push(c);
         }
 
-        // Attach single-factor predicates, pushing them into scans.
+        // Attach single-factor predicates, pushing them into the access path
+        // (an IndexScan when an equality conjunct hits a hash index, a
+        // filtered scan otherwise). Each factor's cardinality comes from the
+        // statistics-backed estimator; un-analyzed tables fall back to the
+        // fixed per-conjunct selectivities inside `crate::cost`.
+        let estimator = Estimator::new(self.catalog);
         let mut nodes: Vec<Option<FactorNode>> = Vec::new();
         for (i, f) in factors.into_iter().enumerate() {
             let mut plan = f.plan;
-            let mut selectivity_boost = 1.0f64;
             if !single[i].is_empty() {
                 let mut pred: Option<BoundExpr> = None;
                 for c in &single[i] {
                     let b = self.bind_expr(c, plan.schema())?.fold();
-                    if has_eq_literal(c) {
-                        selectivity_boost *= 0.05;
-                    } else {
-                        selectivity_boost *= 0.5;
-                    }
                     pred = Some(match pred {
                         None => b,
                         Some(p) => BoundExpr::Binary {
@@ -287,20 +288,17 @@ impl<'a> Planner<'a> {
                 if pred.is_const_false() {
                     plan = Plan::Empty { schema: plan.schema().clone() };
                 } else if !pred.is_const_true() {
-                    plan = match plan {
-                        Plan::Scan { table, filter: None, schema } => {
-                            Plan::Scan { table, filter: Some(pred), schema }
-                        }
-                        other => Plan::Filter { input: Box::new(other), predicate: pred },
-                    };
+                    plan = self.push_predicate(plan, pred);
                 }
             }
-            let est = self.estimate(&plan) * selectivity_boost;
+            let est = estimator.rows(&plan);
             nodes.push(Some(FactorNode { binding: f.binding, plan, est }));
         }
 
-        // Greedy ordering: start from the cheapest node, repeatedly join the
-        // cheapest node connected by an edge; cross join when disconnected.
+        // Greedy ordering: start from the cheapest node, then repeatedly
+        // join the connected candidate whose estimated join *output* is
+        // smallest (|L|·|R| / Π max(ndv_L, ndv_R) over the connecting
+        // edges); cross join when disconnected.
         let n = nodes.len();
         let start = (0..n)
             .min_by(|&a, &b| {
@@ -318,20 +316,45 @@ impl<'a> Planner<'a> {
         let mut residual: Vec<Option<Expr>> = residual.into_iter().map(Some).collect();
 
         for _ in 1..n {
-            // Candidate factors connected to the current set.
-            let next = (0..n)
-                .filter(|i| nodes[*i].is_some())
-                .filter(|&i| {
-                    join_edges.iter().any(|e| {
-                        (joined.contains(&e.factors.0) && e.factors.1 == i)
-                            || (joined.contains(&e.factors.1) && e.factors.0 == i)
-                    })
-                })
-                .min_by(|&a, &b| {
-                    nodes[a].as_ref().unwrap().est.total_cmp(&nodes[b].as_ref().unwrap().est)
-                });
-            let (idx, connected) = match next {
-                Some(i) => (i, true),
+            // Cost each connected candidate by the cardinality of the join
+            // it would produce, propagating estimates through
+            // |L|·|R| / Π max(ndv_L, ndv_R) over its connecting edges.
+            let lorigins = estimator.origins(&current.plan);
+            let mut best: Option<(usize, f64)> = None;
+            for i in (0..n).filter(|i| nodes[*i].is_some()) {
+                let node = nodes[i].as_ref().unwrap();
+                let norigins = estimator.origins(&node.plan);
+                let mut denom = 1.0f64;
+                let mut touches = false;
+                for (ei, e) in join_edges.iter().enumerate() {
+                    if used_edges.contains(&ei) {
+                        continue;
+                    }
+                    let (a, b) = e.factors;
+                    let (near, far) = if joined.contains(&a) && b == i {
+                        (&e.cols.0, &e.cols.1)
+                    } else if joined.contains(&b) && a == i {
+                        (&e.cols.1, &e.cols.0)
+                    } else {
+                        continue;
+                    };
+                    touches = true;
+                    let lk = self.bind_column_index(near, current.plan.schema())?;
+                    let rk = self.bind_column_index(far, node.plan.schema())?;
+                    let ndv_l = estimator.ndv(&lorigins[lk], current.est);
+                    let ndv_r = estimator.ndv(&norigins[rk], node.est);
+                    denom *= ndv_l.max(ndv_r).max(1.0);
+                }
+                if !touches {
+                    continue;
+                }
+                let out = current.est * node.est / denom;
+                if out < best.map_or(f64::INFINITY, |(_, o)| o) {
+                    best = Some((i, out));
+                }
+            }
+            let (idx, connected, out_est) = match best {
+                Some((i, o)) => (i, true, o),
                 None => {
                     let i = (0..n)
                         .filter(|i| nodes[*i].is_some())
@@ -343,7 +366,8 @@ impl<'a> Planner<'a> {
                                 .total_cmp(&nodes[b].as_ref().unwrap().est)
                         })
                         .unwrap();
-                    (i, false)
+                    let o = current.est * nodes[i].as_ref().unwrap().est;
+                    (i, false, o)
                 }
             };
             let node = nodes[idx].take().unwrap();
@@ -373,13 +397,15 @@ impl<'a> Planner<'a> {
                     used_edges.insert(ei);
                 }
                 debug_assert!(!left_keys.is_empty());
-                current.plan = Plan::HashJoin {
-                    left: Box::new(current.plan),
-                    right: Box::new(node.plan),
+                current.plan = self.choose_join(
+                    current.plan,
+                    node.plan,
                     left_keys,
                     right_keys,
-                    schema: out_schema,
-                };
+                    out_schema,
+                    current.est,
+                    node.est,
+                );
             } else {
                 current.plan = Plan::CrossJoin {
                     left: Box::new(current.plan),
@@ -387,7 +413,7 @@ impl<'a> Planner<'a> {
                     schema: out_schema,
                 };
             }
-            current.est = (current.est * node.est).max(1.0);
+            current.est = out_est.max(1.0);
             joined.insert(idx);
             bindings_in.push(node.binding.clone());
 
@@ -447,20 +473,139 @@ impl<'a> Planner<'a> {
         Ok(current.plan)
     }
 
-    fn estimate(&self, plan: &Plan) -> f64 {
+    /// Push a bound single-table predicate into a base-table access path:
+    /// an [`Plan::IndexScan`] when an equality conjunct hits a hash index,
+    /// a filtered scan otherwise; a plain filter over anything that is not
+    /// a bare scan.
+    fn push_predicate(&self, plan: Plan, pred: BoundExpr) -> Plan {
         match plan {
-            Plan::Empty { .. } => 0.0,
-            Plan::Scan { table, filter, .. } => {
-                let len =
-                    self.catalog.table(table).map(|t| t.read().len() as f64).unwrap_or(1000.0);
-                if filter.is_some() {
-                    (len * 0.1).max(1.0)
-                } else {
-                    len.max(1.0)
+            Plan::Scan { table, filter: None, schema } => {
+                if let Some((column, key, residual)) = self.index_split(&table, &pred) {
+                    return Plan::IndexScan { table, column, key, residual, schema };
                 }
+                Plan::Scan { table, filter: Some(pred), schema }
             }
-            _ => 1000.0,
+            other => Plan::Filter { input: Box::new(other), predicate: pred },
         }
+    }
+
+    /// Find the first `col = literal` conjunct of `pred` (non-NULL literal)
+    /// that hits a hash index of `table`; returns the indexed column name,
+    /// the key, and the remaining conjuncts re-ANDed in order.
+    fn index_split(
+        &self,
+        table: &str,
+        pred: &BoundExpr,
+    ) -> Option<(String, Value, Option<BoundExpr>)> {
+        let t = self.catalog.table(table).ok()?;
+        let t = t.read();
+        let conjuncts = split_and(pred);
+        let (pos, column, key) = conjuncts.iter().enumerate().find_map(|(i, c)| {
+            let (col, v) = as_eq_literal(c)?;
+            if v.is_null() {
+                return None; // `= NULL` is never TRUE; leave it to the filter
+            }
+            let name = &t.schema().columns.get(col)?.name;
+            t.index_on(name)?;
+            Some((i, name.to_string(), v.clone()))
+        })?;
+        let residual = conjuncts
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, c)| c.clone())
+            .reduce(|a, b| BoundExpr::Binary {
+                left: Box::new(a),
+                op: BinaryOp::And,
+                right: Box::new(b),
+            });
+        Some((column, key, residual))
+    }
+
+    /// Build the physical join for the chosen factor pair: an index
+    /// nested-loop join when one side is a bare scan of an analyzed,
+    /// indexed base table and the other side's estimate clears the 4×
+    /// probe-size guard, a hash join otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn choose_join(
+        &self,
+        left: Plan,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        schema: OutputSchema,
+        left_est: f64,
+        right_est: f64,
+    ) -> Plan {
+        if left_keys.len() == 1 {
+            if let Some(p) = self.promote_index_join(
+                &left,
+                &right,
+                left_keys[0],
+                right_keys[0],
+                &schema,
+                left_est,
+                /*probe_is_left=*/ true,
+            ) {
+                return p;
+            }
+            if let Some(p) = self.promote_index_join(
+                &right,
+                &left,
+                right_keys[0],
+                left_keys[0],
+                &schema,
+                right_est,
+                /*probe_is_left=*/ false,
+            ) {
+                return p;
+            }
+        }
+        Plan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            schema,
+        }
+    }
+
+    /// `Some(IndexJoin)` when `scan_side` is a bare scan of an *analyzed*
+    /// table with a hash index on its join column and the probe side's
+    /// estimated cardinality clears the executor's 4× size guard at plan
+    /// time. Without statistics the estimate is too crude to commit here,
+    /// so the executor's runtime sniffing keeps the decision instead.
+    #[allow(clippy::too_many_arguments)]
+    fn promote_index_join(
+        &self,
+        probe: &Plan,
+        scan_side: &Plan,
+        probe_key: usize,
+        scan_key: usize,
+        schema: &OutputSchema,
+        probe_est: f64,
+        probe_is_left: bool,
+    ) -> Option<Plan> {
+        let Plan::Scan { table, filter, .. } = scan_side else {
+            return None;
+        };
+        let t = self.catalog.table(table).ok()?;
+        let t = t.read();
+        let stats = t.stats()?;
+        let column = t.schema().columns.get(scan_key)?.name.clone();
+        t.index_on(&column)?;
+        if probe_est * 4.0 > stats.rows as f64 {
+            return None;
+        }
+        Some(Plan::IndexJoin {
+            probe: Box::new(probe.clone()),
+            probe_key,
+            table: table.clone(),
+            column,
+            filter: filter.clone(),
+            probe_is_left,
+            schema: schema.clone(),
+        })
     }
 
     /// Which factors an expression references.
@@ -879,24 +1024,6 @@ pub fn expr_eq_ci(a: &Expr, b: &Expr) -> bool {
                 && aa.len() == ab.len()
                 && aa.iter().zip(ab).all(|(x, y)| expr_eq_ci(x, y))
         }
-        _ => false,
-    }
-}
-
-/// Whether an expression contains `column = literal` (used as a crude
-/// selectivity signal).
-fn has_eq_literal(e: &Expr) -> bool {
-    match e {
-        Expr::Binary { left, op: BinaryOp::Eq, right } => {
-            matches!(
-                (&**left, &**right),
-                (Expr::Column { .. }, Expr::Literal(_)) | (Expr::Literal(_), Expr::Column { .. })
-            )
-        }
-        Expr::Binary { left, op: BinaryOp::And, right } => {
-            has_eq_literal(left) || has_eq_literal(right)
-        }
-        Expr::InList { expr, .. } => matches!(&**expr, Expr::Column { .. }),
         _ => false,
     }
 }

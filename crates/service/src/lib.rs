@@ -184,6 +184,9 @@ struct PlanKey {
     /// criterion, rank).
     opts: OptionsKey,
     rewrite: Rewrite,
+    /// The catalog's statistics epoch at plan time. `ANALYZE` bumps it, so
+    /// plans chosen under old statistics miss and are re-planned.
+    stats_epoch: u64,
 }
 
 /// A canonical, hashable image of [`PersonalizeOptions`], spelled out field
@@ -524,6 +527,7 @@ impl Service {
             canonical: prepared.canonical.clone(),
             opts: OptionsKey::from(&options),
             rewrite,
+            stats_epoch: self.db.catalog().stats_epoch(),
         };
 
         // Fast path: a cached plan built under the user's current epoch.
@@ -786,6 +790,21 @@ mod tests {
         assert_eq!(service.cache_stats().plans.stale, 1);
         // And the refreshed entry serves hits again.
         assert!(session.query(Q).unwrap().plan_cached);
+    }
+
+    #[test]
+    fn analyze_invalidates_cached_plans() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        session.query(Q).unwrap();
+        assert!(session.query(Q).unwrap().plan_cached);
+
+        // ANALYZE bumps the catalog's stats epoch: cached plans chosen under
+        // the old statistics must not be served again.
+        service.database().catalog().analyze_all().unwrap();
+        let after = session.query(Q).unwrap();
+        assert!(!after.plan_cached, "plan re-chosen under fresh statistics");
+        assert!(session.query(Q).unwrap().plan_cached, "and re-cached");
     }
 
     #[test]

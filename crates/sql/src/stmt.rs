@@ -37,11 +37,32 @@ pub enum TableConstraint {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Query(Query),
-    CreateTable { name: String, columns: Vec<ColumnSpec>, constraints: Vec<TableConstraint> },
-    CreateIndex { table: String, column: String },
-    Insert { table: String, columns: Option<Vec<String>>, rows: Vec<Vec<Expr>> },
-    Delete { table: String, selection: Option<Expr> },
-    DropTable { name: String },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnSpec>,
+        constraints: Vec<TableConstraint>,
+    },
+    CreateIndex {
+        table: String,
+        column: String,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Delete {
+        table: String,
+        selection: Option<Expr>,
+    },
+    DropTable {
+        name: String,
+    },
+    /// `ANALYZE [table]`: collect optimizer statistics for one table, or for
+    /// every table when no name is given.
+    Analyze {
+        table: Option<String>,
+    },
 }
 
 /// Parse one statement (optionally `;`-terminated).
@@ -123,6 +144,7 @@ impl StmtParser {
             Token::Keyword(Keyword::Insert) => self.insert(),
             Token::Keyword(Keyword::Delete) => self.delete(),
             Token::Keyword(Keyword::Drop) => self.drop_table(),
+            Token::Keyword(Keyword::Analyze) => self.analyze(),
             _ => {
                 // Delegate to the query parser on the remaining text — we
                 // re-parse from the original tokens for position fidelity.
@@ -307,6 +329,12 @@ impl StmtParser {
         self.expect_kw(Keyword::Table)?;
         Ok(Statement::DropTable { name: self.ident()? })
     }
+
+    fn analyze(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Analyze)?;
+        let table = if matches!(self.peek(), Token::Ident(_)) { Some(self.ident()?) } else { None };
+        Ok(Statement::Analyze { table })
+    }
 }
 
 impl fmt::Display for Statement {
@@ -385,6 +413,10 @@ impl fmt::Display for Statement {
                 Ok(())
             }
             Statement::DropTable { name } => write!(f, "DROP TABLE {}", sql_ident(name)),
+            Statement::Analyze { table } => match table {
+                Some(t) => write!(f, "ANALYZE {}", sql_ident(t)),
+                None => write!(f, "ANALYZE"),
+            },
         }
     }
 }
@@ -468,6 +500,14 @@ mod tests {
     #[test]
     fn drop_table() {
         assert_eq!(roundtrip("drop table T"), Statement::DropTable { name: "T".into() });
+    }
+
+    #[test]
+    fn analyze_with_and_without_table() {
+        assert_eq!(roundtrip("analyze MOVIE"), Statement::Analyze { table: Some("MOVIE".into()) });
+        assert_eq!(roundtrip("ANALYZE"), Statement::Analyze { table: None });
+        assert_eq!(roundtrip("analyze;"), Statement::Analyze { table: None });
+        assert!(parse_statement("analyze MOVIE GENRE").is_err(), "one table at most");
     }
 
     #[test]

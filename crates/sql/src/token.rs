@@ -44,6 +44,7 @@ pub enum Keyword {
     Values,
     Delete,
     Drop,
+    Analyze,
 }
 
 impl Keyword {
@@ -89,6 +90,7 @@ impl Keyword {
             "VALUES" => Values,
             "DELETE" => Delete,
             "DROP" => Drop,
+            "ANALYZE" => Analyze,
             _ => return None,
         })
     }

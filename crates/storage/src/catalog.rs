@@ -7,6 +7,7 @@ use crate::schema::{Cardinality, TableSchema};
 use crate::sync::RwLock;
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared handle to a table. Readers take the lock briefly to scan; the
@@ -30,6 +31,9 @@ pub struct SchemaJoin {
 #[derive(Default)]
 pub struct Catalog {
     tables: BTreeMap<String, TableRef>,
+    /// Bumped on every `ANALYZE` so plan caches keyed on it miss after
+    /// statistics change (see `pqp-service`).
+    stats_epoch: AtomicU64,
 }
 
 impl Catalog {
@@ -159,6 +163,31 @@ impl Catalog {
             }
         }
         out
+    }
+
+    /// Monotonic counter bumped by every `ANALYZE`. Plan caches fold it into
+    /// their keys so plans built against old statistics are not reused.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Acquire)
+    }
+
+    /// `ANALYZE table`: (re)collect statistics for one table and bump the
+    /// stats epoch. Takes `&self` — tables are behind locks, so analysis
+    /// needs no exclusive catalog access.
+    pub fn analyze_table(&self, name: &str) -> Result<()> {
+        self.table(name)?.write().analyze()?;
+        self.stats_epoch.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// `ANALYZE`: (re)collect statistics for every table; bumps the stats
+    /// epoch once. Returns the number of tables analyzed.
+    pub fn analyze_all(&self) -> Result<usize> {
+        for t in self.tables.values() {
+            t.write().analyze()?;
+        }
+        self.stats_epoch.fetch_add(1, Ordering::AcqRel);
+        Ok(self.tables.len())
     }
 
     /// Cardinality of the join `from_table.from_col = to_table.to_col`

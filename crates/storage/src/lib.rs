@@ -50,6 +50,7 @@ pub mod page;
 pub mod row;
 pub mod schema;
 pub mod shard;
+pub mod stats;
 pub mod sync;
 pub mod table;
 pub mod value;
@@ -62,5 +63,6 @@ pub use page::{Page, RowId, PAGE_SIZE};
 pub use row::{decode_row, encode_row, encode_row_vec, Row};
 pub use schema::{Cardinality, ColumnDef, ForeignKey, TableSchema};
 pub use shard::ShardedMap;
+pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -1,0 +1,376 @@
+//! Table and column statistics collected by `ANALYZE`, consumed by the
+//! engine's cost-based planner.
+//!
+//! Statistics are a *snapshot*: `ANALYZE` scans the table once and stores the
+//! result on the [`crate::table::Table`]; later inserts and deletes leave it
+//! stale until the next `ANALYZE`, exactly as in production systems. The
+//! planner treats absent stats as "fall back to the fixed heuristics", so an
+//! un-analyzed database plans exactly as it did before statistics existed.
+//!
+//! Per column we keep the classic quartet: distinct count (NDV), null count,
+//! min/max, and a small [equi-depth histogram](Histogram) over the non-null
+//! values (buckets hold roughly equal row counts, so frequent values span
+//! many buckets and are visible to the equality estimator).
+
+use crate::row::Row;
+use crate::value::Value;
+
+/// Number of buckets an equi-depth histogram aims for. Small on purpose: the
+/// planner only needs coarse shape (a few percent resolution), and ANALYZE
+/// must stay cheap enough to run casually in tests and benches.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// One bucket of an equi-depth histogram: the closed value range
+/// `[lo, hi]` and the number of (non-null) rows that fell into it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    pub lo: Value,
+    pub hi: Value,
+    pub count: usize,
+}
+
+/// An equi-depth histogram over the sorted non-null values of one column.
+///
+/// Built from at most [`HISTOGRAM_BUCKETS`] contiguous runs of the sorted
+/// values; each bucket records its inclusive bounds and row count. A heavily
+/// skewed value occupies entire buckets (`lo == hi`), which is what lets
+/// [`Histogram::eq_fraction`] see skew that a plain `1/NDV` estimate misses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    /// Total non-null rows the histogram describes.
+    total: usize,
+}
+
+impl Histogram {
+    /// Build from a **sorted** slice of non-null values. Returns `None` for
+    /// an empty slice.
+    pub fn build(sorted: &[Value]) -> Option<Histogram> {
+        if sorted.is_empty() {
+            return None;
+        }
+        let chunk = sorted.len().div_ceil(HISTOGRAM_BUCKETS).max(1);
+        let buckets = sorted
+            .chunks(chunk)
+            .map(|c| Bucket {
+                lo: c.first().expect("non-empty chunk").clone(),
+                hi: c.last().expect("non-empty chunk").clone(),
+                count: c.len(),
+            })
+            .collect();
+        Some(Histogram { buckets, total: sorted.len() })
+    }
+
+    /// The buckets, in value order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Fraction of the described (non-null) rows whose value is **exactly**
+    /// `v`, as far as the histogram can tell: the sum of buckets pinned to
+    /// `v` (`lo == hi == v`). For values that don't fill a whole bucket this
+    /// returns 0 — callers combine it with a uniform `1/NDV` floor.
+    pub fn eq_fraction(&self, v: &Value) -> f64 {
+        let pinned: usize =
+            self.buckets.iter().filter(|b| b.lo == *v && b.hi == *v).map(|b| b.count).sum();
+        pinned as f64 / self.total as f64
+    }
+
+    /// Total fraction of described rows sitting in pinned buckets
+    /// (`lo == hi`), plus the number of distinct values doing the pinning.
+    /// This is the histogram's implicit most-common-values set: the
+    /// equality estimator spreads the *remaining* mass over the remaining
+    /// distinct values.
+    pub fn pinned_mass(&self) -> (f64, usize) {
+        let mut count = 0usize;
+        let mut values = 0usize;
+        let mut prev: Option<&Value> = None;
+        for b in &self.buckets {
+            if b.lo == b.hi {
+                count += b.count;
+                if prev != Some(&b.lo) {
+                    values += 1;
+                    prev = Some(&b.lo);
+                }
+            }
+        }
+        (count as f64 / self.total as f64, values)
+    }
+
+    /// Fraction of the described (non-null) rows with value `< v`
+    /// (`inclusive = false`) or `<= v` (`inclusive = true`).
+    ///
+    /// Full buckets below `v` count whole; the bucket containing `v` is
+    /// credited by linear interpolation when its bounds are numeric, or half
+    /// its count otherwise.
+    pub fn fraction_below(&self, v: &Value, inclusive: bool) -> f64 {
+        let mut hit = 0.0;
+        for b in &self.buckets {
+            if b.hi < *v || (inclusive && b.hi == *v) {
+                hit += b.count as f64;
+            } else if b.lo < *v || (inclusive && b.lo == *v) {
+                // v splits this bucket.
+                hit += b.count as f64 * partial_credit(&b.lo, &b.hi, v);
+            }
+        }
+        (hit / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// How much of a bucket `[lo, hi]` lies below a splitting value `v`: linear
+/// interpolation for numeric bounds, one half otherwise.
+fn partial_credit(lo: &Value, hi: &Value, v: &Value) -> f64 {
+    match (lo.as_f64(), hi.as_f64(), v.as_f64()) {
+        (Some(lo), Some(hi), Some(v)) if hi > lo => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),
+        _ => 0.5,
+    }
+}
+
+/// Statistics for one column, over a snapshot of `rows` table rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Null count.
+    pub nulls: usize,
+    /// Non-null count (`rows - nulls` at collection time).
+    pub non_null: usize,
+    /// Smallest non-null value, if any.
+    pub min: Option<Value>,
+    /// Largest non-null value, if any.
+    pub max: Option<Value>,
+    /// Equi-depth histogram over the non-null values, if any.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Collect stats for one column given its (unsorted) values.
+    fn collect(mut values: Vec<Value>) -> ColumnStats {
+        let total = values.len();
+        values.retain(|v| !v.is_null());
+        let nulls = total - values.len();
+        values.sort();
+        let distinct = count_distinct_sorted(&values);
+        ColumnStats {
+            distinct,
+            nulls,
+            non_null: values.len(),
+            min: values.first().cloned(),
+            max: values.last().cloned(),
+            histogram: Histogram::build(&values),
+        }
+    }
+
+    /// Fraction of the column's NULLs among all rows of the snapshot.
+    pub fn null_fraction(&self) -> f64 {
+        let rows = self.nulls + self.non_null;
+        if rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / rows as f64
+        }
+    }
+
+    /// Estimated selectivity of `column = v` over all rows (NULLs never
+    /// match). The histogram's pinned buckets act as a most-common-values
+    /// set: a value that pins buckets is credited its pinned mass (with a
+    /// uniform `1/NDV` floor against under-pinning at bucket boundaries);
+    /// a value that pins nothing gets the *residual* mass spread over the
+    /// non-pinned distinct values — so rare values in a skewed, low-NDV
+    /// column are not inflated to `1/NDV`.
+    pub fn eq_selectivity(&self, v: &Value) -> f64 {
+        if v.is_null() || self.non_null == 0 {
+            return 0.0;
+        }
+        if let (Some(min), Some(max)) = (&self.min, &self.max) {
+            if v < min || v > max {
+                return 0.0;
+            }
+        }
+        let non_null_frac = 1.0 - self.null_fraction();
+        let uniform = 1.0 / self.distinct.max(1) as f64;
+        let frac = match &self.histogram {
+            Some(h) => {
+                let pinned = h.eq_fraction(v);
+                if pinned > 0.0 {
+                    pinned.max(uniform)
+                } else {
+                    let (pinned_total, pinned_values) = h.pinned_mass();
+                    let rest = (self.distinct.saturating_sub(pinned_values)).max(1);
+                    ((1.0 - pinned_total) / rest as f64).max(0.0)
+                }
+            }
+            None => uniform,
+        };
+        (frac * non_null_frac).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `column < v` (or `<=` when `inclusive`) over
+    /// all rows; NULLs never match.
+    pub fn lt_selectivity(&self, v: &Value, inclusive: bool) -> f64 {
+        if v.is_null() || self.non_null == 0 {
+            return 0.0;
+        }
+        let non_null_frac = 1.0 - self.null_fraction();
+        match &self.histogram {
+            Some(h) => h.fraction_below(v, inclusive) * non_null_frac,
+            None => non_null_frac / 3.0,
+        }
+    }
+
+    /// Estimated selectivity of `column > v` (or `>=` when `inclusive`) over
+    /// all rows; NULLs never match.
+    pub fn gt_selectivity(&self, v: &Value, inclusive: bool) -> f64 {
+        if v.is_null() || self.non_null == 0 {
+            return 0.0;
+        }
+        let non_null_frac = 1.0 - self.null_fraction();
+        // > v ≡ not (<= v), within the non-null population.
+        match &self.histogram {
+            Some(h) => (1.0 - h.fraction_below(v, !inclusive)) * non_null_frac,
+            None => non_null_frac / 3.0,
+        }
+    }
+}
+
+fn count_distinct_sorted(sorted: &[Value]) -> usize {
+    let mut n = 0;
+    let mut prev: Option<&Value> = None;
+    for v in sorted {
+        if prev != Some(v) {
+            n += 1;
+            prev = Some(v);
+        }
+    }
+    n
+}
+
+/// Statistics for one table: the snapshot row count plus per-column stats in
+/// schema column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Rows at collection time.
+    pub rows: usize,
+    /// One entry per schema column.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect statistics over a materialized snapshot of a table's rows.
+    /// `arity` is the schema arity (used when `rows` is empty).
+    pub fn collect(rows: &[Row], arity: usize) -> TableStats {
+        let columns = (0..arity)
+            .map(|c| ColumnStats::collect(rows.iter().map(|r| r[c].clone()).collect()))
+            .collect();
+        TableStats { rows: rows.len(), columns }
+    }
+
+    /// Stats for column `c`, if in range.
+    pub fn column(&self, c: usize) -> Option<&ColumnStats> {
+        self.columns.get(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let s = TableStats::collect(&[], 2);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.columns[0].distinct, 0);
+        assert!(s.columns[0].histogram.is_none());
+        assert_eq!(s.columns[0].eq_selectivity(&Value::Int(1)), 0.0);
+    }
+
+    #[test]
+    fn basic_column_stats() {
+        let rows: Vec<Row> =
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)], vec![Value::Null]];
+        let s = TableStats::collect(&rows, 1);
+        let c = &s.columns[0];
+        assert_eq!((c.distinct, c.nulls, c.non_null), (2, 1, 3));
+        assert_eq!(c.min, Some(Value::Int(1)));
+        assert_eq!(c.max, Some(Value::Int(2)));
+        assert!((c.null_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equi_depth_histogram_shape() {
+        // 160 values 0..160: 16 buckets of 10.
+        let vals = ints(&(0..160).collect::<Vec<_>>());
+        let h = Histogram::build(&vals).unwrap();
+        assert_eq!(h.buckets().len(), HISTOGRAM_BUCKETS);
+        assert!(h.buckets().iter().all(|b| b.count == 10));
+    }
+
+    #[test]
+    fn histogram_sees_skew() {
+        // 900 copies of 7, 100 distinct others: the value 7 pins most buckets.
+        let mut vals = vec![7i64; 900];
+        vals.extend(1000..1100);
+        let mut vals = ints(&vals);
+        vals.sort();
+        let h = Histogram::build(&vals).unwrap();
+        let skew = h.eq_fraction(&Value::Int(7));
+        assert!(skew > 0.8, "skewed value should dominate buckets, got {skew}");
+        assert_eq!(h.eq_fraction(&Value::Int(1005)), 0.0, "rare value pins no bucket");
+    }
+
+    #[test]
+    fn eq_selectivity_skew_vs_rare() {
+        let mut vals = vec![7i64; 900];
+        vals.extend(1000..1100);
+        let rows: Vec<Row> = vals.into_iter().map(|i| vec![Value::Int(i)]).collect();
+        let s = TableStats::collect(&rows, 1);
+        let c = &s.columns[0];
+        let common = c.eq_selectivity(&Value::Int(7));
+        let rare = c.eq_selectivity(&Value::Int(1005));
+        assert!(common > 0.8, "common: {common}");
+        // Rare value gets the residual (non-pinned) mass spread over the
+        // 100 non-pinned distinct values — well under the uniform 1/101.
+        assert!(rare > 0.0 && rare < 1.0 / 101.0, "rare: {rare}");
+        assert_eq!(c.eq_selectivity(&Value::Int(99_999)), 0.0, "out of [min, max]");
+        assert_eq!(c.eq_selectivity(&Value::Null), 0.0, "= NULL never matches");
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let rows: Vec<Row> = (0..1000).map(|i| vec![Value::Int(i)]).collect();
+        let s = TableStats::collect(&rows, 1);
+        let c = &s.columns[0];
+        let half = c.lt_selectivity(&Value::Int(500), false);
+        assert!((half - 0.5).abs() < 0.05, "x < 500 over 0..1000 ≈ 0.5, got {half}");
+        let q = c.gt_selectivity(&Value::Int(750), false);
+        assert!((q - 0.25).abs() < 0.05, "x > 750 over 0..1000 ≈ 0.25, got {q}");
+        assert!(c.lt_selectivity(&Value::Int(-5), false) < 0.01);
+        assert!(c.gt_selectivity(&Value::Int(5000), true) < 0.01);
+    }
+
+    #[test]
+    fn range_selectivity_discounts_nulls() {
+        let mut rows: Vec<Row> = (0..500).map(|i| vec![Value::Int(i)]).collect();
+        rows.extend((0..500).map(|_| vec![Value::Null]));
+        let s = TableStats::collect(&rows, 1);
+        let c = &s.columns[0];
+        // Half the rows are NULL; `< 250` matches a quarter of all rows.
+        let sel = c.lt_selectivity(&Value::Int(250), false);
+        assert!((sel - 0.25).abs() < 0.05, "got {sel}");
+    }
+
+    #[test]
+    fn string_histogram_uses_half_bucket_credit() {
+        // Strings have no numeric interpolation; just check bounds sanity.
+        let rows: Vec<Row> = ('a'..='z').map(|ch| vec![Value::str(ch.to_string())]).collect();
+        let s = TableStats::collect(&rows, 1);
+        let c = &s.columns[0];
+        let below = c.lt_selectivity(&Value::str("m"), false);
+        assert!(below > 0.0 && below < 1.0);
+    }
+}

@@ -6,7 +6,9 @@ use crate::index::HashIndex;
 use crate::page::RowId;
 use crate::row::Row;
 use crate::schema::TableSchema;
+use crate::stats::TableStats;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// A stored table.
 pub struct Table {
@@ -14,6 +16,9 @@ pub struct Table {
     heap: Heap,
     /// Indexes; index 0, when present, is the primary-key index.
     indexes: Vec<HashIndex>,
+    /// Statistics snapshot from the last `ANALYZE`, if any. Deliberately
+    /// left stale across inserts/deletes until the next `ANALYZE`.
+    stats: Option<Arc<TableStats>>,
 }
 
 impl Table {
@@ -27,7 +32,7 @@ impl Table {
         for u in &schema.unique {
             indexes.push(HashIndex::new(u.clone(), true));
         }
-        Table { schema, heap: Heap::new(), indexes }
+        Table { schema, heap: Heap::new(), indexes, stats: None }
     }
 
     /// The table schema.
@@ -154,6 +159,22 @@ impl Table {
     /// Materialize all rows.
     pub fn scan(&self) -> Result<Vec<Row>> {
         self.heap.scan()
+    }
+
+    /// Scan the table and (re)collect its statistics snapshot. Returns the
+    /// fresh stats. O(rows · columns · log rows) — per-column sorts for NDV
+    /// and the equi-depth histograms.
+    pub fn analyze(&mut self) -> Result<Arc<TableStats>> {
+        let rows = self.heap.scan()?;
+        let stats = Arc::new(TableStats::collect(&rows, self.schema.arity()));
+        self.stats = Some(stats.clone());
+        Ok(stats)
+    }
+
+    /// The statistics snapshot from the last [`Table::analyze`], if any.
+    /// May be stale relative to the live heap.
+    pub fn stats(&self) -> Option<Arc<TableStats>> {
+        self.stats.clone()
     }
 
     /// Point lookup through an index on `column`, materializing matches.

@@ -28,6 +28,14 @@ PQP_THREADS=4 cargo test "${CARGO_FLAGS[@]}" -p pqp --test parallel_equivalence 
 echo "==> parallel equivalence (PQP_THREADS=4, RUST_TEST_THREADS=1)"
 PQP_THREADS=4 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp --test parallel_equivalence -q
 
+# Statistics may change plans, never answers: the stats-equivalence suite
+# (naive vs planned, stats on/off/stale, serial vs PQP_THREADS budget) runs
+# under the default test parallelism AND serially, like the parallel suite.
+echo "==> stats equivalence (PQP_THREADS=4)"
+PQP_THREADS=4 cargo test "${CARGO_FLAGS[@]}" -p pqp --test stats_equivalence -q
+echo "==> stats equivalence (PQP_THREADS=4, RUST_TEST_THREADS=1)"
+PQP_THREADS=4 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp --test stats_equivalence -q
+
 echo "==> cargo test --doc"
 cargo test "${CARGO_FLAGS[@]}" --workspace --doc -q
 
