@@ -1,5 +1,6 @@
 //! Error type of the personalization layer.
 
+use pqp_obs::BudgetExceeded;
 use std::fmt;
 
 /// Errors raised while building profiles, mapping queries onto the
@@ -19,6 +20,12 @@ pub enum PrefError {
     TooManyCombinations { combinations: u128, limit: u128 },
     /// Underlying engine/storage failure (profile store access).
     Engine(String),
+    /// The query-governor budget tripped during preference selection or
+    /// integration. Carries partial-progress counters.
+    Budget(BudgetExceeded),
+    /// An invariant was violated (or a failpoint fired) inside the
+    /// personalization layer; the query fails but the process survives.
+    Internal(String),
 }
 
 impl fmt::Display for PrefError {
@@ -38,6 +45,8 @@ impl fmt::Display for PrefError {
                  use MQ or reduce K/L"
             ),
             PrefError::Engine(m) => write!(f, "engine error: {m}"),
+            PrefError::Budget(b) => write!(f, "{b}"),
+            PrefError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -46,7 +55,17 @@ impl std::error::Error for PrefError {}
 
 impl From<pqp_engine::EngineError> for PrefError {
     fn from(e: pqp_engine::EngineError) -> Self {
-        PrefError::Engine(e.to_string())
+        match e {
+            pqp_engine::EngineError::Budget(b) => PrefError::Budget(b),
+            pqp_engine::EngineError::Internal(m) => PrefError::Internal(m),
+            other => PrefError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for PrefError {
+    fn from(b: BudgetExceeded) -> Self {
+        PrefError::Budget(b)
     }
 }
 

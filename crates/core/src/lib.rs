@@ -79,13 +79,16 @@ pub use graph::{GraphAccess, InMemoryGraph, StoredProfileGraph};
 pub use integrate::{integrate_mq, integrate_sq, MatchSpec};
 pub use path::PreferencePath;
 pub use personalize::{
-    personalize, personalize_prepared, MandatorySpec, PersonalizeOptions,
+    personalize, personalize_prepared, personalize_prepared_ctx, MandatorySpec, PersonalizeOptions,
     PersonalizeOptionsBuilder, Personalized, Rewrite,
 };
 pub use pref::{AtomicPreference, AttrRef};
 pub use profile::Profile;
 pub use query_graph::QueryGraph;
-pub use select::{select_preferences, select_preferences_with, SelectStats, SelectionOutcome};
+pub use select::{
+    select_preferences, select_preferences_ctx, select_preferences_with, SelectStats,
+    SelectionOutcome,
+};
 
 /// Convenience prelude.
 pub mod prelude {

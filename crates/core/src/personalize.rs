@@ -8,7 +8,8 @@ use crate::graph::GraphAccess;
 use crate::integrate::{integrate_mq, integrate_sq, MatchSpec};
 use crate::path::PreferencePath;
 use crate::query_graph::QueryGraph;
-use crate::select::{select_preferences, SelectStats};
+use crate::select::{select_preferences_ctx, SelectStats};
+use pqp_obs::QueryCtx;
 use pqp_sql::ast::{Query, Select};
 use pqp_storage::Catalog;
 use std::fmt;
@@ -265,7 +266,7 @@ pub fn personalize(
         })?
         .clone();
     let qg = QueryGraph::from_select(&select, catalog)?;
-    personalize_with_graph(select, &qg, graph, opts)
+    personalize_with_graph(select, &qg, graph, opts, &QueryCtx::unlimited())
 }
 
 /// [`personalize`] for an already-parsed SELECT with a pre-built
@@ -279,7 +280,24 @@ pub fn personalize_prepared(
     opts: PersonalizeOptions,
 ) -> Result<Personalized> {
     let _span = pqp_obs::span("personalize");
-    personalize_with_graph(select.clone(), qg, graph, opts)
+    personalize_with_graph(select.clone(), qg, graph, opts, &QueryCtx::unlimited())
+}
+
+/// [`personalize_prepared`] under a query-governor context: preference
+/// selection checkpoints the context's budget every best-first round, so a
+/// deadline or cancellation cuts personalization off with
+/// [`PrefError::Budget`] — the serving layer uses this to degrade
+/// gracefully instead of letting the personalization phase eat the whole
+/// query budget.
+pub fn personalize_prepared_ctx(
+    select: &Select,
+    qg: &QueryGraph,
+    graph: &impl GraphAccess,
+    opts: PersonalizeOptions,
+    ctx: &QueryCtx,
+) -> Result<Personalized> {
+    let _span = pqp_obs::span("personalize");
+    personalize_with_graph(select.clone(), qg, graph, opts, ctx)
 }
 
 fn personalize_with_graph(
@@ -287,8 +305,10 @@ fn personalize_with_graph(
     qg: &QueryGraph,
     graph: &impl GraphAccess,
     opts: PersonalizeOptions,
+    ctx: &QueryCtx,
 ) -> Result<Personalized> {
-    let outcome = select_preferences(qg, graph, &opts.criterion);
+    let outcome =
+        select_preferences_ctx(qg, graph, &opts.criterion, &crate::doi::PaperCombinator, ctx)?;
     let paths = outcome.selected;
     let k = paths.len();
     pqp_obs::record("k", k);

@@ -17,9 +17,11 @@
 use crate::conflict::conflicts_with_query;
 use crate::criteria::InterestCriterion;
 use crate::doi::{Combinator, Doi, PaperCombinator};
+use crate::error::{PrefError, Result};
 use crate::graph::GraphAccess;
 use crate::path::PreferencePath;
 use crate::query_graph::QueryGraph;
+use pqp_obs::{BudgetReason, QueryCtx};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -92,6 +94,43 @@ pub fn select_preferences_with(
     criterion: &InterestCriterion,
     comb: &impl Combinator,
 ) -> SelectionOutcome {
+    match run_selection(qg, graph, criterion, comb, &QueryCtx::unlimited()) {
+        Ok(out) => out,
+        // An unlimited context has no deadline, caps or cancel signal, and
+        // the governed entry point (`select_preferences_ctx`) owns the
+        // failpoints — nothing here can fail.
+        Err(_) => unreachable!("selection under an unlimited governor context cannot trip"),
+    }
+}
+
+/// Run preference selection under a query-governor context: the best-first
+/// loop checkpoints the budget every round, so an exploding queue (large
+/// profile, permissive criterion) is cut off with
+/// [`PrefError::Budget`] instead of running away. This is also where the
+/// `select.pref` / `select.budget` failpoints hook in for chaos testing.
+pub fn select_preferences_ctx(
+    qg: &QueryGraph,
+    graph: &impl GraphAccess,
+    criterion: &InterestCriterion,
+    comb: &impl Combinator,
+    ctx: &QueryCtx,
+) -> Result<SelectionOutcome> {
+    if let Some(msg) = pqp_obs::failpoint::fire("select.pref") {
+        return Err(PrefError::Internal(format!("failpoint select.pref: {msg}")));
+    }
+    if pqp_obs::failpoint::fire("select.budget").is_some() {
+        return Err(PrefError::Budget(ctx.exceeded(BudgetReason::Injected)));
+    }
+    run_selection(qg, graph, criterion, comb, ctx)
+}
+
+fn run_selection(
+    qg: &QueryGraph,
+    graph: &impl GraphAccess,
+    criterion: &InterestCriterion,
+    comb: &impl Combinator,
+    ctx: &QueryCtx,
+) -> Result<SelectionOutcome> {
     let _span = pqp_obs::span("selection");
     let mut stats = SelectStats::default();
     graph.reset_access_count();
@@ -132,6 +171,7 @@ pub fn select_preferences_with(
     // Step 2: best-first rounds. Paths pop in decreasing degree (Theorem 1),
     // so completed selections form the ordered stream P_1, P_2, ... of §5.1.
     'outer: while let Some(Entry { path, .. }) = queue.pop() {
+        ctx.checkpoint()?;
         stats.rounds += 1;
         if path.is_selection() {
             if criterion.accepts(&selected_dois, path.doi) {
@@ -223,7 +263,7 @@ pub fn select_preferences_with(
     pqp_obs::counter_add("selection.pruned_cycles", stats.pruned_cycles as i64);
     pqp_obs::counter_add("selection.pruned_conflicts", stats.pruned_conflicts as i64);
     pqp_obs::counter_add("selection.graph_accesses", stats.graph_accesses as i64);
-    SelectionOutcome { selected, stats }
+    Ok(SelectionOutcome { selected, stats })
 }
 
 struct Candidate {
@@ -458,6 +498,48 @@ mod tests {
         let out = select_preferences(&qg, &g, &InterestCriterion::TopK(5));
         assert!(out.stats.rounds > 0);
         assert!(out.stats.graph_accesses > 0);
+    }
+
+    #[test]
+    fn governed_selection_matches_infallible_path() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&julie(), &c).unwrap();
+        let qg = initial_query_graph(&c);
+        let plain = select_preferences(&qg, &g, &InterestCriterion::TopK(5));
+        let governed = select_preferences_ctx(
+            &qg,
+            &g,
+            &InterestCriterion::TopK(5),
+            &PaperCombinator,
+            &pqp_obs::QueryCtx::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.selected, governed.selected);
+    }
+
+    #[test]
+    fn zero_deadline_trips_selection_with_budget_error() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&julie(), &c).unwrap();
+        let qg = initial_query_graph(&c);
+        let ctx = pqp_obs::QueryCtx::new(pqp_obs::Budget::unlimited().deadline_ms(0));
+        match select_preferences_ctx(&qg, &g, &InterestCriterion::TopK(5), &PaperCombinator, &ctx) {
+            Err(PrefError::Budget(b)) => assert_eq!(b.reason, BudgetReason::Deadline),
+            other => panic!("expected PrefError::Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_trips_selection() {
+        let c = catalog();
+        let g = InMemoryGraph::build(&julie(), &c).unwrap();
+        let qg = initial_query_graph(&c);
+        let ctx = pqp_obs::QueryCtx::unlimited();
+        ctx.cancel();
+        match select_preferences_ctx(&qg, &g, &InterestCriterion::TopK(5), &PaperCombinator, &ctx) {
+            Err(PrefError::Budget(b)) => assert_eq!(b.reason, BudgetReason::Cancelled),
+            other => panic!("expected PrefError::Budget, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Engine error type.
 
+use pqp_obs::BudgetExceeded;
 use pqp_sql::ParseError;
 use pqp_storage::StorageError;
 use std::fmt;
@@ -16,6 +17,14 @@ pub enum EngineError {
     Bind(String),
     /// Runtime evaluation failure.
     Exec(String),
+    /// The query's [`pqp_obs::Budget`] was exceeded (deadline, rows-scanned
+    /// or memory cap, or cooperative cancellation) — carries
+    /// partial-progress counters.
+    Budget(BudgetExceeded),
+    /// An invariant violation inside the engine: a panicking parallel
+    /// worker, or an injected failpoint fault. The query fails; the process
+    /// (and other queries) keep going.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -25,11 +34,22 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Bind(m) => write!(f, "bind error: {m}"),
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
+            EngineError::Budget(e) => write!(f, "{e}"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            EngineError::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> Self {
@@ -40,6 +60,21 @@ impl From<ParseError> for EngineError {
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<BudgetExceeded> for EngineError {
+    fn from(e: BudgetExceeded) -> Self {
+        EngineError::Budget(e)
+    }
+}
+
+/// Evaluate the failpoint at `site`; an injected `error` action surfaces as
+/// [`EngineError::Internal`].
+pub(crate) fn failpoint(site: &str) -> Result<()> {
+    match pqp_obs::failpoint::fire(site) {
+        Some(msg) => Err(EngineError::Internal(format!("failpoint {site}: {msg}"))),
+        None => Ok(()),
     }
 }
 

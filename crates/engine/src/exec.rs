@@ -18,11 +18,27 @@
 //! ordering contract: for any plan, `execute_with(plan, catalog, opts)`
 //! returns byte-identical rows to the serial [`execute`]. Small inputs and
 //! `threads <= 1` take the serial fast path and never spawn.
+//!
+//! ## The query governor
+//!
+//! [`execute_ctx`] additionally threads a [`QueryCtx`] through every
+//! operator. Execution is *cooperative*: each operator checkpoints at its
+//! entry, base-table scans charge rows in batches of
+//! [`pqp_obs::governor::CHARGE_BATCH_ROWS`], non-scan loops checkpoint
+//! every [`pqp_obs::governor::CHECKPOINT_STRIDE`] iterations, and
+//! row-materializing operators (joins, cross products, projections) charge
+//! an estimated [`pqp_obs::approx_row_bytes`] per output row. A tripped
+//! budget aborts the query with [`EngineError::Budget`](crate::EngineError::Budget) carrying
+//! partial-progress counters; parallel workers observe the same shared
+//! context, so a trip in one worker stops the others at their next
+//! checkpoint and the scope joins everything — no leaked threads.
 
 use crate::bound::BoundExpr;
-use crate::error::{bind_err, Result};
+use crate::error::{bind_err, failpoint, Result};
 use crate::par;
 use crate::plan::Plan;
+use pqp_obs::governor::{CHARGE_BATCH_ROWS, CHECKPOINT_STRIDE};
+use pqp_obs::{approx_row_bytes, QueryCtx};
 use pqp_sql::BinaryOp;
 use pqp_storage::{Catalog, Row, Table, Value};
 use std::collections::hash_map::Entry;
@@ -93,6 +109,14 @@ impl ExecOptions {
     }
 }
 
+/// Everything an operator needs from its surroundings: the catalog, the
+/// thread budget, and the per-query governor context.
+pub(crate) struct Env<'a> {
+    pub catalog: &'a Catalog,
+    pub opts: &'a ExecOptions,
+    pub ctx: &'a QueryCtx,
+}
+
 /// Execute a plan against a catalog serially, materializing all rows.
 ///
 /// Every operator runs under an observability span named `exec.<op>` with
@@ -109,15 +133,35 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Vec<Row>> {
 /// parallel operators merge their partitions in partition order
 /// (`crate::par`), preserving the deterministic ordering contract.
 pub fn execute_with(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<Row>> {
+    execute_ctx(plan, catalog, opts, &QueryCtx::unlimited())
+}
+
+/// Execute a plan under a thread budget **and** a query-governor context:
+/// deadline / rows-scanned / memory limits are checked cooperatively at
+/// operator loop boundaries, and an exceeded budget aborts with
+/// [`EngineError::Budget`](crate::EngineError::Budget)(crate::EngineError::Budget).
+pub fn execute_ctx(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+    ctx: &QueryCtx,
+) -> Result<Vec<Row>> {
+    run(&Env { catalog, opts, ctx }, plan)
+}
+
+/// The recursive workhorse: span + estimate bookkeeping around
+/// [`execute_op`], plus the per-operator governor checkpoint.
+fn run(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
+    env.ctx.checkpoint()?;
     let _span = pqp_obs::span(op_name(plan));
     if pqp_obs::trace_active() {
         // Planner estimate alongside the actual rows_out: EXPLAIN ANALYZE
         // consumers compute per-operator Q-error from the pair. Only paid
         // when a trace is being collected.
-        let est = crate::cost::Estimator::new(catalog).rows(plan);
+        let est = crate::cost::Estimator::new(env.catalog).rows(plan);
         pqp_obs::record("est_rows", est.round() as i64);
     }
-    let rows = execute_op(plan, catalog, opts)?;
+    let rows = execute_op(env, plan)?;
     pqp_obs::record("rows_out", rows.len());
     Ok(rows)
 }
@@ -140,22 +184,29 @@ fn op_name(plan: &Plan) -> &'static str {
     }
 }
 
-fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<Row>> {
+fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
+    let ctx = env.ctx;
     match plan {
         Plan::Empty { .. } => Ok(Vec::new()),
         Plan::Scan { table, filter, .. } => {
             pqp_obs::record("table", table.as_str());
-            scan(table, filter.as_ref(), catalog, opts)
+            scan(env, table, filter.as_ref())
         }
         Plan::IndexScan { table, column, key, residual, .. } => {
             pqp_obs::record("table", table.as_str());
-            let t = catalog.table(table)?;
+            let t = env.catalog.table(table)?;
             let t = t.read();
             match t.index_lookup(column, key) {
                 Some(hits) => {
                     pqp_obs::record("strategy", "index_scan");
                     let mut out = Vec::new();
+                    let mut pending = 0u64;
                     for row in hits? {
+                        pending += 1;
+                        if pending == CHARGE_BATCH_ROWS {
+                            ctx.charge_rows(pending)?;
+                            pending = 0;
+                        }
                         if let Some(f) = residual {
                             if !f.eval_predicate(&row)? {
                                 continue;
@@ -163,6 +214,7 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
                         }
                         out.push(row);
                     }
+                    ctx.charge_rows(pending)?;
                     Ok(out)
                 }
                 None => {
@@ -185,31 +237,25 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
                         None => eq,
                     };
                     drop(t);
-                    scan(table, Some(&pred), catalog, opts)
+                    scan(env, table, Some(&pred))
                 }
             }
         }
         Plan::IndexJoin { probe, probe_key, table, column, filter, probe_is_left, .. } => {
-            let probe_rows = execute_with(probe, catalog, opts)?;
-            index_join(
-                probe_rows,
-                *probe_key,
-                table,
-                column,
-                filter.as_ref(),
-                *probe_is_left,
-                catalog,
-                opts,
-            )
+            let probe_rows = run(env, probe)?;
+            index_join(env, probe_rows, *probe_key, table, column, filter.as_ref(), *probe_is_left)
         }
         Plan::Filter { input, predicate } => {
-            let rows = execute_with(input, catalog, opts)?;
+            let rows = run(env, input)?;
             pqp_obs::record("rows_in", rows.len());
-            if let Some(parts) = opts.partitions_for(rows.len()) {
-                return par::filter_partitioned(rows, predicate, parts);
+            if let Some(parts) = env.opts.partitions_for(rows.len()) {
+                return par::filter_partitioned(rows, predicate, parts, ctx);
             }
             let mut out = Vec::with_capacity(rows.len() / 2);
-            for row in rows {
+            for (i, row) in rows.into_iter().enumerate() {
+                if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                    ctx.checkpoint()?;
+                }
                 if predicate.eval_predicate(&row)? {
                     out.push(row);
                 }
@@ -223,25 +269,25 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
             // personalized partials cheap (paper §7, Fig. 10).
             if right_keys.len() == 1 {
                 if let Some(rows) = try_index_join(
-                    left, right, left_keys, right_keys, catalog, /*probe_left=*/ true, opts,
+                    env, left, right, left_keys, right_keys, /*probe_left=*/ true,
                 )? {
                     return Ok(rows);
                 }
                 if let Some(rows) = try_index_join(
-                    right, left, right_keys, left_keys, catalog, /*probe_left=*/ false, opts,
+                    env, right, left, right_keys, left_keys, /*probe_left=*/ false,
                 )? {
                     return Ok(rows);
                 }
             }
-            let lrows = execute_with(left, catalog, opts)?;
-            let rrows = execute_with(right, catalog, opts)?;
+            let lrows = run(env, left)?;
+            let rrows = run(env, right)?;
             pqp_obs::record("left_rows", lrows.len());
             pqp_obs::record("right_rows", rrows.len());
-            join_rows(lrows, rrows, left_keys, right_keys, opts)
+            join_rows(env, lrows, rrows, left_keys, right_keys)
         }
         Plan::CrossJoin { left, right, .. } => {
-            let lrows = execute_with(left, catalog, opts)?;
-            let rrows = execute_with(right, catalog, opts)?;
+            let lrows = run(env, left)?;
+            let rrows = run(env, right)?;
             pqp_obs::record("left_rows", lrows.len());
             pqp_obs::record("right_rows", rrows.len());
             // Cap the pre-allocation: a huge product should grow lazily (and
@@ -249,22 +295,35 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
             // worst case up front.
             let cap = lrows.len().saturating_mul(rrows.len()).min(1 << 20);
             let mut out = Vec::with_capacity(cap);
+            // The one operator that can explode quadratically: charge
+            // memory per output batch so a runaway product trips the budget
+            // instead of exhausting the machine.
+            let mut pending_mem = 0u64;
             for l in &lrows {
                 for r in &rrows {
                     let mut row = l.clone();
                     row.extend(r.iter().cloned());
+                    pending_mem += approx_row_bytes(row.len());
                     out.push(row);
+                    if out.len() & (CHECKPOINT_STRIDE - 1) == 0 {
+                        ctx.charge_mem(pending_mem)?;
+                        pending_mem = 0;
+                    }
                 }
             }
+            ctx.charge_mem(pending_mem)?;
             Ok(out)
         }
         Plan::Project { input, exprs, .. } => {
-            let rows = execute_with(input, catalog, opts)?;
-            if let Some(parts) = opts.partitions_for(rows.len()) {
-                return par::project_partitioned(rows, exprs, parts);
+            let rows = run(env, input)?;
+            if let Some(parts) = env.opts.partitions_for(rows.len()) {
+                return par::project_partitioned(rows, exprs, parts, ctx);
             }
             let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
+            for (i, row) in rows.into_iter().enumerate() {
+                if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                    ctx.checkpoint()?;
+                }
                 let mut projected = Vec::with_capacity(exprs.len());
                 for e in exprs {
                     projected.push(e.eval(&row)?);
@@ -274,15 +333,18 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
             Ok(out)
         }
         Plan::Aggregate { input, group_by, aggs, .. } => {
-            let rows = execute_with(input, catalog, opts)?;
+            let rows = run(env, input)?;
             pqp_obs::record("rows_in", rows.len());
-            aggregate(rows, group_by, aggs)
+            aggregate(rows, group_by, aggs, ctx)
         }
         Plan::Distinct { input } => {
-            let rows = execute_with(input, catalog, opts)?;
+            let rows = run(env, input)?;
             let mut seen = HashSet::with_capacity(rows.len());
             let mut out = Vec::new();
-            for row in rows {
+            for (i, row) in rows.into_iter().enumerate() {
+                if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                    ctx.checkpoint()?;
+                }
                 if seen.insert(row.clone()) {
                     out.push(row);
                 }
@@ -290,7 +352,7 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
             Ok(out)
         }
         Plan::Sort { input, keys } => {
-            let mut rows = execute_with(input, catalog, opts)?;
+            let mut rows = run(env, input)?;
             rows.sort_by(|a, b| {
                 for (idx, desc) in keys {
                     let ord = a[*idx].cmp(&b[*idx]);
@@ -304,14 +366,15 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
             Ok(rows)
         }
         Plan::Limit { input, n } => {
-            let mut rows = execute_with(input, catalog, opts)?;
+            let mut rows = run(env, input)?;
             rows.truncate(*n as usize);
             Ok(rows)
         }
         Plan::Union { inputs, all, .. } => {
             let mut out = Vec::new();
             for i in inputs {
-                out.extend(execute_with(i, catalog, opts)?);
+                out.extend(run(env, i)?);
+                ctx.checkpoint()?;
             }
             if !*all {
                 let mut seen = HashSet::with_capacity(out.len());
@@ -325,13 +388,9 @@ fn execute_op(plan: &Plan, catalog: &Catalog, opts: &ExecOptions) -> Result<Vec<
 /// Scan a base table, using a hash index for an equality conjunct of the
 /// pushed-down filter when one exists; otherwise a full (possibly
 /// partitioned-parallel) heap scan.
-fn scan(
-    table: &str,
-    filter: Option<&BoundExpr>,
-    catalog: &Catalog,
-    opts: &ExecOptions,
-) -> Result<Vec<Row>> {
-    let t = catalog.table(table)?;
+fn scan(env: &Env, table: &str, filter: Option<&BoundExpr>) -> Result<Vec<Row>> {
+    let ctx = env.ctx;
+    let t = env.catalog.table(table)?;
     let t = t.read();
     if let Some(f) = filter {
         // Look for a `col = literal` conjunct over an indexed column.
@@ -345,25 +404,38 @@ fn scan(
             let name = &t.schema().columns[col].name;
             if let Some(hits) = t.index_lookup(name, value) {
                 let mut out = Vec::new();
+                let mut pending = 0u64;
                 for row in hits? {
+                    pending += 1;
+                    if pending == CHARGE_BATCH_ROWS {
+                        ctx.charge_rows(pending)?;
+                        pending = 0;
+                    }
                     if f.eval_predicate(&row)? {
                         out.push(row);
                     }
                 }
+                ctx.charge_rows(pending)?;
                 return Ok(out);
             }
         }
     }
-    if let Some(parts) = opts.partitions_for(t.len()) {
+    if let Some(parts) = env.opts.partitions_for(t.len()) {
         // Morsel unit is a page: at most one partition per page.
         let parts = parts.min(t.page_count());
         if parts >= 2 {
-            return par::scan_partitioned(&t, filter, parts);
+            return par::scan_partitioned(&t, filter, parts, ctx);
         }
     }
     let mut out = Vec::with_capacity(t.len());
+    let mut pending = 0u64;
     for (_, row) in t.iter() {
         let row = row?;
+        pending += 1;
+        if pending == CHARGE_BATCH_ROWS {
+            ctx.charge_rows(pending)?;
+            pending = 0;
+        }
         match filter {
             Some(f) => {
                 if f.eval_predicate(&row)? {
@@ -373,6 +445,7 @@ fn scan(
             None => out.push(row),
         }
     }
+    ctx.charge_rows(pending)?;
     Ok(out)
 }
 
@@ -411,20 +484,18 @@ pub(crate) fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
 /// analyzed tables the planner owns the index-join decision
 /// ([`Plan::IndexJoin`]); this runtime sniffing only covers un-analyzed
 /// tables.
-#[allow(clippy::too_many_arguments)]
 fn try_index_join(
+    env: &Env,
     probe: &Plan,
     scan_side: &Plan,
     probe_keys: &[usize],
     scan_keys: &[usize],
-    catalog: &Catalog,
     probe_is_left: bool,
-    opts: &ExecOptions,
 ) -> Result<Option<Vec<Row>>> {
     let Plan::Scan { table, filter, .. } = scan_side else {
         return Ok(None);
     };
-    let t = catalog.table(table)?;
+    let t = env.catalog.table(table)?;
     // Resolve the indexed column name and check an index exists.
     let (col_name, table_len) = {
         let t = t.read();
@@ -437,19 +508,19 @@ fn try_index_join(
         }
         (name, t.len())
     };
-    let probe_rows = execute_with(probe, catalog, opts)?;
+    let probe_rows = run(env, probe)?;
     // Heuristic: probing pays off only when the probe side is small
     // relative to the indexed table (otherwise hashing wins).
     if probe_rows.len() * 4 > table_len {
         // Fall back by handing the already-computed probe rows to a hash
         // join (avoid re-executing the probe subtree).
-        let scan_rows = scan(table, filter.as_ref(), catalog, opts)?;
+        let scan_rows = scan(env, table, filter.as_ref())?;
         let rows =
-            hash_join_oriented(probe_rows, scan_rows, probe_keys, scan_keys, probe_is_left, opts)?;
+            hash_join_oriented(env, probe_rows, scan_rows, probe_keys, scan_keys, probe_is_left)?;
         return Ok(Some(rows));
     }
     let t = t.read();
-    index_probe(&t, &col_name, &probe_rows, probe_keys[0], filter.as_ref(), probe_is_left)
+    index_probe(env.ctx, &t, &col_name, &probe_rows, probe_keys[0], filter.as_ref(), probe_is_left)
 }
 
 /// Execute a planner-chosen [`Plan::IndexJoin`]'s scan side against
@@ -458,37 +529,38 @@ fn try_index_join(
 /// is missing at runtime, fall back to hashing.
 #[allow(clippy::too_many_arguments)]
 fn index_join(
+    env: &Env,
     probe_rows: Vec<Row>,
     probe_key: usize,
     table: &str,
     column: &str,
     filter: Option<&BoundExpr>,
     probe_is_left: bool,
-    catalog: &Catalog,
-    opts: &ExecOptions,
 ) -> Result<Vec<Row>> {
     pqp_obs::record("table", table);
-    let tref = catalog.table(table)?;
+    let tref = env.catalog.table(table)?;
     let t = tref.read();
     let Some(scan_key) = t.schema().column_index(column) else {
         return bind_err(format!("unknown column `{column}` in `{table}`"));
     };
     if t.index_on(column).is_some() && probe_rows.len() * 4 <= t.len() {
-        if let Some(rows) = index_probe(&t, column, &probe_rows, probe_key, filter, probe_is_left)?
+        if let Some(rows) =
+            index_probe(env.ctx, &t, column, &probe_rows, probe_key, filter, probe_is_left)?
         {
             return Ok(rows);
         }
     }
     drop(t);
     pqp_obs::record("strategy", "hash_fallback");
-    let scan_rows = scan(table, filter, catalog, opts)?;
-    hash_join_oriented(probe_rows, scan_rows, &[probe_key], &[scan_key], probe_is_left, opts)
+    let scan_rows = scan(env, table, filter)?;
+    hash_join_oriented(env, probe_rows, scan_rows, &[probe_key], &[scan_key], probe_is_left)
 }
 
 /// Probe `t`'s hash index on `column` with each probe row's `probe_key`
 /// value, assembling output rows in the engine's fixed `left ++ right`
 /// column order. Returns `Ok(None)` if the index disappears mid-probe.
 fn index_probe(
+    ctx: &QueryCtx,
     t: &Table,
     column: &str,
     probe_rows: &[Row],
@@ -499,7 +571,11 @@ fn index_probe(
     pqp_obs::record("strategy", "index_nested_loop");
     pqp_obs::record("probe_rows", probe_rows.len());
     let mut out = Vec::new();
-    for prow in probe_rows {
+    let mut pending = 0u64;
+    for (i, prow) in probe_rows.iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
         let key = &prow[probe_key];
         if key.is_null() {
             continue;
@@ -508,6 +584,12 @@ fn index_probe(
             return Ok(None);
         };
         for hit in hits? {
+            // Index probes read base-table rows: charge them like a scan.
+            pending += 1;
+            if pending == CHARGE_BATCH_ROWS {
+                ctx.charge_rows(pending)?;
+                pending = 0;
+            }
             if let Some(f) = filter {
                 if !f.eval_predicate(&hit)? {
                     continue;
@@ -524,6 +606,7 @@ fn index_probe(
             out.push(row);
         }
     }
+    ctx.charge_rows(pending)?;
     Ok(Some(out))
 }
 
@@ -534,17 +617,17 @@ fn index_probe(
 /// decision — both `try_index_join` fallbacks and the parallel join route
 /// through it.
 fn hash_join_oriented(
+    env: &Env,
     probe_rows: Vec<Row>,
     scan_rows: Vec<Row>,
     probe_keys: &[usize],
     scan_keys: &[usize],
     probe_is_left: bool,
-    opts: &ExecOptions,
 ) -> Result<Vec<Row>> {
     if probe_is_left {
-        join_rows(probe_rows, scan_rows, probe_keys, scan_keys, opts)
+        join_rows(env, probe_rows, scan_rows, probe_keys, scan_keys)
     } else {
-        join_rows(scan_rows, probe_rows, scan_keys, probe_keys, opts)
+        join_rows(env, scan_rows, probe_rows, scan_keys, probe_keys)
     }
 }
 
@@ -553,16 +636,17 @@ fn hash_join_oriented(
 /// Both produce identical rows in identical order (probe order, and
 /// build-insertion order within one key).
 fn join_rows(
+    env: &Env,
     lrows: Vec<Row>,
     rrows: Vec<Row>,
     left_keys: &[usize],
     right_keys: &[usize],
-    opts: &ExecOptions,
 ) -> Result<Vec<Row>> {
-    if let Some(parts) = opts.partitions_for(lrows.len() + rrows.len()) {
-        return par::hash_join_partitioned(lrows, rrows, left_keys, right_keys, parts);
+    failpoint("join.build")?;
+    if let Some(parts) = env.opts.partitions_for(lrows.len() + rrows.len()) {
+        return par::hash_join_partitioned(lrows, rrows, left_keys, right_keys, parts, env.ctx);
     }
-    hash_join(lrows, rrows, left_keys, right_keys)
+    hash_join(lrows, rrows, left_keys, right_keys, env.ctx)
 }
 
 pub(crate) fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
@@ -583,6 +667,7 @@ fn hash_join(
     rrows: Vec<Row>,
     left_keys: &[usize],
     right_keys: &[usize],
+    ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
     // Build on the smaller side; output column order is always left ++ right.
     let build_left = lrows.len() <= rrows.len();
@@ -593,12 +678,20 @@ fn hash_join(
     };
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
     for (i, row) in build.iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
         if let Some(k) = key_of(row, build_keys) {
             table.entry(k).or_default().push(i);
         }
     }
     let mut out = Vec::new();
-    for prow in probe {
+    let mut pending_mem = 0u64;
+    for (i, prow) in probe.iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.charge_mem(pending_mem)?;
+            pending_mem = 0;
+        }
         let Some(k) = key_of(prow, probe_keys) else {
             continue;
         };
@@ -608,10 +701,12 @@ fn hash_join(
                 let (l, r) = if build_left { (brow, prow) } else { (prow, brow) };
                 let mut row = l.clone();
                 row.extend(r.iter().cloned());
+                pending_mem += approx_row_bytes(row.len());
                 out.push(row);
             }
         }
     }
+    ctx.charge_mem(pending_mem)?;
     Ok(out)
 }
 
@@ -619,6 +714,7 @@ fn aggregate(
     rows: Vec<Row>,
     group_by: &[BoundExpr],
     aggs: &[crate::aggregate::AggCall],
+    ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
     // Group keys in first-seen order.
     let mut order: Vec<Vec<Value>> = Vec::new();
@@ -631,7 +727,10 @@ fn aggregate(
         order.push(Vec::new());
     }
 
-    for row in &rows {
+    for (i, row) in rows.iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
         let mut key = Vec::with_capacity(group_by.len());
         for g in group_by {
             key.push(g.eval(row)?);
@@ -656,7 +755,9 @@ fn aggregate(
 
     let mut out = Vec::with_capacity(order.len());
     for key in order {
-        let states = groups.remove(&key).expect("group recorded in order");
+        let Some(states) = groups.remove(&key) else {
+            continue; // every ordered key was inserted into `groups`
+        };
         let mut row = key;
         for s in &states {
             row.push(s.finish());

@@ -66,6 +66,7 @@ pub use error::{EngineError, Result};
 pub use exec::{ExecOptions, DEFAULT_MIN_PARALLEL_ROWS};
 pub use types::{OutputColumn, OutputSchema, ResultSet};
 
+use pqp_obs::QueryCtx;
 use pqp_sql::ast::Query;
 use pqp_storage::Catalog;
 
@@ -139,8 +140,25 @@ impl Database {
     /// any budget (serial fast path when `threads <= 1` or inputs are
     /// small).
     pub fn run_plan_with(&self, plan: &plan::Plan, exec: &ExecOptions) -> Result<ResultSet> {
+        self.run_plan_ctx(plan, exec, &QueryCtx::unlimited())
+    }
+
+    /// Execute an already-planned query under a thread budget **and** a
+    /// query-governor context ([`pqp_obs::QueryCtx`]): operators check the
+    /// context's deadline / rows-scanned / memory budget cooperatively at
+    /// loop boundaries and abort with
+    /// [`EngineError::Budget`] (partial-progress
+    /// counters included) when it trips. Parallel workers share the same
+    /// context, so one worker tripping stops the others at their next
+    /// checkpoint — the scope joins every thread either way.
+    pub fn run_plan_ctx(
+        &self,
+        plan: &plan::Plan,
+        exec: &ExecOptions,
+        ctx: &QueryCtx,
+    ) -> Result<ResultSet> {
         let _span = pqp_obs::span("execute");
-        let rows = exec::execute_with(plan, &self.catalog, exec)?;
+        let rows = exec::execute_ctx(plan, &self.catalog, exec, ctx)?;
         pqp_obs::record("result_rows", rows.len());
         let columns = plan.schema().columns.iter().map(|c| c.name.clone()).collect();
         Ok(ResultSet { columns, rows })
@@ -168,6 +186,13 @@ impl Database {
     /// Execute with the naive reference interpreter (no optimization).
     pub fn run_naive(&self, q: &Query) -> Result<ResultSet> {
         naive::naive_execute(q, &self.catalog)
+    }
+
+    /// Naive reference execution under a query-governor context — even the
+    /// oracle respects deadlines (its cross products are the costliest
+    /// thing in the workspace).
+    pub fn run_naive_ctx(&self, q: &Query, ctx: &QueryCtx) -> Result<ResultSet> {
+        naive::naive_execute_ctx(q, &self.catalog, ctx)
     }
 
     /// EXPLAIN text for a SQL string, with per-node `est_rows` from the

@@ -11,13 +11,24 @@ use crate::bound::eval_binary_scalar;
 use crate::error::{bind_err, exec_err, EngineError, Result};
 use crate::planner::expr_eq_ci;
 use crate::types::{OutputColumn, OutputSchema, ResultSet};
+use pqp_obs::governor::CHECKPOINT_STRIDE;
+use pqp_obs::{approx_row_bytes, QueryCtx};
 use pqp_sql::ast::*;
 use pqp_storage::{Catalog, Row, Value};
 use std::collections::HashSet;
 
 /// Execute a query with the naive interpreter.
 pub fn naive_execute(q: &Query, catalog: &Catalog) -> Result<ResultSet> {
-    let (schema, mut rows) = exec_set_expr(&q.body, catalog)?;
+    naive_execute_ctx(q, catalog, &QueryCtx::unlimited())
+}
+
+/// Execute a query with the naive interpreter under a query-governor
+/// context. The naive engine cooperates at the same loop boundaries as the
+/// optimized one: base scans charge rows, the cross product charges memory,
+/// and the WHERE/projection/grouping loops checkpoint on a stride — so even
+/// the oracle can never hang past a deadline.
+pub fn naive_execute_ctx(q: &Query, catalog: &Catalog, ctx: &QueryCtx) -> Result<ResultSet> {
+    let (schema, mut rows) = exec_set_expr(&q.body, catalog, ctx)?;
     // ORDER BY: only output columns / aliases / projection expressions.
     if !q.order_by.is_empty() {
         let proj = first_projection(&q.body);
@@ -73,12 +84,17 @@ fn first_projection(s: &SetExpr) -> Vec<(Option<String>, Expr)> {
     }
 }
 
-fn exec_set_expr(s: &SetExpr, catalog: &Catalog) -> Result<(OutputSchema, Vec<Row>)> {
+fn exec_set_expr(
+    s: &SetExpr,
+    catalog: &Catalog,
+    ctx: &QueryCtx,
+) -> Result<(OutputSchema, Vec<Row>)> {
+    ctx.checkpoint()?;
     match s {
-        SetExpr::Select(sel) => exec_select(sel, catalog),
+        SetExpr::Select(sel) => exec_select(sel, catalog, ctx),
         SetExpr::Union { left, right, all } => {
-            let (ls, mut lrows) = exec_set_expr(left, catalog)?;
-            let (rs, rrows) = exec_set_expr(right, catalog)?;
+            let (ls, mut lrows) = exec_set_expr(left, catalog, ctx)?;
+            let (rs, rrows) = exec_set_expr(right, catalog, ctx)?;
             if ls.arity() != rs.arity() {
                 return bind_err("UNION arms have different arities");
             }
@@ -92,7 +108,11 @@ fn exec_set_expr(s: &SetExpr, catalog: &Catalog) -> Result<(OutputSchema, Vec<Ro
     }
 }
 
-fn exec_select(sel: &Select, catalog: &Catalog) -> Result<(OutputSchema, Vec<Row>)> {
+fn exec_select(
+    sel: &Select,
+    catalog: &Catalog,
+    ctx: &QueryCtx,
+) -> Result<(OutputSchema, Vec<Row>)> {
     // 1. Cross product of the FROM clause.
     let mut schema = OutputSchema::default();
     let mut rows: Vec<Row> = vec![Vec::new()];
@@ -108,30 +128,44 @@ fn exec_select(sel: &Select, catalog: &Catalog) -> Result<(OutputSchema, Vec<Row
                     .iter()
                     .map(|c| OutputColumn::new(Some(binding), &c.name))
                     .collect();
-                (OutputSchema::new(cols), t.scan()?)
+                let frows = t.scan()?;
+                ctx.charge_rows(frows.len() as u64)?;
+                (OutputSchema::new(cols), frows)
             }
             TableFactor::Derived { query, alias } => {
-                let rs = naive_execute(query, catalog)?;
+                let rs = naive_execute_ctx(query, catalog, ctx)?;
                 let cols = rs.columns.iter().map(|c| OutputColumn::new(Some(alias), c)).collect();
                 (OutputSchema::new(cols), rs.rows)
             }
         };
         schema = schema.join(&fs);
+        // The unoptimized cross product is exactly the blow-up the memory
+        // budget exists for: charge every materialized row.
         let mut next = Vec::with_capacity(rows.len() * frows.len().max(1));
+        let mut pending_mem = 0u64;
         for r in &rows {
             for fr in &frows {
                 let mut row = r.clone();
                 row.extend(fr.iter().cloned());
+                pending_mem += approx_row_bytes(row.len());
                 next.push(row);
+                if next.len() & (CHECKPOINT_STRIDE - 1) == 0 {
+                    ctx.charge_mem(pending_mem)?;
+                    pending_mem = 0;
+                }
             }
         }
+        ctx.charge_mem(pending_mem)?;
         rows = next;
     }
 
     // 2. WHERE.
     if let Some(w) = &sel.selection {
         let mut kept = Vec::new();
-        for row in rows {
+        for (i, row) in rows.into_iter().enumerate() {
+            if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                ctx.checkpoint()?;
+            }
             if eval(w, &schema, &row)? == Value::Bool(true) {
                 kept.push(row);
             }
@@ -148,7 +182,7 @@ fn exec_select(sel: &Select, catalog: &Catalog) -> Result<(OutputSchema, Vec<Row
         });
 
     let (out_schema, mut out_rows) = if needs_agg {
-        exec_aggregate(sel, &schema, rows)?
+        exec_aggregate(sel, &schema, rows, ctx)?
     } else {
         let mut cols = Vec::new();
         let mut items: Vec<&Expr> = Vec::new();
@@ -178,7 +212,10 @@ fn exec_select(sel: &Select, catalog: &Catalog) -> Result<(OutputSchema, Vec<Row
             }
         }
         let mut out = Vec::with_capacity(rows.len());
-        for row in &rows {
+        for (i, row) in rows.iter().enumerate() {
+            if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                ctx.checkpoint()?;
+            }
             let mut projected = Vec::with_capacity(items.len());
             for (k, e) in items.iter().enumerate() {
                 if wildcard_cols[k] != usize::MAX {
@@ -204,6 +241,7 @@ fn exec_aggregate(
     sel: &Select,
     schema: &OutputSchema,
     rows: Vec<Row>,
+    ctx: &QueryCtx,
 ) -> Result<(OutputSchema, Vec<Row>)> {
     // Group rows by the group-by expression values, in first-seen order.
     let mut order: Vec<Vec<Value>> = Vec::new();
@@ -212,7 +250,10 @@ fn exec_aggregate(
         order.push(Vec::new());
         buckets.push(Vec::new());
     }
-    for row in rows {
+    for (i, row) in rows.into_iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
         let mut key = Vec::with_capacity(sel.group_by.len());
         for g in &sel.group_by {
             key.push(eval(g, schema, &row)?);

@@ -23,6 +23,17 @@
 //! Downstream order-sensitive operators (DISTINCT, GROUP BY, first-seen
 //! dedup) therefore see the same row order under any thread budget.
 //!
+//! ## Failure & governor semantics
+//!
+//! Workers share the query's [`QueryCtx`]: scans charge rows and other
+//! loops checkpoint on the same atomic counters as the serial paths, so a
+//! budget tripped by any worker stops the rest at their next checkpoint. A
+//! *panicking* worker is isolated: every `scope` joins all its handles and
+//! maps a panicked join into [`EngineError::Internal`] — the query fails
+//! with a typed error, no thread leaks, and the process keeps serving. The
+//! `par.worker` failpoint fires at each worker's entry to prove exactly
+//! that under chaos testing.
+//!
 //! ## Observability
 //!
 //! Spans and fields are thread-local, so all recording happens on the
@@ -34,12 +45,15 @@
 //! no observability calls.
 
 use crate::bound::BoundExpr;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::exec::key_of;
+use pqp_obs::governor::{CHARGE_BATCH_ROWS, CHECKPOINT_STRIDE};
+use pqp_obs::{approx_row_bytes, QueryCtx};
 use pqp_storage::{Row, Table, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::thread::ScopedJoinHandle;
 
 /// Count workers spawned by a parallel operator (the never-spawns-when-
 /// serial regression tests watch this counter).
@@ -51,6 +65,35 @@ fn count_workers(n: usize) {
 fn record_partitions(sizes: &[usize]) {
     pqp_obs::record("partitions", sizes.len());
     pqp_obs::record("partition_rows", format!("{sizes:?}"));
+}
+
+/// The `par.worker` failpoint, fired at every worker's entry: `error` fails
+/// that worker's partition, `panic` exercises the panic-isolation path
+/// below, `delay` stretches the worker so deadlines trip mid-operator.
+fn worker_failpoint() -> Result<()> {
+    match pqp_obs::failpoint::fire("par.worker") {
+        Some(msg) => Err(EngineError::Internal(format!("failpoint par.worker: {msg}"))),
+        None => Ok(()),
+    }
+}
+
+/// Join a scoped worker, converting a worker panic into a typed
+/// [`EngineError::Internal`] instead of propagating the unwind: the query
+/// fails, the scope still joins every other worker, the process lives on.
+fn join_worker<T>(handle: ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
+    match handle.join() {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(EngineError::Internal(format!("parallel worker panicked: {msg}")))
+        }
+    }
 }
 
 /// Split `rows` into at most `parts` contiguous chunks (all but the last of
@@ -86,6 +129,7 @@ pub(crate) fn scan_partitioned(
     t: &Table,
     filter: Option<&BoundExpr>,
     parts: usize,
+    ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
     count_workers(parts);
     pqp_obs::counter_add("exec.scan.partitions", parts as i64);
@@ -93,9 +137,16 @@ pub(crate) fn scan_partitioned(
         let handles: Vec<_> = (0..parts)
             .map(|p| {
                 s.spawn(move || -> Result<Vec<Row>> {
+                    worker_failpoint()?;
                     let mut out = Vec::new();
+                    let mut pending = 0u64;
                     for (_, row) in t.iter_partition(p, parts) {
                         let row = row?;
+                        pending += 1;
+                        if pending == CHARGE_BATCH_ROWS {
+                            ctx.charge_rows(pending)?;
+                            pending = 0;
+                        }
                         match filter {
                             Some(f) => {
                                 if f.eval_predicate(&row)? {
@@ -105,11 +156,12 @@ pub(crate) fn scan_partitioned(
                             None => out.push(row),
                         }
                     }
+                    ctx.charge_rows(pending)?;
                     Ok(out)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        handles.into_iter().map(join_worker).collect()
     });
     merge_ordered(results)
 }
@@ -119,6 +171,7 @@ pub(crate) fn filter_partitioned(
     rows: Vec<Row>,
     predicate: &BoundExpr,
     parts: usize,
+    ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
     let chunks = split_chunks(rows, parts);
     count_workers(chunks.len());
@@ -127,8 +180,12 @@ pub(crate) fn filter_partitioned(
             .into_iter()
             .map(|chunk| {
                 s.spawn(move || -> Result<Vec<Row>> {
+                    worker_failpoint()?;
                     let mut out = Vec::with_capacity(chunk.len() / 2);
-                    for row in chunk {
+                    for (i, row) in chunk.into_iter().enumerate() {
+                        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                            ctx.checkpoint()?;
+                        }
                         if predicate.eval_predicate(&row)? {
                             out.push(row);
                         }
@@ -137,7 +194,7 @@ pub(crate) fn filter_partitioned(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("filter worker panicked")).collect()
+        handles.into_iter().map(join_worker).collect()
     });
     merge_ordered(results)
 }
@@ -148,6 +205,7 @@ pub(crate) fn project_partitioned(
     rows: Vec<Row>,
     exprs: &[BoundExpr],
     parts: usize,
+    ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
     let chunks = split_chunks(rows, parts);
     count_workers(chunks.len());
@@ -156,8 +214,12 @@ pub(crate) fn project_partitioned(
             .into_iter()
             .map(|chunk| {
                 s.spawn(move || -> Result<Vec<Row>> {
+                    worker_failpoint()?;
                     let mut out = Vec::with_capacity(chunk.len());
-                    for row in chunk {
+                    for (i, row) in chunk.into_iter().enumerate() {
+                        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                            ctx.checkpoint()?;
+                        }
                         let mut projected = Vec::with_capacity(exprs.len());
                         for e in exprs {
                             projected.push(e.eval(&row)?);
@@ -168,7 +230,7 @@ pub(crate) fn project_partitioned(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("project worker panicked")).collect()
+        handles.into_iter().map(join_worker).collect()
     });
     merge_ordered(results)
 }
@@ -191,6 +253,7 @@ pub(crate) fn hash_join_partitioned(
     left_keys: &[usize],
     right_keys: &[usize],
     parts: usize,
+    ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
     // Build on the smaller side; output column order is always left ++ right.
     let build_left = lrows.len() <= rrows.len();
@@ -206,24 +269,29 @@ pub(crate) fn hash_join_partitioned(
     // scanning the build rows in order (per-key match lists therefore keep
     // build-insertion order, as the serial join's single table does).
     count_workers(parts);
-    let tables: Vec<HashMap<Vec<Value>, Vec<usize>>> = std::thread::scope(|s| {
+    let tables: Result<Vec<HashMap<Vec<Value>, Vec<usize>>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..parts)
             .map(|p| {
-                s.spawn(move || {
+                s.spawn(move || -> Result<HashMap<Vec<Value>, Vec<usize>>> {
+                    worker_failpoint()?;
                     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
                     for (i, row) in build.iter().enumerate() {
+                        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                            ctx.checkpoint()?;
+                        }
                         if let Some(k) = key_of(row, build_keys) {
                             if partition_of(&k, parts) == p {
                                 table.entry(k).or_default().push(i);
                             }
                         }
                     }
-                    table
+                    Ok(table)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("build worker panicked")).collect()
+        handles.into_iter().map(join_worker).collect()
     });
+    let tables = tables?;
 
     // Phase 2: probe contiguous chunks in parallel; chunk outputs merge in
     // chunk order, reproducing the serial probe-order emission.
@@ -231,13 +299,19 @@ pub(crate) fn hash_join_partitioned(
     let chunk_count = probe.len().div_ceil(chunk);
     count_workers(chunk_count);
     let tables = &tables;
-    let outs: Vec<Vec<Row>> = std::thread::scope(|s| {
+    let outs: Vec<Result<Vec<Row>>> = std::thread::scope(|s| {
         let handles: Vec<_> = probe
             .chunks(chunk)
             .map(|chunk_rows| {
-                s.spawn(move || {
+                s.spawn(move || -> Result<Vec<Row>> {
+                    worker_failpoint()?;
                     let mut out = Vec::new();
-                    for prow in chunk_rows {
+                    let mut pending_mem = 0u64;
+                    for (i, prow) in chunk_rows.iter().enumerate() {
+                        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+                            ctx.charge_mem(pending_mem)?;
+                            pending_mem = 0;
+                        }
                         let Some(k) = key_of(prow, probe_keys) else {
                             continue;
                         };
@@ -247,21 +321,17 @@ pub(crate) fn hash_join_partitioned(
                                 let (l, r) = if build_left { (brow, prow) } else { (prow, brow) };
                                 let mut row = l.clone();
                                 row.extend(r.iter().cloned());
+                                pending_mem += approx_row_bytes(row.len());
                                 out.push(row);
                             }
                         }
                     }
-                    out
+                    ctx.charge_mem(pending_mem)?;
+                    Ok(out)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
+        handles.into_iter().map(join_worker).collect()
     });
-    let sizes: Vec<usize> = outs.iter().map(Vec::len).collect();
-    record_partitions(&sizes);
-    let mut out = Vec::with_capacity(sizes.iter().sum());
-    for o in outs {
-        out.extend(o);
-    }
-    Ok(out)
+    merge_ordered(outs)
 }

@@ -19,13 +19,23 @@
 //! - [`rng`] — a deterministic xoshiro256++ PRNG behind a minimal [`rng::Rng`]
 //!   trait; the workspace's replacement for the `rand` crate in data
 //!   generation and randomized tests.
+//! - [`governor`] — per-query [`Budget`]s and the cooperative [`QueryCtx`]
+//!   threaded through execution: deadline / rows-scanned / memory limits
+//!   checked at operator loop boundaries, typed [`BudgetExceeded`] with
+//!   partial-progress counters.
+//! - [`failpoint`] — a zero-dep fault-injection registry: named sites fire
+//!   errors, panics or delays, configured programmatically or via
+//!   `PQP_FAILPOINTS`, deterministic through the in-tree xoshiro RNG.
 
+pub mod failpoint;
+pub mod governor;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod span;
 
+pub use governor::{approx_row_bytes, Budget, BudgetExceeded, BudgetReason, Progress, QueryCtx};
 pub use json::Json;
 pub use metrics::{
     counter_add, gauge_set, observe, CacheSnapshot, CacheStats, Histogram, Registry,

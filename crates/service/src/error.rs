@@ -3,6 +3,7 @@
 
 use pqp_core::PrefError;
 use pqp_engine::EngineError;
+use pqp_obs::BudgetExceeded;
 use pqp_sql::ParseError;
 use pqp_storage::StorageError;
 use std::fmt;
@@ -24,6 +25,22 @@ pub enum Error {
     Engine(EngineError),
     /// The storage layer failed.
     Storage(StorageError),
+    /// The query governor's budget (deadline, rows scanned, memory) tripped
+    /// and degradation could not bring the query under it. Carries the
+    /// partial-progress counters at the moment of the trip.
+    BudgetExceeded(BudgetExceeded),
+    /// The service refused admission: too many queries already in flight.
+    /// Retry later; nothing was executed.
+    Overloaded {
+        /// Queries in flight when admission was refused.
+        in_flight: usize,
+        /// The configured admission limit.
+        max: usize,
+    },
+    /// An invariant was violated — a worker panicked, a failpoint fired, or
+    /// an internal bug surfaced. The failure is isolated to this query; the
+    /// service keeps serving.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -33,6 +50,11 @@ impl fmt::Display for Error {
             Error::Personalize(e) => write!(f, "personalization failed: {e}"),
             Error::Engine(e) => write!(f, "query engine failed: {e}"),
             Error::Storage(e) => write!(f, "storage failed: {e}"),
+            Error::BudgetExceeded(b) => write!(f, "{b}"),
+            Error::Overloaded { in_flight, max } => {
+                write!(f, "service overloaded: {in_flight} queries in flight (limit {max})")
+            }
+            Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -44,6 +66,8 @@ impl std::error::Error for Error {
             Error::Personalize(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Storage(e) => Some(e),
+            Error::BudgetExceeded(b) => Some(b),
+            Error::Overloaded { .. } | Error::Internal(_) => None,
         }
     }
 }
@@ -56,13 +80,27 @@ impl From<ParseError> for Error {
 
 impl From<PrefError> for Error {
     fn from(e: PrefError) -> Error {
-        Error::Personalize(e)
+        match e {
+            PrefError::Budget(b) => Error::BudgetExceeded(b),
+            PrefError::Internal(m) => Error::Internal(m),
+            other => Error::Personalize(other),
+        }
     }
 }
 
 impl From<EngineError> for Error {
     fn from(e: EngineError) -> Error {
-        Error::Engine(e)
+        match e {
+            EngineError::Budget(b) => Error::BudgetExceeded(b),
+            EngineError::Internal(m) => Error::Internal(m),
+            other => Error::Engine(other),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for Error {
+    fn from(b: BudgetExceeded) -> Error {
+        Error::BudgetExceeded(b)
     }
 }
 
@@ -98,6 +136,20 @@ mod tests {
         let sto = StorageError::UnknownTable("T".into());
         let e = Error::from(sto);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn budget_and_internal_variants_remap_across_layers() {
+        let b = pqp_obs::QueryCtx::unlimited().exceeded(pqp_obs::BudgetReason::Deadline);
+        assert!(matches!(Error::from(EngineError::Budget(b)), Error::BudgetExceeded(_)));
+        assert!(matches!(Error::from(PrefError::Budget(b)), Error::BudgetExceeded(_)));
+        assert!(matches!(Error::from(EngineError::Internal("x".into())), Error::Internal(_)));
+        assert!(matches!(Error::from(PrefError::Internal("x".into())), Error::Internal(_)));
+        let e = Error::from(b);
+        assert!(e.source().is_some(), "budget errors keep their source chain");
+        let overloaded = Error::Overloaded { in_flight: 8, max: 8 };
+        assert!(overloaded.to_string().contains("overloaded"));
+        assert!(overloaded.source().is_none());
     }
 
     #[test]

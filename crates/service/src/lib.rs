@@ -58,17 +58,17 @@ use cache::FifoCache;
 use pqp_core::graph::InMemoryGraph;
 use pqp_core::query_graph::QueryGraph;
 use pqp_core::{
-    personalize_prepared, InterestCriterion, MandatorySpec, MatchSpec, PersonalizeOptions,
+    personalize_prepared_ctx, InterestCriterion, MandatorySpec, MatchSpec, PersonalizeOptions,
     PrefError, Profile, Rewrite,
 };
 use pqp_engine::plan::Plan;
 use pqp_engine::{Database, ExecOptions, ResultSet};
-use pqp_obs::{CacheSnapshot, CacheStats};
-use pqp_sql::ast::Select;
+use pqp_obs::{Budget, CacheSnapshot, CacheStats, QueryCtx};
+use pqp_sql::ast::{Query, Select};
 use pqp_storage::sync::RwLock;
 use pqp_storage::ShardedMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A user identifier: the key of the sharded profile store.
@@ -127,6 +127,26 @@ pub struct ServiceConfig {
     /// cached plans are execution-strategy-agnostic and need no
     /// invalidation when this changes.
     pub exec: ExecOptions,
+    /// Default per-query governor budget (deadline / rows scanned / memory).
+    /// Defaults to [`Budget::from_env`], so `PQP_DEADLINE_MS`,
+    /// `PQP_MAX_ROWS_SCANNED` and `PQP_MAX_MEMORY_BYTES` configure a fleet
+    /// without code changes; unlimited when the variables are unset.
+    /// Sessions override it per query with [`Session::with_budget`].
+    pub budget: Budget,
+    /// Admission control: the maximum number of queries in flight before
+    /// new ones are refused with [`Error::Overloaded`] (`0` = unlimited).
+    /// Defaults to `PQP_MAX_IN_FLIGHT` (unlimited when unset).
+    pub max_in_flight: usize,
+    /// Degrade personalization gracefully when it blows its slice of the
+    /// query budget: shrink K, then keep only mandatory preferences, then
+    /// run the query unpersonalized (see [`DegradeLevel`]). When `false`, a
+    /// personalization budget trip surfaces as
+    /// [`Error::BudgetExceeded`] instead.
+    pub degrade: bool,
+}
+
+fn max_in_flight_from_env() -> usize {
+    std::env::var("PQP_MAX_IN_FLIGHT").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0)
 }
 
 impl Default for ServiceConfig {
@@ -138,7 +158,80 @@ impl Default for ServiceConfig {
             options: PersonalizeOptions::builder().k(3).l(1).build(),
             rewrite: Rewrite::Mq,
             exec: ExecOptions::default(),
+            budget: Budget::from_env(),
+            max_in_flight: max_in_flight_from_env(),
+            degrade: true,
         }
+    }
+}
+
+/// How far personalization was stepped down to fit the query budget.
+///
+/// The ladder follows the paper's knobs: first shrink the number of
+/// selected preferences K (§5), then keep only the mandatory subset M
+/// (§4), and finally fall back to the original, unpersonalized query —
+/// the paper's own graceful floor ("users without preferences get the
+/// query's plain semantics"). Each query reports the level it ran at in
+/// [`Answer::degraded`] and in the `service.degrade.*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradeLevel {
+    /// Full personalization, as requested.
+    None,
+    /// K halved (floor 1); non-top-K criteria step down to top-2.
+    ReducedK,
+    /// Only the mandatory preferences M are kept; the at-least-L match
+    /// requirement is dropped.
+    MandatoryOnly,
+    /// The original query ran with no personalization at all.
+    Unpersonalized,
+}
+
+impl DegradeLevel {
+    /// The ladder, mildest first.
+    pub const LADDER: [DegradeLevel; 4] = [
+        DegradeLevel::None,
+        DegradeLevel::ReducedK,
+        DegradeLevel::MandatoryOnly,
+        DegradeLevel::Unpersonalized,
+    ];
+
+    /// Label used in traces and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeLevel::None => "none",
+            DegradeLevel::ReducedK => "reduced-k",
+            DegradeLevel::MandatoryOnly => "mandatory-only",
+            DegradeLevel::Unpersonalized => "unpersonalized",
+        }
+    }
+
+    /// Step the personalization options down to this level.
+    fn apply(self, opts: PersonalizeOptions) -> PersonalizeOptions {
+        let mut o = opts;
+        match self {
+            DegradeLevel::None | DegradeLevel::Unpersonalized => {}
+            DegradeLevel::ReducedK => {
+                o.criterion = match o.criterion {
+                    InterestCriterion::TopK(k) => InterestCriterion::TopK((k / 2).max(1)),
+                    _ => InterestCriterion::TopK(2),
+                };
+            }
+            DegradeLevel::MandatoryOnly => {
+                let m = match o.mandatory {
+                    MandatorySpec::Count(m) => m,
+                    _ => 0,
+                };
+                o.criterion = InterestCriterion::TopK(m);
+                o.matching = MatchSpec::AtLeast(0);
+            }
+        }
+        o
+    }
+}
+
+impl fmt::Display for DegradeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -156,6 +249,9 @@ pub struct Answer {
     pub m: usize,
     /// Whether the physical plan came from the personalized-plan cache.
     pub plan_cached: bool,
+    /// How far personalization was stepped down to fit the query budget
+    /// ([`DegradeLevel::None`] when it ran as requested).
+    pub degraded: DegradeLevel,
 }
 
 /// One user's stored state: the profile plus its invalidation epoch.
@@ -267,6 +363,9 @@ struct CachedPlan {
 pub struct Service {
     db: Database,
     config: ServiceConfig,
+    /// Queries currently inside [`Service::query`]; admission control
+    /// compares it against `config.max_in_flight`.
+    in_flight: AtomicUsize,
     profiles: ShardedMap<UserId, ProfileEntry>,
     /// Source of profile epochs: globally monotonic per service, so a
     /// removed-and-reinstalled user can never collide with plans cached
@@ -295,8 +394,12 @@ impl Service {
 
     /// Wrap a database with an explicit configuration.
     pub fn with_config(db: Database, config: ServiceConfig) -> Service {
+        // First service in the process arms any failpoints configured via
+        // `PQP_FAILPOINTS` / `PQP_FAILPOINT_SEED` (no-op otherwise).
+        pqp_obs::failpoint::init_from_env();
         Service {
             db,
+            in_flight: AtomicUsize::new(0),
             profiles: ShardedMap::new(config.shards),
             epoch_source: AtomicU64::new(0),
             prepared: RwLock::new(FifoCache::new(config.prepared_capacity)),
@@ -507,6 +610,7 @@ impl Service {
             user: user.into(),
             options: self.config.options,
             rewrite: self.config.rewrite,
+            budget: self.config.budget,
         }
     }
 
@@ -514,6 +618,10 @@ impl Service {
     /// profile get the query's original semantics (zero preferences select,
     /// matching the paper: personalization degrades gracefully to the plain
     /// query).
+    ///
+    /// The query runs under the service's default governor budget
+    /// ([`ServiceConfig::budget`]); see [`Service::query_ctx`] for an
+    /// explicit per-query context.
     pub fn query(
         &self,
         user: &UserId,
@@ -521,6 +629,73 @@ impl Service {
         options: PersonalizeOptions,
         rewrite: Rewrite,
     ) -> Result<Answer> {
+        self.query_ctx(user, sql, options, rewrite, &QueryCtx::new(self.config.budget))
+    }
+
+    /// [`Service::query`] under an explicit query-governor context: the
+    /// caller owns the [`QueryCtx`], so it can cancel the query from
+    /// another thread ([`QueryCtx::cancel`]) or inspect partial progress.
+    ///
+    /// This is also the robustness boundary of the service: admission
+    /// control runs first (rejecting with [`Error::Overloaded`] when
+    /// [`ServiceConfig::max_in_flight`] queries are already inside), and the
+    /// whole pipeline runs under `catch_unwind`, so a panicking worker —
+    /// real bug or injected failpoint — fails only this query with
+    /// [`Error::Internal`] instead of taking the process down. All locks a
+    /// panic can leave behind are poison-recovering.
+    pub fn query_ctx(
+        &self,
+        user: &UserId,
+        sql: &str,
+        options: PersonalizeOptions,
+        rewrite: Rewrite,
+        ctx: &QueryCtx,
+    ) -> Result<Answer> {
+        let _admitted = self.admit()?;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.query_governed(user, sql, options, rewrite, ctx)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                pqp_obs::counter_add("service.panics_caught", 1);
+                Err(Error::Internal(format!(
+                    "query pipeline panicked: {}",
+                    panic_message(&payload)
+                )))
+            }
+        }
+    }
+
+    /// Admission control: reserve an in-flight slot or refuse.
+    fn admit(&self) -> Result<InFlightGuard<'_>> {
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let max = self.config.max_in_flight;
+        if max != 0 && prev >= max {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            pqp_obs::counter_add("service.admission.rejected", 1);
+            return Err(Error::Overloaded { in_flight: prev, max });
+        }
+        Ok(InFlightGuard(&self.in_flight))
+    }
+
+    /// Queries currently executing (admission-control gauge).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// The governed pipeline: plan-cache fast path, then the degradation
+    /// ladder around personalization, then plan + execute under `ctx`.
+    fn query_governed(
+        &self,
+        user: &UserId,
+        sql: &str,
+        options: PersonalizeOptions,
+        rewrite: Rewrite,
+        ctx: &QueryCtx,
+    ) -> Result<Answer> {
+        if let Some(msg) = pqp_obs::failpoint::fire("service.query") {
+            return Err(Error::Internal(format!("failpoint service.query: {msg}")));
+        }
         let prepared = self.prepare(sql)?;
         let key = PlanKey {
             user: user.clone(),
@@ -530,23 +705,36 @@ impl Service {
             stats_epoch: self.db.catalog().stats_epoch(),
         };
 
-        // Fast path: a cached plan built under the user's current epoch.
+        // Fast path: a cached plan built under the user's current epoch. An
+        // injected `plan.cache` fault degrades to a recompute (a cache must
+        // never be load-bearing for correctness), so it counts as a miss.
         let epoch_now = self.epoch(user.clone());
         enum Lookup {
             Hit(Arc<CachedPlan>),
             Stale,
             Miss,
         }
-        let lookup = match self.plans.read().get(&key) {
-            Some(c) if c.epoch == epoch_now => Lookup::Hit(Arc::clone(c)),
-            Some(_) => Lookup::Stale,
-            None => Lookup::Miss,
+        let lookup = if pqp_obs::failpoint::fire("plan.cache").is_some() {
+            Lookup::Miss
+        } else {
+            match self.plans.read().get(&key) {
+                Some(c) if c.epoch == epoch_now => Lookup::Hit(Arc::clone(c)),
+                Some(_) => Lookup::Stale,
+                None => Lookup::Miss,
+            }
         };
         match lookup {
             Lookup::Hit(cached) => {
                 self.plan_stats.hit();
-                let rows = self.db.run_plan_with(&cached.plan, &self.config.exec)?;
-                return Ok(Answer { rows, rewrite, k: cached.k, m: cached.m, plan_cached: true });
+                let rows = self.db.run_plan_ctx(&cached.plan, &self.config.exec, ctx)?;
+                return Ok(Answer {
+                    rows,
+                    rewrite,
+                    k: cached.k,
+                    m: cached.m,
+                    plan_cached: true,
+                    degraded: DegradeLevel::None,
+                });
             }
             Lookup::Stale => self.plan_stats.stale(),
             Lookup::Miss => self.plan_stats.miss(),
@@ -562,16 +750,57 @@ impl Service {
             None => (Profile::new(user.as_str()), 0),
         });
         let graph = InMemoryGraph::build(&profile, self.db.catalog())?;
-        let personalized =
-            personalize_prepared(&prepared.select, &prepared.graph, &graph, options)?;
-        let executed = personalized.rewritten(rewrite)?;
-        let plan = self.db.plan(&executed)?;
-        let rows = self.db.run_plan_with(&plan, &self.config.exec)?;
-        let (k, m) = (personalized.k(), personalized.m);
-        if self.plans.write().insert(key, Arc::new(CachedPlan { epoch, plan, k, m })) {
-            self.plan_stats.eviction();
+
+        // The degradation ladder. Personalization runs under a *slice* of
+        // the remaining budget (a quarter — execution is the expensive
+        // phase), and every time it blows the slice the options step down a
+        // level: shrink K, keep only mandatory preferences, finally run the
+        // original query. Disabled ladders surface the trip directly.
+        let ladder: &[DegradeLevel] =
+            if self.config.degrade { &DegradeLevel::LADDER } else { &DegradeLevel::LADDER[..1] };
+        for (i, &level) in ladder.iter().enumerate() {
+            let is_last = i + 1 == ladder.len();
+            let (executed, k, m) = if level == DegradeLevel::Unpersonalized {
+                (Query::from_select(prepared.select.clone()), 0, 0)
+            } else {
+                let slice = ctx.slice(1, 4);
+                match personalize_prepared_ctx(
+                    &prepared.select,
+                    &prepared.graph,
+                    &graph,
+                    level.apply(options),
+                    &slice,
+                ) {
+                    Ok(p) => {
+                        let executed = p.rewritten(rewrite)?;
+                        (executed, p.k(), p.m)
+                    }
+                    Err(PrefError::Budget(_)) if !is_last => {
+                        pqp_obs::counter_add("service.degrade.steps", 1);
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            // Degraded levels execute the *original* rewrite only when one
+            // actually ran; the unpersonalized floor runs the plain query.
+            let ran =
+                if level == DegradeLevel::Unpersonalized { Rewrite::Original } else { rewrite };
+            let plan = self.db.plan(&executed)?;
+            let rows = self.db.run_plan_ctx(&plan, &self.config.exec, ctx)?;
+            if level == DegradeLevel::None {
+                // Only full-fidelity plans are cached: a degraded plan is an
+                // artifact of one query's budget, not of the user's profile.
+                if self.plans.write().insert(key, Arc::new(CachedPlan { epoch, plan, k, m })) {
+                    self.plan_stats.eviction();
+                }
+            } else {
+                pqp_obs::counter_add("service.degrade.answers", 1);
+                pqp_obs::record("degrade_level", level.label());
+            }
+            return Ok(Answer { rows, rewrite: ran, k, m, plan_cached: false, degraded: level });
         }
-        Ok(Answer { rows, rewrite, k, m, plan_cached: false })
+        unreachable!("the degradation ladder always returns or errors")
     }
 
     /// Run a batch of `(user, sql)` requests, fanned across `workers`
@@ -625,8 +854,36 @@ impl Service {
         });
         slots
             .into_iter()
-            .map(|slot| slot_results[slot].clone().expect("worker filled its chunk"))
+            .map(|slot| {
+                // Every slot is filled by construction (chunks cover the
+                // distinct set exactly, and `query` catches worker panics).
+                // If one ever is not, fail that request — not the process.
+                slot_results[slot].clone().unwrap_or_else(|| {
+                    Err(Error::Internal("batch worker did not fill its result slot".into()))
+                })
+            })
             .collect()
+    }
+}
+
+/// RAII in-flight slot: decrements the gauge on drop, so early returns,
+/// `?` and caught panics all release admission.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -651,6 +908,7 @@ pub struct Session<'s> {
     user: UserId,
     options: PersonalizeOptions,
     rewrite: Rewrite,
+    budget: Budget,
 }
 
 impl<'s> Session<'s> {
@@ -671,10 +929,25 @@ impl<'s> Session<'s> {
         self
     }
 
+    /// Override the per-query governor budget for this session (deadline /
+    /// rows scanned / memory — see [`Budget`]).
+    pub fn with_budget(mut self, budget: Budget) -> Session<'s> {
+        self.budget = budget;
+        self
+    }
+
     /// Run a personalized query end-to-end: parse → personalize →
-    /// integrate → plan → execute, through both caches.
+    /// integrate → plan → execute, through both caches, under this
+    /// session's governor budget.
     pub fn query(&self, sql: &str) -> Result<Answer> {
-        self.service.query(&self.user, sql, self.options, self.rewrite)
+        self.query_ctx(sql, &QueryCtx::new(self.budget))
+    }
+
+    /// [`Session::query`] under a caller-owned [`QueryCtx`]: share the
+    /// context with another thread to cancel the query mid-flight, or read
+    /// partial-progress counters while it runs.
+    pub fn query_ctx(&self, sql: &str, ctx: &QueryCtx) -> Result<Answer> {
+        self.service.query_ctx(&self.user, sql, self.options, self.rewrite, ctx)
     }
 }
 
@@ -956,5 +1229,77 @@ mod tests {
             session.query(sql).unwrap();
         }
         assert_eq!(service.cache_stats().plans.evictions, 1);
+    }
+
+    #[test]
+    fn answers_report_no_degradation_under_unlimited_budget() {
+        let service = service_with_ana();
+        let answer = service.session("ana").query(Q).unwrap();
+        assert_eq!(answer.degraded, DegradeLevel::None);
+    }
+
+    #[test]
+    fn zero_deadline_returns_budget_exceeded_never_hangs() {
+        let service = service_with_ana();
+        let session = service.session("ana").with_budget(Budget::unlimited().deadline_ms(0));
+        // The ladder steps all the way down, but execution itself is over
+        // budget too: the query must come back as a typed error, not hang.
+        match session.query(Q) {
+            Err(Error::BudgetExceeded(b)) => {
+                assert_eq!(b.reason, pqp_obs::BudgetReason::Deadline)
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(service.in_flight(), 0, "admission slot released on error");
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_budget_exceeded() {
+        let service = service_with_ana();
+        let ctx = QueryCtx::unlimited();
+        ctx.cancel();
+        match service.session("ana").query_ctx(Q, &ctx) {
+            Err(Error::BudgetExceeded(b)) => {
+                assert_eq!(b.reason, pqp_obs::BudgetReason::Cancelled)
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity_and_recovers() {
+        let service = Service::with_config(
+            movie_db(),
+            ServiceConfig { max_in_flight: 1, ..ServiceConfig::default() },
+        );
+        let guard = service.admit().unwrap();
+        match service.session("u").query(Q) {
+            Err(Error::Overloaded { in_flight, max }) => {
+                assert_eq!((in_flight, max), (1, 1));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(guard);
+        assert!(service.session("u").query(Q).is_ok(), "capacity freed on guard drop");
+        assert_eq!(service.in_flight(), 0);
+    }
+
+    #[test]
+    fn degrade_ladder_steps_down_the_paper_knobs() {
+        let opts = PersonalizeOptions::builder().k(8).m(2).l(3).build();
+        let reduced = DegradeLevel::ReducedK.apply(opts);
+        assert_eq!(reduced.criterion, InterestCriterion::TopK(4));
+        let mandatory = DegradeLevel::MandatoryOnly.apply(opts);
+        assert_eq!(mandatory.criterion, InterestCriterion::TopK(2));
+        assert_eq!(mandatory.matching, MatchSpec::AtLeast(0));
+        // Non-top-K criteria step down to top-2; K never reaches 0 via
+        // halving.
+        let min =
+            PersonalizeOptions::builder().criterion(InterestCriterion::MinDegree(0.1)).build();
+        assert_eq!(DegradeLevel::ReducedK.apply(min).criterion, InterestCriterion::TopK(2));
+        let one = PersonalizeOptions::builder().k(1).build();
+        assert_eq!(DegradeLevel::ReducedK.apply(one).criterion, InterestCriterion::TopK(1));
+        assert_eq!(DegradeLevel::None.apply(opts), opts);
+        assert_eq!(DegradeLevel::Unpersonalized.apply(opts), opts);
     }
 }

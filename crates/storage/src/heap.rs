@@ -1,6 +1,6 @@
 //! A heap file: an append-oriented collection of slotted pages.
 
-use crate::error::Result;
+use crate::error::{Result, StorageError};
 use crate::page::{check_row_fits, Page, RowId};
 use crate::row::{encode_row_vec, Row};
 use crate::value::Value;
@@ -46,7 +46,9 @@ impl Heap {
             }
         }
         let mut page = Page::new();
-        let slot = page.insert(&encoded).expect("fresh page must fit a checked row");
+        let slot = page.insert(&encoded).ok_or_else(|| {
+            StorageError::Corrupt("fresh page rejected a size-checked row".into())
+        })?;
         self.pages.push(page);
         self.live_rows += 1;
         Ok(RowId { page: (self.pages.len() - 1) as u32, slot })
@@ -69,11 +71,23 @@ impl Heap {
         deleted
     }
 
+    /// The `storage.scan` failpoint: when armed, a scan yields one injected
+    /// corrupt-row error before any real row, exercising the executor's
+    /// error path (including inside parallel scan workers).
+    fn scan_failpoint() -> Option<(RowId, Result<Row>)> {
+        pqp_obs::failpoint::fire("storage.scan").map(|msg| {
+            let err = StorageError::Corrupt(format!("injected: {msg}"));
+            (RowId { page: u32::MAX, slot: u16::MAX }, Err(err))
+        })
+    }
+
     /// Iterate over all live rows with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, Result<Row>)> + '_ {
-        self.pages.iter().enumerate().flat_map(|(pno, page)| {
-            page.iter().map(move |(slot, row)| (RowId { page: pno as u32, slot }, row))
-        })
+        Self::scan_failpoint().into_iter().chain(self.pages.iter().enumerate().flat_map(
+            |(pno, page)| {
+                page.iter().map(move |(slot, row)| (RowId { page: pno as u32, slot }, row))
+            },
+        ))
     }
 
     /// Iterate over the live rows of partition `part` of `parts`.
@@ -89,9 +103,12 @@ impl Heap {
         parts: usize,
     ) -> impl Iterator<Item = (RowId, Result<Row>)> + '_ {
         let (start, end) = self.partition_bounds(part, parts);
-        self.pages[start..end].iter().enumerate().flat_map(move |(off, page)| {
-            page.iter().map(move |(slot, row)| (RowId { page: (start + off) as u32, slot }, row))
-        })
+        Self::scan_failpoint().into_iter().chain(
+            self.pages[start..end].iter().enumerate().flat_map(move |(off, page)| {
+                page.iter()
+                    .map(move |(slot, row)| (RowId { page: (start + off) as u32, slot }, row))
+            }),
+        )
     }
 
     /// The page range `[start, end)` of partition `part` of `parts`: a

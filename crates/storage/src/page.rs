@@ -44,7 +44,11 @@ impl Default for Page {
 impl Page {
     /// An empty page.
     pub fn new() -> Page {
-        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        let data = match vec![0u8; PAGE_SIZE].into_boxed_slice().try_into() {
+            Ok(data) => data,
+            Err(_) => unreachable!("a Vec of PAGE_SIZE bytes converts to [u8; PAGE_SIZE]"),
+        };
+        let mut p = Page { data };
         p.set_slot_count(0);
         p.set_free_end(PAGE_SIZE as u16);
         p

@@ -70,14 +70,17 @@ impl<'a> Reader<'a> {
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn get_i64(&mut self, what: &str) -> Result<i64> {
+    fn get_8_bytes(&mut self, what: &str) -> Result<[u8; 8]> {
         let b = self.take(8, what)?;
-        Ok(i64::from_be_bytes(b.try_into().expect("8 bytes")))
+        b.try_into().map_err(|_| StorageError::Corrupt(format!("truncated 8-byte {what}")))
+    }
+
+    fn get_i64(&mut self, what: &str) -> Result<i64> {
+        Ok(i64::from_be_bytes(self.get_8_bytes(what)?))
     }
 
     fn get_f64(&mut self, what: &str) -> Result<f64> {
-        let b = self.take(8, what)?;
-        Ok(f64::from_be_bytes(b.try_into().expect("8 bytes")))
+        Ok(f64::from_be_bytes(self.get_8_bytes(what)?))
     }
 }
 

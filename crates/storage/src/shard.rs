@@ -48,23 +48,38 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         f(shard.get(key))
     }
 
+    /// The `shard.lock` failpoint, evaluated while a shard *write* lock is
+    /// held: `delay` stretches the critical section, `panic` poisons the
+    /// lock — which the [`RwLock`] wrapper then recovers from, the property
+    /// the chaos suite leans on. An `error` spec cannot travel through the
+    /// closure API, so it escalates to a panic (caught at the service
+    /// boundary like any other).
+    fn lock_failpoint() {
+        if let Some(msg) = pqp_obs::failpoint::fire("shard.lock") {
+            panic!("failpoint shard.lock: {msg}");
+        }
+    }
+
     /// Run `f` under the write lock of `key`'s shard, passing a mutable
     /// handle to the whole shard map (so callers can insert, remove or
     /// update the entry for `key`).
     pub fn write<R>(&self, key: &K, f: impl FnOnce(&mut HashMap<K, V>) -> R) -> R {
         let mut shard = self.shards[self.shard_of(key)].write();
+        Self::lock_failpoint();
         f(&mut shard)
     }
 
     /// Insert a value, returning the previous one.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         let mut shard = self.shards[self.shard_of(&key)].write();
+        Self::lock_failpoint();
         shard.insert(key, value)
     }
 
     /// Remove a key, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
         let mut shard = self.shards[self.shard_of(key)].write();
+        Self::lock_failpoint();
         shard.remove(key)
     }
 
@@ -166,6 +181,46 @@ mod tests {
         assert_eq!(m.shard_count(), 1);
         m.insert(1, 1);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn panic_holding_a_shard_lock_does_not_wedge_later_access() {
+        // Regression: a panic while a shard's write lock is held poisons the
+        // std lock; the sync wrapper must recover so subsequent queries on
+        // that shard still work (and see consistent pre-panic state).
+        let m: Arc<ShardedMap<String, i32>> = Arc::new(ShardedMap::new(2));
+        m.insert("k".into(), 1);
+        let m2 = Arc::clone(&m);
+        let panicked = std::thread::spawn(move || {
+            m2.write(&"k".into(), |shard| {
+                shard.insert("k".into(), 2);
+                panic!("boom while holding the shard lock");
+            })
+        })
+        .join();
+        assert!(panicked.is_err(), "worker must have panicked");
+        // Reads and writes on the poisoned shard recover, seeing the state
+        // as of the poisoning write.
+        assert_eq!(m.get_cloned(&"k".into()), Some(2));
+        m.insert("k".into(), 3);
+        assert_eq!(m.get_cloned(&"k".into()), Some(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn shard_lock_failpoint_panic_is_survivable() {
+        let m: Arc<ShardedMap<String, i32>> = Arc::new(ShardedMap::new(2));
+        m.insert("a".into(), 1);
+        pqp_obs::failpoint::configure("shard.lock", "1*panic(chaos)").unwrap();
+        let m2 = Arc::clone(&m);
+        let r = std::thread::spawn(move || m2.insert("a".into(), 2)).join();
+        pqp_obs::failpoint::remove("shard.lock");
+        assert!(r.is_err(), "failpoint must panic the mutating thread");
+        // The poisoned shard recovers and the pre-panic value is intact
+        // (the panic fired before the insert mutated the map).
+        assert_eq!(m.get_cloned(&"a".into()), Some(1));
+        m.insert("a".into(), 5);
+        assert_eq!(m.get_cloned(&"a".into()), Some(5));
     }
 
     #[test]

@@ -52,10 +52,11 @@ impl Histogram {
         let chunk = sorted.len().div_ceil(HISTOGRAM_BUCKETS).max(1);
         let buckets = sorted
             .chunks(chunk)
-            .map(|c| Bucket {
-                lo: c.first().expect("non-empty chunk").clone(),
-                hi: c.last().expect("non-empty chunk").clone(),
-                count: c.len(),
+            .filter_map(|c| match (c.first(), c.last()) {
+                (Some(lo), Some(hi)) => {
+                    Some(Bucket { lo: lo.clone(), hi: hi.clone(), count: c.len() })
+                }
+                _ => None, // chunks() never yields an empty chunk
             })
             .collect();
         Some(Histogram { buckets, total: sorted.len() })

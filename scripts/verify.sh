@@ -20,6 +20,21 @@ cargo test "${CARGO_FLAGS[@]}" --workspace -q
 echo "==> concurrency tests (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test concurrency -q
 
+# The chaos suite (failpoint-injected faults at every named site) and the
+# governor integration tests run on both schedules too: fault isolation
+# must hold under concurrent tests and under a serial schedule.
+echo "==> chaos suite"
+cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test chaos -q
+echo "==> chaos suite (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test chaos -q
+echo "==> governor integration tests"
+cargo test "${CARGO_FLAGS[@]}" -p pqp --test governor --test governor_env -q
+
+# No new unwrap()/expect() in non-test service/storage code (panics there
+# take lock-holding threads down mid-query; use typed errors instead).
+echo "==> unwrap/expect gate (crates/service, crates/storage)"
+./scripts/check_unwrap.sh
+
 # Parallel execution must be row-for-row identical to serial, under the
 # default test parallelism AND serially (nested-parallelism interleavings
 # differ on both schedules). PQP_THREADS sets the budget under test.

@@ -20,6 +20,14 @@
 //!   as the one front door (returning [`Result<Answer, Error>`](Error)),
 //!   and [`Service::query_batch`] for batch execution.
 //!
+//! Every query runs under a **query governor**: a per-query [`Budget`]
+//! (deadline, rows scanned, memory) checked cooperatively at operator loop
+//! boundaries, with typed [`Error::BudgetExceeded`] aborts carrying
+//! partial-progress counters, graceful degradation of personalization
+//! ([`DegradeLevel`]), admission control, and panic isolation. A zero-dep
+//! failpoint registry ([`obs::failpoint`], `PQP_FAILPOINTS`) injects
+//! faults at named sites for chaos testing.
+//!
 //! See `examples/quickstart.rs` for the five-minute tour,
 //! `examples/service.rs` for the serving layer, and DESIGN.md for the
 //! architecture and per-experiment index.
@@ -37,4 +45,5 @@ pub use pqp_storage as storage;
 pub use analyze::{explain_analyze, explain_analyze_with, Analysis, Rewrite};
 pub use pqp_core::prelude;
 pub use pqp_engine::ExecOptions;
-pub use pqp_service::{Answer, Error, Service, ServiceConfig, Session, UserId};
+pub use pqp_obs::{Budget, BudgetExceeded, BudgetReason, QueryCtx};
+pub use pqp_service::{Answer, DegradeLevel, Error, Service, ServiceConfig, Session, UserId};

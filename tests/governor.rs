@@ -1,0 +1,184 @@
+//! Query-governor integration tests through the public `pqp` API: budgets
+//! trip with typed errors instead of hangs, cancellation works from another
+//! thread mid-operator, personalization degrades along the paper's knobs,
+//! and admission control bounds concurrency — all on the paper's running
+//! example (Julie, the movies database).
+//!
+//! The failpoint registry is process-global, so every test that arms one
+//! serializes on a shared mutex and clears the registry before returning.
+
+mod common;
+
+use pqp::core::{PersonalizeOptions, Rewrite};
+use pqp::obs::failpoint;
+use pqp::{
+    Budget, BudgetReason, DegradeLevel, Error, ExecOptions, QueryCtx, Service, ServiceConfig,
+};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static FAILPOINT_GUARD: Mutex<()> = Mutex::new(());
+
+fn with_failpoints<R>(f: impl FnOnce() -> R) -> R {
+    let _g = FAILPOINT_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::clear();
+    let r = f();
+    failpoint::clear();
+    r
+}
+
+fn tonight_sql() -> String {
+    format!(
+        "select MV.title from MOVIE MV, PLAY PL \
+         where MV.mid = PL.mid and PL.date = '{}'",
+        common::TONIGHT
+    )
+}
+
+/// The paper fixture behind a service with parallel execution enabled (so
+/// governor checkpoints inside parallel operators are actually exercised)
+/// and an explicitly unlimited default budget (immune to `PQP_*` env vars).
+fn governed_service() -> Service {
+    let service = Service::with_config(
+        common::paper_db(),
+        ServiceConfig {
+            options: PersonalizeOptions::builder().k(3).l(1).build(),
+            rewrite: Rewrite::Mq,
+            exec: ExecOptions::with_threads(3).min_parallel_rows(2),
+            budget: Budget::unlimited(),
+            ..ServiceConfig::default()
+        },
+    );
+    service.install_profile(common::julie()).unwrap();
+    service.install_profile(common::rob()).unwrap();
+    service
+}
+
+#[test]
+fn zero_deadline_returns_budget_exceeded_instead_of_hanging() {
+    let service = governed_service();
+    let sql = tonight_sql();
+    let result =
+        service.session("julie").with_budget(Budget::unlimited().deadline_ms(0)).query(&sql);
+    match result {
+        Err(Error::BudgetExceeded(b)) => assert_eq!(b.reason, BudgetReason::Deadline),
+        other => panic!("expected BudgetExceeded(Deadline), got {other:?}"),
+    }
+    // The same session recovers immediately with a sane budget.
+    let ok = service.session("julie").query(&sql).unwrap();
+    assert!(!ok.rows.rows.is_empty());
+}
+
+#[test]
+fn row_budget_trips_with_partial_progress_through_the_full_stack() {
+    let service = governed_service();
+    let result =
+        service.session("julie").with_budget(Budget::unlimited().max_rows(3)).query(&tonight_sql());
+    match result {
+        Err(Error::BudgetExceeded(b)) => {
+            assert_eq!(b.reason, BudgetReason::RowsScanned);
+            assert!(b.rows_scanned > 3, "partial progress reported: {b:?}");
+        }
+        other => panic!("expected BudgetExceeded(RowsScanned), got {other:?}"),
+    }
+}
+
+#[test]
+fn generous_budget_answers_match_the_unlimited_run() {
+    let service = governed_service();
+    for user in ["julie", "rob"] {
+        for sql in [tonight_sql(), "select MV.title from MOVIE MV".to_string()] {
+            let plain = service.session(user).query(&sql).unwrap();
+            service.clear_caches();
+            let governed = service
+                .session(user)
+                .with_budget(Budget::unlimited().deadline_ms(60_000).max_rows(1_000_000))
+                .query(&sql)
+                .unwrap();
+            assert_eq!(plain.rows, governed.rows, "governed run diverged for {user}: `{sql}`");
+            assert_eq!(governed.degraded, DegradeLevel::None);
+        }
+    }
+}
+
+#[test]
+fn cancellation_from_another_thread_aborts_a_parallel_join() {
+    with_failpoints(|| {
+        let service = governed_service();
+        let sql = tonight_sql();
+        // Slow every parallel worker down so the cancellation lands while
+        // the join is genuinely in flight.
+        failpoint::configure("par.worker", "delay(40)").unwrap();
+        let before = pqp::obs::metrics::global_snapshot().counter("exec.parallel.workers");
+        let ctx = QueryCtx::unlimited();
+        let result = std::thread::scope(|s| {
+            let handle = s.spawn(|| service.session("julie").query_ctx(&sql, &ctx));
+            std::thread::sleep(Duration::from_millis(10));
+            ctx.cancel();
+            handle.join().expect("query thread must not panic")
+        });
+        match result {
+            Err(Error::BudgetExceeded(b)) => assert_eq!(b.reason, BudgetReason::Cancelled),
+            other => panic!("expected BudgetExceeded(Cancelled), got {other:?}"),
+        }
+        let after = pqp::obs::metrics::global_snapshot().counter("exec.parallel.workers");
+        assert!(after > before, "the cancelled query reached a parallel operator");
+        // Scoped workers all joined: the service keeps serving.
+        failpoint::clear();
+        assert_eq!(service.in_flight(), 0);
+        assert!(service.session("julie").query(&sql).is_ok());
+    });
+}
+
+#[test]
+fn injected_personalization_trip_degrades_and_reports_the_level() {
+    with_failpoints(|| {
+        let service = governed_service();
+        let sql = tonight_sql();
+        // Two injected trips walk the ladder past ReducedK to MandatoryOnly.
+        failpoint::configure("select.budget", "2*error").unwrap();
+        let degraded = service.session("julie").query(&sql).unwrap();
+        assert_eq!(degraded.degraded, DegradeLevel::MandatoryOnly);
+        assert!(!degraded.plan_cached, "degraded answers never come from the cache");
+        failpoint::clear();
+        // The degraded plan was not cached: full fidelity returns at once.
+        let full = service.session("julie").query(&sql).unwrap();
+        assert_eq!(full.degraded, DegradeLevel::None);
+        assert_eq!(full.k, 3, "full personalization selects top-3 again");
+    });
+}
+
+#[test]
+fn admission_control_rejects_at_capacity_under_real_concurrency() {
+    with_failpoints(|| {
+        let service = Service::with_config(
+            common::paper_db(),
+            ServiceConfig {
+                options: PersonalizeOptions::builder().k(3).l(1).build(),
+                rewrite: Rewrite::Mq,
+                exec: ExecOptions::with_threads(2).min_parallel_rows(2),
+                budget: Budget::unlimited(),
+                max_in_flight: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        service.install_profile(common::julie()).unwrap();
+        let sql = tonight_sql();
+        // Slow parallel workers keep the first query inside the service
+        // long enough for the second to hit the admission limit.
+        failpoint::configure("par.worker", "delay(60)").unwrap();
+        std::thread::scope(|s| {
+            let slow = s.spawn(|| service.session("julie").query(&sql));
+            std::thread::sleep(Duration::from_millis(15));
+            match service.session("julie").query(&sql) {
+                Err(Error::Overloaded { max, .. }) => assert_eq!(max, 1),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            assert!(slow.join().unwrap().is_ok(), "the admitted query completes normally");
+        });
+        failpoint::clear();
+        // The slot was released: the service admits again.
+        assert_eq!(service.in_flight(), 0);
+        assert!(service.session("julie").query(&sql).is_ok());
+    });
+}
