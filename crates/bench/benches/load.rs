@@ -1,0 +1,209 @@
+//! Macro load harness: a closed-loop, multi-worker driver putting the
+//! serving layer under sustained skewed traffic — the missing complement to
+//! the per-operation micro-benchmarks.
+//!
+//! N simulated users (zipf-skewed popularity: a few hot users dominate, as
+//! in real traffic) issue a zipf-skewed mix of generated queries against a
+//! generated movie database. Each worker runs closed-loop: issue a query,
+//! wait for the answer, issue the next. The run consumes the service's own
+//! telemetry ([`pqp_service::Telemetry`]) for its latency quantiles and SLO
+//! counts — the harness measures what an operator would see — and writes
+//! `results/macro_load.json` with throughput, p50/p95/p99 latency, cache
+//! hit rates and degrade/error counts, stamped with the shared run-metadata
+//! block.
+//!
+//! Environment knobs (defaults in parentheses): `PQP_LOAD_USERS` (50),
+//! `PQP_LOAD_WORKERS` (4), `PQP_LOAD_SECONDS` (5), `PQP_LOAD_ZIPF` (1.0),
+//! `PQP_LOAD_QUERIES` (8 distinct texts). CI runs a seconds-long smoke
+//! configuration and asserts the JSON reports non-zero throughput.
+
+use pqp_core::PersonalizeOptions;
+use pqp_datagen::{
+    generate, generate_profiles, generate_queries, MovieDbConfig, ProfileGenConfig, QueryGenConfig,
+    Zipf,
+};
+use pqp_obs::rng::SmallRng;
+use pqp_obs::Json;
+use pqp_service::{Service, ServiceConfig, UserId};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+struct LoadConfig {
+    users: usize,
+    workers: usize,
+    seconds: f64,
+    zipf_s: f64,
+    query_texts: usize,
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+impl LoadConfig {
+    fn from_env() -> LoadConfig {
+        LoadConfig {
+            users: env_or("PQP_LOAD_USERS", 50_usize).max(1),
+            workers: env_or("PQP_LOAD_WORKERS", 4_usize).max(1),
+            seconds: env_or("PQP_LOAD_SECONDS", 5.0_f64).max(0.1),
+            zipf_s: env_or("PQP_LOAD_ZIPF", 1.0_f64).max(0.0),
+            query_texts: env_or("PQP_LOAD_QUERIES", 8_usize).max(1),
+        }
+    }
+}
+
+fn setup(cfg: &LoadConfig) -> (Service, Vec<UserId>, Vec<String>) {
+    let m = generate(MovieDbConfig { movies: 300, theatres: 10, ..Default::default() });
+    let service = Service::with_config(
+        m.db,
+        ServiceConfig {
+            options: PersonalizeOptions::builder().k(8).l(1).build(),
+            ..ServiceConfig::default()
+        },
+    );
+    let profiles = generate_profiles(
+        "user",
+        cfg.users,
+        &m.pools,
+        &ProfileGenConfig { selections: 60, seed: 11, ..Default::default() },
+    );
+    let users: Vec<UserId> = profiles.iter().map(|p| UserId::from(p.user.as_str())).collect();
+    for p in profiles {
+        service.install_profile(p).expect("generated profiles validate");
+    }
+    let sqls: Vec<String> = generate_queries(cfg.query_texts, &m.pools, &QueryGenConfig::default())
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    (service, users, sqls)
+}
+
+fn main() {
+    let cfg = LoadConfig::from_env();
+    let (service, users, sqls) = setup(&cfg);
+    println!(
+        "macro load: {} users x {} queries, zipf s={}, {} workers, {:.1}s closed-loop",
+        cfg.users,
+        sqls.len(),
+        cfg.zipf_s,
+        cfg.workers,
+        cfg.seconds
+    );
+
+    let user_zipf = Zipf::new(users.len(), cfg.zipf_s);
+    let query_zipf = Zipf::new(sqls.len(), cfg.zipf_s);
+    let run_dur = Duration::from_secs_f64(cfg.seconds);
+    let completed = AtomicU64::new(0);
+    let errored = AtomicU64::new(0);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..cfg.workers {
+            let (service, users, sqls) = (&service, &users, &sqls);
+            let (user_zipf, query_zipf) = (&user_zipf, &query_zipf);
+            let (completed, errored) = (&completed, &errored);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xC10C + worker as u64);
+                let deadline = Instant::now() + run_dur;
+                while Instant::now() < deadline {
+                    let user = &users[user_zipf.sample(&mut rng)];
+                    let sql = &sqls[query_zipf.sample(&mut rng)];
+                    match service.session(user.clone()).query(sql) {
+                        Ok(_) => completed.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => errored.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let completed = completed.load(Ordering::Relaxed);
+    let errored = errored.load(Ordering::Relaxed);
+    assert!(completed > 0, "a closed-loop run must complete at least one query");
+
+    // The harness reports what the service itself observed: latency
+    // quantiles and SLO counts come from the always-on telemetry, the cache
+    // hit rates from the cache counters.
+    let telemetry = service.telemetry().snapshot();
+    let latency = &telemetry.latency_ms.lifetime;
+    assert_eq!(
+        telemetry.queries,
+        completed + errored,
+        "the query log saw every request the workers issued"
+    );
+    let caches = service.cache_stats();
+    let throughput_qps = completed as f64 / elapsed;
+    println!(
+        "{completed} queries ({errored} errors) in {elapsed:.2}s = {throughput_qps:.0} qps   \
+         p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms   plan-cache hit rate {:.1}%",
+        latency.p50(),
+        latency.p95(),
+        latency.p99(),
+        100.0 * caches.plans.hit_rate()
+    );
+
+    let doc = Json::obj()
+        .set("meta", pqp_obs::run_meta("macro_load"))
+        .set(
+            "config",
+            Json::obj()
+                .set("users", cfg.users)
+                .set("workers", cfg.workers)
+                .set("seconds", cfg.seconds)
+                .set("zipf_s", cfg.zipf_s)
+                .set("query_texts", sqls.len()),
+        )
+        .set("throughput_qps", throughput_qps)
+        .set("completed", completed)
+        .set("errors", errored)
+        .set("elapsed_s", elapsed)
+        .set(
+            "latency_ms",
+            Json::obj()
+                .set("count", latency.count())
+                .set("mean", latency.mean())
+                .set("p50", latency.p50())
+                .set("p95", latency.p95())
+                .set("p99", latency.p99())
+                .set("max", latency.max()),
+        )
+        .set(
+            "caches",
+            Json::obj()
+                .set("plan_hit_rate", caches.plans.hit_rate())
+                .set("prepared_hit_rate", caches.prepared.hit_rate()),
+        )
+        .set(
+            "slo",
+            Json::obj()
+                .set("slow", telemetry.slow)
+                .set("degraded", telemetry.degraded)
+                .set("over_deadline", telemetry.over_deadline)
+                .set("budget_exceeded", telemetry.budget_exceeded)
+                .set("overloaded", telemetry.overloaded)
+                .set("panics_caught", telemetry.panics_caught),
+        );
+    let dir = workspace_results_dir();
+    let path = dir.join("macro_load.json");
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("failed to create {}: {err}", dir.display());
+        std::process::exit(1);
+    }
+    match std::fs::write(&path, doc.pretty()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(err) => {
+            eprintln!("failed to write macro_load.json: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .join("results")
+}

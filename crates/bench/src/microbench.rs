@@ -69,8 +69,10 @@ impl MicroBench {
                     .set("max_ms", s.max),
             );
         }
-        let doc =
-            Json::obj().set("group", self.group.as_str()).set("benchmarks", Json::Arr(benches));
+        let doc = Json::obj()
+            .set("meta", pqp_obs::run_meta(&format!("micro_{}", self.group)))
+            .set("group", self.group.as_str())
+            .set("benchmarks", Json::Arr(benches));
         let path = dir.join(format!("micro_{}.json", self.group));
         std::fs::write(&path, doc.pretty())?;
         Ok(path)
@@ -96,7 +98,10 @@ impl MicroBench {
 pub fn write_metrics_json(dir: &Path) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join("metrics.json");
-    std::fs::write(&path, pqp_obs::metrics::global_snapshot().to_json().pretty())?;
+    let doc = Json::obj()
+        .set("meta", pqp_obs::run_meta("metrics"))
+        .set("metrics", pqp_obs::metrics::global_snapshot().to_json());
+    std::fs::write(&path, doc.pretty())?;
     Ok(path)
 }
 

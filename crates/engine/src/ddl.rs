@@ -102,6 +102,11 @@ pub fn execute_statement(stmt: &Statement, catalog: &mut Catalog) -> Result<Stat
                 None => Ok(StatementResult::Affected(catalog.analyze_all()?)),
             }
         }
+        Statement::Show(_) => {
+            // Telemetry lives in the service layer (pqp-service); the bare
+            // engine has nothing to report.
+            bind_err("SHOW statements are answered by the service layer, not the storage engine")
+        }
         Statement::Delete { table, selection } => {
             let t = catalog.table(table)?;
             let mut t = t.write();

@@ -219,6 +219,25 @@ impl QueryCtx {
         self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
     }
 
+    /// The scanned-rows cap this context enforces (`None` = unlimited).
+    /// Telemetry records it next to the consumed counters so a query log
+    /// entry shows consumption *against its limits*.
+    pub fn max_rows_limit(&self) -> Option<u64> {
+        self.max_rows
+    }
+
+    /// The intermediate-memory cap this context enforces (`None` =
+    /// unlimited).
+    pub fn max_mem_limit(&self) -> Option<u64> {
+        self.max_mem
+    }
+
+    /// The total wall-clock budget from context creation to the deadline
+    /// (`None` when no deadline is set).
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(self.start))
+    }
+
     /// Check the cancellation flag and the deadline. Call at operator
     /// boundaries and every [`CHECKPOINT_STRIDE`] iterations of non-scan
     /// loops.

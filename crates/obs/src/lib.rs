@@ -9,9 +9,15 @@
 //!   [`span::trace_end`] yields a [`span::PipelineTrace`] with per-stage
 //!   timings and recorded fields. When no trace is active every call is a
 //!   cheap no-op, so instrumentation can stay in hot paths permanently.
-//! - [`metrics`] — counters, gauges and histograms (p50/p95/max) in a
-//!   [`metrics::Registry`], plus a process-global registry that aggregates
-//!   across traces (the bench harness reads it).
+//! - [`metrics`] — counters, gauges and bounded log-bucket histograms
+//!   (p50/p95/p99/max within a documented ≈2.2% relative error, O(1)
+//!   memory) in a [`metrics::Registry`], plus a process-global registry
+//!   that aggregates across traces (the bench harness reads it).
+//! - [`window`](mod@window) — [`WindowedHistogram`]: a lifetime histogram plus a
+//!   sliding recent window (default last 60 s) for always-on processes.
+//! - [`runmeta`] — the shared run-metadata block ([`run_meta`]) stamped
+//!   into every `results/*.json` writer so bench files are comparable
+//!   across hosts.
 //! - [`json`] — a small JSON value type with a parser and printers, the
 //!   serialization layer for traces, metrics and stored profiles.
 //! - [`report`] — renders a span tree as an `EXPLAIN ANALYZE`-style text
@@ -33,13 +39,18 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod rng;
+pub mod runmeta;
 pub mod span;
+pub mod window;
 
 pub use governor::{approx_row_bytes, Budget, BudgetExceeded, BudgetReason, Progress, QueryCtx};
 pub use json::Json;
 pub use metrics::{
-    counter_add, gauge_set, observe, CacheSnapshot, CacheStats, Histogram, Registry,
+    counter_add, gauge_set, observe, CacheSnapshot, CacheStats, Histogram, HistogramSummary,
+    Registry,
 };
+pub use runmeta::{run_meta, RESULTS_SCHEMA_VERSION};
 pub use span::{
     record, span, trace_active, trace_begin, trace_end, Field, PipelineTrace, SpanGuard, SpanNode,
 };
+pub use window::{WindowSnapshot, WindowedHistogram};

@@ -11,13 +11,42 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// A histogram of `f64` samples with exact quantiles.
+/// Buckets per doubling of the value: the resolution of the log scale.
+/// With 16 sub-buckets per power of two, a bucket spans a factor of
+/// `2^(1/16) ≈ 1.0443`, and reporting the geometric midpoint bounds the
+/// relative quantile error at `2^(1/32) - 1 ≈ 2.2%`.
+const BUCKETS_PER_DOUBLING: f64 = 16.0;
+
+/// Bucket indices are clamped to this magnitude, covering values from
+/// `2^-128` to `2^128` (≈ `1e-38 .. 1e38`) — far past any latency or byte
+/// count this workspace records. The clamp makes the worst-case memory
+/// strictly bounded: at most `2 * 2 * 2048 + 1` occupied buckets.
+const MAX_BUCKET: i32 = 2048;
+
+/// A histogram of `f64` samples over fixed log-scale buckets.
 ///
-/// Samples are stored raw (the workloads here record thousands of samples,
-/// not millions); quantiles sort lazily on read.
+/// Count, sum, min and max are tracked exactly; quantiles come from the
+/// bucket structure and carry a **bounded relative error of ≈ 2.2%**
+/// (see `BUCKETS_PER_DOUBLING`): each positive sample lands in the bucket
+/// `(γ^(i-1), γ^i]` with `γ = 2^(1/16)`, and a quantile reports the
+/// geometric midpoint of its bucket, clamped into `[min, max]`. Memory is
+/// O(occupied buckets) — bounded regardless of how many samples a
+/// long-running process records, which is what lets the always-on telemetry
+/// keep lifetime histograms without growing forever. (The previous
+/// implementation stored every raw sample.)
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
-    samples: Vec<f64>,
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Counts of strictly positive samples, keyed by log-bucket index.
+    pos: BTreeMap<i32, u64>,
+    /// Counts of strictly negative samples, keyed by the index of `|v|`
+    /// (larger index = larger magnitude = smaller value).
+    neg: BTreeMap<i32, u64>,
+    /// Exact-zero samples.
+    zero: u64,
 }
 
 /// The summary row the reports print.
@@ -29,6 +58,19 @@ pub struct HistogramSummary {
     pub mean: f64,
     pub p50: f64,
     pub p95: f64,
+    pub p99: f64,
+}
+
+/// Log-bucket index of a strictly positive value: the smallest `i` with
+/// `v <= γ^i`.
+fn bucket_of(v: f64) -> i32 {
+    let i = (v.log2() * BUCKETS_PER_DOUBLING).ceil() as i64;
+    i.clamp(-(MAX_BUCKET as i64), MAX_BUCKET as i64) as i32
+}
+
+/// Representative of bucket `i`: the geometric midpoint of `(γ^(i-1), γ^i]`.
+fn representative(i: i32) -> f64 {
+    ((f64::from(i) - 0.5) / BUCKETS_PER_DOUBLING).exp2()
 }
 
 impl Histogram {
@@ -37,48 +79,91 @@ impl Histogram {
     }
 
     pub fn record(&mut self, v: f64) {
-        if v.is_finite() {
-            self.samples.push(v);
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v > 0.0 {
+            *self.pos.entry(bucket_of(v)).or_insert(0) += 1;
+        } else if v < 0.0 {
+            *self.neg.entry(bucket_of(-v)).or_insert(0) += 1;
+        } else {
+            self.zero += 1;
         }
     }
 
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count
     }
 
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        if self.count == 0 {
+            f64::INFINITY
+        } else {
+            self.min
+        }
     }
 
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        if self.count == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.max
+        }
     }
 
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.sum / self.count as f64
     }
 
-    /// Exact quantile by linear interpolation between order statistics
-    /// (`q` clamped to `[0, 1]`; 0 on an empty histogram).
+    /// Estimated quantile (`q` clamped to `[0, 1]`; 0 on an empty
+    /// histogram). The estimate is the bucket representative of the
+    /// `round(q * (n-1))`-th order statistic, clamped into `[min, max]`, so
+    /// it is within ≈ 2.2% relative error of the exact order statistic, and
+    /// `quantile(0.0)` / `quantile(1.0)` return the exact min / max.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
         let q = q.clamp(0.0, 1.0);
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            sorted[lo]
-        } else {
-            let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        if q == 0.0 {
+            return self.min;
         }
+        if q == 1.0 {
+            return self.max;
+        }
+        let target = (q * (self.count - 1) as f64).round() as u64;
+        let mut cum: u64 = 0;
+        // Ascending value order: negatives (largest magnitude first), zero,
+        // then positives.
+        for (&i, &n) in self.neg.iter().rev() {
+            cum += n;
+            if cum > target {
+                return (-representative(i)).clamp(self.min, self.max);
+            }
+        }
+        cum += self.zero;
+        if cum > target {
+            return 0.0f64.clamp(self.min, self.max);
+        }
+        for (&i, &n) in self.pos.iter() {
+            cum += n;
+            if cum > target {
+                return representative(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 
     pub fn p50(&self) -> f64 {
@@ -89,8 +174,12 @@ impl Histogram {
         self.quantile(0.95)
     }
 
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     pub fn summary(&self) -> HistogramSummary {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return HistogramSummary {
                 count: 0,
                 min: 0.0,
@@ -98,6 +187,7 @@ impl Histogram {
                 mean: 0.0,
                 p50: 0.0,
                 p95: 0.0,
+                p99: 0.0,
             };
         }
         HistogramSummary {
@@ -107,11 +197,32 @@ impl Histogram {
             mean: self.mean(),
             p50: self.p50(),
             p95: self.p95(),
+            p99: self.p99(),
         }
     }
 
-    fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
+    /// Fold another histogram into this one (bucket counts add; count, sum,
+    /// min and max stay exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zero += other.zero;
+        for (&i, &n) in &other.pos {
+            *self.pos.entry(i).or_insert(0) += n;
+        }
+        for (&i, &n) in &other.neg {
+            *self.neg.entry(i).or_insert(0) += n;
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -123,6 +234,7 @@ impl Histogram {
             .set("mean", s.mean)
             .set("p50", s.p50)
             .set("p95", s.p95)
+            .set("p99", s.p99)
     }
 }
 
@@ -342,31 +454,48 @@ impl CacheStats {
 mod tests {
     use super::*;
 
+    /// The documented relative error bound of bucketed quantiles.
+    const QUANTILE_RTOL: f64 = 0.025;
+
+    fn close(got: f64, want: f64) -> bool {
+        (got - want).abs() <= QUANTILE_RTOL * want.abs().max(1e-12)
+    }
+
     #[test]
-    fn histogram_quantiles_exact() {
+    fn histogram_quantiles_within_documented_bound() {
         let mut h = Histogram::new();
         for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
             h.record(v);
         }
         assert_eq!(h.count(), 5);
+        // Count, min, max and mean stay exact; quantiles are bucketed.
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 5.0);
         assert_eq!(h.mean(), 3.0);
-        assert_eq!(h.p50(), 3.0);
-        assert_eq!(h.quantile(0.0), 1.0);
-        assert_eq!(h.quantile(1.0), 5.0);
-        // p95 over 5 samples interpolates between the 4th and 5th order
-        // statistics: 4 + 0.8 * (5 - 4) = 4.8.
-        assert!((h.p95() - 4.8).abs() < 1e-12, "{}", h.p95());
+        assert_eq!(h.quantile(0.0), 1.0, "q=0 is the exact min");
+        assert_eq!(h.quantile(1.0), 5.0, "q=1 is the exact max");
+        assert!(close(h.p50(), 3.0), "{}", h.p50());
+        // p95 over 5 samples rounds to the 5th order statistic.
+        assert!(close(h.p95(), 5.0), "{}", h.p95());
+        assert!(close(h.p99(), 5.0), "{}", h.p99());
     }
 
     #[test]
-    fn histogram_quantile_interpolates() {
+    fn histogram_handles_zero_and_negative_samples() {
         let mut h = Histogram::new();
         h.record(0.0);
         h.record(10.0);
-        assert_eq!(h.quantile(0.5), 5.0);
-        assert_eq!(h.quantile(0.25), 2.5);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+        let mut h = Histogram::new();
+        for v in [-8.0, -2.0, 0.0, 2.0, 8.0] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), -8.0);
+        assert_eq!(h.max(), 8.0);
+        assert!(close(h.quantile(0.25), -2.0), "{}", h.quantile(0.25));
+        assert_eq!(h.p50(), 0.0);
+        assert!(close(h.quantile(0.75), 2.0), "{}", h.quantile(0.75));
     }
 
     #[test]
@@ -376,10 +505,49 @@ mod tests {
         assert_eq!(h.summary().count, 0);
         let mut h = Histogram::new();
         h.record(7.5);
-        assert_eq!(h.p50(), 7.5);
-        assert_eq!(h.p95(), 7.5);
+        assert!(close(h.p50(), 7.5), "{}", h.p50());
+        assert!(close(h.p95(), 7.5), "{}", h.p95());
         h.record(f64::NAN); // ignored
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_quantiles_within_bound() {
+        // Property check for the documented 2.2% bound: a skewed synthetic
+        // latency distribution, bucketed quantiles vs. exact order
+        // statistics.
+        use crate::rng::{Rng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(0x7E1E);
+        let mut h = Histogram::new();
+        let mut exact: Vec<f64> = Vec::new();
+        for _ in 0..10_000 {
+            // Log-uniform over ~4 decades, the shape of real latencies.
+            let v = 10f64.powf(rng.gen_f64() * 4.0 - 1.0);
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+            let want = exact[(q * (exact.len() - 1) as f64).round() as usize];
+            let got = h.quantile(q);
+            assert!(
+                (got - want).abs() <= QUANTILE_RTOL * want,
+                "q={q}: got {got}, exact {want} (err {:.3}%)",
+                100.0 * (got - want).abs() / want
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_memory_stays_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(i as f64 * 0.1);
+        }
+        assert_eq!(h.count(), 100_000);
+        // 0..10_000 spans ~17 doublings → at most ~17 * 16 + 1 buckets.
+        assert!(h.pos.len() + h.neg.len() <= 2 * MAX_BUCKET as usize + 1);
+        assert!(h.pos.len() < 400, "occupied buckets: {}", h.pos.len());
     }
 
     #[test]

@@ -64,8 +64,8 @@ fn render_metrics(out: &mut String, metrics: &Registry) {
             let s = h.summary();
             let _ = writeln!(
                 out,
-                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
-                s.count, s.mean, s.p50, s.p95, s.max
+                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
             );
         }
     }

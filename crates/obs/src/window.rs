@@ -1,0 +1,189 @@
+//! Windowed metrics for long-running processes: a [`WindowedHistogram`]
+//! keeps a bounded **lifetime** histogram plus a ring of short **slot**
+//! histograms covering a sliding recent window (default 12 × 5 s = last
+//! 60 s), so an always-on server can answer both "how has this process
+//! behaved since it started" and "what is happening right now" from O(1)
+//! memory.
+//!
+//! A process-global metrics [`Registry`](crate::metrics::Registry) snapshot
+//! answers neither: its histograms aggregate forever (a latency regression
+//! drowns in a week of healthy samples) and resetting it loses history.
+//! Windowing keeps both views live without unbounded state.
+
+use crate::metrics::Histogram;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of ring slots in a default window.
+const DEFAULT_SLOTS: usize = 12;
+
+/// Duration of one ring slot in a default window.
+const DEFAULT_SLOT_SECS: u64 = 5;
+
+/// One ring slot: the samples recorded during one slot-duration interval.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Which slot interval (elapsed / slot_dur) this data belongs to; a
+    /// slot whose index is stale gets reset before reuse.
+    index: u64,
+    hist: Histogram,
+}
+
+/// A histogram recorded twice: into a lifetime aggregate and into a ring of
+/// time slots whose union is the sliding recent window.
+///
+/// Thread-safe (`record` takes `&self`); both views are bounded — the
+/// lifetime side by the log-bucket structure of [`Histogram`], the window
+/// side additionally by the fixed slot count.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    start: Instant,
+    slot_dur: Duration,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    lifetime: Histogram,
+    slots: Vec<Slot>,
+}
+
+/// A point-in-time copy of both views of a [`WindowedHistogram`].
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// Every sample since the histogram was created.
+    pub lifetime: Histogram,
+    /// Samples from the sliding recent window only.
+    pub window: Histogram,
+    /// How much time the `window` histogram covers at most.
+    pub window_dur: Duration,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> WindowedHistogram {
+        WindowedHistogram::new(DEFAULT_SLOTS, Duration::from_secs(DEFAULT_SLOT_SECS))
+    }
+}
+
+impl WindowedHistogram {
+    /// A histogram whose sliding window covers `slots * slot_dur`.
+    pub fn new(slots: usize, slot_dur: Duration) -> WindowedHistogram {
+        let slots = slots.max(1);
+        let slot_dur = slot_dur.max(Duration::from_millis(1));
+        WindowedHistogram {
+            start: Instant::now(),
+            slot_dur,
+            inner: Mutex::new(Inner {
+                lifetime: Histogram::new(),
+                slots: vec![Slot::default(); slots],
+            }),
+        }
+    }
+
+    /// The sliding window's maximum coverage.
+    pub fn window_dur(&self) -> Duration {
+        let slots = self.inner.lock().unwrap_or_else(|e| e.into_inner()).slots.len() as u32;
+        self.slot_dur * slots
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Record a sample now.
+    pub fn record(&self, v: f64) {
+        self.record_at(v, self.elapsed());
+    }
+
+    /// Record a sample as of `elapsed` since creation (exposed so tests and
+    /// replay harnesses can drive the clock; [`record`](Self::record) is the
+    /// live entry point).
+    pub fn record_at(&self, v: f64, elapsed: Duration) {
+        let index = (elapsed.as_nanos() / self.slot_dur.as_nanos().max(1)) as u64;
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.lifetime.record(v);
+        let pos = (index % inner.slots.len() as u64) as usize;
+        let slot = &mut inner.slots[pos];
+        if slot.index != index {
+            // The ring wrapped: this slot's previous interval has aged out.
+            slot.index = index;
+            slot.hist = Histogram::new();
+        }
+        slot.hist.record(v);
+    }
+
+    /// Snapshot both views now.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.elapsed())
+    }
+
+    /// Snapshot as of `elapsed` since creation: the window merges only the
+    /// slots whose interval is inside `(now - window_dur, now]`.
+    pub fn snapshot_at(&self, elapsed: Duration) -> WindowSnapshot {
+        let current = (elapsed.as_nanos() / self.slot_dur.as_nanos().max(1)) as u64;
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let n = inner.slots.len() as u64;
+        let oldest_live = (current + 1).saturating_sub(n);
+        let mut window = Histogram::new();
+        for slot in &inner.slots {
+            if slot.index >= oldest_live && slot.index <= current && slot.hist.count() > 0 {
+                window.merge(&slot.hist);
+            }
+        }
+        WindowSnapshot {
+            lifetime: inner.lifetime.clone(),
+            window,
+            window_dur: self.slot_dur * inner.slots.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn lifetime_aggregates_and_window_slides() {
+        let w = WindowedHistogram::new(6, secs(10)); // 60 s window
+        w.record_at(1.0, secs(5)); // slot 0
+        w.record_at(2.0, secs(45)); // slot 4
+        w.record_at(3.0, secs(95)); // slot 9
+
+        // At t=95 s, slot 0 (t<10 s) has aged out of the 60 s window.
+        let snap = w.snapshot_at(secs(95));
+        assert_eq!(snap.lifetime.count(), 3);
+        assert_eq!(snap.window.count(), 2);
+        assert_eq!(snap.window.min(), 2.0);
+        assert_eq!(snap.window_dur, secs(60));
+
+        // Much later, the window is empty but lifetime persists.
+        let snap = w.snapshot_at(secs(1_000));
+        assert_eq!(snap.lifetime.count(), 3);
+        assert_eq!(snap.window.count(), 0);
+    }
+
+    #[test]
+    fn ring_reuse_resets_stale_slots() {
+        let w = WindowedHistogram::new(2, secs(1));
+        w.record_at(1.0, secs(0)); // slot index 0 → position 0
+        w.record_at(2.0, secs(2)); // slot index 2 → position 0 again: reset
+        let snap = w.snapshot_at(secs(2));
+        assert_eq!(snap.lifetime.count(), 2);
+        assert_eq!(snap.window.count(), 1, "the overwritten slot is gone from the window");
+        assert_eq!(snap.window.max(), 2.0);
+    }
+
+    #[test]
+    fn live_entry_points_work() {
+        let w = WindowedHistogram::default();
+        w.record(4.2);
+        let snap = w.snapshot();
+        assert_eq!(snap.lifetime.count(), 1);
+        assert_eq!(snap.window.count(), 1);
+        assert_eq!(w.window_dur(), secs(60));
+    }
+}

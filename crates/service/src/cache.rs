@@ -60,6 +60,11 @@ impl<K: Hash + Eq + Clone, V> FifoCache<K, V> {
         self.map.len()
     }
 
+    /// Maximum number of entries before eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Drop every entry.
     pub fn clear(&mut self) {
         self.map.clear();

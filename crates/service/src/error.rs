@@ -43,6 +43,22 @@ pub enum Error {
     Internal(String),
 }
 
+impl Error {
+    /// A stable, lowercase label of the failing layer, used by the query
+    /// log and its JSON sink (`error_kind`). Messages change; kinds do not.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Personalize(_) => "personalize",
+            Error::Engine(_) => "engine",
+            Error::Storage(_) => "storage",
+            Error::BudgetExceeded(_) => "budget",
+            Error::Overloaded { .. } => "overloaded",
+            Error::Internal(_) => "internal",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -51,8 +51,12 @@
 
 mod cache;
 mod error;
+pub mod telemetry;
 
 pub use error::{Error, Result};
+pub use telemetry::{
+    PhaseBreakdown, QueryLog, QueryRecord, Telemetry, TelemetryConfig, TelemetrySnapshot,
+};
 
 use cache::FifoCache;
 use pqp_core::graph::InMemoryGraph;
@@ -62,14 +66,16 @@ use pqp_core::{
     PrefError, Profile, Rewrite,
 };
 use pqp_engine::plan::Plan;
-use pqp_engine::{Database, ExecOptions, ResultSet};
+use pqp_engine::{Database, Estimator, ExecOptions, ResultSet};
 use pqp_obs::{Budget, CacheSnapshot, CacheStats, QueryCtx};
 use pqp_sql::ast::{Query, Select};
+use pqp_sql::{ShowStmt, Statement};
 use pqp_storage::sync::RwLock;
-use pqp_storage::ShardedMap;
+use pqp_storage::{ShardedMap, Value};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A user identifier: the key of the sharded profile store.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -143,6 +149,10 @@ pub struct ServiceConfig {
     /// personalization budget trip surfaces as
     /// [`Error::BudgetExceeded`] instead.
     pub degrade: bool,
+    /// Always-on telemetry: query-log capacities, slow-query threshold
+    /// (`PQP_SLOW_QUERY_MS`) and the optional JSON-lines sink
+    /// (`PQP_QUERY_LOG_FILE`). See [`TelemetryConfig`].
+    pub telemetry: TelemetryConfig,
 }
 
 fn max_in_flight_from_env() -> usize {
@@ -161,6 +171,7 @@ impl Default for ServiceConfig {
             budget: Budget::from_env(),
             max_in_flight: max_in_flight_from_env(),
             degrade: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -375,6 +386,7 @@ pub struct Service {
     plans: RwLock<FifoCache<PlanKey, Arc<CachedPlan>>>,
     prepared_stats: CacheStats,
     plan_stats: CacheStats,
+    telemetry: Telemetry,
 }
 
 /// Cache counters of a service, one snapshot per cache.
@@ -406,8 +418,16 @@ impl Service {
             plans: RwLock::new(FifoCache::new(config.plan_capacity)),
             prepared_stats: CacheStats::new("service.prepared_cache"),
             plan_stats: CacheStats::new("service.plan_cache"),
+            telemetry: Telemetry::new(config.telemetry.clone()),
             config,
         }
+    }
+
+    /// The always-on telemetry: query log, windowed latency, SLO counters.
+    /// The same data is reachable in-band through `SHOW METRICS`,
+    /// `SHOW QUERIES [LIMIT n]` and `SHOW CACHES`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The underlying database.
@@ -565,11 +585,12 @@ impl Service {
     // ---- caches -----------------------------------------------------------
 
     /// Parse + query-graph a SQL text, through the shared prepared cache.
-    fn prepare(&self, sql: &str) -> Result<Arc<Prepared>> {
+    /// The flag reports whether the cache served it (for the query log).
+    fn prepare(&self, sql: &str) -> Result<(Arc<Prepared>, bool)> {
         let key = sql.trim();
         if let Some(p) = self.prepared.read().get(&key.to_string()) {
             self.prepared_stats.hit();
-            return Ok(Arc::clone(p));
+            return Ok((Arc::clone(p), true));
         }
         self.prepared_stats.miss();
         let query = pqp_sql::parse_query(sql)?;
@@ -582,7 +603,7 @@ impl Service {
         if self.prepared.write().insert(key.to_string(), Arc::clone(&prepared)) {
             self.prepared_stats.eviction();
         }
-        Ok(prepared)
+        Ok((prepared, false))
     }
 
     /// Snapshot counters of both caches.
@@ -651,18 +672,152 @@ impl Service {
         rewrite: Rewrite,
         ctx: &QueryCtx,
     ) -> Result<Answer> {
-        let _admitted = self.admit()?;
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.query_governed(user, sql, options, rewrite, ctx)
-        })) {
-            Ok(result) => result,
-            Err(payload) => {
-                pqp_obs::counter_add("service.panics_caught", 1);
-                Err(Error::Internal(format!(
-                    "query pipeline panicked: {}",
-                    panic_message(&payload)
-                )))
+        // In-band introspection is answered before admission control — an
+        // operator's `SHOW METRICS` must work precisely when the service is
+        // overloaded — and stays out of the query log (no self-noise).
+        if is_show(sql) {
+            return self.run_show(sql);
+        }
+        let started = Instant::now();
+        let mut obs = Observed::default();
+        let result = match self.admit() {
+            Ok(_admitted) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.query_governed(user, sql, options, rewrite, ctx, &mut obs)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        pqp_obs::counter_add("service.panics_caught", 1);
+                        self.telemetry.note_panic();
+                        Err(Error::Internal(format!(
+                            "query pipeline panicked: {}",
+                            panic_message(&payload)
+                        )))
+                    }
+                }
             }
+            Err(refused) => Err(refused),
+        };
+        self.record_query(user, sql, ctx, started, &obs, &result);
+        result
+    }
+
+    /// Build and log the [`QueryRecord`] for one finished query (success,
+    /// error, refusal or caught panic alike).
+    fn record_query(
+        &self,
+        user: &UserId,
+        sql: &str,
+        ctx: &QueryCtx,
+        started: Instant,
+        obs: &Observed,
+        result: &Result<Answer>,
+    ) {
+        let progress = ctx.progress();
+        let mut phases = obs.phases;
+        phases.total_us = started.elapsed().as_micros() as u64;
+        let (ok, rows_out, k, m, degrade, error_kind, error) = match result {
+            Ok(a) => (true, a.rows.len(), a.k, a.m, a.degraded.label(), None, None),
+            Err(e) => {
+                (false, 0, 0, 0, DegradeLevel::None.label(), Some(e.kind()), Some(e.to_string()))
+            }
+        };
+        self.telemetry.record(QueryRecord {
+            seq: 0, // assigned by the log
+            user: user.as_str().to_string(),
+            sql: obs.canonical.clone().unwrap_or_else(|| sql.trim().to_string()),
+            ok,
+            error_kind,
+            error,
+            phases,
+            rows_out,
+            rows_scanned: progress.rows_scanned,
+            mem_bytes: progress.mem_bytes,
+            est_rows: obs.est_rows,
+            prepared_cache: obs.prepared_cache,
+            plan_cache: obs.plan_cache,
+            degrade,
+            k,
+            m,
+            deadline_ms: ctx.deadline_budget().map(|d| d.as_millis() as u64),
+            rows_limit: ctx.max_rows_limit(),
+            mem_limit: ctx.max_mem_limit(),
+            slow: false, // classified by the log
+        });
+    }
+
+    /// Answer a `SHOW` statement from live telemetry, as an ordinary result
+    /// table through the normal [`Answer`] envelope.
+    fn run_show(&self, sql: &str) -> Result<Answer> {
+        let stmt = pqp_sql::parse_statement(sql)?;
+        let Statement::Show(show) = stmt else {
+            // `is_show` only matches a leading SHOW word, and the statement
+            // grammar has no other production starting with it.
+            return Err(Error::Internal("SHOW prefix parsed to a non-SHOW statement".into()));
+        };
+        let rows = match show {
+            ShowStmt::Metrics => {
+                let mut table = self.telemetry.metrics_table();
+                table.rows.push(vec![
+                    Value::Str("in_flight".into()),
+                    Value::Int(self.in_flight() as i64),
+                ]);
+                table
+            }
+            ShowStmt::Queries { limit } => self.telemetry.queries_table(limit.unwrap_or(20)),
+            ShowStmt::Caches => self.caches_table(),
+        };
+        Ok(Answer {
+            rows,
+            rewrite: Rewrite::Original,
+            k: 0,
+            m: 0,
+            plan_cached: false,
+            degraded: DegradeLevel::None,
+        })
+    }
+
+    /// The `SHOW CACHES` result table: occupancy and counters per cache.
+    fn caches_table(&self) -> ResultSet {
+        let stats = self.cache_stats();
+        let (prepared_len, prepared_cap) = {
+            let c = self.prepared.read();
+            (c.len(), c.capacity())
+        };
+        let (plan_len, plan_cap) = {
+            let c = self.plans.read();
+            (c.len(), c.capacity())
+        };
+        let row = |name: &str, len: usize, cap: usize, s: CacheSnapshot| {
+            vec![
+                Value::Str(name.to_string()),
+                Value::Int(len as i64),
+                Value::Int(cap as i64),
+                Value::Int(s.hits as i64),
+                Value::Int(s.misses as i64),
+                Value::Int(s.stale as i64),
+                Value::Int(s.evictions as i64),
+                Value::Float(s.hit_rate()),
+            ]
+        };
+        ResultSet {
+            columns: [
+                "cache",
+                "entries",
+                "capacity",
+                "hits",
+                "misses",
+                "stale",
+                "evictions",
+                "hit_rate",
+            ]
+            .iter()
+            .map(|c| c.to_string())
+            .collect(),
+            rows: vec![
+                row("prepared", prepared_len, prepared_cap, stats.prepared),
+                row("plans", plan_len, plan_cap, stats.plans),
+            ],
         }
     }
 
@@ -692,11 +847,16 @@ impl Service {
         options: PersonalizeOptions,
         rewrite: Rewrite,
         ctx: &QueryCtx,
+        obs: &mut Observed,
     ) -> Result<Answer> {
         if let Some(msg) = pqp_obs::failpoint::fire("service.query") {
             return Err(Error::Internal(format!("failpoint service.query: {msg}")));
         }
-        let prepared = self.prepare(sql)?;
+        let t_parse = Instant::now();
+        let (prepared, prepared_hit) = self.prepare(sql)?;
+        obs.phases.parse_us = t_parse.elapsed().as_micros() as u64;
+        obs.prepared_cache = if prepared_hit { "hit" } else { "miss" };
+        obs.canonical = Some(prepared.canonical.clone());
         let key = PlanKey {
             user: user.clone(),
             canonical: prepared.canonical.clone(),
@@ -726,9 +886,13 @@ impl Service {
         match lookup {
             Lookup::Hit(cached) => {
                 self.plan_stats.hit();
-                let rows = self.db.run_plan_ctx(&cached.plan, &self.config.exec, ctx)?;
+                obs.plan_cache = "hit";
+                obs.est_rows = Some(Estimator::new(self.db.catalog()).rows(&cached.plan));
+                let t_exec = Instant::now();
+                let rows = self.db.run_plan_ctx(&cached.plan, &self.config.exec, ctx);
+                obs.phases.execute_us += t_exec.elapsed().as_micros() as u64;
                 return Ok(Answer {
-                    rows,
+                    rows: rows?,
                     rewrite,
                     k: cached.k,
                     m: cached.m,
@@ -736,8 +900,14 @@ impl Service {
                     degraded: DegradeLevel::None,
                 });
             }
-            Lookup::Stale => self.plan_stats.stale(),
-            Lookup::Miss => self.plan_stats.miss(),
+            Lookup::Stale => {
+                self.plan_stats.stale();
+                obs.plan_cache = "stale";
+            }
+            Lookup::Miss => {
+                self.plan_stats.miss();
+                obs.plan_cache = "miss";
+            }
         }
 
         // Slow path: snapshot the profile and its epoch atomically (one
@@ -764,13 +934,18 @@ impl Service {
                 (Query::from_select(prepared.select.clone()), 0, 0)
             } else {
                 let slice = ctx.slice(1, 4);
-                match personalize_prepared_ctx(
+                let t_pers = Instant::now();
+                let personalized = personalize_prepared_ctx(
                     &prepared.select,
                     &prepared.graph,
                     &graph,
                     level.apply(options),
                     &slice,
-                ) {
+                );
+                // Accumulates across ladder retries: the log reports the
+                // total personalization cost, including abandoned levels.
+                obs.phases.personalize_us += t_pers.elapsed().as_micros() as u64;
+                match personalized {
                     Ok(p) => {
                         let executed = p.rewritten(rewrite)?;
                         (executed, p.k(), p.m)
@@ -786,8 +961,15 @@ impl Service {
             // actually ran; the unpersonalized floor runs the plain query.
             let ran =
                 if level == DegradeLevel::Unpersonalized { Rewrite::Original } else { rewrite };
-            let plan = self.db.plan(&executed)?;
-            let rows = self.db.run_plan_ctx(&plan, &self.config.exec, ctx)?;
+            let t_plan = Instant::now();
+            let plan = self.db.plan(&executed);
+            obs.phases.plan_us += t_plan.elapsed().as_micros() as u64;
+            let plan = plan?;
+            obs.est_rows = Some(Estimator::new(self.db.catalog()).rows(&plan));
+            let t_exec = Instant::now();
+            let rows = self.db.run_plan_ctx(&plan, &self.config.exec, ctx);
+            obs.phases.execute_us += t_exec.elapsed().as_micros() as u64;
+            let rows = rows?;
             if level == DegradeLevel::None {
                 // Only full-fidelity plans are cached: a degraded plan is an
                 // artifact of one query's budget, not of the user's profile.
@@ -864,6 +1046,40 @@ impl Service {
             })
             .collect()
     }
+}
+
+/// Per-query facts gathered along the pipeline for the query log: phase
+/// timings, cache outcomes, the canonical SQL and the plan's row estimate.
+/// Filled as far as the query got; errors leave the rest at its defaults.
+#[derive(Debug)]
+struct Observed {
+    phases: PhaseBreakdown,
+    canonical: Option<String>,
+    est_rows: Option<f64>,
+    prepared_cache: &'static str,
+    plan_cache: &'static str,
+}
+
+impl Default for Observed {
+    fn default() -> Observed {
+        Observed {
+            phases: PhaseBreakdown::default(),
+            canonical: None,
+            est_rows: None,
+            prepared_cache: "-",
+            plan_cache: "-",
+        }
+    }
+}
+
+/// Cheap hot-path test for a leading `SHOW` word (the only statements the
+/// service answers without touching the engine). Word-boundary-checked so
+/// an identifier like `showings` never trips it.
+fn is_show(sql: &str) -> bool {
+    let head = sql.trim_start();
+    let Some(word) = head.get(..4) else { return false };
+    word.eq_ignore_ascii_case("show")
+        && !head[4..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_')
 }
 
 /// RAII in-flight slot: decrements the gauge on drop, so early returns,
@@ -1282,6 +1498,122 @@ mod tests {
         drop(guard);
         assert!(service.session("u").query(Q).is_ok(), "capacity freed on guard drop");
         assert_eq!(service.in_flight(), 0);
+    }
+
+    #[test]
+    fn every_query_leaves_a_record_with_phases_and_est_rows() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        session.query(Q).unwrap();
+        session.query(Q).unwrap(); // plan-cache hit
+        assert!(session.query("select nope from").is_err());
+
+        let log = service.telemetry().log();
+        assert_eq!(log.total(), 3);
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 3);
+
+        let bad = &recent[0]; // newest first: the parse error
+        assert!(!bad.ok);
+        assert_eq!(bad.error_kind, Some("parse"));
+        assert_eq!(bad.sql, "select nope from", "unparsed text is kept raw");
+
+        let hit = &recent[1];
+        assert!(hit.ok);
+        assert_eq!(hit.plan_cache, "hit");
+        assert_eq!(hit.prepared_cache, "hit");
+        assert_eq!(hit.rows_out, 2, "both comedies");
+        assert!(hit.est_rows.is_some(), "cached plans still report an estimate");
+        assert!(hit.phases.total_us >= hit.phases.execute_us);
+        assert_eq!(hit.phases.personalize_us, 0, "cache hit skips personalization");
+
+        let miss = &recent[2];
+        assert_eq!(miss.plan_cache, "miss");
+        assert_eq!(miss.prepared_cache, "miss");
+        assert!(miss.sql.to_uppercase().contains("SELECT"), "canonical SQL is logged");
+        assert!(miss.phases.personalize_us > 0 || miss.phases.plan_us > 0);
+
+        let snap = service.telemetry().snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.latency_ms.lifetime.count(), 3);
+    }
+
+    #[test]
+    fn show_statements_answer_from_live_telemetry() {
+        let service = service_with_ana();
+        let session = service.session("ana");
+        session.query(Q).unwrap();
+        session.query(Q).unwrap();
+
+        let metrics = session.query("SHOW METRICS").unwrap();
+        assert_eq!(metrics.rows.columns, vec!["metric", "value"]);
+        let value = |name: &str| {
+            metrics
+                .rows
+                .rows
+                .iter()
+                .find(|r| r[0] == pqp_storage::Value::Str(name.to_string()))
+                .map(|r| r[1].clone())
+                .unwrap()
+        };
+        assert_eq!(value("queries_total"), pqp_storage::Value::Int(2));
+        assert_eq!(value("errors_total"), pqp_storage::Value::Int(0));
+        assert_eq!(value("in_flight"), pqp_storage::Value::Int(0));
+
+        let queries = session.query("show queries limit 1").unwrap();
+        assert_eq!(queries.rows.rows.len(), 1, "LIMIT bounds the listing");
+        let user_col = queries.rows.columns.iter().position(|c| c == "user").unwrap();
+        assert_eq!(queries.rows.rows[0][user_col], pqp_storage::Value::Str("ana".into()));
+
+        let caches = session.query("show caches").unwrap();
+        assert_eq!(caches.rows.rows.len(), 2);
+        let hits_col = caches.rows.columns.iter().position(|c| c == "hits").unwrap();
+        assert_eq!(caches.rows.rows[1][hits_col], pqp_storage::Value::Int(1), "one plan hit");
+
+        // SHOW itself is not logged: still only the two real queries.
+        assert_eq!(service.telemetry().log().total(), 2);
+        // And it works while the service is saturated.
+        let service = Service::with_config(
+            movie_db(),
+            ServiceConfig { max_in_flight: 1, ..ServiceConfig::default() },
+        );
+        let _guard = service.admit().unwrap();
+        assert!(service.session("u").query("SHOW METRICS").is_ok());
+        assert!(matches!(service.session("u").query(Q), Err(Error::Overloaded { .. })));
+    }
+
+    #[test]
+    fn refusals_and_budget_trips_hit_the_slo_counters() {
+        let service = Service::with_config(
+            movie_db(),
+            ServiceConfig { max_in_flight: 1, ..ServiceConfig::default() },
+        );
+        let guard = service.admit().unwrap();
+        assert!(service.session("u").query(Q).is_err());
+        drop(guard);
+        let session = service.session("u").with_budget(Budget::unlimited().deadline_ms(0));
+        assert!(matches!(session.query(Q), Err(Error::BudgetExceeded(_))));
+        let snap = service.telemetry().snapshot();
+        assert_eq!(snap.overloaded, 1);
+        assert_eq!(snap.budget_exceeded, 1);
+        assert_eq!(snap.over_deadline, 1, "a 0 ms deadline is always overshot");
+        assert_eq!(snap.errors, 2);
+        let recent = service.telemetry().log().recent(10);
+        assert_eq!(recent[0].error_kind, Some("budget"));
+        assert_eq!(recent[0].deadline_ms, Some(0), "armed limit is recorded");
+        assert_eq!(recent[1].error_kind, Some("overloaded"));
+    }
+
+    #[test]
+    fn show_prefix_detection_has_word_boundaries() {
+        assert!(is_show("show metrics"));
+        assert!(is_show("  SHOW QUERIES LIMIT 5"));
+        assert!(is_show("Show caches;"));
+        assert!(is_show("show"));
+        assert!(!is_show("showings"));
+        assert!(!is_show("select s.x from SHOWTIMES s"));
+        assert!(!is_show("sho"));
     }
 
     #[test]

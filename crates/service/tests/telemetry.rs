@@ -1,0 +1,198 @@
+//! Telemetry guarantees under concurrency, through the public API only:
+//!
+//! 1. N threads hammering `Session::query` produce exactly one `QueryRecord`
+//!    per call, with unique monotonic sequence numbers and a bounded ring;
+//! 2. `SHOW METRICS` / `SHOW QUERIES` / `SHOW CACHES` return live data that
+//!    agrees with `Service::telemetry()` while traffic is running;
+//! 3. the slow-query ring retains outliers that fast traffic has already
+//!    evicted from the recent ring.
+//!
+//! `scripts/verify.sh` runs this file both under the default test
+//! parallelism and with `RUST_TEST_THREADS=1`.
+
+use pqp_core::Profile;
+use pqp_engine::Database;
+use pqp_service::{Service, ServiceConfig, TelemetryConfig};
+use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
+use std::collections::HashSet;
+
+fn movie_db() -> Database {
+    let mut c = Catalog::new();
+    c.create_table(
+        TableSchema::new(
+            "MOVIE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+        )
+        .with_primary_key(&["mid"]),
+    )
+    .unwrap();
+    c.create_table(TableSchema::new(
+        "GENRE",
+        vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+    ))
+    .unwrap();
+    let genres = ["comedy", "drama", "thriller", "scifi"];
+    for mid in 0..20i64 {
+        c.table("MOVIE")
+            .unwrap()
+            .write()
+            .insert(vec![mid.into(), format!("Movie {mid}").as_str().into()])
+            .unwrap();
+        c.table("GENRE")
+            .unwrap()
+            .write()
+            .insert(vec![mid.into(), genres[(mid % 4) as usize].into()])
+            .unwrap();
+    }
+    Database::new(c)
+}
+
+fn service_with_users(config: ServiceConfig, genres: &[&str]) -> Service {
+    let service = Service::with_config(movie_db(), config);
+    for (i, genre) in genres.iter().enumerate() {
+        let mut p = Profile::new(format!("user{i}"));
+        p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+        p.add_selection("GENRE", "genre", *genre, 0.8).unwrap();
+        service.install_profile(p).unwrap();
+    }
+    service
+}
+
+const Q: &str = "select MV.title from MOVIE MV";
+
+/// 8 threads x 50 queries each: every call leaves exactly one record, the
+/// sequence numbers are a permutation of 1..=400 (no loss, no duplication
+/// under contention), and the recent ring respects its capacity.
+#[test]
+fn parallel_sessions_log_every_query_exactly_once() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50;
+    let service = service_with_users(
+        ServiceConfig {
+            telemetry: TelemetryConfig {
+                query_log_capacity: 64,
+                slow_query_ms: 0, // disable slow classification for this test
+                ..TelemetryConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &["comedy", "drama", "thriller", "scifi"],
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let service = &service;
+            scope.spawn(move || {
+                let session = service.session(format!("user{}", t % 4));
+                for _ in 0..PER_THREAD {
+                    session.query(Q).unwrap();
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * PER_THREAD) as u64;
+    let log = service.telemetry().log();
+    assert_eq!(log.total(), total, "one record per query, none lost");
+    assert_eq!(log.len(), 64, "the ring stays at its capacity");
+
+    let recent = log.recent(usize::MAX);
+    let seqs: HashSet<u64> = recent.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs.len(), recent.len(), "sequence numbers are unique");
+    assert!(seqs.iter().all(|&s| s >= 1 && s <= total));
+    let newest = recent.iter().map(|r| r.seq).max().unwrap();
+    assert_eq!(newest, total, "the newest record carries the last sequence number");
+    assert!(recent.iter().all(|r| r.ok && r.user.starts_with("user")));
+
+    let snap = service.telemetry().snapshot();
+    assert_eq!(snap.queries, total);
+    assert_eq!(snap.errors, 0);
+    assert_eq!(snap.latency_ms.lifetime.count() as u64, total);
+}
+
+/// SHOW answers agree with the programmatic telemetry accessor, while other
+/// threads keep the counters moving (the introspection path takes the same
+/// locks as recording and must not deadlock against it).
+#[test]
+fn show_answers_are_live_and_consistent_under_traffic() {
+    let service = service_with_users(ServiceConfig::default(), &["comedy", "drama"]);
+    std::thread::scope(|scope| {
+        for t in 0..2 {
+            let service = &service;
+            scope.spawn(move || {
+                let session = service.session(format!("user{t}"));
+                for _ in 0..100 {
+                    session.query(Q).unwrap();
+                }
+            });
+        }
+        let session = service.session("user0");
+        for _ in 0..20 {
+            let metrics = session.query("SHOW METRICS").unwrap();
+            let total = metrics
+                .rows
+                .rows
+                .iter()
+                .find(|r| r[0] == Value::Str("queries_total".into()))
+                .map(|r| r[1].clone())
+                .unwrap();
+            let Value::Int(total) = total else { panic!("queries_total must be an int") };
+            assert!((0..=200).contains(&total));
+            let queries = session.query("SHOW QUERIES LIMIT 5").unwrap();
+            assert!(queries.rows.rows.len() <= 5);
+        }
+    });
+
+    // Quiescent: SHOW and the accessor must agree exactly.
+    let snap = service.telemetry().snapshot();
+    assert_eq!(snap.queries, 200, "SHOW traffic itself is not logged");
+    let metrics = service.session("user0").query("show metrics").unwrap();
+    let shown = metrics
+        .rows
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Str("queries_total".into()))
+        .map(|r| r[1].clone());
+    assert_eq!(shown, Some(Value::Int(200)));
+
+    let caches = service.session("user0").query("show caches").unwrap();
+    let stats = service.cache_stats();
+    let hits_col = caches.rows.columns.iter().position(|c| c == "hits").unwrap();
+    assert_eq!(caches.rows.rows[0][hits_col], Value::Int(stats.prepared.hits as i64));
+    assert_eq!(caches.rows.rows[1][hits_col], Value::Int(stats.plans.hits as i64));
+}
+
+/// With a 0 ms slow threshold every query is an outlier: the slow ring
+/// keeps the oldest queries alive after the recent ring (capacity 4) has
+/// dropped them, and `SHOW QUERIES` keeps serving the recent view.
+#[test]
+fn slow_ring_outlives_recent_ring_eviction() {
+    let service = service_with_users(
+        ServiceConfig {
+            telemetry: TelemetryConfig {
+                query_log_capacity: 4,
+                slow_log_capacity: 100,
+                slow_query_ms: 1, // generated queries on this tiny db run in µs..ms
+                ..TelemetryConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &["comedy"],
+    );
+    let session = service.session("user0");
+    // A personalization-heavy first query is the outlier candidate; then a
+    // burst of trivially-fast distinct queries floods the recent ring.
+    session.query(Q).unwrap();
+    for mid in 0..8 {
+        session.query(&format!("select MV.title from MOVIE MV where MV.mid = {mid}")).unwrap();
+    }
+    let log = service.telemetry().log();
+    assert_eq!(log.total(), 9);
+    assert_eq!(log.len(), 4);
+    let slow = log.slow(usize::MAX);
+    let recent = log.recent(usize::MAX);
+    assert!(recent.iter().all(|r| r.seq > 5), "burst evicted the early records");
+    // Whatever crossed the 1 ms threshold stayed retained in seq order;
+    // every slow record is marked and the counter agrees.
+    assert!(slow.iter().all(|r| r.slow));
+    assert_eq!(service.telemetry().snapshot().slow, slow.len() as u64);
+}

@@ -39,7 +39,7 @@ pub use ast::{BinaryOp, Expr, OrderByItem, Query, Select, SelectItem, SetExpr, T
 pub use error::{ParseError, Result};
 pub use parser::{parse_expr, parse_query};
 pub use printer::{sql_ident, sql_literal};
-pub use stmt::{parse_statement, ColumnSpec, Statement, TableConstraint};
+pub use stmt::{parse_statement, ColumnSpec, ShowStmt, Statement, TableConstraint};
 
 /// Names recognized as aggregate functions by the engine and by
 /// [`ast::Expr::contains_aggregate`].

@@ -63,6 +63,20 @@ pub enum Statement {
     Analyze {
         table: Option<String>,
     },
+    /// `SHOW ...`: in-band introspection of the running service's telemetry.
+    /// Answered by the service layer from live counters, not by the engine.
+    Show(ShowStmt),
+}
+
+/// The introspection surface behind `SHOW`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowStmt {
+    /// `SHOW METRICS`: lifetime and last-window latency/SLO counters.
+    Metrics,
+    /// `SHOW QUERIES [LIMIT n]`: most recent entries of the query log.
+    Queries { limit: Option<usize> },
+    /// `SHOW CACHES`: occupancy and hit rates of the service caches.
+    Caches,
 }
 
 /// Parse one statement (optionally `;`-terminated).
@@ -145,6 +159,7 @@ impl StmtParser {
             Token::Keyword(Keyword::Delete) => self.delete(),
             Token::Keyword(Keyword::Drop) => self.drop_table(),
             Token::Keyword(Keyword::Analyze) => self.analyze(),
+            Token::Keyword(Keyword::Show) => self.show(),
             _ => {
                 // Delegate to the query parser on the remaining text — we
                 // re-parse from the original tokens for position fidelity.
@@ -335,6 +350,38 @@ impl StmtParser {
         let table = if matches!(self.peek(), Token::Ident(_)) { Some(self.ident()?) } else { None };
         Ok(Statement::Analyze { table })
     }
+
+    fn show(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Show)?;
+        // METRICS / QUERIES / CACHES are contextual: ordinary identifiers
+        // that only mean something directly after SHOW.
+        let what = self.ident()?;
+        let show = match what.to_ascii_uppercase().as_str() {
+            "METRICS" => ShowStmt::Metrics,
+            "QUERIES" => {
+                let limit = if self.eat_kw(Keyword::Limit) {
+                    match self.next() {
+                        Token::Int(n) if n >= 0 => Some(n as usize),
+                        other => {
+                            return Err(
+                                self.err(format!("expected a non-negative LIMIT, found `{other}`"))
+                            )
+                        }
+                    }
+                } else {
+                    None
+                };
+                ShowStmt::Queries { limit }
+            }
+            "CACHES" => ShowStmt::Caches,
+            other => {
+                return Err(self.err(format!(
+                    "unknown SHOW target `{other}` (expected METRICS, QUERIES or CACHES)"
+                )))
+            }
+        };
+        Ok(Statement::Show(show))
+    }
 }
 
 impl fmt::Display for Statement {
@@ -416,6 +463,12 @@ impl fmt::Display for Statement {
             Statement::Analyze { table } => match table {
                 Some(t) => write!(f, "ANALYZE {}", sql_ident(t)),
                 None => write!(f, "ANALYZE"),
+            },
+            Statement::Show(show) => match show {
+                ShowStmt::Metrics => write!(f, "SHOW METRICS"),
+                ShowStmt::Queries { limit: Some(n) } => write!(f, "SHOW QUERIES LIMIT {n}"),
+                ShowStmt::Queries { limit: None } => write!(f, "SHOW QUERIES"),
+                ShowStmt::Caches => write!(f, "SHOW CACHES"),
             },
         }
     }
@@ -508,6 +561,35 @@ mod tests {
         assert_eq!(roundtrip("ANALYZE"), Statement::Analyze { table: None });
         assert_eq!(roundtrip("analyze;"), Statement::Analyze { table: None });
         assert!(parse_statement("analyze MOVIE GENRE").is_err(), "one table at most");
+    }
+
+    #[test]
+    fn show_statements_roundtrip() {
+        assert_eq!(roundtrip("show metrics"), Statement::Show(ShowStmt::Metrics));
+        assert_eq!(roundtrip("SHOW METRICS;"), Statement::Show(ShowStmt::Metrics));
+        assert_eq!(roundtrip("show queries"), Statement::Show(ShowStmt::Queries { limit: None }));
+        assert_eq!(
+            roundtrip("show queries limit 25"),
+            Statement::Show(ShowStmt::Queries { limit: Some(25) })
+        );
+        assert_eq!(roundtrip("show caches"), Statement::Show(ShowStmt::Caches));
+    }
+
+    #[test]
+    fn show_rejects_bad_targets() {
+        assert!(parse_statement("show").is_err());
+        assert!(parse_statement("show tables").is_err());
+        assert!(parse_statement("show queries limit").is_err());
+        assert!(parse_statement("show queries limit -1").is_err());
+        assert!(parse_statement("show metrics extra").is_err());
+    }
+
+    #[test]
+    fn show_words_stay_usable_as_identifiers() {
+        // Only SHOW is reserved; METRICS / QUERIES / CACHES remain valid
+        // table and column names.
+        let s = roundtrip("select Q.metrics from QUERIES Q where Q.caches = 1");
+        assert!(matches!(s, Statement::Query(_)));
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub enum Keyword {
     Delete,
     Drop,
     Analyze,
+    // Introspection. Only SHOW itself is reserved; METRICS / QUERIES /
+    // CACHES stay contextual identifiers so tables and columns can keep
+    // those names.
+    Show,
 }
 
 impl Keyword {
@@ -91,6 +95,7 @@ impl Keyword {
             "DELETE" => Delete,
             "DROP" => Drop,
             "ANALYZE" => Analyze,
+            "SHOW" => Show,
             _ => return None,
         })
     }

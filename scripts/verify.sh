@@ -20,6 +20,11 @@ cargo test "${CARGO_FLAGS[@]}" --workspace -q
 echo "==> concurrency tests (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test concurrency -q
 
+# Telemetry invariants (exactly-once query log under parallel sessions,
+# live SHOW answers) must also hold on both schedules.
+echo "==> telemetry tests (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test telemetry -q
+
 # The chaos suite (failpoint-injected faults at every named site) and the
 # governor integration tests run on both schedules too: fault isolation
 # must hold under concurrent tests and under a serial schedule.
@@ -50,6 +55,25 @@ echo "==> stats equivalence (PQP_THREADS=4)"
 PQP_THREADS=4 cargo test "${CARGO_FLAGS[@]}" -p pqp --test stats_equivalence -q
 echo "==> stats equivalence (PQP_THREADS=4, RUST_TEST_THREADS=1)"
 PQP_THREADS=4 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp --test stats_equivalence -q
+
+# Macro load harness smoke: a short zipf closed-loop run must produce
+# results/macro_load.json with a non-zero throughput figure.
+echo "==> load harness smoke (1s closed loop)"
+PQP_LOAD_SECONDS=1 PQP_LOAD_USERS=10 PQP_LOAD_WORKERS=2 \
+    cargo bench "${CARGO_FLAGS[@]}" -p pqp-bench --bench load
+grep -q '"throughput_qps"' results/macro_load.json
+if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/macro_load.json"))
+assert doc["throughput_qps"] > 0, "throughput must be non-zero"
+for key in ("p50", "p95", "p99"):
+    assert key in doc["latency_ms"], f"latency_ms.{key} missing"
+assert doc["meta"]["schema_version"] >= 2
+EOF
+else
+    grep -q '"p99"' results/macro_load.json
+fi
 
 echo "==> cargo test --doc"
 cargo test "${CARGO_FLAGS[@]}" --workspace --doc -q
