@@ -5,17 +5,25 @@
 //! N simulated users (zipf-skewed popularity: a few hot users dominate, as
 //! in real traffic) issue a zipf-skewed mix of generated queries against a
 //! generated movie database. Each worker runs closed-loop: issue a query,
-//! wait for the answer, issue the next. The run consumes the service's own
-//! telemetry ([`pqp_service::Telemetry`]) for its latency quantiles and SLO
-//! counts — the harness measures what an operator would see — and writes
-//! `results/macro_load.json` with throughput, p50/p95/p99 latency, cache
-//! hit rates and degrade/error counts, stamped with the shared run-metadata
-//! block.
+//! wait for the answer, issue the next.
+//!
+//! Two modes, selected by `PQP_LOAD_MODE`:
+//!
+//! - `inproc` (default): workers call `Session::query` directly. Latency
+//!   quantiles and SLO counts come from the service's own telemetry
+//!   ([`pqp_service::Telemetry`]) — the harness measures what an operator
+//!   would see. Writes `results/macro_load.json`.
+//! - `tcp`: the same service is fronted by an in-process `pqp-server` on an
+//!   ephemeral port and every worker drives blocking `pqp-wire` clients
+//!   over real sockets (one connection per simulated user, as sessions are
+//!   user-bound). Latency is measured client-side, so it includes framing,
+//!   syscalls and loopback round-trips. Writes `results/macro_load_tcp.json`.
 //!
 //! Environment knobs (defaults in parentheses): `PQP_LOAD_USERS` (50),
 //! `PQP_LOAD_WORKERS` (4), `PQP_LOAD_SECONDS` (5), `PQP_LOAD_ZIPF` (1.0),
-//! `PQP_LOAD_QUERIES` (8 distinct texts). CI runs a seconds-long smoke
-//! configuration and asserts the JSON reports non-zero throughput.
+//! `PQP_LOAD_QUERIES` (8 distinct texts), `PQP_LOAD_MODE` (inproc). CI runs
+//! a seconds-long smoke configuration of both modes and asserts the JSON
+//! reports non-zero throughput.
 
 use pqp_core::PersonalizeOptions;
 use pqp_datagen::{
@@ -23,11 +31,30 @@ use pqp_datagen::{
     Zipf,
 };
 use pqp_obs::rng::SmallRng;
-use pqp_obs::Json;
-use pqp_service::{Service, ServiceConfig, UserId};
+use pqp_obs::{Histogram, Json};
+use pqp_server::{Server, ServerConfig, ServerHandle};
+use pqp_service::{QueryApi, Service, ServiceConfig, UserId};
+use pqp_wire::{Client, ClientConfig};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    InProc,
+    Tcp,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::InProc => "inproc",
+            Mode::Tcp => "tcp",
+        }
+    }
+}
 
 struct LoadConfig {
     users: usize,
@@ -35,6 +62,7 @@ struct LoadConfig {
     seconds: f64,
     zipf_s: f64,
     query_texts: usize,
+    mode: Mode,
 }
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -43,12 +71,17 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
 
 impl LoadConfig {
     fn from_env() -> LoadConfig {
+        let mode = match std::env::var("PQP_LOAD_MODE").unwrap_or_default().trim() {
+            "tcp" => Mode::Tcp,
+            _ => Mode::InProc,
+        };
         LoadConfig {
             users: env_or("PQP_LOAD_USERS", 50_usize).max(1),
             workers: env_or("PQP_LOAD_WORKERS", 4_usize).max(1),
             seconds: env_or("PQP_LOAD_SECONDS", 5.0_f64).max(0.1),
             zipf_s: env_or("PQP_LOAD_ZIPF", 1.0_f64).max(0.0),
             query_texts: env_or("PQP_LOAD_QUERIES", 8_usize).max(1),
+            mode,
         }
     }
 }
@@ -82,8 +115,10 @@ fn setup(cfg: &LoadConfig) -> (Service, Vec<UserId>, Vec<String>) {
 fn main() {
     let cfg = LoadConfig::from_env();
     let (service, users, sqls) = setup(&cfg);
+    let service = Arc::new(service);
     println!(
-        "macro load: {} users x {} queries, zipf s={}, {} workers, {:.1}s closed-loop",
+        "macro load [{}]: {} users x {} queries, zipf s={}, {} workers, {:.1}s closed-loop",
+        cfg.mode.label(),
         cfg.users,
         sqls.len(),
         cfg.zipf_s,
@@ -91,28 +126,68 @@ fn main() {
         cfg.seconds
     );
 
+    // In TCP mode the same service is served over loopback sockets and the
+    // workers become wire clients.
+    let server: Option<ServerHandle> = match cfg.mode {
+        Mode::InProc => None,
+        Mode::Tcp => {
+            let config =
+                ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
+            let server = Server::bind(Arc::clone(&service), config).expect("bind loopback");
+            Some(server.spawn().expect("spawn accept loop"))
+        }
+    };
+
     let user_zipf = Zipf::new(users.len(), cfg.zipf_s);
     let query_zipf = Zipf::new(sqls.len(), cfg.zipf_s);
     let run_dur = Duration::from_secs_f64(cfg.seconds);
     let completed = AtomicU64::new(0);
     let errored = AtomicU64::new(0);
+    // Client-side latency, recorded per worker and merged (TCP mode; the
+    // in-proc mode reads the service telemetry instead).
+    let client_latency = Mutex::new(Histogram::new());
 
     let started = Instant::now();
     std::thread::scope(|scope| {
         for worker in 0..cfg.workers {
             let (service, users, sqls) = (&service, &users, &sqls);
             let (user_zipf, query_zipf) = (&user_zipf, &query_zipf);
-            let (completed, errored) = (&completed, &errored);
+            let (completed, errored, client_latency) = (&completed, &errored, &client_latency);
+            let addr = server.as_ref().map(|s| s.addr());
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(0xC10C + worker as u64);
                 let deadline = Instant::now() + run_dur;
+                // Sessions are user-bound, so the TCP worker keeps one
+                // connection per simulated user it has played so far.
+                let mut clients: HashMap<usize, Client> = HashMap::new();
+                let mut latency = Histogram::new();
                 while Instant::now() < deadline {
-                    let user = &users[user_zipf.sample(&mut rng)];
+                    let user_idx = user_zipf.sample(&mut rng);
                     let sql = &sqls[query_zipf.sample(&mut rng)];
-                    match service.session(user.clone()).query(sql) {
-                        Ok(_) => completed.fetch_add(1, Ordering::Relaxed),
+                    let result = match addr {
+                        None => service.session(users[user_idx].clone()).query(sql).map(|_| ()),
+                        Some(addr) => {
+                            let entry = clients.entry(user_idx).or_insert_with(|| {
+                                Client::connect(addr, ClientConfig::new(users[user_idx].as_str()))
+                                    .expect("connect to in-process server")
+                            });
+                            let sent = Instant::now();
+                            let result = entry.query(sql).map(|_| ());
+                            latency.record(sent.elapsed().as_secs_f64() * 1e3);
+                            result
+                        }
+                    };
+                    match result {
+                        Ok(()) => completed.fetch_add(1, Ordering::Relaxed),
                         Err(_) => errored.fetch_add(1, Ordering::Relaxed),
                     };
+                }
+                for (_, client) in clients.drain() {
+                    client.close();
+                }
+                if latency.count() > 0 {
+                    let mut merged = client_latency.lock().expect("latency mutex");
+                    merged.merge(&latency);
                 }
             });
         }
@@ -125,14 +200,19 @@ fn main() {
 
     // The harness reports what the service itself observed: latency
     // quantiles and SLO counts come from the always-on telemetry, the cache
-    // hit rates from the cache counters.
+    // hit rates from the cache counters. In TCP mode the latency quantiles
+    // are the client-side ones (they include the wire).
     let telemetry = service.telemetry().snapshot();
-    let latency = &telemetry.latency_ms.lifetime;
     assert_eq!(
         telemetry.queries,
         completed + errored,
         "the query log saw every request the workers issued"
     );
+    let client_latency = client_latency.into_inner().expect("latency mutex");
+    let latency: &Histogram = match cfg.mode {
+        Mode::InProc => &telemetry.latency_ms.lifetime,
+        Mode::Tcp => &client_latency,
+    };
     let caches = service.cache_stats();
     let throughput_qps = completed as f64 / elapsed;
     println!(
@@ -144,11 +224,16 @@ fn main() {
         100.0 * caches.plans.hit_rate()
     );
 
+    let (meta_name, file_name, latency_source) = match cfg.mode {
+        Mode::InProc => ("macro_load", "macro_load.json", "service-telemetry"),
+        Mode::Tcp => ("macro_load_tcp", "macro_load_tcp.json", "client"),
+    };
     let doc = Json::obj()
-        .set("meta", pqp_obs::run_meta("macro_load"))
+        .set("meta", pqp_obs::run_meta(meta_name))
         .set(
             "config",
             Json::obj()
+                .set("mode", cfg.mode.label())
                 .set("users", cfg.users)
                 .set("workers", cfg.workers)
                 .set("seconds", cfg.seconds)
@@ -162,6 +247,7 @@ fn main() {
         .set(
             "latency_ms",
             Json::obj()
+                .set("source", latency_source)
                 .set("count", latency.count())
                 .set("mean", latency.mean())
                 .set("p50", latency.p50())
@@ -185,8 +271,11 @@ fn main() {
                 .set("overloaded", telemetry.overloaded)
                 .set("panics_caught", telemetry.panics_caught),
         );
+    if let Some(server) = server {
+        server.shutdown();
+    }
     let dir = workspace_results_dir();
-    let path = dir.join("macro_load.json");
+    let path = dir.join(file_name);
     if let Err(err) = std::fs::create_dir_all(&dir) {
         eprintln!("failed to create {}: {err}", dir.display());
         std::process::exit(1);
@@ -194,7 +283,7 @@ fn main() {
     match std::fs::write(&path, doc.pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(err) => {
-            eprintln!("failed to write macro_load.json: {err}");
+            eprintln!("failed to write {file_name}: {err}");
             std::process::exit(1);
         }
     }

@@ -110,12 +110,6 @@ impl PersonalizeOptions {
         }
     }
 
-    /// The paper's default experimental setup: top-K, M = 0, L as given.
-    #[deprecated(since = "0.2.0", note = "use `PersonalizeOptions::builder().k(k).l(l).build()`")]
-    pub fn top_k(k: usize, l: usize) -> PersonalizeOptions {
-        PersonalizeOptions::builder().k(k).l(l).build()
-    }
-
     /// Enable ranking.
     pub fn ranked(mut self) -> PersonalizeOptions {
         self.rank = true;
@@ -441,11 +435,10 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_positional_shim() {
-        #[allow(deprecated)]
-        let old = PersonalizeOptions::top_k(3, 2);
+    fn builder_composes_every_knob() {
         let new = PersonalizeOptions::builder().k(3).l(2).build();
-        assert_eq!(old, new);
+        assert_eq!(new.criterion, InterestCriterion::TopK(3));
+        assert_eq!(new.matching, MatchSpec::AtLeast(2));
         let full = PersonalizeOptions::builder().k(5).m(2).l(1).ranked().build();
         assert_eq!(full.criterion, InterestCriterion::TopK(5));
         assert_eq!(full.mandatory, MandatorySpec::Count(2));

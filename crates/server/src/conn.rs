@@ -1,0 +1,231 @@
+//! One connection = one session: handshake, then a strict
+//! request/response loop until close, disconnect, timeout, or a
+//! frame-level protocol violation.
+
+use std::io::{BufWriter, ErrorKind, Write};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+
+use pqp_service::{Error, UserId};
+use pqp_wire::frame::{read_frame, write_frame, FrameError};
+use pqp_wire::proto::{ProfileOp, Request, Response, ShowRequest, WireError};
+use pqp_wire::{MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+use crate::Shared;
+
+/// Why a session ended (feeds the `server.close.*` counters).
+enum Close {
+    /// Orderly `Close` request or clean client EOF.
+    Clean,
+    /// The client vanished mid-exchange (reset, mid-frame EOF, failed
+    /// response write).
+    Disconnected,
+    /// The read timeout fired on an idle session.
+    IdleTimeout,
+    /// The peer broke the framing; the stream is not trustworthy.
+    Protocol,
+}
+
+impl Close {
+    fn label(&self) -> &'static str {
+        match self {
+            Close::Clean => "clean",
+            Close::Disconnected => "disconnected",
+            Close::IdleTimeout => "idle_timeout",
+            Close::Protocol => "protocol",
+        }
+    }
+}
+
+pub(crate) fn serve(shared: &Shared, stream: TcpStream) {
+    shared.active.fetch_add(1, Ordering::Relaxed);
+    let close = session(shared, stream).unwrap_or(Close::Disconnected);
+    pqp_obs::counter_add(&format!("server.close.{}", close.label()), 1);
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Run one session to completion. Transport errors on writes surface as
+/// `Err`, mapped to a disconnect by the caller.
+fn session(shared: &Shared, stream: TcpStream) -> std::io::Result<Close> {
+    stream.set_read_timeout(shared.config.read_timeout)?;
+    stream.set_write_timeout(shared.config.write_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: the first frame must be a version-matched Hello.
+    let user = match read_request(&mut reader) {
+        Ok(Request::Hello { version, user }) => {
+            if version != PROTOCOL_VERSION {
+                send(
+                    &mut writer,
+                    &Response::Error(WireError::protocol(format!(
+                        "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                    ))),
+                )?;
+                return Ok(Close::Protocol);
+            }
+            if user.is_empty() {
+                send(&mut writer, &Response::Error(WireError::protocol("empty user id")))?;
+                return Ok(Close::Protocol);
+            }
+            user
+        }
+        Ok(_) => {
+            send(
+                &mut writer,
+                &Response::Error(WireError::protocol("first message must be Hello")),
+            )?;
+            return Ok(Close::Protocol);
+        }
+        Err(ReadError::Frame(close)) => return Ok(close),
+        Err(ReadError::Malformed(e)) => {
+            send(&mut writer, &Response::Error(WireError::protocol(format!("bad hello: {e}"))))?;
+            return Ok(Close::Protocol);
+        }
+    };
+    let user = UserId::from(user.as_str());
+    send(
+        &mut writer,
+        &Response::HelloOk { version: PROTOCOL_VERSION, server: shared.config.name.clone() },
+    )?;
+
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Frame(close)) => {
+                if matches!(close, Close::Protocol) {
+                    // Oversized/zero-length frame: tell the peer why, then
+                    // close — resynchronization is not possible.
+                    send(
+                        &mut writer,
+                        &Response::Error(WireError::protocol("unreadable frame; closing")),
+                    )?;
+                }
+                return Ok(close);
+            }
+            Err(ReadError::Malformed(e)) => {
+                // The frame itself was sound, so the stream is still
+                // aligned: answer with a typed error and keep serving.
+                pqp_obs::counter_add("server.malformed_payloads", 1);
+                send(&mut writer, &Response::Error(WireError::protocol(e.to_string())))?;
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send(&mut writer, &Response::Bye)?;
+            return Ok(Close::Clean);
+        }
+        if matches!(request, Request::Close) {
+            send(&mut writer, &Response::Bye)?;
+            return Ok(Close::Clean);
+        }
+        // The dispatch boundary is failpoint-instrumented and
+        // panic-isolated: an injected (or real) panic costs one request,
+        // never the process.
+        let response = match catch_unwind(AssertUnwindSafe(|| dispatch(shared, &user, request))) {
+            Ok(resp) => resp,
+            Err(_) => {
+                pqp_obs::counter_add("server.panics_caught", 1);
+                Response::Error(WireError::from_error(&Error::Internal(
+                    "request handler panicked".to_string(),
+                )))
+            }
+        };
+        send(&mut writer, &response)?;
+    }
+}
+
+fn dispatch(shared: &Shared, user: &UserId, request: Request) -> Response {
+    if let Some(msg) = pqp_obs::failpoint::fire("server.frame") {
+        return Response::Error(WireError::from_error(&Error::Internal(msg)));
+    }
+    let service = &shared.service;
+    match request {
+        Request::Query { sql, options, rewrite } => {
+            let options = options.unwrap_or_else(|| service.config().options);
+            let rewrite = rewrite.unwrap_or(service.config().rewrite);
+            match service.query(user, &sql, options, rewrite) {
+                Ok(answer) => Response::Answer(answer),
+                Err(e) => Response::Error(WireError::from_error(&e)),
+            }
+        }
+        Request::Prepare { sql } => match service.prepare_sql(&sql) {
+            Ok(canonical) => Response::PrepareOk { canonical },
+            Err(e) => Response::Error(WireError::from_error(&e)),
+        },
+        Request::Mutate(op) => {
+            let result = match op {
+                ProfileOp::AddSelection { table, column, value, doi } => {
+                    service.add_selection(user.clone(), &table, &column, value, doi).map(|_| true)
+                }
+                ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => service
+                    .add_join(user.clone(), &from_table, &from_column, &to_table, &to_column, doi)
+                    .map(|_| true),
+                ProfileOp::Remove => Ok(service.remove_profile(user.clone())),
+            };
+            match result {
+                Ok(removed) => Response::MutateOk { epoch: service.epoch(user.clone()), removed },
+                Err(e) => Response::Error(WireError::from_error(&e)),
+            }
+        }
+        Request::Show(show) => {
+            let sql = match show {
+                ShowRequest::Metrics => "SHOW METRICS".to_string(),
+                ShowRequest::Queries { limit: Some(n) } => format!("SHOW QUERIES LIMIT {n}"),
+                ShowRequest::Queries { limit: None } => "SHOW QUERIES".to_string(),
+                ShowRequest::Caches => "SHOW CACHES".to_string(),
+            };
+            let options = service.config().options;
+            let rewrite = service.config().rewrite;
+            match service.query(user, &sql, options, rewrite) {
+                Ok(answer) => Response::Answer(answer),
+                Err(e) => Response::Error(WireError::from_error(&e)),
+            }
+        }
+        // Handled before dispatch; unreachable only via a logic bug, and
+        // even then it costs one error frame, not the session.
+        Request::Hello { .. } => Response::Error(WireError::protocol("Hello after handshake")),
+        Request::Close => Response::Bye,
+    }
+}
+
+enum ReadError {
+    /// The transport ended the session (maps to a [`Close`] reason).
+    Frame(Close),
+    /// The frame was sound but the payload did not decode.
+    Malformed(pqp_wire::DecodeError),
+}
+
+fn read_request(reader: &mut TcpStream) -> Result<Request, ReadError> {
+    match read_frame(reader, MAX_FRAME_LEN) {
+        Ok((tag, payload)) => Request::decode(tag, &payload).map_err(ReadError::Malformed),
+        Err(FrameError::Closed) => Err(ReadError::Frame(Close::Clean)),
+        Err(FrameError::Io(e))
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+        {
+            pqp_obs::counter_add("server.idle_timeouts", 1);
+            Err(ReadError::Frame(Close::IdleTimeout))
+        }
+        Err(FrameError::Io(_)) => {
+            pqp_obs::counter_add("server.client_disconnects", 1);
+            Err(ReadError::Frame(Close::Disconnected))
+        }
+        Err(FrameError::Oversized { .. } | FrameError::Empty) => {
+            pqp_obs::counter_add("server.bad_frames", 1);
+            Err(ReadError::Frame(Close::Protocol))
+        }
+    }
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> std::io::Result<()> {
+    let (tag, payload) = response.encode();
+    write_frame(writer, tag, &payload).inspect_err(|_| {
+        // A failed response write is the mid-query-disconnect path: the
+        // query already ran (and released its in-flight slot via RAII);
+        // only the delivery failed.
+        pqp_obs::counter_add("server.write_failed", 1);
+    })?;
+    writer.flush()
+}

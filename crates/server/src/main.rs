@@ -1,0 +1,58 @@
+//! The `pqp-server` binary: serve a personalized-query database over TCP.
+//!
+//! With no arguments it generates the demo movie database (plus a handful
+//! of seeded user profiles) and listens on `PQP_LISTEN_ADDR` (default
+//! `127.0.0.1:5433`). Point the `pqp-wire` [`Client`] at it:
+//!
+//! ```text
+//! PQP_LISTEN_ADDR=127.0.0.1:5433 pqp-server
+//! ```
+//!
+//! Knobs (all environment variables):
+//! - `PQP_LISTEN_ADDR` — listen address (default `127.0.0.1:5433`)
+//! - `PQP_SERVER_READ_TIMEOUT_MS` / `PQP_SERVER_WRITE_TIMEOUT_MS` —
+//!   per-session socket timeouts (0 = none)
+//! - `PQP_MAX_IN_FLIGHT` — admission-control limit (0 = unlimited)
+//! - `PQP_DEADLINE_MS`, `PQP_MAX_ROWS_SCANNED`, `PQP_MAX_MEMORY_BYTES` —
+//!   per-query governor budget
+//! - `PQP_FAILPOINTS` — fault injection, e.g. `server.frame=error(boom)`
+//!
+//! [`Client`]: pqp_wire::Client
+
+use std::sync::Arc;
+
+use pqp_datagen::{generate, generate_profiles, MovieDbConfig, ProfileGenConfig};
+use pqp_server::{Server, ServerConfig};
+use pqp_service::Service;
+
+fn main() {
+    let movie_db = generate(MovieDbConfig::default());
+    let service = Service::new(movie_db.db);
+    let profiles = generate_profiles(
+        "user",
+        16,
+        &movie_db.pools,
+        &ProfileGenConfig { selections: 40, seed: 7, ..Default::default() },
+    );
+    for profile in profiles {
+        if let Err(e) = service.install_profile(profile) {
+            eprintln!("pqp-server: skipping generated profile: {e}");
+        }
+    }
+
+    let config = ServerConfig::from_env();
+    let server = match Server::bind(Arc::new(service), config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("pqp-server: cannot listen on {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("pqp-server listening on {addr} (protocol v{})", {
+            pqp_wire::PROTOCOL_VERSION
+        }),
+        Err(e) => eprintln!("pqp-server: local_addr failed: {e}"),
+    }
+    server.run();
+}

@@ -1,0 +1,55 @@
+//! Shared fixture: a tiny movie database with one profiled user ("ana"),
+//! served on an ephemeral port.
+
+use std::sync::Arc;
+
+use pqp_core::Profile;
+use pqp_engine::Database;
+use pqp_server::{Server, ServerConfig, ServerHandle};
+use pqp_service::{Service, ServiceConfig};
+use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+
+pub const Q: &str = "select MV.title from MOVIE MV";
+
+pub fn movie_db() -> Database {
+    let mut c = Catalog::new();
+    c.create_table(
+        TableSchema::new(
+            "MOVIE",
+            vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("title", DataType::Str)],
+        )
+        .with_primary_key(&["mid"]),
+    )
+    .unwrap();
+    c.create_table(TableSchema::new(
+        "GENRE",
+        vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+    ))
+    .unwrap();
+    for (mid, title) in [(1, "Alpha"), (2, "Beta"), (3, "Gamma")] {
+        c.table("MOVIE").unwrap().write().insert(vec![mid.into(), title.into()]).unwrap();
+    }
+    for (mid, genre) in [(1, "comedy"), (2, "comedy"), (3, "drama")] {
+        c.table("GENRE").unwrap().write().insert(vec![mid.into(), genre.into()]).unwrap();
+    }
+    Database::new(c)
+}
+
+pub fn service_with_ana() -> Service {
+    service_with_config(ServiceConfig::default())
+}
+
+pub fn service_with_config(config: ServiceConfig) -> Service {
+    let service = Service::with_config(movie_db(), config);
+    let mut ana = Profile::new("ana");
+    ana.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    ana.add_selection("GENRE", "genre", "comedy", 0.8).unwrap();
+    service.install_profile(ana).unwrap();
+    service
+}
+
+/// Serve `service` on an ephemeral localhost port.
+pub fn start(service: Service) -> ServerHandle {
+    let config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
+    Server::bind(Arc::new(service), config).unwrap().spawn().unwrap()
+}

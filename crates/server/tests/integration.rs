@@ -1,0 +1,151 @@
+//! End-to-end: a real TCP server, the real blocking client, the full
+//! request vocabulary — and the same `QueryApi` code running over both
+//! backends.
+
+mod common;
+
+use common::{service_with_ana, start, Q};
+use pqp_service::{Answer, CacheOutcome, DegradeLevel, QueryApi};
+use pqp_wire::{Client, ClientConfig, ShowRequest};
+
+fn connect(handle: &pqp_server::ServerHandle, user: &str) -> Client {
+    Client::connect(handle.addr(), ClientConfig::new(user)).unwrap()
+}
+
+#[test]
+fn queries_run_end_to_end_over_tcp() {
+    let handle = start(service_with_ana());
+    let mut client = connect(&handle, "ana");
+    assert!(client.server().starts_with("pqp-server/"), "handshake carries the server id");
+
+    let answer = client.query(Q).unwrap();
+    assert_eq!(answer.meta.k, 1, "ana's comedy preference personalizes the query");
+    assert_eq!(answer.meta.degraded, DegradeLevel::None);
+    assert!(!answer.rows.rows.is_empty(), "rows cross the wire");
+    assert!(!answer.rows.columns.is_empty(), "schema crosses the wire");
+    assert!(!answer.meta.cache.is_hit(), "first run is not a cache hit");
+
+    let again = client.query(Q).unwrap();
+    assert_eq!(again.meta.cache, CacheOutcome::Hit, "second run hits the plan cache");
+    assert_eq!(again.rows, answer.rows, "cached answer is identical");
+
+    client.close();
+    handle.shutdown();
+}
+
+#[test]
+fn the_same_query_api_code_runs_over_both_backends() {
+    let handle = start(service_with_ana());
+
+    // One function, written once against the trait.
+    fn workload(api: &mut impl QueryApi) -> Answer {
+        assert_eq!(api.user_id(), "ana");
+        api.prepare(Q).unwrap();
+        api.query(Q).unwrap()
+    }
+
+    let mut session = handle.service().session("ana");
+    let local = workload(&mut session);
+
+    let mut client = connect(&handle, "ana");
+    let remote = workload(&mut client);
+
+    assert_eq!(local.rows, remote.rows, "identical rows over TCP and in-process");
+    assert_eq!(local.meta.k, remote.meta.k);
+    assert_eq!(local.meta.rewrite, remote.meta.rewrite);
+
+    client.close();
+    handle.shutdown();
+}
+
+#[test]
+fn profiles_are_mutable_over_the_wire() {
+    let handle = start(service_with_ana());
+    let mut client = connect(&handle, "newbie");
+
+    let before = client.query(Q).unwrap();
+    assert_eq!(before.meta.k, 0, "no profile yet: unpersonalized");
+
+    client.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    client.add_selection("GENRE", "genre", pqp_storage::Value::Str("drama".into()), 0.7).unwrap();
+    let after = client.query(Q).unwrap();
+    assert!(after.meta.k >= 1, "the profile built over the wire personalizes queries");
+
+    assert!(client.remove_profile().unwrap(), "a profile was stored");
+    assert!(!client.remove_profile().unwrap(), "second removal is a no-op");
+    let gone = client.query(Q).unwrap();
+    assert_eq!(gone.meta.k, 0, "back to unpersonalized");
+
+    client.close();
+    handle.shutdown();
+}
+
+#[test]
+fn prepare_returns_canonical_sql() {
+    let handle = start(service_with_ana());
+    let mut client = connect(&handle, "ana");
+    let canonical = client.prepare("select  MV.title  from MOVIE MV").unwrap();
+    assert!(canonical.to_lowercase().contains("movie"), "canonical SQL: {canonical}");
+    client.close();
+    handle.shutdown();
+}
+
+#[test]
+fn bad_sql_is_a_typed_parse_error_not_a_dead_session() {
+    let handle = start(service_with_ana());
+    let mut client = connect(&handle, "ana");
+    let err = client.query("select from from").unwrap_err();
+    assert_eq!(err.kind(), "parse", "parse errors keep their kind over the wire");
+    // The session survives a failed query.
+    assert!(client.query(Q).is_ok());
+    client.close();
+    handle.shutdown();
+}
+
+#[test]
+fn show_introspection_works_over_tcp() {
+    let handle = start(service_with_ana());
+    let mut client = connect(&handle, "ana");
+    client.query(Q).unwrap();
+
+    let metrics = client.show(ShowRequest::Metrics).unwrap();
+    assert!(!metrics.rows.columns.is_empty());
+    assert_eq!(metrics.meta.cache, CacheOutcome::Bypass, "introspection bypasses caches");
+
+    let queries = client.show(ShowRequest::Queries { limit: Some(5) }).unwrap();
+    assert!(queries.rows.rows.len() <= 5);
+
+    let caches = client.show(ShowRequest::Caches).unwrap();
+    assert!(!caches.rows.columns.is_empty());
+
+    client.close();
+    handle.shutdown();
+}
+
+#[test]
+fn sessions_are_concurrent() {
+    let handle = start(service_with_ana());
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let user = if i % 2 == 0 { "ana" } else { "bob" };
+                let mut client = Client::connect(addr, ClientConfig::new(user)).unwrap();
+                for _ in 0..8 {
+                    let answer = client.query(Q).unwrap();
+                    if user == "ana" {
+                        assert_eq!(answer.meta.k, 1);
+                    } else {
+                        assert_eq!(answer.meta.k, 0);
+                    }
+                }
+                client.close();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(handle.connections() >= 4);
+    handle.shutdown();
+}

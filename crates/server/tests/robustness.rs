@@ -1,0 +1,208 @@
+//! Protocol robustness at the network edge: malformed and truncated
+//! frames, oversized-frame rejection, byte-at-a-time partial reads,
+//! handshake version mismatches — the server answers with typed error
+//! frames and never aborts.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use common::{service_with_ana, start, Q};
+use pqp_service::{ErrorCode, QueryApi};
+use pqp_wire::{
+    read_frame, write_frame, Client, ClientConfig, FrameError, Request, Response, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+/// Raw socket helper: a connection that speaks frames by hand.
+fn raw_connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+fn send_request(stream: &mut TcpStream, req: &Request) {
+    let (tag, payload) = req.encode();
+    write_frame(stream, tag, &payload).unwrap();
+}
+
+fn recv_response(stream: &mut TcpStream) -> Response {
+    let (tag, payload) = read_frame(stream, MAX_FRAME_LEN).unwrap();
+    Response::decode(tag, &payload).unwrap()
+}
+
+fn handshake(stream: &mut TcpStream, user: &str) {
+    send_request(stream, &Request::Hello { version: PROTOCOL_VERSION, user: user.into() });
+    match recv_response(stream) {
+        Response::HelloOk { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("handshake failed: {other:?}"),
+    }
+}
+
+fn assert_protocol_error(resp: Response) -> String {
+    match resp {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Protocol.as_u16(), "typed as protocol: {}", e.message);
+            e.message
+        }
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_a_typed_error() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    send_request(&mut stream, &Request::Hello { version: 99, user: "ana".into() });
+    let msg = assert_protocol_error(recv_response(&mut stream));
+    assert!(msg.contains("99"), "names the offending version: {msg}");
+    // The server closes after a failed handshake.
+    assert!(matches!(read_frame(&mut stream, MAX_FRAME_LEN), Err(FrameError::Closed)));
+    handle.shutdown();
+}
+
+#[test]
+fn first_frame_must_be_hello() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    send_request(&mut stream, &Request::Prepare { sql: Q.into() });
+    assert_protocol_error(recv_response(&mut stream));
+    assert!(matches!(read_frame(&mut stream, MAX_FRAME_LEN), Err(FrameError::Closed)));
+    handle.shutdown();
+}
+
+#[test]
+fn empty_user_is_rejected() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    send_request(&mut stream, &Request::Hello { version: PROTOCOL_VERSION, user: String::new() });
+    assert_protocol_error(recv_response(&mut stream));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_payload_gets_a_typed_error_and_the_session_survives() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    handshake(&mut stream, "ana");
+
+    // A Query frame whose payload is garbage: sound frame, broken payload.
+    write_frame(&mut stream, 0x02, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+    assert_protocol_error(recv_response(&mut stream));
+
+    // An unassigned message tag.
+    write_frame(&mut stream, 0x7F, &[]).unwrap();
+    assert_protocol_error(recv_response(&mut stream));
+
+    // A well-formed message with trailing garbage.
+    let (tag, mut payload) = Request::Prepare { sql: Q.into() }.encode();
+    payload.push(0x00);
+    write_frame(&mut stream, tag, &payload).unwrap();
+    assert_protocol_error(recv_response(&mut stream));
+
+    // The stream stayed frame-aligned throughout: real work still runs.
+    send_request(&mut stream, &Request::Query { sql: Q.into(), options: None, rewrite: None });
+    match recv_response(&mut stream) {
+        Response::Answer(a) => assert_eq!(a.meta.k, 1),
+        other => panic!("session did not survive: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_and_the_connection_closed() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    handshake(&mut stream, "ana");
+
+    // Announce a frame just over the limit; send no payload.
+    let announced = (MAX_FRAME_LEN as u32) + 1;
+    stream.write_all(&announced.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let msg = assert_protocol_error(recv_response(&mut stream));
+    assert!(msg.contains("unreadable"), "explains the close: {msg}");
+    assert!(matches!(read_frame(&mut stream, MAX_FRAME_LEN), Err(FrameError::Closed)));
+    handle.shutdown();
+}
+
+#[test]
+fn zero_length_frames_are_rejected() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    handshake(&mut stream, "ana");
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    assert_protocol_error(recv_response(&mut stream));
+    assert!(matches!(read_frame(&mut stream, MAX_FRAME_LEN), Err(FrameError::Closed)));
+    handle.shutdown();
+}
+
+#[test]
+fn partial_reads_reassemble_into_whole_requests() {
+    let handle = start(service_with_ana());
+    let mut stream = raw_connect(handle.addr());
+    handshake(&mut stream, "ana");
+
+    // Dribble a whole query frame one byte at a time.
+    let (tag, payload) = Request::Query { sql: Q.into(), options: None, rewrite: None }.encode();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, tag, &payload).unwrap();
+    for byte in frame {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    match recv_response(&mut stream) {
+        Response::Answer(a) => assert_eq!(a.meta.k, 1),
+        other => panic!("expected an answer, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_disconnect_leaves_the_server_serving() {
+    let handle = start(service_with_ana());
+    {
+        let mut stream = raw_connect(handle.addr());
+        handshake(&mut stream, "ana");
+        // Announce 100 bytes, deliver 3, vanish.
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+        stream.flush().unwrap();
+    } // dropped: EOF mid-frame on the server
+
+    // The server shrugs it off: fresh connections work, nothing leaked.
+    let mut client = Client::connect(handle.addr(), ClientConfig::new("ana")).unwrap();
+    let answer = client.query(Q).unwrap();
+    assert_eq!(answer.meta.k, 1);
+    client.close();
+
+    wait_until("in-flight drains to zero", || handle.service().in_flight() == 0);
+    handle.shutdown();
+}
+
+#[test]
+fn abrupt_disconnect_before_handshake_is_harmless() {
+    let handle = start(service_with_ana());
+    for _ in 0..5 {
+        let stream = raw_connect(handle.addr());
+        drop(stream);
+    }
+    let mut client = Client::connect(handle.addr(), ClientConfig::new("ana")).unwrap();
+    assert!(client.query(Q).is_ok());
+    client.close();
+    handle.shutdown();
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..200 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting until {what}");
+}

@@ -46,14 +46,14 @@
 //!     .session("julie")
 //!     .with_options(PersonalizeOptions::builder().k(2).l(1).build());
 //! let answer = session.query("select MV.title from MOVIE MV").unwrap();
-//! assert_eq!(answer.k, 1);
+//! assert_eq!(answer.meta.k, 1);
 //! ```
 
 mod cache;
 mod error;
 pub mod telemetry;
 
-pub use error::{Error, Result};
+pub use error::{Error, ErrorCode, Result};
 pub use telemetry::{
     PhaseBreakdown, QueryLog, QueryRecord, Telemetry, TelemetryConfig, TelemetrySnapshot,
 };
@@ -183,7 +183,7 @@ impl Default for ServiceConfig {
 /// (§4), and finally fall back to the original, unpersonalized query —
 /// the paper's own graceful floor ("users without preferences get the
 /// query's plain semantics"). Each query reports the level it ran at in
-/// [`Answer::degraded`] and in the `service.degrade.*` counters.
+/// [`AnswerMeta::degraded`] and in the `service.degrade.*` counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DegradeLevel {
     /// Full personalization, as requested.
@@ -246,23 +246,123 @@ impl fmt::Display for DegradeLevel {
     }
 }
 
-/// The result of one personalized query.
-#[derive(Debug, Clone)]
-#[non_exhaustive]
+/// The result of one personalized query: the rows plus a stable,
+/// wire-serializable metadata tail ([`AnswerMeta`]).
+///
+/// This is the client-facing answer shape of *both* backends — the
+/// in-process [`Session`] and the TCP `pqp_wire::Client` return the same
+/// struct — so its fields are a versioned public surface: additions go
+/// through [`AnswerMeta`] and a protocol-version bump, never through
+/// backend-specific side channels.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Answer {
-    /// The rows the executed rewrite returned.
+    /// The rows the executed rewrite returned (column names + tuples).
     pub rows: ResultSet,
+    /// How the answer was produced: rewrite, K/M, degradation, cache
+    /// outcome and rows scanned.
+    pub meta: AnswerMeta,
+}
+
+impl Answer {
+    /// Assemble an answer (used by remote clients decoding result frames).
+    pub fn new(rows: ResultSet, meta: AnswerMeta) -> Answer {
+        Answer { rows, meta }
+    }
+}
+
+/// The telemetry tail of an [`Answer`]: everything about *how* the answer
+/// was produced, in a shape that serializes verbatim onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerMeta {
     /// The rewrite that ran.
     pub rewrite: Rewrite,
     /// K: number of preferences selected for this user/query pair.
     pub k: usize,
     /// M: how many of them were mandatory.
     pub m: usize,
-    /// Whether the physical plan came from the personalized-plan cache.
-    pub plan_cached: bool,
     /// How far personalization was stepped down to fit the query budget
     /// ([`DegradeLevel::None`] when it ran as requested).
     pub degraded: DegradeLevel,
+    /// How the personalized-plan cache treated this query.
+    pub cache: CacheOutcome,
+    /// Rows the executor scanned to produce the answer (the governor's
+    /// progress counter at completion).
+    pub rows_scanned: u64,
+}
+
+/// How the personalized-plan cache treated one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOutcome {
+    /// A cached plan built under the user's current epoch was served.
+    Hit,
+    /// A cached plan existed but was built under a dead epoch; recomputed.
+    Stale,
+    /// No cached plan; computed and (at full fidelity) cached.
+    Miss,
+    /// The cache was not consulted (introspection, degraded answers).
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Whether the plan was served from the cache.
+    pub fn is_hit(self) -> bool {
+        self == CacheOutcome::Hit
+    }
+
+    /// Label used in traces, counters and the query log.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Stale => "stale",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The one client-facing query API, implemented by both backends: the
+/// in-process [`Session`] and the TCP `pqp_wire::Client`. Examples, benches
+/// and tests written against `&mut impl QueryApi` run unchanged over either.
+///
+/// Methods take `&mut self` for the lowest common denominator: a remote
+/// client owns a socket. The in-process implementation is internally
+/// synchronized and ignores the exclusivity.
+pub trait QueryApi {
+    /// The user this handle acts as.
+    fn user_id(&self) -> &str;
+
+    /// Run one personalized query end-to-end: parse → personalize →
+    /// integrate → plan → execute, returning rows plus [`AnswerMeta`].
+    fn query(&mut self, sql: &str) -> Result<Answer>;
+
+    /// Parse + validate a query, warming the prepared cache; returns the
+    /// canonical SQL text.
+    fn prepare(&mut self, sql: &str) -> Result<String>;
+
+    /// Add (or update) a selection preference for this user, bumping the
+    /// user's invalidation epoch.
+    fn add_selection(&mut self, table: &str, column: &str, value: Value, doi: f64) -> Result<()>;
+
+    /// Add (or update) a directed join preference for this user, bumping
+    /// the user's invalidation epoch.
+    fn add_join(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+        doi: f64,
+    ) -> Result<()>;
+
+    /// Remove this user's profile (subsequent queries run unpersonalized).
+    /// Returns whether one was stored.
+    fn remove_profile(&mut self) -> Result<bool>;
 }
 
 /// One user's stored state: the profile plus its invalidation epoch.
@@ -606,6 +706,15 @@ impl Service {
         Ok((prepared, false))
     }
 
+    /// Parse + validate a query and warm the shared prepared cache,
+    /// returning the canonical SQL text (the plan-cache key component).
+    /// This is the in-process face of the wire protocol's `Prepare`
+    /// message: cheap to call, user-independent, no execution.
+    pub fn prepare_sql(&self, sql: &str) -> Result<String> {
+        let (prepared, _cached) = self.prepare(sql)?;
+        Ok(prepared.canonical.clone())
+    }
+
     /// Snapshot counters of both caches.
     pub fn cache_stats(&self) -> ServiceCacheStats {
         ServiceCacheStats {
@@ -680,7 +789,7 @@ impl Service {
         }
         let started = Instant::now();
         let mut obs = Observed::default();
-        let result = match self.admit() {
+        let mut result = match self.admit() {
             Ok(_admitted) => {
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     self.query_governed(user, sql, options, rewrite, ctx, &mut obs)
@@ -698,6 +807,9 @@ impl Service {
             }
             Err(refused) => Err(refused),
         };
+        if let Ok(answer) = &mut result {
+            answer.meta.rows_scanned = ctx.progress().rows_scanned;
+        }
         self.record_query(user, sql, ctx, started, &obs, &result);
         result
     }
@@ -717,7 +829,7 @@ impl Service {
         let mut phases = obs.phases;
         phases.total_us = started.elapsed().as_micros() as u64;
         let (ok, rows_out, k, m, degrade, error_kind, error) = match result {
-            Ok(a) => (true, a.rows.len(), a.k, a.m, a.degraded.label(), None, None),
+            Ok(a) => (true, a.rows.len(), a.meta.k, a.meta.m, a.meta.degraded.label(), None, None),
             Err(e) => {
                 (false, 0, 0, 0, DegradeLevel::None.label(), Some(e.kind()), Some(e.to_string()))
             }
@@ -769,11 +881,14 @@ impl Service {
         };
         Ok(Answer {
             rows,
-            rewrite: Rewrite::Original,
-            k: 0,
-            m: 0,
-            plan_cached: false,
-            degraded: DegradeLevel::None,
+            meta: AnswerMeta {
+                rewrite: Rewrite::Original,
+                k: 0,
+                m: 0,
+                degraded: DegradeLevel::None,
+                cache: CacheOutcome::Bypass,
+                rows_scanned: 0,
+            },
         })
     }
 
@@ -883,7 +998,7 @@ impl Service {
                 None => Lookup::Miss,
             }
         };
-        match lookup {
+        let cache_outcome = match lookup {
             Lookup::Hit(cached) => {
                 self.plan_stats.hit();
                 obs.plan_cache = "hit";
@@ -893,22 +1008,27 @@ impl Service {
                 obs.phases.execute_us += t_exec.elapsed().as_micros() as u64;
                 return Ok(Answer {
                     rows: rows?,
-                    rewrite,
-                    k: cached.k,
-                    m: cached.m,
-                    plan_cached: true,
-                    degraded: DegradeLevel::None,
+                    meta: AnswerMeta {
+                        rewrite,
+                        k: cached.k,
+                        m: cached.m,
+                        degraded: DegradeLevel::None,
+                        cache: CacheOutcome::Hit,
+                        rows_scanned: 0,
+                    },
                 });
             }
             Lookup::Stale => {
                 self.plan_stats.stale();
                 obs.plan_cache = "stale";
+                CacheOutcome::Stale
             }
             Lookup::Miss => {
                 self.plan_stats.miss();
                 obs.plan_cache = "miss";
+                CacheOutcome::Miss
             }
-        }
+        };
 
         // Slow path: snapshot the profile and its epoch atomically (one
         // shard read), personalize, plan, execute, then publish the plan
@@ -980,7 +1100,17 @@ impl Service {
                 pqp_obs::counter_add("service.degrade.answers", 1);
                 pqp_obs::record("degrade_level", level.label());
             }
-            return Ok(Answer { rows, rewrite: ran, k, m, plan_cached: false, degraded: level });
+            return Ok(Answer {
+                rows,
+                meta: AnswerMeta {
+                    rewrite: ran,
+                    k,
+                    m,
+                    degraded: level,
+                    cache: cache_outcome,
+                    rows_scanned: 0,
+                },
+            });
         }
         unreachable!("the degradation ladder always returns or errors")
     }
@@ -1167,6 +1297,42 @@ impl<'s> Session<'s> {
     }
 }
 
+/// The in-process backend of the unified client API. The `&mut self`
+/// receivers exist for parity with socket-owning remote clients; a session
+/// is internally synchronized and never needs the exclusivity.
+impl QueryApi for Session<'_> {
+    fn user_id(&self) -> &str {
+        self.user.as_str()
+    }
+
+    fn query(&mut self, sql: &str) -> Result<Answer> {
+        Session::query(self, sql)
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<String> {
+        self.service.prepare_sql(sql)
+    }
+
+    fn add_selection(&mut self, table: &str, column: &str, value: Value, doi: f64) -> Result<()> {
+        self.service.add_selection(self.user.clone(), table, column, value, doi)
+    }
+
+    fn add_join(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+        doi: f64,
+    ) -> Result<()> {
+        self.service.add_join(self.user.clone(), from_table, from_column, to_table, to_column, doi)
+    }
+
+    fn remove_profile(&mut self) -> Result<bool> {
+        Ok(self.service.remove_profile(self.user.clone()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1219,9 +1385,9 @@ mod tests {
     fn session_query_end_to_end() {
         let service = service_with_ana();
         let answer = service.session("ana").query(Q).unwrap();
-        assert_eq!(answer.k, 1, "comedy preference reached through the join");
-        assert_eq!(answer.rewrite, Rewrite::Mq);
-        assert!(!answer.plan_cached);
+        assert_eq!(answer.meta.k, 1, "comedy preference reached through the join");
+        assert_eq!(answer.meta.rewrite, Rewrite::Mq);
+        assert!(!answer.meta.cache.is_hit());
         let titles: Vec<String> = answer.rows.rows.iter().map(|r| r[0].to_string()).collect();
         assert!(titles.contains(&"'Alpha'".to_string()) || titles.contains(&"Alpha".to_string()));
     }
@@ -1230,7 +1396,7 @@ mod tests {
     fn unknown_user_runs_unpersonalized() {
         let service = service_with_ana();
         let answer = service.session("nobody").query(Q).unwrap();
-        assert_eq!(answer.k, 0);
+        assert_eq!(answer.meta.k, 0);
         assert_eq!(answer.rows.len(), 3, "all movies, no preference filter");
     }
 
@@ -1240,10 +1406,10 @@ mod tests {
         let session = service.session("ana");
         let first = session.query(Q).unwrap();
         let second = session.query(Q).unwrap();
-        assert!(!first.plan_cached);
-        assert!(second.plan_cached);
+        assert!(!first.meta.cache.is_hit());
+        assert!(second.meta.cache.is_hit());
         assert_eq!(first.rows, second.rows);
-        assert_eq!(second.k, first.k, "cached answers keep selection metadata");
+        assert_eq!(second.meta.k, first.meta.k, "cached answers keep selection metadata");
         let stats = service.cache_stats();
         assert_eq!(stats.prepared.hits, 1);
         assert_eq!(stats.prepared.misses, 1);
@@ -1258,7 +1424,7 @@ mod tests {
         session.query(Q).unwrap();
         // Different whitespace, same canonical query.
         let variant = service.session("ana").query("select  MV.title  from  MOVIE  MV").unwrap();
-        assert!(variant.plan_cached, "canonicalized key shares the plan");
+        assert!(variant.meta.cache.is_hit(), "canonicalized key shares the plan");
     }
 
     #[test]
@@ -1266,19 +1432,19 @@ mod tests {
         let service = service_with_ana();
         let session = service.session("ana");
         let before = session.query(Q).unwrap();
-        assert!(session.query(Q).unwrap().plan_cached);
+        assert!(session.query(Q).unwrap().meta.cache.is_hit());
 
         let e0 = service.epoch("ana");
         service.add_selection("ana", "GENRE", "genre", "drama", 0.9).unwrap();
         assert!(service.epoch("ana") > e0, "mutation bumps the epoch");
 
         let after = session.query(Q).unwrap();
-        assert!(!after.plan_cached, "stale plan recomputed");
-        assert_eq!(after.k, 2, "the new preference is in effect");
+        assert!(!after.meta.cache.is_hit(), "stale plan recomputed");
+        assert_eq!(after.meta.k, 2, "the new preference is in effect");
         assert!(after.rows.len() > before.rows.len());
         assert_eq!(service.cache_stats().plans.stale, 1);
         // And the refreshed entry serves hits again.
-        assert!(session.query(Q).unwrap().plan_cached);
+        assert!(session.query(Q).unwrap().meta.cache.is_hit());
     }
 
     #[test]
@@ -1286,14 +1452,14 @@ mod tests {
         let service = service_with_ana();
         let session = service.session("ana");
         session.query(Q).unwrap();
-        assert!(session.query(Q).unwrap().plan_cached);
+        assert!(session.query(Q).unwrap().meta.cache.is_hit());
 
         // ANALYZE bumps the catalog's stats epoch: cached plans chosen under
         // the old statistics must not be served again.
         service.database().catalog().analyze_all().unwrap();
         let after = session.query(Q).unwrap();
-        assert!(!after.plan_cached, "plan re-chosen under fresh statistics");
-        assert!(session.query(Q).unwrap().plan_cached, "and re-cached");
+        assert!(!after.meta.cache.is_hit(), "plan re-chosen under fresh statistics");
+        assert!(session.query(Q).unwrap().meta.cache.is_hit(), "and re-cached");
     }
 
     #[test]
@@ -1304,7 +1470,7 @@ mod tests {
         let e0 = service.epoch("ana");
         service.update_profile("ana", |_p| ()).unwrap();
         assert_eq!(service.epoch("ana"), e0, "no mutation, no epoch bump");
-        assert!(session.query(Q).unwrap().plan_cached);
+        assert!(session.query(Q).unwrap().meta.cache.is_hit());
     }
 
     #[test]
@@ -1336,7 +1502,7 @@ mod tests {
         // surviving plan from the old epoch could never be served.
         service.install_profile(profile).unwrap();
         let answer = session.query(Q).unwrap();
-        assert!(!answer.plan_cached, "no ABA on remove + reinstall");
+        assert!(!answer.meta.cache.is_hit(), "no ABA on remove + reinstall");
         assert_eq!(service.cache_stats().plans.stale, 0, "swept, so a miss rather than stale");
     }
 
@@ -1349,7 +1515,7 @@ mod tests {
         bob.query(Q).unwrap();
         assert!(service.remove_profile("ana"));
         assert!(!service.remove_profile("ana"), "second removal is a no-op");
-        assert!(bob.query(Q).unwrap().plan_cached, "bob's entry survives ana's removal");
+        assert!(bob.query(Q).unwrap().meta.cache.is_hit(), "bob's entry survives ana's removal");
         assert_eq!(service.cache_stats().plans.evictions, 1);
     }
 
@@ -1368,9 +1534,9 @@ mod tests {
         let service = service_with_ana();
         let first = service.session("ana").with_options(low).query(Q).unwrap();
         let second = service.session("ana").with_options(high).query(Q).unwrap();
-        assert!(!first.plan_cached);
-        assert!(!second.plan_cached, "distinct thresholds get distinct plan entries");
-        assert!(service.session("ana").with_options(low).query(Q).unwrap().plan_cached);
+        assert!(!first.meta.cache.is_hit());
+        assert!(!second.meta.cache.is_hit(), "distinct thresholds get distinct plan entries");
+        assert!(service.session("ana").with_options(low).query(Q).unwrap().meta.cache.is_hit());
     }
 
     #[test]
@@ -1383,7 +1549,7 @@ mod tests {
 
         let ana = service.session("ana").query(Q).unwrap();
         let bob = service.session("bob").query(Q).unwrap();
-        assert!(!bob.plan_cached, "bob's first query is not served ana's plan");
+        assert!(!bob.meta.cache.is_hit(), "bob's first query is not served ana's plan");
         assert_ne!(ana.rows, bob.rows, "different preferences, different rows");
     }
 
@@ -1398,9 +1564,9 @@ mod tests {
             .with_rewrite(Rewrite::Sq)
             .query(Q)
             .unwrap();
-        assert_eq!(sq.rewrite, Rewrite::Sq);
+        assert_eq!(sq.meta.rewrite, Rewrite::Sq);
         // Distinct options/rewrites get distinct cache entries.
-        assert!(!sq.plan_cached);
+        assert!(!sq.meta.cache.is_hit());
     }
 
     #[test]
@@ -1427,7 +1593,7 @@ mod tests {
         assert_eq!(batch.len(), 4);
         let answers: Vec<&Answer> = batch.iter().map(|r| r.as_ref().unwrap()).collect();
         assert_eq!(answers[0].rows, answers[2].rows, "duplicates share one answer");
-        assert_eq!(answers[1].k, 0);
+        assert_eq!(answers[1].meta.k, 0);
         assert_eq!(answers[3].rows.len(), 1);
         assert!(service.query_batch(&[], 4).is_empty());
     }
@@ -1451,7 +1617,7 @@ mod tests {
     fn answers_report_no_degradation_under_unlimited_budget() {
         let service = service_with_ana();
         let answer = service.session("ana").query(Q).unwrap();
-        assert_eq!(answer.degraded, DegradeLevel::None);
+        assert_eq!(answer.meta.degraded, DegradeLevel::None);
     }
 
     #[test]

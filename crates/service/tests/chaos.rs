@@ -164,7 +164,7 @@ fn mixed_workload_under_chaos_never_aborts_and_stays_deterministic() {
         let mut degraded = 0usize;
         for (i, result) in results.iter().enumerate() {
             match result {
-                Ok(answer) if answer.degraded == DegradeLevel::None => {
+                Ok(answer) if answer.meta.degraded == DegradeLevel::None => {
                     // Untouched (or served through the cache-bypass path):
                     // must match the baseline byte for byte.
                     assert_eq!(
@@ -176,7 +176,7 @@ fn mixed_workload_under_chaos_never_aborts_and_stays_deterministic() {
                     // Personalization degraded to fit an injected budget
                     // trip: still a successful, well-formed answer.
                     degraded += 1;
-                    assert!(answer.degraded > DegradeLevel::None);
+                    assert!(answer.meta.degraded > DegradeLevel::None);
                 }
                 Err(
                     Error::Internal(_)
@@ -313,7 +313,7 @@ fn shard_lock_panic_leaves_profile_store_usable() {
         assert!(service.profile("ana").is_some());
         service.add_selection("ana", "GENRE", "genre", "drama", 0.7).unwrap();
         let answer = service.session("ana").query(SQLS[0]).unwrap();
-        assert_eq!(answer.k, 2, "post-recovery mutation is in effect");
+        assert_eq!(answer.meta.k, 2, "post-recovery mutation is in effect");
     });
 }
 
@@ -332,15 +332,15 @@ fn injected_budget_trips_walk_the_degradation_ladder() {
         for (spec, level, k) in expectations {
             failpoint::configure("select.budget", spec).unwrap();
             let answer = service.session("ana").query(SQLS[0]).unwrap();
-            assert_eq!(answer.degraded, level, "spec {spec}");
-            assert_eq!(answer.k, k, "spec {spec}");
-            assert!(!answer.plan_cached, "degraded answers never come from the cache");
+            assert_eq!(answer.meta.degraded, level, "spec {spec}");
+            assert_eq!(answer.meta.k, k, "spec {spec}");
+            assert!(!answer.meta.cache.is_hit(), "degraded answers never come from the cache");
             failpoint::remove("select.budget");
             // The degraded plan was not cached: the next full-fidelity query
             // recomputes (miss), then caching resumes as normal.
             let full = service.session("ana").query(SQLS[0]).unwrap();
-            assert_eq!(full.degraded, DegradeLevel::None);
-            assert_eq!(full.k, 1);
+            assert_eq!(full.meta.degraded, DegradeLevel::None);
+            assert_eq!(full.meta.k, 1);
             service.clear_caches();
         }
     });
@@ -372,12 +372,12 @@ fn plan_cache_fault_degrades_to_recompute_with_identical_rows() {
     with_failpoints(|| {
         let service = chaos_service();
         let warm = service.session("ana").query(SQLS[0]).unwrap();
-        assert!(service.session("ana").query(SQLS[0]).unwrap().plan_cached);
+        assert!(service.session("ana").query(SQLS[0]).unwrap().meta.cache.is_hit());
 
         failpoint::configure("plan.cache", "1*error(cache gremlin)").unwrap();
         let bypassed = service.session("ana").query(SQLS[0]).unwrap();
-        assert!(!bypassed.plan_cached, "injected cache fault is a miss");
+        assert!(!bypassed.meta.cache.is_hit(), "injected cache fault is a miss");
         assert_eq!(bypassed.rows, warm.rows, "recompute returns identical rows");
-        assert!(service.session("ana").query(SQLS[0]).unwrap().plan_cached, "cache heals");
+        assert!(service.session("ana").query(SQLS[0]).unwrap().meta.cache.is_hit(), "cache heals");
     });
 }

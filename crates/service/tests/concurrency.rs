@@ -121,9 +121,9 @@ fn concurrent_mutation_and_query_same_user() {
     let stale_before = stats.plans.stale;
     service.add_selection("ana", "GENRE", "genre", "comedy", 0.99).unwrap();
     let settled = service.session("ana");
-    assert!(!settled.query(Q).unwrap().plan_cached, "post-mutation query recomputes");
+    assert!(!settled.query(Q).unwrap().meta.cache.is_hit(), "post-mutation query recomputes");
     assert_eq!(service.cache_stats().plans.stale, stale_before + 1);
-    assert!(settled.query(Q).unwrap().plan_cached, "cache serves hits once mutations stop");
+    assert!(settled.query(Q).unwrap().meta.cache.is_hit(), "cache serves hits once mutations stop");
 }
 
 /// Racing `update_profile` calls to one user commit optimistically: every
@@ -177,7 +177,7 @@ fn mutations_do_not_invalidate_other_users() {
         scope.spawn(move || {
             let bob = service.session("bob");
             for _ in 0..40 {
-                assert!(bob.query(Q).unwrap().plan_cached, "bob's plan stays valid");
+                assert!(bob.query(Q).unwrap().meta.cache.is_hit(), "bob's plan stays valid");
             }
         });
     });

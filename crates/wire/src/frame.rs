@@ -1,0 +1,153 @@
+//! Frame transport: `len:u32be  tag:u8  payload` over any `Read`/`Write`.
+//!
+//! Writes assemble one contiguous buffer per frame (a single `write_all`,
+//! so a frame is never interleaved mid-stream by racing writers on
+//! duplicated sockets). Reads distinguish a *clean* close (EOF exactly at a
+//! frame boundary) from a truncated frame (EOF inside one), and reject
+//! oversized frames before buffering them.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// A frame-level read failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The transport failed mid-frame (includes EOF inside a frame, which
+    /// surfaces as an `UnexpectedEof` I/O error).
+    Io(io::Error),
+    /// The peer announced a frame longer than the agreed maximum. The
+    /// stream is no longer trustworthy — close it.
+    Oversized {
+        /// Announced `tag + payload` length.
+        len: usize,
+        /// The maximum this side accepts.
+        max: usize,
+    },
+    /// The peer announced a zero-length frame (no room for the tag byte).
+    Empty,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Empty => write!(f, "zero-length frame (no message tag)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: length prefix, tag, payload — as a single `write_all`.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame, returning `(tag, payload)`.
+///
+/// `max_len` bounds the announced `tag + payload` length; longer frames are
+/// rejected *before* any payload is buffered, so a hostile length prefix
+/// cannot force an allocation.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    // A clean close is EOF before the first length byte; EOF later is a
+    // truncated frame and surfaces as an I/O error.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => r.read_exact(&mut len_buf)?,
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(FrameError::Empty);
+    }
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mut payload = vec![0u8; len - 1];
+    r.read_exact(&mut payload)?;
+    Ok((tag[0], payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x42, b"payload").unwrap();
+        let (tag, payload) = read_frame(&mut Cursor::new(&buf), 1024).unwrap();
+        assert_eq!(tag, 0x42);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_close() {
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty, 1024), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_io_error_not_a_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"full payload").unwrap();
+        for cut in [1, 3, 4, 5, buf.len() - 1] {
+            let mut truncated = Cursor::new(buf[..cut].to_vec());
+            match read_frame(&mut truncated, 1024) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}")
+                }
+                other => panic!("cut at {cut}: expected Io(UnexpectedEof), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_buffering() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes()); // 4 GiB announcement
+        buf.push(1);
+        match read_frame(&mut Cursor::new(&buf), 1024) {
+            Err(FrameError::Oversized { len, max: 1024 }) => {
+                assert_eq!(len, u32::MAX as usize)
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frames_are_rejected() {
+        let buf = 0u32.to_be_bytes();
+        assert!(matches!(read_frame(&mut Cursor::new(&buf[..]), 1024), Err(FrameError::Empty)));
+    }
+}

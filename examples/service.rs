@@ -34,24 +34,20 @@ fn main() -> Result<(), pqp::Error> {
     let session = service.session("user0");
     let answer = session.query(sql)?;
     println!(
-        "user0: {} rows under {} (K={}, plan cached: {})",
+        "user0: {} rows under {} (K={}, cache: {})",
         answer.rows.len(),
-        answer.rewrite,
-        answer.k,
-        answer.plan_cached
+        answer.meta.rewrite,
+        answer.meta.k,
+        answer.meta.cache
     );
     let again = session.query(sql)?;
-    println!("user0 again: plan cached: {}", again.plan_cached);
+    println!("user0 again: cache: {}", again.meta.cache);
 
     // 4. Mutating the profile invalidates the cached plan — the next query
     //    recomputes with the new preference in effect.
     service.add_selection("user0", "GENRE", "genre", "comedy", 0.95)?;
     let after = session.query(sql)?;
-    println!(
-        "after mutation: plan cached: {} (epoch {})",
-        after.plan_cached,
-        service.epoch("user0")
-    );
+    println!("after mutation: cache: {} (epoch {})", after.meta.cache, service.epoch("user0"));
 
     // 5. Batch execution: identical in-flight requests are collapsed, the
     //    rest fan out across scoped worker threads.

@@ -1,0 +1,67 @@
+//! Client/server over TCP in one process: start a `pqp-server` on an
+//! ephemeral port, drive it with the blocking `pqp-wire` client, and show
+//! that the same `QueryApi` code runs over the socket and in-process.
+//!
+//! Run with `cargo run --example tcp_quickstart`.
+
+use std::sync::Arc;
+
+use pqp::datagen::{generate, generate_profiles, MovieDbConfig, ProfileGenConfig};
+use pqp::{Answer, Client, ClientConfig, QueryApi, Server, ServerConfig, Service};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A service over a generated movie database, with a few profiles.
+    let m = generate(MovieDbConfig::default());
+    let service = Arc::new(Service::new(m.db));
+    for profile in generate_profiles(
+        "user",
+        4,
+        &m.pools,
+        &ProfileGenConfig { selections: 40, seed: 7, ..Default::default() },
+    ) {
+        service.install_profile(profile)?;
+    }
+
+    // 2. Serve it on an ephemeral loopback port.
+    let server = Server::bind(
+        Arc::clone(&service),
+        ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() },
+    )?;
+    let handle = server.spawn()?;
+    println!("serving on {}", handle.addr());
+
+    // 3. The same function works over TCP and in-process — it only knows
+    //    the QueryApi trait.
+    fn ask(api: &mut impl QueryApi, sql: &str) -> pqp::service::Result<Answer> {
+        let answer = api.query(sql)?;
+        println!(
+            "  {:>5}: {} rows via {} (K={}, cache: {}, {} rows scanned)",
+            api.user_id(),
+            answer.rows.len(),
+            answer.meta.rewrite,
+            answer.meta.k,
+            answer.meta.cache,
+            answer.meta.rows_scanned,
+        );
+        Ok(answer)
+    }
+
+    let sql = "select MV.title from MOVIE MV";
+    println!("over TCP:");
+    let mut client = Client::connect(handle.addr(), ClientConfig::new("user0"))?;
+    let remote = ask(&mut client, sql)?;
+
+    println!("in-process:");
+    let mut session = service.session("user0");
+    let local = ask(&mut session, sql)?;
+    assert_eq!(remote.rows, local.rows, "identical answers over either backend");
+
+    // 4. Profiles mutate over the wire too; the cached plan is invalidated.
+    client.add_selection("GENRE", "genre", "comedy".into(), 0.95)?;
+    println!("after a profile mutation over the wire:");
+    ask(&mut client, sql)?;
+
+    client.close();
+    handle.shutdown();
+    Ok(())
+}

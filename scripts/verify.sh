@@ -35,6 +35,15 @@ RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test chaos -
 echo "==> governor integration tests"
 cargo test "${CARGO_FLAGS[@]}" -p pqp --test governor --test governor_env -q
 
+# The network edge: end-to-end TCP integration, protocol robustness
+# (malformed/truncated/oversized frames, version mismatches, mid-query
+# disconnects) and server-boundary chaos, on both test schedules —
+# session-thread interleavings differ under a serial schedule too.
+echo "==> server suites (integration, robustness, chaos)"
+cargo test "${CARGO_FLAGS[@]}" -p pqp-server -q
+echo "==> server suites (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-server -q
+
 # No new unwrap()/expect() in non-test service/storage code (panics there
 # take lock-holding threads down mid-query; use typed errors instead).
 echo "==> unwrap/expect gate (crates/service, crates/storage)"
@@ -73,6 +82,28 @@ assert doc["meta"]["schema_version"] >= 2
 EOF
 else
     grep -q '"p99"' results/macro_load.json
+fi
+
+# The same harness over real loopback sockets: PQP_LOAD_MODE=tcp fronts
+# the service with an in-process pqp-server and must report non-zero
+# throughput with client-measured latency quantiles.
+echo "==> TCP load harness smoke (1s closed loop over loopback)"
+PQP_LOAD_MODE=tcp PQP_LOAD_SECONDS=1 PQP_LOAD_USERS=10 PQP_LOAD_WORKERS=2 \
+    cargo bench "${CARGO_FLAGS[@]}" -p pqp-bench --bench load
+grep -q '"throughput_qps"' results/macro_load_tcp.json
+if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/macro_load_tcp.json"))
+assert doc["throughput_qps"] > 0, "TCP throughput must be non-zero"
+assert doc["config"]["mode"] == "tcp"
+assert doc["latency_ms"]["source"] == "client"
+for key in ("p50", "p95", "p99"):
+    assert key in doc["latency_ms"], f"latency_ms.{key} missing"
+assert doc["meta"]["schema_version"] >= 2
+EOF
+else
+    grep -q '"p99"' results/macro_load_tcp.json
 fi
 
 echo "==> cargo test --doc"

@@ -18,7 +18,17 @@
 //!   owning one database plus a sharded profile store, prepared-query and
 //!   personalized-plan caches with epoch invalidation, [`Session::query`]
 //!   as the one front door (returning [`Result<Answer, Error>`](Error)),
-//!   and [`Service::query_batch`] for batch execution.
+//!   and [`Service::query_batch`] for batch execution;
+//! - [`wire`] — the versioned, length-prefixed binary protocol and the
+//!   blocking TCP [`Client`];
+//! - [`server`] — the `pqp-server` TCP session runtime (thread per
+//!   connection, typed error frames, admission control at the edge).
+//!
+//! The client-facing API is the [`QueryApi`] trait: both the in-process
+//! [`Session`] and the TCP [`Client`] implement it, so application code is
+//! written once and runs over either backend. Every answer carries
+//! [`AnswerMeta`] — the rewrite, K/M, [`DegradeLevel`], [`CacheOutcome`]
+//! and rows-scanned telemetry — in a stable wire-serializable shape.
 //!
 //! Every query runs under a **query governor**: a per-query [`Budget`]
 //! (deadline, rows scanned, memory) checked cooperatively at operator loop
@@ -38,12 +48,19 @@ pub use pqp_core as core;
 pub use pqp_datagen as datagen;
 pub use pqp_engine as engine;
 pub use pqp_obs as obs;
+pub use pqp_server as server;
 pub use pqp_service as service;
 pub use pqp_sql as sql;
 pub use pqp_storage as storage;
+pub use pqp_wire as wire;
 
 pub use analyze::{explain_analyze, explain_analyze_with, Analysis, Rewrite};
 pub use pqp_core::prelude;
 pub use pqp_engine::ExecOptions;
 pub use pqp_obs::{Budget, BudgetExceeded, BudgetReason, QueryCtx};
-pub use pqp_service::{Answer, DegradeLevel, Error, Service, ServiceConfig, Session, UserId};
+pub use pqp_server::{Server, ServerConfig, ServerHandle};
+pub use pqp_service::{
+    Answer, AnswerMeta, CacheOutcome, DegradeLevel, Error, ErrorCode, QueryApi, Service,
+    ServiceConfig, Session, UserId,
+};
+pub use pqp_wire::{Client, ClientConfig};

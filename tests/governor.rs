@@ -96,7 +96,7 @@ fn generous_budget_answers_match_the_unlimited_run() {
                 .query(&sql)
                 .unwrap();
             assert_eq!(plain.rows, governed.rows, "governed run diverged for {user}: `{sql}`");
-            assert_eq!(governed.degraded, DegradeLevel::None);
+            assert_eq!(governed.meta.degraded, DegradeLevel::None);
         }
     }
 }
@@ -138,13 +138,13 @@ fn injected_personalization_trip_degrades_and_reports_the_level() {
         // Two injected trips walk the ladder past ReducedK to MandatoryOnly.
         failpoint::configure("select.budget", "2*error").unwrap();
         let degraded = service.session("julie").query(&sql).unwrap();
-        assert_eq!(degraded.degraded, DegradeLevel::MandatoryOnly);
-        assert!(!degraded.plan_cached, "degraded answers never come from the cache");
+        assert_eq!(degraded.meta.degraded, DegradeLevel::MandatoryOnly);
+        assert!(!degraded.meta.cache.is_hit(), "degraded answers never come from the cache");
         failpoint::clear();
         // The degraded plan was not cached: full fidelity returns at once.
         let full = service.session("julie").query(&sql).unwrap();
-        assert_eq!(full.degraded, DegradeLevel::None);
-        assert_eq!(full.k, 3, "full personalization selects top-3 again");
+        assert_eq!(full.meta.degraded, DegradeLevel::None);
+        assert_eq!(full.meta.k, 3, "full personalization selects top-3 again");
     });
 }
 
