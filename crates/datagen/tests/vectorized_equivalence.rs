@@ -1,0 +1,32 @@
+//! The ISSUE's corpus-level differential check: over a generated movies
+//! database (Zipf-skewed, multi-page, multi-batch tables) and the standard
+//! random SPJ query workload, batched execution must return byte-identical
+//! rows to the tuple-at-a-time path — serially and under a 4-thread budget
+//! (the `PQP_THREADS=4` shape, set here via [`ExecOptions`] rather than the
+//! environment so parallel test binaries don't race on env vars).
+
+use pqp_datagen::{generate, generate_queries, MovieDbConfig, QueryGenConfig};
+use pqp_engine::ExecOptions;
+
+#[test]
+fn batched_matches_tuple_over_movie_corpus() {
+    let m = generate(MovieDbConfig::default());
+    let db = &m.db;
+    let selective = generate_queries(60, &m.pools, &QueryGenConfig::default());
+    let broad = generate_queries(20, &m.pools, &QueryGenConfig::broad());
+    let budgets = [ExecOptions::serial(), ExecOptions::with_threads(4).min_parallel_rows(512)];
+    for query in selective.iter().chain(&broad) {
+        let plan = db.plan(query).unwrap();
+        for opts in &budgets {
+            let tuple = db.run_plan_with(&plan, &opts.batched(false)).unwrap();
+            let batched = db.run_plan_with(&plan, &opts.batched(true)).unwrap();
+            assert_eq!(
+                tuple.rows,
+                batched.rows,
+                "batched diverged (threads={}) on `{query}`:\n{}",
+                opts.threads,
+                plan.explain()
+            );
+        }
+    }
+}

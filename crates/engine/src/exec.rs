@@ -6,6 +6,15 @@
 //! smaller side; grouping and duplicate elimination preserve first-seen
 //! order so results are deterministic.
 //!
+//! By default ([`ExecOptions::batched`]) the hot path — scan, filter,
+//! project, hash-join probe, limit — runs column-oriented over
+//! [`pqp_storage::Batch`]es of ~[`pqp_storage::BATCH_SIZE`] rows in the
+//! `vexec` module, which produces byte-identical rows to the
+//! tuple-at-a-time functions in this module (the `PQP_BATCHED=0` escape
+//! hatch and the differential tests hold it to that). This module remains
+//! the reference semantics: `vexec` falls back to the row helpers here for
+//! every operator it does not vectorize.
+//!
 //! ## Intra-query parallelism
 //!
 //! [`execute_with`] accepts an [`ExecOptions`] thread budget. When
@@ -61,11 +70,16 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Inputs below this row count stay serial even when `threads > 1`.
     pub min_parallel_rows: usize,
+    /// Process rows in column-oriented batches (`crate::vexec`) instead of
+    /// one boxed tuple at a time. On by default; both paths return
+    /// byte-identical rows, so this is a performance escape hatch, not a
+    /// semantic switch.
+    pub batched: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> ExecOptions {
-        ExecOptions { threads: 1, min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS }
+        ExecOptions { threads: 1, min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS, batched: true }
     }
 }
 
@@ -87,14 +101,26 @@ impl ExecOptions {
         self
     }
 
+    /// Disable or re-enable batched execution (builder-style).
+    pub fn batched(mut self, on: bool) -> ExecOptions {
+        self.batched = on;
+        self
+    }
+
     /// Read the thread budget from the `PQP_THREADS` environment variable
-    /// (serial when unset or unparsable).
+    /// (serial when unset or unparsable) and the execution mode from
+    /// `PQP_BATCHED` (`0`, `false` or `off` select the tuple-at-a-time
+    /// path; anything else, including unset, keeps batching on).
     pub fn from_env() -> ExecOptions {
         let threads = std::env::var("PQP_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .unwrap_or(1);
-        ExecOptions::with_threads(threads)
+        let batched = match std::env::var("PQP_BATCHED") {
+            Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
+            Err(_) => true,
+        };
+        ExecOptions::with_threads(threads).batched(batched)
     }
 
     /// Whether any operator may go parallel under this budget.
@@ -146,12 +172,17 @@ pub fn execute_ctx(
     opts: &ExecOptions,
     ctx: &QueryCtx,
 ) -> Result<Vec<Row>> {
-    run(&Env { catalog, opts, ctx }, plan)
+    let env = Env { catalog, opts, ctx };
+    if opts.batched {
+        crate::vexec::run_root(&env, plan)
+    } else {
+        run(&env, plan)
+    }
 }
 
 /// The recursive workhorse: span + estimate bookkeeping around
 /// [`execute_op`], plus the per-operator governor checkpoint.
-fn run(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
+pub(crate) fn run(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
     env.ctx.checkpoint()?;
     let _span = pqp_obs::span(op_name(plan));
     if pqp_obs::trace_active() {
@@ -166,7 +197,7 @@ fn run(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
     Ok(rows)
 }
 
-fn op_name(plan: &Plan) -> &'static str {
+pub(crate) fn op_name(plan: &Plan) -> &'static str {
     match plan {
         Plan::Empty { .. } => "exec.empty",
         Plan::Scan { .. } => "exec.scan",
@@ -194,52 +225,7 @@ fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
         }
         Plan::IndexScan { table, column, key, residual, .. } => {
             pqp_obs::record("table", table.as_str());
-            let t = env.catalog.table(table)?;
-            let t = t.read();
-            match t.index_lookup(column, key) {
-                Some(hits) => {
-                    pqp_obs::record("strategy", "index_scan");
-                    let mut out = Vec::new();
-                    let mut pending = 0u64;
-                    for row in hits? {
-                        pending += 1;
-                        if pending == CHARGE_BATCH_ROWS {
-                            ctx.charge_rows(pending)?;
-                            pending = 0;
-                        }
-                        if let Some(f) = residual {
-                            if !f.eval_predicate(&row)? {
-                                continue;
-                            }
-                        }
-                        out.push(row);
-                    }
-                    ctx.charge_rows(pending)?;
-                    Ok(out)
-                }
-                None => {
-                    // The index was dropped after planning: reconstruct the
-                    // full pushed-down predicate and fall back to a scan.
-                    let Some(col) = t.schema().column_index(column) else {
-                        return bind_err(format!("unknown column `{column}` in `{table}`"));
-                    };
-                    let eq = BoundExpr::Binary {
-                        left: Box::new(BoundExpr::Column(col)),
-                        op: BinaryOp::Eq,
-                        right: Box::new(BoundExpr::Literal(key.clone())),
-                    };
-                    let pred = match residual {
-                        Some(r) => BoundExpr::Binary {
-                            left: Box::new(eq),
-                            op: BinaryOp::And,
-                            right: Box::new(r.clone()),
-                        },
-                        None => eq,
-                    };
-                    drop(t);
-                    scan(env, table, Some(&pred))
-                }
-            }
+            index_scan(env, table, column, key, residual.as_ref())
         }
         Plan::IndexJoin { probe, probe_key, table, column, filter, probe_is_left, .. } => {
             let probe_rows = run(env, probe)?;
@@ -248,19 +234,7 @@ fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
         Plan::Filter { input, predicate } => {
             let rows = run(env, input)?;
             pqp_obs::record("rows_in", rows.len());
-            if let Some(parts) = env.opts.partitions_for(rows.len()) {
-                return par::filter_partitioned(rows, predicate, parts, ctx);
-            }
-            let mut out = Vec::with_capacity(rows.len() / 2);
-            for (i, row) in rows.into_iter().enumerate() {
-                if i & (CHECKPOINT_STRIDE - 1) == 0 {
-                    ctx.checkpoint()?;
-                }
-                if predicate.eval_predicate(&row)? {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+            filter_rows(env, rows, predicate)
         }
         Plan::HashJoin { left, right, left_keys, right_keys, .. } => {
             // Index-nested-loop when one side is a base-table scan with a
@@ -290,47 +264,11 @@ fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
             let rrows = run(env, right)?;
             pqp_obs::record("left_rows", lrows.len());
             pqp_obs::record("right_rows", rrows.len());
-            // Cap the pre-allocation: a huge product should grow lazily (and
-            // fail late with partial progress) rather than request the whole
-            // worst case up front.
-            let cap = lrows.len().saturating_mul(rrows.len()).min(1 << 20);
-            let mut out = Vec::with_capacity(cap);
-            // The one operator that can explode quadratically: charge
-            // memory per output batch so a runaway product trips the budget
-            // instead of exhausting the machine.
-            let mut pending_mem = 0u64;
-            for l in &lrows {
-                for r in &rrows {
-                    let mut row = l.clone();
-                    row.extend(r.iter().cloned());
-                    pending_mem += approx_row_bytes(row.len());
-                    out.push(row);
-                    if out.len() & (CHECKPOINT_STRIDE - 1) == 0 {
-                        ctx.charge_mem(pending_mem)?;
-                        pending_mem = 0;
-                    }
-                }
-            }
-            ctx.charge_mem(pending_mem)?;
-            Ok(out)
+            cross_join_rows(ctx, lrows, rrows)
         }
         Plan::Project { input, exprs, .. } => {
             let rows = run(env, input)?;
-            if let Some(parts) = env.opts.partitions_for(rows.len()) {
-                return par::project_partitioned(rows, exprs, parts, ctx);
-            }
-            let mut out = Vec::with_capacity(rows.len());
-            for (i, row) in rows.into_iter().enumerate() {
-                if i & (CHECKPOINT_STRIDE - 1) == 0 {
-                    ctx.checkpoint()?;
-                }
-                let mut projected = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    projected.push(e.eval(&row)?);
-                }
-                out.push(projected);
-            }
-            Ok(out)
+            project_rows(env, rows, exprs)
         }
         Plan::Aggregate { input, group_by, aggs, .. } => {
             let rows = run(env, input)?;
@@ -339,30 +277,11 @@ fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
         }
         Plan::Distinct { input } => {
             let rows = run(env, input)?;
-            let mut seen = HashSet::with_capacity(rows.len());
-            let mut out = Vec::new();
-            for (i, row) in rows.into_iter().enumerate() {
-                if i & (CHECKPOINT_STRIDE - 1) == 0 {
-                    ctx.checkpoint()?;
-                }
-                if seen.insert(row.clone()) {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+            distinct_rows(ctx, rows)
         }
         Plan::Sort { input, keys } => {
             let mut rows = run(env, input)?;
-            rows.sort_by(|a, b| {
-                for (idx, desc) in keys {
-                    let ord = a[*idx].cmp(&b[*idx]);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if !ord.is_eq() {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            sort_rows(&mut rows, keys);
             Ok(rows)
         }
         Plan::Limit { input, n } => {
@@ -385,39 +304,112 @@ fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
     }
 }
 
+/// Execute a [`Plan::IndexScan`]: an index point lookup plus residual
+/// filter, falling back to a full scan (with the reconstructed predicate)
+/// when the index was dropped after planning.
+pub(crate) fn index_scan(
+    env: &Env,
+    table: &str,
+    column: &str,
+    key: &Value,
+    residual: Option<&BoundExpr>,
+) -> Result<Vec<Row>> {
+    let ctx = env.ctx;
+    let t = env.catalog.table(table)?;
+    let t = t.read();
+    match t.index_lookup(column, key) {
+        Some(hits) => {
+            pqp_obs::record("strategy", "index_scan");
+            let mut out = Vec::new();
+            let mut pending = 0u64;
+            for row in hits? {
+                pending += 1;
+                if pending == CHARGE_BATCH_ROWS {
+                    ctx.charge_rows(pending)?;
+                    pending = 0;
+                }
+                if let Some(f) = residual {
+                    if !f.eval_predicate(&row)? {
+                        continue;
+                    }
+                }
+                out.push(row);
+            }
+            ctx.charge_rows(pending)?;
+            Ok(out)
+        }
+        None => {
+            // The index was dropped after planning: reconstruct the
+            // full pushed-down predicate and fall back to a scan.
+            let Some(col) = t.schema().column_index(column) else {
+                return bind_err(format!("unknown column `{column}` in `{table}`"));
+            };
+            let eq = BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column(col)),
+                op: BinaryOp::Eq,
+                right: Box::new(BoundExpr::Literal(key.clone())),
+            };
+            let pred = match residual {
+                Some(r) => BoundExpr::Binary {
+                    left: Box::new(eq),
+                    op: BinaryOp::And,
+                    right: Box::new(r.clone()),
+                },
+                None => eq,
+            };
+            drop(t);
+            scan(env, table, Some(&pred))
+        }
+    }
+}
+
+/// Serve a filtered scan through a hash index when the pushed-down filter
+/// has a `col = literal` conjunct over an indexed column. `Ok(None)` means
+/// no such conjunct: the caller falls through to a full heap scan. Shared
+/// by the tuple and batched scan paths.
+pub(crate) fn scan_index_shortcut(
+    t: &Table,
+    f: &BoundExpr,
+    ctx: &QueryCtx,
+) -> Result<Option<Vec<Row>>> {
+    for conjunct in split_and(f) {
+        let Some((col, value)) = as_eq_literal(conjunct) else {
+            continue;
+        };
+        if value.is_null() {
+            continue; // `= NULL` can never be TRUE; fall through to scan
+        }
+        let name = &t.schema().columns[col].name;
+        if let Some(hits) = t.index_lookup(name, value) {
+            let mut out = Vec::new();
+            let mut pending = 0u64;
+            for row in hits? {
+                pending += 1;
+                if pending == CHARGE_BATCH_ROWS {
+                    ctx.charge_rows(pending)?;
+                    pending = 0;
+                }
+                if f.eval_predicate(&row)? {
+                    out.push(row);
+                }
+            }
+            ctx.charge_rows(pending)?;
+            return Ok(Some(out));
+        }
+    }
+    Ok(None)
+}
+
 /// Scan a base table, using a hash index for an equality conjunct of the
 /// pushed-down filter when one exists; otherwise a full (possibly
 /// partitioned-parallel) heap scan.
-fn scan(env: &Env, table: &str, filter: Option<&BoundExpr>) -> Result<Vec<Row>> {
+pub(crate) fn scan(env: &Env, table: &str, filter: Option<&BoundExpr>) -> Result<Vec<Row>> {
     let ctx = env.ctx;
     let t = env.catalog.table(table)?;
     let t = t.read();
     if let Some(f) = filter {
-        // Look for a `col = literal` conjunct over an indexed column.
-        for conjunct in split_and(f) {
-            let Some((col, value)) = as_eq_literal(conjunct) else {
-                continue;
-            };
-            if value.is_null() {
-                continue; // `= NULL` can never be TRUE; fall through to scan
-            }
-            let name = &t.schema().columns[col].name;
-            if let Some(hits) = t.index_lookup(name, value) {
-                let mut out = Vec::new();
-                let mut pending = 0u64;
-                for row in hits? {
-                    pending += 1;
-                    if pending == CHARGE_BATCH_ROWS {
-                        ctx.charge_rows(pending)?;
-                        pending = 0;
-                    }
-                    if f.eval_predicate(&row)? {
-                        out.push(row);
-                    }
-                }
-                ctx.charge_rows(pending)?;
-                return Ok(out);
-            }
+        if let Some(out) = scan_index_shortcut(&t, f, ctx)? {
+            return Ok(out);
         }
     }
     if let Some(parts) = env.opts.partitions_for(t.len()) {
@@ -477,6 +469,106 @@ pub(crate) fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
     }
 }
 
+/// Tuple-at-a-time filter over materialized rows, parallel when the budget
+/// allows.
+pub(crate) fn filter_rows(env: &Env, rows: Vec<Row>, predicate: &BoundExpr) -> Result<Vec<Row>> {
+    let ctx = env.ctx;
+    if let Some(parts) = env.opts.partitions_for(rows.len()) {
+        return par::filter_partitioned(rows, predicate, parts, ctx);
+    }
+    let mut out = Vec::with_capacity(rows.len() / 2);
+    for (i, row) in rows.into_iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
+        if predicate.eval_predicate(&row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Tuple-at-a-time projection over materialized rows, parallel when the
+/// budget allows.
+pub(crate) fn project_rows(env: &Env, rows: Vec<Row>, exprs: &[BoundExpr]) -> Result<Vec<Row>> {
+    let ctx = env.ctx;
+    if let Some(parts) = env.opts.partitions_for(rows.len()) {
+        return par::project_partitioned(rows, exprs, parts, ctx);
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.into_iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
+        let mut projected = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            projected.push(e.eval(&row)?);
+        }
+        out.push(projected);
+    }
+    Ok(out)
+}
+
+/// Cartesian product of two materialized sides.
+pub(crate) fn cross_join_rows(
+    ctx: &QueryCtx,
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+) -> Result<Vec<Row>> {
+    // Cap the pre-allocation: a huge product should grow lazily (and
+    // fail late with partial progress) rather than request the whole
+    // worst case up front.
+    let cap = lrows.len().saturating_mul(rrows.len()).min(1 << 20);
+    let mut out = Vec::with_capacity(cap);
+    // The one operator that can explode quadratically: charge
+    // memory per output batch so a runaway product trips the budget
+    // instead of exhausting the machine.
+    let mut pending_mem = 0u64;
+    for l in &lrows {
+        for r in &rrows {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            pending_mem += approx_row_bytes(row.len());
+            out.push(row);
+            if out.len() & (CHECKPOINT_STRIDE - 1) == 0 {
+                ctx.charge_mem(pending_mem)?;
+                pending_mem = 0;
+            }
+        }
+    }
+    ctx.charge_mem(pending_mem)?;
+    Ok(out)
+}
+
+/// Duplicate elimination preserving first-seen order.
+pub(crate) fn distinct_rows(ctx: &QueryCtx, rows: Vec<Row>) -> Result<Vec<Row>> {
+    let mut seen = HashSet::with_capacity(rows.len());
+    let mut out = Vec::new();
+    for (i, row) in rows.into_iter().enumerate() {
+        if i & (CHECKPOINT_STRIDE - 1) == 0 {
+            ctx.checkpoint()?;
+        }
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// In-place multi-key sort by output column positions.
+pub(crate) fn sort_rows(rows: &mut [Row], keys: &[(usize, bool)]) {
+    rows.sort_by(|a, b| {
+        for (idx, desc) in keys {
+            let ord = a[*idx].cmp(&b[*idx]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
 /// Index-nested-loop join: execute `probe`, and for each probe row fetch
 /// matches from `scan_side` (which must be a base-table scan with an index
 /// on its single join column). Returns `None` when the shape or the size
@@ -484,7 +576,7 @@ pub(crate) fn as_eq_literal(e: &BoundExpr) -> Option<(usize, &Value)> {
 /// analyzed tables the planner owns the index-join decision
 /// ([`Plan::IndexJoin`]); this runtime sniffing only covers un-analyzed
 /// tables.
-fn try_index_join(
+pub(crate) fn try_index_join(
     env: &Env,
     probe: &Plan,
     scan_side: &Plan,
@@ -528,7 +620,7 @@ fn try_index_join(
 /// when the probe side turns out large relative to the table, or the index
 /// is missing at runtime, fall back to hashing.
 #[allow(clippy::too_many_arguments)]
-fn index_join(
+pub(crate) fn index_join(
     env: &Env,
     probe_rows: Vec<Row>,
     probe_key: usize,
@@ -635,7 +727,7 @@ fn hash_join_oriented(
 /// when the thread budget and input size allow, the serial one otherwise.
 /// Both produce identical rows in identical order (probe order, and
 /// build-insertion order within one key).
-fn join_rows(
+pub(crate) fn join_rows(
     env: &Env,
     lrows: Vec<Row>,
     rrows: Vec<Row>,
@@ -710,7 +802,7 @@ fn hash_join(
     Ok(out)
 }
 
-fn aggregate(
+pub(crate) fn aggregate(
     rows: Vec<Row>,
     group_by: &[BoundExpr],
     aggs: &[crate::aggregate::AggCall],

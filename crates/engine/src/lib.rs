@@ -60,6 +60,8 @@ pub mod plan;
 pub mod planner;
 pub mod rewrite;
 pub mod types;
+mod vexec;
+mod vexpr;
 
 pub use cost::Estimator;
 pub use error::{EngineError, Result};

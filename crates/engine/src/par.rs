@@ -57,12 +57,12 @@ use std::thread::ScopedJoinHandle;
 
 /// Count workers spawned by a parallel operator (the never-spawns-when-
 /// serial regression tests watch this counter).
-fn count_workers(n: usize) {
+pub(crate) fn count_workers(n: usize) {
     pqp_obs::counter_add("exec.parallel.workers", n as i64);
 }
 
 /// Record the partition fan-out of the current operator's span.
-fn record_partitions(sizes: &[usize]) {
+pub(crate) fn record_partitions(sizes: &[usize]) {
     pqp_obs::record("partitions", sizes.len());
     pqp_obs::record("partition_rows", format!("{sizes:?}"));
 }
@@ -70,7 +70,7 @@ fn record_partitions(sizes: &[usize]) {
 /// The `par.worker` failpoint, fired at every worker's entry: `error` fails
 /// that worker's partition, `panic` exercises the panic-isolation path
 /// below, `delay` stretches the worker so deadlines trip mid-operator.
-fn worker_failpoint() -> Result<()> {
+pub(crate) fn worker_failpoint() -> Result<()> {
     match pqp_obs::failpoint::fire("par.worker") {
         Some(msg) => Err(EngineError::Internal(format!("failpoint par.worker: {msg}"))),
         None => Ok(()),
@@ -80,7 +80,7 @@ fn worker_failpoint() -> Result<()> {
 /// Join a scoped worker, converting a worker panic into a typed
 /// [`EngineError::Internal`] instead of propagating the unwind: the query
 /// fails, the scope still joins every other worker, the process lives on.
-fn join_worker<T>(handle: ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
+pub(crate) fn join_worker<T>(handle: ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
     match handle.join() {
         Ok(result) => result,
         Err(payload) => {

@@ -1,0 +1,292 @@
+//! Vectorized expression evaluation over [`Batch`] columns.
+//!
+//! The contract is strict: every function here is **observably identical**
+//! to evaluating the same [`BoundExpr`] with `BoundExpr::eval` against each
+//! materialized row — same selected rows, same projected values, and an
+//! error exactly when the tuple path would error (in exotic rows carrying
+//! *multiple* latent errors, which error surfaces may differ; both paths
+//! still fail). Typed comparison kernels are used only where the column
+//! representation proves them exact; everything else falls back to a
+//! per-row loop over materialized rows, which is trivially exact.
+//!
+//! Three-valued logic is evaluated as a per-row tri-state ([`Tri`]):
+//! `AND`/`OR` first evaluate their left side over the whole selection (the
+//! tuple path also always evaluates the left), then the right side only over
+//! the sub-selection the left did not decide — preserving the tuple path's
+//! guarantee that `x <> 0 AND 10 / x > 1` never divides by zero on a
+//! filtered-out row.
+
+use crate::bound::BoundExpr;
+use crate::error::{exec_err, Result};
+use pqp_sql::BinaryOp;
+use pqp_storage::{total_fcmp, Batch, Column, ColumnData, Value};
+use std::cmp::Ordering;
+
+/// The row indices of `batch` (in order) whose predicate evaluates to TRUE
+/// — the batched equivalent of `BoundExpr::eval_predicate` per row.
+pub(crate) fn select_true(pred: &BoundExpr, batch: &Batch) -> Result<Vec<u32>> {
+    let sel: Vec<u32> = (0..batch.len() as u32).collect();
+    let tri = eval_tri(pred, batch, &sel)?;
+    Ok(sel.into_iter().zip(tri).filter(|(_, t)| matches!(t, Tri::T)).map(|(i, _)| i).collect())
+}
+
+/// Project a batch through output expressions — the batched equivalent of
+/// `BoundExpr::eval` per row per expression.
+///
+/// Column references copy the input column wholesale and literals broadcast
+/// without touching rows; any other expression shape drops to one
+/// row-at-a-time pass (rows materialized once, expressions evaluated
+/// left-to-right — the tuple path's exact error order).
+pub(crate) fn project_batch(exprs: &[BoundExpr], batch: &Batch) -> Result<Batch> {
+    let n = batch.len();
+    let mut cols: Vec<Option<Column>> = exprs
+        .iter()
+        .map(|e| match e {
+            BoundExpr::Column(i) => Some(batch.column(*i).clone()),
+            BoundExpr::Literal(v) => {
+                Some(Column::from_values(std::iter::repeat_n(v.clone(), n).collect()))
+            }
+            _ => None,
+        })
+        .collect();
+    if cols.iter().any(Option::is_none) {
+        let mut vals: Vec<Vec<Value>> = exprs.iter().map(|_| Vec::new()).collect();
+        for i in 0..n {
+            let row = batch.row(i);
+            for (j, e) in exprs.iter().enumerate() {
+                if cols[j].is_none() {
+                    vals[j].push(e.eval(&row)?);
+                }
+            }
+        }
+        for (j, c) in cols.iter_mut().enumerate() {
+            if c.is_none() {
+                *c = Some(Column::from_values(std::mem::take(&mut vals[j])));
+            }
+        }
+    }
+    Ok(Batch::from_columns(cols.into_iter().flatten().collect()))
+}
+
+/// Per-row predicate state: TRUE, FALSE, NULL, or a non-boolean value that
+/// becomes a type error if (and only if) a logical connective must inspect
+/// it — mirroring `expect_bool` in the tuple evaluator.
+enum Tri {
+    T,
+    F,
+    N,
+    X(Value),
+}
+
+fn classify(v: Value) -> Tri {
+    match v {
+        Value::Bool(true) => Tri::T,
+        Value::Bool(false) => Tri::F,
+        Value::Null => Tri::N,
+        other => Tri::X(other),
+    }
+}
+
+/// Evaluate `e` as a tri-state for each row of `sel` (ascending row
+/// indices), returning one entry per selected row.
+fn eval_tri(e: &BoundExpr, batch: &Batch, sel: &[u32]) -> Result<Vec<Tri>> {
+    match e {
+        BoundExpr::Literal(v) => Ok(sel.iter().map(|_| classify(v.clone())).collect()),
+        BoundExpr::Column(c) => {
+            let col = batch.column(*c);
+            Ok(sel
+                .iter()
+                .map(|&i| {
+                    let i = i as usize;
+                    if col.is_null(i) {
+                        Tri::N
+                    } else if let ColumnData::Bool(v) = col.data() {
+                        if v[i] {
+                            Tri::T
+                        } else {
+                            Tri::F
+                        }
+                    } else {
+                        classify(col.value(i))
+                    }
+                })
+                .collect())
+        }
+        BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+            // Kleene AND, FALSE-dominant: the right side is evaluated only
+            // where the left is not FALSE (matching the tuple short-circuit).
+            let l = eval_tri(left, batch, sel)?;
+            let sub: Vec<u32> =
+                sel.iter().zip(&l).filter(|(_, t)| !matches!(t, Tri::F)).map(|(&i, _)| i).collect();
+            let mut r = eval_tri(right, batch, &sub)?.into_iter();
+            l.into_iter()
+                .map(|lt| {
+                    if matches!(lt, Tri::F) {
+                        return Ok(Tri::F);
+                    }
+                    let Some(rt) = r.next() else {
+                        return exec_err("AND sub-selection misaligned");
+                    };
+                    match (lt, rt) {
+                        (Tri::F, _) | (_, Tri::F) => Ok(Tri::F),
+                        (Tri::N, _) | (_, Tri::N) => Ok(Tri::N),
+                        (Tri::X(v), _) | (_, Tri::X(v)) => {
+                            exec_err(format!("expected boolean, found `{v}`"))
+                        }
+                        (Tri::T, Tri::T) => Ok(Tri::T),
+                    }
+                })
+                .collect()
+        }
+        BoundExpr::Binary { left, op: BinaryOp::Or, right } => {
+            // Kleene OR, TRUE-dominant.
+            let l = eval_tri(left, batch, sel)?;
+            let sub: Vec<u32> =
+                sel.iter().zip(&l).filter(|(_, t)| !matches!(t, Tri::T)).map(|(&i, _)| i).collect();
+            let mut r = eval_tri(right, batch, &sub)?.into_iter();
+            l.into_iter()
+                .map(|lt| {
+                    if matches!(lt, Tri::T) {
+                        return Ok(Tri::T);
+                    }
+                    let Some(rt) = r.next() else {
+                        return exec_err("OR sub-selection misaligned");
+                    };
+                    match (lt, rt) {
+                        (Tri::T, _) | (_, Tri::T) => Ok(Tri::T),
+                        (Tri::N, _) | (_, Tri::N) => Ok(Tri::N),
+                        (Tri::X(v), _) | (_, Tri::X(v)) => {
+                            exec_err(format!("expected boolean, found `{v}`"))
+                        }
+                        (Tri::F, Tri::F) => Ok(Tri::F),
+                    }
+                })
+                .collect()
+        }
+        BoundExpr::Binary { left, op, right } => {
+            if let Some(tri) = cmp_kernel(left, *op, right, batch, sel)? {
+                return Ok(tri);
+            }
+            per_row(e, batch, sel)
+        }
+        BoundExpr::Not(inner) => eval_tri(inner, batch, sel)?
+            .into_iter()
+            .map(|t| match t {
+                Tri::T => Ok(Tri::F),
+                Tri::F => Ok(Tri::T),
+                Tri::N => Ok(Tri::N),
+                Tri::X(v) => exec_err(format!("NOT applied to non-boolean `{v}`")),
+            })
+            .collect(),
+        BoundExpr::IsNull { expr, negated } => {
+            if let BoundExpr::Column(c) = &**expr {
+                let col = batch.column(*c);
+                return Ok(sel
+                    .iter()
+                    .map(|&i| if col.is_null(i as usize) != *negated { Tri::T } else { Tri::F })
+                    .collect());
+            }
+            per_row(e, batch, sel)
+        }
+        BoundExpr::InList { .. } => per_row(e, batch, sel),
+    }
+}
+
+/// Exact fallback: materialize each selected row and evaluate the tuple
+/// way. Errors surface at the first erring row in selection (= row) order,
+/// exactly as the tuple loop would.
+fn per_row(e: &BoundExpr, batch: &Batch, sel: &[u32]) -> Result<Vec<Tri>> {
+    sel.iter()
+        .map(|&i| {
+            let row = batch.row(i as usize);
+            Ok(classify(e.eval(&row)?))
+        })
+        .collect()
+}
+
+/// Typed comparison kernel for `column <op> literal` (either orientation).
+/// Returns `Ok(None)` when no kernel is provably exact for this shape —
+/// `Val`-represented columns, non-literal operands, ordered comparison
+/// across incomparable type classes (which must error per row, in row
+/// order), and arithmetic (whose div-by-zero errors are likewise
+/// row-ordered) all take the per-row fallback.
+fn cmp_kernel(
+    left: &BoundExpr,
+    op: BinaryOp,
+    right: &BoundExpr,
+    batch: &Batch,
+    sel: &[u32],
+) -> Result<Option<Vec<Tri>>> {
+    use BinaryOp::*;
+    if !matches!(op, Eq | NotEq | Lt | LtEq | Gt | GtEq) {
+        return Ok(None);
+    }
+    let (c, lit, col_is_left) = match (left, right) {
+        (BoundExpr::Column(c), BoundExpr::Literal(v)) => (*c, v, true),
+        (BoundExpr::Literal(v), BoundExpr::Column(c)) => (*c, v, false),
+        _ => return Ok(None),
+    };
+    let col = batch.column(c);
+    if lit.is_null() {
+        // NULL propagates through every comparison.
+        return Ok(Some(sel.iter().map(|_| Tri::N).collect()));
+    }
+    let build = |ord_of: &dyn Fn(usize) -> Ordering| -> Vec<Tri> {
+        sel.iter()
+            .map(|&i| {
+                let i = i as usize;
+                if col.is_null(i) {
+                    return Tri::N;
+                }
+                // `ord_of` compares column-value vs literal; flip for the
+                // `literal <op> column` orientation.
+                let ord = if col_is_left { ord_of(i) } else { ord_of(i).reverse() };
+                let pass = match op {
+                    Eq => ord.is_eq(),
+                    NotEq => ord.is_ne(),
+                    Lt => ord.is_lt(),
+                    LtEq => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    GtEq => ord.is_ge(),
+                    _ => false,
+                };
+                if pass {
+                    Tri::T
+                } else {
+                    Tri::F
+                }
+            })
+            .collect()
+    };
+    // Same-class comparisons reproduce `Value::cmp` exactly: Int–Int stays
+    // exact 64-bit, mixed numerics go through the same `total_fcmp` the
+    // scalar path uses.
+    Ok(match (col.data(), lit) {
+        (ColumnData::Int(v), Value::Int(x)) => Some(build(&|i| v[i].cmp(x))),
+        (ColumnData::Int(v), Value::Float(x)) => Some(build(&|i| total_fcmp(v[i] as f64, *x))),
+        (ColumnData::Float(v), Value::Int(x)) => Some(build(&|i| total_fcmp(v[i], *x as f64))),
+        (ColumnData::Float(v), Value::Float(x)) => Some(build(&|i| total_fcmp(v[i], *x))),
+        (ColumnData::Str(v), Value::Str(x)) => Some(build(&|i| (*v[i]).cmp(x.as_str()))),
+        (ColumnData::Bool(v), Value::Bool(x)) => Some(build(&|i| v[i].cmp(x))),
+        // Cross-class equality never errors and never matches (distinct
+        // type ranks compare unequal); ordered cross-class comparison is a
+        // per-row type error, so it is NOT kerneled.
+        (
+            ColumnData::Int(_) | ColumnData::Float(_) | ColumnData::Bool(_) | ColumnData::Str(_),
+            _,
+        ) if matches!(op, Eq | NotEq) => Some(
+            sel.iter()
+                .map(|&i| {
+                    if col.is_null(i as usize) {
+                        Tri::N
+                    } else if matches!(op, NotEq) {
+                        Tri::T
+                    } else {
+                        Tri::F
+                    }
+                })
+                .collect(),
+        ),
+        _ => None,
+    })
+}

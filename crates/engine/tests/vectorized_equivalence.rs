@@ -1,0 +1,282 @@
+//! Differential testing of the batched (vectorized) executor against the
+//! tuple-at-a-time reference: for random databases and random queries —
+//! including NULL-heavy columns, mixed-type comparisons and
+//! division-by-zero-prone arithmetic — `ExecOptions::batched(true)` must
+//! return **byte-identical rows in identical order** to
+//! `ExecOptions::batched(false)`, serially and under a thread budget. When
+//! the tuple path errors, the batched path must error too.
+
+use pqp_engine::{Database, ExecOptions};
+use pqp_obs::rng::{Rng, SmallRng};
+use pqp_sql::ast::*;
+use pqp_sql::builder as b;
+use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema, Value};
+
+const TABLES: &[(&str, &[(&str, DataType)])] = &[
+    ("T0", &[("a", DataType::Int), ("b", DataType::Float), ("c", DataType::Str)]),
+    ("T1", &[("d", DataType::Int), ("e", DataType::Str)]),
+    ("T2", &[("f", DataType::Int), ("g", DataType::Bool)]),
+];
+
+const STRINGS: &[&str] = &["x", "y", "z", ""];
+
+fn arb_value(rng: &mut SmallRng, ty: DataType) -> Value {
+    // 1-in-4 NULLs so three-valued logic and null masks get exercised.
+    if rng.gen_bool(0.25) {
+        return Value::Null;
+    }
+    match ty {
+        DataType::Int => Value::Int(rng.gen_range(0..4i64)),
+        DataType::Float => Value::Float(rng.gen_range(0..8i64) as f64 / 2.0),
+        DataType::Bool => Value::Bool(rng.gen_bool(0.5)),
+        DataType::Str => Value::from(STRINGS[rng.gen_index(STRINGS.len())]),
+    }
+}
+
+fn arb_db(rng: &mut SmallRng, max_rows: usize) -> Database {
+    let mut c = Catalog::new();
+    for (name, cols) in TABLES {
+        let schema = TableSchema::new(
+            *name,
+            cols.iter().map(|(n, ty)| ColumnDef::nullable(*n, *ty)).collect(),
+        );
+        let t = c.create_table(schema).unwrap();
+        let mut t = t.write();
+        let n = rng.gen_range(0..max_rows);
+        for _ in 0..n {
+            let row: Vec<Value> = cols.iter().map(|(_, ty)| arb_value(rng, *ty)).collect();
+            t.insert(row).unwrap();
+        }
+    }
+    Database::new(c)
+}
+
+fn columns_of(table_idx: usize) -> &'static [(&'static str, DataType)] {
+    TABLES[table_idx].1
+}
+
+fn arb_column(rng: &mut SmallRng, factors: &[usize]) -> (Expr, DataType) {
+    let fi = rng.gen_index(factors.len());
+    let cols = columns_of(factors[fi]);
+    let (name, ty) = cols[rng.gen_index(cols.len())];
+    (b::col(format!("q{fi}"), name), ty)
+}
+
+fn arb_literal(rng: &mut SmallRng, ty: DataType) -> Value {
+    match ty {
+        DataType::Int => Value::Int(rng.gen_range(0..4i64)),
+        DataType::Float => Value::Float(rng.gen_range(0..8i64) as f64 / 2.0),
+        DataType::Bool => Value::Bool(rng.gen_bool(0.5)),
+        DataType::Str => Value::from(STRINGS[rng.gen_index(STRINGS.len())]),
+    }
+}
+
+/// Random predicates biased toward the batched path's hazards: typed
+/// comparison kernels (column vs literal, both orientations), cross-type
+/// comparisons (type errors for ordered ops), arithmetic under comparison
+/// (division by zero must error on exactly the rows the tuple path reaches)
+/// and Kleene AND/OR whose right side must stay unevaluated where the left
+/// decides.
+fn arb_predicate(rng: &mut SmallRng, factors: &[usize], depth: usize) -> Expr {
+    if depth > 0 && rng.gen_bool(0.4) {
+        return match rng.gen_range(0..3u32) {
+            0 => b::and(
+                arb_predicate(rng, factors, depth - 1),
+                arb_predicate(rng, factors, depth - 1),
+            ),
+            1 => b::or(
+                arb_predicate(rng, factors, depth - 1),
+                arb_predicate(rng, factors, depth - 1),
+            ),
+            _ => b::not(arb_predicate(rng, factors, depth - 1)),
+        };
+    }
+    match rng.gen_range(0..6u32) {
+        0 => {
+            // column <op> literal, matching type: the kernel fast path.
+            let (col, ty) = arb_column(rng, factors);
+            let ops = [BinaryOp::Eq, BinaryOp::NotEq, BinaryOp::Lt, BinaryOp::GtEq];
+            let op = ops[rng.gen_index(ops.len())];
+            let lit = Expr::Literal(arb_literal(rng, ty));
+            if rng.gen_bool(0.5) {
+                b::binary(col, op, lit)
+            } else {
+                b::binary(lit, op, col)
+            }
+        }
+        1 => {
+            // column <op> literal, random type: cross-class Eq/NotEq are
+            // constant-foldable, ordered ops are per-row type errors.
+            let (col, _) = arb_column(rng, factors);
+            let ty =
+                [DataType::Int, DataType::Float, DataType::Bool, DataType::Str][rng.gen_index(4)];
+            let ops = [BinaryOp::Eq, BinaryOp::NotEq, BinaryOp::Lt, BinaryOp::Gt];
+            b::binary(col, ops[rng.gen_index(ops.len())], Expr::Literal(arb_literal(rng, ty)))
+        }
+        2 => {
+            // column = column: not kernelable, exercises the row fallback.
+            let (c1, _) = arb_column(rng, factors);
+            let (c2, _) = arb_column(rng, factors);
+            b::eq(c1, c2)
+        }
+        3 => {
+            let (c, _) = arb_column(rng, factors);
+            Expr::IsNull { expr: Box::new(c), negated: rng.gen_bool(0.5) }
+        }
+        4 => {
+            let (c, ty) = arb_column(rng, factors);
+            let n = rng.gen_range(1..3usize);
+            let list = (0..n).map(|_| Expr::Literal(arb_literal(rng, ty))).collect();
+            Expr::InList { expr: Box::new(c), list, negated: rng.gen_bool(0.5) }
+        }
+        _ => {
+            // Arithmetic under a comparison; Div by a small-int column hits
+            // division-by-zero on some rows.
+            let (c1, _) = arb_column(rng, factors);
+            let (c2, _) = arb_column(rng, factors);
+            let ops = [BinaryOp::Plus, BinaryOp::Minus, BinaryOp::Mul, BinaryOp::Div];
+            let arith = b::binary(c1, ops[rng.gen_index(ops.len())], c2);
+            b::binary(arith, BinaryOp::Gt, Expr::Literal(Value::Int(1)))
+        }
+    }
+}
+
+fn arb_query(rng: &mut SmallRng) -> Query {
+    let k = rng.gen_range(1..3usize);
+    let factors: Vec<usize> = (0..k).map(|_| rng.gen_index(TABLES.len())).collect();
+    let from: Vec<TableFactor> =
+        factors.iter().enumerate().map(|(i, &t)| b::table(TABLES[t].0, format!("q{i}"))).collect();
+    let n_proj = rng.gen_range(1..3usize);
+    let proj: Vec<Expr> = (0..n_proj).map(|_| arb_column(rng, &factors).0).collect();
+    let selection = if rng.gen_bool(0.8) { Some(arb_predicate(rng, &factors, 3)) } else { None };
+    Query::from_select(Select {
+        distinct: rng.gen_bool(0.3),
+        projection: proj.into_iter().map(b::item).collect(),
+        from,
+        selection,
+        group_by: Vec::new(),
+        having: None,
+    })
+}
+
+/// Run one query both ways under `opts` and demand identical outcomes:
+/// identical rows in identical order, or both in error.
+fn assert_equivalent(db: &Database, query: &Query, opts: &ExecOptions) {
+    let plan = match db.plan(query) {
+        Ok(p) => p,
+        Err(_) => return, // unplannable draws are not this test's concern
+    };
+    let tuple = db.run_plan_with(&plan, &opts.batched(false));
+    let batched = db.run_plan_with(&plan, &opts.batched(true));
+    match (tuple, batched) {
+        (Ok(t), Ok(v)) => {
+            assert_eq!(t.rows, v.rows, "batched diverged on `{query}`:\n{}", plan.explain())
+        }
+        (Err(_), Err(_)) => {} // both error: equivalent (messages may differ)
+        (Ok(_), Err(e)) => {
+            panic!("batched failed where tuple succeeded on `{query}`: {e}");
+        }
+        (Err(e), Ok(_)) => {
+            panic!("tuple failed where batched succeeded on `{query}`: {e}");
+        }
+    }
+}
+
+#[test]
+fn batched_matches_tuple_on_random_queries() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C);
+    for _ in 0..384 {
+        let db = arb_db(&mut rng, 12);
+        let query = arb_query(&mut rng);
+        assert_equivalent(&db, &query, &ExecOptions::serial());
+    }
+}
+
+/// Single-table random query: scans span several batches without risking a
+/// cross product (the small-db random test above covers multi-table shapes;
+/// the fixed equi-join list below covers big joins).
+fn arb_single_table_query(rng: &mut SmallRng) -> Query {
+    let factors = vec![rng.gen_index(TABLES.len())];
+    let from = vec![b::table(TABLES[factors[0]].0, "q0")];
+    let n_proj = rng.gen_range(1..3usize);
+    let proj: Vec<Expr> = (0..n_proj).map(|_| arb_column(rng, &factors).0).collect();
+    let selection = Some(arb_predicate(rng, &factors, 3));
+    Query::from_select(Select {
+        distinct: rng.gen_bool(0.3),
+        projection: proj.into_iter().map(b::item).collect(),
+        from,
+        selection,
+        group_by: Vec::new(),
+        having: None,
+    })
+}
+
+/// Equi-join queries over the big fixture: multi-batch join inputs and
+/// outputs, null join keys, post-join filters and projections.
+const JOIN_QUERIES: &[&str] = &[
+    "select q0.a, q1.d from T0 q0, T1 q1 where q0.a = q1.d",
+    "select q0.c, q1.e from T0 q0, T1 q1 where q0.c = q1.e and q0.a >= 1",
+    "select q0.b, q1.f from T0 q0, T2 q1 where q0.a = q1.f and q1.g = true",
+    "select distinct q0.c from T0 q0, T1 q1 where q0.c = q1.e",
+    "select q0.a + q1.d, q0.b from T0 q0, T1 q1 where q0.a = q1.d and q0.b > 0.5",
+];
+
+#[test]
+fn batched_matches_tuple_across_batch_boundaries() {
+    // Tables big enough that scans span multiple batches and joins emit
+    // multi-batch output; also run under a thread budget low enough that
+    // every operator actually fans out.
+    let mut rng = SmallRng::seed_from_u64(0x0B47);
+    let db = arb_db(&mut rng, 5_000);
+    let par = ExecOptions::with_threads(4).min_parallel_rows(64);
+    for _ in 0..24 {
+        let query = arb_single_table_query(&mut rng);
+        assert_equivalent(&db, &query, &ExecOptions::serial());
+        assert_equivalent(&db, &query, &par);
+    }
+    for sql in JOIN_QUERIES {
+        let query = pqp_sql::parse_query(sql).unwrap();
+        assert_equivalent(&db, &query, &ExecOptions::serial());
+        assert_equivalent(&db, &query, &par);
+    }
+}
+
+#[test]
+fn batched_parallel_matches_tuple_serial_exactly() {
+    // The strongest form of the contract: batched + 4 threads must equal
+    // tuple + serial row-for-row (ordered partition merge on both paths).
+    let mut rng = SmallRng::seed_from_u64(0x4E0);
+    let db = arb_db(&mut rng, 3_000);
+    let serial_tuple = ExecOptions::serial().batched(false);
+    let par_batched = ExecOptions::with_threads(4).min_parallel_rows(64).batched(true);
+    let mut queries: Vec<Query> = (0..16).map(|_| arb_single_table_query(&mut rng)).collect();
+    queries.extend(JOIN_QUERIES.iter().map(|sql| pqp_sql::parse_query(sql).unwrap()));
+    for query in &queries {
+        let Ok(plan) = db.plan(query) else { continue };
+        let reference = db.run_plan_with(&plan, &serial_tuple);
+        let candidate = db.run_plan_with(&plan, &par_batched);
+        match (reference, candidate) {
+            (Ok(t), Ok(v)) => assert_eq!(t.rows, v.rows, "diverged on `{query}`"),
+            (Err(_), Err(_)) => {}
+            (t, v) => panic!(
+                "outcome mismatch on `{query}`: tuple-serial ok={} batched-parallel ok={}",
+                t.is_ok(),
+                v.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn pqp_batched_env_escape_hatch_is_honored() {
+    assert!(ExecOptions::default().batched, "batched execution is the default");
+    assert!(ExecOptions::serial().batched);
+    std::env::set_var("PQP_BATCHED", "0");
+    assert!(!ExecOptions::from_env().batched);
+    std::env::set_var("PQP_BATCHED", "off");
+    assert!(!ExecOptions::from_env().batched);
+    std::env::set_var("PQP_BATCHED", "1");
+    assert!(ExecOptions::from_env().batched);
+    std::env::remove_var("PQP_BATCHED");
+    assert!(ExecOptions::from_env().batched);
+}

@@ -1,0 +1,86 @@
+//! The service-level face of the batched-execution contract: a service
+//! running the default (batched) executor must hand back the same
+//! personalized answers — rows, columns, rewrite, K/M, degradation — as one
+//! pinned to the tuple-at-a-time path. Cached plans are
+//! execution-strategy-agnostic, so the comparison holds across cold and
+//! cached executions of the same query.
+
+use pqp_core::Profile;
+use pqp_engine::{Database, ExecOptions};
+use pqp_service::{Service, ServiceConfig};
+use pqp_storage::{Catalog, ColumnDef, DataType, TableSchema};
+
+fn movie_db() -> Database {
+    let mut c = Catalog::new();
+    c.create_table(
+        TableSchema::new(
+            "MOVIE",
+            vec![
+                ColumnDef::new("mid", DataType::Int),
+                ColumnDef::new("title", DataType::Str),
+                ColumnDef::new("year", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["mid"]),
+    )
+    .unwrap();
+    c.create_table(TableSchema::new(
+        "GENRE",
+        vec![ColumnDef::new("mid", DataType::Int), ColumnDef::new("genre", DataType::Str)],
+    ))
+    .unwrap();
+    let genres = ["comedy", "drama", "thriller", "scifi"];
+    for mid in 0..200i64 {
+        c.table("MOVIE")
+            .unwrap()
+            .write()
+            .insert(vec![
+                mid.into(),
+                format!("Movie {mid}").as_str().into(),
+                (1960 + mid % 60).into(),
+            ])
+            .unwrap();
+        c.table("GENRE")
+            .unwrap()
+            .write()
+            .insert(vec![mid.into(), genres[(mid % 4) as usize].into()])
+            .unwrap();
+    }
+    Database::new(c)
+}
+
+fn service_with(exec: ExecOptions) -> Service {
+    let service =
+        Service::with_config(movie_db(), ServiceConfig { exec, ..ServiceConfig::default() });
+    let mut p = Profile::new("ana");
+    p.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    p.add_selection("GENRE", "genre", "comedy", 0.8).unwrap();
+    p.add_selection("MOVIE", "year", 2000i64, 0.6).unwrap();
+    service.install_profile(p).unwrap();
+    service
+}
+
+const QUERIES: &[&str] = &[
+    "select MV.title from MOVIE MV",
+    "select MV.title, MV.year from MOVIE MV where MV.year > 1990",
+    "select MV.title, GE.genre from MOVIE MV, GENRE GE where MV.mid = GE.mid",
+];
+
+#[test]
+fn batched_service_answers_match_tuple_service() {
+    assert!(ServiceConfig::default().exec.batched, "service default is the batched executor");
+    let batched = service_with(ExecOptions::default());
+    let tuple = service_with(ExecOptions::default().batched(false));
+    for sql in QUERIES {
+        // Twice per query: a cold plan-cache pass and a cached pass.
+        for pass in 0..2 {
+            let a = batched.session("ana").query(sql).unwrap();
+            let b = tuple.session("ana").query(sql).unwrap();
+            assert_eq!(a.rows.columns, b.rows.columns, "columns diverged on `{sql}`");
+            assert_eq!(a.rows.rows, b.rows.rows, "rows diverged on `{sql}` (pass {pass})");
+            assert_eq!(a.meta.rewrite, b.meta.rewrite);
+            assert_eq!((a.meta.k, a.meta.m), (b.meta.k, b.meta.m), "K/M diverged on `{sql}`");
+            assert_eq!(a.meta.degraded, b.meta.degraded);
+        }
+    }
+}

@@ -111,6 +111,39 @@ impl Heap {
         )
     }
 
+    /// Iterate over all live rows as raw encoded bytes (same order as
+    /// [`Heap::iter`]). The batched executor decodes these straight into
+    /// column vectors, skipping the per-row `Vec<Value>` allocation. The
+    /// `storage.scan` failpoint fires here exactly as it does in
+    /// [`Heap::iter`].
+    pub fn iter_raw(&self) -> impl Iterator<Item = Result<&[u8]>> + '_ {
+        Self::raw_failpoint()
+            .into_iter()
+            .chain(self.pages.iter().flat_map(|page| page.iter_raw().map(Ok)))
+    }
+
+    /// Raw-bytes variant of [`Heap::iter_partition`]: the live rows of
+    /// partition `part` of `parts` as encoded bytes, in the same order.
+    /// Concatenating partitions `0..parts` yields the [`Heap::iter_raw`]
+    /// order.
+    pub fn iter_raw_partition(
+        &self,
+        part: usize,
+        parts: usize,
+    ) -> impl Iterator<Item = Result<&[u8]>> + '_ {
+        let (start, end) = self.partition_bounds(part, parts);
+        Self::raw_failpoint()
+            .into_iter()
+            .chain(self.pages[start..end].iter().flat_map(|page| page.iter_raw().map(Ok)))
+    }
+
+    /// The `storage.scan` failpoint for the raw iterators (same site and
+    /// semantics as [`Heap::scan_failpoint`], different item type).
+    fn raw_failpoint<'a>() -> Option<Result<&'a [u8]>> {
+        pqp_obs::failpoint::fire("storage.scan")
+            .map(|msg| Err(StorageError::Corrupt(format!("injected: {msg}"))))
+    }
+
     /// The page range `[start, end)` of partition `part` of `parts`: a
     /// balanced contiguous split (the first `n % parts` partitions get one
     /// extra page).

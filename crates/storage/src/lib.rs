@@ -42,7 +42,9 @@
 //! assert_eq!(genre.scan().unwrap()[0], vec![Value::Int(1), Value::str("comedy")]);
 //! ```
 
+pub mod batch;
 pub mod catalog;
+pub mod datum;
 pub mod error;
 pub mod heap;
 pub mod index;
@@ -55,7 +57,9 @@ pub mod sync;
 pub mod table;
 pub mod value;
 
+pub use batch::{Batch, BatchBuilder, Column, ColumnData, BATCH_SIZE};
 pub use catalog::{Catalog, SchemaJoin, TableRef};
+pub use datum::{datum_size, decode_datum, encode_datum, encode_key};
 pub use error::{Result, StorageError};
 pub use heap::Heap;
 pub use index::HashIndex;
@@ -65,4 +69,4 @@ pub use schema::{Cardinality, ColumnDef, ForeignKey, TableSchema};
 pub use shard::ShardedMap;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::Table;
-pub use value::{DataType, Value};
+pub use value::{total_fcmp, DataType, Value};

@@ -10,9 +10,12 @@
 //! ```
 //!
 //! The header stores the slot count and the offset of the free-space end.
-//! Each slot stores `(offset: u16, len: u16)` of its row payload; a slot with
-//! `len == 0` is a tombstone left by a delete. Rows grow from the tail of the
-//! page toward the slot directory.
+//! Each slot stores `(offset: u16, len: u16)` of its row payload; a slot of
+//! `(0, 0)` is a tombstone left by a delete. The offset disambiguates: live
+//! payloads always sit above the 4-byte header, so offset 0 can only mean a
+//! tombstone, while a zero-*length* slot at a real offset is a legitimate
+//! empty row (the datum encoding of a zero-column row is zero bytes). Rows
+//! grow from the tail of the page toward the slot directory.
 
 use crate::error::{Result, StorageError};
 use crate::row::{decode_row, encode_row_vec, Row};
@@ -117,14 +120,7 @@ impl Page {
     /// Read and decode the row in `slot`. Tombstoned or out-of-range slots
     /// yield `None`.
     pub fn get(&self, slot: u16) -> Option<Result<Row>> {
-        if slot >= self.slot_count() {
-            return None;
-        }
-        let (off, len) = self.slot(slot);
-        if len == 0 {
-            return None;
-        }
-        Some(decode_row(&self.data[off as usize..(off + len) as usize]))
+        self.get_raw(slot).map(decode_row)
     }
 
     /// Raw encoded bytes of the row in `slot`, if live.
@@ -133,8 +129,8 @@ impl Page {
             return None;
         }
         let (off, len) = self.slot(slot);
-        if len == 0 {
-            return None;
+        if off == 0 {
+            return None; // Tombstone: no live payload can sit in the header.
         }
         Some(&self.data[off as usize..(off + len) as usize])
     }
@@ -146,17 +142,23 @@ impl Page {
         if slot >= self.slot_count() {
             return false;
         }
-        let (off, len) = self.slot(slot);
-        if len == 0 {
+        let (off, _) = self.slot(slot);
+        if off == 0 {
             return false;
         }
-        self.set_slot(slot, off, 0);
+        self.set_slot(slot, 0, 0);
         true
     }
 
     /// Iterate over live rows as `(slot, Row)`.
     pub fn iter(&self) -> impl Iterator<Item = (u16, Result<Row>)> + '_ {
         (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Iterate over live rows as raw encoded bytes, skipping the decode —
+    /// the batched scan path decodes straight into column vectors instead.
+    pub fn iter_raw(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get_raw(s))
     }
 
     /// Convenience: insert an unencoded row.
@@ -217,6 +219,18 @@ mod tests {
         assert!(p.get(0).is_none());
         let live: Vec<_> = p.iter().map(|(s, _)| s).collect();
         assert_eq!(live, vec![1]);
+    }
+
+    #[test]
+    fn empty_row_is_live_not_tombstone() {
+        let mut p = Page::new();
+        let s = p.insert(&[]).unwrap();
+        assert_eq!(p.get(s).unwrap().unwrap(), Vec::<Value>::new());
+        assert_eq!(p.get_raw(s).unwrap(), &[] as &[u8]);
+        assert_eq!(p.iter().count(), 1);
+        assert!(p.delete(s));
+        assert!(p.get(s).is_none());
+        assert!(!p.delete(s), "double delete of an empty row is a no-op");
     }
 
     #[test]

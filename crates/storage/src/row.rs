@@ -1,111 +1,29 @@
 //! Row representation and the binary row codec.
 //!
-//! Rows are stored inside slotted pages in a compact self-describing binary
-//! format: a one-byte type tag per value followed by the payload. Strings are
-//! length-prefixed (u32). The codec is infallible on encode and validating on
-//! decode, so a corrupt page surfaces as an error rather than UB or a panic.
+//! A stored row is the plain concatenation of its values' datums in the
+//! compact, order-preserving encoding of [`crate::datum`]. Datums are
+//! self-delimiting, so the row needs no count header or offset table: the
+//! page slot bounds the slice, and decode walks datums until the slice is
+//! exhausted. Because each datum is memcmp-comparable within its type
+//! class, encoded rows over the same schema compare byte-wise like
+//! column-wise value comparison — the property batched execution and
+//! composite keys build on.
 //!
-//! All multi-byte integers are big-endian, written with the hand-rolled
-//! helpers below (the workspace builds offline, so no `bytes` crate).
+//! The codec is infallible on encode and validating on decode, so a corrupt
+//! page surfaces as an error rather than UB or a panic.
 
-use crate::error::{Result, StorageError};
+use crate::datum::{datum_size, decode_datum, encode_datum};
+use crate::error::Result;
 use crate::value::Value;
 
 /// A materialized row.
 pub type Row = Vec<Value>;
 
-const TAG_NULL: u8 = 0;
-const TAG_BOOL_FALSE: u8 = 1;
-const TAG_BOOL_TRUE: u8 = 2;
-const TAG_INT: u8 = 3;
-const TAG_FLOAT: u8 = 4;
-const TAG_STR: u8 = 5;
-
-fn put_u16(buf: &mut Vec<u8>, v: u16) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_i64(buf: &mut Vec<u8>, v: i64) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-/// A cursor over the slice being decoded; every read is bounds-checked.
-struct Reader<'a> {
-    data: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
-        self.data.len()
-    }
-
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
-        if self.data.len() < n {
-            return Err(StorageError::Corrupt(format!("truncated {what}")));
-        }
-        let (head, tail) = self.data.split_at(n);
-        self.data = tail;
-        Ok(head)
-    }
-
-    fn get_u8(&mut self, what: &str) -> Result<u8> {
-        Ok(self.take(1, what)?[0])
-    }
-
-    fn get_u16(&mut self, what: &str) -> Result<u16> {
-        let b = self.take(2, what)?;
-        Ok(u16::from_be_bytes([b[0], b[1]]))
-    }
-
-    fn get_u32(&mut self, what: &str) -> Result<u32> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn get_8_bytes(&mut self, what: &str) -> Result<[u8; 8]> {
-        let b = self.take(8, what)?;
-        b.try_into().map_err(|_| StorageError::Corrupt(format!("truncated 8-byte {what}")))
-    }
-
-    fn get_i64(&mut self, what: &str) -> Result<i64> {
-        Ok(i64::from_be_bytes(self.get_8_bytes(what)?))
-    }
-
-    fn get_f64(&mut self, what: &str) -> Result<f64> {
-        Ok(f64::from_be_bytes(self.get_8_bytes(what)?))
-    }
-}
-
-/// Encode a row into `buf`.
+/// Encode a row into `buf`: one [`crate::datum`] encoding per value,
+/// concatenated.
 pub fn encode_row(row: &[Value], buf: &mut Vec<u8>) {
-    put_u16(buf, row.len() as u16);
     for v in row {
-        match v {
-            Value::Null => buf.push(TAG_NULL),
-            Value::Bool(false) => buf.push(TAG_BOOL_FALSE),
-            Value::Bool(true) => buf.push(TAG_BOOL_TRUE),
-            Value::Int(i) => {
-                buf.push(TAG_INT);
-                put_i64(buf, *i);
-            }
-            Value::Float(f) => {
-                buf.push(TAG_FLOAT);
-                put_f64(buf, *f);
-            }
-            Value::Str(s) => {
-                buf.push(TAG_STR);
-                put_u32(buf, s.len() as u32);
-                buf.extend_from_slice(s.as_bytes());
-            }
-        }
+        encode_datum(v, buf);
     }
 }
 
@@ -116,45 +34,20 @@ pub fn encode_row_vec(row: &[Value]) -> Vec<u8> {
     buf
 }
 
-/// Upper-bound estimate of a row's encoded size, used for page-fit checks.
+/// Exact encoded size of a row, used for page-fit checks.
 pub fn estimated_size(row: &[Value]) -> usize {
-    2 + row
-        .iter()
-        .map(|v| match v {
-            Value::Null | Value::Bool(_) => 1,
-            Value::Int(_) | Value::Float(_) => 9,
-            Value::Str(s) => 5 + s.len(),
-        })
-        .sum::<usize>()
+    row.iter().map(datum_size).sum()
 }
 
 /// Decode a row from a byte slice previously produced by [`encode_row`].
+/// The slice must contain exactly one row (page slots guarantee this).
 pub fn decode_row(data: &[u8]) -> Result<Row> {
-    let mut r = Reader { data };
-    let n = r.get_u16("row header")? as usize;
-    let mut row = Vec::with_capacity(n);
-    for _ in 0..n {
-        let tag = r.get_u8("value tag")?;
-        let v = match tag {
-            TAG_NULL => Value::Null,
-            TAG_BOOL_FALSE => Value::Bool(false),
-            TAG_BOOL_TRUE => Value::Bool(true),
-            TAG_INT => Value::Int(r.get_i64("int")?),
-            TAG_FLOAT => Value::Float(r.get_f64("float")?),
-            TAG_STR => {
-                let len = r.get_u32("string length")? as usize;
-                if r.remaining() < len {
-                    return Err(StorageError::Corrupt("truncated string payload".to_string()));
-                }
-                let bytes = r.take(len, "string payload")?;
-                let s = std::str::from_utf8(bytes)
-                    .map_err(|_| StorageError::Corrupt("invalid utf-8 in string".to_string()))?
-                    .to_owned();
-                Value::Str(s)
-            }
-            other => return Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
-        };
+    let mut row = Vec::new();
+    let mut rest = data;
+    while !rest.is_empty() {
+        let (v, used) = decode_datum(rest)?;
         row.push(v);
+        rest = &rest[used..];
     }
     Ok(row)
 }
@@ -162,10 +55,11 @@ pub fn decode_row(data: &[u8]) -> Result<Row> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::datum::TAG_STR;
 
     fn roundtrip(row: Row) {
         let bytes = encode_row_vec(&row);
-        assert!(bytes.len() <= estimated_size(&row));
+        assert_eq!(bytes.len(), estimated_size(&row));
         let back = decode_row(&bytes).unwrap();
         assert_eq!(back, row);
     }
@@ -193,6 +87,20 @@ mod tests {
     }
 
     #[test]
+    fn rows_compare_bytewise_like_values() {
+        let rows = [
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(1), Value::str("b")],
+            vec![Value::Int(2), Value::str("a")],
+        ];
+        for a in &rows {
+            for b in &rows {
+                assert_eq!(encode_row_vec(a).cmp(&encode_row_vec(b)), a.cmp(b));
+            }
+        }
+    }
+
+    #[test]
     fn decode_rejects_truncation() {
         let bytes = encode_row_vec(&[Value::Int(7), Value::str("abc")]);
         for cut in 0..bytes.len() {
@@ -205,19 +113,11 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_tag() {
-        let mut buf = Vec::new();
-        put_u16(&mut buf, 1);
-        buf.push(99);
-        assert!(matches!(decode_row(&buf), Err(StorageError::Corrupt(_))));
+        assert!(decode_row(&[99]).is_err());
     }
 
     #[test]
     fn decode_rejects_invalid_utf8() {
-        let mut buf = Vec::new();
-        put_u16(&mut buf, 1);
-        buf.push(5); // TAG_STR
-        put_u32(&mut buf, 2);
-        buf.extend_from_slice(&[0xff, 0xfe]);
-        assert!(decode_row(&buf).is_err());
+        assert!(decode_row(&[TAG_STR, 0xff, 0xfe, 0x00, 0x00]).is_err());
     }
 }

@@ -161,6 +161,21 @@ impl Table {
         self.heap.scan()
     }
 
+    /// Iterate over live rows as raw encoded bytes (batched-scan fast path;
+    /// same order as [`Table::iter`]).
+    pub fn iter_raw(&self) -> impl Iterator<Item = Result<&[u8]>> + '_ {
+        self.heap.iter_raw()
+    }
+
+    /// Raw-bytes variant of [`Table::iter_partition`].
+    pub fn iter_raw_partition(
+        &self,
+        part: usize,
+        parts: usize,
+    ) -> impl Iterator<Item = Result<&[u8]>> + '_ {
+        self.heap.iter_raw_partition(part, parts)
+    }
+
     /// Scan the table and (re)collect its statistics snapshot. Returns the
     /// fresh stats. O(rows · columns · log rows) — per-column sorts for NDV
     /// and the equi-depth histograms.

@@ -65,6 +65,44 @@ PQP_THREADS=4 cargo test "${CARGO_FLAGS[@]}" -p pqp --test stats_equivalence -q
 echo "==> stats equivalence (PQP_THREADS=4, RUST_TEST_THREADS=1)"
 PQP_THREADS=4 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp --test stats_equivalence -q
 
+# Batched (vectorized) execution is the default path and must be
+# byte-identical to the tuple-at-a-time reference: the differential suites
+# (random predicates over hazard-biased schemas, the generated movie
+# corpus, service-level answers) run on both test schedules.
+echo "==> vectorized differential suites"
+cargo test "${CARGO_FLAGS[@]}" -p pqp-engine --test vectorized_equivalence -q
+cargo test "${CARGO_FLAGS[@]}" -p pqp-datagen --test vectorized_equivalence -q
+cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test batched_answers -q
+echo "==> vectorized differential suites (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-engine --test vectorized_equivalence -q
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-datagen --test vectorized_equivalence -q
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test batched_answers -q
+
+# Vectorized micro-bench smoke: must produce results/micro_vectorized.json
+# with the full benchmark set and a derived speedup block (the asserted
+# batched-vs-tuple row identity runs inside the bench binary itself).
+echo "==> vectorized bench smoke"
+cargo bench "${CARGO_FLAGS[@]}" -p pqp-bench --bench vectorized
+if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/micro_vectorized.json"))
+names = {b["name"] for b in doc["benchmarks"]}
+for name in ("join4_tuple", "join4_batched", "scan_broad_tuple",
+             "scan_broad_batched", "scan_selective_tuple", "scan_selective_batched"):
+    assert name in names, f"benchmark {name} missing"
+for b in doc["benchmarks"]:
+    assert b["mean_ms"] > 0 and b["n"] > 0
+for key in ("join4_vectorized_speedup", "scan_broad_vectorized_speedup",
+            "scan_selective_vectorized_speedup", "join4_rows", "host_cores"):
+    assert key in doc["derived"], f"derived.{key} missing"
+assert doc["derived"]["join4_rows"] > 0
+assert doc["meta"]["bench"] == "micro_vectorized"
+EOF
+else
+    grep -q '"join4_vectorized_speedup"' results/micro_vectorized.json
+fi
+
 # Macro load harness smoke: a short zipf closed-loop run must produce
 # results/macro_load.json with a non-zero throughput figure.
 echo "==> load harness smoke (1s closed loop)"
