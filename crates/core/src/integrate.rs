@@ -356,6 +356,174 @@ pub fn integrate_mq(
     Ok(Query { body: pqp_sql::SetExpr::Select(Box::new(outer)), order_by, limit: None })
 }
 
+/// Build the native-rank personalization of `select`: a
+/// [`TopKSpec`](pqp_engine::topk::TopKSpec) for the engine's `Plan::TopK`
+/// operator instead of a SQL rewrite.
+///
+/// The mandatory preferences are integrated as plain conditions into the
+/// *base* query (exactly as in a partial MQ query with no optional part);
+/// each optional preference becomes a **probe**: the base additionally
+/// projects the preference's anchor column, and the preference's own join
+/// chain becomes a standalone single-column *witness* query (or a literal,
+/// for selection-only paths). The operator then evaluates satisfaction and
+/// degrees inside the executor — see `pqp_engine::topk`.
+///
+/// Returns [`PrefError::UnsupportedQuery`] for shapes whose MQ semantics a
+/// standalone witness cannot reproduce, so callers can fall back to MQ:
+///
+/// - more than [`pqp_engine::topk::MAX_PROBES`] optional preferences;
+/// - an optional path that would share tuple variables with a mandatory
+///   path under MQ's allocation (a common to-one prefix — the shared
+///   variable couples the optional chain to the mandatory one);
+/// - a preference path with no condition at all.
+pub fn integrate_native(
+    select: &Select,
+    paths: &[PreferencePath],
+    m: usize,
+    spec: MatchSpec,
+    rank: bool,
+) -> Result<pqp_engine::topk::TopKSpec> {
+    use pqp_engine::topk::{ProbeSource, ProbeSpec, TopKSpec, MAX_PROBES};
+
+    let _span = pqp_obs::span("integrate.native");
+    pqp_obs::record("paths", paths.len());
+    pqp_obs::record("mandatory", m);
+    check_params(paths.len(), m, spec)?;
+    let proj = mq_projection(select)?;
+    let optional = &paths[m..];
+    if optional.len() > MAX_PROBES {
+        return Err(PrefError::UnsupportedQuery(format!(
+            "native rank supports at most {MAX_PROBES} optional preferences, got {}",
+            optional.len()
+        )));
+    }
+
+    let query_vars: Vec<String> =
+        select.from.iter().map(|f| f.binding_name().to_string()).collect();
+
+    // Var-sharing hazard check: MQ allocates each partial's variables over
+    // (mandatory ++ optional) together, sharing common to-one prefixes. A
+    // witness query runs the optional chain on its own and cannot observe
+    // the shared variable, so such shapes must keep the MQ rewrite.
+    for p in optional {
+        let mut alloc = VarAllocator::new(query_vars.clone());
+        let mut involved: Vec<PreferencePath> = paths[..m].to_vec();
+        involved.push(p.clone());
+        let vars = alloc.allocate(&involved);
+        let (mand_vars, opt_vars) = vars.split_at(m);
+        let shared = opt_vars[0].hop_vars.iter().any(|v| {
+            mand_vars.iter().any(|mv| mv.hop_vars.iter().any(|x| x.eq_ignore_ascii_case(v)))
+        });
+        if shared {
+            return Err(PrefError::UnsupportedQuery(
+                "optional preference shares tuple variables with a mandatory one \
+                 (common to-one prefix) — native rank cannot decouple them"
+                    .into(),
+            ));
+        }
+    }
+
+    // Base query: the original conditions plus the mandatory integration
+    // (the same construction as an optional-free MQ partial), projecting
+    // the visible columns followed by one probe column per optional
+    // preference.
+    let mut alloc = VarAllocator::new(query_vars);
+    let mandatory: Vec<PreferencePath> = paths[..m].to_vec();
+    let mand_vars = alloc.allocate(&mandatory);
+
+    let initial = ConjunctSet::from_selection(&select.selection);
+    let mut conjuncts = ConjunctSet::new();
+    for (p, v) in mandatory.iter().zip(&mand_vars) {
+        for c in path_conditions(p, v) {
+            if !initial.contains(&c) {
+                conjuncts.push(c);
+            }
+        }
+    }
+    let mut where_parts: Vec<Expr> = Vec::new();
+    if let Some(w) = &select.selection {
+        where_parts.push(w.clone());
+    }
+    where_parts.extend(conjuncts.exprs);
+
+    let pairs: Vec<(&PreferencePath, &PathVars)> = mandatory.iter().zip(mand_vars.iter()).collect();
+    let mut from = select.from.clone();
+    from.extend(factors_for(&pairs));
+
+    let mut projection: Vec<SelectItem> = proj
+        .iter()
+        .enumerate()
+        .map(|(i, (e, _))| b::item_as(e.clone(), format!("pqp_c{i}")))
+        .collect();
+    let mut probes: Vec<ProbeSpec> = Vec::with_capacity(optional.len());
+    for (j, p) in optional.iter().enumerate() {
+        let (anchor_col, source) = match p.joins.first() {
+            Some(first) => (
+                b::col(p.start_var.clone(), &first.from.column),
+                ProbeSource::Witness(witness_query(p)),
+            ),
+            None => {
+                let Some(sel) = &p.selection else {
+                    return Err(PrefError::UnsupportedQuery(
+                        "preference path with no condition cannot be probed".into(),
+                    ));
+                };
+                (
+                    b::col(p.start_var.clone(), &sel.attr.column),
+                    ProbeSource::Literal(sel.value.clone()),
+                )
+            }
+        };
+        projection.push(b::item_as(anchor_col, format!("pqp_p{j}")));
+        probes.push(ProbeSpec { doi: p.doi.value(), source });
+    }
+    pqp_obs::record("probes", probes.len());
+
+    let base = Select {
+        distinct: true,
+        projection,
+        from,
+        selection: b::and_all(where_parts),
+        group_by: Vec::new(),
+        having: None,
+    };
+    let matching = match spec {
+        MatchSpec::AtLeast(l) => pqp_engine::plan::TopKMatching::AtLeast(l),
+        MatchSpec::MinDegree(d) => pqp_engine::plan::TopKMatching::MinDegree(d),
+    };
+    Ok(TopKSpec {
+        base: Query::from_select(base),
+        columns: proj.into_iter().map(|(_, display)| display).collect(),
+        probes,
+        matching,
+        rank,
+        limit: None,
+    })
+}
+
+/// The standalone witness query of a preference path with at least one
+/// join: the path's own chain (hop equalities past the first one, plus the
+/// final selection), projecting the DISTINCT values the anchor column must
+/// hit.
+fn witness_query(p: &PreferencePath) -> Query {
+    let mut alloc = VarAllocator::new(Vec::new());
+    let vars = alloc.allocate(std::slice::from_ref(p));
+    let conds = path_conditions(p, &vars[0]);
+    let from = factors_for(&[(p, &vars[0])]);
+    let first = &p.joins[0];
+    let projection = vec![b::item(b::col(vars[0].hop_vars[0].clone(), &first.to.column))];
+    Query::from_select(Select {
+        distinct: true,
+        projection,
+        from,
+        // conds[0] is the anchor equality (query var = first hop var); the
+        // witness projects the hop side instead of constraining it.
+        selection: b::and_all(conds.into_iter().skip(1).collect::<Vec<_>>()),
+        group_by: Vec::new(),
+        having: None,
+    })
+}
+
 /// The projected columns of the original query as
 /// `(column expr, display name)`; MQ needs plain columns to group by.
 fn mq_projection(select: &Select) -> Result<Vec<(Expr, String)>> {
@@ -667,6 +835,92 @@ mod tests {
             integrate_mq(&s, &[comedy()], 0, MatchSpec::AtLeast(1), false),
             Err(PrefError::UnsupportedQuery(_))
         ));
+    }
+
+    #[test]
+    fn native_shape() {
+        use pqp_engine::plan::TopKMatching;
+        use pqp_engine::topk::ProbeSource;
+        let paths = vec![lynch(), comedy(), kidman()];
+        let spec =
+            integrate_native(&initial_select(), &paths, 0, MatchSpec::AtLeast(2), true).unwrap();
+        assert_eq!(spec.columns, vec!["title".to_string()]);
+        assert_eq!(spec.probes.len(), 3);
+        assert_eq!(spec.matching, TopKMatching::AtLeast(2));
+        assert!(spec.rank);
+        // Base: the original FROM only (no mandatory preferences), one
+        // visible column plus three probe columns, DISTINCT.
+        let s = spec.base.as_select().unwrap();
+        assert!(s.distinct);
+        assert_eq!(s.from.len(), 2, "{}", spec.base);
+        assert_eq!(s.projection.len(), 4, "{}", spec.base);
+        // Every path has joins, so every probe is a witness query; each
+        // must be valid standalone SQL over the path's own chain.
+        for p in &spec.probes {
+            let ProbeSource::Witness(w) = &p.source else { panic!("expected witness") };
+            pqp_sql::parse_query(&w.to_string()).unwrap();
+        }
+        // The kidman witness: CAST ⋈ ACTOR, selecting on the actor name,
+        // projecting the CAST-side join column the base probes with.
+        let ProbeSource::Witness(w) = &spec.probes[2].source else { panic!() };
+        let text = w.to_string();
+        assert!(text.contains("N. Kidman"), "{text}");
+        assert!(text.to_uppercase().contains("SELECT DISTINCT"), "{text}");
+        assert_eq!(w.as_select().unwrap().from.len(), 2, "{text}");
+    }
+
+    #[test]
+    fn native_mandatory_integrates_into_base() {
+        let paths = vec![lynch(), comedy()];
+        let spec =
+            integrate_native(&initial_select(), &paths, 1, MatchSpec::AtLeast(1), false).unwrap();
+        let text = spec.base.to_string();
+        // The mandatory Lynch chain joins into the base...
+        assert!(text.contains("D. Lynch"), "{text}");
+        assert_eq!(spec.base.as_select().unwrap().from.len(), 4, "{text}");
+        // ...and only comedy remains as a probe.
+        assert_eq!(spec.probes.len(), 1);
+        assert!((spec.probes[0].doi - comedy().doi.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_selection_only_path_probes_a_literal() {
+        use pqp_engine::topk::ProbeSource;
+        let c = PaperCombinator;
+        let date = PreferencePath::anchor("PL", "PLAY")
+            .with_selection(sel(("PLAY", "date"), "2/7/2003", 0.6), &c);
+        let spec =
+            integrate_native(&initial_select(), &[date], 0, MatchSpec::AtLeast(1), false).unwrap();
+        let ProbeSource::Literal(v) = &spec.probes[0].source else { panic!("expected literal") };
+        assert_eq!(v, &Value::str("2/7/2003"));
+        // The probe column is the selection attribute on the query's own var.
+        assert!(spec.base.to_string().contains("PL.date AS pqp_p0"), "{}", spec.base);
+    }
+
+    #[test]
+    fn native_rejects_shared_mandatory_vars() {
+        // uptown (mandatory) and downtown (optional) share the to-one
+        // PLAY→THEATRE hop under MQ's allocation: a standalone witness
+        // cannot reproduce the shared variable, so native must refuse.
+        let paths = vec![region("uptown"), region("downtown")];
+        assert!(matches!(
+            integrate_native(&initial_select(), &paths, 1, MatchSpec::AtLeast(1), false),
+            Err(PrefError::UnsupportedQuery(_))
+        ));
+        // With both optional there is no sharing (each witness is its own
+        // chain) — supported.
+        assert!(
+            integrate_native(&initial_select(), &paths, 0, MatchSpec::AtLeast(1), false).is_ok()
+        );
+    }
+
+    #[test]
+    fn native_min_degree_matching() {
+        use pqp_engine::plan::TopKMatching;
+        let spec =
+            integrate_native(&initial_select(), &[comedy()], 0, MatchSpec::MinDegree(0.5), true)
+                .unwrap();
+        assert_eq!(spec.matching, TopKMatching::MinDegree(0.5));
     }
 
     #[test]

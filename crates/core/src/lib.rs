@@ -70,13 +70,14 @@ pub mod profile;
 pub mod query_graph;
 pub mod rank;
 pub mod select;
+pub mod strategy;
 pub mod vars;
 
 pub use criteria::InterestCriterion;
 pub use doi::{Combinator, Doi, MinMaxCombinator, PaperCombinator};
 pub use error::{PrefError, Result};
 pub use graph::{GraphAccess, InMemoryGraph, StoredProfileGraph};
-pub use integrate::{integrate_mq, integrate_sq, MatchSpec};
+pub use integrate::{integrate_mq, integrate_native, integrate_sq, MatchSpec};
 pub use path::PreferencePath;
 pub use personalize::{
     personalize, personalize_prepared, personalize_prepared_ctx, MandatorySpec, PersonalizeOptions,
@@ -89,6 +90,7 @@ pub use select::{
     select_preferences, select_preferences_ctx, select_preferences_with, SelectStats,
     SelectionOutcome,
 };
+pub use strategy::{build_execution, choose, Execution, StrategyChoice};
 
 /// Convenience prelude.
 pub mod prelude {
@@ -104,5 +106,6 @@ pub mod prelude {
         PersonalizeOptionsBuilder, Personalized, Rewrite,
     };
     pub use crate::profile::Profile;
-    pub use crate::rank::top_n_query;
+    pub use crate::rank::{top_n, top_n_query};
+    pub use crate::strategy::{build_execution, choose, Execution, StrategyChoice};
 }

@@ -28,10 +28,20 @@ pub enum Rewrite {
     Sq,
     /// The multiple-queries (MQ) integration.
     Mq,
+    /// The native rank operator: mandatory preferences integrated as
+    /// conditions, optional ones evaluated inside the executor
+    /// (`pqp_engine::topk`). Not expressible as a SQL string — execute via
+    /// [`crate::strategy::build_execution`].
+    NativeRank,
+    /// Pick the cheapest of SQ / MQ / native rank per query with the cost
+    /// estimator ([`crate::strategy::choose`]).
+    Auto,
 }
 
 impl Rewrite {
-    /// All rewrites, in pipeline order.
+    /// All *SQL-producing* rewrites, in pipeline order (the experiment
+    /// harnesses sweep these; `NativeRank`/`Auto` execute through
+    /// [`crate::strategy`]).
     pub const ALL: [Rewrite; 3] = [Rewrite::Original, Rewrite::Sq, Rewrite::Mq];
 
     /// The label used in reports, CSVs and JSON exports.
@@ -40,6 +50,8 @@ impl Rewrite {
             Rewrite::Original => "original",
             Rewrite::Sq => "SQ",
             Rewrite::Mq => "MQ",
+            Rewrite::NativeRank => "native",
+            Rewrite::Auto => "auto",
         }
     }
 }
@@ -54,14 +66,16 @@ impl FromStr for Rewrite {
     type Err = PrefError;
 
     /// Parse a rewrite label, case-insensitively (`"original"`, `"sq"`,
-    /// `"mq"`).
+    /// `"mq"`, `"native"`, `"auto"`).
     fn from_str(s: &str) -> Result<Rewrite> {
         match s.to_ascii_lowercase().as_str() {
             "original" => Ok(Rewrite::Original),
             "sq" => Ok(Rewrite::Sq),
             "mq" => Ok(Rewrite::Mq),
+            "native" | "nativerank" | "native_rank" => Ok(Rewrite::NativeRank),
+            "auto" => Ok(Rewrite::Auto),
             other => Err(PrefError::InvalidParams(format!(
-                "unknown rewrite `{other}` (expected `original`, `SQ` or `MQ`)"
+                "unknown rewrite `{other}` (expected `original`, `SQ`, `MQ`, `native` or `auto`)"
             ))),
         }
     }
@@ -229,12 +243,32 @@ impl Personalized {
         Query::from_select(self.select.clone())
     }
 
+    /// Build the native-rank specification ([`pqp_engine::topk::TopKSpec`])
+    /// for the engine's `Plan::TopK` operator. Errors with
+    /// [`PrefError::UnsupportedQuery`] on shapes only MQ can express.
+    pub fn native(&self) -> Result<pqp_engine::topk::TopKSpec> {
+        crate::integrate::integrate_native(
+            &self.select,
+            &self.paths,
+            self.m,
+            self.matching,
+            self.rank,
+        )
+    }
+
     /// Build the query for the given [`Rewrite`].
+    ///
+    /// [`Rewrite::NativeRank`] and [`Rewrite::Auto`] have no SQL form —
+    /// they execute through [`crate::strategy::build_execution`] /
+    /// [`crate::strategy::choose`] — so they are errors here.
     pub fn rewritten(&self, rewrite: Rewrite) -> Result<Query> {
         match rewrite {
             Rewrite::Original => Ok(self.original()),
             Rewrite::Sq => self.sq(),
             Rewrite::Mq => self.mq(),
+            Rewrite::NativeRank | Rewrite::Auto => Err(PrefError::InvalidParams(format!(
+                "rewrite `{rewrite}` is not a SQL rewrite — execute it via pqp_core::strategy"
+            ))),
         }
     }
 }

@@ -143,6 +143,65 @@ impl<'a> Estimator<'a> {
             Plan::Distinct { input } => self.rows(input),
             Plan::Limit { input, n } => self.rows(input).min(*n as f64),
             Plan::Union { inputs, .. } => inputs.iter().map(|i| self.rows(i)).sum(),
+            Plan::TopK { base, visible, limit, .. } => {
+                // Output cardinality ≈ distinct visible prefixes of the
+                // base (the operator groups by them), capped by the limit.
+                let in_rows = self.rows(base);
+                if in_rows <= 0.0 {
+                    return 0.0;
+                }
+                let origins = self.origins(base);
+                let mut groups = 1.0f64;
+                for i in 0..*visible {
+                    groups *= self.ndv(origins.get(i).unwrap_or(&None), in_rows);
+                }
+                let groups = groups.min(in_rows).max(1.0);
+                match limit {
+                    Some(n) => groups.min(*n as f64),
+                    None => groups,
+                }
+            }
+        }
+    }
+
+    /// Estimated total work of a plan: unit cost per row produced at every
+    /// node, plus the scan work at the leaves. This is the figure the
+    /// personalization layer compares across rewrite strategies (SQ vs MQ
+    /// vs native rank) — coarse, but monotone in the quantity that
+    /// dominates all three: the rows their operator trees push around.
+    pub fn cost(&self, plan: &Plan) -> f64 {
+        match plan {
+            Plan::Empty { .. } => 0.0,
+            // Leaves pay for the rows they read, not just those they emit.
+            Plan::Scan { table, .. } => self.table_rows(table).max(1.0),
+            Plan::IndexScan { .. } => self.rows(plan).max(1.0),
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. } => self.rows(plan) + self.cost(input),
+            Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+                self.rows(plan) + self.cost(left) + self.cost(right)
+            }
+            Plan::IndexJoin { probe, .. } => self.rows(plan) + self.cost(probe),
+            Plan::Union { inputs, .. } => {
+                self.rows(plan) + inputs.iter().map(|i| self.cost(i)).sum::<f64>()
+            }
+            Plan::TopK { base, probes, .. } => {
+                // Base + every witness sub-plan, plus one probe pass over
+                // the grouped rows per preference (the early-termination
+                // upper bound: pruning only makes it cheaper).
+                let witness_cost: f64 = probes
+                    .iter()
+                    .map(|p| match &p.source {
+                        crate::plan::TopKProbeSource::Literal(_) => 0.0,
+                        crate::plan::TopKProbeSource::Witness(w) => self.cost(w),
+                    })
+                    .sum();
+                let base_rows = self.rows(base);
+                self.cost(base) + witness_cost + base_rows * probes.len() as f64
+            }
         }
     }
 
@@ -269,6 +328,16 @@ impl<'a> Estimator<'a> {
                     })
                     .collect();
                 out.extend((0..aggs.len()).map(|_| None));
+                out
+            }
+            Plan::TopK { base, visible, rank, .. } => {
+                let inner = self.origins(base);
+                let mut out: Vec<ColumnOrigin> = inner.into_iter().take(*visible).collect();
+                out.resize(*visible, None);
+                if *rank {
+                    // The synthesized interest column has no base origin.
+                    out.push(None);
+                }
                 out
             }
         }

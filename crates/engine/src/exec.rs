@@ -212,6 +212,7 @@ pub(crate) fn op_name(plan: &Plan) -> &'static str {
         Plan::Sort { .. } => "exec.sort",
         Plan::Limit { .. } => "exec.limit",
         Plan::Union { .. } => "exec.union",
+        Plan::TopK { .. } => "exec.topk",
     }
 }
 
@@ -300,6 +301,9 @@ fn execute_op(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
                 out.retain(|row| seen.insert(row.clone()));
             }
             Ok(out)
+        }
+        Plan::TopK { base, probes, visible, matching, rank, limit, .. } => {
+            crate::topk::execute(env, base, probes, *visible, matching, *rank, *limit)
         }
     }
 }

@@ -59,6 +59,7 @@ mod par;
 pub mod plan;
 pub mod planner;
 pub mod rewrite;
+pub mod topk;
 pub mod types;
 mod vexec;
 mod vexpr;
@@ -183,6 +184,71 @@ impl Database {
     /// Plan without the OR-expansion rewrite (used by tests and ablations).
     pub fn plan_unexpanded(&self, q: &Query) -> Result<plan::Plan> {
         planner::Planner::new(&self.catalog).plan_query(q)
+    }
+
+    /// Plan a native rank execution ([`topk::TopKSpec`]) into a
+    /// [`plan::Plan::TopK`] node: the base query and every witness query
+    /// are planned through the normal pipeline, then assembled under the
+    /// rank operator. The resulting plan executes through the usual
+    /// [`Database::run_plan_ctx`] entry points (and is cacheable like any
+    /// other plan).
+    pub fn plan_topk(&self, spec: &topk::TopKSpec) -> Result<plan::Plan> {
+        let _span = pqp_obs::span("plan");
+        if spec.probes.len() > topk::MAX_PROBES {
+            return Err(EngineError::Bind(format!(
+                "native rank supports at most {} preferences, got {}",
+                topk::MAX_PROBES,
+                spec.probes.len()
+            )));
+        }
+        let base = self.plan(&spec.base)?;
+        let arity = base.schema().arity();
+        let expected = spec.columns.len() + spec.probes.len();
+        if arity != expected {
+            return Err(EngineError::Bind(format!(
+                "native rank base projects {arity} columns, expected {expected} \
+                 ({} visible + {} probes)",
+                spec.columns.len(),
+                spec.probes.len()
+            )));
+        }
+        let mut probes = Vec::with_capacity(spec.probes.len());
+        for p in &spec.probes {
+            if !(0.0..=1.0).contains(&p.doi) {
+                return Err(EngineError::Bind(format!(
+                    "probe degree of interest {} not in [0, 1]",
+                    p.doi
+                )));
+            }
+            let source = match &p.source {
+                topk::ProbeSource::Literal(v) => plan::TopKProbeSource::Literal(v.clone()),
+                topk::ProbeSource::Witness(q) => {
+                    let wp = self.plan(q)?;
+                    if wp.schema().arity() != 1 {
+                        return Err(EngineError::Bind(format!(
+                            "native rank witness query must project exactly one column, got {}",
+                            wp.schema().arity()
+                        )));
+                    }
+                    plan::TopKProbeSource::Witness(Box::new(wp))
+                }
+            };
+            probes.push(plan::TopKProbe { doi: p.doi, source });
+        }
+        let mut columns: Vec<OutputColumn> =
+            spec.columns.iter().map(|c| OutputColumn::new(None, c)).collect();
+        if spec.rank {
+            columns.push(OutputColumn::new(None, topk::INTEREST_COLUMN));
+        }
+        Ok(plan::Plan::TopK {
+            base: Box::new(base),
+            probes,
+            visible: spec.columns.len(),
+            matching: spec.matching,
+            rank: spec.rank,
+            limit: spec.limit,
+            schema: OutputSchema::new(columns),
+        })
     }
 
     /// Execute with the naive reference interpreter (no optimization).

@@ -76,6 +76,57 @@ pub enum Plan {
     Limit { input: Box<Plan>, n: u64 },
     /// Concatenation (`all = true`) or set union (`all = false`).
     Union { inputs: Vec<Plan>, all: bool, schema: OutputSchema },
+    /// Native rank operator (preference pushdown): evaluate per-preference
+    /// satisfaction inside the executor instead of expanding preferences
+    /// into a rewrite. `base` produces the visible columns followed by one
+    /// probe column per preference; each [`TopKProbe`] tests its probe
+    /// column (literal equality or membership in a witness sub-plan's
+    /// output), satisfaction bits are OR-folded per visible group, and the
+    /// group's degree of interest is `1 − ∏(1 − dᵢ)` over the satisfied
+    /// preferences. Preference passes run in decreasing-degree order with
+    /// threshold-style early termination (see `crate::topk`).
+    TopK {
+        base: Box<Plan>,
+        probes: Vec<TopKProbe>,
+        /// How many leading base columns are visible output (the rest are
+        /// probe columns, one per probe, in probe order).
+        visible: usize,
+        matching: TopKMatching,
+        /// Append the `interest` column and sort by it (descending, ties by
+        /// the visible columns ascending).
+        rank: bool,
+        limit: Option<u64>,
+        schema: OutputSchema,
+    },
+}
+
+/// One optional preference carried into a [`Plan::TopK`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKProbe {
+    /// The preference's degree of interest, in `[0, 1]`.
+    pub doi: f64,
+    pub source: TopKProbeSource,
+}
+
+/// How a [`TopKProbe`]'s probe column is tested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopKProbeSource {
+    /// Satisfied when the probe column equals the literal (SQL equality:
+    /// NULL never matches).
+    Literal(Value),
+    /// Satisfied when the probe column is a member of the witness plan's
+    /// single-column output (NULLs on either side never match).
+    Witness(Box<Plan>),
+}
+
+/// The match requirement of a [`Plan::TopK`] node (mirrors the
+/// personalization layer's `MatchSpec` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopKMatching {
+    /// Keep groups satisfying at least this many preferences (0 keeps all).
+    AtLeast(usize),
+    /// Keep groups whose degree of interest exceeds the threshold.
+    MinDegree(f64),
 }
 
 impl Plan {
@@ -90,7 +141,8 @@ impl Plan {
             | Plan::CrossJoin { schema, .. }
             | Plan::Project { schema, .. }
             | Plan::Aggregate { schema, .. }
-            | Plan::Union { schema, .. } => schema,
+            | Plan::Union { schema, .. }
+            | Plan::TopK { schema, .. } => schema,
             Plan::Filter { input, .. }
             | Plan::Distinct { input }
             | Plan::Sort { input, .. }
@@ -191,6 +243,35 @@ impl Plan {
                 ));
                 for i in inputs {
                     i.explain_into(depth + 1, out, annot);
+                }
+            }
+            Plan::TopK { base, probes, visible, matching, rank, limit, .. } => {
+                let match_desc = match matching {
+                    TopKMatching::AtLeast(l) => format!("at-least {l}"),
+                    TopKMatching::MinDegree(d) => format!("degree > {d}"),
+                };
+                let limit_desc = match limit {
+                    Some(n) => format!(", limit {n}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{pad}TopK [{} prefs, visible={visible}, {match_desc}{}{limit_desc}]{suffix}\n",
+                    probes.len(),
+                    if *rank { ", ranked" } else { "" },
+                ));
+                base.explain_into(depth + 1, out, annot);
+                for p in probes {
+                    match &p.source {
+                        TopKProbeSource::Literal(v) => {
+                            let pad2 = "  ".repeat(depth + 1);
+                            out.push_str(&format!("{pad2}Probe = {v} [doi {}]\n", p.doi));
+                        }
+                        TopKProbeSource::Witness(w) => {
+                            let pad2 = "  ".repeat(depth + 1);
+                            out.push_str(&format!("{pad2}Probe in witness [doi {}]\n", p.doi));
+                            w.explain_into(depth + 2, out, annot);
+                        }
+                    }
                 }
             }
         }

@@ -52,7 +52,7 @@ use std::sync::Arc;
 /// vectorized path, rows once an operator has delegated to the tuple
 /// helpers (there is no re-batching — downstream operators then stay
 /// row-oriented too, which is exactly the tuple path they delegate to).
-enum Out {
+pub(crate) enum Out {
     B(Vec<Batch>),
     R(Vec<Row>),
 }
@@ -89,7 +89,7 @@ pub(crate) fn run_root(env: &Env, plan: &Plan) -> Result<Vec<Row>> {
 /// The recursive workhorse: span + estimate bookkeeping around
 /// [`execute_vop`], plus the per-operator governor checkpoint (mirrors
 /// `exec::run` exactly so `EXPLAIN ANALYZE` output is path-independent).
-fn run_b(env: &Env, plan: &Plan) -> Result<Out> {
+pub(crate) fn run_b(env: &Env, plan: &Plan) -> Result<Out> {
     env.ctx.checkpoint()?;
     let _span = pqp_obs::span(exec::op_name(plan));
     if pqp_obs::trace_active() {
@@ -210,6 +210,12 @@ fn execute_vop(env: &Env, plan: &Plan) -> Result<Out> {
                 out.retain(|row| seen.insert(row.clone()));
             }
             Ok(Out::R(out))
+        }
+        Plan::TopK { base, probes, visible, matching, rank, limit, .. } => {
+            // The operator consumes its base through `run_b` itself (batch
+            // boundaries are its checkpoint cadence), so this arm only
+            // adapts the output shape.
+            Ok(Out::R(crate::topk::execute(env, base, probes, *visible, matching, *rank, *limit)?))
         }
     }
 }

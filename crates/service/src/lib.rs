@@ -179,7 +179,8 @@ impl Default for ServiceConfig {
 /// How far personalization was stepped down to fit the query budget.
 ///
 /// The ladder follows the paper's knobs: first shrink the number of
-/// selected preferences K (§5), then keep only the mandatory subset M
+/// selected preferences K (§5), then shrink it further while forcing the
+/// cheap native rank operator, then keep only the mandatory subset M
 /// (§4), and finally fall back to the original, unpersonalized query —
 /// the paper's own graceful floor ("users without preferences get the
 /// query's plain semantics"). Each query reports the level it ran at in
@@ -190,6 +191,12 @@ pub enum DegradeLevel {
     None,
     /// K halved (floor 1); non-top-K criteria step down to top-2.
     ReducedK,
+    /// K quartered (floor 1) *and* the rewrite is forced through the
+    /// native rank operator, whose early termination makes it the
+    /// cheapest personalized execution — one rung above dropping the
+    /// optional preferences entirely. Falls back to MQ automatically on
+    /// shapes the operator does not support.
+    NativeReducedK,
     /// Only the mandatory preferences M are kept; the at-least-L match
     /// requirement is dropped.
     MandatoryOnly,
@@ -199,9 +206,10 @@ pub enum DegradeLevel {
 
 impl DegradeLevel {
     /// The ladder, mildest first.
-    pub const LADDER: [DegradeLevel; 4] = [
+    pub const LADDER: [DegradeLevel; 5] = [
         DegradeLevel::None,
         DegradeLevel::ReducedK,
+        DegradeLevel::NativeReducedK,
         DegradeLevel::MandatoryOnly,
         DegradeLevel::Unpersonalized,
     ];
@@ -211,6 +219,7 @@ impl DegradeLevel {
         match self {
             DegradeLevel::None => "none",
             DegradeLevel::ReducedK => "reduced-k",
+            DegradeLevel::NativeReducedK => "native-reduced-k",
             DegradeLevel::MandatoryOnly => "mandatory-only",
             DegradeLevel::Unpersonalized => "unpersonalized",
         }
@@ -225,6 +234,12 @@ impl DegradeLevel {
                 o.criterion = match o.criterion {
                     InterestCriterion::TopK(k) => InterestCriterion::TopK((k / 2).max(1)),
                     _ => InterestCriterion::TopK(2),
+                };
+            }
+            DegradeLevel::NativeReducedK => {
+                o.criterion = match o.criterion {
+                    InterestCriterion::TopK(k) => InterestCriterion::TopK((k / 4).max(1)),
+                    _ => InterestCriterion::TopK(1),
                 };
             }
             DegradeLevel::MandatoryOnly => {
@@ -461,6 +476,9 @@ impl From<&PersonalizeOptions> for OptionsKey {
 struct CachedPlan {
     epoch: u64,
     plan: Plan,
+    /// The rewrite the strategy layer resolved to (never `Auto`): a hit
+    /// must report the same [`AnswerMeta::rewrite`] the miss did.
+    rewrite: Rewrite,
     k: usize,
     m: usize,
 }
@@ -1006,10 +1024,11 @@ impl Service {
                 let t_exec = Instant::now();
                 let rows = self.db.run_plan_ctx(&cached.plan, &self.config.exec, ctx);
                 obs.phases.execute_us += t_exec.elapsed().as_micros() as u64;
+                self.telemetry.note_strategy(cached.rewrite);
                 return Ok(Answer {
                     rows: rows?,
                     meta: AnswerMeta {
-                        rewrite,
+                        rewrite: cached.rewrite,
                         k: cached.k,
                         m: cached.m,
                         degraded: DegradeLevel::None,
@@ -1050,8 +1069,13 @@ impl Service {
             if self.config.degrade { &DegradeLevel::LADDER } else { &DegradeLevel::LADDER[..1] };
         for (i, &level) in ladder.iter().enumerate() {
             let is_last = i + 1 == ladder.len();
-            let (executed, k, m) = if level == DegradeLevel::Unpersonalized {
-                (Query::from_select(prepared.select.clone()), 0, 0)
+            let (plan, ran, k, m) = if level == DegradeLevel::Unpersonalized {
+                // The unpersonalized floor runs the plain query.
+                let q = Query::from_select(prepared.select.clone());
+                let t_plan = Instant::now();
+                let plan = self.db.plan(&q);
+                obs.phases.plan_us += t_plan.elapsed().as_micros() as u64;
+                (plan?, Rewrite::Original, 0, 0)
             } else {
                 let slice = ctx.slice(1, 4);
                 let t_pers = Instant::now();
@@ -1067,8 +1091,23 @@ impl Service {
                 obs.phases.personalize_us += t_pers.elapsed().as_micros() as u64;
                 match personalized {
                     Ok(p) => {
-                        let executed = p.rewritten(rewrite)?;
-                        (executed, p.k(), p.m)
+                        // The native rung forces the rank operator — that is
+                        // what makes it cheaper than the rung above it; the
+                        // strategy layer falls back to MQ on unsupported
+                        // shapes and resolves `Auto` by estimated cost.
+                        let rung_rewrite = if level == DegradeLevel::NativeReducedK
+                            && rewrite != Rewrite::Original
+                        {
+                            Rewrite::NativeRank
+                        } else {
+                            rewrite
+                        };
+                        let t_plan = Instant::now();
+                        let choice =
+                            pqp_core::strategy::build_execution(&self.db, &p, rung_rewrite, None);
+                        obs.phases.plan_us += t_plan.elapsed().as_micros() as u64;
+                        let choice = choice?;
+                        (choice.plan, choice.rewrite, p.k(), p.m)
                     }
                     Err(PrefError::Budget(_)) if !is_last => {
                         pqp_obs::counter_add("service.degrade.steps", 1);
@@ -1077,27 +1116,22 @@ impl Service {
                     Err(e) => return Err(e.into()),
                 }
             };
-            // Degraded levels execute the *original* rewrite only when one
-            // actually ran; the unpersonalized floor runs the plain query.
-            let ran =
-                if level == DegradeLevel::Unpersonalized { Rewrite::Original } else { rewrite };
-            let t_plan = Instant::now();
-            let plan = self.db.plan(&executed);
-            obs.phases.plan_us += t_plan.elapsed().as_micros() as u64;
-            let plan = plan?;
             obs.est_rows = Some(Estimator::new(self.db.catalog()).rows(&plan));
             let t_exec = Instant::now();
             let rows = self.db.run_plan_ctx(&plan, &self.config.exec, ctx);
             obs.phases.execute_us += t_exec.elapsed().as_micros() as u64;
             let rows = rows?;
+            self.telemetry.note_strategy(ran);
             if level == DegradeLevel::None {
                 // Only full-fidelity plans are cached: a degraded plan is an
                 // artifact of one query's budget, not of the user's profile.
-                if self.plans.write().insert(key, Arc::new(CachedPlan { epoch, plan, k, m })) {
+                let cached = CachedPlan { epoch, plan, rewrite: ran, k, m };
+                if self.plans.write().insert(key, Arc::new(cached)) {
                     self.plan_stats.eviction();
                 }
             } else {
                 pqp_obs::counter_add("service.degrade.answers", 1);
+                pqp_obs::counter_add(&format!("service.degrade.rung.{}", level.label()), 1);
                 pqp_obs::record("degrade_level", level.label());
             }
             return Ok(Answer {
@@ -1390,6 +1424,37 @@ mod tests {
         assert!(!answer.meta.cache.is_hit());
         let titles: Vec<String> = answer.rows.rows.iter().map(|r| r[0].to_string()).collect();
         assert!(titles.contains(&"'Alpha'".to_string()) || titles.contains(&"Alpha".to_string()));
+    }
+
+    #[test]
+    fn native_rewrite_answers_match_mq_and_count_in_metrics() {
+        let service = service_with_ana();
+        let mq = service.session("ana").query(Q).unwrap();
+        assert_eq!(mq.meta.rewrite, Rewrite::Mq);
+        let session = service.session("ana").with_rewrite(Rewrite::NativeRank);
+        let native = session.query(Q).unwrap();
+        assert_eq!(native.meta.rewrite, Rewrite::NativeRank);
+        let sort = |mut rows: Vec<Vec<pqp_storage::Value>>| {
+            rows.sort();
+            rows
+        };
+        assert_eq!(sort(native.rows.rows.clone()), sort(mq.rows.rows.clone()));
+        // A plan-cache hit reports the rewrite the plan was built with, not
+        // the session's requested one.
+        let hit = session.query(Q).unwrap();
+        assert!(hit.meta.cache.is_hit());
+        assert_eq!(hit.meta.rewrite, Rewrite::NativeRank);
+        // An Auto session resolves to a concrete strategy.
+        let auto = service.session("ana").with_rewrite(Rewrite::Auto).query(Q).unwrap();
+        assert_ne!(auto.meta.rewrite, Rewrite::Auto);
+        let snap = service.telemetry().snapshot();
+        assert!(snap.strategy_mq >= 1, "{snap:?}");
+        assert!(snap.strategy_native_rank >= 2, "{snap:?}");
+        assert_eq!(
+            snap.strategy_sq + snap.strategy_mq + snap.strategy_native_rank,
+            4,
+            "every personalized answer lands in exactly one strategy counter: {snap:?}"
+        );
     }
 
     #[test]
@@ -1787,6 +1852,9 @@ mod tests {
         let opts = PersonalizeOptions::builder().k(8).m(2).l(3).build();
         let reduced = DegradeLevel::ReducedK.apply(opts);
         assert_eq!(reduced.criterion, InterestCriterion::TopK(4));
+        let native = DegradeLevel::NativeReducedK.apply(opts);
+        assert_eq!(native.criterion, InterestCriterion::TopK(2));
+        assert_eq!(native.matching, opts.matching, "the native rung keeps matching semantics");
         let mandatory = DegradeLevel::MandatoryOnly.apply(opts);
         assert_eq!(mandatory.criterion, InterestCriterion::TopK(2));
         assert_eq!(mandatory.matching, MatchSpec::AtLeast(0));
@@ -1797,6 +1865,8 @@ mod tests {
         assert_eq!(DegradeLevel::ReducedK.apply(min).criterion, InterestCriterion::TopK(2));
         let one = PersonalizeOptions::builder().k(1).build();
         assert_eq!(DegradeLevel::ReducedK.apply(one).criterion, InterestCriterion::TopK(1));
+        assert_eq!(DegradeLevel::NativeReducedK.apply(one).criterion, InterestCriterion::TopK(1));
+        assert_eq!(DegradeLevel::NativeReducedK.apply(min).criterion, InterestCriterion::TopK(1));
         assert_eq!(DegradeLevel::None.apply(opts), opts);
         assert_eq!(DegradeLevel::Unpersonalized.apply(opts), opts);
     }

@@ -293,6 +293,16 @@ pub struct TelemetrySnapshot {
     pub overloaded: u64,
     /// Panics caught and isolated by the service.
     pub panics_caught: u64,
+    /// Answers executed through the SQ rewrite.
+    pub strategy_sq: u64,
+    /// Answers executed through the MQ rewrite.
+    pub strategy_mq: u64,
+    /// Answers executed through the native rank operator.
+    pub strategy_native_rank: u64,
+    /// Degraded answers per ladder rung, in ladder order below
+    /// [`crate::DegradeLevel::None`]: reduced-k, native-reduced-k,
+    /// mandatory-only, unpersonalized.
+    pub degrade_rungs: [u64; 4],
     /// Total latency in milliseconds: lifetime + sliding last-minute view.
     pub latency_ms: WindowSnapshot,
 }
@@ -311,6 +321,10 @@ pub struct Telemetry {
     budget_exceeded: AtomicU64,
     overloaded: AtomicU64,
     panics_caught: AtomicU64,
+    strategy_sq: AtomicU64,
+    strategy_mq: AtomicU64,
+    strategy_native_rank: AtomicU64,
+    degrade_rungs: [AtomicU64; 4],
 }
 
 impl Telemetry {
@@ -328,6 +342,10 @@ impl Telemetry {
             budget_exceeded: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
+            strategy_sq: AtomicU64::new(0),
+            strategy_mq: AtomicU64::new(0),
+            strategy_native_rank: AtomicU64::new(0),
+            degrade_rungs: Default::default(),
         }
     }
 
@@ -350,6 +368,16 @@ impl Telemetry {
         }
         if record.degrade != "none" {
             self.degraded.fetch_add(1, Ordering::Relaxed);
+            let rung = match record.degrade {
+                "reduced-k" => Some(0),
+                "native-reduced-k" => Some(1),
+                "mandatory-only" => Some(2),
+                "unpersonalized" => Some(3),
+                _ => None,
+            };
+            if let Some(i) = rung {
+                self.degrade_rungs[i].fetch_add(1, Ordering::Relaxed);
+            }
         }
         if let Some(deadline_ms) = record.deadline_ms {
             if record.phases.total_us > deadline_ms.saturating_mul(1_000) {
@@ -378,6 +406,19 @@ impl Telemetry {
         self.panics_caught.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count the execution strategy an answer ran through (resolved, never
+    /// `Auto`). `Original` answers — unpersonalized sessions or the ladder
+    /// floor — are not a planner strategy and are not counted.
+    pub(crate) fn note_strategy(&self, rewrite: pqp_core::Rewrite) {
+        use pqp_core::Rewrite;
+        match rewrite {
+            Rewrite::Sq => self.strategy_sq.fetch_add(1, Ordering::Relaxed),
+            Rewrite::Mq => self.strategy_mq.fetch_add(1, Ordering::Relaxed),
+            Rewrite::NativeRank => self.strategy_native_rank.fetch_add(1, Ordering::Relaxed),
+            _ => return,
+        };
+    }
+
     /// Snapshot every aggregate.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -389,6 +430,15 @@ impl Telemetry {
             budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            strategy_sq: self.strategy_sq.load(Ordering::Relaxed),
+            strategy_mq: self.strategy_mq.load(Ordering::Relaxed),
+            strategy_native_rank: self.strategy_native_rank.load(Ordering::Relaxed),
+            degrade_rungs: [
+                self.degrade_rungs[0].load(Ordering::Relaxed),
+                self.degrade_rungs[1].load(Ordering::Relaxed),
+                self.degrade_rungs[2].load(Ordering::Relaxed),
+                self.degrade_rungs[3].load(Ordering::Relaxed),
+            ],
             latency_ms: self.latency_ms.snapshot(),
         }
     }
@@ -410,6 +460,13 @@ impl Telemetry {
         int("budget_exceeded_total", snap.budget_exceeded, &mut rows);
         int("overloaded_total", snap.overloaded, &mut rows);
         int("panics_caught_total", snap.panics_caught, &mut rows);
+        int("planner.strategy.sq", snap.strategy_sq, &mut rows);
+        int("planner.strategy.mq", snap.strategy_mq, &mut rows);
+        int("planner.strategy.native_rank", snap.strategy_native_rank, &mut rows);
+        int("service.degrade.rung.reduced-k", snap.degrade_rungs[0], &mut rows);
+        int("service.degrade.rung.native-reduced-k", snap.degrade_rungs[1], &mut rows);
+        int("service.degrade.rung.mandatory-only", snap.degrade_rungs[2], &mut rows);
+        int("service.degrade.rung.unpersonalized", snap.degrade_rungs[3], &mut rows);
         let float = |name: &str, v: f64, rows: &mut Vec<Vec<Value>>| {
             rows.push(vec![Value::Str(name.to_string()), Value::Float(v)]);
         };
@@ -567,15 +624,19 @@ mod tests {
         refused.error_kind = Some("budget");
         t.record(refused);
         t.note_panic();
+        let mut native = record_with("f", 1_000, true);
+        native.degrade = "native-reduced-k";
+        t.record(native);
         let snap = t.snapshot();
-        assert_eq!(snap.queries, 5);
+        assert_eq!(snap.queries, 6);
         assert_eq!(snap.errors, 2);
-        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.degraded, 2);
+        assert_eq!(snap.degrade_rungs, [1, 1, 0, 0], "one reduced-k, one native-reduced-k");
         assert_eq!(snap.over_deadline, 1);
         assert_eq!(snap.budget_exceeded, 1);
         assert_eq!(snap.panics_caught, 1);
-        assert_eq!(snap.latency_ms.lifetime.count(), 5);
-        assert!(snap.latency_ms.window.count() >= 5, "fresh samples are inside the window");
+        assert_eq!(snap.latency_ms.lifetime.count(), 6);
+        assert!(snap.latency_ms.window.count() >= 6, "fresh samples are inside the window");
     }
 
     #[test]
@@ -625,6 +686,15 @@ mod tests {
         };
         assert_eq!(get("queries_total"), Some(Value::Int(1)));
         assert_eq!(get("errors_total"), Some(Value::Int(0)));
+        t.note_strategy(pqp_core::Rewrite::NativeRank);
+        let metrics = t.metrics_table();
+        let get = |name: &str| {
+            metrics.rows.iter().find(|r| r[0] == Value::Str(name.to_string())).map(|r| r[1].clone())
+        };
+        assert_eq!(get("planner.strategy.native_rank"), Some(Value::Int(1)));
+        assert_eq!(get("planner.strategy.sq"), Some(Value::Int(0)));
+        assert_eq!(get("planner.strategy.mq"), Some(Value::Int(0)));
+        assert_eq!(get("service.degrade.rung.native-reduced-k"), Some(Value::Int(0)));
         assert!(matches!(get("latency_p95_ms"), Some(Value::Float(v)) if v > 0.0));
         assert!(matches!(get("window_qps"), Some(Value::Float(v)) if v > 0.0));
 

@@ -318,16 +318,18 @@ fn shard_lock_panic_leaves_profile_store_usable() {
 }
 
 /// The degradation ladder, stepped deterministically with `select.budget`:
-/// one injected trip degrades to ReducedK, two to MandatoryOnly, three to
-/// the unpersonalized floor. Degraded plans are never cached.
+/// one injected trip degrades to ReducedK, two to NativeReducedK, three to
+/// MandatoryOnly, four to the unpersonalized floor. Degraded plans are
+/// never cached.
 #[test]
 fn injected_budget_trips_walk_the_degradation_ladder() {
     with_failpoints(|| {
         let service = chaos_service();
-        let expectations: [(&str, DegradeLevel, usize); 3] = [
+        let expectations: [(&str, DegradeLevel, usize); 4] = [
             ("1*error", DegradeLevel::ReducedK, 1),
-            ("2*error", DegradeLevel::MandatoryOnly, 0),
-            ("3*error", DegradeLevel::Unpersonalized, 0),
+            ("2*error", DegradeLevel::NativeReducedK, 1),
+            ("3*error", DegradeLevel::MandatoryOnly, 0),
+            ("4*error", DegradeLevel::Unpersonalized, 0),
         ];
         for (spec, level, k) in expectations {
             failpoint::configure("select.budget", spec).unwrap();

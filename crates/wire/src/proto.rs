@@ -240,6 +240,8 @@ fn rewrite_to_u8(rw: Rewrite) -> u8 {
         Rewrite::Original => 0,
         Rewrite::Sq => 1,
         Rewrite::Mq => 2,
+        Rewrite::NativeRank => 3,
+        Rewrite::Auto => 4,
         // `Rewrite` is #[non_exhaustive]; a new variant must be assigned a
         // wire discriminant here before it can cross the wire.
         _ => unreachable!("Rewrite variant without a wire discriminant"),
@@ -251,6 +253,8 @@ fn rewrite_from_u8(tag: u8) -> Result<Rewrite> {
         0 => Ok(Rewrite::Original),
         1 => Ok(Rewrite::Sq),
         2 => Ok(Rewrite::Mq),
+        3 => Ok(Rewrite::NativeRank),
+        4 => Ok(Rewrite::Auto),
         tag => Err(DecodeError::BadTag { what: "rewrite", tag: tag as u64 }),
     }
 }
@@ -261,6 +265,9 @@ fn degrade_to_u8(d: DegradeLevel) -> u8 {
         DegradeLevel::ReducedK => 1,
         DegradeLevel::MandatoryOnly => 2,
         DegradeLevel::Unpersonalized => 3,
+        // Appended after the original four: wire discriminants are
+        // append-only, so the new rung cannot renumber its neighbours.
+        DegradeLevel::NativeReducedK => 4,
     }
 }
 
@@ -270,6 +277,7 @@ fn degrade_from_u8(tag: u8) -> Result<DegradeLevel> {
         1 => Ok(DegradeLevel::ReducedK),
         2 => Ok(DegradeLevel::MandatoryOnly),
         3 => Ok(DegradeLevel::Unpersonalized),
+        4 => Ok(DegradeLevel::NativeReducedK),
         tag => Err(DecodeError::BadTag { what: "degrade level", tag: tag as u64 }),
     }
 }
@@ -643,6 +651,16 @@ mod tests {
             ),
             rewrite: Some(Rewrite::Original),
         });
+        round_trip_request(Request::Query {
+            sql: "q".into(),
+            options: None,
+            rewrite: Some(Rewrite::NativeRank),
+        });
+        round_trip_request(Request::Query {
+            sql: "q".into(),
+            options: None,
+            rewrite: Some(Rewrite::Auto),
+        });
         round_trip_request(Request::Prepare { sql: "select T.x from T".into() });
         round_trip_request(Request::Mutate(ProfileOp::AddSelection {
             table: "GENRE".into(),
@@ -694,6 +712,22 @@ mod tests {
                 degraded: DegradeLevel::ReducedK,
                 cache: CacheOutcome::Stale,
                 rows_scanned: 12345,
+            },
+        );
+        round_trip_response(Response::Answer(answer));
+    }
+
+    #[test]
+    fn native_rank_meta_round_trips() {
+        let answer = Answer::new(
+            ResultSet { columns: vec!["t".into()], rows: vec![vec![Value::Str("x".into())]] },
+            AnswerMeta {
+                rewrite: Rewrite::NativeRank,
+                k: 4,
+                m: 1,
+                degraded: DegradeLevel::NativeReducedK,
+                cache: CacheOutcome::Miss,
+                rows_scanned: 9,
             },
         );
         round_trip_response(Response::Answer(answer));

@@ -78,6 +78,45 @@ RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-engine --test vectoriz
 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-datagen --test vectorized_equivalence -q
 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-service --test batched_answers -q
 
+# The native rank operator must be indistinguishable from the ranked MQ
+# rewrite — same rows, bit-identical degrees, deterministic tie order —
+# over randomized profiles and K/M/L knobs. The suite itself re-executes
+# every native plan under the parallel and tuple-at-a-time executor modes
+# and trips governor budgets mid-operator; it runs here on both test
+# schedules.
+echo "==> native rank differential suite"
+cargo test "${CARGO_FLAGS[@]}" -p pqp --test native_rank_differential -q
+echo "==> native rank differential suite (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp --test native_rank_differential -q
+
+# Native TopK micro-bench smoke (PQP_TOPK_SMOKE shrinks the K/L sweep to
+# its two ends): must produce results/micro_topk.json with per-point cost
+# model choices and the K=14/L=3 corner speedup. The native-vs-ranked-MQ
+# equivalence assertion runs inside the bench binary itself.
+echo "==> topk bench smoke"
+PQP_TOPK_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p pqp-bench --bench topk
+if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/micro_topk.json"))
+assert doc["meta"]["bench"] == "micro_topk"
+assert doc["meta"]["schema_version"] >= 2
+assert doc["benchmarks"], "no benchmarks recorded"
+for b in doc["benchmarks"]:
+    assert b["mean_ms"] > 0 and b["n"] > 0
+derived = doc["derived"]
+for key in ("native_speedup_k14_l3", "top_n", "sweep", "host_cores",
+            "measured_cheapest_low_end", "measured_cheapest_high_end"):
+    assert key in derived, f"derived.{key} missing"
+assert derived["sweep"], "empty sweep"
+for point in derived["sweep"]:
+    assert point["cost_model_choice"] in ("SQ", "MQ", "native"), point
+    assert point["est_cost_mq"] > 0 and point["est_cost_native"] > 0
+EOF
+else
+    grep -q '"native_speedup_k14_l3"' results/micro_topk.json
+fi
+
 # Vectorized micro-bench smoke: must produce results/micro_vectorized.json
 # with the full benchmark set and a derived speedup block (the asserted
 # batched-vs-tuple row identity runs inside the bench binary itself).

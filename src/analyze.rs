@@ -22,8 +22,14 @@ pub use pqp_core::Rewrite;
 /// The outcome of an `EXPLAIN ANALYZE` run.
 #[derive(Debug, Clone)]
 pub struct Analysis {
-    /// The executed rewrite.
+    /// The executed rewrite, as resolved by the strategy layer: an `Auto`
+    /// request reports the strategy the cost model picked, an unsupported
+    /// `NativeRank` request reports its MQ fallback.
     pub rewrite: Rewrite,
+    /// The strategy line: chosen rewrite, estimated cost, and the
+    /// estimated cost of every buildable candidate
+    /// ([`pqp_core::StrategyChoice::summary`]).
+    pub strategy: String,
     /// The personalization outcome (selected preferences, K/M/L).
     pub personalized: Personalized,
     /// The rows the executed query returned.
@@ -51,6 +57,7 @@ impl Analysis {
         for p in &self.personalized.paths {
             let _ = writeln!(out, "  {:.4}  {p}", p.doi.value());
         }
+        let _ = writeln!(out, "{}", self.strategy);
         let _ = writeln!(out, "Result: {} rows", self.result.rows.len());
         out
     }
@@ -61,6 +68,7 @@ impl Analysis {
             self.personalized.degrees().iter().map(|d| Json::from(d.value())).collect();
         Json::obj()
             .set("rewrite", self.rewrite.label())
+            .set("strategy", self.strategy.as_str())
             .set("k", self.personalized.k() as i64)
             .set("m", self.personalized.m as i64)
             .set("degrees", Json::Arr(degrees))
@@ -100,18 +108,21 @@ pub fn explain_analyze_with(
     exec: &ExecOptions,
 ) -> Result<Analysis> {
     pqp_obs::trace_begin("explain_analyze");
-    let run = || -> Result<(Personalized, ResultSet)> {
+    let run = || -> Result<(Personalized, Rewrite, String, ResultSet)> {
         let query =
             pqp_sql::parse_query(sql).map_err(|e| PrefError::UnsupportedQuery(e.to_string()))?;
         let p = personalize(&query, graph, db.catalog(), opts)?;
-        let executed = p.rewritten(rewrite)?;
-        let result = db.run_query_with(&executed, exec)?;
-        Ok((p, result))
+        // Strategy resolution builds and costs every candidate (or just the
+        // requested one); `Auto` picks the cheapest, an unsupported native
+        // request falls back to MQ.
+        let choice = pqp_core::strategy::build_execution(db, &p, rewrite, None)?;
+        let result = db.run_plan_with(&choice.plan, exec)?;
+        Ok((p, choice.rewrite, choice.summary(), result))
     };
     let outcome = run();
     let trace = pqp_obs::trace_end().expect("trace_begin opened a trace");
-    let (personalized, result) = outcome?;
-    Ok(Analysis { rewrite, personalized, result, trace })
+    let (personalized, rewrite, strategy, result) = outcome?;
+    Ok(Analysis { rewrite, strategy, personalized, result, trace })
 }
 
 #[cfg(test)]
@@ -183,7 +194,7 @@ mod tests {
         let (db, profile) = fixture();
         let graph = InMemoryGraph::build(&profile, db.catalog()).unwrap();
         let sql = "select MV.title from MOVIE MV, PLAY PL where MV.mid = PL.mid";
-        for rewrite in [Rewrite::Original, Rewrite::Sq, Rewrite::Mq] {
+        for rewrite in [Rewrite::Original, Rewrite::Sq, Rewrite::Mq, Rewrite::NativeRank] {
             let a = explain_analyze(
                 sql,
                 &graph,
@@ -194,7 +205,20 @@ mod tests {
             .unwrap();
             assert_eq!(a.rewrite, rewrite);
             assert!(a.trace.root.find("execute").is_some());
+            assert!(a.report().contains("strategy: "), "{}", a.report());
         }
+        // Auto resolves to a concrete strategy and reports every candidate.
+        let a = explain_analyze(
+            sql,
+            &graph,
+            &db,
+            PersonalizeOptions::builder().k(2).l(1).build(),
+            Rewrite::Auto,
+        )
+        .unwrap();
+        assert_ne!(a.rewrite, Rewrite::Auto);
+        assert!(a.strategy.contains("candidates: "), "{}", a.strategy);
+        assert_eq!(a.to_json().get("strategy").and_then(Json::as_str), Some(a.strategy.as_str()));
     }
 
     #[test]

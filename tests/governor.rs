@@ -135,8 +135,9 @@ fn injected_personalization_trip_degrades_and_reports_the_level() {
     with_failpoints(|| {
         let service = governed_service();
         let sql = tonight_sql();
-        // Two injected trips walk the ladder past ReducedK to MandatoryOnly.
-        failpoint::configure("select.budget", "2*error").unwrap();
+        // Three injected trips walk the ladder past ReducedK and
+        // NativeReducedK to MandatoryOnly.
+        failpoint::configure("select.budget", "3*error").unwrap();
         let degraded = service.session("julie").query(&sql).unwrap();
         assert_eq!(degraded.meta.degraded, DegradeLevel::MandatoryOnly);
         assert!(!degraded.meta.cache.is_hit(), "degraded answers never come from the cache");
