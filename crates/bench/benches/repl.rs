@@ -1,0 +1,210 @@
+//! Replication overhead of the profile mutation path: what does
+//! durability cost, and what does each follower in the ack quorum add?
+//!
+//! Four rungs, same steady-state mutation (a doi update on one stored
+//! preference, so the profile does not grow across iterations):
+//!
+//! - `in_memory` — `Service::add_selection` straight into the store (the
+//!   pre-replication baseline).
+//! - `wal_quorum1` — through [`ReplNode`]: WAL append + fsync, no
+//!   followers (leader-only durability).
+//! - `quorum<N+1>_followers<N>` for N ∈ {1, 2, 3} — leader + N real
+//!   follower servers over loopback TCP, quorum N+1: the client ack
+//!   waits for every follower, so this is the full ship+ack round trip.
+//!
+//! Writes `results/micro_repl.json` (schema_version 2 `meta` block with
+//! `host_cores`) plus a `derived.quorum_curve` block carrying the
+//! p50/p95 ack-latency curve and the fsync overhead factor.
+//!
+//! `PQP_REPL_SMOKE=1` shrinks the sample counts for the CI smoke gate.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pqp_bench::microbench::{write_metrics_json, MicroBench};
+use pqp_datagen::{generate, MovieDbConfig};
+use pqp_obs::Json;
+use pqp_server::{ReplConfig, ReplNode, Server, ServerConfig, ServerHandle};
+use pqp_service::{Service, UserId};
+use pqp_storage::Value;
+use pqp_wire::repl::Role;
+use pqp_wire::ProfileOp;
+
+fn samples() -> usize {
+    if std::env::var("PQP_REPL_SMOKE").is_ok_and(|v| v != "0") {
+        20
+    } else {
+        200
+    }
+}
+
+fn service() -> Arc<Service> {
+    Arc::new(Service::new(generate(MovieDbConfig::default()).db))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pqp_bench_repl_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The steady-state mutation: overwrite one preference's doi, cycling
+/// through a handful of values so every call is a real update.
+fn op(i: usize) -> ProfileOp {
+    ProfileOp::AddSelection {
+        table: "MOVIE".into(),
+        column: "year".into(),
+        value: Value::Int(1999),
+        doi: 0.1 + (i % 9) as f64 * 0.1,
+    }
+}
+
+/// A follower node: service + replication engine + TCP server on an
+/// ephemeral loopback port.
+struct Follower {
+    dir: PathBuf,
+    handle: Option<ServerHandle>,
+    addr: String,
+}
+
+impl Follower {
+    fn start(tag: &str) -> Follower {
+        let dir = tempdir(tag);
+        let svc = service();
+        let mut config = ReplConfig::new(tag, &dir);
+        config.role = Role::Follower;
+        let node = ReplNode::open(Arc::clone(&svc), config).expect("follower recovery");
+        let server_config =
+            ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
+        let handle = Server::bind_replicated(svc, server_config, Some(node))
+            .expect("follower bind")
+            .spawn()
+            .expect("follower spawn");
+        let addr = handle.addr().to_string();
+        Follower { dir, handle: Some(handle), addr }
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn p50_p95(samples_ms: &mut [f64]) -> (f64, f64) {
+    samples_ms.sort_by(|a, b| a.total_cmp(b));
+    let at = |q: f64| samples_ms[((samples_ms.len() - 1) as f64 * q).round() as usize];
+    (at(0.50), at(0.95))
+}
+
+fn main() {
+    let n = samples();
+    let user = UserId::from("bench");
+    let mut group = MicroBench::new("repl").sample_size(n);
+    let mut curve: Vec<Json> = Vec::new();
+
+    // Rung 1: the in-memory baseline.
+    let svc = service();
+    let mut i = 0usize;
+    group.bench("in_memory", || {
+        i += 1;
+        if let ProfileOp::AddSelection { table, column, value, doi } = op(i) {
+            svc.add_selection(user.clone(), &table, &column, value, doi).unwrap();
+        }
+    });
+
+    // Rung 2: WAL append + fsync, leader-only durability.
+    {
+        let dir = tempdir("quorum1");
+        let node = ReplNode::open(service(), ReplConfig::new("bench-leader", &dir))
+            .expect("leader recovery");
+        let mut i = 0usize;
+        group.bench("wal_quorum1", || {
+            i += 1;
+            node.client_mutate(&user, op(i)).unwrap();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Rungs 3..5: leader + N followers over loopback, full-quorum acks.
+    for followers in 1..=3usize {
+        let peers: Vec<Follower> =
+            (0..followers).map(|f| Follower::start(&format!("f{followers}_{f}"))).collect();
+        let dir = tempdir(&format!("leader_n{followers}"));
+        let mut config = ReplConfig::new(format!("bench-leader-n{followers}"), &dir);
+        config.peers = peers.iter().map(|p| p.addr.clone()).collect();
+        config.quorum = followers + 1;
+        config.ship_timeout = Duration::from_millis(2_000);
+        let node = ReplNode::open(service(), config).expect("leader recovery");
+
+        let label = format!("quorum{}_followers{followers}", followers + 1);
+        let mut latencies: Vec<f64> = Vec::with_capacity(n);
+        let mut i = 0usize;
+        group.bench(&label, || {
+            i += 1;
+            let t = Instant::now();
+            node.client_mutate(&user, op(i)).unwrap();
+            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        });
+        // The closure also ran during warm-up (where the peer links get
+        // established); the curve is over the timed iterations only.
+        let warmups = 3.min(n);
+        let (p50, p95) = p50_p95(&mut latencies[warmups..]);
+        println!("{label}: ack latency p50 {p50:.4} ms, p95 {p95:.4} ms");
+        curve.push(
+            Json::obj()
+                .set("followers", followers as i64)
+                .set("quorum", (followers + 1) as i64)
+                .set("ack_p50_ms", p50)
+                .set("ack_p95_ms", p95),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let dir = workspace_results_dir();
+    match group.write_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write micro_repl.json: {err}"),
+    }
+    annotate(&dir.join("micro_repl.json"), curve);
+    match write_metrics_json(&dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write metrics.json: {err}"),
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .join("results")
+}
+
+/// Add the `derived` block: the ack-quorum latency curve and the cost of
+/// durability (WAL'd vs in-memory mutation, leader only).
+fn annotate(path: &Path, curve: Vec<Json>) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    let Ok(doc) = Json::parse(&text) else { return };
+    let mean = |name: &str| -> Option<f64> {
+        doc.get("benchmarks")?
+            .as_array()?
+            .iter()
+            .find_map(|b| (b.get("name")?.as_str()? == name).then(|| b.get("mean_ms")?.as_f64())?)
+    };
+    let mut derived = Json::obj().set("quorum_curve", Json::Arr(curve));
+    if let (Some(mem), Some(wal)) = (mean("in_memory"), mean("wal_quorum1")) {
+        if mem > 0.0 {
+            println!("durability overhead (wal_quorum1 / in_memory): {:.2}x", wal / mem);
+            derived = derived.set("durability_overhead_factor", wal / mem);
+        }
+    }
+    let doc = doc.set("derived", derived);
+    if std::fs::write(path, doc.pretty()).is_err() {
+        eprintln!("failed to annotate {}", path.display());
+    }
+}

@@ -1,6 +1,10 @@
 //! One connection = one session: handshake, then a strict
 //! request/response loop until close, disconnect, timeout, or a
 //! frame-level protocol violation.
+//!
+//! The first frame routes the connection: a replication request tag
+//! hands the stream to the peer loop ([`peer_session`]); anything else
+//! must be a client `Hello`.
 
 use std::io::{BufWriter, ErrorKind, Write};
 use std::net::TcpStream;
@@ -10,6 +14,7 @@ use std::sync::atomic::Ordering;
 use pqp_service::{Error, UserId};
 use pqp_wire::frame::{read_frame, write_frame, FrameError};
 use pqp_wire::proto::{ProfileOp, Request, Response, ShowRequest, WireError};
+use pqp_wire::repl::{is_repl_request, ReplRequest, ReplResponse};
 use pqp_wire::{MAX_FRAME_LEN, PROTOCOL_VERSION};
 
 use crate::Shared;
@@ -54,8 +59,18 @@ fn session(shared: &Shared, stream: TcpStream) -> std::io::Result<Close> {
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
 
-    // Handshake: the first frame must be a version-matched Hello.
-    let user = match read_request(&mut reader) {
+    // The first frame routes the connection: replication tags go to the
+    // peer loop, everything else must be a client Hello.
+    let (first_tag, first_payload) = match read_raw(&mut reader) {
+        Ok(frame) => frame,
+        Err(close) => return Ok(close),
+    };
+    if is_repl_request(first_tag) {
+        return peer_session(shared, &mut reader, &mut writer, first_tag, first_payload);
+    }
+
+    // Handshake: the first client frame must be a version-matched Hello.
+    let user = match Request::decode(first_tag, &first_payload) {
         Ok(Request::Hello { version, user }) => {
             if version != PROTOCOL_VERSION {
                 send(
@@ -79,8 +94,7 @@ fn session(shared: &Shared, stream: TcpStream) -> std::io::Result<Close> {
             )?;
             return Ok(Close::Protocol);
         }
-        Err(ReadError::Frame(close)) => return Ok(close),
-        Err(ReadError::Malformed(e)) => {
+        Err(e) => {
             send(&mut writer, &Response::Error(WireError::protocol(format!("bad hello: {e}"))))?;
             return Ok(Close::Protocol);
         }
@@ -155,21 +169,40 @@ fn dispatch(shared: &Shared, user: &UserId, request: Request) -> Response {
             Ok(canonical) => Response::PrepareOk { canonical },
             Err(e) => Response::Error(WireError::from_error(&e)),
         },
-        Request::Mutate(op) => {
-            let result = match op {
-                ProfileOp::AddSelection { table, column, value, doi } => {
-                    service.add_selection(user.clone(), &table, &column, value, doi).map(|_| true)
-                }
-                ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => service
-                    .add_join(user.clone(), &from_table, &from_column, &to_table, &to_column, doi)
-                    .map(|_| true),
-                ProfileOp::Remove => Ok(service.remove_profile(user.clone())),
-            };
-            match result {
-                Ok(removed) => Response::MutateOk { epoch: service.epoch(user.clone()), removed },
+        // With a replication engine, mutations go through the WAL + log
+        // shipping (leader only); otherwise they apply directly.
+        Request::Mutate(op) => match &shared.repl {
+            Some(node) => match node.client_mutate(user, op) {
+                Ok((epoch, removed)) => Response::MutateOk { epoch, removed },
                 Err(e) => Response::Error(WireError::from_error(&e)),
+            },
+            None => {
+                let result = match op {
+                    ProfileOp::AddSelection { table, column, value, doi } => service
+                        .add_selection(user.clone(), &table, &column, value, doi)
+                        .map(|_| true),
+                    ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => {
+                        service
+                            .add_join(
+                                user.clone(),
+                                &from_table,
+                                &from_column,
+                                &to_table,
+                                &to_column,
+                                doi,
+                            )
+                            .map(|_| true)
+                    }
+                    ProfileOp::Remove => Ok(service.remove_profile(user.clone())),
+                };
+                match result {
+                    Ok(removed) => {
+                        Response::MutateOk { epoch: service.epoch(user.clone()), removed }
+                    }
+                    Err(e) => Response::Error(WireError::from_error(&e)),
+                }
             }
-        }
+        },
         Request::Show(show) => {
             let sql = match show {
                 ShowRequest::Metrics => "SHOW METRICS".to_string(),
@@ -191,6 +224,55 @@ fn dispatch(shared: &Shared, user: &UserId, request: Request) -> Response {
     }
 }
 
+/// Serve a replication peer: a strict request/response loop over the
+/// [`ReplRequest`] vocabulary, dispatched to the node's replication
+/// engine. A node with no engine (single-node deployment) rejects every
+/// peer frame with a typed reason.
+fn peer_session(
+    shared: &Shared,
+    reader: &mut TcpStream,
+    writer: &mut BufWriter<TcpStream>,
+    mut tag: u8,
+    mut payload: Vec<u8>,
+) -> std::io::Result<Close> {
+    pqp_obs::counter_add("server.peer_sessions", 1);
+    loop {
+        let response = match &shared.repl {
+            None => ReplResponse::Reject {
+                term: 0,
+                last_seq: 0,
+                reason: "replication not configured on this node".to_string(),
+            },
+            Some(node) => match ReplRequest::decode(tag, &payload) {
+                Ok(request) => node.handle_peer(request),
+                Err(e) => {
+                    // The frame was sound, so the stream is aligned:
+                    // reject this request and keep serving the link.
+                    pqp_obs::counter_add("server.malformed_peer_frames", 1);
+                    let status = node.status();
+                    ReplResponse::Reject {
+                        term: status.term,
+                        last_seq: status.last_seq,
+                        reason: format!("bad repl frame: {e}"),
+                    }
+                }
+            },
+        };
+        let (t, p) = response.encode();
+        write_frame(writer, t, &p).inspect_err(|_| {
+            pqp_obs::counter_add("server.write_failed", 1);
+        })?;
+        writer.flush()?;
+        match read_raw(reader) {
+            Ok((t, p)) => {
+                tag = t;
+                payload = p;
+            }
+            Err(close) => return Ok(close),
+        }
+    }
+}
+
 enum ReadError {
     /// The transport ended the session (maps to a [`Close`] reason).
     Frame(Close),
@@ -198,25 +280,31 @@ enum ReadError {
     Malformed(pqp_wire::DecodeError),
 }
 
-fn read_request(reader: &mut TcpStream) -> Result<Request, ReadError> {
+/// Read one raw frame, mapping transport failures to a [`Close`] reason.
+fn read_raw(reader: &mut TcpStream) -> Result<(u8, Vec<u8>), Close> {
     match read_frame(reader, MAX_FRAME_LEN) {
-        Ok((tag, payload)) => Request::decode(tag, &payload).map_err(ReadError::Malformed),
-        Err(FrameError::Closed) => Err(ReadError::Frame(Close::Clean)),
+        Ok(frame) => Ok(frame),
+        Err(FrameError::Closed) => Err(Close::Clean),
         Err(FrameError::Io(e))
             if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
         {
             pqp_obs::counter_add("server.idle_timeouts", 1);
-            Err(ReadError::Frame(Close::IdleTimeout))
+            Err(Close::IdleTimeout)
         }
         Err(FrameError::Io(_)) => {
             pqp_obs::counter_add("server.client_disconnects", 1);
-            Err(ReadError::Frame(Close::Disconnected))
+            Err(Close::Disconnected)
         }
         Err(FrameError::Oversized { .. } | FrameError::Empty) => {
             pqp_obs::counter_add("server.bad_frames", 1);
-            Err(ReadError::Frame(Close::Protocol))
+            Err(Close::Protocol)
         }
     }
+}
+
+fn read_request(reader: &mut TcpStream) -> Result<Request, ReadError> {
+    let (tag, payload) = read_raw(reader).map_err(ReadError::Frame)?;
+    Request::decode(tag, &payload).map_err(ReadError::Malformed)
 }
 
 fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> std::io::Result<()> {

@@ -16,9 +16,17 @@
 //! - A client that disconnects mid-query costs nothing but the query: the
 //!   service's in-flight slot is released by its RAII guard, the write
 //!   failure is counted, and the connection thread exits cleanly.
-//! - Failpoints (`server.frame`) and `catch_unwind` at the dispatch
-//!   boundary turn injected panics into `internal` error frames instead of
-//!   process aborts.
+//! - Failpoints (`server.frame`, `repl.ship`, `repl.ack`, `node.crash`,
+//!   plus `wal.append`/`wal.fsync` in the storage layer) and
+//!   `catch_unwind` at the dispatch boundary turn injected panics into
+//!   `internal` error frames instead of process aborts.
+//!
+//! With `PQP_WAL_DIR` set, the server runs a replicated profile store:
+//! every client mutation goes through a crash-safe WAL and single-leader
+//! log shipping (see [`repl`]), and the same listen port speaks both the
+//! client protocol and the node-to-node replication frames — a
+//! connection's first frame picks the handler. The [`router`] module is
+//! the companion routing tier for multi-node deployments.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -30,6 +38,11 @@ use std::time::Duration;
 use pqp_service::Service;
 
 mod conn;
+pub mod repl;
+pub mod router;
+
+pub use repl::{ReplConfig, ReplNode};
+pub use router::{Router, RouterConfig, RouterHandle};
 
 /// Server knobs. Every field has an environment override so a deployment
 /// is configured without code changes.
@@ -89,6 +102,8 @@ pub(crate) struct Shared {
     pub(crate) connections: AtomicU64,
     /// Sessions currently open.
     pub(crate) active: AtomicU64,
+    /// The replication engine, when this node runs a replicated store.
+    pub(crate) repl: Option<Arc<repl::ReplNode>>,
 }
 
 /// A bound-but-not-yet-running server. [`Server::run`] blocks the calling
@@ -103,6 +118,18 @@ impl Server {
     /// Bind the listen socket. The service is shared — the same instance
     /// can keep serving in-process sessions concurrently.
     pub fn bind(service: Arc<Service>, config: ServerConfig) -> io::Result<Server> {
+        Server::bind_replicated(service, config, None)
+    }
+
+    /// Bind with a replication engine attached: client mutations go
+    /// through the node's WAL + log shipping, and the listen port also
+    /// speaks the replication frames (a connection's first frame picks
+    /// the handler).
+    pub fn bind_replicated(
+        service: Arc<Service>,
+        config: ServerConfig,
+        repl: Option<Arc<repl::ReplNode>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
@@ -112,6 +139,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 connections: AtomicU64::new(0),
                 active: AtomicU64::new(0),
+                repl,
             }),
         })
     }
@@ -197,6 +225,11 @@ impl ServerHandle {
     /// Sessions currently open.
     pub fn active_sessions(&self) -> u64 {
         self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// The replication engine, when this server runs replicated.
+    pub fn repl(&self) -> Option<&Arc<repl::ReplNode>> {
+        self.shared.repl.as_ref()
     }
 
     /// Stop accepting, wake the accept loop, and join it. Open sessions

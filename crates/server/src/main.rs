@@ -17,31 +17,87 @@
 //!   per-query governor budget
 //! - `PQP_FAILPOINTS` — fault injection, e.g. `server.frame=error(boom)`
 //!
+//! Replication (see `DESIGN.md` §17):
+//! - `PQP_WAL_DIR` — turn on the crash-safe replicated mutation log,
+//!   storing the WAL/snapshot/term files here
+//! - `PQP_NODE_ID`, `PQP_REPL_ROLE` (`leader`|`follower`),
+//!   `PQP_REPL_PEERS` (comma-separated follower addresses),
+//!   `PQP_REPL_QUORUM` — replication identity and durability quorum
+//!
+//! Router mode (replaces server mode when set):
+//! - `PQP_ROUTER_NODES` — comma-separated node addresses; the process
+//!   becomes a thin router that proxies clients to the current leader
+//!   and promotes the most-caught-up follower when the leader dies
+//!   (`PQP_ROUTER_ADDR` to pick the listen address)
+//!
 //! [`Client`]: pqp_wire::Client
 
 use std::sync::Arc;
 
 use pqp_datagen::{generate, generate_profiles, MovieDbConfig, ProfileGenConfig};
-use pqp_server::{Server, ServerConfig};
+use pqp_server::{ReplConfig, ReplNode, Router, RouterConfig, Server, ServerConfig};
 use pqp_service::Service;
 
 fn main() {
+    pqp_obs::failpoint::init_from_env();
+
+    // Router mode: no database, no service — just health checks and
+    // byte proxying to the current leader.
+    if let Some(router_config) = RouterConfig::from_env() {
+        let addr = router_config.addr.clone();
+        let router = match Router::bind(router_config) {
+            Ok(router) => router,
+            Err(e) => {
+                eprintln!("pqp-server: router cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match router.local_addr() {
+            Ok(addr) => println!("pqp-server routing on {addr}"),
+            Err(e) => eprintln!("pqp-server: local_addr failed: {e}"),
+        }
+        match router.spawn() {
+            Ok(_handle) => loop {
+                std::thread::park();
+            },
+            Err(e) => {
+                eprintln!("pqp-server: router threads failed to start: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let movie_db = generate(MovieDbConfig::default());
-    let service = Service::new(movie_db.db);
-    let profiles = generate_profiles(
-        "user",
-        16,
-        &movie_db.pools,
-        &ProfileGenConfig { selections: 40, seed: 7, ..Default::default() },
-    );
-    for profile in profiles {
-        if let Err(e) = service.install_profile(profile) {
-            eprintln!("pqp-server: skipping generated profile: {e}");
+    let service = Arc::new(Service::new(movie_db.db));
+
+    // With a WAL configured, recovery replays the durable profile store;
+    // generated seed profiles only populate a fresh (empty-log) node.
+    let repl = match ReplConfig::from_env() {
+        Some(config) => match ReplNode::open(Arc::clone(&service), config) {
+            Ok(node) => Some(node),
+            Err(e) => {
+                eprintln!("pqp-server: replication recovery failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    if service.users().is_empty() {
+        let profiles = generate_profiles(
+            "user",
+            16,
+            &movie_db.pools,
+            &ProfileGenConfig { selections: 40, seed: 7, ..Default::default() },
+        );
+        for profile in profiles {
+            if let Err(e) = service.install_profile(profile) {
+                eprintln!("pqp-server: skipping generated profile: {e}");
+            }
         }
     }
 
     let config = ServerConfig::from_env();
-    let server = match Server::bind(Arc::new(service), config.clone()) {
+    let server = match Server::bind_replicated(service, config.clone(), repl) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("pqp-server: cannot listen on {}: {e}", config.addr);

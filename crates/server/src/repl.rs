@@ -1,0 +1,930 @@
+//! Single-leader replication of the profile store.
+//!
+//! The replication unit is the profile **mutation**: every client
+//! mutation the leader accepts is encoded as a
+//! [`MutationRecord`], appended to a crash-safe WAL
+//! ([`pqp_storage::Wal`]), fsynced, and shipped to every follower. The
+//! client sees success only once the record is durable on the leader
+//! *and* acknowledged by the configured quorum of nodes — so an acked
+//! mutation survives the loss of any `quorum - 1` nodes.
+//!
+//! ## Roles and terms
+//!
+//! One node is the **leader** (accepts mutations, ships the log); the
+//! rest are **followers** (apply shipped records, refuse client
+//! mutations with a typed `unavailable` error). Failover is
+//! promotion-by-term: a follower promoted with [`ReplRequest::Promote`]
+//! adopts a strictly higher term, and every peer request carries its
+//! sender's term — a deposed leader's ships are rejected by the higher
+//! term, it steps down on the first rejection, and can never ack
+//! another mutation. That is the whole fencing protocol.
+//!
+//! ## Ack semantics
+//!
+//! A mutation that fails *before* the WAL fsync was never durable and
+//! returns a typed error — retrying is safe and exact. A mutation that
+//! is durable locally but misses quorum returns
+//! [`Error::Unavailable`]: it *may* replicate later, so a client retry
+//! gives at-least-once semantics. Profile mutations are upserts keyed
+//! on the preference, so replaying one is harmless.
+//!
+//! Failpoint sites: `wal.append` and `wal.fsync` (in `pqp-storage`),
+//! `repl.ship` (before sending to a follower), `repl.ack` (after the
+//! follower answered), `node.crash` (at mutation entry).
+
+use std::collections::HashSet;
+use std::io::{self, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pqp_core::Profile;
+use pqp_service::{Error, FollowerLag, ReplStatus, Result, Service, UserId};
+use pqp_storage::{Wal, WalRecovery};
+use pqp_wire::codec::{Reader, Writer};
+use pqp_wire::frame::{read_frame, write_frame};
+use pqp_wire::proto::ProfileOp;
+use pqp_wire::repl::{LogEntry, MutationRecord, NodeStatus, ReplRequest, ReplResponse, Role};
+use pqp_wire::{MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+/// Name of the file in the WAL directory holding the persisted term.
+const TERM_FILE: &str = "term";
+
+/// Catch-up attempts per follower per ship round before giving up on it
+/// for this mutation (it retries on the next one).
+const SHIP_ATTEMPTS: usize = 4;
+
+/// Replication knobs. Present only when the node runs replicated — a
+/// plain single-node server has no `ReplConfig` and no WAL.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// This node's identity, carried in peer handshakes and telemetry
+    /// (`PQP_NODE_ID`, default `node-1`).
+    pub node_id: String,
+    /// Directory for the WAL, snapshot, and term files (`PQP_WAL_DIR`;
+    /// setting it is what turns replication on).
+    pub wal_dir: PathBuf,
+    /// Nodes (including this one) that must hold a mutation durably
+    /// before the client is acked (`PQP_REPL_QUORUM`, default 1 =
+    /// leader-only durability).
+    pub quorum: usize,
+    /// Follower addresses this node ships to when it is the leader
+    /// (`PQP_REPL_PEERS`, comma-separated).
+    pub peers: Vec<String>,
+    /// Starting role (`PQP_REPL_ROLE`: `leader` | `follower`, default
+    /// `leader`).
+    pub role: Role,
+    /// Compact the log into a snapshot after this many appended records
+    /// (`PQP_REPL_SNAPSHOT_EVERY`, default 1024; 0 disables).
+    pub snapshot_every: u64,
+    /// Connect/read/write timeout on peer links
+    /// (`PQP_REPL_SHIP_TIMEOUT_MS`, default 5000).
+    pub ship_timeout: Duration,
+}
+
+impl ReplConfig {
+    /// Build from the environment. Returns `None` unless `PQP_WAL_DIR`
+    /// is set — the knob that turns the replicated mutation log on.
+    pub fn from_env() -> Option<ReplConfig> {
+        let wal_dir = std::env::var("PQP_WAL_DIR").ok().filter(|v| !v.trim().is_empty())?;
+        let node_id = std::env::var("PQP_NODE_ID")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .unwrap_or_else(|| "node-1".to_string());
+        let quorum =
+            std::env::var("PQP_REPL_QUORUM").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(1);
+        let peers = std::env::var("PQP_REPL_PEERS")
+            .ok()
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+            .unwrap_or_default();
+        let role = match std::env::var("PQP_REPL_ROLE").ok().as_deref() {
+            Some("follower") => Role::Follower,
+            _ => Role::Leader,
+        };
+        let snapshot_every = std::env::var("PQP_REPL_SNAPSHOT_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1024);
+        let ship_timeout = Duration::from_millis(
+            std::env::var("PQP_REPL_SHIP_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(5_000),
+        );
+        Some(ReplConfig {
+            node_id,
+            wal_dir: PathBuf::from(wal_dir),
+            quorum: quorum.max(1),
+            peers,
+            role,
+            snapshot_every,
+            ship_timeout,
+        })
+    }
+
+    /// A config for tests and embedding: leader-by-default, quorum 1,
+    /// no peers.
+    pub fn new(node_id: impl Into<String>, wal_dir: impl Into<PathBuf>) -> ReplConfig {
+        ReplConfig {
+            node_id: node_id.into(),
+            wal_dir: wal_dir.into(),
+            quorum: 1,
+            peers: Vec::new(),
+            role: Role::Leader,
+            snapshot_every: 1024,
+            ship_timeout: Duration::from_millis(5_000),
+        }
+    }
+}
+
+/// One follower as tracked by the leader: its address, a lazily opened
+/// (and lazily re-opened) peer link, and its acknowledged log offset.
+struct FollowerSlot {
+    addr: String,
+    conn: Option<TcpStream>,
+    ack_seq: u64,
+}
+
+/// Mutable replication state, guarded by one mutex so the log order,
+/// the apply order, and the ship order are the same order.
+struct Inner {
+    role: Role,
+    term: u64,
+    wal: Wal,
+    followers: Vec<FollowerSlot>,
+    records_since_snapshot: u64,
+}
+
+/// The replication engine of one node. Owns the WAL, the role/term
+/// state, and (as leader) the follower links. Shared between the
+/// client dispatch path (mutations) and the peer frame handler.
+pub struct ReplNode {
+    config: ReplConfig,
+    service: Arc<Service>,
+    inner: Mutex<Inner>,
+    fsync_ms: pqp_obs::WindowedHistogram,
+    ship_ms: pqp_obs::WindowedHistogram,
+}
+
+impl ReplNode {
+    /// Open (or create) the WAL directory, recover state — snapshot
+    /// first, then the surviving log suffix, truncating any torn tail —
+    /// and replay it into the service so the in-memory profile store is
+    /// byte-identical to what was durable at the crash.
+    pub fn open(service: Arc<Service>, config: ReplConfig) -> Result<Arc<ReplNode>> {
+        let (wal, recovery) = Wal::open(&config.wal_dir)?;
+        let term = load_term(&config);
+        replay(&service, &recovery)?;
+        if recovery.truncated_bytes > 0 {
+            pqp_obs::counter_add("repl.torn_tail_bytes", recovery.truncated_bytes as i64);
+        }
+        let followers = config
+            .peers
+            .iter()
+            .map(|addr| FollowerSlot { addr: addr.clone(), conn: None, ack_seq: 0 })
+            .collect();
+        let node = Arc::new(ReplNode {
+            inner: Mutex::new(Inner {
+                role: config.role,
+                term,
+                wal,
+                followers,
+                records_since_snapshot: 0,
+            }),
+            service,
+            config,
+            fsync_ms: pqp_obs::WindowedHistogram::default(),
+            ship_ms: pqp_obs::WindowedHistogram::default(),
+        });
+        node.publish(&node.lock());
+        Ok(node)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// This node's identity.
+    pub fn node_id(&self) -> &str {
+        &self.config.node_id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.lock().role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.lock().term
+    }
+
+    /// The node's status as answered to a `Status` probe.
+    pub fn status(&self) -> NodeStatus {
+        let inner = self.lock();
+        NodeStatus {
+            node_id: self.config.node_id.clone(),
+            role: inner.role,
+            term: inner.term,
+            last_seq: inner.wal.last_seq(),
+            durable_seq: inner.wal.synced_seq(),
+        }
+    }
+
+    /// Apply one client mutation through the replicated log. Leader
+    /// only; followers answer [`Error::Unavailable`] naming the reason.
+    ///
+    /// Order of operations: validate-and-apply to the service, append +
+    /// fsync the WAL, ship to followers, count the quorum. The client
+    /// is acked only after the quorum holds the record durably.
+    pub fn client_mutate(&self, user: &UserId, op: ProfileOp) -> Result<(u64, bool)> {
+        if let Some(msg) = pqp_obs::failpoint::fire("node.crash") {
+            return Err(Error::Internal(format!("node.crash failpoint: {msg}")));
+        }
+        let mut inner = self.lock();
+        if inner.role != Role::Leader {
+            return Err(Error::Unavailable(format!(
+                "not the leader (follower at term {})",
+                inner.term
+            )));
+        }
+        // Validate-and-apply first: an op the service rejects never
+        // reaches the log, so the log replays cleanly forever.
+        let removed = apply_op(&self.service, user, &op)?;
+        let record = MutationRecord { user: user.as_str().to_string(), op }.encode();
+        let seq = inner.wal.append(&record)?;
+        let t = Instant::now();
+        inner.wal.sync()?;
+        self.fsync_ms.record(t.elapsed().as_secs_f64() * 1_000.0);
+
+        let ship_failures = self.ship(&mut inner)?;
+        let acked = 1 + inner.followers.iter().filter(|f| f.ack_seq >= seq).count();
+        let quorum = self.config.quorum;
+        self.maybe_compact(&mut inner);
+        self.publish(&inner);
+        if acked < quorum {
+            pqp_obs::counter_add("repl.quorum_failures", 1);
+            let detail = if ship_failures.is_empty() {
+                String::new()
+            } else {
+                format!("; {}", ship_failures.join("; "))
+            };
+            return Err(Error::Unavailable(format!(
+                "quorum not reached: {acked}/{quorum} nodes hold seq {seq} \
+                 (durable on leader; a retry is safe){detail}"
+            )));
+        }
+        Ok((self.service.epoch(user.clone()), removed))
+    }
+
+    /// Bring every follower up to the log tip. A follower that cannot
+    /// be reached this round is skipped (its `ack_seq` stays behind and
+    /// the failure is reported back for the quorum error message); a
+    /// rejection with a higher term fences this leader — it steps down
+    /// and the mutation fails `Unavailable`.
+    fn ship(&self, inner: &mut Inner) -> Result<Vec<String>> {
+        let term = inner.term;
+        let tip = inner.wal.last_seq();
+        let mut fenced: Option<u64> = None;
+        let mut failures = Vec::new();
+        // Split borrows: the WAL (read) and the follower slots (mutated).
+        let Inner { wal, followers, .. } = &mut *inner;
+        for slot in followers.iter_mut() {
+            if slot.ack_seq >= tip {
+                continue;
+            }
+            let t = Instant::now();
+            match self.catch_up(wal, term, tip, slot) {
+                Ok(()) => self.ship_ms.record(t.elapsed().as_secs_f64() * 1_000.0),
+                Err(ShipError::Io(reason)) => {
+                    pqp_obs::counter_add("repl.ship_failed", 1);
+                    failures.push(format!("{}: {reason}", slot.addr));
+                    slot.conn = None;
+                }
+                Err(ShipError::Fenced(higher)) => {
+                    fenced = Some(higher);
+                    slot.conn = None;
+                }
+            }
+        }
+        if let Some(higher) = fenced {
+            inner.term = higher;
+            inner.role = Role::Follower;
+            persist_term(&self.config, higher);
+            pqp_obs::counter_add("repl.fenced", 1);
+            self.publish(inner);
+            return Err(Error::Unavailable(format!(
+                "fenced by newer term {higher}; stepping down"
+            )));
+        }
+        Ok(failures)
+    }
+
+    /// Drive one follower to the log tip: handshake if the link is
+    /// fresh, then Append batches from its ack offset — or a full
+    /// snapshot when the log has been compacted past it.
+    fn catch_up(
+        &self,
+        wal: &Wal,
+        term: u64,
+        tip: u64,
+        slot: &mut FollowerSlot,
+    ) -> std::result::Result<(), ShipError> {
+        for _ in 0..SHIP_ATTEMPTS {
+            if slot.conn.is_none() {
+                let stream = connect_peer(&slot.addr, self.config.ship_timeout)
+                    .map_err(|e| ShipError::Io(e.to_string()))?;
+                slot.conn = Some(stream);
+                let hello = ReplRequest::Hello {
+                    version: PROTOCOL_VERSION,
+                    node_id: self.config.node_id.clone(),
+                    term,
+                };
+                match self.exchange(slot, &hello)? {
+                    ReplResponse::Ok { ack_seq, .. } => slot.ack_seq = ack_seq,
+                    ReplResponse::Reject { term: t, .. } if t > term => {
+                        return Err(ShipError::Fenced(t));
+                    }
+                    ReplResponse::Reject { reason, .. } => {
+                        return Err(ShipError::Io(format!("handshake rejected: {reason}")));
+                    }
+                    ReplResponse::Status(_) => {
+                        return Err(ShipError::Io("status answer to hello".to_string()));
+                    }
+                }
+            }
+            if slot.ack_seq >= tip {
+                return Ok(());
+            }
+            let request =
+                match wal.read_from(slot.ack_seq + 1).map_err(|e| ShipError::Io(e.to_string()))? {
+                    Some(records) => ReplRequest::Append {
+                        term,
+                        entries: records
+                            .into_iter()
+                            .map(|r| LogEntry { seq: r.seq, payload: r.payload })
+                            .collect(),
+                    },
+                    // The log was compacted past this follower: ship the
+                    // whole state. Under the inner lock the service state
+                    // corresponds exactly to the log tip.
+                    None => ReplRequest::Snapshot {
+                        term,
+                        last_seq: tip,
+                        data: encode_profile_snapshot(&self.service),
+                    },
+                };
+            match self.exchange(slot, &request)? {
+                ReplResponse::Ok { ack_seq, .. } => {
+                    slot.ack_seq = ack_seq;
+                    if ack_seq >= tip {
+                        return Ok(());
+                    }
+                }
+                ReplResponse::Reject { term: t, .. } if t > term => {
+                    return Err(ShipError::Fenced(t));
+                }
+                // A gap rejection tells us where the follower's log
+                // actually ends; resume from there next attempt.
+                ReplResponse::Reject { last_seq, .. } => slot.ack_seq = last_seq,
+                ReplResponse::Status(_) => {
+                    return Err(ShipError::Io("status answer to append".to_string()));
+                }
+            }
+        }
+        Err(ShipError::Io(format!("follower {} still behind after retries", slot.addr)))
+    }
+
+    /// One framed request/response on a follower link, with the
+    /// `repl.ship` / `repl.ack` failpoints around it.
+    fn exchange(
+        &self,
+        slot: &mut FollowerSlot,
+        request: &ReplRequest,
+    ) -> std::result::Result<ReplResponse, ShipError> {
+        if let Some(msg) = pqp_obs::failpoint::fire("repl.ship") {
+            return Err(ShipError::Io(format!("repl.ship failpoint: {msg}")));
+        }
+        let Some(stream) = slot.conn.as_mut() else {
+            return Err(ShipError::Io("no follower link".to_string()));
+        };
+        let (tag, payload) = request.encode();
+        write_frame(stream, tag, &payload).map_err(|e| ShipError::Io(e.to_string()))?;
+        stream.flush().map_err(|e| ShipError::Io(e.to_string()))?;
+        let (tag, payload) =
+            read_frame(stream, MAX_FRAME_LEN).map_err(|e| ShipError::Io(e.to_string()))?;
+        if let Some(msg) = pqp_obs::failpoint::fire("repl.ack") {
+            return Err(ShipError::Io(format!("repl.ack failpoint: {msg}")));
+        }
+        ReplResponse::decode(tag, &payload).map_err(|e| ShipError::Io(e.to_string()))
+    }
+
+    /// Compact the log into a snapshot once enough records accumulated.
+    /// Best-effort: a failed compaction only costs disk space.
+    fn maybe_compact(&self, inner: &mut Inner) {
+        if self.config.snapshot_every == 0 {
+            return;
+        }
+        inner.records_since_snapshot += 1;
+        if inner.records_since_snapshot < self.config.snapshot_every {
+            return;
+        }
+        inner.records_since_snapshot = 0;
+        let data = encode_profile_snapshot(&self.service);
+        if inner.wal.install_snapshot(&data).is_err() {
+            pqp_obs::counter_add("repl.snapshot_failed", 1);
+        } else {
+            pqp_obs::counter_add("repl.snapshots", 1);
+        }
+    }
+
+    /// Handle one peer request (the other side of the leader's internal
+    /// `ship` path, plus probes and failover control).
+    pub fn handle_peer(&self, request: ReplRequest) -> ReplResponse {
+        let mut inner = self.lock();
+        let response = match request {
+            ReplRequest::Hello { version, node_id, term } => {
+                if version != PROTOCOL_VERSION {
+                    ReplResponse::Reject {
+                        term: inner.term,
+                        last_seq: inner.wal.last_seq(),
+                        reason: format!(
+                            "unsupported protocol version {version} (node speaks \
+                             {PROTOCOL_VERSION})"
+                        ),
+                    }
+                } else if term < inner.term {
+                    ReplResponse::Reject {
+                        term: inner.term,
+                        last_seq: inner.wal.last_seq(),
+                        reason: format!("stale term {term} from {node_id}"),
+                    }
+                } else {
+                    self.adopt(&mut inner, term);
+                    ReplResponse::Ok { term: inner.term, ack_seq: inner.wal.last_seq() }
+                }
+            }
+            ReplRequest::Append { term, entries } => self.peer_append(&mut inner, term, entries),
+            ReplRequest::Snapshot { term, last_seq, data } => {
+                self.peer_snapshot(&mut inner, term, last_seq, &data)
+            }
+            ReplRequest::Status => ReplResponse::Status(NodeStatus {
+                node_id: self.config.node_id.clone(),
+                role: inner.role,
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                durable_seq: inner.wal.synced_seq(),
+            }),
+            ReplRequest::Promote { term } => {
+                if term <= inner.term {
+                    ReplResponse::Reject {
+                        term: inner.term,
+                        last_seq: inner.wal.last_seq(),
+                        reason: format!(
+                            "promotion term {term} not above current term {}",
+                            inner.term
+                        ),
+                    }
+                } else {
+                    inner.term = term;
+                    inner.role = Role::Leader;
+                    persist_term(&self.config, term);
+                    // Follower offsets are stale guesses now; each link
+                    // re-handshakes and reports its real offset.
+                    for slot in &mut inner.followers {
+                        slot.conn = None;
+                        slot.ack_seq = 0;
+                    }
+                    pqp_obs::counter_add("repl.promotions", 1);
+                    ReplResponse::Ok { term, ack_seq: inner.wal.last_seq() }
+                }
+            }
+        };
+        self.publish(&inner);
+        response
+    }
+
+    /// Apply shipped entries: fence stale terms, reject gaps (telling
+    /// the leader where the log really ends), skip already-held seqs,
+    /// then append + one fsync + apply.
+    fn peer_append(&self, inner: &mut Inner, term: u64, entries: Vec<LogEntry>) -> ReplResponse {
+        if let Some(reject) = self.fence(inner, term, "append") {
+            return reject;
+        }
+        let mut applied = Vec::new();
+        for entry in entries {
+            let last = inner.wal.last_seq();
+            if entry.seq <= last {
+                continue; // Re-shipped record we already hold.
+            }
+            if entry.seq != last + 1 {
+                return ReplResponse::Reject {
+                    term: inner.term,
+                    last_seq: last,
+                    reason: format!("log gap: got seq {}, log ends at {last}", entry.seq),
+                };
+            }
+            match inner.wal.append(&entry.payload) {
+                Ok(_) => applied.push(entry.payload),
+                Err(e) => {
+                    return ReplResponse::Reject {
+                        term: inner.term,
+                        last_seq: inner.wal.last_seq(),
+                        reason: format!("append failed: {e}"),
+                    };
+                }
+            }
+        }
+        let t = Instant::now();
+        if let Err(e) = inner.wal.sync() {
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!("fsync failed: {e}"),
+            };
+        }
+        self.fsync_ms.record(t.elapsed().as_secs_f64() * 1_000.0);
+        for payload in applied {
+            // The leader validated before logging, so failures here are
+            // exceptional; they are counted, never silently dropped.
+            if apply_record(&self.service, &payload).is_err() {
+                pqp_obs::counter_add("repl.apply_errors", 1);
+            }
+        }
+        ReplResponse::Ok { term: inner.term, ack_seq: inner.wal.last_seq() }
+    }
+
+    /// Adopt a full snapshot: replace the WAL and the profile store.
+    fn peer_snapshot(
+        &self,
+        inner: &mut Inner,
+        term: u64,
+        last_seq: u64,
+        data: &[u8],
+    ) -> ReplResponse {
+        if let Some(reject) = self.fence(inner, term, "snapshot") {
+            return reject;
+        }
+        if let Err(e) = inner.wal.reset_to(last_seq, data) {
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!("snapshot install failed: {e}"),
+            };
+        }
+        if let Err(e) = apply_profile_snapshot(&self.service, data) {
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!("snapshot apply failed: {e}"),
+            };
+        }
+        pqp_obs::counter_add("repl.snapshots_received", 1);
+        ReplResponse::Ok { term: inner.term, ack_seq: inner.wal.last_seq() }
+    }
+
+    /// Shared term check for state-changing peer requests: reject stale
+    /// terms, adopt higher ones (stepping down if this node led).
+    fn fence(&self, inner: &mut Inner, term: u64, what: &str) -> Option<ReplResponse> {
+        if term < inner.term {
+            return Some(ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!("stale term {term} on {what} (current {})", inner.term),
+            });
+        }
+        if term == inner.term && inner.role == Role::Leader {
+            // Two leaders at one term cannot happen under promote-by-
+            // higher-term; refuse rather than corrupt the log.
+            return Some(ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!("this node leads term {term}; split brain refused"),
+            });
+        }
+        self.adopt(inner, term);
+        None
+    }
+
+    /// Adopt `term` if newer, stepping down from leadership.
+    fn adopt(&self, inner: &mut Inner, term: u64) {
+        if term > inner.term {
+            if inner.role == Role::Leader {
+                pqp_obs::counter_add("repl.stepdowns", 1);
+            }
+            inner.term = term;
+            inner.role = Role::Follower;
+            persist_term(&self.config, term);
+        }
+    }
+
+    /// Publish this node's replication state into the service telemetry
+    /// (`SHOW METRICS` `repl.*` rows, `Telemetry::repl_status`).
+    fn publish(&self, inner: &Inner) {
+        let tip = inner.wal.last_seq();
+        let fsync = self.fsync_ms.snapshot();
+        let ship = self.ship_ms.snapshot();
+        self.service.telemetry().set_repl_status(ReplStatus {
+            node_id: self.config.node_id.clone(),
+            role: inner.role.label().to_string(),
+            term: inner.term,
+            last_seq: tip,
+            durable_seq: inner.wal.synced_seq(),
+            quorum: self.config.quorum,
+            followers: inner
+                .followers
+                .iter()
+                .map(|f| FollowerLag {
+                    addr: f.addr.clone(),
+                    ack_seq: f.ack_seq,
+                    lag: tip.saturating_sub(f.ack_seq),
+                })
+                .collect(),
+            fsync_p50_ms: fsync.window.p50(),
+            fsync_p99_ms: fsync.window.p99(),
+            ship_p50_ms: ship.window.p50(),
+            ship_p99_ms: ship.window.p99(),
+        });
+    }
+}
+
+/// Why shipping to one follower failed.
+enum ShipError {
+    /// Transport/protocol trouble on the link; retry next round.
+    Io(String),
+    /// The follower knows a higher term — this leader is deposed.
+    Fenced(u64),
+}
+
+/// Validate-and-apply one mutation to the service. `Ok(removed)`
+/// mirrors the single-node `Mutate` dispatch semantics.
+fn apply_op(service: &Service, user: &UserId, op: &ProfileOp) -> Result<bool> {
+    match op {
+        ProfileOp::AddSelection { table, column, value, doi } => {
+            service.add_selection(user.clone(), table, column, value.clone(), *doi).map(|_| true)
+        }
+        ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => service
+            .add_join(user.clone(), from_table, from_column, to_table, to_column, *doi)
+            .map(|_| true),
+        ProfileOp::Remove => Ok(service.remove_profile(user.clone())),
+    }
+}
+
+/// Decode + apply one WAL/shipped record.
+fn apply_record(service: &Service, payload: &[u8]) -> Result<bool> {
+    let record = MutationRecord::decode(payload)
+        .map_err(|e| Error::Protocol(format!("bad mutation record: {e}")))?;
+    apply_op(service, &UserId::from(record.user.as_str()), &record.op)
+}
+
+/// Replay recovered durable state into the service: the snapshot (if
+/// any) first, then the surviving log suffix. Replay errors are counted
+/// but do not abort recovery — one bad record must not take down the
+/// node when the rest of the log is sound.
+fn replay(service: &Service, recovery: &WalRecovery) -> Result<()> {
+    if let Some(snapshot) = &recovery.snapshot {
+        apply_profile_snapshot(service, &snapshot.data)?;
+    }
+    for record in &recovery.records {
+        if apply_record(service, &record.payload).is_err() {
+            pqp_obs::counter_add("repl.replay_errors", 1);
+        }
+    }
+    Ok(())
+}
+
+/// Encode the whole profile store as snapshot bytes: `u32` user count,
+/// then `(user, profile-json)` string pairs in sorted user order, so
+/// identical stores encode to identical bytes.
+pub(crate) fn encode_profile_snapshot(service: &Service) -> Vec<u8> {
+    let mut pairs = Vec::new();
+    for user in service.users() {
+        if let Some(profile) = service.profile(user.clone()) {
+            pairs.push((user.as_str().to_string(), profile.to_json()));
+        }
+    }
+    let mut w = Writer::new();
+    w.u32(pairs.len() as u32);
+    for (user, json) in &pairs {
+        w.str(user).str(json);
+    }
+    w.into_vec()
+}
+
+/// Replace the service's profile store with a snapshot: install every
+/// profile it carries, remove every user it does not.
+pub(crate) fn apply_profile_snapshot(service: &Service, data: &[u8]) -> Result<()> {
+    let mut r = Reader::new(data);
+    let bad = |e: pqp_wire::DecodeError| Error::Protocol(format!("bad snapshot: {e}"));
+    let count = r.u32("snapshot user count").map_err(bad)?;
+    let mut keep: HashSet<String> = HashSet::with_capacity(count as usize);
+    for _ in 0..count {
+        let user = r.str("snapshot user").map_err(bad)?;
+        let json = r.str("snapshot profile").map_err(bad)?;
+        let profile = Profile::from_json(&json)?;
+        service.install_profile(profile)?;
+        keep.insert(user);
+    }
+    r.expect_end().map_err(bad)?;
+    for user in service.users() {
+        if !keep.contains(user.as_str()) {
+            service.remove_profile(user);
+        }
+    }
+    Ok(())
+}
+
+/// Open a peer link with the ship timeout on connect, reads and writes.
+fn connect_peer(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing");
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Load the persisted term (0 when absent or unreadable — a fresh node).
+fn load_term(config: &ReplConfig) -> u64 {
+    std::fs::read_to_string(config.wal_dir.join(TERM_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Persist the term durably (tmp + fsync + rename). Best-effort: a node
+/// that cannot persist its term still fences correctly while running,
+/// and a reborn node rejoins as a follower at worst.
+fn persist_term(config: &ReplConfig, term: u64) {
+    let write = || -> io::Result<()> {
+        let tmp = config.wal_dir.join("term.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(term.to_string().as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, config.wal_dir.join(TERM_FILE))
+    };
+    if write().is_err() {
+        pqp_obs::counter_add("repl.term_persist_failed", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqp_datagen::{generate, MovieDbConfig};
+    use pqp_storage::Value;
+
+    fn service() -> Arc<Service> {
+        Arc::new(Service::new(generate(MovieDbConfig::default()).db))
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pqp_repl_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn add(node: &ReplNode, user: &str, value: i64) -> Result<(u64, bool)> {
+        node.client_mutate(
+            &UserId::from(user),
+            ProfileOp::AddSelection {
+                table: "MOVIE".into(),
+                column: "year".into(),
+                value: Value::Int(value),
+                doi: 0.5,
+            },
+        )
+    }
+
+    #[test]
+    fn mutations_survive_reopen_via_replay() {
+        let dir = tempdir("replay");
+        {
+            let node = ReplNode::open(service(), ReplConfig::new("n1", &dir)).unwrap();
+            add(&node, "ana", 1999).unwrap();
+            add(&node, "bob", 2001).unwrap();
+            assert_eq!(node.status().last_seq, 2);
+        }
+        let svc = service();
+        let node = ReplNode::open(Arc::clone(&svc), ReplConfig::new("n1", &dir)).unwrap();
+        assert_eq!(node.status().last_seq, 2);
+        let users: Vec<String> = svc.users().iter().map(|u| u.as_str().to_string()).collect();
+        assert_eq!(users, ["ana", "bob"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn follower_refuses_client_mutations() {
+        let dir = tempdir("follower");
+        let mut config = ReplConfig::new("n2", &dir);
+        config.role = Role::Follower;
+        let node = ReplNode::open(service(), config).unwrap();
+        let err = add(&node, "ana", 2000).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
+        assert_eq!(err.kind(), "unavailable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promotion_requires_strictly_higher_term_and_persists() {
+        let dir = tempdir("promote");
+        let mut config = ReplConfig::new("n3", &dir);
+        config.role = Role::Follower;
+        let node = ReplNode::open(service(), config.clone()).unwrap();
+        assert!(matches!(
+            node.handle_peer(ReplRequest::Promote { term: 0 }),
+            ReplResponse::Reject { .. }
+        ));
+        assert!(matches!(
+            node.handle_peer(ReplRequest::Promote { term: 3 }),
+            ReplResponse::Ok { term: 3, .. }
+        ));
+        assert_eq!(node.role(), Role::Leader);
+        drop(node);
+        // The term survives a restart, so the reborn node cannot be
+        // promoted with a recycled term.
+        let node = ReplNode::open(service(), config).unwrap();
+        assert_eq!(node.term(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_term_appends_are_fenced() {
+        let dir = tempdir("fence");
+        let mut config = ReplConfig::new("n4", &dir);
+        config.role = Role::Follower;
+        let node = ReplNode::open(service(), config).unwrap();
+        node.handle_peer(ReplRequest::Promote { term: 5 });
+        let record = MutationRecord { user: "ana".into(), op: ProfileOp::Remove }.encode();
+        let resp = node.handle_peer(ReplRequest::Append {
+            term: 2,
+            entries: vec![LogEntry { seq: 1, payload: record }],
+        });
+        let ReplResponse::Reject { term, reason, .. } = resp else {
+            panic!("stale append accepted: {resp:?}");
+        };
+        assert_eq!(term, 5);
+        assert!(reason.contains("stale term"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_gaps_report_the_real_log_end() {
+        let dir = tempdir("gap");
+        let mut config = ReplConfig::new("n5", &dir);
+        config.role = Role::Follower;
+        let node = ReplNode::open(service(), config).unwrap();
+        let record = MutationRecord { user: "ana".into(), op: ProfileOp::Remove }.encode();
+        let resp = node.handle_peer(ReplRequest::Append {
+            term: 1,
+            entries: vec![LogEntry { seq: 5, payload: record }],
+        });
+        let ReplResponse::Reject { last_seq: 0, reason, .. } = resp else {
+            panic!("gap accepted: {resp:?}");
+        };
+        assert!(reason.contains("log gap"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_snapshot_round_trips_byte_identically() {
+        let svc = service();
+        svc.add_selection(UserId::from("ana"), "MOVIE", "year", Value::Int(1999), 0.9).unwrap();
+        svc.add_selection(UserId::from("bob"), "MOVIE", "year", Value::Int(2001), 0.4).unwrap();
+        let snap = encode_profile_snapshot(&svc);
+
+        let other = service();
+        other.add_selection(UserId::from("zoe"), "MOVIE", "year", Value::Int(1950), 0.1).unwrap();
+        apply_profile_snapshot(&other, &snap).unwrap();
+        assert_eq!(encode_profile_snapshot(&other), snap, "byte-identical store");
+        assert!(other.profile(UserId::from("zoe")).is_none(), "absent users removed");
+    }
+
+    #[test]
+    fn invalid_mutations_never_reach_the_log() {
+        let dir = tempdir("invalid");
+        let node = ReplNode::open(service(), ReplConfig::new("n6", &dir)).unwrap();
+        let err = node.client_mutate(
+            &UserId::from("ana"),
+            ProfileOp::AddSelection {
+                table: "NO_SUCH_TABLE".into(),
+                column: "x".into(),
+                value: Value::Int(1),
+                doi: 0.5,
+            },
+        );
+        assert!(err.is_err());
+        assert_eq!(node.status().last_seq, 0, "rejected op not logged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

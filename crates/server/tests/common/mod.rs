@@ -1,5 +1,6 @@
 //! Shared fixture: a tiny movie database with one profiled user ("ana"),
 //! served on an ephemeral port.
+#![allow(dead_code)] // each test binary uses its own subset of the fixture
 
 use std::sync::Arc;
 

@@ -1,0 +1,265 @@
+//! Failover chaos: kill the leader mid-workload and prove the cluster
+//! loses nothing. The acceptance bar: typed errors only, zero process
+//! aborts, no acked mutation lost, and byte-identical personalized
+//! answers from the promoted leader.
+//!
+//! The failpoint registry is process-global; failpoint tests serialize
+//! on one mutex (same convention as `chaos.rs`).
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use common::{movie_db, Q};
+use pqp_obs::failpoint;
+use pqp_server::{ReplConfig, ReplNode, Router, RouterConfig, Server, ServerConfig, ServerHandle};
+use pqp_service::{QueryApi, Service, UserId};
+use pqp_storage::Value;
+use pqp_wire::repl::{ReplRequest, ReplResponse, Role};
+use pqp_wire::{Client, ClientConfig};
+
+static FAILPOINT_GUARD: Mutex<()> = Mutex::new(());
+
+fn with_failpoints(f: impl FnOnce()) {
+    let _g = FAILPOINT_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::clear();
+    f();
+    failpoint::clear();
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..600 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting until {what}");
+}
+
+/// One in-process cluster member: its own service, WAL dir, replication
+/// engine, and TCP server on an ephemeral port.
+struct TestNode {
+    dir: PathBuf,
+    svc: Arc<Service>,
+    node: Arc<ReplNode>,
+    handle: Option<ServerHandle>,
+    addr: String,
+}
+
+impl TestNode {
+    fn start(tag: &str, role: Role, peers: Vec<String>, quorum: usize) -> TestNode {
+        let dir =
+            std::env::temp_dir().join(format!("pqp_repl_failover_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Arc::new(Service::new(movie_db()));
+        let mut config = ReplConfig::new(tag, &dir);
+        config.role = role;
+        config.peers = peers;
+        config.quorum = quorum;
+        config.ship_timeout = Duration::from_millis(500);
+        let node = ReplNode::open(Arc::clone(&svc), config).unwrap();
+        let server_config =
+            ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
+        let handle =
+            Server::bind_replicated(Arc::clone(&svc), server_config, Some(Arc::clone(&node)))
+                .unwrap()
+                .spawn()
+                .unwrap();
+        let addr = handle.addr().to_string();
+        TestNode { dir, svc, node, handle: Some(handle), addr }
+    }
+
+    /// Kill this node's server (connections refuse; the process-local
+    /// state stays around, as a crashed-but-not-reaped node's would).
+    fn kill(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.shutdown();
+        }
+    }
+
+    fn profile_json(&self, user: &str) -> Option<String> {
+        self.svc.profile(UserId::from(user)).map(|p| p.to_json())
+    }
+}
+
+impl Drop for TestNode {
+    fn drop(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Install ana's personalization profile through the wire client; every
+/// returned `Ok` is an acked (quorum-durable) mutation.
+fn install_ana(client: &mut Client) {
+    client.add_join("MOVIE", "mid", "GENRE", "mid", 0.9).unwrap();
+    client.add_selection("GENRE", "genre", Value::Str("comedy".into()), 0.8).unwrap();
+}
+
+#[test]
+fn leader_death_failover_keeps_every_acked_mutation_and_answer() {
+    // Topology: f2 (leaf) ← f1 ← leader; f1 is wired to ship to f2 so
+    // it can sustain quorum 2 after taking over.
+    let f2 = TestNode::start("f2", Role::Follower, vec![], 1);
+    let f1 = TestNode::start("f1", Role::Follower, vec![f2.addr.clone()], 2);
+    let mut leader =
+        TestNode::start("lead0", Role::Leader, vec![f1.addr.clone(), f2.addr.clone()], 2);
+
+    let mut client = Client::connect(&*leader.addr, ClientConfig::new("ana")).unwrap();
+    install_ana(&mut client);
+    let baseline = client.query(Q).unwrap();
+    assert_eq!(baseline.meta.k, 1, "the personalized answer found the comedy slice");
+    client.close();
+
+    // Quorum 2 means at least one follower holds both mutations; with a
+    // healthy cluster both do.
+    wait_until("followers caught up", || {
+        f1.node.status().last_seq == 2 && f2.node.status().last_seq == 2
+    });
+
+    // Kill the leader. Promote the most-caught-up follower at a term
+    // above the dead leader's — what the router does automatically.
+    leader.kill();
+    let (best, other) = if f1.node.status().last_seq >= f2.node.status().last_seq {
+        (&f1, &f2)
+    } else {
+        (&f2, &f1)
+    };
+    assert_eq!(best.addr, f1.addr, "f1 holds the longest log and can ship to f2");
+    let term = leader.node.term() + 1;
+    let response = best.node.handle_peer(ReplRequest::Promote { term });
+    assert!(matches!(response, ReplResponse::Ok { .. }), "promotion refused: {response:?}");
+    assert_eq!(best.node.role(), Role::Leader);
+
+    // No acked mutation lost: the new leader serves byte-identical
+    // personalized answers.
+    let mut client = Client::connect(&*best.addr, ClientConfig::new("ana")).unwrap();
+    let after = client.query(Q).unwrap();
+    assert_eq!(after.rows, baseline.rows, "personalized answer changed across failover");
+    assert_eq!(after.meta.k, baseline.meta.k);
+
+    // The cluster keeps accepting writes at quorum 2 (new leader + f2).
+    client.add_selection("MOVIE", "mid", Value::Int(2), 0.4).unwrap();
+    client.close();
+    wait_until("f2 receives the post-failover mutation", || other.node.status().last_seq == 3);
+    assert_eq!(
+        best.profile_json("ana"),
+        other.profile_json("ana"),
+        "replicas diverged after failover"
+    );
+
+    // Fencing: the deposed leader's next ship is rejected by the higher
+    // term — it steps down and the mutation fails with a typed error.
+    let err = leader
+        .node
+        .client_mutate(
+            &UserId::from("ana"),
+            pqp_wire::ProfileOp::AddSelection {
+                table: "MOVIE".into(),
+                column: "mid".into(),
+                value: Value::Int(99),
+                doi: 0.1,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), "unavailable", "fenced write got {err:?}");
+    assert_eq!(leader.node.role(), Role::Follower, "the old leader stepped down");
+    assert!(leader.node.term() >= term, "the old leader adopted the fencing term");
+}
+
+#[test]
+fn router_promotes_the_survivor_and_keeps_routing() {
+    let follower = TestNode::start("rf", Role::Follower, vec![], 1);
+    let mut leader = TestNode::start("rlead", Role::Leader, vec![follower.addr.clone()], 2);
+
+    let router = Router::bind(RouterConfig::new(
+        "127.0.0.1:0",
+        vec![leader.addr.clone(), follower.addr.clone()],
+    ))
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let leader_addr = leader.addr.clone();
+    wait_until("router finds the leader", || router.leader().as_deref() == Some(&*leader_addr));
+
+    // Writes through the router land on the leader and replicate.
+    let mut client = Client::connect(router.addr(), ClientConfig::new("ana")).unwrap();
+    install_ana(&mut client);
+    let baseline = client.query(Q).unwrap();
+    client.close();
+    wait_until("follower caught up", || follower.node.status().last_seq == 2);
+
+    // Leader dies; the router notices, promotes the follower (the only
+    // reachable node, with the full log), and re-routes.
+    leader.kill();
+    wait_until("router promotes the follower", || follower.node.role() == Role::Leader);
+    let follower_addr = follower.addr.clone();
+    wait_until("router routes to the new leader", || {
+        router.leader().as_deref() == Some(&*follower_addr)
+    });
+
+    let mut client = Client::connect(router.addr(), ClientConfig::new("ana")).unwrap();
+    let after = client.query(Q).unwrap();
+    assert_eq!(after.rows, baseline.rows, "answer changed across router failover");
+    // Post-failover writes work (the promoted node acks alone: its own
+    // quorum config is 1).
+    client.add_selection("MOVIE", "mid", Value::Int(3), 0.3).unwrap();
+    client.close();
+    router.shutdown();
+}
+
+#[test]
+fn router_with_no_reachable_leader_refuses_with_a_typed_error() {
+    // No nodes at all: the leader view stays empty and every client is
+    // refused with an `unavailable` error frame, not a hang or a reset.
+    let router = Router::bind(RouterConfig::new("127.0.0.1:0", vec![])).unwrap().spawn().unwrap();
+    let err = Client::connect(router.addr(), ClientConfig::new("ana")).unwrap_err();
+    assert_eq!(err.kind(), "unavailable", "got {err:?}");
+    assert!(err.to_string().contains("no leader"), "got {err}");
+    router.shutdown();
+}
+
+#[test]
+fn replication_chaos_yields_typed_errors_only_and_converges() {
+    with_failpoints(|| {
+        let follower = TestNode::start("cf", Role::Follower, vec![], 1);
+        let leader = TestNode::start("clead", Role::Leader, vec![follower.addr.clone()], 2);
+        let mut client = Client::connect(&*leader.addr, ClientConfig::new("ana")).unwrap();
+
+        // Ship failure: durable on the leader, below quorum — a typed
+        // `unavailable` naming the retry contract, never an abort.
+        failpoint::configure("repl.ship", "1*error(link cut)").unwrap();
+        let err = client.add_selection("GENRE", "genre", Value::Str("drama".into()), 0.5);
+        let err = err.unwrap_err();
+        assert_eq!(err.kind(), "unavailable", "ship fault got {err:?}");
+        assert!(err.to_string().contains("retry is safe"), "got {err}");
+
+        // Ack failure: the follower may hold the record, the leader
+        // cannot know — same typed contract.
+        failpoint::configure("repl.ack", "1*error(ack lost)").unwrap();
+        let err = client.add_selection("GENRE", "genre", Value::Str("drama".into()), 0.5);
+        assert_eq!(err.unwrap_err().kind(), "unavailable");
+
+        // Crash at mutation entry: typed internal error, process alive.
+        failpoint::configure("node.crash", "1*error(struck by lightning)").unwrap();
+        let err = client.add_selection("GENRE", "genre", Value::Str("drama".into()), 0.5);
+        assert_eq!(err.unwrap_err().kind(), "internal");
+
+        // Chaos off: the retry lands, the cluster converges, and the
+        // replicas hold identical bytes.
+        failpoint::clear();
+        client.add_selection("GENRE", "genre", Value::Str("drama".into()), 0.5).unwrap();
+        client.close();
+        wait_until("follower catches up", || {
+            follower.node.status().last_seq == leader.node.status().last_seq
+        });
+        assert_eq!(leader.profile_json("ana"), follower.profile_json("ana"));
+        assert!(
+            leader.profile_json("ana").unwrap().contains("drama"),
+            "the acked mutation is in the store"
+        );
+    });
+}

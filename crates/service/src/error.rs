@@ -55,6 +55,11 @@ pub enum Error {
     /// The peer violated the wire protocol: malformed or oversized frame,
     /// unsupported protocol version, or a message out of sequence.
     Protocol(String),
+    /// The node cannot serve the request right now for replication
+    /// reasons: it is not the leader, it has been fenced by a higher
+    /// term, or a mutation could not reach the configured ack quorum.
+    /// The message names the reason; retry against the current leader.
+    Unavailable(String),
     /// An error reported by a remote server, reconstructed from its wire
     /// code and message. `kind()` matches what the server would have
     /// reported locally; the structured payload is not preserved.
@@ -93,11 +98,14 @@ pub enum ErrorCode {
     Io = 8,
     /// A wire-protocol violation.
     Protocol = 9,
+    /// The node cannot serve this request: not the leader, fenced by a
+    /// higher term, or replication quorum not reached.
+    Unavailable = 10,
 }
 
 impl ErrorCode {
     /// Every assigned code, in numeric order.
-    pub const ALL: [ErrorCode; 9] = [
+    pub const ALL: [ErrorCode; 10] = [
         ErrorCode::Parse,
         ErrorCode::Personalize,
         ErrorCode::Engine,
@@ -107,6 +115,7 @@ impl ErrorCode {
         ErrorCode::Internal,
         ErrorCode::Io,
         ErrorCode::Protocol,
+        ErrorCode::Unavailable,
     ];
 
     /// The numeric code carried on the wire.
@@ -133,6 +142,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::Io => "io",
             ErrorCode::Protocol => "protocol",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 }
@@ -156,6 +166,7 @@ impl Error {
             Error::Internal(_) => ErrorCode::Internal,
             Error::Io(_) => ErrorCode::Io,
             Error::Protocol(_) => ErrorCode::Protocol,
+            Error::Unavailable(_) => ErrorCode::Unavailable,
             Error::Remote { code, .. } => *code,
         }
     }
@@ -182,6 +193,7 @@ impl fmt::Display for Error {
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Io(m) => write!(f, "i/o failed: {m}"),
             Error::Protocol(m) => write!(f, "protocol violation: {m}"),
+            Error::Unavailable(m) => write!(f, "service unavailable: {m}"),
             Error::Remote { code, message } => {
                 write!(f, "remote error [{}]: {message}", code.label())
             }
@@ -201,6 +213,7 @@ impl std::error::Error for Error {
             | Error::Internal(_)
             | Error::Io(_)
             | Error::Protocol(_)
+            | Error::Unavailable(_)
             | Error::Remote { .. } => None,
         }
     }
@@ -272,6 +285,7 @@ mod tests {
             Error::Internal("invariant".into()),
             Error::Io("connection reset".into()),
             Error::Protocol("frame too short".into()),
+            Error::Unavailable("not the leader (term 3)".into()),
         ]
     }
 
@@ -371,7 +385,8 @@ mod tests {
                 "overloaded",
                 "internal",
                 "io",
-                "protocol"
+                "protocol",
+                "unavailable"
             ]
         );
     }

@@ -55,7 +55,8 @@ pub mod telemetry;
 
 pub use error::{Error, ErrorCode, Result};
 pub use telemetry::{
-    PhaseBreakdown, QueryLog, QueryRecord, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    FollowerLag, PhaseBreakdown, QueryLog, QueryRecord, ReplStatus, Telemetry, TelemetryConfig,
+    TelemetrySnapshot,
 };
 
 use cache::FifoCache;

@@ -274,6 +274,48 @@ impl QueryLog {
     }
 }
 
+/// One follower's replication progress, as tracked by the leader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FollowerLag {
+    /// The follower's address (as configured on the leader).
+    pub addr: String,
+    /// Highest log sequence the follower has acknowledged.
+    pub ack_seq: u64,
+    /// Entries the follower is behind the leader's log tip.
+    pub lag: u64,
+}
+
+/// Point-in-time replication state of this node, published by the
+/// replication layer (absent on single-node deployments). Surfaces in
+/// `SHOW METRICS` as `repl.*` rows and in [`TelemetrySnapshot::repl`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplStatus {
+    /// This node's identifier (`PQP_NODE_ID`).
+    pub node_id: String,
+    /// `"leader"` or `"follower"`.
+    pub role: String,
+    /// The current replication term (fencing token).
+    pub term: u64,
+    /// Highest sequence appended to the local mutation log.
+    pub last_seq: u64,
+    /// Highest sequence known durable (fsynced) locally.
+    pub durable_seq: u64,
+    /// Followers (including the leader itself) whose acknowledgement a
+    /// mutation needs before the client sees success.
+    pub quorum: usize,
+    /// Per-follower acknowledgement progress (leader only; empty on
+    /// followers).
+    pub followers: Vec<FollowerLag>,
+    /// WAL fsync latency, milliseconds: last-minute p50.
+    pub fsync_p50_ms: f64,
+    /// WAL fsync latency, milliseconds: last-minute p99.
+    pub fsync_p99_ms: f64,
+    /// Log-ship round trip (send entries → follower ack), ms: p50.
+    pub ship_p50_ms: f64,
+    /// Log-ship round trip (send entries → follower ack), ms: p99.
+    pub ship_p99_ms: f64,
+}
+
 /// Point-in-time copy of the aggregate counters and latency views.
 #[derive(Debug, Clone)]
 pub struct TelemetrySnapshot {
@@ -305,6 +347,9 @@ pub struct TelemetrySnapshot {
     pub degrade_rungs: [u64; 4],
     /// Total latency in milliseconds: lifetime + sliding last-minute view.
     pub latency_ms: WindowSnapshot,
+    /// Replication state, when this service runs under a replicated
+    /// mutation log (`None` on single-node deployments).
+    pub repl: Option<ReplStatus>,
 }
 
 /// The service's always-on telemetry: the query log plus O(1) aggregates.
@@ -325,6 +370,7 @@ pub struct Telemetry {
     strategy_mq: AtomicU64,
     strategy_native_rank: AtomicU64,
     degrade_rungs: [AtomicU64; 4],
+    repl: Mutex<Option<ReplStatus>>,
 }
 
 impl Telemetry {
@@ -346,6 +392,7 @@ impl Telemetry {
             strategy_mq: AtomicU64::new(0),
             strategy_native_rank: AtomicU64::new(0),
             degrade_rungs: Default::default(),
+            repl: Mutex::new(None),
         }
     }
 
@@ -400,6 +447,19 @@ impl Telemetry {
         stored
     }
 
+    /// Publish this node's replication state. Called by the replication
+    /// layer after every role change and periodically during shipping, so
+    /// `SHOW METRICS` reflects live progress.
+    pub fn set_repl_status(&self, status: ReplStatus) {
+        *self.repl.lock().unwrap_or_else(|e| e.into_inner()) = Some(status);
+    }
+
+    /// The last published replication state (`None` when this service is
+    /// not replicated).
+    pub fn repl_status(&self) -> Option<ReplStatus> {
+        self.repl.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
     /// Count one caught panic (the query itself is also recorded, as an
     /// internal error).
     pub(crate) fn note_panic(&self) {
@@ -440,6 +500,7 @@ impl Telemetry {
                 self.degrade_rungs[3].load(Ordering::Relaxed),
             ],
             latency_ms: self.latency_ms.snapshot(),
+            repl: self.repl_status(),
         }
     }
 
@@ -484,6 +545,22 @@ impl Telemetry {
         float("window_p50_ms", win.p50(), &mut rows);
         float("window_p95_ms", win.p95(), &mut rows);
         float("window_p99_ms", win.p99(), &mut rows);
+        if let Some(repl) = &snap.repl {
+            rows.push(vec![Value::Str("repl.node_id".into()), Value::Str(repl.node_id.clone())]);
+            rows.push(vec![Value::Str("repl.role".into()), Value::Str(repl.role.clone())]);
+            int("repl.term", repl.term, &mut rows);
+            int("repl.last_seq", repl.last_seq, &mut rows);
+            int("repl.durable_seq", repl.durable_seq, &mut rows);
+            int("repl.quorum", repl.quorum as u64, &mut rows);
+            for f in &repl.followers {
+                int(&format!("repl.follower.{}.ack_seq", f.addr), f.ack_seq, &mut rows);
+                int(&format!("repl.follower.{}.lag", f.addr), f.lag, &mut rows);
+            }
+            float("repl.fsync_p50_ms", repl.fsync_p50_ms, &mut rows);
+            float("repl.fsync_p99_ms", repl.fsync_p99_ms, &mut rows);
+            float("repl.ship_p50_ms", repl.ship_p50_ms, &mut rows);
+            float("repl.ship_p99_ms", repl.ship_p99_ms, &mut rows);
+        }
         ResultSet { columns: vec!["metric".to_string(), "value".to_string()], rows }
     }
 
@@ -698,11 +775,67 @@ mod tests {
         assert!(matches!(get("latency_p95_ms"), Some(Value::Float(v)) if v > 0.0));
         assert!(matches!(get("window_qps"), Some(Value::Float(v)) if v > 0.0));
 
+        assert!(
+            !metrics.rows.iter().any(|r| matches!(&r[0], Value::Str(s) if s.starts_with("repl."))),
+            "single-node telemetry has no repl rows"
+        );
+
         let queries = t.queries_table(10);
         assert_eq!(queries.rows.len(), 1);
         let seq_col = queries.columns.iter().position(|c| c == "seq").unwrap();
         let user_col = queries.columns.iter().position(|c| c == "user").unwrap();
         assert_eq!(queries.rows[0][seq_col], Value::Int(1));
         assert_eq!(queries.rows[0][user_col], Value::Str("ana".to_string()));
+    }
+
+    #[test]
+    fn repl_status_surfaces_in_snapshot_and_metrics() {
+        let t = Telemetry::new(config());
+        assert!(t.repl_status().is_none());
+        t.set_repl_status(ReplStatus {
+            node_id: "n1".into(),
+            role: "leader".into(),
+            term: 3,
+            last_seq: 40,
+            durable_seq: 40,
+            quorum: 2,
+            followers: vec![
+                FollowerLag { addr: "127.0.0.1:7001".into(), ack_seq: 40, lag: 0 },
+                FollowerLag { addr: "127.0.0.1:7002".into(), ack_seq: 37, lag: 3 },
+            ],
+            fsync_p50_ms: 0.4,
+            fsync_p99_ms: 1.9,
+            ship_p50_ms: 0.2,
+            ship_p99_ms: 0.9,
+        });
+        let snap = t.snapshot();
+        let repl = snap.repl.expect("repl state published");
+        assert_eq!(repl.role, "leader");
+        assert_eq!(repl.followers.len(), 2);
+
+        let metrics = t.metrics_table();
+        let get = |name: &str| {
+            metrics.rows.iter().find(|r| r[0] == Value::Str(name.to_string())).map(|r| r[1].clone())
+        };
+        assert_eq!(get("repl.node_id"), Some(Value::Str("n1".into())));
+        assert_eq!(get("repl.role"), Some(Value::Str("leader".into())));
+        assert_eq!(get("repl.term"), Some(Value::Int(3)));
+        assert_eq!(get("repl.last_seq"), Some(Value::Int(40)));
+        assert_eq!(get("repl.durable_seq"), Some(Value::Int(40)));
+        assert_eq!(get("repl.quorum"), Some(Value::Int(2)));
+        assert_eq!(get("repl.follower.127.0.0.1:7002.lag"), Some(Value::Int(3)));
+        assert_eq!(get("repl.follower.127.0.0.1:7001.ack_seq"), Some(Value::Int(40)));
+        assert!(matches!(get("repl.fsync_p99_ms"), Some(Value::Float(v)) if v > 1.0));
+
+        // Re-publishing replaces, never accumulates.
+        let mut again = t.repl_status().expect("still set");
+        again.role = "follower".into();
+        again.followers.clear();
+        t.set_repl_status(again);
+        let metrics = t.metrics_table();
+        let roles: Vec<&Vec<Value>> =
+            metrics.rows.iter().filter(|r| r[0] == Value::Str("repl.role".to_string())).collect();
+        assert_eq!(roles.len(), 1);
+        assert_eq!(roles[0][1], Value::Str("follower".into()));
     }
 }

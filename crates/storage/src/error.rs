@@ -24,6 +24,8 @@ pub enum StorageError {
     InvalidForeignKey(String),
     /// A row failed to decode from its page representation.
     Corrupt(String),
+    /// A filesystem operation failed (WAL append/sync, snapshot install).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -48,6 +50,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::Io(msg) => write!(f, "storage i/o failed: {msg}"),
         }
     }
 }

@@ -56,6 +56,7 @@ pub mod stats;
 pub mod sync;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use batch::{Batch, BatchBuilder, Column, ColumnData, BATCH_SIZE};
 pub use catalog::{Catalog, SchemaJoin, TableRef};
@@ -70,3 +71,4 @@ pub use shard::ShardedMap;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::Table;
 pub use value::{total_fcmp, DataType, Value};
+pub use wal::{Wal, WalRecord, WalRecovery, WalSnapshot};

@@ -135,6 +135,14 @@ impl Writer {
         self.buf.extend_from_slice(s.as_bytes());
         self
     }
+
+    /// `u32be` length prefix + raw bytes (opaque payloads: WAL records,
+    /// snapshot blobs).
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Writer {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
 }
 
 /// Bounds-checked big-endian decoder over a payload slice.
@@ -217,6 +225,16 @@ impl<'a> Reader<'a> {
         }
         let bytes = self.take(what, len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { what })
+    }
+
+    /// A length-prefixed opaque byte blob. Like [`Reader::str`], the
+    /// length is validated against the bytes present before allocating.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError::Truncated { what, needed: len, remaining: self.remaining() });
+        }
+        Ok(self.take(what, len)?.to_vec())
     }
 }
 

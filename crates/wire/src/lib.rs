@@ -38,13 +38,15 @@
 pub mod codec;
 pub mod frame;
 pub mod proto;
+pub mod repl;
 
 mod client;
 
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, RetryCounters, RetryPolicy};
 pub use codec::{DecodeError, Reader, Writer};
 pub use frame::{read_frame, write_frame, FrameError};
 pub use proto::{ProfileOp, Request, Response, ShowRequest, WireError};
+pub use repl::{LogEntry, MutationRecord, NodeStatus, ReplRequest, ReplResponse, Role};
 
 /// The protocol version this build speaks. The handshake requires an exact
 /// match; see the crate docs for the compatibility rules.

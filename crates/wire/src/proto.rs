@@ -235,6 +235,42 @@ fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
     }
 }
 
+pub(crate) fn encode_profile_op(w: &mut Writer, op: &ProfileOp) {
+    match op {
+        ProfileOp::AddSelection { table, column, value, doi } => {
+            w.u8(0).str(table).str(column);
+            encode_value(w, value);
+            w.f64(*doi);
+        }
+        ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => {
+            w.u8(1).str(from_table).str(from_column).str(to_table).str(to_column).f64(*doi);
+        }
+        ProfileOp::Remove => {
+            w.u8(2);
+        }
+    }
+}
+
+pub(crate) fn decode_profile_op(r: &mut Reader<'_>) -> Result<ProfileOp> {
+    Ok(match r.u8("profile op tag")? {
+        0 => ProfileOp::AddSelection {
+            table: r.str("table")?,
+            column: r.str("column")?,
+            value: decode_value(r)?,
+            doi: r.f64("doi")?,
+        },
+        1 => ProfileOp::AddJoin {
+            from_table: r.str("from table")?,
+            from_column: r.str("from column")?,
+            to_table: r.str("to table")?,
+            to_column: r.str("to column")?,
+            doi: r.f64("doi")?,
+        },
+        2 => ProfileOp::Remove,
+        tag => return Err(DecodeError::BadTag { what: "profile op", tag: tag as u64 }),
+    })
+}
+
 fn rewrite_to_u8(rw: Rewrite) -> u8 {
     match rw {
         Rewrite::Original => 0,
@@ -461,24 +497,7 @@ impl Request {
                 tag::PREPARE
             }
             Request::Mutate(op) => {
-                match op {
-                    ProfileOp::AddSelection { table, column, value, doi } => {
-                        w.u8(0).str(table).str(column);
-                        encode_value(&mut w, value);
-                        w.f64(*doi);
-                    }
-                    ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => {
-                        w.u8(1)
-                            .str(from_table)
-                            .str(from_column)
-                            .str(to_table)
-                            .str(to_column)
-                            .f64(*doi);
-                    }
-                    ProfileOp::Remove => {
-                        w.u8(2);
-                    }
-                }
+                encode_profile_op(&mut w, op);
                 tag::MUTATE
             }
             Request::Show(show) => {
@@ -523,23 +542,7 @@ impl Request {
                 Request::Query { sql, options, rewrite }
             }
             tag::PREPARE => Request::Prepare { sql: r.str("sql")? },
-            tag::MUTATE => Request::Mutate(match r.u8("profile op tag")? {
-                0 => ProfileOp::AddSelection {
-                    table: r.str("table")?,
-                    column: r.str("column")?,
-                    value: decode_value(&mut r)?,
-                    doi: r.f64("doi")?,
-                },
-                1 => ProfileOp::AddJoin {
-                    from_table: r.str("from table")?,
-                    from_column: r.str("from column")?,
-                    to_table: r.str("to table")?,
-                    to_column: r.str("to column")?,
-                    doi: r.f64("doi")?,
-                },
-                2 => ProfileOp::Remove,
-                tag => return Err(DecodeError::BadTag { what: "profile op", tag: tag as u64 }),
-            }),
+            tag::MUTATE => Request::Mutate(decode_profile_op(&mut r)?),
             tag::SHOW => Request::Show(match r.u8("show tag")? {
                 0 => ShowRequest::Metrics,
                 1 => ShowRequest::Queries {
@@ -778,6 +781,7 @@ mod tests {
             Error::Internal("boom".into()),
             Error::Io("reset".into()),
             Error::Protocol("bad frame".into()),
+            Error::Unavailable("not the leader (term 4)".into()),
         ];
         let mut covered = std::collections::HashSet::new();
         for original in representatives {

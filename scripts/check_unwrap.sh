@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Robustness gate: no `.unwrap()` / `.expect(` in non-test code of the
-# crates that sit on the serving path (`crates/service`, `crates/storage`).
+# crates that sit on the serving path (`crates/service`, `crates/storage`,
+# `crates/wire`, `crates/server`).
 #
 #   ./scripts/check_unwrap.sh
 #
@@ -13,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-for crate in crates/service crates/storage; do
+for crate in crates/service crates/storage crates/wire crates/server; do
     while IFS= read -r file; do
         # Strip the `#[cfg(test)]` module (convention: last item in the
         # file) and comment lines, then look for panicking calls.
@@ -31,4 +32,4 @@ if [ "$fail" -ne 0 ]; then
     echo "use typed errors (or the poison-recovering pqp_storage::sync locks) instead" >&2
     exit 1
 fi
-echo "OK: no unwrap/expect in non-test service/storage code"
+echo "OK: no unwrap/expect in non-test service/storage/wire/server code"

@@ -44,9 +44,26 @@ cargo test "${CARGO_FLAGS[@]}" -p pqp-server -q
 echo "==> server suites (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-server -q
 
-# No new unwrap()/expect() in non-test service/storage code (panics there
+# Replication: crash recovery (torn tails, bit flips, WAL failpoints,
+# and the kill -9 differential — SIGKILL a mutating child, replay must
+# reconstruct a byte-identical store with no acked mutation lost) and
+# failover chaos (leader death, promote-by-term, fencing, router
+# auto-promotion), on both test schedules.
+echo "==> replication recovery + failover chaos suites"
+cargo test "${CARGO_FLAGS[@]}" -p pqp-server --test repl_recovery --test repl_failover -q
+echo "==> replication recovery + failover chaos suites (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test "${CARGO_FLAGS[@]}" -p pqp-server \
+    --test repl_recovery --test repl_failover -q
+
+# Frame-codec fuzzing: every wire decoder over 12k arbitrary-byte cases
+# per test (xoshiro-seeded, reproducible) — Ok or a typed error, never a
+# panic.
+echo "==> wire codec fuzz (PQP_FUZZ_CASES=12000)"
+cargo test "${CARGO_FLAGS[@]}" -p pqp-wire --test fuzz_codec -q
+
+# No new unwrap()/expect() in non-test serving-path code (panics there
 # take lock-holding threads down mid-query; use typed errors instead).
-echo "==> unwrap/expect gate (crates/service, crates/storage)"
+echo "==> unwrap/expect gate (service, storage, wire, server)"
 ./scripts/check_unwrap.sh
 
 # Parallel execution must be row-for-row identical to serial, under the
@@ -140,6 +157,35 @@ assert doc["meta"]["bench"] == "micro_vectorized"
 EOF
 else
     grep -q '"join4_vectorized_speedup"' results/micro_vectorized.json
+fi
+
+# Replication bench smoke (PQP_REPL_SMOKE shrinks the sample counts):
+# must produce results/micro_repl.json with the in-memory vs WAL'd
+# mutation overhead and the ack-quorum latency curve over 1..3 loopback
+# followers.
+echo "==> replication bench smoke"
+PQP_REPL_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p pqp-bench --bench repl
+if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/micro_repl.json"))
+assert doc["meta"]["bench"] == "micro_repl"
+assert doc["meta"]["schema_version"] >= 2
+assert doc["meta"]["host_cores"] >= 1
+names = {b["name"] for b in doc["benchmarks"]}
+for name in ("in_memory", "wal_quorum1", "quorum2_followers1",
+             "quorum3_followers2", "quorum4_followers3"):
+    assert name in names, f"benchmark {name} missing"
+for b in doc["benchmarks"]:
+    assert b["mean_ms"] > 0 and b["n"] > 0
+curve = doc["derived"]["quorum_curve"]
+assert [p["followers"] for p in curve] == [1, 2, 3]
+for p in curve:
+    assert p["ack_p50_ms"] > 0 and p["ack_p95_ms"] >= p["ack_p50_ms"]
+assert doc["derived"]["durability_overhead_factor"] > 0
+EOF
+else
+    grep -q '"quorum_curve"' results/micro_repl.json
 fi
 
 # Macro load harness smoke: a short zipf closed-loop run must produce
