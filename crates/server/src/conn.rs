@@ -17,6 +17,7 @@ use pqp_wire::proto::{ProfileOp, Request, Response, ShowRequest, WireError};
 use pqp_wire::repl::{is_repl_request, ReplRequest, ReplResponse};
 use pqp_wire::{MAX_FRAME_LEN, PROTOCOL_VERSION};
 
+use crate::repl::PeerLink;
 use crate::Shared;
 
 /// Why a session ended (feeds the `server.close.*` counters).
@@ -236,6 +237,9 @@ fn peer_session(
     mut payload: Vec<u8>,
 ) -> std::io::Result<Close> {
     pqp_obs::counter_add("server.peer_sessions", 1);
+    // Auth state lives on the link: Hello must present the cluster
+    // token before state-changing frames are honored on it.
+    let mut link = PeerLink::new();
     loop {
         let response = match &shared.repl {
             None => ReplResponse::Reject {
@@ -244,7 +248,7 @@ fn peer_session(
                 reason: "replication not configured on this node".to_string(),
             },
             Some(node) => match ReplRequest::decode(tag, &payload) {
-                Ok(request) => node.handle_peer(request),
+                Ok(request) => node.handle_peer(request, &mut link),
                 Err(e) => {
                     // The frame was sound, so the stream is aligned:
                     // reject this request and keep serving the link.

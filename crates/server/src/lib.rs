@@ -41,7 +41,7 @@ mod conn;
 pub mod repl;
 pub mod router;
 
-pub use repl::{ReplConfig, ReplNode};
+pub use repl::{PeerLink, ReplConfig, ReplNode};
 pub use router::{Router, RouterConfig, RouterHandle};
 
 /// Server knobs. Every field has an environment override so a deployment

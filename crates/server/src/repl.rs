@@ -8,7 +8,7 @@
 //! *and* acknowledged by the configured quorum of nodes — so an acked
 //! mutation survives the loss of any `quorum - 1` nodes.
 //!
-//! ## Roles and terms
+//! ## Roles, terms, and log identity
 //!
 //! One node is the **leader** (accepts mutations, ships the log); the
 //! rest are **followers** (apply shipped records, refuse client
@@ -19,14 +19,37 @@
 //! term, it steps down on the first rejection, and can never ack
 //! another mutation. That is the whole fencing protocol.
 //!
+//! A log entry's identity is `(term, seq)` — the term is stored with
+//! every WAL record and shipped with every entry. A deposed leader can
+//! hold durable-but-unacked entries the new leader never saw; those
+//! suffixes are detected (Raft's consistency check: every `Append`
+//! carries the identity of the entry preceding the batch, every ack
+//! carries the term of the acker's tip) and **truncated**, and the
+//! follower rebuilds its in-memory store from the surviving log, so
+//! replicas converge byte-identically instead of diverging silently. The
+//! leader never counts a follower toward quorum on a self-reported
+//! offset alone: acks are clamped to the leader's own tip and validated
+//! against the leader's log by term.
+//!
 //! ## Ack semantics
 //!
 //! A mutation that fails *before* the WAL fsync was never durable and
-//! returns a typed error — retrying is safe and exact. A mutation that
-//! is durable locally but misses quorum returns
-//! [`Error::Unavailable`]: it *may* replicate later, so a client retry
-//! gives at-least-once semantics. Profile mutations are upserts keyed
-//! on the preference, so replaying one is harmless.
+//! returns a typed error — retrying is safe and exact (a record whose
+//! fsync failed is truncated back off the log, and the in-memory store
+//! is only updated *after* the fsync, so failed mutations are never
+//! visible to reads). A mutation that is durable locally but misses
+//! quorum returns [`Error::Unavailable`]: it *may* replicate later, so
+//! a client retry gives at-least-once semantics. Profile mutations are
+//! upserts keyed on the preference, so replaying one is harmless.
+//!
+//! ## Authentication
+//!
+//! Replication frames share the client listen port, so the
+//! state-changing vocabulary is gated on a shared secret
+//! (`PQP_REPL_TOKEN`): `Hello` must present it before `Append`/
+//! `Snapshot` are honored on a link, and `Promote` carries it directly.
+//! `Status` stays open — it is a read-only probe. An empty token
+//! disables the check (single-machine and test clusters).
 //!
 //! Failpoint sites: `wal.append` and `wal.fsync` (in `pqp-storage`),
 //! `repl.ship` (before sending to a follower), `repl.ack` (after the
@@ -36,6 +59,7 @@ use std::collections::HashSet;
 use std::io::{self, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -81,6 +105,10 @@ pub struct ReplConfig {
     /// Connect/read/write timeout on peer links
     /// (`PQP_REPL_SHIP_TIMEOUT_MS`, default 5000).
     pub ship_timeout: Duration,
+    /// Shared secret gating the state-changing replication frames
+    /// (`PQP_REPL_TOKEN`). Every node of a cluster must carry the same
+    /// value; empty disables the check.
+    pub token: String,
 }
 
 impl ReplConfig {
@@ -120,6 +148,7 @@ impl ReplConfig {
             role,
             snapshot_every,
             ship_timeout,
+            token: std::env::var("PQP_REPL_TOKEN").unwrap_or_default(),
         })
     }
 
@@ -134,6 +163,7 @@ impl ReplConfig {
             role: Role::Leader,
             snapshot_every: 1024,
             ship_timeout: Duration::from_millis(5_000),
+            token: String::new(),
         }
     }
 }
@@ -152,8 +182,67 @@ struct Inner {
     role: Role,
     term: u64,
     wal: Wal,
+    /// Term of the log's tip entry (`base_term` when the log is empty).
+    last_term: u64,
+    /// Term of the entry at the snapshot point (0 when no snapshot).
+    base_term: u64,
     followers: Vec<FollowerSlot>,
     records_since_snapshot: u64,
+}
+
+/// Lock-free mirror of the node's probe-visible state, refreshed on
+/// every state change. `Status` probes (the router's health checks) are
+/// answered from here so a leader stalled in peer I/O under the `Inner`
+/// mutex still probes as alive — otherwise one dead follower could make
+/// the router misread the leader as down and trigger a spurious
+/// promotion.
+struct StatusCell {
+    role: AtomicU8,
+    term: AtomicU64,
+    last_seq: AtomicU64,
+    durable_seq: AtomicU64,
+}
+
+impl StatusCell {
+    fn store(&self, inner: &Inner) {
+        self.role.store(
+            match inner.role {
+                Role::Leader => 0,
+                Role::Follower => 1,
+            },
+            Ordering::Relaxed,
+        );
+        self.term.store(inner.term, Ordering::Relaxed);
+        self.last_seq.store(inner.wal.last_seq(), Ordering::Relaxed);
+        self.durable_seq.store(inner.wal.synced_seq(), Ordering::Relaxed);
+    }
+
+    fn role(&self) -> Role {
+        match self.role.load(Ordering::Relaxed) {
+            0 => Role::Leader,
+            _ => Role::Follower,
+        }
+    }
+}
+
+/// Per-connection replication link state, owned by the connection
+/// handler. A link must present the shared secret in `Hello` before its
+/// state-changing frames are honored.
+pub struct PeerLink {
+    authed: bool,
+}
+
+impl PeerLink {
+    /// A fresh, unauthenticated link.
+    pub fn new() -> PeerLink {
+        PeerLink { authed: false }
+    }
+}
+
+impl Default for PeerLink {
+    fn default() -> PeerLink {
+        PeerLink::new()
+    }
 }
 
 /// The replication engine of one node. Owns the WAL, the role/term
@@ -163,6 +252,7 @@ pub struct ReplNode {
     config: ReplConfig,
     service: Arc<Service>,
     inner: Mutex<Inner>,
+    status: StatusCell,
     fsync_ms: pqp_obs::WindowedHistogram,
     ship_ms: pqp_obs::WindowedHistogram,
 }
@@ -179,6 +269,17 @@ impl ReplNode {
         if recovery.truncated_bytes > 0 {
             pqp_obs::counter_add("repl.torn_tail_bytes", recovery.truncated_bytes as i64);
         }
+        // Rebuild the (term, seq) identity of the log tail from the
+        // term prefix every stored record and snapshot carries.
+        let base_term = match &recovery.snapshot {
+            Some(snap) => split_record(&snap.data).map(|(t, _)| t).unwrap_or(0),
+            None => 0,
+        };
+        let last_term = recovery
+            .records
+            .last()
+            .and_then(|r| split_record(&r.payload).ok().map(|(t, _)| t))
+            .unwrap_or(base_term);
         let followers = config
             .peers
             .iter()
@@ -189,11 +290,19 @@ impl ReplNode {
                 role: config.role,
                 term,
                 wal,
+                last_term,
+                base_term,
                 followers,
                 records_since_snapshot: 0,
             }),
             service,
             config,
+            status: StatusCell {
+                role: AtomicU8::new(0),
+                term: AtomicU64::new(0),
+                last_seq: AtomicU64::new(0),
+                durable_seq: AtomicU64::new(0),
+            },
             fsync_ms: pqp_obs::WindowedHistogram::default(),
             ship_ms: pqp_obs::WindowedHistogram::default(),
         });
@@ -210,34 +319,53 @@ impl ReplNode {
         &self.config.node_id
     }
 
-    /// Current role.
+    /// Current role (lock-free: reads the status cell).
     pub fn role(&self) -> Role {
-        self.lock().role
+        self.status.role()
     }
 
-    /// Current term.
+    /// Current term (lock-free: reads the status cell).
     pub fn term(&self) -> u64 {
-        self.lock().term
+        self.status.term.load(Ordering::Relaxed)
     }
 
-    /// The node's status as answered to a `Status` probe.
+    /// The node's status as answered to a `Status` probe. Served from
+    /// the lock-free status cell so probes never wait on replication
+    /// work in progress.
     pub fn status(&self) -> NodeStatus {
-        let inner = self.lock();
         NodeStatus {
             node_id: self.config.node_id.clone(),
-            role: inner.role,
-            term: inner.term,
-            last_seq: inner.wal.last_seq(),
-            durable_seq: inner.wal.synced_seq(),
+            role: self.status.role(),
+            term: self.status.term.load(Ordering::Relaxed),
+            last_seq: self.status.last_seq.load(Ordering::Relaxed),
+            durable_seq: self.status.durable_seq.load(Ordering::Relaxed),
         }
+    }
+
+    /// Constant-time-ish comparison of the supplied auth token against
+    /// the configured shared secret. An empty configured token disables
+    /// the check.
+    fn token_ok(&self, supplied: &str) -> bool {
+        let want = self.config.token.as_bytes();
+        if want.is_empty() {
+            return true;
+        }
+        let got = supplied.as_bytes();
+        let mut diff = want.len() ^ got.len();
+        for (i, byte) in want.iter().enumerate() {
+            diff |= (byte ^ got.get(i).copied().unwrap_or(0)) as usize;
+        }
+        diff == 0
     }
 
     /// Apply one client mutation through the replicated log. Leader
     /// only; followers answer [`Error::Unavailable`] naming the reason.
     ///
-    /// Order of operations: validate-and-apply to the service, append +
-    /// fsync the WAL, ship to followers, count the quorum. The client
-    /// is acked only after the quorum holds the record durably.
+    /// Order of operations: validate (without applying), append + fsync
+    /// the WAL, apply to the in-memory service, ship to followers,
+    /// count the quorum. The in-memory store is only touched once the
+    /// record is durable — a failed append or fsync never leaves a
+    /// mutation visible to reads that would vanish on restart.
     pub fn client_mutate(&self, user: &UserId, op: ProfileOp) -> Result<(u64, bool)> {
         if let Some(msg) = pqp_obs::failpoint::fire("node.crash") {
             return Err(Error::Internal(format!("node.crash failpoint: {msg}")));
@@ -249,14 +377,37 @@ impl ReplNode {
                 inner.term
             )));
         }
-        // Validate-and-apply first: an op the service rejects never
-        // reaches the log, so the log replays cleanly forever.
-        let removed = apply_op(&self.service, user, &op)?;
-        let record = MutationRecord { user: user.as_str().to_string(), op }.encode();
-        let seq = inner.wal.append(&record)?;
+        // Validate first (on a clone, no store mutation): an op the
+        // schema rejects never reaches the log, so the log replays
+        // cleanly forever.
+        validate_op(&self.service, user, &op)?;
+        let record = MutationRecord { user: user.as_str().to_string(), op: op.clone() }.encode();
+        let term = inner.term;
+        let seq = inner.wal.append(&wrap_record(term, &record))?;
         let t = Instant::now();
-        inner.wal.sync()?;
+        if let Err(e) = inner.wal.sync() {
+            // The record is written but not durable: take it back off
+            // the log so a later successful fsync cannot make durable a
+            // record the in-memory store never applied.
+            if inner.wal.truncate_from(seq).is_err() {
+                pqp_obs::counter_add("repl.orphaned_records", 1);
+            }
+            self.refresh_tip_term(&mut inner);
+            self.publish(&inner);
+            return Err(e.into());
+        }
         self.fsync_ms.record(t.elapsed().as_secs_f64() * 1_000.0);
+        inner.last_term = term;
+        // Durable: now (and only now) the mutation becomes visible.
+        let removed = match apply_op(&self.service, user, &op) {
+            Ok(removed) => removed,
+            Err(e) => {
+                // Validation passed, so this is exceptional; the record
+                // is durable and will still ship and replay.
+                pqp_obs::counter_add("repl.apply_errors", 1);
+                return Err(e);
+            }
+        };
 
         let ship_failures = self.ship(&mut inner)?;
         let acked = 1 + inner.followers.iter().filter(|f| f.ack_seq >= seq).count();
@@ -286,6 +437,8 @@ impl ReplNode {
     fn ship(&self, inner: &mut Inner) -> Result<Vec<String>> {
         let term = inner.term;
         let tip = inner.wal.last_seq();
+        let tip_term = inner.last_term;
+        let base_term = inner.base_term;
         let mut fenced: Option<u64> = None;
         let mut failures = Vec::new();
         // Split borrows: the WAL (read) and the follower slots (mutated).
@@ -295,7 +448,7 @@ impl ReplNode {
                 continue;
             }
             let t = Instant::now();
-            match self.catch_up(wal, term, tip, slot) {
+            match self.catch_up(wal, term, tip, tip_term, base_term, slot) {
                 Ok(()) => self.ship_ms.record(t.elapsed().as_secs_f64() * 1_000.0),
                 Err(ShipError::Io(reason)) => {
                     pqp_obs::counter_add("repl.ship_failed", 1);
@@ -324,11 +477,19 @@ impl ReplNode {
     /// Drive one follower to the log tip: handshake if the link is
     /// fresh, then Append batches from its ack offset — or a full
     /// snapshot when the log has been compacted past it.
+    ///
+    /// The follower's self-reported ack is never trusted verbatim: it
+    /// is clamped to this leader's own tip, and the term the follower
+    /// reports for its tip must match this log's entry at that offset —
+    /// otherwise the ack walks back so the next `Append`'s consistency
+    /// check lands on (and truncates) the conflicting suffix.
     fn catch_up(
         &self,
         wal: &Wal,
         term: u64,
         tip: u64,
+        tip_term: u64,
+        base_term: u64,
         slot: &mut FollowerSlot,
     ) -> std::result::Result<(), ShipError> {
         for _ in 0..SHIP_ATTEMPTS {
@@ -340,9 +501,14 @@ impl ReplNode {
                     version: PROTOCOL_VERSION,
                     node_id: self.config.node_id.clone(),
                     term,
+                    token: self.config.token.clone(),
+                    last_seq: tip,
+                    last_term: tip_term,
                 };
                 match self.exchange(slot, &hello)? {
-                    ReplResponse::Ok { ack_seq, .. } => slot.ack_seq = ack_seq,
+                    ReplResponse::Ok { ack_seq, ack_term, .. } => {
+                        slot.ack_seq = validate_ack(wal, base_term, tip, ack_seq, ack_term);
+                    }
                     ReplResponse::Reject { term: t, .. } if t > term => {
                         return Err(ShipError::Fenced(t));
                     }
@@ -357,37 +523,46 @@ impl ReplNode {
             if slot.ack_seq >= tip {
                 return Ok(());
             }
-            let request =
-                match wal.read_from(slot.ack_seq + 1).map_err(|e| ShipError::Io(e.to_string()))? {
-                    Some(records) => ReplRequest::Append {
-                        term,
-                        entries: records
-                            .into_iter()
-                            .map(|r| LogEntry { seq: r.seq, payload: r.payload })
-                            .collect(),
-                    },
-                    // The log was compacted past this follower: ship the
-                    // whole state. Under the inner lock the service state
-                    // corresponds exactly to the log tip.
-                    None => ReplRequest::Snapshot {
-                        term,
-                        last_seq: tip,
-                        data: encode_profile_snapshot(&self.service),
-                    },
-                };
+            let records =
+                wal.read_from(slot.ack_seq + 1).map_err(|e| ShipError::Io(e.to_string()))?;
+            let prev = term_at(wal, base_term, slot.ack_seq);
+            let request = match (records, prev) {
+                (Some(records), Some(prev_term)) => {
+                    let prev_seq = slot.ack_seq;
+                    let mut entries = Vec::with_capacity(records.len());
+                    for r in records {
+                        let (t, payload) =
+                            split_record(&r.payload).map_err(|e| ShipError::Io(e.to_string()))?;
+                        entries.push(LogEntry { term: t, seq: r.seq, payload: payload.to_vec() });
+                    }
+                    ReplRequest::Append { term, prev_seq, prev_term, entries }
+                }
+                // The log was compacted past this follower (its offset
+                // is below the snapshot point, so there is no entry to
+                // hang a consistency check off): ship the whole state.
+                // Under the inner lock the service state corresponds
+                // exactly to the log tip.
+                _ => ReplRequest::Snapshot {
+                    term,
+                    last_seq: tip,
+                    last_term: tip_term,
+                    data: encode_profile_snapshot(&self.service),
+                },
+            };
             match self.exchange(slot, &request)? {
-                ReplResponse::Ok { ack_seq, .. } => {
-                    slot.ack_seq = ack_seq;
-                    if ack_seq >= tip {
+                ReplResponse::Ok { ack_seq, ack_term, .. } => {
+                    slot.ack_seq = validate_ack(wal, base_term, tip, ack_seq, ack_term);
+                    if slot.ack_seq >= tip {
                         return Ok(());
                     }
                 }
                 ReplResponse::Reject { term: t, .. } if t > term => {
                     return Err(ShipError::Fenced(t));
                 }
-                // A gap rejection tells us where the follower's log
-                // actually ends; resume from there next attempt.
-                ReplResponse::Reject { last_seq, .. } => slot.ack_seq = last_seq,
+                // A rejection tells us where the follower's log actually
+                // matches (a gap, or a conflict walk-back after it
+                // truncated a deposed leader's suffix); resume there.
+                ReplResponse::Reject { last_seq, .. } => slot.ack_seq = last_seq.min(tip),
                 ReplResponse::Status(_) => {
                     return Err(ShipError::Io("status answer to append".to_string()));
                 }
@@ -431,53 +606,55 @@ impl ReplNode {
             return;
         }
         inner.records_since_snapshot = 0;
-        let data = encode_profile_snapshot(&self.service);
+        let data = wrap_record(inner.last_term, &encode_profile_snapshot(&self.service));
         if inner.wal.install_snapshot(&data).is_err() {
             pqp_obs::counter_add("repl.snapshot_failed", 1);
         } else {
+            inner.base_term = inner.last_term;
             pqp_obs::counter_add("repl.snapshots", 1);
         }
     }
 
     /// Handle one peer request (the other side of the leader's internal
-    /// `ship` path, plus probes and failover control).
-    pub fn handle_peer(&self, request: ReplRequest) -> ReplResponse {
+    /// `ship` path, plus probes and failover control). `link` is the
+    /// per-connection auth state: a link must present the cluster token
+    /// in `Hello` before `Append`/`Snapshot` are honored on it.
+    pub fn handle_peer(&self, request: ReplRequest, link: &mut PeerLink) -> ReplResponse {
+        // Status is read-only and answered from the lock-free cell, so
+        // the router's probes stay fast even while this node is stalled
+        // in peer I/O under the inner mutex.
+        if matches!(request, ReplRequest::Status) {
+            return ReplResponse::Status(self.status());
+        }
         let mut inner = self.lock();
+        let authed = link.authed || self.config.token.is_empty();
         let response = match request {
-            ReplRequest::Hello { version, node_id, term } => {
-                if version != PROTOCOL_VERSION {
-                    ReplResponse::Reject {
-                        term: inner.term,
-                        last_seq: inner.wal.last_seq(),
-                        reason: format!(
-                            "unsupported protocol version {version} (node speaks \
-                             {PROTOCOL_VERSION})"
-                        ),
-                    }
-                } else if term < inner.term {
-                    ReplResponse::Reject {
-                        term: inner.term,
-                        last_seq: inner.wal.last_seq(),
-                        reason: format!("stale term {term} from {node_id}"),
-                    }
+            ReplRequest::Hello { version, node_id, term, token, last_seq, last_term } => self
+                .peer_hello(&mut inner, link, version, &node_id, term, &token, last_seq, last_term),
+            ReplRequest::Append { term, prev_seq, prev_term, entries } => {
+                if !authed {
+                    self.reject_unauthenticated(&inner, "append")
                 } else {
-                    self.adopt(&mut inner, term);
-                    ReplResponse::Ok { term: inner.term, ack_seq: inner.wal.last_seq() }
+                    self.peer_append(&mut inner, term, prev_seq, prev_term, entries)
                 }
             }
-            ReplRequest::Append { term, entries } => self.peer_append(&mut inner, term, entries),
-            ReplRequest::Snapshot { term, last_seq, data } => {
-                self.peer_snapshot(&mut inner, term, last_seq, &data)
+            ReplRequest::Snapshot { term, last_seq, last_term, data } => {
+                if !authed {
+                    self.reject_unauthenticated(&inner, "snapshot")
+                } else {
+                    self.peer_snapshot(&mut inner, term, last_seq, last_term, &data)
+                }
             }
-            ReplRequest::Status => ReplResponse::Status(NodeStatus {
-                node_id: self.config.node_id.clone(),
-                role: inner.role,
-                term: inner.term,
-                last_seq: inner.wal.last_seq(),
-                durable_seq: inner.wal.synced_seq(),
-            }),
-            ReplRequest::Promote { term } => {
-                if term <= inner.term {
+            ReplRequest::Status => unreachable!("answered above the lock"),
+            ReplRequest::Promote { term, token } => {
+                if !self.token_ok(&token) {
+                    pqp_obs::counter_add("repl.auth_failures", 1);
+                    ReplResponse::Reject {
+                        term: inner.term,
+                        last_seq: inner.wal.last_seq(),
+                        reason: "authentication failed".to_string(),
+                    }
+                } else if term <= inner.term {
                     ReplResponse::Reject {
                         term: inner.term,
                         last_seq: inner.wal.last_seq(),
@@ -497,7 +674,11 @@ impl ReplNode {
                         slot.ack_seq = 0;
                     }
                     pqp_obs::counter_add("repl.promotions", 1);
-                    ReplResponse::Ok { term, ack_seq: inner.wal.last_seq() }
+                    ReplResponse::Ok {
+                        term,
+                        ack_seq: inner.wal.last_seq(),
+                        ack_term: inner.last_term,
+                    }
                 }
             }
         };
@@ -505,28 +686,150 @@ impl ReplNode {
         response
     }
 
-    /// Apply shipped entries: fence stale terms, reject gaps (telling
-    /// the leader where the log really ends), skip already-held seqs,
-    /// then append + one fsync + apply.
-    fn peer_append(&self, inner: &mut Inner, term: u64, entries: Vec<LogEntry>) -> ReplResponse {
+    /// Handshake: check the version and the cluster token, fence terms,
+    /// then reconcile this node's log tail against the leader's tip. A
+    /// tail beyond the leader's tip, or a tip entry whose term the
+    /// leader disagrees with, is a deposed leader's unreplicated suffix
+    /// — it is truncated here (and the store rebuilt) rather than left
+    /// to diverge silently.
+    #[allow(clippy::too_many_arguments)]
+    fn peer_hello(
+        &self,
+        inner: &mut Inner,
+        link: &mut PeerLink,
+        version: u16,
+        node_id: &str,
+        term: u64,
+        token: &str,
+        leader_last_seq: u64,
+        leader_last_term: u64,
+    ) -> ReplResponse {
+        if version != PROTOCOL_VERSION {
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!(
+                    "unsupported protocol version {version} (node speaks {PROTOCOL_VERSION})"
+                ),
+            };
+        }
+        if !self.token_ok(token) {
+            pqp_obs::counter_add("repl.auth_failures", 1);
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!("authentication failed for {node_id}"),
+            };
+        }
+        if let Some(reject) = self.fence(inner, term, "hello") {
+            return reject;
+        }
+        link.authed = true;
+        let last = inner.wal.last_seq();
+        if last > leader_last_seq {
+            // Entries the leader never had: a deposed leader's durable-
+            // but-unacked suffix. Cut it before reporting an ack.
+            self.drop_suffix(inner, leader_last_seq + 1);
+        } else if last == leader_last_seq && last > 0 && inner.last_term != leader_last_term {
+            // Same length, different tip identity: the tip (at least)
+            // conflicts. Cut it; the walk-back finds the fork point.
+            self.drop_suffix(inner, last);
+        }
+        ReplResponse::Ok {
+            term: inner.term,
+            ack_seq: inner.wal.last_seq(),
+            ack_term: inner.last_term,
+        }
+    }
+
+    /// Apply shipped entries. In order: fence stale terms, run the
+    /// consistency check on the `(prev_seq, prev_term)` identity the
+    /// batch hangs off (truncating a conflicting suffix — Raft's
+    /// AppendEntries check), reject gaps (telling the leader where the
+    /// log really ends), then append + one fsync + apply.
+    fn peer_append(
+        &self,
+        inner: &mut Inner,
+        term: u64,
+        prev_seq: u64,
+        prev_term: u64,
+        entries: Vec<LogEntry>,
+    ) -> ReplResponse {
         if let Some(reject) = self.fence(inner, term, "append") {
             return reject;
         }
-        let mut applied = Vec::new();
+        let last = inner.wal.last_seq();
+        if prev_seq > last {
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: last,
+                reason: format!("log gap: batch hangs off seq {prev_seq}, log ends at {last}"),
+            };
+        }
+        if prev_seq < inner.wal.base_seq() {
+            // The batch hangs off history below this node's snapshot
+            // point, which cannot be checked. Reset; the leader re-ships
+            // from scratch (in practice: a snapshot).
+            self.reset_empty(inner);
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: "batch predates the local snapshot point; re-ship from scratch".to_string(),
+            };
+        }
+        if term_at(&inner.wal, inner.base_term, prev_seq) != Some(prev_term) {
+            // This log's entry at prev_seq is not the one the leader
+            // has: everything from it onward is a deposed leader's
+            // suffix. Cut it and report where the log now ends so the
+            // leader walks back to the fork point.
+            self.drop_suffix(inner, prev_seq);
+            return ReplResponse::Reject {
+                term: inner.term,
+                last_seq: inner.wal.last_seq(),
+                reason: format!(
+                    "log conflict at seq {prev_seq}: local term differs from leader's \
+                     {prev_term}; suffix truncated"
+                ),
+            };
+        }
+        let mut truncated = false;
+        let mut first_appended: Option<u64> = None;
+        let mut appended = Vec::new();
         for entry in entries {
             let last = inner.wal.last_seq();
             if entry.seq <= last {
-                continue; // Re-shipped record we already hold.
-            }
-            if entry.seq != last + 1 {
+                if term_at(&inner.wal, inner.base_term, entry.seq) == Some(entry.term) {
+                    continue; // Re-shipped entry we already hold.
+                }
+                // Conflict inside the overlap: the deposed suffix
+                // starts here. Cut it, then append the leader's entry
+                // in its place.
+                self.drop_suffix(inner, entry.seq);
+                truncated = true;
+                if inner.wal.last_seq() + 1 != entry.seq {
+                    // The cut reached into the snapshot; re-ship.
+                    return ReplResponse::Reject {
+                        term: inner.term,
+                        last_seq: inner.wal.last_seq(),
+                        reason: format!(
+                            "log conflict at seq {} reached the snapshot point; re-ship",
+                            entry.seq
+                        ),
+                    };
+                }
+            } else if entry.seq != last + 1 {
                 return ReplResponse::Reject {
                     term: inner.term,
                     last_seq: last,
                     reason: format!("log gap: got seq {}, log ends at {last}", entry.seq),
                 };
             }
-            match inner.wal.append(&entry.payload) {
-                Ok(_) => applied.push(entry.payload),
+            match inner.wal.append(&wrap_record(entry.term, &entry.payload)) {
+                Ok(seq) => {
+                    inner.last_term = entry.term;
+                    first_appended.get_or_insert(seq);
+                    appended.push(entry.payload);
+                }
                 Err(e) => {
                     return ReplResponse::Reject {
                         term: inner.term,
@@ -538,6 +841,15 @@ impl ReplNode {
         }
         let t = Instant::now();
         if let Err(e) = inner.wal.sync() {
+            // Mirror the leader's mutation path: records that failed to
+            // become durable come back off the log, so memory and log
+            // never disagree. The leader re-ships them next round.
+            if let Some(first) = first_appended {
+                if inner.wal.truncate_from(first).is_err() {
+                    pqp_obs::counter_add("repl.orphaned_records", 1);
+                }
+                self.refresh_tip_term(inner);
+            }
             return ReplResponse::Reject {
                 term: inner.term,
                 last_seq: inner.wal.last_seq(),
@@ -545,14 +857,24 @@ impl ReplNode {
             };
         }
         self.fsync_ms.record(t.elapsed().as_secs_f64() * 1_000.0);
-        for payload in applied {
-            // The leader validated before logging, so failures here are
-            // exceptional; they are counted, never silently dropped.
-            if apply_record(&self.service, &payload).is_err() {
-                pqp_obs::counter_add("repl.apply_errors", 1);
+        if truncated {
+            // History changed under the in-memory store mid-batch:
+            // rebuild from durable state instead of applying on top.
+            self.rebuild_store(inner);
+        } else {
+            for payload in appended {
+                // The leader validated before logging, so failures here
+                // are exceptional; counted, never silently dropped.
+                if apply_record(&self.service, &payload).is_err() {
+                    pqp_obs::counter_add("repl.apply_errors", 1);
+                }
             }
         }
-        ReplResponse::Ok { term: inner.term, ack_seq: inner.wal.last_seq() }
+        ReplResponse::Ok {
+            term: inner.term,
+            ack_seq: inner.wal.last_seq(),
+            ack_term: inner.last_term,
+        }
     }
 
     /// Adopt a full snapshot: replace the WAL and the profile store.
@@ -561,18 +883,21 @@ impl ReplNode {
         inner: &mut Inner,
         term: u64,
         last_seq: u64,
+        last_term: u64,
         data: &[u8],
     ) -> ReplResponse {
         if let Some(reject) = self.fence(inner, term, "snapshot") {
             return reject;
         }
-        if let Err(e) = inner.wal.reset_to(last_seq, data) {
+        if let Err(e) = inner.wal.reset_to(last_seq, &wrap_record(last_term, data)) {
             return ReplResponse::Reject {
                 term: inner.term,
                 last_seq: inner.wal.last_seq(),
                 reason: format!("snapshot install failed: {e}"),
             };
         }
+        inner.base_term = last_term;
+        inner.last_term = last_term;
         if let Err(e) = apply_profile_snapshot(&self.service, data) {
             return ReplResponse::Reject {
                 term: inner.term,
@@ -581,7 +906,98 @@ impl ReplNode {
             };
         }
         pqp_obs::counter_add("repl.snapshots_received", 1);
-        ReplResponse::Ok { term: inner.term, ack_seq: inner.wal.last_seq() }
+        ReplResponse::Ok {
+            term: inner.term,
+            ack_seq: inner.wal.last_seq(),
+            ack_term: inner.last_term,
+        }
+    }
+
+    /// The Reject every state-changing frame gets on a link that never
+    /// presented the cluster token.
+    fn reject_unauthenticated(&self, inner: &Inner, what: &str) -> ReplResponse {
+        pqp_obs::counter_add("repl.auth_failures", 1);
+        ReplResponse::Reject {
+            term: inner.term,
+            last_seq: inner.wal.last_seq(),
+            reason: format!("unauthenticated {what}: present the cluster token in Hello first"),
+        }
+    }
+
+    /// Remove the log suffix from `from` onward (inclusive) and rebuild
+    /// the in-memory store from what survives. When the cut reaches
+    /// into the snapshot, local history is unverifiable — reset to
+    /// empty and let the leader re-ship from scratch.
+    fn drop_suffix(&self, inner: &mut Inner, from: u64) {
+        pqp_obs::counter_add("repl.log_truncations", 1);
+        if from > inner.wal.base_seq() && inner.wal.truncate_from(from).is_ok() {
+            self.refresh_tip_term(inner);
+            self.rebuild_store(inner);
+        } else {
+            self.reset_empty(inner);
+        }
+    }
+
+    /// Re-derive `last_term` from the log tip (after a truncation).
+    fn refresh_tip_term(&self, inner: &mut Inner) {
+        let last = inner.wal.last_seq();
+        inner.last_term = if last <= inner.wal.base_seq() {
+            inner.base_term
+        } else {
+            match inner.wal.read_record(last) {
+                Ok(Some(record)) => {
+                    split_record(&record.payload).map(|(t, _)| t).unwrap_or(inner.base_term)
+                }
+                _ => inner.base_term,
+            }
+        };
+    }
+
+    /// Rebuild the in-memory profile store from durable state (the
+    /// snapshot, then the surviving log) after a truncation changed
+    /// history under it.
+    fn rebuild_store(&self, inner: &Inner) {
+        pqp_obs::counter_add("repl.store_rebuilds", 1);
+        match inner.wal.read_snapshot() {
+            Ok(Some(snapshot)) => {
+                let applied = split_record(&snapshot.data)
+                    .and_then(|(_, data)| apply_profile_snapshot(&self.service, data));
+                if applied.is_err() {
+                    pqp_obs::counter_add("repl.apply_errors", 1);
+                }
+            }
+            _ => {
+                for user in self.service.users() {
+                    self.service.remove_profile(user);
+                }
+            }
+        }
+        if let Ok(Some(records)) = inner.wal.read_from(inner.wal.base_seq() + 1) {
+            for record in records {
+                let applied = split_record(&record.payload)
+                    .and_then(|(_, payload)| apply_record(&self.service, payload).map(|_| ()));
+                if applied.is_err() {
+                    pqp_obs::counter_add("repl.apply_errors", 1);
+                }
+            }
+        }
+    }
+
+    /// Reset to a completely empty replica — empty snapshot at seq 0,
+    /// no log, no profiles — for when local history is unverifiable
+    /// (a conflict reached into the compacted snapshot).
+    fn reset_empty(&self, inner: &mut Inner) {
+        let mut w = Writer::new();
+        w.u32(0);
+        if inner.wal.reset_to(0, &wrap_record(0, &w.into_vec())).is_err() {
+            pqp_obs::counter_add("repl.snapshot_failed", 1);
+            return;
+        }
+        inner.base_term = 0;
+        inner.last_term = 0;
+        for user in self.service.users() {
+            self.service.remove_profile(user);
+        }
     }
 
     /// Shared term check for state-changing peer requests: reject stale
@@ -619,9 +1035,11 @@ impl ReplNode {
         }
     }
 
-    /// Publish this node's replication state into the service telemetry
+    /// Publish this node's replication state into the lock-free status
+    /// cell (which answers `Status` probes) and the service telemetry
     /// (`SHOW METRICS` `repl.*` rows, `Telemetry::repl_status`).
     fn publish(&self, inner: &Inner) {
+        self.status.store(inner);
         let tip = inner.wal.last_seq();
         let fsync = self.fsync_ms.snapshot();
         let ship = self.ship_ms.snapshot();
@@ -657,8 +1075,87 @@ enum ShipError {
     Fenced(u64),
 }
 
-/// Validate-and-apply one mutation to the service. `Ok(removed)`
-/// mirrors the single-node `Mutate` dispatch semantics.
+/// Prefix `payload` with the 8-byte big-endian term it was written
+/// under. The WAL stays payload-agnostic; this framing is the
+/// replication layer's, giving every stored record (and the snapshot)
+/// the `(term, seq)` identity the conflict check needs.
+fn wrap_record(term: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&term.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Split a stored record into its term prefix and inner payload.
+fn split_record(stored: &[u8]) -> Result<(u64, &[u8])> {
+    if stored.len() < 8 {
+        return Err(Error::Protocol("stored record shorter than its term prefix".to_string()));
+    }
+    let mut term = [0u8; 8];
+    term.copy_from_slice(&stored[..8]);
+    Ok((u64::from_be_bytes(term), &stored[8..]))
+}
+
+/// Term of the log entry at `seq` as this node's log records it. The
+/// empty-log origin (seq 0) has term 0; the snapshot point answers the
+/// snapshot's term; sequences outside the log answer `None`.
+fn term_at(wal: &Wal, base_term: u64, seq: u64) -> Option<u64> {
+    if seq == 0 {
+        return Some(0);
+    }
+    if seq == wal.base_seq() {
+        return Some(base_term);
+    }
+    match wal.read_record(seq) {
+        Ok(Some(record)) => split_record(&record.payload).ok().map(|(t, _)| t),
+        _ => None,
+    }
+}
+
+/// Clamp and validate a follower's self-reported `(ack_seq, ack_term)`
+/// against the leader's own log. The ack is never trusted above the
+/// leader's tip, and the follower's tip term must match the leader's
+/// entry at that offset — on mismatch the ack walks back one entry so
+/// the next `Append` carries a consistency check that lands on (and
+/// truncates) the conflicting suffix.
+fn validate_ack(wal: &Wal, base_term: u64, tip: u64, ack_seq: u64, ack_term: u64) -> u64 {
+    let clamped = ack_seq.min(tip);
+    if clamped < ack_seq {
+        pqp_obs::counter_add("repl.ack_clamped", 1);
+        return clamped;
+    }
+    if clamped > 0 {
+        if let Some(my_term) = term_at(wal, base_term, clamped) {
+            if my_term != ack_term {
+                pqp_obs::counter_add("repl.ack_conflicts", 1);
+                return clamped - 1;
+            }
+        }
+    }
+    clamped
+}
+
+/// Check a mutation against the schema *without* applying it: run it on
+/// a clone of the user's profile and validate the result. Invalid ops
+/// never reach the log, while the real store is only touched after the
+/// record is durable.
+fn validate_op(service: &Service, user: &UserId, op: &ProfileOp) -> Result<()> {
+    let mut profile = service.profile(user.clone()).unwrap_or_else(|| Profile::new(user.as_str()));
+    match op {
+        ProfileOp::AddSelection { table, column, value, doi } => {
+            profile.add_selection(table, column, value.clone(), *doi)?;
+        }
+        ProfileOp::AddJoin { from_table, from_column, to_table, to_column, doi } => {
+            profile.add_join(from_table, from_column, to_table, to_column, *doi)?;
+        }
+        ProfileOp::Remove => return Ok(()),
+    }
+    profile.validate(service.database().catalog())?;
+    Ok(())
+}
+
+/// Apply one mutation to the service. `Ok(removed)` mirrors the
+/// single-node `Mutate` dispatch semantics.
 fn apply_op(service: &Service, user: &UserId, op: &ProfileOp) -> Result<bool> {
     match op {
         ProfileOp::AddSelection { table, column, value, doi } => {
@@ -684,10 +1181,13 @@ fn apply_record(service: &Service, payload: &[u8]) -> Result<bool> {
 /// node when the rest of the log is sound.
 fn replay(service: &Service, recovery: &WalRecovery) -> Result<()> {
     if let Some(snapshot) = &recovery.snapshot {
-        apply_profile_snapshot(service, &snapshot.data)?;
+        let (_, data) = split_record(&snapshot.data)?;
+        apply_profile_snapshot(service, data)?;
     }
     for record in &recovery.records {
-        if apply_record(service, &record.payload).is_err() {
+        let applied = split_record(&record.payload)
+            .and_then(|(_, payload)| apply_record(service, payload).map(|_| ()));
+        if applied.is_err() {
             pqp_obs::counter_add("repl.replay_errors", 1);
         }
     }
@@ -806,6 +1306,25 @@ mod tests {
         )
     }
 
+    /// Drive one peer request over a fresh (per-call) link — the common
+    /// case for tests with no token configured.
+    fn peer(node: &ReplNode, request: ReplRequest) -> ReplResponse {
+        node.handle_peer(request, &mut PeerLink::new())
+    }
+
+    fn record_for(user: &str, value: i64) -> Vec<u8> {
+        MutationRecord {
+            user: user.into(),
+            op: ProfileOp::AddSelection {
+                table: "MOVIE".into(),
+                column: "year".into(),
+                value: Value::Int(value),
+                doi: 0.5,
+            },
+        }
+        .encode()
+    }
+
     #[test]
     fn mutations_survive_reopen_via_replay() {
         let dir = tempdir("replay");
@@ -842,11 +1361,11 @@ mod tests {
         config.role = Role::Follower;
         let node = ReplNode::open(service(), config.clone()).unwrap();
         assert!(matches!(
-            node.handle_peer(ReplRequest::Promote { term: 0 }),
+            peer(&node, ReplRequest::Promote { term: 0, token: String::new() }),
             ReplResponse::Reject { .. }
         ));
         assert!(matches!(
-            node.handle_peer(ReplRequest::Promote { term: 3 }),
+            peer(&node, ReplRequest::Promote { term: 3, token: String::new() }),
             ReplResponse::Ok { term: 3, .. }
         ));
         assert_eq!(node.role(), Role::Leader);
@@ -864,12 +1383,17 @@ mod tests {
         let mut config = ReplConfig::new("n4", &dir);
         config.role = Role::Follower;
         let node = ReplNode::open(service(), config).unwrap();
-        node.handle_peer(ReplRequest::Promote { term: 5 });
+        peer(&node, ReplRequest::Promote { term: 5, token: String::new() });
         let record = MutationRecord { user: "ana".into(), op: ProfileOp::Remove }.encode();
-        let resp = node.handle_peer(ReplRequest::Append {
-            term: 2,
-            entries: vec![LogEntry { seq: 1, payload: record }],
-        });
+        let resp = peer(
+            &node,
+            ReplRequest::Append {
+                term: 2,
+                prev_seq: 0,
+                prev_term: 0,
+                entries: vec![LogEntry { term: 2, seq: 1, payload: record }],
+            },
+        );
         let ReplResponse::Reject { term, reason, .. } = resp else {
             panic!("stale append accepted: {resp:?}");
         };
@@ -885,14 +1409,164 @@ mod tests {
         config.role = Role::Follower;
         let node = ReplNode::open(service(), config).unwrap();
         let record = MutationRecord { user: "ana".into(), op: ProfileOp::Remove }.encode();
-        let resp = node.handle_peer(ReplRequest::Append {
-            term: 1,
-            entries: vec![LogEntry { seq: 5, payload: record }],
-        });
+        let resp = peer(
+            &node,
+            ReplRequest::Append {
+                term: 1,
+                prev_seq: 4,
+                prev_term: 1,
+                entries: vec![LogEntry { term: 1, seq: 5, payload: record }],
+            },
+        );
         let ReplResponse::Reject { last_seq: 0, reason, .. } = resp else {
             panic!("gap accepted: {resp:?}");
         };
         assert!(reason.contains("log gap"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deposed_leader_suffix_is_truncated_on_conflict() {
+        let dir = tempdir("conflict");
+        let mut config = ReplConfig::new("n7", &dir);
+        config.role = Role::Follower;
+        let svc = service();
+        let node = ReplNode::open(Arc::clone(&svc), config).unwrap();
+        // The old leader (term 1) replicated seqs 1–2 here before dying;
+        // seq 2 was durable-but-unacked and the new leader never saw it.
+        let resp = peer(
+            &node,
+            ReplRequest::Append {
+                term: 1,
+                prev_seq: 0,
+                prev_term: 0,
+                entries: vec![
+                    LogEntry { term: 1, seq: 1, payload: record_for("ana", 1999) },
+                    LogEntry { term: 1, seq: 2, payload: record_for("bob", 2001) },
+                ],
+            },
+        );
+        assert!(matches!(resp, ReplResponse::Ok { ack_seq: 2, ack_term: 1, .. }), "{resp:?}");
+        // The new leader (term 3) holds seq 1 but a *different* seq 2.
+        // Its append must truncate bob's entry and install cara's.
+        let resp = peer(
+            &node,
+            ReplRequest::Append {
+                term: 3,
+                prev_seq: 1,
+                prev_term: 1,
+                entries: vec![LogEntry { term: 3, seq: 2, payload: record_for("cara", 1985) }],
+            },
+        );
+        assert!(matches!(resp, ReplResponse::Ok { ack_seq: 2, ack_term: 3, .. }), "{resp:?}");
+        let users: Vec<String> = svc.users().iter().map(|u| u.as_str().to_string()).collect();
+        assert_eq!(users, ["ana", "cara"], "bob's orphaned mutation is gone");
+        // And the durable log agrees after a restart.
+        let svc2 = service();
+        let reborn = ReplNode::open(Arc::clone(&svc2), ReplConfig::new("n7", &dir)).unwrap();
+        assert_eq!(reborn.status().last_seq, 2);
+        let users: Vec<String> = svc2.users().iter().map(|u| u.as_str().to_string()).collect();
+        assert_eq!(users, ["ana", "cara"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hello_reconciles_a_tail_beyond_the_leaders_tip() {
+        let dir = tempdir("hello_reconcile");
+        let mut config = ReplConfig::new("n8", &dir);
+        config.role = Role::Follower;
+        let svc = service();
+        let node = ReplNode::open(Arc::clone(&svc), config).unwrap();
+        peer(
+            &node,
+            ReplRequest::Append {
+                term: 1,
+                prev_seq: 0,
+                prev_term: 0,
+                entries: vec![
+                    LogEntry { term: 1, seq: 1, payload: record_for("ana", 1999) },
+                    LogEntry { term: 1, seq: 2, payload: record_for("bob", 2001) },
+                ],
+            },
+        );
+        // New leader's log ends at seq 1: the handshake itself must cut
+        // the follower's longer tail instead of trusting its ack.
+        let resp = peer(
+            &node,
+            ReplRequest::Hello {
+                version: PROTOCOL_VERSION,
+                node_id: "leader".into(),
+                term: 2,
+                token: String::new(),
+                last_seq: 1,
+                last_term: 1,
+            },
+        );
+        assert!(matches!(resp, ReplResponse::Ok { ack_seq: 1, ack_term: 1, .. }), "{resp:?}");
+        assert_eq!(node.status().last_seq, 1);
+        let users: Vec<String> = svc.users().iter().map(|u| u.as_str().to_string()).collect();
+        assert_eq!(users, ["ana"], "bob's orphaned mutation rolled back");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_changing_frames_require_the_cluster_token() {
+        let dir = tempdir("auth");
+        let mut config = ReplConfig::new("n9", &dir);
+        config.role = Role::Follower;
+        config.token = "s3cret".to_string();
+        let node = ReplNode::open(service(), config).unwrap();
+        // Promote with a wrong token is refused outright.
+        let resp = peer(&node, ReplRequest::Promote { term: 9, token: "wrong".into() });
+        let ReplResponse::Reject { reason, .. } = resp else {
+            panic!("unauthenticated promote accepted: {resp:?}");
+        };
+        assert!(reason.contains("authentication failed"));
+        assert_eq!(node.role(), Role::Follower);
+        // Append on a link that never authenticated is refused.
+        let mut link = PeerLink::new();
+        let resp = node.handle_peer(
+            ReplRequest::Append {
+                term: 1,
+                prev_seq: 0,
+                prev_term: 0,
+                entries: vec![LogEntry { term: 1, seq: 1, payload: record_for("ana", 1999) }],
+            },
+            &mut link,
+        );
+        let ReplResponse::Reject { reason, .. } = resp else {
+            panic!("unauthenticated append accepted: {resp:?}");
+        };
+        assert!(reason.contains("unauthenticated"));
+        // Status stays open — it is the router's health probe.
+        assert!(matches!(
+            node.handle_peer(ReplRequest::Status, &mut link),
+            ReplResponse::Status(_)
+        ));
+        // Hello with the right token authenticates the link; the same
+        // append is then honored.
+        let resp = node.handle_peer(
+            ReplRequest::Hello {
+                version: PROTOCOL_VERSION,
+                node_id: "leader".into(),
+                term: 1,
+                token: "s3cret".into(),
+                last_seq: 0,
+                last_term: 0,
+            },
+            &mut link,
+        );
+        assert!(matches!(resp, ReplResponse::Ok { .. }), "{resp:?}");
+        let resp = node.handle_peer(
+            ReplRequest::Append {
+                term: 1,
+                prev_seq: 0,
+                prev_term: 0,
+                entries: vec![LogEntry { term: 1, seq: 1, payload: record_for("ana", 1999) }],
+            },
+            &mut link,
+        );
+        assert!(matches!(resp, ReplResponse::Ok { ack_seq: 1, .. }), "{resp:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

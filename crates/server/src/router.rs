@@ -42,6 +42,10 @@ pub struct RouterConfig {
     /// Connect/read/write timeout on probes and promote requests
     /// (`PQP_ROUTER_TIMEOUT_MS`, default 1000).
     pub probe_timeout: Duration,
+    /// Cluster shared secret carried on `Promote` (`PQP_REPL_TOKEN` —
+    /// the same token the nodes are configured with; empty when the
+    /// cluster runs without auth).
+    pub token: String,
 }
 
 impl RouterConfig {
@@ -76,6 +80,7 @@ impl RouterConfig {
                     .and_then(|v| v.trim().parse().ok())
                     .unwrap_or(1_000),
             ),
+            token: std::env::var("PQP_REPL_TOKEN").unwrap_or_default(),
         })
     }
 
@@ -87,6 +92,7 @@ impl RouterConfig {
             probe_interval: Duration::from_millis(50),
             fail_threshold: 2,
             probe_timeout: Duration::from_millis(500),
+            token: String::new(),
         }
     }
 }
@@ -237,7 +243,8 @@ fn promote(state: &Arc<RouterState>) -> Option<String> {
         *seen = (*seen).max(status.term) + 1;
         *seen
     };
-    let response = peer_rpc(&addr, &ReplRequest::Promote { term }, state.config.probe_timeout);
+    let promote = ReplRequest::Promote { term, token: state.config.token.clone() };
+    let response = peer_rpc(&addr, &promote, state.config.probe_timeout);
     match response {
         Ok(ReplResponse::Ok { .. }) => {
             pqp_obs::counter_add("router.promotions", 1);

@@ -14,7 +14,9 @@ use std::time::Duration;
 
 use common::{movie_db, Q};
 use pqp_obs::failpoint;
-use pqp_server::{ReplConfig, ReplNode, Router, RouterConfig, Server, ServerConfig, ServerHandle};
+use pqp_server::{
+    PeerLink, ReplConfig, ReplNode, Router, RouterConfig, Server, ServerConfig, ServerHandle,
+};
 use pqp_service::{QueryApi, Service, UserId};
 use pqp_storage::Value;
 use pqp_wire::repl::{ReplRequest, ReplResponse, Role};
@@ -54,6 +56,18 @@ impl TestNode {
         let dir =
             std::env::temp_dir().join(format!("pqp_repl_failover_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
+        TestNode::start_in(dir, tag, role, peers, quorum)
+    }
+
+    /// Like [`TestNode::start`], but on an existing WAL dir — a node
+    /// rebooting after a crash, recovering whatever was durable.
+    fn start_in(
+        dir: PathBuf,
+        tag: &str,
+        role: Role,
+        peers: Vec<String>,
+        quorum: usize,
+    ) -> TestNode {
         let svc = Arc::new(Service::new(movie_db()));
         let mut config = ReplConfig::new(tag, &dir);
         config.role = role;
@@ -78,6 +92,13 @@ impl TestNode {
         if let Some(handle) = self.handle.take() {
             handle.shutdown();
         }
+    }
+
+    /// Kill the node and hand back its WAL dir *without* deleting it,
+    /// so the node can be "rebooted" with [`TestNode::start_in`].
+    fn stop_keeping_dir(mut self) -> PathBuf {
+        self.kill();
+        std::mem::take(&mut self.dir)
     }
 
     fn profile_json(&self, user: &str) -> Option<String> {
@@ -130,7 +151,9 @@ fn leader_death_failover_keeps_every_acked_mutation_and_answer() {
     };
     assert_eq!(best.addr, f1.addr, "f1 holds the longest log and can ship to f2");
     let term = leader.node.term() + 1;
-    let response = best.node.handle_peer(ReplRequest::Promote { term });
+    let response = best
+        .node
+        .handle_peer(ReplRequest::Promote { term, token: String::new() }, &mut PeerLink::new());
     assert!(matches!(response, ReplResponse::Ok { .. }), "promotion refused: {response:?}");
     assert_eq!(best.node.role(), Role::Leader);
 
@@ -262,4 +285,182 @@ fn replication_chaos_yields_typed_errors_only_and_converges() {
             "the acked mutation is in the store"
         );
     });
+}
+
+/// One framed request/response on an already-open replication link —
+/// what a peer (or an attacker on the client port) would send.
+fn repl_rpc(stream: &mut std::net::TcpStream, request: &ReplRequest) -> ReplResponse {
+    use std::io::Write as _;
+    let (tag, payload) = request.encode();
+    pqp_wire::frame::write_frame(stream, tag, &payload).unwrap();
+    stream.flush().unwrap();
+    let (tag, payload) = pqp_wire::frame::read_frame(stream, pqp_wire::MAX_FRAME_LEN).unwrap();
+    ReplResponse::decode(tag, &payload).unwrap()
+}
+
+#[test]
+fn deposed_leaders_unacked_suffix_is_truncated_and_replicas_converge() {
+    with_failpoints(|| {
+        let f1 = TestNode::start("heal_f1", Role::Follower, vec![], 1);
+        let l0 = TestNode::start("heal_l0", Role::Leader, vec![f1.addr.clone()], 2);
+
+        let mut ana = Client::connect(&*l0.addr, ClientConfig::new("ana")).unwrap();
+        ana.add_selection("MOVIE", "mid", Value::Int(1), 0.5).unwrap();
+        ana.close();
+        assert_eq!(f1.node.status().last_seq, 1, "seq 1 replicated before the partition");
+
+        // The link to f1 is cut while bob's mutation lands: durable on
+        // the leader, never acked — the classic deposed-leader suffix.
+        failpoint::configure("repl.ship", "8*error(partition)").unwrap();
+        let mut bob = Client::connect(&*l0.addr, ClientConfig::new("bob")).unwrap();
+        let err = bob.add_selection("MOVIE", "mid", Value::Int(2), 0.5).unwrap_err();
+        assert_eq!(err.kind(), "unavailable", "got {err:?}");
+        bob.close();
+        failpoint::clear();
+        assert_eq!(l0.node.status().last_seq, 2, "bob's record is durable on the old leader");
+        assert!(l0.profile_json("bob").is_some());
+
+        // Both nodes go down; the cluster reboots with f1 — which never
+        // saw bob's record — promoted over the reborn old leader.
+        let f1_dir = f1.stop_keeping_dir();
+        let l0_dir = l0.stop_keeping_dir();
+        let old = TestNode::start_in(l0_dir, "heal_l0", Role::Follower, vec![], 1);
+        let new_leader =
+            TestNode::start_in(f1_dir, "heal_f1", Role::Follower, vec![old.addr.clone()], 2);
+        let resp = new_leader.node.handle_peer(
+            ReplRequest::Promote { term: old.node.term() + 1, token: String::new() },
+            &mut PeerLink::new(),
+        );
+        assert!(matches!(resp, ReplResponse::Ok { .. }), "{resp:?}");
+        assert_eq!(new_leader.node.status().last_seq, 1, "the new leader never saw seq 2");
+
+        // cara's write (quorum 2) forces the catch-up: the old leader's
+        // conflicting seq 2 must be truncated and replaced — under the
+        // pre-fix protocol its self-reported ack (2 >= tip) would have
+        // counted toward quorum for a record it does not hold.
+        let mut cara = Client::connect(&*new_leader.addr, ClientConfig::new("cara")).unwrap();
+        cara.add_selection("MOVIE", "mid", Value::Int(3), 0.5).unwrap();
+        cara.close();
+
+        assert_eq!(old.node.status().last_seq, 2);
+        assert_eq!(old.profile_json("bob"), None, "the orphaned suffix was rolled back");
+        assert_eq!(old.profile_json("ana"), new_leader.profile_json("ana"));
+        assert_eq!(old.profile_json("cara"), new_leader.profile_json("cara"));
+        assert!(old.profile_json("cara").is_some(), "the healed log carries cara's record");
+
+        // The truncation is durable: a reboot of the old leader replays
+        // the healed log, not the orphaned one.
+        let old_dir = old.stop_keeping_dir();
+        let reborn = TestNode::start_in(old_dir, "heal_l0", Role::Follower, vec![], 1);
+        assert_eq!(reborn.profile_json("bob"), None);
+        assert_eq!(reborn.profile_json("cara"), new_leader.profile_json("cara"));
+    });
+}
+
+#[test]
+fn status_probes_answer_while_shipping_stalls_on_a_dead_peer() {
+    with_failpoints(|| {
+        // A peer that accepts the TCP connect and then never answers:
+        // the leader's ship path blocks inside the inner lock until the
+        // 500ms read timeout — exactly when the router's probes must
+        // keep answering, or a stalled-but-alive leader reads as down.
+        let blackhole = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let blackhole_addr = blackhole.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = blackhole.accept() {
+                held.push(stream); // hold the link open, never reply
+            }
+        });
+
+        let leader = TestNode::start("stall_lead", Role::Leader, vec![blackhole_addr], 1);
+        let node = Arc::clone(&leader.node);
+        let mutator = std::thread::spawn(move || {
+            // Quorum 1: the write succeeds even though the ship stalls.
+            node.client_mutate(
+                &UserId::from("ana"),
+                pqp_wire::ProfileOp::AddSelection {
+                    table: "MOVIE".into(),
+                    column: "mid".into(),
+                    value: Value::Int(1),
+                    doi: 0.5,
+                },
+            )
+        });
+
+        // While the mutation is stalled in peer I/O under the inner
+        // mutex, a Status probe over the wire (what the router sends)
+        // must answer from the status cell instead of waiting.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut stream = std::net::TcpStream::connect(&*leader.addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let t = std::time::Instant::now();
+        let resp = repl_rpc(&mut stream, &ReplRequest::Status);
+        let elapsed = t.elapsed();
+        let ReplResponse::Status(status) = resp else { panic!("expected status, got {resp:?}") };
+        assert_eq!(status.role, Role::Leader);
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "status probe took {elapsed:?} while shipping stalled"
+        );
+        mutator.join().unwrap().unwrap();
+    });
+}
+
+#[test]
+fn repl_frames_on_the_client_port_require_the_cluster_token() {
+    let dir = std::env::temp_dir().join(format!("pqp_repl_auth_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = Arc::new(Service::new(movie_db()));
+    let mut config = ReplConfig::new("authn", &dir);
+    config.role = Role::Follower;
+    config.token = "cluster-secret".to_string();
+    let node = ReplNode::open(Arc::clone(&svc), config).unwrap();
+    let server_config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
+    let handle = Server::bind_replicated(Arc::clone(&svc), server_config, Some(Arc::clone(&node)))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&*addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Leadership cannot be seized with a guessed token…
+    let resp =
+        repl_rpc(&mut stream, &ReplRequest::Promote { term: 99, token: "guess".to_string() });
+    let ReplResponse::Reject { reason, .. } = resp else { panic!("promote accepted: {resp:?}") };
+    assert!(reason.contains("authentication failed"), "got {reason}");
+    assert_eq!(node.role(), Role::Follower);
+
+    // …nor the store wiped by an unauthenticated Snapshot…
+    let resp = repl_rpc(
+        &mut stream,
+        &ReplRequest::Snapshot { term: 1, last_seq: 0, last_term: 0, data: vec![] },
+    );
+    let ReplResponse::Reject { reason, .. } = resp else { panic!("snapshot accepted: {resp:?}") };
+    assert!(reason.contains("unauthenticated"), "got {reason}");
+
+    // …while the read-only Status probe stays open…
+    assert!(matches!(repl_rpc(&mut stream, &ReplRequest::Status), ReplResponse::Status(_)));
+
+    // …and a link that presents the token works end to end.
+    let resp = repl_rpc(
+        &mut stream,
+        &ReplRequest::Hello {
+            version: pqp_wire::PROTOCOL_VERSION,
+            node_id: "peer".to_string(),
+            term: 1,
+            token: "cluster-secret".to_string(),
+            last_seq: 0,
+            last_term: 0,
+        },
+    );
+    assert!(matches!(resp, ReplResponse::Ok { .. }), "handshake refused: {resp:?}");
+    let resp =
+        repl_rpc(&mut stream, &ReplRequest::Promote { term: 7, token: "cluster-secret".into() });
+    assert!(matches!(resp, ReplResponse::Ok { term: 7, .. }), "{resp:?}");
+    assert_eq!(node.role(), Role::Leader);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

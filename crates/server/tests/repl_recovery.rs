@@ -149,11 +149,22 @@ fn wal_failpoints_surface_as_typed_errors_and_heal_on_retry() {
         let err = mutate_i(&node, 1).unwrap_err();
         assert_eq!(err.kind(), "storage", "append fault is a typed error: {err}");
         assert_eq!(node.status().last_seq, 0, "nothing logged");
+        assert_eq!(
+            svc.profile(UserId::from("crash")),
+            None,
+            "a mutation that failed before durability is not visible to reads"
+        );
 
         failpoint::configure("wal.fsync", "1*error(sync lost)").unwrap();
         let err = mutate_i(&node, 1).unwrap_err();
         assert_eq!(err.kind(), "storage", "fsync fault is a typed error: {err}");
         assert_eq!(node.status().durable_seq, 0, "the unsynced record is not durable");
+        assert_eq!(node.status().last_seq, 0, "the unsynced record is truncated back off");
+        assert_eq!(
+            svc.profile(UserId::from("crash")),
+            None,
+            "a mutation that failed at the fsync is not visible to reads"
+        );
 
         // Retrying is safe (mutations are upserts): the store converges
         // and the log replays to the same bytes.

@@ -135,6 +135,10 @@ pub struct Wal {
     synced_seq: u64,
     /// Current byte length of the log file.
     log_bytes: u64,
+    /// Start offset of each live record: `offsets[i]` is the file offset
+    /// of record `base_seq + 1 + i`, so catch-up reads seek instead of
+    /// rescanning the whole log.
+    offsets: Vec<u64>,
 }
 
 impl Wal {
@@ -158,7 +162,7 @@ impl Wal {
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(|e| io_err("read wal.log", e))?;
 
-        let (records, good_bytes) = scan_records(&bytes, base_seq);
+        let (records, offsets, good_bytes) = scan_records(&bytes, base_seq);
         let truncated_bytes = bytes.len() as u64 - good_bytes;
         if truncated_bytes > 0 {
             file.set_len(good_bytes).map_err(|e| io_err("truncate torn wal tail", e))?;
@@ -175,6 +179,7 @@ impl Wal {
             // Everything that survived recovery is on disk by definition.
             synced_seq: last_seq,
             log_bytes: good_bytes,
+            offsets,
         };
         Ok((wal, WalRecovery { snapshot, records, truncated_bytes }))
     }
@@ -227,6 +232,7 @@ impl Wal {
         frame[4..8].copy_from_slice(&crc.to_be_bytes());
         self.file.write_all(&frame).map_err(|e| io_err("append wal record", e))?;
         self.next_seq += 1;
+        self.offsets.push(self.log_bytes);
         self.log_bytes += frame.len() as u64;
         Ok(seq)
     }
@@ -245,17 +251,78 @@ impl Wal {
     /// Re-read intact records with `seq >= from` from the log file (the
     /// catch-up path for a lagging follower). Returns `None` when `from`
     /// falls at or below the snapshot point — the caller must ship the
-    /// snapshot instead.
+    /// snapshot instead. The in-memory offset index turns this into one
+    /// seek + a tail read, so catch-up costs O(bytes shipped), not
+    /// O(total log bytes).
     pub fn read_from(&self, from: u64) -> Result<Option<Vec<WalRecord>>> {
         if from <= self.base_seq {
             return Ok(None);
         }
+        if from > self.last_seq() {
+            return Ok(Some(Vec::new()));
+        }
+        let offset = self.offsets[(from - self.base_seq - 1) as usize];
+        let bytes = self.read_tail(offset)?;
+        let (records, _, _) = scan_records(&bytes, from - 1);
+        Ok(Some(records))
+    }
+
+    /// Read the single record at `seq`. `None` when `seq` is outside the
+    /// live log range (compacted into the snapshot, or past the tip).
+    pub fn read_record(&self, seq: u64) -> Result<Option<WalRecord>> {
+        if seq <= self.base_seq || seq > self.last_seq() {
+            return Ok(None);
+        }
+        let offset = self.offsets[(seq - self.base_seq - 1) as usize];
+        let bytes = self.read_tail(offset)?;
+        let (records, _, _) = scan_records(&bytes, seq - 1);
+        Ok(records.into_iter().next())
+    }
+
+    /// Drop every record with sequence `>= from` (log-conflict resolution:
+    /// a follower discovered its suffix diverges from the new leader's
+    /// log). Returns the number of records removed. Truncating into the
+    /// snapshot (`from <= base_seq`) is refused — the caller must fall
+    /// back to a full snapshot transfer.
+    pub fn truncate_from(&mut self, from: u64) -> Result<u64> {
+        if from <= self.base_seq {
+            return Err(StorageError::Io(format!(
+                "cannot truncate log from seq {from}: records at or below the snapshot \
+                 point {} exist only in the snapshot",
+                self.base_seq
+            )));
+        }
+        if from > self.last_seq() {
+            return Ok(0);
+        }
+        let removed = self.last_seq() - from + 1;
+        let offset = self.offsets[(from - self.base_seq - 1) as usize];
+        self.file.set_len(offset).map_err(|e| io_err("truncate wal suffix", e))?;
+        self.file.sync_data().map_err(|e| io_err("sync truncated wal", e))?;
+        self.file.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek wal end", e))?;
+        self.offsets.truncate((from - self.base_seq - 1) as usize);
+        self.next_seq = from;
+        self.synced_seq = self.synced_seq.min(from - 1);
+        self.log_bytes = offset;
+        Ok(removed)
+    }
+
+    /// Re-read the snapshot file (`None` when no snapshot is installed).
+    /// Used to rebuild in-memory state after a conflict truncation.
+    pub fn read_snapshot(&self) -> Result<Option<WalSnapshot>> {
+        read_snapshot(&self.dir.join(SNAPSHOT_FILE))
+    }
+
+    /// Read the log file from `offset` to its current end.
+    fn read_tail(&self, offset: u64) -> Result<Vec<u8>> {
         let mut file =
             File::open(self.dir.join(WAL_FILE)).map_err(|e| io_err("reopen wal.log", e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(|e| io_err("reread wal.log", e))?;
-        let (records, _) = scan_records(&bytes, self.base_seq);
-        Ok(Some(records.into_iter().filter(|r| r.seq >= from).collect()))
+        file.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek wal tail", e))?;
+        let mut bytes = Vec::with_capacity((self.log_bytes - offset) as usize);
+        file.take(self.log_bytes - offset)
+            .read_to_end(&mut bytes)
+            .map_err(|e| io_err("read wal tail", e))?;
+        Ok(bytes)
     }
 
     /// Install a snapshot covering everything appended so far and truncate
@@ -300,15 +367,18 @@ impl Wal {
         self.file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seek wal start", e))?;
         self.file.sync_data().map_err(|e| io_err("sync truncated wal", e))?;
         self.log_bytes = 0;
+        self.offsets.clear();
         Ok(())
     }
 }
 
 /// Scan `bytes` for intact, contiguous records following `base_seq`.
-/// Returns the records plus the byte offset of the first frame that is
-/// torn, corrupt, or out of sequence (== `bytes.len()` on a clean log).
-fn scan_records(bytes: &[u8], base_seq: u64) -> (Vec<WalRecord>, u64) {
+/// Returns the records, their start offsets within `bytes`, and the byte
+/// offset of the first frame that is torn, corrupt, or out of sequence
+/// (== `bytes.len()` on a clean log).
+fn scan_records(bytes: &[u8], base_seq: u64) -> (Vec<WalRecord>, Vec<u64>, u64) {
     let mut records = Vec::new();
+    let mut offsets = Vec::new();
     let mut pos = 0usize;
     let mut expected = base_seq + 1;
     while bytes.len() - pos >= FRAME_HEADER {
@@ -334,10 +404,11 @@ fn scan_records(bytes: &[u8], base_seq: u64) -> (Vec<WalRecord>, u64) {
             break; // sequence discontinuity: the suffix is not trustworthy
         }
         records.push(WalRecord { seq, payload: body[SEQ_BYTES..].to_vec() });
+        offsets.push(pos as u64);
         expected += 1;
         pos = body_start + len;
     }
-    (records, pos as u64)
+    (records, offsets, pos as u64)
 }
 
 fn read_snapshot(path: &Path) -> Result<Option<WalSnapshot>> {
@@ -502,6 +573,76 @@ mod tests {
         // through the snapshot.
         assert!(wal.read_from(4).unwrap().is_none());
         assert_eq!(wal.read_from(5).unwrap().expect("empty tail"), Vec::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_from_cuts_the_suffix_and_the_log_stays_appendable() {
+        let dir = tmpdir("truncfrom");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            for i in 0..5u32 {
+                wal.append(format!("r{i}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+            assert_eq!(wal.truncate_from(6).unwrap(), 0, "past-tip truncation is a no-op");
+            assert_eq!(wal.truncate_from(3).unwrap(), 3);
+            assert_eq!(wal.last_seq(), 2);
+            assert_eq!(wal.synced_seq(), 2);
+            // Appends resume at the truncation point with fresh payloads.
+            assert_eq!(wal.append(b"r2'").unwrap(), 3);
+            wal.sync().unwrap();
+            assert_eq!(wal.read_record(3).unwrap().unwrap().payload, b"r2'");
+        }
+        let (wal, rec) = Wal::open(&dir).unwrap();
+        assert_eq!(wal.last_seq(), 3);
+        assert_eq!(rec.truncated_bytes, 0, "truncation left a clean log");
+        assert_eq!(rec.records.last().unwrap().payload, b"r2'");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_into_the_snapshot_is_refused() {
+        let dir = tmpdir("truncsnap");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(b"a").unwrap();
+        wal.sync().unwrap();
+        wal.install_snapshot(b"s").unwrap();
+        assert!(matches!(wal.truncate_from(1), Err(StorageError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_record_seeks_one_record_by_sequence() {
+        let dir = tmpdir("readone");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for i in 0..4u32 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.read_record(2).unwrap().unwrap().payload, b"r1");
+        assert_eq!(wal.read_record(4).unwrap().unwrap().payload, b"r3");
+        assert!(wal.read_record(5).unwrap().is_none(), "past the tip");
+        wal.install_snapshot(b"s").unwrap();
+        assert!(wal.read_record(2).unwrap().is_none(), "compacted away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn offset_index_survives_reopen() {
+        let dir = tmpdir("offsets");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            for i in 0..6u32 {
+                wal.append(format!("rec-{i}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (wal, _) = Wal::open(&dir).unwrap();
+        let tail = wal.read_from(5).unwrap().unwrap();
+        assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(tail[0].payload, b"rec-4");
+        assert_eq!(wal.read_record(1).unwrap().unwrap().payload, b"rec-0");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

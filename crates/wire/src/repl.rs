@@ -8,7 +8,7 @@
 //! append-only like the client vocabulary; requests sit in `0x10..=0x14`,
 //! responses in `0x90..=0x92`, disjoint from the client ranges.
 //!
-//! # Term fencing
+//! # Term fencing and log identity
 //!
 //! Every request carries the sender's `term` (except `Status`, which is a
 //! read-only probe). A node rejects any request whose term is below its
@@ -16,6 +16,23 @@
 //! that sees a higher term in any response steps down immediately — that
 //! is the whole fencing protocol. Promotion bumps the term, so a deposed
 //! leader can never ship another record.
+//!
+//! A log entry's identity is the pair `(term, seq)` — Raft's invariant:
+//! two logs holding an entry with the same term and sequence hold the
+//! same entry and the same prefix. [`ReplRequest::Append`] therefore
+//! carries the identity of the entry *preceding* the batch
+//! (`prev_seq`/`prev_term`); a follower whose log disagrees at that
+//! position truncates its conflicting suffix and rejects so the leader
+//! walks back. A follower's self-reported offset is likewise qualified by
+//! the term of its tip ([`ReplResponse::Ok::ack_term`]) — the leader
+//! never counts an offset toward quorum without validating the term.
+//!
+//! # Authentication
+//!
+//! The state-changing vocabulary (`Hello`+`Append`/`Snapshot`, `Promote`)
+//! carries a shared-secret token, because these frames share the client
+//! listen port: without it, anyone who can connect could seize leadership
+//! or wipe the store. `Status` stays open — it is a read-only probe.
 //!
 //! # Log record payloads
 //!
@@ -89,10 +106,12 @@ impl Role {
     }
 }
 
-/// One shipped log entry: the leader's WAL sequence number and the opaque
+/// One shipped log entry: its `(term, seq)` identity and the opaque
 /// record bytes exactly as the leader made them durable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
+    /// The term the entry was created under (half of its identity).
+    pub term: u64,
     /// The leader's log sequence number for this record.
     pub seq: u64,
     /// The record payload (a [`MutationRecord`] encoding).
@@ -118,9 +137,11 @@ pub struct NodeStatus {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplRequest {
     /// Handshake: must be the first frame on a peer link. The receiver
-    /// adopts a higher term (stepping down if it was leader) and answers
-    /// [`ReplResponse::Ok`] with its last log sequence so the sender can
-    /// pick catch-up vs snapshot transfer.
+    /// adopts a higher term (stepping down if it was leader), reconciles
+    /// its log tail against the leader's tip identity (truncating any
+    /// suffix the leader does not hold), and answers [`ReplResponse::Ok`]
+    /// with its last log position so the sender can pick catch-up vs
+    /// snapshot transfer.
     Hello {
         /// The protocol version the peer speaks (exact match required).
         version: u16,
@@ -128,13 +149,29 @@ pub enum ReplRequest {
         node_id: String,
         /// The sender's current term.
         term: u64,
+        /// Shared-secret auth token (`PQP_REPL_TOKEN`); must match the
+        /// receiver's configured token before any state-changing frame
+        /// is honored on this link.
+        token: String,
+        /// The sender's (the leader's) last log sequence number.
+        last_seq: u64,
+        /// The term of the sender's last log entry (0 for an empty log).
+        last_term: u64,
     },
-    /// Ship contiguous log entries. The receiver appends, syncs, applies,
-    /// and acks its new last sequence; it rejects stale terms and gaps.
+    /// Ship contiguous log entries. The receiver verifies the entry
+    /// preceding the batch matches `(prev_seq, prev_term)` — truncating
+    /// its conflicting suffix if not — then appends, syncs, applies, and
+    /// acks its new last sequence; it rejects stale terms and gaps.
     Append {
         /// The sender's term (fencing).
         term: u64,
-        /// Entries in sequence order, contiguous with the receiver's log.
+        /// Sequence of the entry immediately before this batch (0 when
+        /// the batch starts the log).
+        prev_seq: u64,
+        /// Term of that preceding entry (0 when `prev_seq` is 0). A
+        /// mismatch on the receiver is a log conflict.
+        prev_term: u64,
+        /// Entries in sequence order, contiguous after `prev_seq`.
         entries: Vec<LogEntry>,
     },
     /// Replace the receiver's entire state with a snapshot (the catch-up
@@ -144,17 +181,22 @@ pub enum ReplRequest {
         term: u64,
         /// The sequence number the snapshot covers through.
         last_seq: u64,
+        /// The term of the entry at `last_seq` (the snapshot's identity).
+        last_term: u64,
         /// Opaque snapshot bytes (the serving layer's profile dump).
         data: Vec<u8>,
     },
     /// Read-only status probe; never changes node state.
     Status,
     /// Manual/router-triggered failover: become leader at `term`. The
-    /// receiver refuses unless `term` is strictly above its own.
+    /// receiver refuses unless `term` is strictly above its own and the
+    /// token matches its configured secret.
     Promote {
         /// The new leadership term (must exceed every term the cluster
         /// has seen, so the deposed leader is fenced).
         term: u64,
+        /// Shared-secret auth token (`PQP_REPL_TOKEN`).
+        token: String,
     },
 }
 
@@ -162,12 +204,17 @@ pub enum ReplRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplResponse {
     /// Accepted. `ack_seq` is the receiver's last log sequence after the
-    /// request — the sender's replication offset for this peer.
+    /// request — the sender's replication offset for this peer. The
+    /// sender must validate `(ack_seq, ack_term)` against its own log
+    /// before trusting the offset for quorum.
     Ok {
         /// The receiver's current term.
         term: u64,
         /// The receiver's last log sequence number.
         ack_seq: u64,
+        /// The term of the receiver's entry at `ack_seq` (0 for an empty
+        /// log) — the identity half of the ack.
+        ack_term: u64,
     },
     /// Refused: stale term (fencing) or a log discontinuity. `last_seq`
     /// tells the sender where the receiver's log actually ends so it can
@@ -193,24 +240,24 @@ impl ReplRequest {
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut w = Writer::new();
         let tag = match self {
-            ReplRequest::Hello { version, node_id, term } => {
-                w.u16(*version).str(node_id).u64(*term);
+            ReplRequest::Hello { version, node_id, term, token, last_seq, last_term } => {
+                w.u16(*version).str(node_id).u64(*term).str(token).u64(*last_seq).u64(*last_term);
                 tag::REPL_HELLO
             }
-            ReplRequest::Append { term, entries } => {
-                w.u64(*term).u32(entries.len() as u32);
+            ReplRequest::Append { term, prev_seq, prev_term, entries } => {
+                w.u64(*term).u64(*prev_seq).u64(*prev_term).u32(entries.len() as u32);
                 for e in entries {
-                    w.u64(e.seq).bytes(&e.payload);
+                    w.u64(e.term).u64(e.seq).bytes(&e.payload);
                 }
                 tag::REPL_APPEND
             }
-            ReplRequest::Snapshot { term, last_seq, data } => {
-                w.u64(*term).u64(*last_seq).bytes(data);
+            ReplRequest::Snapshot { term, last_seq, last_term, data } => {
+                w.u64(*term).u64(*last_seq).u64(*last_term).bytes(data);
                 tag::REPL_SNAPSHOT
             }
             ReplRequest::Status => tag::REPL_STATUS,
-            ReplRequest::Promote { term } => {
-                w.u64(*term);
+            ReplRequest::Promote { term, token } => {
+                w.u64(*term).str(token);
                 tag::REPL_PROMOTE
             }
         };
@@ -225,35 +272,44 @@ impl ReplRequest {
                 version: r.u16("protocol version")?,
                 node_id: r.str("node id")?,
                 term: r.u64("term")?,
+                token: r.str("auth token")?,
+                last_seq: r.u64("leader last seq")?,
+                last_term: r.u64("leader last term")?,
             },
             tag::REPL_APPEND => {
                 let term = r.u64("term")?;
+                let prev_seq = r.u64("prev seq")?;
+                let prev_term = r.u64("prev term")?;
                 let count = r.u32("entry count")? as usize;
-                // Each entry is ≥ 12 bytes (seq + length prefix): reject
-                // absurd counts before allocating.
-                if count > MAX_ENTRIES || count > r.remaining() / 12 + 1 {
+                // Each entry is ≥ 20 bytes (term + seq + length prefix):
+                // reject absurd counts before allocating.
+                if count > MAX_ENTRIES || count > r.remaining() / 20 + 1 {
                     return Err(DecodeError::TooLong {
                         what: "append entries",
                         len: count,
-                        max: MAX_ENTRIES.min(r.remaining() / 12 + 1),
+                        max: MAX_ENTRIES.min(r.remaining() / 20 + 1),
                     });
                 }
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     entries.push(LogEntry {
+                        term: r.u64("entry term")?,
                         seq: r.u64("entry seq")?,
                         payload: r.bytes("entry payload")?,
                     });
                 }
-                ReplRequest::Append { term, entries }
+                ReplRequest::Append { term, prev_seq, prev_term, entries }
             }
             tag::REPL_SNAPSHOT => ReplRequest::Snapshot {
                 term: r.u64("term")?,
                 last_seq: r.u64("snapshot last seq")?,
+                last_term: r.u64("snapshot last term")?,
                 data: r.bytes("snapshot data")?,
             },
             tag::REPL_STATUS => ReplRequest::Status,
-            tag::REPL_PROMOTE => ReplRequest::Promote { term: r.u64("term")? },
+            tag::REPL_PROMOTE => {
+                ReplRequest::Promote { term: r.u64("term")?, token: r.str("auth token")? }
+            }
             tag => return Err(DecodeError::BadTag { what: "repl request", tag: tag as u64 }),
         };
         r.expect_end()?;
@@ -266,8 +322,8 @@ impl ReplResponse {
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut w = Writer::new();
         let tag = match self {
-            ReplResponse::Ok { term, ack_seq } => {
-                w.u64(*term).u64(*ack_seq);
+            ReplResponse::Ok { term, ack_seq, ack_term } => {
+                w.u64(*term).u64(*ack_seq).u64(*ack_term);
                 tag::REPL_OK
             }
             ReplResponse::Reject { term, last_seq, reason } => {
@@ -286,7 +342,11 @@ impl ReplResponse {
     pub fn decode(tag: u8, payload: &[u8]) -> Result<ReplResponse> {
         let mut r = Reader::new(payload);
         let resp = match tag {
-            tag::REPL_OK => ReplResponse::Ok { term: r.u64("term")?, ack_seq: r.u64("ack seq")? },
+            tag::REPL_OK => ReplResponse::Ok {
+                term: r.u64("term")?,
+                ack_seq: r.u64("ack seq")?,
+                ack_term: r.u64("ack term")?,
+            },
             tag::REPL_REJECT => ReplResponse::Reject {
                 term: r.u64("term")?,
                 last_seq: r.u64("last seq")?,
@@ -357,23 +417,42 @@ mod tests {
 
     #[test]
     fn repl_requests_round_trip() {
-        round_trip_request(ReplRequest::Hello { version: 1, node_id: "node-a".into(), term: 7 });
-        round_trip_request(ReplRequest::Append { term: 3, entries: vec![] });
+        round_trip_request(ReplRequest::Hello {
+            version: 1,
+            node_id: "node-a".into(),
+            term: 7,
+            token: "s3cret".into(),
+            last_seq: 41,
+            last_term: 6,
+        });
         round_trip_request(ReplRequest::Append {
             term: 3,
+            prev_seq: 9,
+            prev_term: 2,
+            entries: vec![],
+        });
+        round_trip_request(ReplRequest::Append {
+            term: 3,
+            prev_seq: 9,
+            prev_term: 3,
             entries: vec![
-                LogEntry { seq: 10, payload: vec![1, 2, 3] },
-                LogEntry { seq: 11, payload: vec![] },
+                LogEntry { term: 3, seq: 10, payload: vec![1, 2, 3] },
+                LogEntry { term: 3, seq: 11, payload: vec![] },
             ],
         });
-        round_trip_request(ReplRequest::Snapshot { term: 9, last_seq: 1000, data: vec![0xAB; 64] });
+        round_trip_request(ReplRequest::Snapshot {
+            term: 9,
+            last_seq: 1000,
+            last_term: 8,
+            data: vec![0xAB; 64],
+        });
         round_trip_request(ReplRequest::Status);
-        round_trip_request(ReplRequest::Promote { term: 12 });
+        round_trip_request(ReplRequest::Promote { term: 12, token: String::new() });
     }
 
     #[test]
     fn repl_responses_round_trip() {
-        round_trip_response(ReplResponse::Ok { term: 4, ack_seq: 99 });
+        round_trip_response(ReplResponse::Ok { term: 4, ack_seq: 99, ack_term: 4 });
         round_trip_response(ReplResponse::Reject {
             term: 5,
             last_seq: 42,
@@ -468,20 +547,20 @@ mod tests {
         ));
         // Absurd entry count: longer than the payload can carry.
         let mut w = Writer::new();
-        w.u64(1).u32(u32::MAX);
+        w.u64(1).u64(0).u64(0).u32(u32::MAX);
         assert!(matches!(
             ReplRequest::decode(tag::REPL_APPEND, &w.into_vec()),
             Err(DecodeError::TooLong { what: "append entries", .. })
         ));
         // Truncated snapshot.
         let mut w = Writer::new();
-        w.u64(1).u64(5).u32(1000);
+        w.u64(1).u64(5).u64(1).u32(1000);
         assert!(matches!(
             ReplRequest::decode(tag::REPL_SNAPSHOT, &w.into_vec()),
             Err(DecodeError::Truncated { .. })
         ));
         // Trailing bytes after a well-formed response.
-        let (tag, mut payload) = ReplResponse::Ok { term: 1, ack_seq: 2 }.encode();
+        let (tag, mut payload) = ReplResponse::Ok { term: 1, ack_seq: 2, ack_term: 1 }.encode();
         payload.push(0);
         assert!(matches!(ReplResponse::decode(tag, &payload), Err(DecodeError::Trailing { .. })));
         // Unassigned role discriminant.

@@ -104,17 +104,26 @@ fn valid_pool() -> Vec<(u8, Vec<u8>)> {
     ];
     let record = MutationRecord { user: "ana".into(), op: ProfileOp::Remove }.encode();
     let repl_requests = [
-        ReplRequest::Hello { version: PROTOCOL_VERSION, node_id: "node-1".into(), term: 3 },
+        ReplRequest::Hello {
+            version: PROTOCOL_VERSION,
+            node_id: "node-1".into(),
+            term: 3,
+            token: "fuzz-token".into(),
+            last_seq: 9,
+            last_term: 3,
+        },
         ReplRequest::Append {
             term: 3,
-            entries: vec![LogEntry { seq: 1, payload: record.clone() }],
+            prev_seq: 0,
+            prev_term: 0,
+            entries: vec![LogEntry { term: 3, seq: 1, payload: record.clone() }],
         },
-        ReplRequest::Snapshot { term: 3, last_seq: 9, data: record },
+        ReplRequest::Snapshot { term: 3, last_seq: 9, last_term: 3, data: record },
         ReplRequest::Status,
-        ReplRequest::Promote { term: 4 },
+        ReplRequest::Promote { term: 4, token: "fuzz-token".into() },
     ];
     let repl_responses = [
-        ReplResponse::Ok { term: 3, ack_seq: 9 },
+        ReplResponse::Ok { term: 3, ack_seq: 9, ack_term: 3 },
         ReplResponse::Reject { term: 5, last_seq: 2, reason: "stale term".into() },
         ReplResponse::Status(NodeStatus {
             node_id: "node-2".into(),
